@@ -1,0 +1,223 @@
+//! FlatData-style codec — the "RTI-FlatData" bar of Fig. 14.
+//!
+//! RTI FlatData keeps the ordinary XCDR2 wire format but *constructs the
+//! message directly in its serialized form* through `Builder` classes
+//! (paper Fig. 4), so publish needs no serialization and receive no
+//! de-serialization. The cost it cannot avoid — and the reason the paper
+//! rejects it for transparency — is that field access "must traverse all
+//! fields until the desired field is found by its index" (§3.2).
+//!
+//! [`ImageBuilder`] mirrors the paper's Fig. 4 construction flow;
+//! [`ImageSample`] provides the traversing accessors.
+
+use crate::image::{probe_bytes, Codec, Consumed, WorkImage};
+use crate::xcdr::{cdr_string_len, member, members, Member, XcdrWriter};
+
+/// Builder constructing an image sample directly in its wire form —
+/// `rti::flat::build_data<Image>(writer)` in the paper's Fig. 4.
+#[derive(Debug)]
+pub struct ImageBuilder {
+    w: XcdrWriter,
+}
+
+impl ImageBuilder {
+    /// Start building, reserving `data_capacity` bytes for pixels.
+    pub fn new(data_capacity: usize) -> Self {
+        ImageBuilder {
+            w: XcdrWriter::with_capacity(data_capacity + 64),
+        }
+    }
+
+    /// `builder.build_encoding().set_string("rgb8")`.
+    pub fn set_encoding(&mut self, s: &str) -> &mut Self {
+        self.w
+            .member_bytes(member::ENCODING, s.as_bytes(), cdr_string_len(s));
+        self
+    }
+
+    /// `builder.add_height(10)`.
+    pub fn add_height(&mut self, h: u32) -> &mut Self {
+        self.w.member_u32(member::HEIGHT, h);
+        self
+    }
+
+    /// `builder.add_width(10)`.
+    pub fn add_width(&mut self, w: u32) -> &mut Self {
+        self.w.member_u32(member::WIDTH, w);
+        self
+    }
+
+    /// The latency timestamp (this reproduction's addition).
+    pub fn add_stamp(&mut self, nanos: u64) -> &mut Self {
+        self.w.member_u64(member::STAMP, nanos);
+        self
+    }
+
+    /// `auto data_builder = builder.build_data(); data_builder.add_n(n)`:
+    /// append the pixel payload.
+    pub fn build_data(&mut self, data: &[u8]) -> &mut Self {
+        self.w.member_bytes(member::DATA, data, data.len() as u32);
+        self
+    }
+
+    /// `builder.finish_sample()` — the bytes are already the serialized
+    /// message; nothing further happens.
+    pub fn finish_sample(self) -> Vec<u8> {
+        self.w.into_bytes()
+    }
+}
+
+/// Read-only view over a received FlatData sample. Every accessor scans
+/// the member stream from the start (the traversal cost of §3.2).
+#[derive(Debug, Clone, Copy)]
+pub struct ImageSample<'a> {
+    frame: &'a [u8],
+}
+
+impl<'a> ImageSample<'a> {
+    /// Wrap a received frame. No bytes are copied or parsed yet.
+    pub fn new(frame: &'a [u8]) -> Self {
+        ImageSample { frame }
+    }
+
+    fn find_prim4(&self, idx: u32) -> Option<u32> {
+        members(self.frame).ok()?.into_iter().find_map(|m| match m {
+            Member::Prim4(i, v) if i == idx => Some(v),
+            _ => None,
+        })
+    }
+
+    fn find_var(&self, idx: u32) -> Option<&'a [u8]> {
+        members(self.frame).ok()?.into_iter().find_map(|m| match m {
+            Member::Var(i, b) if i == idx => Some(b),
+            _ => None,
+        })
+    }
+
+    /// `img.height()`.
+    pub fn height(&self) -> u32 {
+        self.find_prim4(member::HEIGHT).unwrap_or(0)
+    }
+
+    /// `img.width()`.
+    pub fn width(&self) -> u32 {
+        self.find_prim4(member::WIDTH).unwrap_or(0)
+    }
+
+    /// The latency timestamp.
+    pub fn stamp(&self) -> u64 {
+        members(self.frame)
+            .ok()
+            .and_then(|ms| {
+                ms.into_iter().find_map(|m| match m {
+                    Member::Prim8(i, v) if i == member::STAMP => Some(v),
+                    _ => None,
+                })
+            })
+            .unwrap_or(0)
+    }
+
+    /// The encoding string (up to the CDR NUL terminator).
+    pub fn encoding(&self) -> &'a str {
+        let bytes = self.find_var(member::ENCODING).unwrap_or(&[]);
+        let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+        std::str::from_utf8(&bytes[..end]).unwrap_or("")
+    }
+
+    /// Zero-copy view of the pixel payload.
+    pub fn data(&self) -> &'a [u8] {
+        self.find_var(member::DATA).unwrap_or(&[])
+    }
+}
+
+/// The FlatData-style image codec.
+pub struct FlatDataCodec;
+
+impl Codec for FlatDataCodec {
+    const NAME: &'static str = "RTI-FlatData";
+    const SERIALIZATION_FREE: bool = true;
+
+    fn make_wire(src: &WorkImage) -> Vec<u8> {
+        // Fig. 4, line for line.
+        let mut builder = ImageBuilder::new(src.data.len());
+        builder
+            .set_encoding(&src.encoding)
+            .add_height(src.height)
+            .add_width(src.width)
+            .build_data(&src.data)
+            .add_stamp(src.stamp_nanos);
+        builder.finish_sample()
+    }
+
+    fn consume(frame: &[u8]) -> Consumed {
+        let img = ImageSample::new(frame);
+        let data = img.data();
+        Consumed {
+            stamp_nanos: img.stamp(),
+            height: img.height(),
+            width: img.width(),
+            data_len: data.len(),
+            probe: probe_bytes(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::assert_roundtrip;
+    use crate::xcdr::XcdrCodec;
+
+    #[test]
+    fn image_roundtrips() {
+        assert_roundtrip::<FlatDataCodec>(10, 10);
+        assert_roundtrip::<FlatDataCodec>(640, 480);
+    }
+
+    #[test]
+    fn wire_is_identical_to_xcdr() {
+        // FlatData's selling point: "FlatData uses the same serialization
+        // format with regular messages (i.e., XCDR2)" (§2.3) — a FlatData
+        // publisher interoperates with an ordinary XCDR2 subscriber.
+        let img = WorkImage::synthetic(32, 32);
+        assert_eq!(FlatDataCodec::make_wire(&img), XcdrCodec::make_wire(&img));
+        // ...and the ordinary subscriber can consume the FlatData frame.
+        let frame = FlatDataCodec::make_wire(&img);
+        assert_eq!(XcdrCodec::consume(&frame), FlatDataCodec::consume(&frame));
+    }
+
+    #[test]
+    fn accessors_traverse_to_the_right_member() {
+        let mut b = ImageBuilder::new(16);
+        b.set_encoding("mono8")
+            .add_height(480)
+            .add_width(640)
+            .add_stamp(99)
+            .build_data(&[9, 8, 7]);
+        let frame = b.finish_sample();
+        let s = ImageSample::new(&frame);
+        assert_eq!(s.encoding(), "mono8");
+        assert_eq!(s.height(), 480);
+        assert_eq!(s.width(), 640);
+        assert_eq!(s.stamp(), 99);
+        assert_eq!(s.data(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn data_access_is_zero_copy() {
+        let img = WorkImage::synthetic(16, 16);
+        let frame = FlatDataCodec::make_wire(&img);
+        let sample = ImageSample::new(&frame);
+        let d = sample.data();
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(frame_range.contains(&(d.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn missing_members_yield_defaults() {
+        let s = ImageSample::new(&[]);
+        assert_eq!(s.height(), 0);
+        assert_eq!(s.encoding(), "");
+        assert!(s.data().is_empty());
+    }
+}

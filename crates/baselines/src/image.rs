@@ -1,0 +1,139 @@
+//! The common workload model and codec interface.
+
+/// The paper's simplified `Image` (Fig. 1) plus a timestamp for latency
+/// measurement: the source data every codec encodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkImage {
+    /// Creation time (nanoseconds on the experiment clock).
+    pub stamp_nanos: u64,
+    /// Pixel encoding, e.g. `rgb8`.
+    pub encoding: String,
+    /// Rows.
+    pub height: u32,
+    /// Columns.
+    pub width: u32,
+    /// Pixel bytes (`height * width * 3` for `rgb8`).
+    pub data: Vec<u8>,
+}
+
+impl WorkImage {
+    /// A deterministic RGB image of `width`×`height` pixels.
+    pub fn synthetic(width: u32, height: u32) -> WorkImage {
+        let len = (width as usize) * (height as usize) * 3;
+        let mut data = vec![0u8; len];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i * 31 % 251) as u8;
+        }
+        WorkImage {
+            stamp_nanos: 0,
+            encoding: "rgb8".to_string(),
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// The three image sizes of the paper's evaluation (§5.1): ~200 KB,
+    /// ~1 MB, ~6 MB as `(label, width, height)`.
+    pub const PAPER_SIZES: [(&'static str, u32, u32); 3] = [
+        ("200KB", 256, 256),
+        ("1MB", 800, 600),
+        ("6MB", 1920, 1080),
+    ];
+}
+
+/// What a subscriber-side consumer observed — returned by
+/// [`Codec::consume`] so the work of accessing fields cannot be optimized
+/// away, and so tests can verify content survived the trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Consumed {
+    /// Timestamp read back from the message.
+    pub stamp_nanos: u64,
+    /// Height read back.
+    pub height: u32,
+    /// Width read back.
+    pub width: u32,
+    /// Number of data bytes accessible.
+    pub data_len: usize,
+    /// A probe pixel (first + middle + last bytes, wrapping-summed).
+    pub probe: u8,
+}
+
+/// Compute the standard probe over a data slice.
+pub fn probe_bytes(data: &[u8]) -> u8 {
+    if data.is_empty() {
+        return 0;
+    }
+    data[0]
+        .wrapping_add(data[data.len() / 2])
+        .wrapping_add(data[data.len() - 1])
+}
+
+/// One middleware's message pipeline over the common workload.
+///
+/// `make_wire` covers everything the publisher does between "the pixels
+/// exist" and "bytes ready for the socket" (construction + serialization,
+/// or in-place construction for serialization-free codecs). `consume`
+/// covers everything the subscriber does between "bytes arrived" and "the
+/// callback has read the fields" (de-serialization + access, or direct
+/// access).
+pub trait Codec {
+    /// Display name (Fig. 14 x-axis label).
+    const NAME: &'static str;
+    /// Whether the codec eliminates (de)serialization.
+    const SERIALIZATION_FREE: bool;
+
+    /// Publisher side: produce the wire bytes for `src`.
+    fn make_wire(src: &WorkImage) -> Vec<u8>;
+
+    /// Subscriber side: read every field out of a received frame.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on corrupt frames (benchmark inputs are
+    /// self-produced); fallible parsing is exercised in unit tests.
+    fn consume(frame: &[u8]) -> Consumed;
+}
+
+/// Roundtrip helper shared by every codec's tests.
+#[cfg(test)]
+pub(crate) fn assert_roundtrip<C: Codec>(w: u32, h: u32) {
+    let mut img = WorkImage::synthetic(w, h);
+    img.stamp_nanos = 0xDEAD_BEEF_CAFE;
+    let wire = C::make_wire(&img);
+    let got = C::consume(&wire);
+    assert_eq!(got.stamp_nanos, img.stamp_nanos, "{}", C::NAME);
+    assert_eq!(got.height, h, "{}", C::NAME);
+    assert_eq!(got.width, w, "{}", C::NAME);
+    assert_eq!(got.data_len, img.data.len(), "{}", C::NAME);
+    assert_eq!(got.probe, probe_bytes(&img.data), "{}", C::NAME);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_image_sizes_match_paper() {
+        for (label, w, h) in WorkImage::PAPER_SIZES {
+            let img = WorkImage::synthetic(w, h);
+            let bytes = img.data.len();
+            match label {
+                "200KB" => assert_eq!(bytes, 196_608),
+                "1MB" => assert_eq!(bytes, 1_440_000),
+                "6MB" => assert_eq!(bytes, 6_220_800),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn probe_is_stable_and_content_sensitive() {
+        let a = WorkImage::synthetic(64, 64);
+        let mut b = a.clone();
+        assert_eq!(probe_bytes(&a.data), probe_bytes(&b.data));
+        b.data[0] = b.data[0].wrapping_add(1);
+        assert_ne!(probe_bytes(&a.data), probe_bytes(&b.data));
+        assert_eq!(probe_bytes(&[]), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # rossf-baselines — the middleware comparison codecs (Fig. 14)
+//!
+//! The paper's Fig. 14 compares six middleware on a 6 MB image workload:
+//! ROS, ROS-SF, ProtoBuf, FlatBuf, RTI (Connext, XCDR2), and RTI-FlatData.
+//! The first two are the real paths of this repository (`rossf-ros` +
+//! `rossf-msg` / `rossf-sfm`); this crate implements the other four as
+//! faithful from-scratch codecs:
+//!
+//! | codec                  | style                                  | serialization-free |
+//! |------------------------|----------------------------------------|--------------------|
+//! | [`protolite`]          | ProtoBuf: tag + varint / len-delimited | no                 |
+//! | [`xcdr`]               | XCDR2: EMHEADER-delimited members      | no                 |
+//! | [`flatlite`]           | FlatBuffer: vtable + root table        | **yes**            |
+//! | [`flatdata`]           | FlatData: XCDR2 layout built in place  | **yes**            |
+//!
+//! Every codec implements [`Codec`] over the same simplified-image
+//! workload ([`WorkImage`], the paper's Fig. 1 message plus a timestamp),
+//! so the benchmark harness can drive all six through an identical
+//! transport and measure exactly what the paper measures: construction +
+//! (de)serialization differences.
+//!
+//! Golden-layout tests in [`xcdr`] and [`flatlite`] reproduce the byte
+//! tables of the paper's Figs. 5 and 6; the SFM equivalent (Fig. 7) lives
+//! in [`sfm_image`].
+
+#![deny(missing_docs)]
+
+pub mod flatdata;
+pub mod flatlite;
+pub mod protolite;
+pub mod roscodec;
+pub mod sfm_image;
+pub mod xcdr;
+
+mod image;
+
+pub use image::{Codec, Consumed, WorkImage};
+
+/// All codec names in the order Fig. 14 plots them.
+pub const FIG14_ORDER: [&str; 6] = [
+    "ROS",
+    "ROS-SF",
+    "ProtoBuf",
+    "FlatBuf",
+    "RTI",
+    "RTI-FlatData",
+];

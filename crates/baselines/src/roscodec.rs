@@ -1,0 +1,68 @@
+//! The "ROS" codec: the real baseline path of this repository (full
+//! `sensor_msgs/Image` construction + ROS1 serialization + ROS1
+//! de-serialization), adapted to the common Fig. 14 workload interface.
+
+use crate::image::{probe_bytes, Codec, Consumed, WorkImage};
+use rossf_msg::sensor_msgs::Image;
+use rossf_msg::std_msgs::Header;
+use rossf_ros::ser::RosMessage;
+use rossf_ros::time::RosTime;
+
+/// The ordinary-ROS image codec (construct → serialize; de-serialize →
+/// access).
+pub struct RosCodec;
+
+impl Codec for RosCodec {
+    const NAME: &'static str = "ROS";
+    const SERIALIZATION_FREE: bool = false;
+
+    fn make_wire(src: &WorkImage) -> Vec<u8> {
+        // Fig. 3 construction pattern for ordinary ROS.
+        let img = Image {
+            header: Header {
+                seq: 0,
+                stamp: RosTime::from_nanos(src.stamp_nanos),
+                frame_id: String::new(),
+            },
+            height: src.height,
+            width: src.width,
+            encoding: src.encoding.clone(),
+            is_bigendian: 0,
+            step: src.width * 3,
+            data: src.data.clone(),
+        };
+        img.to_bytes()
+    }
+
+    fn consume(frame: &[u8]) -> Consumed {
+        let img = Image::from_bytes(frame).expect("self-produced frame is valid");
+        Consumed {
+            stamp_nanos: img.header.stamp.as_nanos(),
+            height: img.height,
+            width: img.width,
+            data_len: img.data.len(),
+            probe: probe_bytes(&img.data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::assert_roundtrip;
+
+    #[test]
+    fn image_roundtrips() {
+        assert_roundtrip::<RosCodec>(10, 10);
+        assert_roundtrip::<RosCodec>(320, 200);
+    }
+
+    #[test]
+    fn wire_size_close_to_payload() {
+        // ROS1's binary format adds only small per-field overhead.
+        let img = WorkImage::synthetic(100, 100);
+        let wire = RosCodec::make_wire(&img);
+        assert!(wire.len() >= img.data.len());
+        assert!(wire.len() < img.data.len() + 64);
+    }
+}

@@ -1,0 +1,180 @@
+//! The paper's simplified image as an SFM message, and the Fig. 7 golden
+//! layout test.
+//!
+//! `rossf-msg` ships the full `sensor_msgs/Image`; the paper's layout
+//! figures (Figs. 1, 5, 6, 7) all use a simplified four-field image. This
+//! module defines that exact type so the Fig. 7 byte table can be checked
+//! against the real implementation, and provides the ROS-SF codec entry
+//! for the Fig. 14 harness.
+
+use crate::image::{probe_bytes, Codec, Consumed, WorkImage};
+use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmString, SfmValidate, SfmVec};
+
+/// The simplified image of the paper's Fig. 1 as an SFM skeleton, plus the
+/// benchmark timestamp.
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmSimpleImage {
+    /// Pixel encoding ("rgb8" in the figures).
+    pub encoding: SfmString,
+    /// Rows.
+    pub height: u32,
+    /// Columns.
+    pub width: u32,
+    /// Pixel bytes.
+    pub data: SfmVec<u8>,
+    /// Latency timestamp (kept last so the Fig. 7 prefix layout is
+    /// byte-exact).
+    pub stamp_nanos: u64,
+}
+
+// SAFETY: repr(C), all fields pod, zero is the valid empty state.
+unsafe impl SfmPod for SfmSimpleImage {}
+
+impl SfmValidate for SfmSimpleImage {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.encoding.validate_in(base, len)?;
+        self.data.validate_in(base, len)
+    }
+}
+
+// SAFETY: max_size covers the largest evaluation image (6 MB) + skeleton.
+unsafe impl SfmMessage for SfmSimpleImage {
+    fn type_name() -> &'static str {
+        "rossf/SimpleImage"
+    }
+    fn max_size() -> usize {
+        8 << 20
+    }
+}
+
+/// The ROS-SF codec over the common workload: construction *is* the wire
+/// form; consumption adopts the buffer and reads fields as plain struct
+/// fields.
+pub struct SfmCodec;
+
+impl Codec for SfmCodec {
+    const NAME: &'static str = "ROS-SF";
+    const SERIALIZATION_FREE: bool = true;
+
+    fn make_wire(src: &WorkImage) -> Vec<u8> {
+        // Fig. 3 construction pattern, unchanged — this is the paper's
+        // transparency claim.
+        let mut img = SfmBox::<SfmSimpleImage>::new();
+        img.encoding.assign(&src.encoding);
+        img.height = src.height;
+        img.width = src.width;
+        img.data.assign(&src.data);
+        img.stamp_nanos = src.stamp_nanos;
+        img.publish_handle().as_slice().to_vec()
+    }
+
+    fn consume(frame: &[u8]) -> Consumed {
+        let mut slot =
+            rossf_sfm::SfmRecvBuffer::<SfmSimpleImage>::new(frame.len()).expect("valid frame");
+        slot.as_mut_slice().copy_from_slice(frame);
+        let img = slot.finish().expect("self-produced frame is valid");
+        Consumed {
+            stamp_nanos: img.stamp_nanos,
+            height: img.height,
+            width: img.width,
+            data_len: img.data.len(),
+            probe: probe_bytes(img.data.as_slice()),
+        }
+    }
+}
+
+/// The *exact* Fig. 1 message — no timestamp — used by the Fig. 7 golden
+/// layout test: `string encoding; uint32 height; uint32 width;
+/// uint8[] data`.
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmFig7Image {
+    /// Pixel encoding.
+    pub encoding: SfmString,
+    /// Rows.
+    pub height: u32,
+    /// Columns.
+    pub width: u32,
+    /// Pixel bytes.
+    pub data: SfmVec<u8>,
+}
+
+// SAFETY: repr(C), all fields pod, zero is the valid empty state.
+unsafe impl SfmPod for SfmFig7Image {}
+
+impl SfmValidate for SfmFig7Image {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.encoding.validate_in(base, len)?;
+        self.data.validate_in(base, len)
+    }
+}
+
+// SAFETY: max_size covers the Fig. 7 example with ample headroom.
+unsafe impl SfmMessage for SfmFig7Image {
+    fn type_name() -> &'static str {
+        "rossf/Fig7Image"
+    }
+    fn max_size() -> usize {
+        64 << 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::assert_roundtrip;
+
+    #[test]
+    fn image_roundtrips() {
+        assert_roundtrip::<SfmCodec>(10, 10);
+        assert_roundtrip::<SfmCodec>(256, 256);
+    }
+
+    /// Byte-exact reproduction of the paper's Fig. 7: the SFM memory
+    /// layout of the simplified 10×10 `rgb8` image.
+    #[test]
+    fn fig7_golden_layout() {
+        let mut img = SfmBox::<SfmFig7Image>::new();
+        // Paper's assignment order: encoding, height, width, data.
+        img.encoding.assign("rgb8");
+        img.height = 10;
+        img.width = 10;
+        img.data.resize(300);
+        for i in 0..300 {
+            img.data[i] = 0xCD;
+        }
+
+        let frame = img.publish_handle();
+        let buf = frame.as_slice();
+        let word =
+            |addr: usize| u32::from_le_bytes(buf[addr..addr + 4].try_into().unwrap());
+
+        assert_eq!(word(0x0000), 8, "Length of encoding");
+        assert_eq!(word(0x0004), 20, "Offset to the value of encoding");
+        assert_eq!(word(0x0008), 10, "Value of height");
+        assert_eq!(word(0x000c), 10, "Value of width");
+        assert_eq!(word(0x0010), 300, "Length of data");
+        assert_eq!(word(0x0014), 12, "Offset to the value of data");
+        // Start of the value of encoding: 0x0004 + 20 = 0x0018.
+        assert_eq!(&buf[0x0018..0x0020], b"rgb8\0\0\0\0");
+        // Start of the value of data: 0x0014 + 12 = 0x0020.
+        assert!(buf[0x0020..0x0020 + 300].iter().all(|&b| b == 0xCD));
+        // "the whole message is from the address 0x0000 to the address
+        // 0x014c" — 24-byte skeleton + 8 (encoding) + 300 (data) = 332.
+        assert_eq!(frame.len(), 0x014c, "End address of the whole message");
+    }
+
+    #[test]
+    fn skeleton_matches_fig7_prefix() {
+        // encoding skeleton (8) + height (4) + width (4) + data skeleton
+        // (8) = 24 bytes = the Fig. 7 message skeleton.
+        assert_eq!(core::mem::size_of::<SfmFig7Image>(), 24);
+        assert_eq!(core::mem::offset_of!(SfmFig7Image, height), 8);
+        assert_eq!(core::mem::offset_of!(SfmFig7Image, width), 12);
+        assert_eq!(core::mem::offset_of!(SfmFig7Image, data), 16);
+        // The codec variant appends its stamp after the Fig. 7 skeleton.
+        assert_eq!(core::mem::size_of::<SfmSimpleImage>(), 32);
+        assert_eq!(core::mem::offset_of!(SfmSimpleImage, stamp_nanos), 24);
+    }
+}

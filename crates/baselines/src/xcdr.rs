@@ -1,0 +1,285 @@
+//! XCDR2-style codec — the "RTI" bar of Fig. 14.
+//!
+//! Extended CDR version 2 (used by DDS, §2.2) frames every member with an
+//! *EMHEADER*: a 32-bit word combining a length-kind code and the member
+//! index, optionally followed by an explicit length. The paper's Fig. 5
+//! shows the exact layout this module reproduces (see the golden test).
+//!
+//! Kinds used here (upper 4 bits of the EMHEADER):
+//!
+//! * `0x2` — 4-byte primitive, value follows inline;
+//! * `0x3` — 8-byte primitive, value follows inline;
+//! * `0x4` — length-delimited: a `u32` length follows, then the value
+//!   padded to a 4-byte boundary.
+
+use crate::image::{probe_bytes, Codec, Consumed, WorkImage};
+
+/// EMHEADER kind: 4-byte primitive.
+pub const KIND_PRIM4: u32 = 0x2;
+/// EMHEADER kind: 8-byte primitive.
+pub const KIND_PRIM8: u32 = 0x3;
+/// EMHEADER kind: length-delimited.
+pub const KIND_VAR: u32 = 0x4;
+
+/// Member indices for the image type (fixed-size members are indexed
+/// first, variable-size members after — matching the paper's Fig. 5 where
+/// `height`=0, `width`=1, `encoding`=2, `data`=3).
+pub mod member {
+    /// `height`.
+    pub const HEIGHT: u32 = 0;
+    /// `width`.
+    pub const WIDTH: u32 = 1;
+    /// `encoding`.
+    pub const ENCODING: u32 = 2;
+    /// `data`.
+    pub const DATA: u32 = 3;
+    /// `stamp` (this reproduction's extra latency field).
+    pub const STAMP: u32 = 4;
+}
+
+fn emheader(kind: u32, index: u32) -> u32 {
+    (kind << 28) | (index & 0x0fff_ffff)
+}
+
+/// Serializer producing XCDR2-style member streams.
+#[derive(Debug, Default)]
+pub struct XcdrWriter {
+    buf: Vec<u8>,
+}
+
+impl XcdrWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        XcdrWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append a 4-byte primitive member.
+    pub fn member_u32(&mut self, index: u32, value: u32) {
+        self.buf
+            .extend_from_slice(&emheader(KIND_PRIM4, index).to_le_bytes());
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append an 8-byte primitive member.
+    pub fn member_u64(&mut self, index: u32, value: u64) {
+        self.buf
+            .extend_from_slice(&emheader(KIND_PRIM8, index).to_le_bytes());
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a length-delimited member, recording `stored_len` in the
+    /// length word (callers pad strings like CDR does: content + NUL,
+    /// rounded up to 4).
+    pub fn member_bytes(&mut self, index: u32, bytes: &[u8], stored_len: u32) {
+        debug_assert!(stored_len as usize >= bytes.len());
+        self.buf
+            .extend_from_slice(&emheader(KIND_VAR, index).to_le_bytes());
+        self.buf.extend_from_slice(&stored_len.to_le_bytes());
+        self.buf.extend_from_slice(bytes);
+        // Zero-fill declared padding plus alignment to 4.
+        let mut pad = stored_len as usize - bytes.len();
+        pad += (4 - (stored_len as usize % 4)) % 4;
+        self.buf.extend(std::iter::repeat_n(0, pad));
+    }
+
+    /// Finish, returning the wire bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// CDR string storage size: content + NUL terminator, padded to 4 bytes
+/// (Fig. 5: `"rgb8"` stores 8).
+pub fn cdr_string_len(s: &str) -> u32 {
+    ((s.len() + 1).div_ceil(4) * 4) as u32
+}
+
+/// One decoded member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Member<'a> {
+    /// 4-byte primitive.
+    Prim4(u32, u32),
+    /// 8-byte primitive.
+    Prim8(u32, u64),
+    /// Length-delimited (index, stored bytes including padding).
+    Var(u32, &'a [u8]),
+}
+
+/// Iterate the members of an XCDR2 frame.
+///
+/// # Errors
+///
+/// A description of the malformation, if any.
+pub fn members(frame: &[u8]) -> Result<Vec<Member<'_>>, String> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+        if *pos + n > frame.len() {
+            return Err(format!("truncated at {pos:?}+{n}"));
+        }
+        let s = &frame[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    while pos < frame.len() {
+        let header = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+        let kind = header >> 28;
+        let index = header & 0x0fff_ffff;
+        match kind {
+            KIND_PRIM4 => {
+                let v = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+                out.push(Member::Prim4(index, v));
+            }
+            KIND_PRIM8 => {
+                let v = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+                out.push(Member::Prim8(index, v));
+            }
+            KIND_VAR => {
+                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+                let padded = len.div_ceil(4) * 4;
+                let bytes = take(&mut pos, padded)?;
+                out.push(Member::Var(index, &bytes[..len]));
+            }
+            other => return Err(format!("unknown EMHEADER kind {other:#x}")),
+        }
+    }
+    Ok(out)
+}
+
+/// The XCDR2 (RTI Connext-style) image codec: ordinary construction, full
+/// serialize on publish, full de-serialize on receive.
+pub struct XcdrCodec;
+
+impl Codec for XcdrCodec {
+    const NAME: &'static str = "RTI";
+    const SERIALIZATION_FREE: bool = false;
+
+    fn make_wire(src: &WorkImage) -> Vec<u8> {
+        let mut w = XcdrWriter::with_capacity(src.data.len() + 64);
+        // Fig. 5 order: encoding, height, width, data (construction order).
+        let enc_len = cdr_string_len(&src.encoding);
+        w.member_bytes(member::ENCODING, src.encoding.as_bytes(), enc_len);
+        w.member_u32(member::HEIGHT, src.height);
+        w.member_u32(member::WIDTH, src.width);
+        w.member_bytes(member::DATA, &src.data, src.data.len() as u32);
+        w.member_u64(member::STAMP, src.stamp_nanos);
+        w.into_bytes()
+    }
+
+    fn consume(frame: &[u8]) -> Consumed {
+        // De-serialize into an owned message, then access.
+        let mut img = WorkImage {
+            stamp_nanos: 0,
+            encoding: String::new(),
+            height: 0,
+            width: 0,
+            data: Vec::new(),
+        };
+        for m in members(frame).expect("self-produced frame is valid") {
+            match m {
+                Member::Prim4(member::HEIGHT, v) => img.height = v,
+                Member::Prim4(member::WIDTH, v) => img.width = v,
+                Member::Prim8(member::STAMP, v) => img.stamp_nanos = v,
+                Member::Var(member::ENCODING, bytes) => {
+                    let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+                    img.encoding = String::from_utf8_lossy(&bytes[..end]).into_owned();
+                }
+                Member::Var(member::DATA, bytes) => img.data = bytes.to_vec(),
+                _ => {}
+            }
+        }
+        Consumed {
+            stamp_nanos: img.stamp_nanos,
+            height: img.height,
+            width: img.width,
+            data_len: img.data.len(),
+            probe: probe_bytes(&img.data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::assert_roundtrip;
+
+    #[test]
+    fn image_roundtrips() {
+        assert_roundtrip::<XcdrCodec>(10, 10);
+        assert_roundtrip::<XcdrCodec>(320, 240);
+    }
+
+    /// Byte-exact reproduction of the paper's Fig. 5: the FlatData/XCDR2
+    /// memory layout of the simplified 10×10 `rgb8` image.
+    #[test]
+    fn fig5_golden_layout() {
+        let mut w = XcdrWriter::new();
+        w.member_bytes(member::ENCODING, b"rgb8", cdr_string_len("rgb8"));
+        w.member_u32(member::HEIGHT, 10);
+        w.member_u32(member::WIDTH, 10);
+        let data = vec![0xAB; 300];
+        w.member_bytes(member::DATA, &data, 300);
+        let buf = w.into_bytes();
+
+        let word = |addr: usize| {
+            u32::from_le_bytes(buf[addr..addr + 4].try_into().unwrap())
+        };
+        // Start of encoding.
+        assert_eq!(word(0x0000), 0x4000_0002, "Type and Index of encoding");
+        assert_eq!(word(0x0004), 8, "Length of encoding");
+        assert_eq!(&buf[0x0008..0x000d], b"rgb8\0", "Value of encoding");
+        // Start of height.
+        assert_eq!(word(0x0010), 0x2000_0000, "Type and Index of height");
+        assert_eq!(word(0x0014), 10, "Value of height");
+        // Start of width.
+        assert_eq!(word(0x0018), 0x2000_0001, "Type and Index of width");
+        assert_eq!(word(0x001c), 10, "Value of width");
+        // Start of data.
+        assert_eq!(word(0x0020), 0x4000_0003, "Type and Index of data");
+        assert_eq!(word(0x0024), 300, "Length of data");
+        assert_eq!(buf.len(), 0x0028 + 300, "End address 0x0154");
+        assert_eq!(&buf[0x0028..], &data[..]);
+    }
+
+    #[test]
+    fn member_iteration_preserves_order_and_values() {
+        let mut w = XcdrWriter::new();
+        w.member_u32(0, 77);
+        w.member_u64(4, u64::MAX);
+        w.member_bytes(2, b"xyz", 4);
+        let buf = w.into_bytes();
+        let ms = members(&buf).unwrap();
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[0], Member::Prim4(0, 77));
+        assert_eq!(ms[1], Member::Prim8(4, u64::MAX));
+        assert_eq!(ms[2], Member::Var(2, b"xyz\0".as_slice()));
+    }
+
+    #[test]
+    fn truncated_and_unknown_kinds_error() {
+        assert!(members(&[1, 2, 3]).is_err());
+        // kind 0xF is unknown
+        assert!(members(&0xF000_0000u32.to_le_bytes()).is_err());
+        // var member with absurd length
+        let mut w = Vec::new();
+        w.extend_from_slice(&emheader(KIND_VAR, 1).to_le_bytes());
+        w.extend_from_slice(&100u32.to_le_bytes());
+        assert!(members(&w).is_err());
+    }
+
+    #[test]
+    fn cdr_string_lengths() {
+        assert_eq!(cdr_string_len(""), 4);
+        assert_eq!(cdr_string_len("abc"), 4);
+        assert_eq!(cdr_string_len("rgb8"), 8);
+        assert_eq!(cdr_string_len("1234567"), 8);
+        assert_eq!(cdr_string_len("12345678"), 12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation: the `max_size` pre-allocation rule (§4.2).
+//!
+//! The paper allocates every message at its type's maximum size up front
+//! so that growing a field never moves the buffer ("This is also the
+//! solution used by FlatData and FlatBuffer to avoid memory
+//! reallocation"). The alternative — allocate exactly, reallocate (and
+//! copy) on growth — would invalidate interior field addresses, which is
+//! why SFM forbids it; this bench quantifies what the rule costs and what
+//! the realloc alternative would have cost in copies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rossf_msg::sensor_msgs::SfmImage;
+use rossf_sfm::SfmBox;
+use std::hint::black_box;
+
+fn build_image(pixels: &[u8], width: u32, height: u32) -> SfmBox<SfmImage> {
+    let mut img = SfmBox::<SfmImage>::new();
+    img.height = height;
+    img.width = width;
+    img.encoding.assign("rgb8");
+    img.step = width * 3;
+    img.data.assign(pixels);
+    img
+}
+
+fn alloc_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_strategy");
+    group.sample_size(20);
+
+    for &(label, w, h) in &[("200KB", 256u32, 256u32), ("1MB", 800, 600), ("6MB", 1920, 1080)] {
+        let pixels = vec![7u8; (w * h * 3) as usize];
+        group.throughput(Throughput::Bytes(pixels.len() as u64));
+
+        // The SFM rule: one max_size allocation, grow-in-place, one
+        // content copy.
+        group.bench_with_input(
+            BenchmarkId::new("prealloc_max_size", label),
+            &pixels,
+            |b, pixels| {
+                b.iter(|| black_box(build_image(black_box(pixels), w, h)));
+            },
+        );
+
+        // The rejected alternative, simulated: exact-size buffer that must
+        // be reallocated+copied once when the data field arrives (what a
+        // `realloc`-style growth path would pay at minimum; it would ALSO
+        // break interior pointers, which no benchmark can fix).
+        group.bench_with_input(
+            BenchmarkId::new("exact_then_realloc", label),
+            &pixels,
+            |b, pixels| {
+                b.iter(|| {
+                    // skeleton-sized buffer...
+                    let skeleton = vec![0u8; core::mem::size_of::<SfmImage>()];
+                    // ...grown for the data field: new allocation + move.
+                    let mut grown = Vec::with_capacity(skeleton.len() + pixels.len());
+                    grown.extend_from_slice(black_box(&skeleton));
+                    grown.extend_from_slice(black_box(pixels));
+                    black_box(grown)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, alloc_ablation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: the message manager's interior-address lookup (§4.3.3).
+//!
+//! The paper implements record lookup "as a binary search from a
+//! std::vector of ordered records. It could be further optimized, but ...
+//! it appears to be efficient enough." This bench quantifies that choice
+//! by comparing binary search against a linear scan while the number of
+//! live messages grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rossf_sfm::{LookupStrategy, MessageManager, SfmAlloc};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn lookup_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_lookup");
+    group.sample_size(20);
+    for &live in &[1usize, 16, 256, 1024] {
+        // A private manager with `live` registered messages.
+        let manager = MessageManager::new();
+        let allocs: Vec<Arc<SfmAlloc>> =
+            (0..live).map(|_| Arc::new(SfmAlloc::new(256))).collect();
+        for a in &allocs {
+            manager.register(Arc::clone(a), 32, "bench/M");
+        }
+        // Probe addresses in the middle of each message, round-robin.
+        let probes: Vec<usize> = allocs.iter().map(|a| a.base() + 100).collect();
+
+        for strategy in [LookupStrategy::Binary, LookupStrategy::Linear] {
+            manager.set_lookup_strategy(strategy);
+            let name = match strategy {
+                LookupStrategy::Binary => "binary",
+                LookupStrategy::Linear => "linear",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, live),
+                &probes,
+                |b, probes| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let addr = probes[i % probes.len()];
+                        i += 1;
+                        // expand-by-0 exercises lookup without growth.
+                        black_box(manager.expand(black_box(addr), 0, 1).unwrap());
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lookup_ablation);
+criterion_main!(benches);

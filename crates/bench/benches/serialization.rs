@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: per-codec construction/serialization and
+//! consumption/de-serialization cost at the paper's image sizes. These
+//! are the per-stage numbers underlying Figs. 13/14 (the harness binaries
+//! measure the end-to-end pipelines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rossf_baselines::flatdata::FlatDataCodec;
+use rossf_baselines::flatlite::FlatLiteCodec;
+use rossf_baselines::protolite::ProtoCodec;
+use rossf_baselines::roscodec::RosCodec;
+use rossf_baselines::sfm_image::SfmCodec;
+use rossf_baselines::xcdr::XcdrCodec;
+use rossf_baselines::{Codec, WorkImage};
+use std::hint::black_box;
+
+fn bench_codec<C: Codec>(c: &mut Criterion, sizes: &[(&str, u32, u32)]) {
+    let mut group = c.benchmark_group(format!("make_wire/{}", C::NAME));
+    group.sample_size(10);
+    for &(label, w, h) in sizes {
+        let img = WorkImage::synthetic(w, h);
+        group.throughput(Throughput::Bytes(img.data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &img, |b, img| {
+            b.iter(|| black_box(C::make_wire(black_box(img))));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group(format!("consume/{}", C::NAME));
+    group.sample_size(10);
+    for &(label, w, h) in sizes {
+        let img = WorkImage::synthetic(w, h);
+        let wire = C::make_wire(&img);
+        group.throughput(Throughput::Bytes(img.data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &wire, |b, wire| {
+            b.iter(|| black_box(C::consume(black_box(wire))));
+        });
+    }
+    group.finish();
+}
+
+fn all_codecs(c: &mut Criterion) {
+    // 200 KB and 1 MB run quickly; 6 MB is covered by the fig13/fig14
+    // harness binaries.
+    let sizes = [("200KB", 256u32, 256u32), ("1MB", 800, 600)];
+    bench_codec::<RosCodec>(c, &sizes);
+    bench_codec::<SfmCodec>(c, &sizes);
+    bench_codec::<ProtoCodec>(c, &sizes);
+    bench_codec::<FlatLiteCodec>(c, &sizes);
+    bench_codec::<XcdrCodec>(c, &sizes);
+    bench_codec::<FlatDataCodec>(c, &sizes);
+}
+
+criterion_group!(benches, all_codecs);
+criterion_main!(benches);

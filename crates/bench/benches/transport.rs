@@ -1,0 +1,74 @@
+//! Ablation: transport variants for serialization-free frames.
+//!
+//! Related work (§2.1) distinguishes intra-process, intra-machine, and
+//! inter-machine IPC. This bench compares, for a ~1 MB SFM image frame:
+//!
+//! * the intra-machine path used in the evaluation (TCP loopback framing
+//!   through `Encode` → socket → `SfmRecvBuffer` adoption), and
+//! * the intra-process fast path (`Decode::from_local_frame`, which
+//!   shares the publisher's buffer with zero copies).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rossf_msg::sensor_msgs::SfmImage;
+use rossf_ros::wire::{read_frame_len, write_frame};
+use rossf_ros::{Decode, Encode};
+use rossf_sfm::{SfmBox, SfmShared};
+use std::hint::black_box;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+
+fn make_image(width: u32, height: u32) -> SfmBox<SfmImage> {
+    let mut img = SfmBox::<SfmImage>::new();
+    img.height = height;
+    img.width = width;
+    img.encoding.assign("rgb8");
+    img.step = width * 3;
+    img.data.resize((width * height * 3) as usize);
+    img
+}
+
+fn transport_ablation(c: &mut Criterion) {
+    let img = make_image(640, 480); // ~0.9 MB, the TUM frame size
+    let payload = img.whole_len() as u64;
+
+    let mut group = c.benchmark_group("sfm_transport");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(payload));
+
+    group.bench_function("intra_process_zero_copy", |b| {
+        b.iter(|| {
+            let frame = img.encode();
+            let shared: SfmShared<SfmImage> =
+                Decode::from_local_frame(black_box(&frame)).expect("valid frame");
+            black_box(shared.data.len());
+        });
+    });
+
+    group.bench_function("tcp_loopback", |b| {
+        // One persistent loopback connection, echoing frame-by-frame.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || TcpStream::connect(addr).expect("connect"));
+        let (server, _) = listener.accept().expect("accept");
+        let mut writer = client.join().expect("client thread");
+        writer.set_nodelay(true).ok();
+        let mut reader = std::io::BufReader::with_capacity(256 * 1024, server);
+
+        b.iter(|| {
+            let frame = img.encode();
+            write_frame(&mut writer, frame.as_slice()).expect("write");
+            let len = read_frame_len(&mut reader).expect("read len").expect("open");
+            let mut slot = <SfmShared<SfmImage> as Decode>::new_slot(len).expect("slot");
+            reader
+                .read_exact(rossf_ros::RecvSlot::as_mut_slice(&mut slot))
+                .expect("read payload");
+            let shared = <SfmShared<SfmImage> as Decode>::finish_slot(slot).expect("adopt");
+            black_box(shared.data.len());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, transport_ablation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 13 — intra-machine transmission latency, ROS vs ROS-SF, at the
+//! paper's three image sizes (~200 KB, ~1 MB, ~6 MB).
+//!
+//! ```text
+//! cargo run -p rossf-bench --release --bin fig13_intra [--iters N] [--hz F] [--paper]
+//! ```
+
+use rossf_baselines::WorkImage;
+use rossf_bench::experiments::{intra_plain, intra_sfm};
+use rossf_bench::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    println!("=== Fig. 13: intra-machine latency (ROS vs ROS-SF) ===");
+    println!(
+        "workload: {} messages per configuration, pacing {:?}\n",
+        args.iters,
+        args.gap()
+    );
+    println!(
+        "{:<8} {:<50} {:<50} {:>10}",
+        "size", "ROS (mean ± std)", "ROS-SF (mean ± std)", "reduction"
+    );
+    for (label, w, h) in WorkImage::PAPER_SIZES {
+        let ros = intra_plain(args, w, h);
+        let rossf = intra_sfm(args, w, h);
+        println!(
+            "{:<8} {:<50} {:<50} {:>9.1}%",
+            label,
+            ros.to_string(),
+            rossf.to_string(),
+            rossf.reduction_vs(&ros)
+        );
+    }
+    println!();
+    println!(
+        "paper reference: ROS-SF reduces mean latency, growing with size, \
+         up to ~76.3% at 6MB"
+    );
+}

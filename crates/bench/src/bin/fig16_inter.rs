@@ -1,0 +1,44 @@
+//! Fig. 16 — inter-machine ping-pong latency over a simulated Intel 82599
+//! 10 GbE link (Fig. 15 topology: `pub` and `sub` on machine A, `trans`
+//! on machine B).
+//!
+//! ```text
+//! cargo run -p rossf-bench --release --bin fig16_inter [--iters N] [--hz F]
+//! ```
+
+use rossf_baselines::WorkImage;
+use rossf_bench::experiments::{pingpong_plain, pingpong_sfm};
+use rossf_bench::RunArgs;
+use rossf_ros::LinkProfile;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let link = LinkProfile::ten_gbe();
+    println!("=== Fig. 16: inter-machine ping-pong latency (ROS vs ROS-SF) ===");
+    println!(
+        "link: {} Gb/s, {} µs one-way; workload: {} messages per configuration\n",
+        link.bandwidth_bps / 1_000_000_000,
+        link.latency.as_micros(),
+        args.iters
+    );
+    println!(
+        "{:<8} {:<50} {:<50} {:>10}",
+        "size", "ROS (mean ± std)", "ROS-SF (mean ± std)", "reduction"
+    );
+    for (label, w, h) in WorkImage::PAPER_SIZES {
+        let ros = pingpong_plain(args, w, h, link);
+        let rossf = pingpong_sfm(args, w, h, link);
+        println!(
+            "{:<8} {:<50} {:<50} {:>9.1}%",
+            label,
+            ros.to_string(),
+            rossf.to_string(),
+            rossf.reduction_vs(&ros)
+        );
+    }
+    println!();
+    println!(
+        "note: divide the ping-pong latency by 2 for the approximate one-way \
+         latency (paper §5.2); paper reference: up to ~69.9% reduction at 6MB"
+    );
+}

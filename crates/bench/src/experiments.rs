@@ -1,0 +1,495 @@
+//! The experiment runners behind the harness binaries.
+//!
+//! Every runner follows the paper's measurement protocol (Fig. 12): the
+//! publisher stores the creation time inside the message, the (final)
+//! subscriber subtracts it from its arrival time, and each message is
+//! fully drained before the next is published (the paper's 10 Hz pacing
+//! guarantees the same).
+
+use crate::args::RunArgs;
+use crate::stats::Stats;
+use rossf_baselines::{Codec, WorkImage};
+use rossf_msg::sensor_msgs::{Image, SfmImage};
+use rossf_msg::std_msgs::Header;
+use rossf_ros::time::{now_nanos, RosTime};
+use rossf_ros::wire::{read_frame_len, write_frame};
+use rossf_ros::{LinkProfile, MachineId, Master, NodeHandle, Publisher};
+use rossf_sfm::{SfmBox, SfmShared};
+use rossf_slam::dataset::Sequence;
+use rossf_slam::pipeline::{
+    frame_to_plain, frame_to_sfm, spawn_plain, spawn_sfm, SlamConfig, SlamTopics,
+};
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn unique_topic(prefix: &str) -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!("{prefix}_{}", COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+
+/// Start-of-cell hygiene: return pooled SFM buffers to the system so one
+/// cell's allocator state cannot perturb the next (the pool is process-
+/// global; without this, a serialization-free cell's retained buffers
+/// measurably slow a following plain cell's large allocations).
+fn fresh_cell() {
+    rossf_sfm::drain_alloc_pool();
+}
+
+fn drain_one(rx: &mpsc::Receiver<u64>, what: &str) -> u64 {
+    rx.recv_timeout(RECV_TIMEOUT)
+        .unwrap_or_else(|e| panic!("{what}: message lost: {e}"))
+}
+
+/// Fig. 13, "ROS" series: ordinary messages over TCP loopback. Latency
+/// covers construction + serialization + transmission + de-serialization.
+pub fn intra_plain(args: RunArgs, width: u32, height: u32) -> Stats {
+    fresh_cell();
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "pub");
+    let topic = unique_topic("fig13_plain");
+    let publisher: Publisher<Image> = nh.advertise(&topic, 8);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe(&topic, 8, move |m: Arc<Image>| {
+        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let pixels = WorkImage::synthetic(width, height).data;
+    let mut lat = Vec::with_capacity(args.iters);
+    for seq in 0..args.iters {
+        let t0 = now_nanos();
+        // Fig. 3 construction pattern — the creation time goes inside.
+        let img = Image {
+            header: Header {
+                seq: seq as u32,
+                stamp: RosTime::from_nanos(t0),
+                frame_id: "camera".to_string(),
+            },
+            height,
+            width,
+            encoding: "rgb8".to_string(),
+            is_bigendian: 0,
+            step: width * 3,
+            data: pixels.clone(),
+        };
+        publisher.publish(&img);
+        lat.push(drain_one(&rx, "fig13 plain"));
+        std::thread::sleep(args.gap());
+    }
+    Stats::from_nanos(lat)
+}
+
+/// Fig. 13, "ROS-SF" series: the same code shape over serialization-free
+/// messages. Latency covers construction + transmission only.
+pub fn intra_sfm(args: RunArgs, width: u32, height: u32) -> Stats {
+    fresh_cell();
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "pub");
+    let topic = unique_topic("fig13_sfm");
+    let publisher: Publisher<SfmBox<SfmImage>> = nh.advertise(&topic, 8);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe(&topic, 8, move |m: SfmShared<SfmImage>| {
+        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let pixels = WorkImage::synthetic(width, height).data;
+    let mut lat = Vec::with_capacity(args.iters);
+    for seq in 0..args.iters {
+        let t0 = now_nanos();
+        // Identical statements — the transparency claim in action.
+        let mut img = SfmBox::<SfmImage>::new();
+        img.header.seq = seq as u32;
+        img.header.stamp = RosTime::from_nanos(t0);
+        img.header.frame_id.assign("camera");
+        img.height = height;
+        img.width = width;
+        img.encoding.assign("rgb8");
+        img.is_bigendian = 0;
+        img.step = width * 3;
+        img.data.assign(&pixels);
+        publisher.publish(&img);
+        lat.push(drain_one(&rx, "fig13 sfm"));
+        std::thread::sleep(args.gap());
+    }
+    Stats::from_nanos(lat)
+}
+
+/// Fig. 14: one codec over a bare TCP loopback pipe (identical transport
+/// for all six middleware; only construction/serialization/access
+/// differ).
+pub fn codec_latency<C: Codec>(args: RunArgs, width: u32, height: u32) -> Stats {
+    fresh_cell();
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let (tx, rx) = mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        stream.set_nodelay(true).ok();
+        let mut reader = std::io::BufReader::with_capacity(256 * 1024, stream);
+        while let Ok(Some(len)) = read_frame_len(&mut reader) {
+            let mut buf = vec![0u8; len];
+            if reader.read_exact(&mut buf).is_err() {
+                break;
+            }
+            let consumed = C::consume(&buf);
+            if tx
+                .send(now_nanos().saturating_sub(consumed.stamp_nanos))
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect loopback");
+    stream.set_nodelay(true).ok();
+    let mut src = WorkImage::synthetic(width, height);
+    let mut lat = Vec::with_capacity(args.iters);
+    for _ in 0..args.iters {
+        src.stamp_nanos = now_nanos();
+        let wire = C::make_wire(&src);
+        write_frame(&mut stream, &wire).expect("write frame");
+        lat.push(drain_one(&rx, C::NAME));
+        std::thread::sleep(args.gap());
+    }
+    drop(stream);
+    let _ = reader.join();
+    Stats::from_nanos(lat)
+}
+
+/// Fig. 16, "ROS" series: the ping-pong topology of Fig. 15 (`pub` and
+/// `sub` on machine A, `trans` on machine B) over a shaped link. The
+/// reported latency is the full round trip, as in the paper.
+pub fn pingpong_plain(args: RunArgs, width: u32, height: u32, link: LinkProfile) -> Stats {
+    fresh_cell();
+    let master = Master::new();
+    master.links().connect(MachineId::A, MachineId::B, link);
+    let nh_a = NodeHandle::new(&master, "machine_a");
+    let nh_b = NodeHandle::with_machine(&master, "trans", MachineId::B);
+    let t1 = unique_topic("fig16_plain_t1");
+    let t2 = unique_topic("fig16_plain_t2");
+
+    let pub1: Publisher<Image> = nh_a.advertise(&t1, 8);
+    let pub2: Publisher<Image> = nh_b.advertise(&t2, 8);
+    let pub2_cb = pub2.clone();
+    let _trans = nh_b.subscribe(&t1, 8, move |m: Arc<Image>| {
+        // "it creates another Image message, whose timestamp is set to be
+        // the same as the received message" — full reconstruction.
+        let reply = Image {
+            header: Header {
+                seq: m.header.seq,
+                stamp: m.header.stamp,
+                frame_id: "pong".to_string(),
+            },
+            height: m.height,
+            width: m.width,
+            encoding: m.encoding.clone(),
+            is_bigendian: 0,
+            step: m.step,
+            data: m.data.clone(),
+        };
+        pub2_cb.publish(&reply);
+    });
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh_a.subscribe(&t2, 8, move |m: Arc<Image>| {
+        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+    });
+    nh_a.wait_for_subscribers(&pub1, 1);
+    nh_b.wait_for_subscribers(&pub2, 1);
+
+    let pixels = WorkImage::synthetic(width, height).data;
+    let mut lat = Vec::with_capacity(args.iters);
+    for seq in 0..args.iters {
+        let t0 = now_nanos();
+        let img = Image {
+            header: Header {
+                seq: seq as u32,
+                stamp: RosTime::from_nanos(t0),
+                frame_id: "ping".to_string(),
+            },
+            height,
+            width,
+            encoding: "rgb8".to_string(),
+            is_bigendian: 0,
+            step: width * 3,
+            data: pixels.clone(),
+        };
+        pub1.publish(&img);
+        lat.push(drain_one(&rx, "fig16 plain"));
+        std::thread::sleep(args.gap());
+    }
+    Stats::from_nanos(lat)
+}
+
+/// Fig. 16, "ROS-SF" series.
+pub fn pingpong_sfm(args: RunArgs, width: u32, height: u32, link: LinkProfile) -> Stats {
+    fresh_cell();
+    let master = Master::new();
+    master.links().connect(MachineId::A, MachineId::B, link);
+    let nh_a = NodeHandle::new(&master, "machine_a");
+    let nh_b = NodeHandle::with_machine(&master, "trans", MachineId::B);
+    let t1 = unique_topic("fig16_sfm_t1");
+    let t2 = unique_topic("fig16_sfm_t2");
+
+    let pub1: Publisher<SfmBox<SfmImage>> = nh_a.advertise(&t1, 8);
+    let pub2: Publisher<SfmBox<SfmImage>> = nh_b.advertise(&t2, 8);
+    let pub2_cb = pub2.clone();
+    let _trans = nh_b.subscribe(&t1, 8, move |m: SfmShared<SfmImage>| {
+        let mut reply = SfmBox::<SfmImage>::new();
+        reply.header.seq = m.header.seq;
+        reply.header.stamp = m.header.stamp;
+        reply.header.frame_id.assign("pong");
+        reply.height = m.height;
+        reply.width = m.width;
+        reply.encoding.assign(m.encoding.as_str());
+        reply.step = m.step;
+        reply.data.assign(m.data.as_slice());
+        pub2_cb.publish(&reply);
+    });
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh_a.subscribe(&t2, 8, move |m: SfmShared<SfmImage>| {
+        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+    });
+    nh_a.wait_for_subscribers(&pub1, 1);
+    nh_b.wait_for_subscribers(&pub2, 1);
+
+    let pixels = WorkImage::synthetic(width, height).data;
+    let mut lat = Vec::with_capacity(args.iters);
+    for seq in 0..args.iters {
+        let t0 = now_nanos();
+        let mut img = SfmBox::<SfmImage>::new();
+        img.header.seq = seq as u32;
+        img.header.stamp = RosTime::from_nanos(t0);
+        img.header.frame_id.assign("ping");
+        img.height = height;
+        img.width = width;
+        img.encoding.assign("rgb8");
+        img.step = width * 3;
+        img.data.assign(&pixels);
+        pub1.publish(&img);
+        lat.push(drain_one(&rx, "fig16 sfm"));
+        std::thread::sleep(args.gap());
+    }
+    Stats::from_nanos(lat)
+}
+
+/// Latency sets measured by the three output subscribers of Fig. 17.
+#[derive(Debug, Clone)]
+pub struct SlamLatencies {
+    /// `sub_pose` (geometry_msgs/PoseStamped).
+    pub pose: Stats,
+    /// `sub_cloud` (sensor_msgs/PointCloud2).
+    pub cloud: Stats,
+    /// `sub_debug` (sensor_msgs/Image).
+    pub debug: Stats,
+}
+
+/// Which message family the SLAM topology runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Ordinary ROS messages.
+    Plain,
+    /// ROS-SF serialization-free messages.
+    Sfm,
+}
+
+/// Fig. 18: the five-node ORB-SLAM topology. `frame_size` lets tests run
+/// a downscaled sequence; the harness binary uses TUM's 640×480 and the
+/// calibrated 30–40 ms compute.
+pub fn slam_case_study(
+    args: RunArgs,
+    family: Family,
+    frame_size: (u32, u32),
+    compute: Duration,
+) -> SlamLatencies {
+    fresh_cell();
+    let (width, height) = frame_size;
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "slam_harness");
+    let topics = SlamTopics::with_prefix(&unique_topic("fig18"));
+    let seq = if frame_size == (640, 480) {
+        Sequence::tum_like(2022)
+    } else {
+        Sequence::with_resolution(2022, width, height, 2.0)
+    };
+    let config = SlamConfig {
+        min_frame_compute: compute,
+        threshold: 25,
+    };
+
+    let (pose_tx, pose_rx) = mpsc::channel();
+    let (cloud_tx, cloud_rx) = mpsc::channel();
+    let (debug_tx, debug_rx) = mpsc::channel();
+
+    // Keep family-specific handles alive for the duration of the run.
+    type PlainSubs = (
+        rossf_ros::Subscriber<Arc<rossf_msg::geometry_msgs::PoseStamped>>,
+        rossf_ros::Subscriber<Arc<rossf_msg::sensor_msgs::PointCloud2>>,
+        rossf_ros::Subscriber<Arc<Image>>,
+    );
+    type SfmSubs = (
+        rossf_ros::Subscriber<SfmShared<rossf_msg::geometry_msgs::SfmPoseStamped>>,
+        rossf_ros::Subscriber<SfmShared<rossf_msg::sensor_msgs::SfmPointCloud2>>,
+        rossf_ros::Subscriber<SfmShared<SfmImage>>,
+    );
+    enum Running {
+        Plain {
+            publisher: Publisher<Image>,
+            _node: rossf_slam::pipeline::OrbSlamNode<Arc<Image>>,
+            _subs: PlainSubs,
+        },
+        Sfm {
+            publisher: Publisher<SfmBox<SfmImage>>,
+            _node: rossf_slam::pipeline::OrbSlamNode<SfmShared<SfmImage>>,
+            _subs: SfmSubs,
+        },
+    }
+
+    let running = match family {
+        Family::Plain => {
+            let publisher: Publisher<Image> = nh.advertise(&topics.image, 8);
+            let node = spawn_plain(&nh, &topics, width, height, config);
+            let subs = (
+                nh.subscribe(&topics.pose, 8, move |m: Arc<rossf_msg::geometry_msgs::PoseStamped>| {
+                    let _ = pose_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                }),
+                nh.subscribe(&topics.cloud, 8, move |m: Arc<rossf_msg::sensor_msgs::PointCloud2>| {
+                    let _ = cloud_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                }),
+                nh.subscribe(&topics.debug, 8, move |m: Arc<Image>| {
+                    let _ = debug_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                }),
+            );
+            nh.wait_for_subscribers(&publisher, 1);
+            Running::Plain {
+                publisher,
+                _node: node,
+                _subs: subs,
+            }
+        }
+        Family::Sfm => {
+            let publisher: Publisher<SfmBox<SfmImage>> = nh.advertise(&topics.image, 8);
+            let node = spawn_sfm(&nh, &topics, width, height, config);
+            let subs = (
+                nh.subscribe(
+                    &topics.pose,
+                    8,
+                    move |m: SfmShared<rossf_msg::geometry_msgs::SfmPoseStamped>| {
+                        let _ =
+                            pose_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                    },
+                ),
+                nh.subscribe(
+                    &topics.cloud,
+                    8,
+                    move |m: SfmShared<rossf_msg::sensor_msgs::SfmPointCloud2>| {
+                        let _ =
+                            cloud_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                    },
+                ),
+                nh.subscribe(&topics.debug, 8, move |m: SfmShared<SfmImage>| {
+                    let _ = debug_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                }),
+            );
+            nh.wait_for_subscribers(&publisher, 1);
+            Running::Sfm {
+                publisher,
+                _node: node,
+                _subs: subs,
+            }
+        }
+    };
+    // Give the three output subscribers time to finish their handshakes
+    // (they join the slam node's publishers asynchronously).
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut pose_lat = Vec::with_capacity(args.iters);
+    let mut cloud_lat = Vec::with_capacity(args.iters);
+    let mut debug_lat = Vec::with_capacity(args.iters);
+    for i in 0..args.iters {
+        let frame = seq.frame(i);
+        let t0 = now_nanos();
+        match &running {
+            Running::Plain { publisher, .. } => {
+                publisher.publish(&frame_to_plain(&frame, RosTime::from_nanos(t0)));
+            }
+            Running::Sfm { publisher, .. } => {
+                publisher.publish(&frame_to_sfm(&frame, RosTime::from_nanos(t0)));
+            }
+        }
+        pose_lat.push(drain_one(&pose_rx, "fig18 pose"));
+        cloud_lat.push(drain_one(&cloud_rx, "fig18 cloud"));
+        debug_lat.push(drain_one(&debug_rx, "fig18 debug"));
+        std::thread::sleep(args.gap());
+    }
+    SlamLatencies {
+        pose: Stats::from_nanos(pose_lat),
+        cloud: Stats::from_nanos(cloud_lat),
+        debug: Stats::from_nanos(debug_lat),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossf_baselines::flatlite::FlatLiteCodec;
+    use rossf_baselines::protolite::ProtoCodec;
+    use rossf_baselines::roscodec::RosCodec;
+    use rossf_baselines::sfm_image::SfmCodec;
+
+    fn tiny() -> RunArgs {
+        RunArgs { iters: 5, hz: 0.0 }
+    }
+
+    #[test]
+    fn fig13_runners_produce_sane_latencies() {
+        let plain = intra_plain(tiny(), 32, 32);
+        let sfm = intra_sfm(tiny(), 32, 32);
+        assert_eq!(plain.n, 5);
+        assert_eq!(sfm.n, 5);
+        assert!(plain.mean_ms > 0.0 && plain.mean_ms < 1000.0);
+        assert!(sfm.mean_ms > 0.0 && sfm.mean_ms < 1000.0);
+    }
+
+    #[test]
+    fn fig14_codec_runner_works_for_each_family() {
+        assert_eq!(codec_latency::<RosCodec>(tiny(), 16, 16).n, 5);
+        assert_eq!(codec_latency::<SfmCodec>(tiny(), 16, 16).n, 5);
+        assert_eq!(codec_latency::<ProtoCodec>(tiny(), 16, 16).n, 5);
+        assert_eq!(codec_latency::<FlatLiteCodec>(tiny(), 16, 16).n, 5);
+    }
+
+    #[test]
+    fn fig16_pingpong_roundtrips() {
+        let link = LinkProfile {
+            bandwidth_bps: 1_000_000_000,
+            latency: Duration::from_micros(100),
+        };
+        let plain = pingpong_plain(tiny(), 32, 32, link);
+        let sfm = pingpong_sfm(tiny(), 32, 32, link);
+        assert_eq!(plain.n, 5);
+        assert_eq!(sfm.n, 5);
+        // Both pay the propagation latency twice.
+        assert!(plain.min_ms >= 0.2);
+        assert!(sfm.min_ms >= 0.2);
+    }
+
+    #[test]
+    fn fig18_slam_runner_both_families() {
+        let args = RunArgs { iters: 3, hz: 0.0 };
+        let plain = slam_case_study(args, Family::Plain, (96, 72), Duration::ZERO);
+        let sfm = slam_case_study(args, Family::Sfm, (96, 72), Duration::ZERO);
+        for s in [&plain.pose, &plain.cloud, &plain.debug, &sfm.pose, &sfm.cloud, &sfm.debug] {
+            assert_eq!(s.n, 3);
+            assert!(s.mean_ms > 0.0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # rossf-bench — the evaluation harness
+//!
+//! One binary per figure/table of the paper's §5 (see DESIGN.md's
+//! experiment index):
+//!
+//! | binary                 | reproduces |
+//! |------------------------|-----------|
+//! | `fig13_intra`          | Fig. 13 — intra-machine latency, ROS vs ROS-SF, 3 sizes |
+//! | `fig14_middleware`     | Fig. 14 — six middleware at 6 MB |
+//! | `fig16_inter`          | Fig. 16 — inter-machine ping-pong over a simulated 10 GbE link |
+//! | `fig18_slam`           | Fig. 18 — ORB-SLAM case-study latencies |
+//! | `table1_applicability` | Table 1 — assumption-violation census |
+//! | `link_sweep`           | §1 motivation — serialization share vs link speed |
+//!
+//! Each prints the same rows/series the paper reports. Run with
+//! `--release`; pass `--quick` for a fast smoke run or `--iters N` /
+//! `--hz F` to control the workload (the paper uses 2000 messages at
+//! 10 Hz).
+//!
+//! The library half hosts the shared experiment runners so the harness
+//! logic itself is unit-testable.
+
+#![deny(missing_docs)]
+
+pub mod args;
+pub mod experiments;
+pub mod stats;
+
+pub use args::RunArgs;
+pub use stats::Stats;

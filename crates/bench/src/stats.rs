@@ -1,0 +1,124 @@
+//! Latency statistics matching the paper's presentation (mean ± standard
+//! deviation, Figs. 13/14/16/18).
+
+use core::fmt;
+
+/// Summary of a latency sample set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Sample count.
+    pub n: usize,
+    /// Mean, milliseconds.
+    pub mean_ms: f64,
+    /// Standard deviation, milliseconds.
+    pub std_ms: f64,
+    /// Minimum, milliseconds.
+    pub min_ms: f64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
+    pub p95_ms: f64,
+    /// Maximum, milliseconds.
+    pub max_ms: f64,
+}
+
+impl Stats {
+    /// Summarize a set of latencies given in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set — an experiment that measured
+    /// nothing is a bug, not a statistic.
+    pub fn from_nanos(mut nanos: Vec<u64>) -> Stats {
+        assert!(!nanos.is_empty(), "no latency samples collected");
+        nanos.sort_unstable();
+        let n = nanos.len();
+        let to_ms = |v: u64| v as f64 / 1e6;
+        let mean = nanos.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let var = nanos
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let pct = |q: f64| {
+            let idx = ((n as f64 - 1.0) * q).round() as usize;
+            to_ms(nanos[idx])
+        };
+        Stats {
+            n,
+            mean_ms: mean / 1e6,
+            std_ms: var.sqrt() / 1e6,
+            min_ms: to_ms(nanos[0]),
+            p50_ms: pct(0.5),
+            p95_ms: pct(0.95),
+            max_ms: to_ms(nanos[n - 1]),
+        }
+    }
+
+    /// The paper's headline metric: percentage latency reduction of
+    /// `self` (the optimized system) relative to `baseline`.
+    pub fn reduction_vs(&self, baseline: &Stats) -> f64 {
+        if baseline.mean_ms <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.mean_ms / baseline.mean_ms) * 100.0
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:8.3} ± {:6.3} ms  (p50 {:7.3}, p95 {:7.3}, min {:7.3}, max {:7.3}, n={})",
+            self.mean_ms, self.std_ms, self.p50_ms, self.p95_ms, self.min_ms, self.max_ms, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Stats::from_nanos(vec![1_000_000, 2_000_000, 3_000_000]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean_ms - 2.0).abs() < 1e-9);
+        assert!((s.std_ms - (2.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.max_ms, 3.0);
+        assert_eq!(s.p50_ms, 2.0);
+    }
+
+    #[test]
+    fn reduction_matches_paper_formula() {
+        let ros = Stats::from_nanos(vec![100_000_000; 10]);
+        let rossf = Stats::from_nanos(vec![23_700_000; 10]);
+        // 76.3% — the paper's headline number.
+        assert!((rossf.reduction_vs(&ros) - 76.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_sample_is_fine() {
+        let s = Stats::from_nanos(vec![5_000_000]);
+        assert_eq!(s.mean_ms, 5.0);
+        assert_eq!(s.std_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no latency samples")]
+    fn empty_sample_panics() {
+        let _ = Stats::from_nanos(vec![]);
+    }
+
+    #[test]
+    fn display_contains_mean_and_n() {
+        let s = Stats::from_nanos(vec![1_500_000; 4]);
+        let text = s.to_string();
+        assert!(text.contains("1.500"));
+        assert!(text.contains("n=4"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Knowledge base: the message classes of the applicability study (§5.4,
+//! Table 1) and their string/vector field paths.
+
+/// Field-level schema for one message class, as the checker needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageClassInfo {
+    /// Fully qualified C++ name, e.g. `sensor_msgs::Image`.
+    pub cpp_name: &'static str,
+    /// ROS type name, e.g. `sensor_msgs/Image` (Table 1 row label).
+    pub ros_name: &'static str,
+    /// Field paths that are `std::string` (One-Shot String Assignment
+    /// applies). Paths are dotted from the message root.
+    pub string_fields: &'static [&'static str],
+    /// Field paths that are `std::vector` (One-Shot Vector Resizing and
+    /// No Modifier apply).
+    pub vector_fields: &'static [&'static str],
+}
+
+/// The five message classes studied in Table 1.
+pub const MESSAGE_CLASSES: &[MessageClassInfo] = &[
+    MessageClassInfo {
+        cpp_name: "sensor_msgs::Image",
+        ros_name: "sensor_msgs/Image",
+        string_fields: &["header.frame_id", "encoding"],
+        vector_fields: &["data"],
+    },
+    MessageClassInfo {
+        cpp_name: "sensor_msgs::CompressedImage",
+        ros_name: "sensor_msgs/CompressedImage",
+        string_fields: &["header.frame_id", "format"],
+        vector_fields: &["data"],
+    },
+    MessageClassInfo {
+        cpp_name: "sensor_msgs::PointCloud",
+        ros_name: "sensor_msgs/PointCloud",
+        string_fields: &["header.frame_id"],
+        vector_fields: &["points", "channels"],
+    },
+    MessageClassInfo {
+        cpp_name: "sensor_msgs::PointCloud2",
+        ros_name: "sensor_msgs/PointCloud2",
+        string_fields: &["header.frame_id"],
+        vector_fields: &["fields", "data"],
+    },
+    MessageClassInfo {
+        cpp_name: "sensor_msgs::LaserScan",
+        ros_name: "sensor_msgs/LaserScan",
+        string_fields: &["header.frame_id"],
+        vector_fields: &["ranges", "intensities"],
+    },
+];
+
+/// Look up a class by its C++ name.
+pub fn class_by_cpp(name: &str) -> Option<&'static MessageClassInfo> {
+    MESSAGE_CLASSES.iter().find(|c| c.cpp_name == name)
+}
+
+/// Classes embedded inside other messages the checker must see through:
+/// `stereo_msgs::DisparityImage::image` is a `sensor_msgs::Image` (the
+/// paper's Fig. 20 failure case reaches an Image through this path).
+pub const EMBEDDED_MESSAGE_FIELDS: &[(&str, &str, &str)] = &[(
+    "stereo_msgs::DisparityImage",
+    "image",
+    "sensor_msgs::Image",
+)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_table1_classes_present() {
+        assert_eq!(MESSAGE_CLASSES.len(), 5);
+        for c in MESSAGE_CLASSES {
+            assert!(c.cpp_name.starts_with("sensor_msgs::"));
+            assert!(c.string_fields.contains(&"header.frame_id"));
+            assert!(!c.vector_fields.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_cpp_name() {
+        assert_eq!(
+            class_by_cpp("sensor_msgs::Image").unwrap().ros_name,
+            "sensor_msgs/Image"
+        );
+        assert!(class_by_cpp("nope::Nope").is_none());
+    }
+}

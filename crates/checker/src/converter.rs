@@ -1,0 +1,147 @@
+//! Stack-to-heap conversion — the transformation half of the ROS-SF
+//! Converter (§4.3.2, Fig. 11).
+//!
+//! Serialization-free messages must live on the heap so the message
+//! manager can own their life cycle. The paper's converter rewrites every
+//! message declared as a local variable:
+//!
+//! ```text
+//! Image img;            →    std::shared_ptr<Image> ptmp_img(new Image);
+//!                            Image & img = *ptmp_img;
+//! ```
+//!
+//! Subsequent statements need no change because variable and reference
+//! share the same syntax, and the smart pointer's scope matches the
+//! original local's.
+
+use crate::classes::MESSAGE_CLASSES;
+
+/// What the conversion did to one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConversionReport {
+    /// The rewritten source.
+    pub source: String,
+    /// 1-based lines (in the *original* source) that declared stack
+    /// messages and were rewritten.
+    pub converted_lines: Vec<usize>,
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Try to interpret `line` as a plain stack declaration `Class var;` of a
+/// studied message class; return `(class, var, indent)`.
+fn stack_declaration(line: &str) -> Option<(&'static str, &str, &str)> {
+    let indent_len = line.len() - line.trim_start().len();
+    let (indent, body) = line.split_at(indent_len);
+    for info in MESSAGE_CLASSES {
+        let Some(rest) = body.strip_prefix(info.cpp_name) else {
+            continue;
+        };
+        // `Class::Ptr p` and `Class& r` are already heap/alias forms.
+        let rest = rest.strip_prefix(' ').unwrap_or(rest);
+        let rest = rest.trim_start();
+        let ident_len = rest.bytes().take_while(|&c| is_ident_char(c)).count();
+        if ident_len == 0 {
+            continue;
+        }
+        let var = &rest[..ident_len];
+        let tail = rest[ident_len..].trim();
+        if tail == ";" {
+            return Some((info.cpp_name, var, indent));
+        }
+    }
+    None
+}
+
+/// Rewrite every stack-allocated message local to a heap allocation
+/// (Fig. 11). Only the declaration line changes.
+pub fn convert_stack_to_heap(source: &str) -> ConversionReport {
+    let mut out = String::with_capacity(source.len() + 128);
+    let mut converted_lines = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        if let Some((class, var, indent)) = stack_declaration(line) {
+            converted_lines.push(idx + 1);
+            out.push_str(&format!(
+                "{indent}std::shared_ptr<{class}> ptmp_{var}(new {class});\n\
+                 {indent}{class} & {var} = *ptmp_{var};\n"
+            ));
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    ConversionReport {
+        source: out,
+        converted_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_rewrite() {
+        // The paper's Fig. 11, with the studied class name.
+        let before = r#"sensor_msgs::Image img;
+img.encoding = "8UC3";
+img.height = 10;
+img.width = 10;
+img.data.resize(10 * 10 * 3);
+pub.publish(img);
+"#;
+        let report = convert_stack_to_heap(before);
+        assert_eq!(report.converted_lines, vec![1]);
+        assert!(report.source.starts_with(
+            "std::shared_ptr<sensor_msgs::Image> ptmp_img(new sensor_msgs::Image);\n\
+             sensor_msgs::Image & img = *ptmp_img;\n"
+        ));
+        // Following statements are untouched.
+        assert!(report.source.contains("img.encoding = \"8UC3\";"));
+        assert!(report.source.contains("pub.publish(img);"));
+    }
+
+    #[test]
+    fn indentation_preserved() {
+        let report = convert_stack_to_heap("    sensor_msgs::LaserScan scan;\n");
+        assert!(report
+            .source
+            .starts_with("    std::shared_ptr<sensor_msgs::LaserScan> ptmp_scan"));
+        assert!(report.source.contains("\n    sensor_msgs::LaserScan & scan"));
+    }
+
+    #[test]
+    fn non_stack_forms_untouched() {
+        for line in [
+            "sensor_msgs::Image::Ptr p = f();",
+            "sensor_msgs::Image& r = other.image;",
+            "void g(sensor_msgs::Image& img);",
+            "sensor_msgs::Image img = other;",
+            "int x;",
+        ] {
+            let report = convert_stack_to_heap(line);
+            assert!(report.converted_lines.is_empty(), "should not touch: {line}");
+            assert_eq!(report.source.trim_end(), line);
+        }
+    }
+
+    #[test]
+    fn converted_source_stays_applicable() {
+        // The conversion must not introduce assumption violations.
+        let before = "sensor_msgs::Image img;\nimg.encoding = \"rgb8\";\nimg.data.resize(4);\n";
+        let report = convert_stack_to_heap(before);
+        let after = crate::analyze_source("converted.cpp", &report.source);
+        assert!(after.violations.is_empty(), "{:?}", after.violations);
+    }
+
+    #[test]
+    fn multiple_declarations_all_converted() {
+        let src = "sensor_msgs::Image a;\nint between;\nsensor_msgs::PointCloud b;\n";
+        let report = convert_stack_to_heap(src);
+        assert_eq!(report.converted_lines, vec![1, 3]);
+        assert!(report.source.contains("ptmp_a"));
+        assert!(report.source.contains("ptmp_b"));
+    }
+}

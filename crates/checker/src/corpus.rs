@@ -1,0 +1,554 @@
+//! The applicability-study corpus (§5.4).
+//!
+//! The paper manually checked 125 official ROS packages (486 source
+//! files); those sources are not redistributable here, so this module
+//! generates a synthetic corpus whose *per-class violation structure
+//! matches Table 1 exactly*: the same number of files per message class,
+//! the same number of files violating each assumption, with overlaps
+//! arranged so the column sums work out. The violation idioms are the
+//! paper's own three failure patterns (Figs. 19–21), which appear verbatim
+//! as the first files of their classes; the remaining files are
+//! programmatic variations of realistic ROS publisher/filter/driver code.
+//!
+//! The checker is *not* told the labels: `GroundTruth` exists so tests can
+//! verify the analyzer independently re-derives every classification.
+
+use crate::classes::MessageClassInfo;
+
+/// Expected classification of one corpus file for its message class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// ROS name of the class the file exercises.
+    pub class: &'static str,
+    /// File contains a string reassignment.
+    pub string_reassign: bool,
+    /// File contains a vector multi-resize (or unknown-state resize).
+    pub vector_multi_resize: bool,
+    /// File calls a modifier method.
+    pub other_method: bool,
+}
+
+impl GroundTruth {
+    /// Applicable = no violation of any kind.
+    pub fn applicable(&self) -> bool {
+        !self.string_reassign && !self.vector_multi_resize && !self.other_method
+    }
+}
+
+/// One file of the corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusFile {
+    /// File name (unique within the corpus).
+    pub name: String,
+    /// C++-style source text.
+    pub source: String,
+    /// Expected classification.
+    pub truth: GroundTruth,
+}
+
+// === Template snippets =====================================================
+
+fn image_applicable(i: usize) -> String {
+    match i % 3 {
+        0 => format!(
+            r#"#include <sensor_msgs/Image.h>
+// Camera driver {i}: grab a frame and publish it once per tick.
+void publishFrame_{i}(ros::Publisher& pub) {{
+    sensor_msgs::Image img;
+    img.header.frame_id = "camera_{i}";
+    img.header.stamp = ros::Time::now();
+    img.encoding = "rgb8";
+    img.height = 48{i};
+    img.width = 640;
+    img.step = img.width * 3;
+    img.data.resize(img.step * img.height);
+    grabPixels(img.data.begin(), img.data.end());
+    pub.publish(img);
+}}
+"#
+        ),
+        1 => format!(
+            r#"#include <sensor_msgs/Image.h>
+// Nodelet {i}: allocate shared and publish without copying.
+void process_{i}(ros::Publisher& pub) {{
+    sensor_msgs::Image::Ptr img = boost::make_shared<sensor_msgs::Image>();
+    img->header.frame_id = "optical_frame";
+    img->encoding = "mono8";
+    img->height = 480;
+    img->width = 640;
+    img->step = 640;
+    img->data.resize(img->step * img->height);
+    pub.publish(img);
+}}
+"#
+        ),
+        _ => format!(
+            r#"#include <sensor_msgs/Image.h>
+// Read-only consumer {i}: inspects a received frame.
+void imageCallback_{i}(const sensor_msgs::Image::ConstPtr& msg) {{
+    if (msg->encoding == "rgb8") {{
+        stats_.record(msg->width, msg->height);
+    }}
+    render(msg->data);
+}}
+"#
+        ),
+    }
+}
+
+/// The paper's Fig. 19 failure case, structurally verbatim.
+fn image_fig19() -> String {
+    r#"// ros-perception/image_pipeline: image_rotate_nodelet.cpp (lines 218-220)
+void do_work(const sensor_msgs::ImageConstPtr& msg, cv::Mat& out_image) {
+    sensor_msgs::Image::Ptr out_img = cv_bridge::CvImage(msg->header, msg->encoding, out_image).toImageMsg();
+    out_img->header.frame_id = transform.child_frame_id;
+    img_pub_.publish(out_img);
+}
+"#
+    .to_string()
+}
+
+fn image_string_reassign(i: usize) -> String {
+    if i == 0 {
+        return image_fig19();
+    }
+    format!(
+        r#"#include <sensor_msgs/Image.h>
+// Republisher {i}: converts then re-stamps the frame id (double write).
+void republish_{i}(const sensor_msgs::ImageConstPtr& msg) {{
+    sensor_msgs::Image::Ptr out = cv_bridge::CvImage(msg->header, msg->encoding, buffer_).toImageMsg();
+    out->header.frame_id = target_frame_{i}_;
+    pub_.publish(out);
+}}
+"#
+    )
+}
+
+fn image_vector_resize(i: usize) -> String {
+    if i.is_multiple_of(2) {
+        format!(
+            r#"#include <sensor_msgs/Image.h>
+// Resizer {i}: shrinks after filling (second resize).
+void crop_{i}(ros::Publisher& pub) {{
+    sensor_msgs::Image img;
+    img.encoding = "rgb8";
+    img.width = 640;
+    img.height = 480;
+    img.data.resize(640 * 480 * 3);
+    fill(img.data);
+    img.data.resize(croppedSize_{i}());
+    pub.publish(img);
+}}
+"#
+        )
+    } else {
+        format!(
+            r#"#include <sensor_msgs/Image.h>
+// Library helper {i}: fills an output image supplied by the caller
+// (unknown prior state: the caller may pass a resized message).
+void renderInto_{i}(sensor_msgs::Image& img) {{
+    img.data.resize(img.step * img.height);
+    rasterize(img.data);
+}}
+"#
+        )
+    }
+}
+
+/// Fig. 19 + Fig. 20-style combination in one translation unit.
+fn image_both(i: usize) -> String {
+    format!(
+        r#"#include <sensor_msgs/Image.h>
+// Filter {i}: converts, re-stamps, and re-sizes.
+void filter_{i}(const sensor_msgs::ImageConstPtr& msg) {{
+    sensor_msgs::Image::Ptr out = cv_bridge::CvImage(msg->header, msg->encoding, scratch_).toImageMsg();
+    out->header.frame_id = output_frame_;
+    out->data.resize(msg->width * msg->height);
+    pub_.publish(out);
+}}
+"#
+    )
+}
+
+fn compressed_applicable(i: usize) -> String {
+    format!(
+        r#"#include <sensor_msgs/CompressedImage.h>
+// Encoder {i}: one-shot construction of a jpeg blob.
+void encode_{i}(ros::Publisher& pub, const Buffer& jpeg) {{
+    sensor_msgs::CompressedImage msg;
+    msg.header.frame_id = "camera";
+    msg.format = "jpeg";
+    msg.data.resize(jpeg.size());
+    copyBytes(jpeg, msg.data);
+    pub.publish(msg);
+}}
+"#
+    )
+}
+
+fn compressed_both(i: usize) -> String {
+    format!(
+        r#"#include <sensor_msgs/CompressedImage.h>
+// Transcoder {i}: swaps format after compression and re-sizes the blob.
+void transcode_{i}(ros::Publisher& pub) {{
+    sensor_msgs::CompressedImage msg;
+    msg.format = "png";
+    msg.data.resize(estimate_{i}());
+    compressInto(msg.data);
+    msg.format = "jpeg";
+    msg.data.resize(actualSize_());
+    pub.publish(msg);
+}}
+"#
+    )
+}
+
+/// The paper's Fig. 21 failure case (PointCloud + push_back).
+fn pointcloud_fig21() -> String {
+    r#"// ros-perception/image_pipeline: libstereo_image_proc/processor.cpp (lines 147-164)
+void StereoProcessor::processPoints(const cv::Mat& dense_points_, sensor_msgs::PointCloud& points) const {
+    points.points.resize(0);
+    for (int32_t u = 0; u < dense_points_.rows; ++u) {
+        for (int32_t v = 0; v < dense_points_.cols; ++v) {
+            if (isValidPoint(dense_points_(u,v))) {
+                geometry_msgs::Point32 pt;
+                points.points.push_back(pt);
+            }
+        }
+    }
+}
+"#
+    .to_string()
+}
+
+fn pointcloud_file(i: usize, sr: bool, vmr: bool, om: bool) -> String {
+    if om && vmr && !sr {
+        return pointcloud_fig21()
+            + "// plus a second sizing pass\nvoid shrink(sensor_msgs::PointCloud& points) { points.points.resize(kept_); }\n";
+    }
+    let mut body = format!(
+        r#"#include <sensor_msgs/PointCloud.h>
+// Aggregator {i}: collects scan hits into a legacy cloud.
+void aggregate_{i}(ros::Publisher& pub) {{
+    sensor_msgs::PointCloud cloud;
+    cloud.header.frame_id = "base_scan";
+    cloud.points.resize(limit_{i}());
+"#
+    );
+    if sr {
+        body.push_str("    cloud.header.frame_id = tf_resolved_frame_;\n");
+    }
+    if vmr {
+        body.push_str("    cloud.points.resize(actualCount_());\n");
+    }
+    if om {
+        body.push_str("    cloud.channels.push_back(intensityChannel_);\n");
+    }
+    body.push_str("    pub.publish(cloud);\n}\n");
+    body
+}
+
+fn pointcloud2_file(i: usize, sr: bool, vmr: bool, om: bool) -> String {
+    if om && !sr && !vmr {
+        return format!(
+            r#"#include <sensor_msgs/PointCloud2.h>
+// Field builder {i}: describes the point record incrementally.
+void describe_{i}(sensor_msgs::PointCloud2& cloud) {{
+    sensor_msgs::PointField field;
+    cloud.fields.push_back(field);
+    cloud.fields.push_back(field);
+}}
+"#
+        );
+    }
+    let mut body = format!(
+        r#"#include <sensor_msgs/PointCloud2.h>
+// Converter {i}: packs a depth frame into PointCloud2.
+void convert_{i}(ros::Publisher& pub) {{
+    sensor_msgs::PointCloud2 cloud;
+    cloud.header.frame_id = "depth_optical";
+    cloud.point_step = 16;
+    cloud.data.resize(cloud.point_step * count_{i}());
+"#
+    );
+    if sr {
+        body.push_str("    cloud.header.frame_id = remapped_frame_;\n");
+    }
+    if vmr {
+        body.push_str("    cloud.data.resize(trimmedBytes_());\n");
+    }
+    if om {
+        body.push_str("    cloud.fields.push_back(xField_);\n");
+    }
+    body.push_str("    pub.publish(cloud);\n}\n");
+    body
+}
+
+fn pointcloud2_applicable(i: usize) -> String {
+    format!(
+        r#"#include <sensor_msgs/PointCloud2.h>
+// Pass-through {i}: publishes a pre-built cloud untouched.
+void relay_{i}(const sensor_msgs::PointCloud2::ConstPtr& msg, ros::Publisher& pub) {{
+    if (msg->width == 0) return;
+    pub.publish(msg);
+}}
+"#
+    )
+}
+
+fn laser_file(i: usize, sr: bool, vmr: bool, om: bool) -> String {
+    let mut body = format!(
+        r#"#include <sensor_msgs/LaserScan.h>
+// Scan filter {i}: range-limits a scan.
+void filterScan_{i}(ros::Publisher& pub) {{
+    sensor_msgs::LaserScan scan;
+    scan.header.frame_id = "laser";
+    scan.angle_min = -1.57;
+    scan.angle_max = 1.57;
+    scan.ranges.resize(samples_{i}());
+"#
+    );
+    if sr {
+        body.push_str("    scan.header.frame_id = mounted_frame_;\n");
+    }
+    if vmr {
+        body.push_str("    scan.ranges.resize(decimated_());\n");
+    }
+    if om {
+        body.push_str("    scan.intensities.push_back(1.0f);\n");
+    }
+    body.push_str("    pub.publish(scan);\n}\n");
+    body
+}
+
+fn laser_applicable(i: usize) -> String {
+    format!(
+        r#"#include <sensor_msgs/LaserScan.h>
+// Driver {i}: one-shot scan construction.
+void publishScan_{i}(ros::Publisher& pub) {{
+    sensor_msgs::LaserScan scan;
+    scan.header.frame_id = "laser";
+    scan.angle_increment = 0.01;
+    scan.ranges.resize(314);
+    scan.intensities.resize(314);
+    readRanges(scan.ranges);
+    pub.publish(scan);
+}}
+"#
+    )
+}
+
+// === Corpus assembly =======================================================
+
+struct Plan {
+    class: &'static str,
+    prefix: &'static str,
+    /// (string_reassign, vector_multi_resize, other_method) per bad file.
+    bad: Vec<(bool, bool, bool)>,
+    applicable_count: usize,
+}
+
+fn plans() -> Vec<Plan> {
+    vec![
+        // Image: 49 total = 40 applicable, 8 SR, 6 VMR, 0 OM
+        // (5 files with both SR+VMR, 3 SR-only, 1 VMR-only → 9 bad).
+        Plan {
+            class: "sensor_msgs/Image",
+            prefix: "image",
+            bad: {
+                let mut v = vec![(true, false, false); 3]; // i==0 is Fig. 19
+                v.extend(vec![(true, true, false); 5]);
+                v.push((false, true, false));
+                v
+            },
+            applicable_count: 40,
+        },
+        // CompressedImage: 7 total = 2 applicable, 5 SR, 5 VMR, 0 OM.
+        Plan {
+            class: "sensor_msgs/CompressedImage",
+            prefix: "compressed",
+            bad: vec![(true, true, false); 5],
+            applicable_count: 2,
+        },
+        // PointCloud: 14 total = 0 applicable, 13 SR, 12 VMR, 2 OM.
+        Plan {
+            class: "sensor_msgs/PointCloud",
+            prefix: "pointcloud",
+            bad: {
+                let mut v = vec![(true, true, false); 11];
+                v.push((true, false, true));
+                v.push((true, false, false));
+                v.push((false, true, true)); // the Fig. 21 file
+                v
+            },
+            applicable_count: 0,
+        },
+        // PointCloud2: 15 total = 1 applicable, 7 SR, 7 VMR, 8 OM.
+        Plan {
+            class: "sensor_msgs/PointCloud2",
+            prefix: "pointcloud2",
+            bad: {
+                let mut v = vec![(true, true, true)];
+                v.extend(vec![(true, true, false); 6]);
+                v.extend(vec![(false, false, true); 7]);
+                v
+            },
+            applicable_count: 1,
+        },
+        // LaserScan: 18 total = 5 applicable, 13 SR, 12 VMR, 1 OM.
+        Plan {
+            class: "sensor_msgs/LaserScan",
+            prefix: "laserscan",
+            bad: {
+                let mut v = vec![(true, true, false); 12];
+                v.push((true, false, true));
+                v
+            },
+            applicable_count: 5,
+        },
+    ]
+}
+
+fn render(class: &str, idx: usize, sr: bool, vmr: bool, om: bool) -> String {
+    match class {
+        "sensor_msgs/Image" => match (sr, vmr) {
+            (true, true) => image_both(idx),
+            (true, false) => image_string_reassign(idx),
+            (false, true) => image_vector_resize(idx),
+            (false, false) => image_applicable(idx),
+        },
+        "sensor_msgs/CompressedImage" => {
+            if sr || vmr {
+                compressed_both(idx)
+            } else {
+                compressed_applicable(idx)
+            }
+        }
+        "sensor_msgs/PointCloud" => pointcloud_file(idx, sr, vmr, om),
+        "sensor_msgs/PointCloud2" => {
+            if sr || vmr || om {
+                pointcloud2_file(idx, sr, vmr, om)
+            } else {
+                pointcloud2_applicable(idx)
+            }
+        }
+        "sensor_msgs/LaserScan" => {
+            if sr || vmr || om {
+                laser_file(idx, sr, vmr, om)
+            } else {
+                laser_applicable(idx)
+            }
+        }
+        other => unreachable!("unknown class {other}"),
+    }
+}
+
+/// Build the full corpus: 103 files whose per-class totals and violation
+/// counts match the paper's Table 1.
+pub fn corpus() -> Vec<CorpusFile> {
+    let mut files = Vec::new();
+    for plan in plans() {
+        for (i, &(sr, vmr, om)) in plan.bad.iter().enumerate() {
+            files.push(CorpusFile {
+                name: format!("{}_{:02}_bad.cpp", plan.prefix, i),
+                source: render(plan.class, i, sr, vmr, om),
+                truth: GroundTruth {
+                    class: plan.class,
+                    string_reassign: sr,
+                    vector_multi_resize: vmr,
+                    other_method: om,
+                },
+            });
+        }
+        for i in 0..plan.applicable_count {
+            files.push(CorpusFile {
+                name: format!("{}_{:02}_ok.cpp", plan.prefix, i),
+                source: render(plan.class, i, false, false, false),
+                truth: GroundTruth {
+                    class: plan.class,
+                    string_reassign: false,
+                    vector_multi_resize: false,
+                    other_method: false,
+                },
+            });
+        }
+    }
+    files
+}
+
+/// Per-class totals the corpus is built to (mirrors Table 1's "Total"
+/// column): `(ros_name, total_files)`.
+pub fn class_totals(info: &MessageClassInfo) -> usize {
+    match info.ros_name {
+        "sensor_msgs/Image" => 49,
+        "sensor_msgs/CompressedImage" => 7,
+        "sensor_msgs/PointCloud" => 14,
+        "sensor_msgs/PointCloud2" => 15,
+        "sensor_msgs/LaserScan" => 18,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::MESSAGE_CLASSES;
+
+    #[test]
+    fn corpus_has_103_files_with_expected_totals() {
+        let files = corpus();
+        assert_eq!(files.len(), 49 + 7 + 14 + 15 + 18);
+        for info in MESSAGE_CLASSES {
+            let n = files.iter().filter(|f| f.truth.class == info.ros_name).count();
+            assert_eq!(n, class_totals(info), "{}", info.ros_name);
+        }
+        // Names unique.
+        let mut names: Vec<_> = files.iter().map(|f| f.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), files.len());
+    }
+
+    #[test]
+    fn checker_rederives_every_ground_truth_label() {
+        use crate::analyzer::{analyze_file, ViolationKind};
+        for file in corpus() {
+            let report = analyze_file(&file);
+            assert!(
+                report.uses_class(file.truth.class),
+                "{}: class not detected",
+                file.name
+            );
+            let sr = !report
+                .violations_of(ViolationKind::StringReassignment)
+                .is_empty();
+            let vmr = !report
+                .violations_of(ViolationKind::VectorMultiResize)
+                .is_empty();
+            let om = !report.violations_of(ViolationKind::OtherMethod).is_empty();
+            assert_eq!(
+                (sr, vmr, om),
+                (
+                    file.truth.string_reassign,
+                    file.truth.vector_multi_resize,
+                    file.truth.other_method
+                ),
+                "{}:\n{}\nviolations: {:#?}",
+                file.name,
+                file.source,
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn paper_failure_cases_present_verbatim() {
+        let files = corpus();
+        assert!(files
+            .iter()
+            .any(|f| f.source.contains("image_rotate_nodelet.cpp")));
+        assert!(files
+            .iter()
+            .any(|f| f.source.contains("points.points.push_back(pt)")));
+    }
+}

@@ -1,0 +1,49 @@
+//! # rossf-checker — the ROS-SF Converter's analysis, and Table 1
+//!
+//! The paper's ROS-SF Converter is an LLVM pass with two jobs (§4.3.2,
+//! §5.4):
+//!
+//! 1. **Convert** stack-allocated message locals to heap allocations
+//!    (Fig. 11) so every serialization-free message lives in a managed
+//!    heap region — [`convert_stack_to_heap`].
+//! 2. **Check** developer code against the three SFM usage assumptions,
+//!    prompting on violations — [`analyze_file`] classifies every use of a
+//!    message variable as conforming or as one of the three violation
+//!    kinds (*String Reassignment*, *Vector Multi-Resize*, *Other
+//!    Methods*).
+//!
+//! In the Rust reproduction the conversion job is subsumed by the type
+//! system (`SfmBox` is the only way to construct an SFM message), so this
+//! crate operates — like the paper's applicability study — on **C++-style
+//! ROS package sources**. [`corpus`] ships a synthetic corpus modeled on
+//! the 125 official packages of §5.4 (including the paper's three verbatim
+//! failure cases, Figs. 19–21), and [`applicability_table`] reproduces the
+//! structure of Table 1 over it.
+//!
+//! ```
+//! use rossf_checker::{analyze_source, ViolationKind};
+//!
+//! let report = analyze_source("demo.cpp", r#"
+//!     sensor_msgs::Image img;
+//!     img.encoding = "rgb8";
+//!     img.data.resize(100);
+//!     img.encoding = "mono8";   // second assignment!
+//! "#);
+//! let hits = report.violations_of(ViolationKind::StringReassignment);
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].line, 5);
+//! ```
+
+#![deny(missing_docs)]
+
+mod analyzer;
+mod classes;
+mod converter;
+pub mod corpus;
+mod table;
+
+pub use analyzer::{analyze_file, analyze_source, FileReport, UseSite, Violation, ViolationKind};
+pub use classes::{MessageClassInfo, EMBEDDED_MESSAGE_FIELDS, MESSAGE_CLASSES};
+pub use converter::{convert_stack_to_heap, ConversionReport};
+pub use corpus::{CorpusFile, GroundTruth};
+pub use table::{applicability_table, Table1, Table1Row};

@@ -1,0 +1,158 @@
+//! Alerts for violations of the SFM usage assumptions (§4.3.3, §5.4).
+//!
+//! The paper enforces three assumptions on code that uses serialization-free
+//! messages. The *No Modifier* assumption is enforced at compile time (the
+//! modifier methods do not exist). The two *one-shot* assumptions are
+//! enforced at run time by "raising an alert"; this module implements the
+//! alert channel with a process-wide, configurable policy so that tests and
+//! the applicability study can observe violations without aborting.
+
+use core::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Which usage assumption was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertKind {
+    /// A [`SfmString`](crate::SfmString) was assigned more than once
+    /// (Assumption 1, "One-Shot String Assignment").
+    OneShotStringAssignment,
+    /// A [`SfmVec`](crate::SfmVec) was resized more than once
+    /// (Assumption 2, "One-Shot Vector Resizing").
+    OneShotVectorResizing,
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlertKind::OneShotStringAssignment => {
+                write!(f, "string reassigned (One-Shot String Assignment)")
+            }
+            AlertKind::OneShotVectorResizing => {
+                write!(f, "vector resized twice (One-Shot Vector Resizing)")
+            }
+        }
+    }
+}
+
+/// What to do when an assumption is violated.
+///
+/// The paper "raises an alert" and expects the developer to rewrite the code
+/// (§5.4 shows the rewrites). Three behaviours are useful in practice:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlertPolicy {
+    /// Panic with a diagnostic (development default — loud and early).
+    #[default]
+    Panic,
+    /// Print to stderr, count, and *continue*: the operation is still
+    /// performed by appending fresh content space, leaking the old region
+    /// inside the message (correct but wasteful — exactly the trade-off the
+    /// paper describes for string reassignment).
+    Warn,
+    /// Silently count and continue. Used by the applicability harness to
+    /// census violations over a whole run.
+    Count,
+}
+
+static POLICY: AtomicU8 = AtomicU8::new(0); // 0=Panic 1=Warn 2=Count
+static STRING_ALERTS: AtomicU64 = AtomicU64::new(0);
+static VECTOR_ALERTS: AtomicU64 = AtomicU64::new(0);
+
+/// Set the process-wide alert policy. Returns the previous policy.
+pub fn set_alert_policy(policy: AlertPolicy) -> AlertPolicy {
+    let raw = match policy {
+        AlertPolicy::Panic => 0,
+        AlertPolicy::Warn => 1,
+        AlertPolicy::Count => 2,
+    };
+    match POLICY.swap(raw, Ordering::SeqCst) {
+        0 => AlertPolicy::Panic,
+        1 => AlertPolicy::Warn,
+        _ => AlertPolicy::Count,
+    }
+}
+
+fn current_policy() -> AlertPolicy {
+    match POLICY.load(Ordering::SeqCst) {
+        0 => AlertPolicy::Panic,
+        1 => AlertPolicy::Warn,
+        _ => AlertPolicy::Count,
+    }
+}
+
+/// Numbers of alerts raised since the last [`reset_alert_counts`], as
+/// `(string_reassignments, vector_multi_resizes)`.
+pub fn alert_counts() -> (u64, u64) {
+    (
+        STRING_ALERTS.load(Ordering::SeqCst),
+        VECTOR_ALERTS.load(Ordering::SeqCst),
+    )
+}
+
+/// Reset both alert counters to zero.
+pub fn reset_alert_counts() {
+    STRING_ALERTS.store(0, Ordering::SeqCst);
+    VECTOR_ALERTS.store(0, Ordering::SeqCst);
+}
+
+/// Raise an alert for `kind` on behalf of message type `type_name`.
+///
+/// # Panics
+///
+/// Panics when the active policy is [`AlertPolicy::Panic`].
+pub(crate) fn raise(kind: AlertKind, type_name: &str) {
+    match kind {
+        AlertKind::OneShotStringAssignment => {
+            STRING_ALERTS.fetch_add(1, Ordering::SeqCst);
+        }
+        AlertKind::OneShotVectorResizing => {
+            VECTOR_ALERTS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    match current_policy() {
+        AlertPolicy::Panic => panic!("ROS-SF alert in `{type_name}`: {kind}"),
+        AlertPolicy::Warn => eprintln!("ROS-SF alert in `{type_name}`: {kind}"),
+        AlertPolicy::Count => {}
+    }
+}
+
+/// Serializes tests that mutate the process-global alert policy/counters.
+#[cfg(test)]
+pub(crate) fn test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    LOCK.lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: policy is process-global; tests here only exercise the counting
+    // policy to stay independent of test ordering.
+    #[test]
+    fn counting_policy_counts() {
+        let _g = test_guard();
+        let prev = set_alert_policy(AlertPolicy::Count);
+        reset_alert_counts();
+        raise(AlertKind::OneShotStringAssignment, "t/T");
+        raise(AlertKind::OneShotVectorResizing, "t/T");
+        raise(AlertKind::OneShotVectorResizing, "t/T");
+        let (s, v) = alert_counts();
+        assert_eq!((s, v), (1, 2));
+        reset_alert_counts();
+        assert_eq!(alert_counts(), (0, 0));
+        set_alert_policy(prev);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let _g = test_guard();
+        let prev = set_alert_policy(AlertPolicy::Warn);
+        assert_eq!(set_alert_policy(prev), AlertPolicy::Warn);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert!(AlertKind::OneShotStringAssignment.to_string().contains("One-Shot"));
+        assert!(AlertKind::OneShotVectorResizing.to_string().contains("resized"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type for SFM operations.
+
+use core::fmt;
+
+/// Errors raised by SFM allocation, growth, and adoption operations.
+///
+/// Returned by the fallible (`try_*`) variants of field assignment and by
+/// [`MessageManager`](crate::MessageManager) operations. The infallible
+/// variants panic on these conditions (documented per method).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SfmError {
+    /// The address passed to the manager does not fall inside any registered
+    /// message. This happens when an SFM field is used outside a managed
+    /// allocation (the condition the paper's ROS-SF Converter exists to
+    /// prevent: serialization-free messages must be heap-allocated and
+    /// registered, §4.3.2).
+    UnmanagedAddress {
+        /// The offending address.
+        addr: usize,
+    },
+    /// Growing the whole message would exceed the `max_size` declared for
+    /// this message type in the IDL.
+    CapacityExceeded {
+        /// Message type name.
+        type_name: &'static str,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes remaining in the allocation.
+        available: usize,
+    },
+    /// A received frame is too small to contain the skeleton of the expected
+    /// message type.
+    FrameTooSmall {
+        /// Expected at least this many bytes (the skeleton size).
+        expected: usize,
+        /// Actual frame length.
+        actual: usize,
+    },
+    /// A received frame is larger than the declared `max_size`, so it cannot
+    /// be adopted into a managed allocation of that type.
+    FrameTooLarge {
+        /// The type's declared maximum size.
+        max_size: usize,
+        /// Actual frame length.
+        actual: usize,
+    },
+    /// An offset stored in a received message points outside the whole
+    /// message — the frame is corrupt or was produced by a different schema.
+    CorruptOffset {
+        /// The out-of-range absolute offset (relative to message base).
+        offset: usize,
+        /// The whole-message length.
+        len: usize,
+    },
+    /// One of the one-shot assumptions was violated and the active
+    /// [`AlertPolicy`](crate::AlertPolicy) is `Error`.
+    AssumptionViolated(crate::AlertKind),
+}
+
+impl fmt::Display for SfmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfmError::UnmanagedAddress { addr } => {
+                write!(f, "address {addr:#x} is not inside any managed SFM message")
+            }
+            SfmError::CapacityExceeded {
+                type_name,
+                requested,
+                available,
+            } => write!(
+                f,
+                "message `{type_name}` cannot grow by {requested} bytes ({available} available); \
+                 increase max_size in the IDL"
+            ),
+            SfmError::FrameTooSmall { expected, actual } => write!(
+                f,
+                "received frame of {actual} bytes is smaller than the skeleton ({expected} bytes)"
+            ),
+            SfmError::FrameTooLarge { max_size, actual } => write!(
+                f,
+                "received frame of {actual} bytes exceeds the type's max_size ({max_size} bytes)"
+            ),
+            SfmError::CorruptOffset { offset, len } => write!(
+                f,
+                "stored offset points to {offset} which is outside the whole message ({len} bytes)"
+            ),
+            SfmError::AssumptionViolated(kind) => {
+                write!(f, "SFM usage assumption violated: {kind}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SfmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<SfmError> = vec![
+            SfmError::UnmanagedAddress { addr: 0xdead },
+            SfmError::CapacityExceeded {
+                type_name: "demo/Image",
+                requested: 10,
+                available: 5,
+            },
+            SfmError::FrameTooSmall {
+                expected: 24,
+                actual: 3,
+            },
+            SfmError::FrameTooLarge {
+                max_size: 64,
+                actual: 128,
+            },
+            SfmError::CorruptOffset { offset: 99, len: 10 },
+            SfmError::AssumptionViolated(crate::AlertKind::OneShotStringAssignment),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SfmError>();
+    }
+}

@@ -1,0 +1,306 @@
+//! Extensions discussed in the paper's §4.4.2 ("Other Data Structures").
+//!
+//! ROS's IDL has no `optional` or `map`, so the main SFM format does not
+//! need them — but the paper sketches how they *would* be encoded, and
+//! this module implements those sketches:
+//!
+//! * [`SfmOptional`] — "an optional field with other types could be
+//!   treated as a vector with its upper bound set as 1": an 8-byte
+//!   skeleton whose count is 0 or 1.
+//! * [`SfmMap`] — "our SFM format can treat it as a vector of key-value
+//!   pairs, which is also the solution used by ROS": a vector of
+//!   [`SfmPair`] skeletons with linear-scan lookup.
+
+use crate::error::SfmError;
+use crate::message::{SfmPod, SfmValidate};
+use crate::vec::SfmVec;
+
+/// An optional field: a vector constrained to at most one element
+/// (§4.4.2). `{0, 0}` is the absent state; setting it is one-shot like
+/// every SFM assignment.
+#[repr(C)]
+pub struct SfmOptional<T: SfmPod> {
+    inner: SfmVec<T>,
+}
+
+// SAFETY: transparent over SfmVec, which is pod.
+unsafe impl<T: SfmPod> SfmPod for SfmOptional<T> {}
+
+impl<T: SfmPod> SfmOptional<T> {
+    /// `true` when no value has been set.
+    pub fn is_none(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// `true` when a value is present.
+    pub fn is_some(&self) -> bool {
+        !self.is_none()
+    }
+
+    /// The value, if present.
+    pub fn get(&self) -> Option<&T> {
+        self.inner.get(0)
+    }
+
+    /// Mutable access to the value, if present.
+    pub fn get_mut(&mut self) -> Option<&mut T> {
+        self.inner.get_mut(0)
+    }
+
+    /// One-shot: materialize the value slot (zero-initialized) and return
+    /// it for filling. Counts as the single permitted sizing.
+    ///
+    /// # Panics
+    ///
+    /// As [`SfmVec::resize`] (unmanaged address, capacity, or — per the
+    /// active alert policy — a second call).
+    pub fn insert_default(&mut self) -> &mut T {
+        self.inner.resize(1);
+        self.inner.get_mut(0).expect("just sized to 1")
+    }
+
+    /// One-shot: set the value.
+    ///
+    /// # Panics
+    ///
+    /// As [`SfmOptional::insert_default`].
+    pub fn set(&mut self, value: T)
+    where
+        T: Copy,
+    {
+        *self.insert_default() = value;
+    }
+}
+
+impl<T: SfmPod + SfmValidate> SfmValidate for SfmOptional<T> {
+    fn validate_in(&self, base: usize, whole_len: usize) -> Result<(), SfmError> {
+        self.inner.validate_in(base, whole_len)?;
+        if self.inner.len() > 1 {
+            // An "optional" carrying more than one element is corrupt.
+            return Err(SfmError::CorruptOffset {
+                offset: self.inner.len(),
+                len: whole_len,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<T: SfmPod + core::fmt::Debug> core::fmt::Debug for SfmOptional<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.get() {
+            Some(v) => f.debug_tuple("Some").field(v).finish(),
+            None => f.write_str("None"),
+        }
+    }
+}
+
+/// One key-value entry of an [`SfmMap`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmPair<K: SfmPod, V: SfmPod> {
+    /// The key.
+    pub key: K,
+    /// The value.
+    pub value: V,
+}
+
+// SAFETY: repr(C) pair of pods.
+unsafe impl<K: SfmPod, V: SfmPod> SfmPod for SfmPair<K, V> {}
+
+impl<K: SfmPod + SfmValidate, V: SfmPod + SfmValidate> SfmValidate for SfmPair<K, V> {
+    fn validate_in(&self, base: usize, whole_len: usize) -> Result<(), SfmError> {
+        self.key.validate_in(base, whole_len)?;
+        self.value.validate_in(base, whole_len)
+    }
+}
+
+/// A key-value map encoded as a vector of pairs (§4.4.2). Lookup is a
+/// linear scan — maps in messages are small (e.g. a dozen parameters),
+/// and the encoding keeps the memory layout a plain array of fixed-size
+/// skeletons, exactly like every other SFM vector.
+#[repr(C)]
+pub struct SfmMap<K: SfmPod, V: SfmPod> {
+    entries: SfmVec<SfmPair<K, V>>,
+}
+
+// SAFETY: transparent over SfmVec, which is pod.
+unsafe impl<K: SfmPod, V: SfmPod> SfmPod for SfmMap<K, V> {}
+
+impl<K: SfmPod, V: SfmPod> SfmMap<K, V> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// One-shot: size the map for exactly `n` entries (zero-initialized
+    /// pairs, to be filled by index).
+    ///
+    /// # Panics
+    ///
+    /// As [`SfmVec::resize`].
+    pub fn resize_entries(&mut self, n: usize) {
+        self.entries.resize(n);
+    }
+
+    /// Entry at `index`.
+    pub fn entry(&self, index: usize) -> Option<&SfmPair<K, V>> {
+        self.entries.get(index)
+    }
+
+    /// Mutable entry at `index` (for the one-shot fill).
+    pub fn entry_mut(&mut self, index: usize) -> Option<&mut SfmPair<K, V>> {
+        self.entries.get_mut(index)
+    }
+
+    /// Iterate the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &SfmPair<K, V>> {
+        self.entries.iter()
+    }
+
+    /// Linear-scan lookup with a caller-provided key comparison (keys may
+    /// be `SfmString`, which has no `Eq` against arbitrary `K`).
+    pub fn find_by<F: FnMut(&K) -> bool>(&self, mut pred: F) -> Option<&V> {
+        self.entries
+            .iter()
+            .find(|pair| pred(&pair.key))
+            .map(|pair| &pair.value)
+    }
+}
+
+impl<K: SfmPod + SfmValidate, V: SfmPod + SfmValidate> SfmValidate for SfmMap<K, V> {
+    fn validate_in(&self, base: usize, whole_len: usize) -> Result<(), SfmError> {
+        self.entries.validate_in(base, whole_len)
+    }
+}
+
+impl<K, V> core::fmt::Debug for SfmMap<K, V>
+where
+    K: SfmPod + core::fmt::Debug,
+    V: SfmPod + core::fmt::Debug,
+{
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_map()
+            .entries(self.iter().map(|p| (&p.key, &p.value)))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SfmBox, SfmMessage, SfmRecvBuffer, SfmString};
+
+    /// A message exercising both extension types: an optional calibration
+    /// scale and a string-keyed parameter map.
+    #[repr(C)]
+    #[derive(Debug)]
+    struct ExtMsg {
+        scale: SfmOptional<f64>,
+        params: SfmMap<SfmString, f64>,
+    }
+    unsafe impl SfmPod for ExtMsg {}
+    impl SfmValidate for ExtMsg {
+        fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+            self.scale.validate_in(base, len)?;
+            self.params.validate_in(base, len)
+        }
+    }
+    unsafe impl SfmMessage for ExtMsg {
+        fn type_name() -> &'static str {
+            "test/ExtMsg"
+        }
+        fn max_size() -> usize {
+            4096
+        }
+    }
+
+    #[test]
+    fn optional_starts_absent_and_sets_once() {
+        let mut msg = SfmBox::<ExtMsg>::new();
+        assert!(msg.scale.is_none());
+        assert!(msg.scale.get().is_none());
+        msg.scale.set(2.5);
+        assert!(msg.scale.is_some());
+        assert_eq!(msg.scale.get(), Some(&2.5));
+        *msg.scale.get_mut().unwrap() = 3.0;
+        assert_eq!(msg.scale.get(), Some(&3.0));
+        assert_eq!(format!("{:?}", msg.scale), "Some(3.0)");
+    }
+
+    #[test]
+    fn absent_optional_costs_nothing_on_the_wire() {
+        let msg = SfmBox::<ExtMsg>::new();
+        assert_eq!(msg.whole_len(), core::mem::size_of::<ExtMsg>());
+        assert_eq!(format!("{:?}", msg.scale), "None");
+    }
+
+    #[test]
+    fn map_fill_and_lookup() {
+        let mut msg = SfmBox::<ExtMsg>::new();
+        msg.params.resize_entries(3);
+        let names = ["focal", "baseline", "exposure"];
+        let values = [525.0, 0.12, 0.033];
+        for i in 0..3 {
+            let entry = msg.params.entry_mut(i).unwrap();
+            entry.key.assign(names[i]);
+            entry.value = values[i];
+        }
+        assert_eq!(msg.params.len(), 3);
+        assert!(!msg.params.is_empty());
+        let got = msg.params.find_by(|k| k.as_str() == "baseline");
+        assert_eq!(got, Some(&0.12));
+        assert!(msg.params.find_by(|k| k.as_str() == "missing").is_none());
+        let debug = format!("{:?}", msg.params);
+        assert!(debug.contains("focal"));
+    }
+
+    #[test]
+    fn extensions_survive_the_wire() {
+        let mut msg = SfmBox::<ExtMsg>::new();
+        msg.scale.set(9.75);
+        msg.params.resize_entries(2);
+        msg.params.entry_mut(0).unwrap().key.assign("a");
+        msg.params.entry_mut(0).unwrap().value = 1.0;
+        msg.params.entry_mut(1).unwrap().key.assign("b");
+        msg.params.entry_mut(1).unwrap().value = -1.0;
+
+        let frame = msg.publish_handle();
+        let mut rb = SfmRecvBuffer::<ExtMsg>::new(frame.len()).unwrap();
+        rb.as_mut_slice().copy_from_slice(frame.as_slice());
+        let got = rb.finish().unwrap();
+        assert_eq!(got.scale.get(), Some(&9.75));
+        assert_eq!(got.params.find_by(|k| k.as_str() == "b"), Some(&-1.0));
+    }
+
+    #[test]
+    fn corrupt_optional_with_two_elements_rejected() {
+        let mut msg = SfmBox::<ExtMsg>::new();
+        msg.scale.set(1.0);
+        let frame = msg.publish_handle().as_slice().to_vec();
+        let mut frame = frame;
+        // The optional's skeleton is the first 8 bytes; poison its count.
+        frame[0..4].copy_from_slice(&2u32.to_le_bytes());
+        let mut rb = SfmRecvBuffer::<ExtMsg>::new(frame.len()).unwrap();
+        rb.as_mut_slice().copy_from_slice(&frame);
+        assert!(rb.finish().is_err());
+    }
+
+    #[test]
+    fn double_set_raises_one_shot_alert() {
+        let _g = crate::alert::test_guard();
+        let prev = crate::set_alert_policy(crate::AlertPolicy::Count);
+        crate::reset_alert_counts();
+        let mut msg = SfmBox::<ExtMsg>::new();
+        msg.scale.set(1.0);
+        msg.scale.set(2.0);
+        assert_eq!(crate::alert_counts().1, 1, "optional is vector-backed");
+        crate::set_alert_policy(prev);
+        crate::reset_alert_counts();
+    }
+}

@@ -1,0 +1,512 @@
+//! The message manager — the paper's `sfm::mm` / `sfm::gmm` (§4.2, §4.3.3).
+//!
+//! Every live serialization-free message has a *record* in the global
+//! manager holding its base address, capacity, current *whole message* size,
+//! a clone of the buffer pointer (`Arc<SfmAlloc>`), and its life-cycle state.
+//!
+//! Two operations dominate:
+//!
+//! * **register / release** — keyed by the message's *start* address
+//!   (the paper: "can be easily implemented by maintaining a `std::map`").
+//! * **expand** — keyed by *any address inside* the message ("an address in
+//!   the middle of the message"), because a field only knows its own
+//!   location. The paper implements this as "a binary search from a
+//!   `std::vector` of ordered records"; so do we, with a linear-scan
+//!   fallback selectable for the ablation benchmark.
+
+use crate::alloc::SfmAlloc;
+use crate::error::SfmError;
+use crate::align_up;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Life-cycle state of a serialization-free message (paper Figs. 8–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageState {
+    /// Registered and owned by developer code; not yet published.
+    Allocated,
+    /// Published at least once (publisher side) or adopted from a received
+    /// buffer (subscriber side): the memory simultaneously *is* the message
+    /// object and the serialized buffer.
+    Published,
+}
+
+/// How `expand` locates the record containing an interior address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookupStrategy {
+    /// Binary search over records ordered by start address (paper §4.3.3).
+    #[default]
+    Binary,
+    /// Linear scan — only useful as the ablation baseline.
+    Linear,
+}
+
+struct Record {
+    start: usize,
+    capacity: usize,
+    used: usize,
+    state: MessageState,
+    type_name: &'static str,
+    buffer: Arc<SfmAlloc>,
+}
+
+/// A snapshot of one record, for introspection and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordInfo {
+    /// Base address of the whole message.
+    pub start: usize,
+    /// Fixed capacity (the type's `max_size`).
+    pub capacity: usize,
+    /// Current size of the whole message.
+    pub used: usize,
+    /// Life-cycle state.
+    pub state: MessageState,
+    /// ROS type name, e.g. `sensor_msgs/Image`.
+    pub type_name: &'static str,
+    /// Strong count of the underlying buffer (includes the record's own
+    /// clone).
+    pub buffer_refs: usize,
+}
+
+/// Cumulative counters exposed for benchmarks and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Messages registered (publisher-side allocations + adopted frames).
+    pub registered: u64,
+    /// Messages released (records removed).
+    pub released: u64,
+    /// `expand` calls served.
+    pub expands: u64,
+    /// Messages that reached the `Published` state.
+    pub published: u64,
+}
+
+/// The message life-cycle manager (`sfm::mm`).
+///
+/// A single process-global instance is available through [`mm()`] (the
+/// paper's `sfm::gmm`); independent instances can be created for tests.
+pub struct MessageManager {
+    records: Mutex<Vec<Record>>,
+    strategy: Mutex<LookupStrategy>,
+    registered: AtomicU64,
+    released: AtomicU64,
+    expands: AtomicU64,
+    published: AtomicU64,
+}
+
+impl Default for MessageManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MessageManager {
+    /// Create an empty manager using binary-search lookup.
+    pub fn new() -> Self {
+        MessageManager {
+            records: Mutex::new(Vec::new()),
+            strategy: Mutex::new(LookupStrategy::Binary),
+            registered: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            expands: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Select the interior-address lookup strategy (ablation hook).
+    pub fn set_lookup_strategy(&self, s: LookupStrategy) {
+        *self.strategy.lock() = s;
+    }
+
+    /// Register a freshly allocated message whose skeleton occupies the
+    /// first `skeleton_size` bytes of `buffer`.
+    ///
+    /// This is what the overloaded global `new` operator does in the paper:
+    /// "the allocated memory segment is then registered into the message
+    /// manager, and the message enters the *Allocated* state".
+    pub fn register(
+        &self,
+        buffer: Arc<SfmAlloc>,
+        skeleton_size: usize,
+        type_name: &'static str,
+    ) {
+        debug_assert!(skeleton_size <= buffer.capacity());
+        self.insert(Record {
+            start: buffer.base(),
+            capacity: buffer.capacity(),
+            used: skeleton_size,
+            state: MessageState::Allocated,
+            type_name,
+            buffer,
+        });
+        self.registered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Register a message adopted from a received frame of `used` bytes
+    /// (the paper's "dummy de-serialization routine", Fig. 9): the record is
+    /// created directly in the `Published` state.
+    pub fn adopt(&self, buffer: Arc<SfmAlloc>, used: usize, type_name: &'static str) {
+        debug_assert!(used <= buffer.capacity());
+        self.insert(Record {
+            start: buffer.base(),
+            capacity: buffer.capacity(),
+            used,
+            state: MessageState::Published,
+            type_name,
+            buffer,
+        });
+        self.registered.fetch_add(1, Ordering::Relaxed);
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn insert(&self, rec: Record) {
+        let mut records = self.records.lock();
+        let idx = records.partition_point(|r| r.start < rec.start);
+        debug_assert!(
+            records.get(idx).is_none_or(|r| r.start != rec.start),
+            "double registration of base address {:#x}",
+            rec.start
+        );
+        records.insert(idx, rec);
+    }
+
+    /// Grow the whole message that contains `field_addr` by `len` bytes,
+    /// aligning the new region to `align`. Returns the absolute address of
+    /// the new region.
+    ///
+    /// This is the operation behind first-time string assignment and vector
+    /// resizing: "whenever a field requests for extra memory, the message
+    /// manager is informed to find the corresponding record of the message
+    /// based on the address of the requesting field" (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// * [`SfmError::UnmanagedAddress`] if no record contains `field_addr`.
+    /// * [`SfmError::CapacityExceeded`] if growth would pass `max_size`.
+    pub fn expand(&self, field_addr: usize, len: usize, align: usize) -> Result<usize, SfmError> {
+        self.expands.fetch_add(1, Ordering::Relaxed);
+        let strategy = *self.strategy.lock();
+        let mut records = self.records.lock();
+        let idx = Self::locate(&records, field_addr, strategy)
+            .ok_or(SfmError::UnmanagedAddress { addr: field_addr })?;
+        let rec = &mut records[idx];
+        let offset = align_up(rec.used, align);
+        let new_used = offset
+            .checked_add(len)
+            .ok_or(SfmError::CapacityExceeded {
+                type_name: rec.type_name,
+                requested: len,
+                available: rec.capacity - rec.used,
+            })?;
+        if new_used > rec.capacity {
+            return Err(SfmError::CapacityExceeded {
+                type_name: rec.type_name,
+                requested: len,
+                available: rec.capacity - rec.used,
+            });
+        }
+        if offset > rec.used {
+            // Zero the alignment gap so the whole message never exposes
+            // uninitialized bytes on the wire.
+            // SAFETY: [used, offset) is in-bounds (offset <= new_used <=
+            // capacity) and not yet part of any field's region.
+            unsafe {
+                std::ptr::write_bytes(
+                    (rec.start + rec.used) as *mut u8,
+                    0,
+                    offset - rec.used,
+                );
+            }
+        }
+        rec.used = new_used;
+        Ok(rec.start + offset)
+    }
+
+    fn locate(records: &[Record], addr: usize, strategy: LookupStrategy) -> Option<usize> {
+        match strategy {
+            LookupStrategy::Binary => {
+                // Greatest start <= addr, then containment check.
+                let idx = records.partition_point(|r| r.start <= addr);
+                if idx == 0 {
+                    return None;
+                }
+                let rec = &records[idx - 1];
+                (addr < rec.start + rec.capacity).then_some(idx - 1)
+            }
+            LookupStrategy::Linear => records
+                .iter()
+                .position(|r| addr >= r.start && addr < r.start + r.capacity),
+        }
+    }
+
+    /// Mark the message starting at `start` as published.
+    ///
+    /// Idempotent; unknown addresses are ignored (publishing an already
+    /// released message is handled by the `Arc` held in the transmission
+    /// queue).
+    pub fn mark_published(&self, start: usize) {
+        let mut records = self.records.lock();
+        if let Ok(idx) = records.binary_search_by(|r| r.start.cmp(&start)) {
+            if records[idx].state != MessageState::Published {
+                records[idx].state = MessageState::Published;
+                self.published.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Remove the record for the message starting at `start`, dropping the
+    /// manager's buffer-pointer clone (the overloaded `delete` operator).
+    ///
+    /// If a transmission queue or another `Arc` still references the buffer
+    /// the bytes stay alive; otherwise they are freed now ("only when the
+    /// reference count becomes zero will the message memory be actually
+    /// freed").
+    pub fn release(&self, start: usize) {
+        let mut records = self.records.lock();
+        if let Ok(idx) = records.binary_search_by(|r| r.start.cmp(&start)) {
+            records.remove(idx);
+            self.released.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current whole-message size of the record containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SfmError::UnmanagedAddress`] if no record contains `addr`.
+    pub fn used_size(&self, addr: usize) -> Result<usize, SfmError> {
+        let records = self.records.lock();
+        Self::locate(&records, addr, LookupStrategy::Binary)
+            .map(|i| records[i].used)
+            .ok_or(SfmError::UnmanagedAddress { addr })
+    }
+
+    /// Clone the buffer pointer of the message starting at `start` (used by
+    /// `publish` to hand a reference to the transmission queue, Fig. 8).
+    ///
+    /// # Errors
+    ///
+    /// [`SfmError::UnmanagedAddress`] if `start` is not a registered base.
+    pub fn buffer_of(&self, start: usize) -> Result<Arc<SfmAlloc>, SfmError> {
+        let records = self.records.lock();
+        records
+            .binary_search_by(|r| r.start.cmp(&start))
+            .map(|idx| Arc::clone(&records[idx].buffer))
+            .map_err(|_| SfmError::UnmanagedAddress { addr: start })
+    }
+
+    /// Snapshot of the record containing `addr`, if any.
+    pub fn info(&self, addr: usize) -> Option<RecordInfo> {
+        let records = self.records.lock();
+        Self::locate(&records, addr, LookupStrategy::Binary).map(|i| {
+            let r = &records[i];
+            RecordInfo {
+                start: r.start,
+                capacity: r.capacity,
+                used: r.used,
+                state: r.state,
+                type_name: r.type_name,
+                buffer_refs: Arc::strong_count(&r.buffer),
+            }
+        })
+    }
+
+    /// Number of live records.
+    pub fn live(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            registered: self.registered.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
+            expands: self.expands.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for MessageManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessageManager")
+            .field("live", &self.live())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The process-global message manager (the paper's `sfm::gmm`).
+pub fn mm() -> &'static MessageManager {
+    static GLOBAL: OnceLock<MessageManager> = OnceLock::new();
+    GLOBAL.get_or_init(MessageManager::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(cap: usize) -> Arc<SfmAlloc> {
+        Arc::new(SfmAlloc::new(cap))
+    }
+
+    #[test]
+    fn register_and_release_roundtrip() {
+        let m = MessageManager::new();
+        let a = alloc(256);
+        let base = a.base();
+        m.register(a, 24, "t/A");
+        assert_eq!(m.live(), 1);
+        let info = m.info(base).unwrap();
+        assert_eq!(info.used, 24);
+        assert_eq!(info.state, MessageState::Allocated);
+        assert_eq!(info.type_name, "t/A");
+        m.release(base);
+        assert_eq!(m.live(), 0);
+        assert!(m.info(base).is_none());
+    }
+
+    #[test]
+    fn expand_by_interior_address() {
+        let m = MessageManager::new();
+        let a = alloc(256);
+        let base = a.base();
+        m.register(a, 24, "t/A");
+        // A field in the middle of the skeleton requests 10 bytes.
+        let got = m.expand(base + 8, 10, 1).unwrap();
+        assert_eq!(got, base + 24);
+        assert_eq!(m.used_size(base).unwrap(), 34);
+        // Next request is aligned up.
+        let got2 = m.expand(base + 16, 8, 8).unwrap();
+        assert_eq!(got2, base + 40); // 34 aligned to 8 = 40
+        assert_eq!(m.used_size(base).unwrap(), 48);
+    }
+
+    #[test]
+    fn expand_unmanaged_address_errors() {
+        let m = MessageManager::new();
+        let err = m.expand(0x1000, 4, 1).unwrap_err();
+        assert!(matches!(err, SfmError::UnmanagedAddress { .. }));
+    }
+
+    #[test]
+    fn expand_beyond_capacity_errors() {
+        let m = MessageManager::new();
+        let a = alloc(64);
+        let base = a.base();
+        m.register(a, 24, "t/A");
+        let err = m.expand(base, 100, 1).unwrap_err();
+        assert!(matches!(err, SfmError::CapacityExceeded { .. }));
+        // used must be unchanged after a failed expand.
+        assert_eq!(m.used_size(base).unwrap(), 24);
+    }
+
+    #[test]
+    fn lookup_finds_correct_record_among_many() {
+        let m = MessageManager::new();
+        let allocs: Vec<_> = (0..32).map(|_| alloc(128)).collect();
+        for a in &allocs {
+            m.register(Arc::clone(a), 16, "t/A");
+        }
+        for strategy in [LookupStrategy::Binary, LookupStrategy::Linear] {
+            m.set_lookup_strategy(strategy);
+            for a in &allocs {
+                let got = m.expand(a.base() + 120, 0, 1).unwrap();
+                assert!(got >= a.base() && got <= a.base() + 128);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_and_binary_agree_on_miss() {
+        let m = MessageManager::new();
+        let a = alloc(64);
+        m.register(Arc::clone(&a), 8, "t/A");
+        let miss = a.base().wrapping_add(64); // one past the end
+        for strategy in [LookupStrategy::Binary, LookupStrategy::Linear] {
+            m.set_lookup_strategy(strategy);
+            assert!(m.expand(miss, 1, 1).is_err());
+        }
+    }
+
+    #[test]
+    fn mark_published_transitions_once() {
+        let m = MessageManager::new();
+        let a = alloc(64);
+        let base = a.base();
+        m.register(a, 8, "t/A");
+        m.mark_published(base);
+        m.mark_published(base);
+        assert_eq!(m.info(base).unwrap().state, MessageState::Published);
+        assert_eq!(m.stats().published, 1);
+    }
+
+    #[test]
+    fn adopt_starts_published() {
+        let m = MessageManager::new();
+        let a = alloc(64);
+        let base = a.base();
+        m.adopt(a, 40, "t/A");
+        let info = m.info(base).unwrap();
+        assert_eq!(info.state, MessageState::Published);
+        assert_eq!(info.used, 40);
+    }
+
+    #[test]
+    fn buffer_of_clones_refcount() {
+        let m = MessageManager::new();
+        let a = alloc(64);
+        let base = a.base();
+        m.register(Arc::clone(&a), 8, "t/A");
+        let before = m.info(base).unwrap().buffer_refs;
+        let extra = m.buffer_of(base).unwrap();
+        let after = m.info(base).unwrap().buffer_refs;
+        assert_eq!(after, before + 1);
+        drop(extra);
+        assert_eq!(m.info(base).unwrap().buffer_refs, before);
+    }
+
+    #[test]
+    fn release_keeps_bytes_alive_while_queue_holds_arc() {
+        let m = MessageManager::new();
+        let a = alloc(64);
+        let base = a.base();
+        m.register(Arc::clone(&a), 8, "t/A");
+        let queue_copy = m.buffer_of(base).unwrap();
+        m.release(base);
+        assert_eq!(m.live(), 0);
+        // Bytes still addressable through the queue's clone.
+        assert_eq!(queue_copy.base(), base);
+        assert_eq!(queue_copy.slice(8).len(), 8);
+        drop(a);
+        drop(queue_copy); // memory actually freed here (Destructed)
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = MessageManager::new();
+        let a = alloc(64);
+        let base = a.base();
+        m.register(a, 8, "t/A");
+        m.expand(base, 4, 1).unwrap();
+        m.mark_published(base);
+        m.release(base);
+        let s = m.stats();
+        assert_eq!(s.registered, 1);
+        assert_eq!(s.expands, 1);
+        assert_eq!(s.published, 1);
+        assert_eq!(s.released, 1);
+    }
+
+    #[test]
+    fn global_manager_is_singleton() {
+        assert!(std::ptr::eq(mm(), mm()));
+    }
+
+    #[test]
+    fn debug_impl_nonempty() {
+        let m = MessageManager::new();
+        assert!(format!("{m:?}").contains("MessageManager"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Endianness conversion for serialization-free messages (§4.4.1).
+//!
+//! "The endianness of a serialization-free message is the same as the
+//! publisher side. Therefore, it is up to the subscriber side to decide
+//! whether the endianness of the serialized message needs to be
+//! converted." The paper stops at the discussion; this module implements
+//! the conversion: an in-place walk over the whole message that
+//! byte-swaps every multi-byte scalar, skeleton word, and vector element.
+//!
+//! The walk is direction-aware because the skeleton words are themselves
+//! multi-byte: converting **from** a foreign frame must swap a skeleton
+//! word *before* using it to find content, while converting **to** a
+//! foreign frame (used by tests and by a hypothetical big-endian
+//! publisher) must use the word *before* swapping it.
+
+use crate::error::SfmError;
+use crate::message::SfmPod;
+use crate::string::SfmString;
+use crate::vec::SfmVec;
+
+/// Which way a conversion runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapDirection {
+    /// The buffer is in the *foreign* byte order; after the walk it is
+    /// native. Skeleton words are swapped before being dereferenced.
+    FromForeign,
+    /// The buffer is native; after the walk it is foreign. Skeleton words
+    /// are dereferenced before being swapped.
+    ToForeign,
+}
+
+/// In-place endianness conversion of a field and everything it references.
+///
+/// Implemented for primitives, `SfmString`, `SfmVec`, fixed arrays, and
+/// (via the `ros_message!` generator or by hand) message skeletons.
+///
+/// # Safety-relevant contract
+///
+/// `swap_in_place` performs the same bounds discipline as
+/// [`SfmValidate`](crate::SfmValidate): every dereferenced offset is
+/// checked against `[base, base + whole_len)` and an error aborts the
+/// walk. Callers must only pass fields that live inside the buffer
+/// described by `base`/`whole_len`.
+pub trait SfmEndianSwap {
+    /// Convert this field (and its content regions) in place.
+    ///
+    /// # Errors
+    ///
+    /// [`SfmError::CorruptOffset`] when a skeleton references memory
+    /// outside the whole message.
+    fn swap_in_place(
+        &mut self,
+        base: usize,
+        whole_len: usize,
+        direction: SwapDirection,
+    ) -> Result<(), SfmError>;
+}
+
+macro_rules! impl_swap_numeric {
+    ($($t:ty),*) => {$(
+        impl SfmEndianSwap for $t {
+            #[inline]
+            fn swap_in_place(
+                &mut self,
+                _base: usize,
+                _len: usize,
+                _dir: SwapDirection,
+            ) -> Result<(), SfmError> {
+                let bytes = self.to_ne_bytes();
+                let mut rev = bytes;
+                rev.reverse();
+                *self = <$t>::from_ne_bytes(rev);
+                Ok(())
+            }
+        }
+    )*};
+}
+impl_swap_numeric!(u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl SfmEndianSwap for u8 {
+    #[inline]
+    fn swap_in_place(&mut self, _b: usize, _l: usize, _d: SwapDirection) -> Result<(), SfmError> {
+        Ok(())
+    }
+}
+
+impl SfmEndianSwap for i8 {
+    #[inline]
+    fn swap_in_place(&mut self, _b: usize, _l: usize, _d: SwapDirection) -> Result<(), SfmError> {
+        Ok(())
+    }
+}
+
+impl<T: SfmEndianSwap, const N: usize> SfmEndianSwap for [T; N] {
+    fn swap_in_place(
+        &mut self,
+        base: usize,
+        len: usize,
+        dir: SwapDirection,
+    ) -> Result<(), SfmError> {
+        for item in self {
+            item.swap_in_place(base, len, dir)?;
+        }
+        Ok(())
+    }
+}
+
+/// Swap the two skeleton words of a string/vector, returning the
+/// native-order `(len, off)` regardless of direction.
+fn swap_skeleton_words(
+    len_word: &mut u32,
+    off_word: &mut u32,
+    dir: SwapDirection,
+) -> (u32, u32) {
+    match dir {
+        SwapDirection::FromForeign => {
+            *len_word = len_word.swap_bytes();
+            *off_word = off_word.swap_bytes();
+            (*len_word, *off_word)
+        }
+        SwapDirection::ToForeign => {
+            let native = (*len_word, *off_word);
+            *len_word = len_word.swap_bytes();
+            *off_word = off_word.swap_bytes();
+            native
+        }
+    }
+}
+
+impl SfmEndianSwap for SfmString {
+    fn swap_in_place(
+        &mut self,
+        base: usize,
+        whole_len: usize,
+        dir: SwapDirection,
+    ) -> Result<(), SfmError> {
+        // SAFETY of the transmutes below: SfmString is repr(C) { u32, u32 }
+        // (asserted by a unit test); we reinterpret it as its two words.
+        let words = unsafe { &mut *(self as *mut SfmString as *mut [u32; 2]) };
+        let (stored, off) = {
+            let (l, o) = words.split_at_mut(1);
+            swap_skeleton_words(&mut l[0], &mut o[0], dir)
+        };
+        if off == 0 {
+            return Ok(());
+        }
+        // String content is bytes — nothing further to swap — but the
+        // reference must still be validated so a corrupt frame cannot
+        // direct later reads out of bounds.
+        let off_addr = self as *const _ as usize + 4;
+        let start = (off_addr + off as usize).wrapping_sub(base);
+        let end = start.wrapping_add(stored as usize);
+        if start > whole_len || end > whole_len || end < start {
+            return Err(SfmError::CorruptOffset {
+                offset: end,
+                len: whole_len,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<T: SfmPod + SfmEndianSwap> SfmEndianSwap for SfmVec<T> {
+    fn swap_in_place(
+        &mut self,
+        base: usize,
+        whole_len: usize,
+        dir: SwapDirection,
+    ) -> Result<(), SfmError> {
+        // SAFETY: SfmVec is repr(C) { u32, u32, PhantomData } (asserted by
+        // a unit test).
+        let words = unsafe { &mut *(self as *mut SfmVec<T> as *mut [u32; 2]) };
+        let (count, off) = {
+            let (l, o) = words.split_at_mut(1);
+            swap_skeleton_words(&mut l[0], &mut o[0], dir)
+        };
+        if off == 0 {
+            if count != 0 {
+                return Err(SfmError::CorruptOffset {
+                    offset: 0,
+                    len: whole_len,
+                });
+            }
+            return Ok(());
+        }
+        let elem = core::mem::size_of::<T>();
+        let off_addr = self as *const _ as usize + 4;
+        let content = off_addr + off as usize;
+        let start = content.wrapping_sub(base);
+        let bytes = (count as usize)
+            .checked_mul(elem)
+            .ok_or(SfmError::CorruptOffset {
+                offset: usize::MAX,
+                len: whole_len,
+            })?;
+        let end = start.wrapping_add(bytes);
+        if start > whole_len || end > whole_len || end < start {
+            return Err(SfmError::CorruptOffset {
+                offset: end,
+                len: whole_len,
+            });
+        }
+        // Swap every element (recursing into nested skeletons).
+        for i in 0..count as usize {
+            // SAFETY: in-bounds (validated above), properly aligned
+            // (content regions are allocated at align_of::<T>()), and we
+            // have exclusive access through &mut self's owner.
+            let item = unsafe { &mut *((content + i * elem) as *mut T) };
+            item.swap_in_place(base, whole_len, dir)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SfmBox, SfmMessage, SfmValidate};
+
+    #[repr(C)]
+    #[derive(Debug)]
+    struct Mixed {
+        tag: SfmString,
+        count: u32,
+        ratio: f64,
+        samples: SfmVec<u16>,
+        flags: [u8; 4],
+        words: SfmVec<u32>,
+    }
+    unsafe impl SfmPod for Mixed {}
+    impl SfmValidate for Mixed {
+        fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+            self.tag.validate_in(base, len)?;
+            self.samples.validate_in(base, len)?;
+            self.words.validate_in(base, len)
+        }
+    }
+    unsafe impl SfmMessage for Mixed {
+        fn type_name() -> &'static str {
+            "test/Mixed"
+        }
+        fn max_size() -> usize {
+            4096
+        }
+    }
+    impl SfmEndianSwap for Mixed {
+        fn swap_in_place(
+            &mut self,
+            base: usize,
+            len: usize,
+            dir: SwapDirection,
+        ) -> Result<(), SfmError> {
+            self.tag.swap_in_place(base, len, dir)?;
+            self.count.swap_in_place(base, len, dir)?;
+            self.ratio.swap_in_place(base, len, dir)?;
+            self.samples.swap_in_place(base, len, dir)?;
+            self.flags.swap_in_place(base, len, dir)?;
+            self.words.swap_in_place(base, len, dir)
+        }
+    }
+
+    fn build() -> SfmBox<Mixed> {
+        let mut m = SfmBox::<Mixed>::new();
+        m.tag.assign("mixed");
+        m.count = 0x01020304;
+        m.ratio = -1234.5678;
+        m.samples.assign(&[0x0102u16, 0xA0B0, 7]);
+        m.flags = [1, 2, 3, 4];
+        m.words.assign(&[0xDEADBEEFu32, 1]);
+        m
+    }
+
+    #[test]
+    fn skeleton_layout_assumed_by_the_transmutes() {
+        assert_eq!(core::mem::size_of::<SfmString>(), 8);
+        assert_eq!(core::mem::align_of::<SfmString>(), 4);
+        assert_eq!(core::mem::size_of::<SfmVec<u32>>(), 8);
+        assert_eq!(core::mem::align_of::<SfmVec<u32>>(), 4);
+    }
+
+    #[test]
+    fn double_swap_is_identity() {
+        let mut m = build();
+        let base = m.base();
+        let len = m.whole_len();
+        let before = m.publish_handle().as_slice().to_vec();
+        m.swap_in_place(base, len, SwapDirection::ToForeign).unwrap();
+        // Foreign buffer differs from native...
+        assert_ne!(m.publish_handle().as_slice(), &before[..]);
+        m.swap_in_place(base, len, SwapDirection::FromForeign)
+            .unwrap();
+        // ...and converting back restores every byte.
+        assert_eq!(m.publish_handle().as_slice(), &before[..]);
+        assert_eq!(m.tag.as_str(), "mixed");
+        assert_eq!(m.count, 0x01020304);
+        assert_eq!(m.samples.as_slice(), &[0x0102, 0xA0B0, 7]);
+    }
+
+    #[test]
+    fn foreign_frame_reads_correctly_after_conversion() {
+        // Simulate a big-endian publisher: produce a native message, walk
+        // it ToForeign, ship the bytes, and convert FromForeign on the
+        // "receiving" side.
+        let mut m = build();
+        let base = m.base();
+        let len = m.whole_len();
+        m.swap_in_place(base, len, SwapDirection::ToForeign).unwrap();
+        let foreign = m.publish_handle().as_slice().to_vec();
+
+        let mut rb = crate::SfmRecvBuffer::<Mixed>::new(foreign.len()).unwrap();
+        rb.as_mut_slice().copy_from_slice(&foreign);
+        // The frame must be converted before validation/adoption.
+        let view = unsafe { &mut *(rb.as_mut_slice().as_mut_ptr() as *mut Mixed) };
+        let rb_base = rb.as_mut_slice().as_ptr() as usize;
+        view.swap_in_place(rb_base, foreign.len(), SwapDirection::FromForeign)
+            .unwrap();
+        let adopted = rb.finish().unwrap();
+        assert_eq!(adopted.tag.as_str(), "mixed");
+        assert_eq!(adopted.count, 0x01020304);
+        assert_eq!(adopted.ratio, -1234.5678);
+        assert_eq!(adopted.words.as_slice(), &[0xDEADBEEF, 1]);
+        assert_eq!(adopted.flags, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn u8_fields_are_untouched() {
+        let mut v = 0xABu8;
+        v.swap_in_place(0, 0, SwapDirection::ToForeign).unwrap();
+        assert_eq!(v, 0xAB);
+    }
+
+    #[test]
+    fn corrupt_foreign_frame_is_rejected_by_the_walk() {
+        let mut m = build();
+        let base = m.base();
+        let len = m.whole_len();
+        m.swap_in_place(base, len, SwapDirection::ToForeign).unwrap();
+        let mut foreign = m.publish_handle().as_slice().to_vec();
+        // Poison the samples vector's count (big-endian huge value).
+        let samples_skel = 8 + 4 + 4 + 8; // tag(8) count(4) pad(4)? — locate dynamically instead:
+        let _ = samples_skel;
+        // Overwrite the first 4 bytes of the `samples` skeleton. Compute
+        // its offset via offset_of to stay layout-correct.
+        let off = core::mem::offset_of!(Mixed, samples);
+        foreign[off..off + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut rb = crate::SfmRecvBuffer::<Mixed>::new(foreign.len()).unwrap();
+        rb.as_mut_slice().copy_from_slice(&foreign);
+        let rb_base = rb.as_mut_slice().as_ptr() as usize;
+        let view = unsafe { &mut *(rb.as_mut_slice().as_mut_ptr() as *mut Mixed) };
+        let result = view.swap_in_place(rb_base, foreign.len(), SwapDirection::FromForeign);
+        assert!(result.is_err());
+    }
+}

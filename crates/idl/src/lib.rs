@@ -1,0 +1,44 @@
+//! # rossf-idl — the SFM Generator (§4.3.1)
+//!
+//! The paper's SFM Generator is built on ROS `genmsg`: it consumes the ROS
+//! `.msg` interface-definition language and emits message classes that
+//! follow the SFM format. This crate is that generator for the Rust
+//! reproduction:
+//!
+//! 1. [`parse_msg`] parses `.msg` text into a [`MessageSpec`];
+//! 2. a [`Catalog`] resolves cross-message references
+//!    (`Header`, `geometry_msgs/Point32`, …);
+//! 3. [`generate`] emits Rust source declaring the plain struct, the SFM
+//!    skeleton struct, and a `ros_message_impls!` invocation that produces
+//!    the full trait stack.
+//!
+//! The generated code is real: `rossf-msg`'s build script runs this
+//! generator over the `nav_msgs` definitions and compiles the output into
+//! the crate (see `crates/msg/build.rs`), so every release exercises the
+//! generator end-to-end.
+//!
+//! ```
+//! use rossf_idl::{parse_msg, Catalog, GenConfig};
+//!
+//! let spec = parse_msg("demo_msgs", "Blip", "
+//!     Header header
+//!     float32 strength
+//!     uint8[] samples
+//! ").unwrap();
+//! let mut catalog = Catalog::with_standard_messages();
+//! catalog.add(spec).unwrap();
+//! let code = catalog.generate_all(&GenConfig::default()).unwrap();
+//! assert!(code.contains("pub struct Blip"));
+//! assert!(code.contains("pub struct SfmBlip"));
+//! assert!(code.contains("ros_message_impls!"));
+//! ```
+
+#![deny(missing_docs)]
+
+mod codegen;
+mod model;
+mod parse;
+
+pub use codegen::{generate, GenConfig};
+pub use model::{Arity, Catalog, Constant, Field, FieldType, MessageSpec, ResolvedType};
+pub use parse::{parse_msg, parse_srv, ParseError};

@@ -1,0 +1,326 @@
+//! The data model of the ROS `.msg` IDL.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A field's base type in the ROS IDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldType {
+    /// `bool` (wire: one byte; SFM: `u8`).
+    Bool,
+    /// `int8` / the deprecated alias `byte`.
+    Int8,
+    /// `uint8` / the deprecated alias `char`.
+    UInt8,
+    /// `int16`.
+    Int16,
+    /// `uint16`.
+    UInt16,
+    /// `int32`.
+    Int32,
+    /// `uint32`.
+    UInt32,
+    /// `int64`.
+    Int64,
+    /// `uint64`.
+    UInt64,
+    /// `float32`.
+    Float32,
+    /// `float64`.
+    Float64,
+    /// `time` (u32 sec + u32 nsec).
+    Time,
+    /// `duration` (i32 sec + i32 nsec).
+    Duration,
+    /// `string`.
+    RosString,
+    /// A nested message, e.g. `Header` or `geometry_msgs/Point32`.
+    Named(String),
+}
+
+impl FieldType {
+    /// Parse an IDL base-type token.
+    pub fn from_token(tok: &str) -> FieldType {
+        match tok {
+            "bool" => FieldType::Bool,
+            "int8" | "byte" => FieldType::Int8,
+            "uint8" | "char" => FieldType::UInt8,
+            "int16" => FieldType::Int16,
+            "uint16" => FieldType::UInt16,
+            "int32" => FieldType::Int32,
+            "uint32" => FieldType::UInt32,
+            "int64" => FieldType::Int64,
+            "uint64" => FieldType::UInt64,
+            "float32" => FieldType::Float32,
+            "float64" => FieldType::Float64,
+            "time" => FieldType::Time,
+            "duration" => FieldType::Duration,
+            "string" => FieldType::RosString,
+            other => FieldType::Named(other.to_string()),
+        }
+    }
+
+    /// The Rust primitive spelled by this type, if it is a fixed-size
+    /// primitive.
+    pub fn rust_prim(&self) -> Option<&'static str> {
+        Some(match self {
+            FieldType::Bool | FieldType::UInt8 => "u8",
+            FieldType::Int8 => "i8",
+            FieldType::Int16 => "i16",
+            FieldType::UInt16 => "u16",
+            FieldType::Int32 => "i32",
+            FieldType::UInt32 => "u32",
+            FieldType::Int64 => "i64",
+            FieldType::UInt64 => "u64",
+            FieldType::Float32 => "f32",
+            FieldType::Float64 => "f64",
+            FieldType::Time => "::rossf_ros::time::RosTime",
+            FieldType::Duration => "::rossf_ros::time::RosDuration",
+            FieldType::RosString | FieldType::Named(_) => return None,
+        })
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FieldType::Bool => "bool",
+            FieldType::Int8 => "int8",
+            FieldType::UInt8 => "uint8",
+            FieldType::Int16 => "int16",
+            FieldType::UInt16 => "uint16",
+            FieldType::Int32 => "int32",
+            FieldType::UInt32 => "uint32",
+            FieldType::Int64 => "int64",
+            FieldType::UInt64 => "uint64",
+            FieldType::Float32 => "float32",
+            FieldType::Float64 => "float64",
+            FieldType::Time => "time",
+            FieldType::Duration => "duration",
+            FieldType::RosString => "string",
+            FieldType::Named(n) => n,
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a field is a scalar, fixed array, or dynamic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// `T name`.
+    Scalar,
+    /// `T[N] name`.
+    FixedArray(usize),
+    /// `T[] name`.
+    DynamicArray,
+}
+
+/// One field of a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Base type.
+    pub ty: FieldType,
+    /// Scalar / fixed / dynamic.
+    pub arity: Arity,
+    /// Trailing `#` comment from the IDL, if any (becomes a doc comment).
+    pub comment: Option<String>,
+}
+
+/// A `CONSTANT = value` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constant {
+    /// Constant name (SCREAMING_SNAKE by ROS convention).
+    pub name: String,
+    /// Base type.
+    pub ty: FieldType,
+    /// Literal value text, verbatim from the IDL.
+    pub value: String,
+}
+
+/// A parsed `.msg` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageSpec {
+    /// Package, e.g. `sensor_msgs`.
+    pub package: String,
+    /// Message name, e.g. `Image`.
+    pub name: String,
+    /// Fields in declaration order (the order SFM skeletons must keep).
+    pub fields: Vec<Field>,
+    /// Constants.
+    pub constants: Vec<Constant>,
+}
+
+impl MessageSpec {
+    /// Full ROS type name, `package/Name`.
+    pub fn full_name(&self) -> String {
+        format!("{}/{}", self.package, self.name)
+    }
+}
+
+/// How a named message type is spelled in generated Rust code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedType {
+    /// Path of the plain struct, e.g. `::rossf_msg::std_msgs::Header`.
+    pub plain: String,
+    /// Path of the SFM skeleton, e.g. `::rossf_msg::std_msgs::SfmHeader`.
+    pub sfm: String,
+}
+
+/// A set of message specs plus the resolution table mapping named types to
+/// Rust paths. Generation happens per catalog so cross-references inside
+/// one generated module resolve to the local structs.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    specs: Vec<MessageSpec>,
+    resolutions: BTreeMap<String, ResolvedType>,
+}
+
+impl Catalog {
+    /// Empty catalog with no standard-library resolutions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Catalog pre-populated with the message types shipped in `rossf-msg`,
+    /// resolvable both bare (`Header`) and package-qualified
+    /// (`std_msgs/Header`).
+    pub fn with_standard_messages() -> Self {
+        let mut c = Self::new();
+        let std_types: [(&str, &str, &str); 14] = [
+            ("std_msgs", "Header", "Header"),
+            ("geometry_msgs", "Point", "Point"),
+            ("geometry_msgs", "Point32", "Point32"),
+            ("geometry_msgs", "Vector3", "Vector3"),
+            ("geometry_msgs", "Quaternion", "Quaternion"),
+            ("geometry_msgs", "Pose", "Pose"),
+            ("geometry_msgs", "PoseStamped", "PoseStamped"),
+            ("sensor_msgs", "Image", "Image"),
+            ("sensor_msgs", "CompressedImage", "CompressedImage"),
+            ("sensor_msgs", "ChannelFloat32", "ChannelFloat32"),
+            ("sensor_msgs", "PointCloud", "PointCloud"),
+            ("sensor_msgs", "PointField", "PointField"),
+            ("sensor_msgs", "PointCloud2", "PointCloud2"),
+            ("sensor_msgs", "RegionOfInterest", "RegionOfInterest"),
+        ];
+        for (pkg, name, rust) in std_types {
+            let resolved = ResolvedType {
+                plain: format!("::rossf_msg::{pkg}::{rust}"),
+                sfm: format!("::rossf_msg::{pkg}::Sfm{rust}"),
+            };
+            c.resolutions
+                .insert(format!("{pkg}/{name}"), resolved.clone());
+            c.resolutions.insert(name.to_string(), resolved);
+        }
+        c
+    }
+
+    /// Register a spec. Its own name becomes resolvable (bare and
+    /// qualified) so later specs in the same catalog can reference it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec back if a different definition is already
+    /// registered under the same full name.
+    pub fn add(&mut self, spec: MessageSpec) -> Result<(), MessageSpec> {
+        if self.specs.iter().any(|s| s.full_name() == spec.full_name()) {
+            return Err(spec);
+        }
+        let resolved = ResolvedType {
+            plain: spec.name.clone(),
+            sfm: format!("Sfm{}", spec.name),
+        };
+        self.resolutions
+            .insert(spec.full_name(), resolved.clone());
+        self.resolutions.insert(spec.name.clone(), resolved);
+        self.specs.push(spec);
+        Ok(())
+    }
+
+    /// Resolve a named type to its Rust spellings.
+    pub fn resolve(&self, name: &str) -> Option<&ResolvedType> {
+        self.resolutions.get(name)
+    }
+
+    /// The registered specs, in insertion order.
+    pub fn specs(&self) -> &[MessageSpec] {
+        &self.specs
+    }
+
+    /// Generate Rust source for every registered spec, in order.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the unresolvable or unsupported
+    /// construct, if any.
+    pub fn generate_all(&self, config: &crate::GenConfig) -> Result<String, String> {
+        let mut out = String::new();
+        for spec in &self.specs {
+            out.push_str(&crate::generate(spec, self, config)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_type_token_roundtrip() {
+        for tok in [
+            "bool", "int8", "uint8", "int16", "uint16", "int32", "uint32", "int64", "uint64",
+            "float32", "float64", "time", "duration", "string",
+        ] {
+            let ty = FieldType::from_token(tok);
+            assert_eq!(ty.to_string(), tok);
+        }
+        assert_eq!(
+            FieldType::from_token("geometry_msgs/Point32"),
+            FieldType::Named("geometry_msgs/Point32".into())
+        );
+        // Deprecated aliases map onto the modern types.
+        assert_eq!(FieldType::from_token("byte"), FieldType::Int8);
+        assert_eq!(FieldType::from_token("char"), FieldType::UInt8);
+    }
+
+    #[test]
+    fn rust_prims() {
+        assert_eq!(FieldType::UInt32.rust_prim(), Some("u32"));
+        assert_eq!(FieldType::Bool.rust_prim(), Some("u8"));
+        assert_eq!(FieldType::RosString.rust_prim(), None);
+        assert_eq!(FieldType::Named("X".into()).rust_prim(), None);
+    }
+
+    #[test]
+    fn standard_catalog_resolves_bare_and_qualified() {
+        let c = Catalog::with_standard_messages();
+        assert_eq!(
+            c.resolve("Header").unwrap().sfm,
+            "::rossf_msg::std_msgs::SfmHeader"
+        );
+        assert_eq!(
+            c.resolve("std_msgs/Header").unwrap().plain,
+            "::rossf_msg::std_msgs::Header"
+        );
+        assert!(c.resolve("nonexistent/Type").is_none());
+    }
+
+    #[test]
+    fn add_registers_local_resolution_and_rejects_duplicates() {
+        let mut c = Catalog::new();
+        let spec = MessageSpec {
+            package: "p".into(),
+            name: "M".into(),
+            fields: vec![],
+            constants: vec![],
+        };
+        c.add(spec.clone()).unwrap();
+        assert_eq!(c.resolve("M").unwrap().sfm, "SfmM");
+        assert_eq!(c.resolve("p/M").unwrap().plain, "M");
+        assert!(c.add(spec).is_err());
+        assert_eq!(c.specs().len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Build script: runs the SFM Generator (`rossf-idl`) over the `nav_msgs`
+//! definitions and compiles the output into this crate (`msg::nav_msgs`).
+//!
+//! This is the end-to-end proof that the generator emits valid code — the
+//! paper's Fig. 10b pipeline (`IDL → SFM Generator → message classes →
+//! compile`), run on every build.
+
+use rossf_idl::{parse_msg, Catalog, GenConfig};
+use std::path::PathBuf;
+
+const TWIST: &str = "
+# This expresses velocity in free space broken into its linear and angular parts.
+Vector3 linear
+Vector3 angular
+";
+
+const POSE_WITH_COVARIANCE: &str = "
+# This represents a pose in free space with uncertainty.
+Pose pose
+# Row-major representation of the 6x6 covariance matrix.
+float64[36] covariance
+";
+
+const TWIST_WITH_COVARIANCE: &str = "
+# This expresses velocity in free space with uncertainty.
+Twist twist
+# Row-major representation of the 6x6 covariance matrix.
+float64[36] covariance
+";
+
+const ODOMETRY: &str = "
+# This represents an estimate of a position and velocity in free space.
+Header header
+string child_frame_id
+PoseWithCovariance pose
+TwistWithCovariance twist
+";
+
+const PATH: &str = "
+# An array of poses that represents a path for a robot to follow.
+Header header
+PoseStamped[] poses
+";
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+
+    let mut catalog = Catalog::with_standard_messages();
+    for (pkg, name, text) in [
+        ("geometry_msgs", "Twist", TWIST),
+        ("geometry_msgs", "PoseWithCovariance", POSE_WITH_COVARIANCE),
+        ("geometry_msgs", "TwistWithCovariance", TWIST_WITH_COVARIANCE),
+        ("nav_msgs", "Odometry", ODOMETRY),
+        ("nav_msgs", "Path", PATH),
+    ] {
+        let spec = parse_msg(pkg, name, text)
+            .unwrap_or_else(|e| panic!("parsing {pkg}/{name}: {e}"));
+        catalog
+            .add(spec)
+            .unwrap_or_else(|_| panic!("duplicate spec {pkg}/{name}"));
+    }
+
+    let config = GenConfig::default()
+        .with_max_size("nav_msgs/Odometry", 8 << 10)
+        .with_max_size("nav_msgs/Path", 1 << 20);
+    let code = catalog
+        .generate_all(&config)
+        .unwrap_or_else(|e| panic!("generation failed: {e}"));
+
+    let out = PathBuf::from(std::env::var("OUT_DIR").expect("OUT_DIR set by cargo"));
+    std::fs::write(out.join("nav_msgs.rs"), code).expect("write generated module");
+}

@@ -1,0 +1,670 @@
+//! `sensor_msgs`: the sensor payloads of the paper's evaluation — images
+//! (Figs. 12–16), point clouds and laser scans (Table 1).
+
+use crate::geometry_msgs::{Point32, SfmPoint32};
+use crate::max_sizes;
+use crate::std_msgs::{Header, SfmHeader};
+use rossf_sfm::{SfmString, SfmVec};
+
+/// `sensor_msgs/Image` — an uncompressed image (the paper's running
+/// example, Fig. 1/2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Image {
+    /// Stamp and frame.
+    pub header: Header,
+    /// Image height (rows).
+    pub height: u32,
+    /// Image width (columns).
+    pub width: u32,
+    /// Pixel encoding, e.g. `rgb8`, `mono8`, `8UC3`.
+    pub encoding: String,
+    /// 1 if the pixel data is big-endian.
+    pub is_bigendian: u8,
+    /// Full row length in bytes.
+    pub step: u32,
+    /// Pixel data, `step * height` bytes.
+    pub data: Vec<u8>,
+}
+
+/// Serialization-free skeleton of [`Image`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmImage {
+    /// Stamp and frame.
+    pub header: SfmHeader,
+    /// Image height (rows).
+    pub height: u32,
+    /// Image width (columns).
+    pub width: u32,
+    /// Pixel encoding, e.g. `rgb8`, `mono8`, `8UC3`.
+    pub encoding: SfmString,
+    /// 1 if the pixel data is big-endian.
+    pub is_bigendian: u8,
+    /// Full row length in bytes.
+    pub step: u32,
+    /// Pixel data, `step * height` bytes.
+    pub data: SfmVec<u8>,
+}
+
+ros_message_impls! {
+    Image / SfmImage : "sensor_msgs/Image", max_size = max_sizes::IMAGE,
+    fields = {
+        nested header,
+        prim height,
+        prim width,
+        string encoding,
+        prim is_bigendian,
+        prim step,
+        bytes data,
+    }
+}
+
+/// `sensor_msgs/CompressedImage` — a compressed image blob.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompressedImage {
+    /// Stamp and frame.
+    pub header: Header,
+    /// Compression format, e.g. `jpeg`, `png`.
+    pub format: String,
+    /// Compressed bytes.
+    pub data: Vec<u8>,
+}
+
+/// Serialization-free skeleton of [`CompressedImage`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmCompressedImage {
+    /// Stamp and frame.
+    pub header: SfmHeader,
+    /// Compression format, e.g. `jpeg`, `png`.
+    pub format: SfmString,
+    /// Compressed bytes.
+    pub data: SfmVec<u8>,
+}
+
+ros_message_impls! {
+    CompressedImage / SfmCompressedImage : "sensor_msgs/CompressedImage",
+    max_size = max_sizes::COMPRESSED_IMAGE,
+    fields = {
+        nested header,
+        string format,
+        bytes data,
+    }
+}
+
+/// `sensor_msgs/ChannelFloat32` — a named per-point float channel of a
+/// [`PointCloud`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChannelFloat32 {
+    /// Channel name, e.g. `intensity`, `rgb`.
+    pub name: String,
+    /// One value per point.
+    pub values: Vec<f32>,
+}
+
+/// Serialization-free skeleton of [`ChannelFloat32`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmChannelFloat32 {
+    /// Channel name, e.g. `intensity`, `rgb`.
+    pub name: SfmString,
+    /// One value per point.
+    pub values: SfmVec<f32>,
+}
+
+ros_message_impls! {
+    ChannelFloat32 / SfmChannelFloat32 : "sensor_msgs/ChannelFloat32",
+    max_size = max_sizes::CHANNEL_FLOAT32,
+    fields = {
+        string name,
+        vec values,
+    }
+}
+
+/// `sensor_msgs/PointCloud` — the legacy point-cloud type: explicit points
+/// plus named channels. Table 1 finds 0 of 14 files applicable for it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointCloud {
+    /// Stamp and frame.
+    pub header: Header,
+    /// The points.
+    pub points: Vec<Point32>,
+    /// Per-point channels (intensity, color, …).
+    pub channels: Vec<ChannelFloat32>,
+}
+
+/// Serialization-free skeleton of [`PointCloud`]. The `points` vector
+/// stores [`SfmPoint32`] skeletons contiguously; the `channels` vector
+/// stores nested message skeletons whose own strings/values grow the same
+/// whole message (§4.1, nested messages).
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmPointCloud {
+    /// Stamp and frame.
+    pub header: SfmHeader,
+    /// The points.
+    pub points: SfmVec<SfmPoint32>,
+    /// Per-point channels (intensity, color, …).
+    pub channels: SfmVec<SfmChannelFloat32>,
+}
+
+ros_message_impls! {
+    PointCloud / SfmPointCloud : "sensor_msgs/PointCloud",
+    max_size = max_sizes::POINT_CLOUD,
+    fields = {
+        nested header,
+        vecmsg points,
+        vecmsg channels,
+    }
+}
+
+/// `sensor_msgs/PointField` — describes one field of a [`PointCloud2`]
+/// point record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointField {
+    /// Field name, e.g. `x`, `y`, `z`, `rgb`.
+    pub name: String,
+    /// Byte offset within the point record.
+    pub offset: u32,
+    /// Datatype enum (1=INT8 … 8=FLOAT64).
+    pub datatype: u8,
+    /// Number of elements in the field.
+    pub count: u32,
+}
+
+/// Serialization-free skeleton of [`PointField`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmPointField {
+    /// Field name, e.g. `x`, `y`, `z`, `rgb`.
+    pub name: SfmString,
+    /// Byte offset within the point record.
+    pub offset: u32,
+    /// Datatype enum (1=INT8 … 8=FLOAT64).
+    pub datatype: u8,
+    /// Number of elements in the field.
+    pub count: u32,
+}
+
+ros_message_impls! {
+    PointField / SfmPointField : "sensor_msgs/PointField", max_size = 512,
+    fields = {
+        string name,
+        prim offset,
+        prim datatype,
+        prim count,
+    }
+}
+
+/// `sensor_msgs/PointCloud2` — the modern binary point-cloud type used by
+/// ORB-SLAM's map output (Fig. 17).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointCloud2 {
+    /// Stamp and frame.
+    pub header: Header,
+    /// 1 for unordered clouds, else the image-like height.
+    pub height: u32,
+    /// Number of points per row.
+    pub width: u32,
+    /// Description of the per-point record.
+    pub fields: Vec<PointField>,
+    /// 1 if point data is big-endian.
+    pub is_bigendian: u8,
+    /// Bytes per point record.
+    pub point_step: u32,
+    /// Bytes per row.
+    pub row_step: u32,
+    /// Packed point records, `row_step * height` bytes.
+    pub data: Vec<u8>,
+    /// 1 if there are no invalid points.
+    pub is_dense: u8,
+}
+
+/// Serialization-free skeleton of [`PointCloud2`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmPointCloud2 {
+    /// Stamp and frame.
+    pub header: SfmHeader,
+    /// 1 for unordered clouds, else the image-like height.
+    pub height: u32,
+    /// Number of points per row.
+    pub width: u32,
+    /// Description of the per-point record.
+    pub fields: SfmVec<SfmPointField>,
+    /// 1 if point data is big-endian.
+    pub is_bigendian: u8,
+    /// Bytes per point record.
+    pub point_step: u32,
+    /// Bytes per row.
+    pub row_step: u32,
+    /// Packed point records, `row_step * height` bytes.
+    pub data: SfmVec<u8>,
+    /// 1 if there are no invalid points.
+    pub is_dense: u8,
+}
+
+ros_message_impls! {
+    PointCloud2 / SfmPointCloud2 : "sensor_msgs/PointCloud2",
+    max_size = max_sizes::POINT_CLOUD2,
+    fields = {
+        nested header,
+        prim height,
+        prim width,
+        vecmsg fields,
+        prim is_bigendian,
+        prim point_step,
+        prim row_step,
+        bytes data,
+        prim is_dense,
+    }
+}
+
+/// `sensor_msgs/LaserScan` — a single planar laser range scan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LaserScan {
+    /// Stamp and frame.
+    pub header: Header,
+    /// Start angle of the scan (rad).
+    pub angle_min: f32,
+    /// End angle of the scan (rad).
+    pub angle_max: f32,
+    /// Angular distance between measurements (rad).
+    pub angle_increment: f32,
+    /// Time between measurements (s).
+    pub time_increment: f32,
+    /// Time to complete one scan (s).
+    pub scan_time: f32,
+    /// Minimum valid range (m).
+    pub range_min: f32,
+    /// Maximum valid range (m).
+    pub range_max: f32,
+    /// Range readings (m).
+    pub ranges: Vec<f32>,
+    /// Intensity readings (device-specific units).
+    pub intensities: Vec<f32>,
+}
+
+/// Serialization-free skeleton of [`LaserScan`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmLaserScan {
+    /// Stamp and frame.
+    pub header: SfmHeader,
+    /// Start angle of the scan (rad).
+    pub angle_min: f32,
+    /// End angle of the scan (rad).
+    pub angle_max: f32,
+    /// Angular distance between measurements (rad).
+    pub angle_increment: f32,
+    /// Time between measurements (s).
+    pub time_increment: f32,
+    /// Time to complete one scan (s).
+    pub scan_time: f32,
+    /// Minimum valid range (m).
+    pub range_min: f32,
+    /// Maximum valid range (m).
+    pub range_max: f32,
+    /// Range readings (m).
+    pub ranges: SfmVec<f32>,
+    /// Intensity readings (device-specific units).
+    pub intensities: SfmVec<f32>,
+}
+
+ros_message_impls! {
+    LaserScan / SfmLaserScan : "sensor_msgs/LaserScan",
+    max_size = max_sizes::LASER_SCAN,
+    fields = {
+        nested header,
+        prim angle_min,
+        prim angle_max,
+        prim angle_increment,
+        prim time_increment,
+        prim scan_time,
+        prim range_min,
+        prim range_max,
+        vec ranges,
+        vec intensities,
+    }
+}
+
+/// `sensor_msgs/RegionOfInterest` — a sub-window of an image.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegionOfInterest {
+    /// Leftmost pixel of the region.
+    pub x_offset: u32,
+    /// Topmost pixel of the region.
+    pub y_offset: u32,
+    /// Height of the region.
+    pub height: u32,
+    /// Width of the region.
+    pub width: u32,
+    /// 1 if a distinct rectified image should be produced.
+    pub do_rectify: u8,
+}
+
+/// Serialization-free skeleton of [`RegionOfInterest`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmRegionOfInterest {
+    /// Leftmost pixel of the region.
+    pub x_offset: u32,
+    /// Topmost pixel of the region.
+    pub y_offset: u32,
+    /// Height of the region.
+    pub height: u32,
+    /// Width of the region.
+    pub width: u32,
+    /// 1 if a distinct rectified image should be produced.
+    pub do_rectify: u8,
+}
+
+ros_message_impls! {
+    RegionOfInterest / SfmRegionOfInterest : "sensor_msgs/RegionOfInterest",
+    max_size = 64,
+    fields = {
+        prim x_offset,
+        prim y_offset,
+        prim height,
+        prim width,
+        prim do_rectify,
+    }
+}
+
+/// `sensor_msgs/CameraInfo` — camera calibration, exercising fixed-size
+/// array fields (`float64[9] K`, …).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CameraInfo {
+    /// Stamp and frame.
+    pub header: Header,
+    /// Image height used for calibration.
+    pub height: u32,
+    /// Image width used for calibration.
+    pub width: u32,
+    /// Distortion model, typically `plumb_bob`.
+    pub distortion_model: String,
+    /// Distortion coefficients (model-dependent length).
+    pub d: Vec<f64>,
+    /// Intrinsic camera matrix, row-major 3×3.
+    pub k: [f64; 9],
+    /// Rectification matrix, row-major 3×3.
+    pub r: [f64; 9],
+    /// Projection matrix, row-major 3×4.
+    pub p: [f64; 12],
+    /// Horizontal binning factor.
+    pub binning_x: u32,
+    /// Vertical binning factor.
+    pub binning_y: u32,
+    /// Region of interest the camera was configured for.
+    pub roi: RegionOfInterest,
+}
+
+/// Serialization-free skeleton of [`CameraInfo`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmCameraInfo {
+    /// Stamp and frame.
+    pub header: SfmHeader,
+    /// Image height used for calibration.
+    pub height: u32,
+    /// Image width used for calibration.
+    pub width: u32,
+    /// Distortion model, typically `plumb_bob`.
+    pub distortion_model: SfmString,
+    /// Distortion coefficients (model-dependent length).
+    pub d: SfmVec<f64>,
+    /// Intrinsic camera matrix, row-major 3×3.
+    pub k: [f64; 9],
+    /// Rectification matrix, row-major 3×3.
+    pub r: [f64; 9],
+    /// Projection matrix, row-major 3×4.
+    pub p: [f64; 12],
+    /// Horizontal binning factor.
+    pub binning_x: u32,
+    /// Vertical binning factor.
+    pub binning_y: u32,
+    /// Region of interest the camera was configured for.
+    pub roi: SfmRegionOfInterest,
+}
+
+ros_message_impls! {
+    CameraInfo / SfmCameraInfo : "sensor_msgs/CameraInfo",
+    max_size = max_sizes::CAMERA_INFO,
+    fields = {
+        nested header,
+        prim height,
+        prim width,
+        string distortion_model,
+        vec d,
+        arr k,
+        arr r,
+        arr p,
+        prim binning_x,
+        prim binning_y,
+        nested roi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossf_ros::ser::RosMessage;
+    use rossf_ros::time::RosTime;
+    use rossf_sfm::{SfmBox, SfmMessage};
+
+    fn sample_image(w: u32, h: u32) -> Image {
+        let mut img = Image {
+            header: Header {
+                seq: 1,
+                stamp: RosTime { sec: 2, nsec: 3 },
+                frame_id: "camera".into(),
+            },
+            height: h,
+            width: w,
+            encoding: "rgb8".into(),
+            is_bigendian: 0,
+            step: w * 3,
+            data: vec![0; (w * h * 3) as usize],
+        };
+        for (i, b) in img.data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        img
+    }
+
+    #[test]
+    fn image_serialization_roundtrip() {
+        let img = sample_image(16, 8);
+        let bytes = img.to_bytes();
+        let back = Image::from_bytes(&bytes).unwrap();
+        assert_eq!(back, img);
+        // Serialized length: header(4+8+4+6) + h(4) + w(4) + enc(4+4)
+        //                    + bigendian(1) + step(4) + data(4 + 384)
+        assert_eq!(bytes.len(), 22 + 4 + 4 + 8 + 1 + 4 + 4 + 384);
+    }
+
+    #[test]
+    fn image_sfm_conversion_roundtrip() {
+        let img = sample_image(10, 10);
+        let boxed = SfmImage::boxed_from_plain(&img);
+        assert_eq!(boxed.encoding.as_str(), "rgb8");
+        assert_eq!(boxed.data.len(), 300);
+        assert_eq!(boxed.header.frame_id.as_str(), "camera");
+        assert_eq!(boxed.to_plain(), img);
+    }
+
+    #[test]
+    fn image_constructed_like_fig3() {
+        // The paper's Fig. 3 publisher code, in SFM form — statement for
+        // statement.
+        let mut img = SfmBox::<SfmImage>::new();
+        img.encoding.assign("rgb8");
+        img.height = 10;
+        img.width = 10;
+        img.data.resize(10 * 10 * 3);
+        assert_eq!(img.height, 10);
+        assert_eq!(img.width, 10);
+        assert_eq!(img.data.len(), 300);
+    }
+
+    #[test]
+    fn pointcloud_with_channels_roundtrip() {
+        let pc = PointCloud {
+            header: Header::default(),
+            points: (0..50)
+                .map(|i| Point32 {
+                    x: i as f32,
+                    y: -(i as f32),
+                    z: 0.5,
+                })
+                .collect(),
+            channels: vec![
+                ChannelFloat32 {
+                    name: "intensity".into(),
+                    values: (0..50).map(|i| i as f32 * 0.1).collect(),
+                },
+                ChannelFloat32 {
+                    name: "ring".into(),
+                    values: vec![1.0; 50],
+                },
+            ],
+        };
+        let back = PointCloud::from_bytes(&pc.to_bytes()).unwrap();
+        assert_eq!(back, pc);
+
+        let boxed = SfmPointCloud::boxed_from_plain(&pc);
+        assert_eq!(boxed.points.len(), 50);
+        assert_eq!(boxed.points[49].x, 49.0);
+        assert_eq!(boxed.channels.len(), 2);
+        assert_eq!(boxed.channels[0].name.as_str(), "intensity");
+        assert_eq!(boxed.channels[1].values.len(), 50);
+        assert_eq!(boxed.to_plain(), pc);
+    }
+
+    #[test]
+    fn pointcloud2_roundtrip() {
+        let pc2 = PointCloud2 {
+            header: Header::default(),
+            height: 1,
+            width: 100,
+            fields: vec![
+                PointField {
+                    name: "x".into(),
+                    offset: 0,
+                    datatype: 7,
+                    count: 1,
+                },
+                PointField {
+                    name: "y".into(),
+                    offset: 4,
+                    datatype: 7,
+                    count: 1,
+                },
+                PointField {
+                    name: "z".into(),
+                    offset: 8,
+                    datatype: 7,
+                    count: 1,
+                },
+            ],
+            is_bigendian: 0,
+            point_step: 12,
+            row_step: 1200,
+            data: (0..1200).map(|i| (i % 256) as u8).collect(),
+            is_dense: 1,
+        };
+        assert_eq!(PointCloud2::from_bytes(&pc2.to_bytes()).unwrap(), pc2);
+        let boxed = SfmPointCloud2::boxed_from_plain(&pc2);
+        assert_eq!(boxed.fields.len(), 3);
+        assert_eq!(boxed.fields[2].name.as_str(), "z");
+        assert_eq!(boxed.data.len(), 1200);
+        assert_eq!(boxed.to_plain(), pc2);
+    }
+
+    #[test]
+    fn laser_scan_roundtrip() {
+        let scan = LaserScan {
+            header: Header::default(),
+            angle_min: -1.57,
+            angle_max: 1.57,
+            angle_increment: 0.01,
+            time_increment: 0.0001,
+            scan_time: 0.1,
+            range_min: 0.1,
+            range_max: 30.0,
+            ranges: (0..314).map(|i| 1.0 + i as f32 * 0.01).collect(),
+            intensities: vec![100.0; 314],
+        };
+        assert_eq!(LaserScan::from_bytes(&scan.to_bytes()).unwrap(), scan);
+        let boxed = SfmLaserScan::boxed_from_plain(&scan);
+        assert_eq!(boxed.ranges.len(), 314);
+        assert!((boxed.ranges[313] - 4.13).abs() < 1e-4);
+        assert_eq!(boxed.to_plain(), scan);
+    }
+
+    #[test]
+    fn camera_info_with_fixed_arrays_roundtrip() {
+        let mut info = CameraInfo {
+            height: 480,
+            width: 640,
+            distortion_model: "plumb_bob".into(),
+            d: vec![0.1, -0.2, 0.0, 0.0, 0.0],
+            ..CameraInfo::default()
+        };
+        info.k[0] = 525.0;
+        info.k[4] = 525.0;
+        info.k[8] = 1.0;
+        info.p[0] = 525.0;
+        assert_eq!(CameraInfo::from_bytes(&info.to_bytes()).unwrap(), info);
+        let boxed = SfmCameraInfo::boxed_from_plain(&info);
+        assert_eq!(boxed.k[4], 525.0);
+        assert_eq!(boxed.d.len(), 5);
+        assert_eq!(boxed.to_plain(), info);
+    }
+
+    #[test]
+    fn compressed_image_roundtrip() {
+        let ci = CompressedImage {
+            header: Header::default(),
+            format: "jpeg".into(),
+            data: vec![0xff, 0xd8, 0xff, 0xe0],
+        };
+        assert_eq!(CompressedImage::from_bytes(&ci.to_bytes()).unwrap(), ci);
+        let boxed = SfmCompressedImage::boxed_from_plain(&ci);
+        assert_eq!(boxed.format.as_str(), "jpeg");
+        assert_eq!(boxed.to_plain(), ci);
+    }
+
+    #[test]
+    fn type_names_match_ros() {
+        assert_eq!(SfmImage::type_name(), "sensor_msgs/Image");
+        assert_eq!(SfmPointCloud2::type_name(), "sensor_msgs/PointCloud2");
+        assert_eq!(SfmLaserScan::type_name(), "sensor_msgs/LaserScan");
+        assert_eq!(
+            <Image as rossf_ros::TopicType>::topic_type(),
+            SfmImage::type_name()
+        );
+    }
+
+    #[test]
+    fn corrupted_image_frame_fails_decode() {
+        let img = sample_image(4, 4);
+        let mut bytes = img.to_bytes();
+        let n = bytes.len();
+        bytes.truncate(n - 10);
+        assert!(Image::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn six_megabyte_image_wire_equivalence() {
+        // The paper's largest size: 1920x1080x24bit ≈ 6 MB. The SFM whole
+        // message and the ROS serialized buffer both carry the payload; the
+        // SFM one *is* the in-memory layout.
+        let img = sample_image(192, 108); // scaled down 10x for test speed
+        let ros_bytes = img.to_bytes();
+        let boxed = SfmImage::boxed_from_plain(&img);
+        let sfm_frame = boxed.publish_handle();
+        assert!(sfm_frame.len() >= ros_bytes.len() - 64);
+        assert_eq!(boxed.to_plain(), img);
+    }
+}

@@ -1,0 +1,366 @@
+//! `std_msgs`: the standard header carried by every stamped message.
+
+use crate::max_sizes;
+use rossf_ros::time::RosTime;
+use rossf_sfm::{SfmString, SfmVec};
+
+/// `std_msgs/Header` — sequence number, timestamp, and coordinate frame.
+///
+/// The `frame_id` string names the coordinate system of the data; the
+/// paper's first failure case (Fig. 19) is precisely a second assignment to
+/// this field.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Header {
+    /// Consecutively increasing sequence id.
+    pub seq: u32,
+    /// Acquisition time of the data.
+    pub stamp: RosTime,
+    /// Coordinate frame this data is associated with.
+    pub frame_id: String,
+}
+
+/// Serialization-free skeleton of [`Header`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmHeader {
+    /// Consecutively increasing sequence id.
+    pub seq: u32,
+    /// Acquisition time of the data.
+    pub stamp: RosTime,
+    /// Coordinate frame this data is associated with.
+    pub frame_id: SfmString,
+}
+
+ros_message_impls! {
+    Header / SfmHeader : "std_msgs/Header", max_size = max_sizes::HEADER,
+    fields = {
+        prim seq,
+        time stamp,
+        string frame_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossf_ros::ser::RosMessage;
+    use rossf_sfm::SfmBox;
+
+    #[test]
+    fn serialized_layout_matches_ros1() {
+        let h = Header {
+            seq: 7,
+            stamp: RosTime { sec: 1, nsec: 2 },
+            frame_id: "map".into(),
+        };
+        let bytes = h.to_bytes();
+        // seq(4) + stamp(8) + len(4) + "map"(3)
+        assert_eq!(bytes.len(), 19);
+        assert_eq!(&bytes[0..4], &7u32.to_le_bytes());
+        assert_eq!(&bytes[12..16], &3u32.to_le_bytes());
+        assert_eq!(&bytes[16..19], b"map");
+        assert_eq!(Header::from_bytes(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn sfm_conversion_roundtrip() {
+        let h = Header {
+            seq: 42,
+            stamp: RosTime {
+                sec: 100,
+                nsec: 999,
+            },
+            frame_id: "camera_link".into(),
+        };
+        let boxed = SfmHeader::boxed_from_plain(&h);
+        assert_eq!(boxed.seq, 42);
+        assert_eq!(boxed.frame_id.as_str(), "camera_link");
+        assert_eq!(boxed.to_plain(), h);
+    }
+
+    #[test]
+    fn skeleton_size_is_fixed() {
+        // seq(4) + stamp(8) + frame_id skeleton(8) = 20, padded to 4-align.
+        assert_eq!(core::mem::size_of::<SfmHeader>(), 20);
+    }
+
+    #[test]
+    fn standalone_sfm_header_topic_type() {
+        use rossf_sfm::SfmMessage;
+        assert_eq!(SfmHeader::type_name(), "std_msgs/Header");
+        let b = SfmBox::<SfmHeader>::new();
+        assert_eq!(b.whole_len(), core::mem::size_of::<SfmHeader>());
+    }
+}
+
+/// `std_msgs/String` — a bare string payload (named `StringMsg` to avoid
+/// shadowing `std::string::String`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StringMsg {
+    /// The text.
+    pub data: String,
+}
+
+/// Serialization-free skeleton of [`StringMsg`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmStringMsg {
+    /// The text.
+    pub data: SfmString,
+}
+
+ros_message_impls! {
+    StringMsg / SfmStringMsg : "std_msgs/String", max_size = 64 << 10,
+    fields = {
+        string data,
+    }
+}
+
+/// `std_msgs/Int32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Int32 {
+    /// The value.
+    pub data: i32,
+}
+
+/// Serialization-free skeleton of [`Int32`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmInt32 {
+    /// The value.
+    pub data: i32,
+}
+
+ros_message_impls! {
+    Int32 / SfmInt32 : "std_msgs/Int32", max_size = 16,
+    fields = {
+        prim data,
+    }
+}
+
+/// `std_msgs/Float64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Float64 {
+    /// The value.
+    pub data: f64,
+}
+
+/// Serialization-free skeleton of [`Float64`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmFloat64 {
+    /// The value.
+    pub data: f64,
+}
+
+ros_message_impls! {
+    Float64 / SfmFloat64 : "std_msgs/Float64", max_size = 16,
+    fields = {
+        prim data,
+    }
+}
+
+/// `std_msgs/ColorRGBA`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ColorRGBA {
+    /// Red (0..1).
+    pub r: f32,
+    /// Green (0..1).
+    pub g: f32,
+    /// Blue (0..1).
+    pub b: f32,
+    /// Alpha (0..1).
+    pub a: f32,
+}
+
+/// Serialization-free skeleton of [`ColorRGBA`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmColorRGBA {
+    /// Red (0..1).
+    pub r: f32,
+    /// Green (0..1).
+    pub g: f32,
+    /// Blue (0..1).
+    pub b: f32,
+    /// Alpha (0..1).
+    pub a: f32,
+}
+
+ros_message_impls! {
+    ColorRGBA / SfmColorRGBA : "std_msgs/ColorRGBA", max_size = 32,
+    fields = {
+        prim r,
+        prim g,
+        prim b,
+        prim a,
+    }
+}
+
+/// `std_msgs/MultiArrayDimension` — one dimension of a multi-array.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiArrayDimension {
+    /// Dimension label, e.g. `rows`.
+    pub label: String,
+    /// Extent of this dimension.
+    pub size: u32,
+    /// Stride in elements.
+    pub stride: u32,
+}
+
+/// Serialization-free skeleton of [`MultiArrayDimension`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmMultiArrayDimension {
+    /// Dimension label, e.g. `rows`.
+    pub label: SfmString,
+    /// Extent of this dimension.
+    pub size: u32,
+    /// Stride in elements.
+    pub stride: u32,
+}
+
+ros_message_impls! {
+    MultiArrayDimension / SfmMultiArrayDimension : "std_msgs/MultiArrayDimension",
+    max_size = 256,
+    fields = {
+        string label,
+        prim size,
+        prim stride,
+    }
+}
+
+/// `std_msgs/MultiArrayLayout`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiArrayLayout {
+    /// Dimension descriptions, outermost first.
+    pub dim: Vec<MultiArrayDimension>,
+    /// Padding elements before the data.
+    pub data_offset: u32,
+}
+
+/// Serialization-free skeleton of [`MultiArrayLayout`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmMultiArrayLayout {
+    /// Dimension descriptions, outermost first.
+    pub dim: SfmVec<SfmMultiArrayDimension>,
+    /// Padding elements before the data.
+    pub data_offset: u32,
+}
+
+ros_message_impls! {
+    MultiArrayLayout / SfmMultiArrayLayout : "std_msgs/MultiArrayLayout",
+    max_size = 4 << 10,
+    fields = {
+        vecmsg dim,
+        prim data_offset,
+    }
+}
+
+/// `std_msgs/Float64MultiArray` — an n-dimensional numeric block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Float64MultiArray {
+    /// Dimension layout.
+    pub layout: MultiArrayLayout,
+    /// Row-major element data.
+    pub data: Vec<f64>,
+}
+
+/// Serialization-free skeleton of [`Float64MultiArray`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmFloat64MultiArray {
+    /// Dimension layout.
+    pub layout: SfmMultiArrayLayout,
+    /// Row-major element data.
+    pub data: SfmVec<f64>,
+}
+
+ros_message_impls! {
+    Float64MultiArray / SfmFloat64MultiArray : "std_msgs/Float64MultiArray",
+    max_size = 1 << 20,
+    fields = {
+        nested layout,
+        vec data,
+    }
+}
+
+#[cfg(test)]
+mod primitive_tests {
+    use super::*;
+    use rossf_ros::ser::RosMessage;
+    use rossf_sfm::SfmBox;
+
+    #[test]
+    fn string_msg_roundtrips() {
+        let m = StringMsg {
+            data: "hello rossf".to_string(),
+        };
+        assert_eq!(StringMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+        let boxed = SfmStringMsg::boxed_from_plain(&m);
+        assert_eq!(boxed.data.as_str(), "hello rossf");
+        assert_eq!(boxed.to_plain(), m);
+    }
+
+    #[test]
+    fn numeric_singletons_roundtrip() {
+        let i = Int32 { data: -7 };
+        assert_eq!(Int32::from_bytes(&i.to_bytes()).unwrap(), i);
+        assert_eq!(i.to_bytes().len(), 4);
+        let f = Float64 { data: 2.5 };
+        assert_eq!(Float64::from_bytes(&f.to_bytes()).unwrap(), f);
+        let c = ColorRGBA {
+            r: 1.0,
+            g: 0.5,
+            b: 0.25,
+            a: 1.0,
+        };
+        assert_eq!(ColorRGBA::from_bytes(&c.to_bytes()).unwrap(), c);
+        assert_eq!(SfmColorRGBA::boxed_from_plain(&c).to_plain(), c);
+    }
+
+    #[test]
+    fn multi_array_with_dimensions_roundtrips() {
+        let m = Float64MultiArray {
+            layout: MultiArrayLayout {
+                dim: vec![
+                    MultiArrayDimension {
+                        label: "rows".to_string(),
+                        size: 2,
+                        stride: 6,
+                    },
+                    MultiArrayDimension {
+                        label: "cols".to_string(),
+                        size: 3,
+                        stride: 3,
+                    },
+                ],
+                data_offset: 0,
+            },
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        assert_eq!(Float64MultiArray::from_bytes(&m.to_bytes()).unwrap(), m);
+        let boxed = SfmFloat64MultiArray::boxed_from_plain(&m);
+        assert_eq!(boxed.layout.dim.len(), 2);
+        assert_eq!(boxed.layout.dim[1].label.as_str(), "cols");
+        assert_eq!(boxed.data.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(boxed.to_plain(), m);
+    }
+
+    #[test]
+    fn sfm_multiarray_direct_construction() {
+        // Nested-message vectors whose element strings grow the outer
+        // message — the deepest nesting the std_msgs set exercises.
+        let mut m = SfmBox::<SfmFloat64MultiArray>::new();
+        m.layout.dim.resize(2);
+        m.layout.dim[0].label.assign("rows");
+        m.layout.dim[0].size = 4;
+        m.layout.dim[1].label.assign("cols");
+        m.layout.dim[1].size = 4;
+        m.data.resize(16);
+        m.data[15] = 0.5;
+        assert_eq!(m.layout.dim[0].label.as_str(), "rows");
+        assert_eq!(m.data[15], 0.5);
+    }
+}

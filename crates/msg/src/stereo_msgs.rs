@@ -1,0 +1,157 @@
+//! `stereo_msgs`: the disparity-image type from the paper's second failure
+//! case (Fig. 20 — `StereoProcessor::processDisparity`).
+
+use crate::max_sizes;
+use crate::sensor_msgs::{Image, RegionOfInterest, SfmImage, SfmRegionOfInterest};
+use crate::std_msgs::{Header, SfmHeader};
+
+/// `stereo_msgs/DisparityImage` — a floating-point disparity map plus the
+/// stereo geometry needed to convert it to depth.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DisparityImage {
+    /// Stamp and frame.
+    pub header: Header,
+    /// The disparity values as a `32FC1` image (the `dimage` of Fig. 20).
+    pub image: Image,
+    /// Focal length (pixels).
+    pub f: f32,
+    /// Baseline (meters).
+    pub t: f32,
+    /// Window of valid disparities.
+    pub valid_window: RegionOfInterest,
+    /// Minimum computed disparity.
+    pub min_disparity: f32,
+    /// Maximum computed disparity.
+    pub max_disparity: f32,
+    /// Smallest allowed disparity increment.
+    pub delta_d: f32,
+}
+
+/// Serialization-free skeleton of [`DisparityImage`]. The nested
+/// [`SfmImage`]'s `data` vector grows this outer whole message — the exact
+/// structure behind the paper's Fig. 20 failure case.
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmDisparityImage {
+    /// Stamp and frame.
+    pub header: SfmHeader,
+    /// The disparity values as a `32FC1` image.
+    pub image: SfmImage,
+    /// Focal length (pixels).
+    pub f: f32,
+    /// Baseline (meters).
+    pub t: f32,
+    /// Window of valid disparities.
+    pub valid_window: SfmRegionOfInterest,
+    /// Minimum computed disparity.
+    pub min_disparity: f32,
+    /// Maximum computed disparity.
+    pub max_disparity: f32,
+    /// Smallest allowed disparity increment.
+    pub delta_d: f32,
+}
+
+ros_message_impls! {
+    DisparityImage / SfmDisparityImage : "stereo_msgs/DisparityImage",
+    max_size = max_sizes::DISPARITY_IMAGE,
+    fields = {
+        nested header,
+        nested image,
+        prim f,
+        prim t,
+        nested valid_window,
+        prim min_disparity,
+        prim max_disparity,
+        prim delta_d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossf_ros::ser::RosMessage;
+    use rossf_sfm::SfmBox;
+
+    fn sample() -> DisparityImage {
+        DisparityImage {
+            header: Header {
+                seq: 1,
+                frame_id: "left_camera".into(),
+                ..Header::default()
+            },
+            image: Image {
+                height: 8,
+                width: 8,
+                encoding: "32FC1".into(),
+                step: 32,
+                data: vec![7u8; 256],
+                ..Image::default()
+            },
+            f: 525.0,
+            t: 0.12,
+            valid_window: RegionOfInterest {
+                x_offset: 1,
+                y_offset: 1,
+                height: 6,
+                width: 6,
+                do_rectify: 0,
+            },
+            min_disparity: 0.0,
+            max_disparity: 64.0,
+            delta_d: 0.125,
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let d = sample();
+        assert_eq!(DisparityImage::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    fn sfm_conversion_roundtrip() {
+        let d = sample();
+        let boxed = SfmDisparityImage::boxed_from_plain(&d);
+        assert_eq!(boxed.image.encoding.as_str(), "32FC1");
+        assert_eq!(boxed.image.data.len(), 256);
+        assert_eq!(boxed.f, 525.0);
+        assert_eq!(boxed.to_plain(), d);
+    }
+
+    #[test]
+    fn fig20_pattern_inner_image_resize_grows_outer_message() {
+        // `sensor_msgs::Image& dimage = disparity.image;
+        //  dimage.data.resize(dimage.step * dimage.height);`
+        let mut disparity = SfmBox::<SfmDisparityImage>::new();
+        let before = disparity.whole_len();
+        let dimage = &mut disparity.image;
+        dimage.step = 32;
+        dimage.height = 8;
+        dimage.data.resize((32 * 8) as usize);
+        assert_eq!(disparity.whole_len(), before + 256);
+        assert_eq!(disparity.image.data.len(), 256);
+    }
+
+    #[test]
+    fn fig20_second_resize_is_the_documented_violation() {
+        let _g = rossf_sfm_alert_guard();
+        rossf_sfm::reset_alert_counts();
+        let mut disparity = SfmBox::<SfmDisparityImage>::new();
+        disparity.image.data.resize(64);
+        // A caller that passes an already-resized output argument:
+        disparity.image.data.resize(128);
+        assert_eq!(rossf_sfm::alert_counts().1, 1);
+        rossf_sfm::reset_alert_counts();
+    }
+
+    /// Serializes alert-policy mutation across tests in this binary.
+    fn rossf_sfm_alert_guard() -> impl Drop {
+        struct Guard(rossf_sfm::AlertPolicy);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                rossf_sfm::set_alert_policy(self.0);
+            }
+        }
+        Guard(rossf_sfm::set_alert_policy(rossf_sfm::AlertPolicy::Count))
+    }
+}

@@ -1,0 +1,87 @@
+//! `tf2_msgs`: the transform-tree broadcast message.
+
+use crate::geometry_msgs::{SfmTransformStamped, TransformStamped};
+use rossf_sfm::SfmVec;
+
+/// `tf2_msgs/TFMessage` — a batch of transform-tree edges, broadcast on
+/// `/tf` by every node that owns a coordinate frame. The paper's first
+/// failure case (Fig. 19) revolves around exactly these frame ids.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TFMessage {
+    /// The transforms.
+    pub transforms: Vec<TransformStamped>,
+}
+
+/// Serialization-free skeleton of [`TFMessage`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmTFMessage {
+    /// The transforms.
+    pub transforms: SfmVec<SfmTransformStamped>,
+}
+
+ros_message_impls! {
+    TFMessage / SfmTFMessage : "tf2_msgs/TFMessage", max_size = 64 << 10,
+    fields = {
+        vecmsg transforms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry_msgs::{Quaternion, Transform, Vector3};
+    use crate::std_msgs::Header;
+    use rossf_ros::ser::RosMessage;
+    use rossf_sfm::SfmBox;
+
+    fn tree() -> TFMessage {
+        TFMessage {
+            transforms: ["base_link", "laser", "camera_link", "imu"]
+                .iter()
+                .enumerate()
+                .map(|(i, child)| TransformStamped {
+                    header: Header {
+                        seq: i as u32,
+                        frame_id: "odom".to_string(),
+                        ..Header::default()
+                    },
+                    child_frame_id: (*child).to_string(),
+                    transform: Transform {
+                        translation: Vector3 {
+                            x: i as f64 * 0.1,
+                            ..Vector3::default()
+                        },
+                        rotation: Quaternion {
+                            w: 1.0,
+                            ..Quaternion::default()
+                        },
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tf_message_roundtrips() {
+        let t = tree();
+        assert_eq!(TFMessage::from_bytes(&t.to_bytes()).unwrap(), t);
+        let boxed = SfmTFMessage::boxed_from_plain(&t);
+        assert_eq!(boxed.transforms.len(), 4);
+        assert_eq!(boxed.transforms[1].child_frame_id.as_str(), "laser");
+        assert_eq!(boxed.to_plain(), t);
+    }
+
+    #[test]
+    fn direct_sfm_tf_construction() {
+        let mut msg = SfmBox::<SfmTFMessage>::new();
+        msg.transforms.resize(2);
+        msg.transforms[0].header.frame_id.assign("map");
+        msg.transforms[0].child_frame_id.assign("odom");
+        msg.transforms[0].transform.rotation.w = 1.0;
+        msg.transforms[1].header.frame_id.assign("odom");
+        msg.transforms[1].child_frame_id.assign("base_link");
+        assert_eq!(msg.transforms[1].header.frame_id.as_str(), "odom");
+        assert!(msg.whole_len() > core::mem::size_of::<SfmTFMessage>());
+    }
+}

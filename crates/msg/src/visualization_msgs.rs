@@ -1,0 +1,244 @@
+//! `visualization_msgs`: RViz markers — one of the richest message types
+//! in common use (nested pose, scale, color, point/color arrays, strings
+//! and a lifetime duration), and therefore a thorough exercise of the SFM
+//! generator's field kinds.
+
+use crate::geometry_msgs::{Point, Pose, SfmPoint, SfmPose, SfmVector3, Vector3};
+use crate::std_msgs::{ColorRGBA, Header, SfmColorRGBA, SfmHeader};
+use rossf_ros::time::RosDuration;
+use rossf_sfm::{SfmString, SfmVec};
+
+/// `visualization_msgs/Marker` — a displayable primitive for RViz.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Marker {
+    /// Stamp and frame.
+    pub header: Header,
+    /// Namespace used with `id` to identify the marker.
+    pub ns: String,
+    /// Unique id within `ns`.
+    pub id: i32,
+    /// Marker shape (ARROW=0, CUBE=1, SPHERE=2, …).
+    pub marker_type: i32,
+    /// ADD=0, MODIFY=0, DELETE=2, DELETEALL=3.
+    pub action: i32,
+    /// Pose of the marker.
+    pub pose: Pose,
+    /// Scale (meters).
+    pub scale: Vector3,
+    /// Base color.
+    pub color: ColorRGBA,
+    /// How long before auto-delete (zero = forever).
+    pub lifetime: RosDuration,
+    /// Locked to its frame across time.
+    pub frame_locked: u8,
+    /// Per-vertex points (LINE_*/POINTS/TRIANGLE_LIST types).
+    pub points: Vec<Point>,
+    /// Optional per-vertex colors (matching `points`).
+    pub colors: Vec<ColorRGBA>,
+    /// Text for TEXT_VIEW_FACING markers.
+    pub text: String,
+    /// Resource locator for MESH_RESOURCE markers.
+    pub mesh_resource: String,
+    /// Use materials embedded in the mesh.
+    pub mesh_use_embedded_materials: u8,
+}
+
+impl Marker {
+    /// IDL constant `ARROW`.
+    pub const ARROW: i32 = 0;
+    /// IDL constant `CUBE`.
+    pub const CUBE: i32 = 1;
+    /// IDL constant `SPHERE`.
+    pub const SPHERE: i32 = 2;
+    /// IDL constant `LINE_STRIP`.
+    pub const LINE_STRIP: i32 = 4;
+    /// IDL constant `TEXT_VIEW_FACING`.
+    pub const TEXT_VIEW_FACING: i32 = 9;
+    /// IDL constant `ADD`.
+    pub const ADD: i32 = 0;
+    /// IDL constant `DELETE`.
+    pub const DELETE: i32 = 2;
+}
+
+/// Serialization-free skeleton of [`Marker`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmMarker {
+    /// Stamp and frame.
+    pub header: SfmHeader,
+    /// Namespace used with `id` to identify the marker.
+    pub ns: SfmString,
+    /// Unique id within `ns`.
+    pub id: i32,
+    /// Marker shape (ARROW=0, CUBE=1, SPHERE=2, …).
+    pub marker_type: i32,
+    /// ADD=0, MODIFY=0, DELETE=2, DELETEALL=3.
+    pub action: i32,
+    /// Pose of the marker.
+    pub pose: SfmPose,
+    /// Scale (meters).
+    pub scale: SfmVector3,
+    /// Base color.
+    pub color: SfmColorRGBA,
+    /// How long before auto-delete (zero = forever).
+    pub lifetime: RosDuration,
+    /// Locked to its frame across time.
+    pub frame_locked: u8,
+    /// Per-vertex points (LINE_*/POINTS/TRIANGLE_LIST types).
+    pub points: SfmVec<SfmPoint>,
+    /// Optional per-vertex colors (matching `points`).
+    pub colors: SfmVec<SfmColorRGBA>,
+    /// Text for TEXT_VIEW_FACING markers.
+    pub text: SfmString,
+    /// Resource locator for MESH_RESOURCE markers.
+    pub mesh_resource: SfmString,
+    /// Use materials embedded in the mesh.
+    pub mesh_use_embedded_materials: u8,
+}
+
+ros_message_impls! {
+    Marker / SfmMarker : "visualization_msgs/Marker", max_size = 1 << 20,
+    fields = {
+        nested header,
+        string ns,
+        prim id,
+        prim marker_type,
+        prim action,
+        nested pose,
+        nested scale,
+        nested color,
+        time lifetime,
+        prim frame_locked,
+        vecmsg points,
+        vecmsg colors,
+        string text,
+        string mesh_resource,
+        prim mesh_use_embedded_materials,
+    }
+}
+
+/// `visualization_msgs/MarkerArray`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MarkerArray {
+    /// The markers.
+    pub markers: Vec<Marker>,
+}
+
+/// Serialization-free skeleton of [`MarkerArray`].
+#[repr(C)]
+#[derive(Debug)]
+pub struct SfmMarkerArray {
+    /// The markers.
+    pub markers: SfmVec<SfmMarker>,
+}
+
+ros_message_impls! {
+    MarkerArray / SfmMarkerArray : "visualization_msgs/MarkerArray",
+    max_size = 4 << 20,
+    fields = {
+        vecmsg markers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossf_ros::ser::RosMessage;
+    use rossf_sfm::SfmBox;
+
+    fn line_marker() -> Marker {
+        Marker {
+            header: Header {
+                seq: 1,
+                frame_id: "map".to_string(),
+                ..Header::default()
+            },
+            ns: "trajectory".to_string(),
+            id: 7,
+            marker_type: Marker::LINE_STRIP,
+            action: Marker::ADD,
+            scale: Vector3 {
+                x: 0.05,
+                ..Vector3::default()
+            },
+            color: ColorRGBA {
+                r: 0.1,
+                g: 0.9,
+                b: 0.1,
+                a: 1.0,
+            },
+            lifetime: RosDuration { sec: 5, nsec: 0 },
+            points: (0..16)
+                .map(|i| Point {
+                    x: i as f64 * 0.5,
+                    y: (i as f64 * 0.3).sin(),
+                    z: 0.0,
+                })
+                .collect(),
+            colors: (0..16)
+                .map(|i| ColorRGBA {
+                    r: i as f32 / 16.0,
+                    g: 0.5,
+                    b: 0.5,
+                    a: 1.0,
+                })
+                .collect(),
+            text: String::new(),
+            ..Marker::default()
+        }
+    }
+
+    #[test]
+    fn marker_serialization_roundtrip() {
+        let m = line_marker();
+        assert_eq!(Marker::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn marker_sfm_conversion_roundtrip() {
+        let m = line_marker();
+        let boxed = SfmMarker::boxed_from_plain(&m);
+        assert_eq!(boxed.ns.as_str(), "trajectory");
+        assert_eq!(boxed.points.len(), 16);
+        assert_eq!(boxed.colors[15].r, 15.0 / 16.0);
+        assert_eq!(boxed.lifetime, RosDuration { sec: 5, nsec: 0 });
+        assert_eq!(boxed.to_plain(), m);
+    }
+
+    #[test]
+    fn marker_array_nests_rich_messages() {
+        let arr = MarkerArray {
+            markers: vec![line_marker(), {
+                let mut t = line_marker();
+                t.id = 8;
+                t.marker_type = Marker::TEXT_VIEW_FACING;
+                t.text = "goal".to_string();
+                t.points.clear();
+                t.colors.clear();
+                t
+            }],
+        };
+        assert_eq!(MarkerArray::from_bytes(&arr.to_bytes()).unwrap(), arr);
+        let boxed = SfmMarkerArray::boxed_from_plain(&arr);
+        assert_eq!(boxed.markers.len(), 2);
+        assert_eq!(boxed.markers[1].text.as_str(), "goal");
+        assert_eq!(boxed.markers[0].points.len(), 16);
+        assert_eq!(boxed.to_plain(), arr);
+    }
+
+    #[test]
+    fn direct_sfm_construction_of_nested_array() {
+        // Deep nesting: vector of markers, each with strings and vectors
+        // of nested skeletons, all growing one whole message.
+        let mut arr = SfmBox::<SfmMarkerArray>::new();
+        arr.markers.resize(3);
+        for i in 0..3 {
+            arr.markers[i].ns.assign("layer");
+            arr.markers[i].id = i as i32;
+            arr.markers[i].points.resize(4);
+            arr.markers[i].points[3].x = i as f64;
+        }
+        assert_eq!(arr.markers[2].points[3].x, 2.0);
+        assert_eq!(arr.markers[0].ns.as_str(), "layer");
+    }
+}

@@ -1,0 +1,38 @@
+//! # rossf-netsim — link simulation for the inter-machine experiments
+//!
+//! The paper's inter-machine evaluation (§5.2) runs on two machines joined
+//! by an Intel 82599 10 Gigabit Ethernet controller. This reproduction runs
+//! on one host, so the "wire" is simulated: every byte stream crossing a
+//! simulated machine boundary is shaped to a configurable bandwidth and
+//! one-way latency.
+//!
+//! The model is deliberately simple — a busy-until pacing model:
+//!
+//! * transmitting `n` bytes occupies the link for `n * 8 / bandwidth`
+//!   seconds, tracked by a per-link *busy-until* instant so back-to-back
+//!   writes queue behind each other like frames on a NIC;
+//! * each frame additionally pays the propagation `latency` once.
+//!
+//! What matters for reproducing Fig. 16 is the *ratio* between
+//! serialization time and wire time, and a paced 10 Gb/s stream reproduces
+//! exactly that (see DESIGN.md, substitutions table).
+//!
+//! ```
+//! use rossf_netsim::{LinkProfile, ShapedWriter};
+//! use std::io::Write;
+//!
+//! let profile = LinkProfile::ten_gbe();
+//! let mut wire = ShapedWriter::new(Vec::new(), profile);
+//! wire.write_all(&[0u8; 1500]).unwrap();
+//! assert_eq!(wire.get_ref().len(), 1500);
+//! ```
+
+#![deny(missing_docs)]
+
+mod link;
+mod machine;
+mod shaper;
+
+pub use link::{LinkProfile, LinkTable};
+pub use machine::MachineId;
+pub use shaper::{ShapedWriter, Shaper};

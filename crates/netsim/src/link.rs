@@ -1,0 +1,164 @@
+//! Link profiles and the per-pair link table.
+
+use crate::machine::MachineId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Characteristics of a simulated network link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkProfile {
+    /// Link bandwidth in bits per second. `0` means unlimited (no pacing).
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency added once per frame.
+    pub latency: Duration,
+}
+
+impl LinkProfile {
+    /// An unlimited link — writes pass through unshaped.
+    pub const UNLIMITED: LinkProfile = LinkProfile {
+        bandwidth_bps: 0,
+        latency: Duration::ZERO,
+    };
+
+    /// The paper's testbed link: Intel 82599 10 GbE. 50 µs one-way latency
+    /// is typical for a back-to-back datacenter link.
+    pub fn ten_gbe() -> LinkProfile {
+        LinkProfile {
+            bandwidth_bps: 10_000_000_000,
+            latency: Duration::from_micros(50),
+        }
+    }
+
+    /// A legacy 100 Mb/s link — the regime the paper's introduction calls
+    /// out where "the time cost [of serialization] is negligible compared
+    /// to network transmission time".
+    pub fn fast_ethernet() -> LinkProfile {
+        LinkProfile {
+            bandwidth_bps: 100_000_000,
+            latency: Duration::from_micros(200),
+        }
+    }
+
+    /// A 1 Gb/s link, for sweeping the crossover region.
+    pub fn gigabit() -> LinkProfile {
+        LinkProfile {
+            bandwidth_bps: 1_000_000_000,
+            latency: Duration::from_micros(100),
+        }
+    }
+
+    /// `true` when the profile performs no shaping at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.bandwidth_bps == 0 && self.latency.is_zero()
+    }
+
+    /// Time the link is occupied transmitting `bytes` (excluding latency).
+    pub fn transmit_time(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bps == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps as f64)
+    }
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile::UNLIMITED
+    }
+}
+
+/// Table of link profiles between simulated machines.
+///
+/// Lookups are symmetric: the profile registered for `(a, b)` also applies
+/// to `(b, a)`. Same-machine traffic is always [`LinkProfile::UNLIMITED`]
+/// (loopback is not shaped — that is the intra-machine case measured
+/// directly in Fig. 13).
+#[derive(Debug, Default)]
+pub struct LinkTable {
+    links: RwLock<HashMap<(MachineId, MachineId), LinkProfile>>,
+    /// Profile used for machine pairs with no explicit entry.
+    default: RwLock<LinkProfile>,
+}
+
+impl LinkTable {
+    /// Empty table: all cross-machine traffic uses the default profile
+    /// (initially unlimited).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the profile used for cross-machine pairs without an explicit
+    /// entry.
+    pub fn set_default(&self, profile: LinkProfile) {
+        *self.default.write() = profile;
+    }
+
+    /// Register `profile` for traffic between `a` and `b` (both ways).
+    pub fn connect(&self, a: MachineId, b: MachineId, profile: LinkProfile) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links.write().insert(key, profile);
+    }
+
+    /// Profile governing traffic from `a` to `b`.
+    pub fn profile(&self, a: MachineId, b: MachineId) -> LinkProfile {
+        if a == b {
+            return LinkProfile::UNLIMITED;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links
+            .read()
+            .get(&key)
+            .copied()
+            .unwrap_or(*self.default.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_machine_is_unlimited() {
+        let t = LinkTable::new();
+        t.set_default(LinkProfile::ten_gbe());
+        assert!(t.profile(MachineId::A, MachineId::A).is_unlimited());
+    }
+
+    #[test]
+    fn cross_machine_uses_default_then_explicit() {
+        let t = LinkTable::new();
+        assert!(t.profile(MachineId::A, MachineId::B).is_unlimited());
+        t.set_default(LinkProfile::gigabit());
+        assert_eq!(
+            t.profile(MachineId::A, MachineId::B),
+            LinkProfile::gigabit()
+        );
+        t.connect(MachineId::A, MachineId::B, LinkProfile::ten_gbe());
+        assert_eq!(
+            t.profile(MachineId::B, MachineId::A),
+            LinkProfile::ten_gbe(),
+            "lookups are symmetric"
+        );
+    }
+
+    #[test]
+    fn transmit_time_scales_linearly() {
+        let p = LinkProfile::ten_gbe();
+        let t1 = p.transmit_time(1_000_000);
+        let t6 = p.transmit_time(6_000_000);
+        // 1 MB at 10 Gb/s = 0.8 ms.
+        assert!((t1.as_secs_f64() - 0.0008).abs() < 1e-9);
+        assert!((t6.as_secs_f64() / t1.as_secs_f64() - 6.0).abs() < 1e-9);
+        assert_eq!(LinkProfile::UNLIMITED.transmit_time(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let sizes = 6_000_000usize;
+        let fe = LinkProfile::fast_ethernet().transmit_time(sizes);
+        let ge = LinkProfile::gigabit().transmit_time(sizes);
+        let tg = LinkProfile::ten_gbe().transmit_time(sizes);
+        assert!(fe > ge && ge > tg);
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated machine identities.
+
+use core::fmt;
+
+/// Identifies a simulated machine. Nodes carry a `MachineId`; traffic
+/// between two different ids is shaped by the
+/// [`LinkTable`](crate::LinkTable), traffic within one id is not (it is the
+/// paper's intra-machine loopback case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MachineId(pub u32);
+
+impl MachineId {
+    /// The default machine every node starts on ("machine A" in Fig. 15).
+    pub const A: MachineId = MachineId(0);
+    /// A second machine ("machine B" in Fig. 15).
+    pub const B: MachineId = MachineId(1);
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine-{}", self.0)
+    }
+}
+
+impl From<u32> for MachineId {
+    fn from(v: u32) -> Self {
+        MachineId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_constants() {
+        assert_eq!(MachineId::A.to_string(), "machine-0");
+        assert_eq!(MachineId::B, MachineId::from(1));
+        assert_ne!(MachineId::A, MachineId::B);
+        assert_eq!(MachineId::default(), MachineId::A);
+    }
+}

@@ -1,0 +1,328 @@
+//! Bag recording and playback — the `rosbag` facility of the ROS
+//! ecosystem, reproduced over this middleware.
+//!
+//! A bag stores timestamped wire frames, so recording costs the same as
+//! one extra subscriber (for serialization-free messages: zero
+//! serialization — the whole message is appended verbatim), and playback
+//! re-publishes the original bytes. Workloads captured from one run can
+//! drive the benchmarks of another.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic  "ROSSFBAG1"
+//! record := u64 stamp_nanos
+//!           u32 topic_len,  topic bytes (UTF-8)
+//!           u32 type_len,   type bytes (UTF-8)
+//!           u32 payload_len, payload bytes
+//! ```
+
+use crate::error::RosError;
+use crate::node::NodeHandle;
+use crate::subscriber::Subscriber;
+use crate::time::now_nanos;
+use crate::traits::{Decode, Encode, RecvSlot};
+use parking_lot::Mutex;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 9] = b"ROSSFBAG1";
+
+/// One recorded message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BagRecord {
+    /// Capture time (monotonic experiment clock).
+    pub stamp_nanos: u64,
+    /// Topic the message was seen on.
+    pub topic: String,
+    /// ROS type name of the message.
+    pub type_name: String,
+    /// The wire payload, verbatim.
+    pub payload: Vec<u8>,
+}
+
+/// An in-memory bag; serializable to/from the on-disk format.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bag {
+    records: Vec<BagRecord>,
+}
+
+impl Bag {
+    /// Empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records, in capture order.
+    pub fn records(&self) -> &[BagRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, record: BagRecord) {
+        self.records.push(record);
+    }
+
+    /// Serialize to any writer.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), RosError> {
+        w.write_all(MAGIC)?;
+        for r in &self.records {
+            w.write_all(&r.stamp_nanos.to_le_bytes())?;
+            w.write_all(&(r.topic.len() as u32).to_le_bytes())?;
+            w.write_all(r.topic.as_bytes())?;
+            w.write_all(&(r.type_name.len() as u32).to_le_bytes())?;
+            w.write_all(r.type_name.as_bytes())?;
+            w.write_all(&(r.payload.len() as u32).to_le_bytes())?;
+            w.write_all(&r.payload)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Deserialize from any reader.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::BadHeader`] on a bad magic or truncated record; I/O
+    /// errors from the reader.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, RosError> {
+        let mut magic = [0u8; 9];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(RosError::BadHeader("not a ROSSFBAG1 file".to_string()));
+        }
+        let mut records = Vec::new();
+        loop {
+            let mut stamp = [0u8; 8];
+            match r.read(&mut stamp)? {
+                0 => break, // clean EOF between records
+                8 => {}
+                n => {
+                    r.read_exact(&mut stamp[n..])?;
+                }
+            }
+            let read_u32 = |r: &mut R| -> Result<u32, RosError> {
+                let mut b = [0u8; 4];
+                r.read_exact(&mut b)?;
+                Ok(u32::from_le_bytes(b))
+            };
+            let read_blob = |r: &mut R, len: usize| -> Result<Vec<u8>, RosError> {
+                if len > 256 << 20 {
+                    return Err(RosError::BadHeader(format!("absurd record length {len}")));
+                }
+                let mut v = vec![0u8; len];
+                r.read_exact(&mut v)?;
+                Ok(v)
+            };
+            let topic_len = read_u32(r)? as usize;
+            let topic = String::from_utf8(read_blob(r, topic_len)?)
+                .map_err(|_| RosError::BadHeader("non-utf8 topic".to_string()))?;
+            let type_len = read_u32(r)? as usize;
+            let type_name = String::from_utf8(read_blob(r, type_len)?)
+                .map_err(|_| RosError::BadHeader("non-utf8 type".to_string()))?;
+            let payload_len = read_u32(r)? as usize;
+            let payload = read_blob(r, payload_len)?;
+            records.push(BagRecord {
+                stamp_nanos: u64::from_le_bytes(stamp),
+                topic,
+                type_name,
+                payload,
+            });
+        }
+        Ok(Bag { records })
+    }
+
+    /// Write to a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), RosError> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut w)
+    }
+
+    /// Read from a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and format errors as [`Bag::read_from`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, RosError> {
+        let mut r = BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut r)
+    }
+
+    /// Re-publish every record for `topic` through `publisher`, decoding
+    /// each stored payload into `D` first (so the bag can replay into
+    /// either message family). Returns the number of messages replayed.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors if the bag's payloads do not match `D`.
+    pub fn replay<D: Decode + Encode>(
+        &self,
+        topic: &str,
+        publisher: &crate::publisher::Publisher<D>,
+    ) -> Result<usize, RosError> {
+        let mut count = 0;
+        for r in self.records.iter().filter(|r| r.topic == topic) {
+            if r.type_name != D::topic_type() {
+                return Err(RosError::TypeMismatch {
+                    topic: topic.to_string(),
+                    registered: r.type_name.clone(),
+                    attempted: D::topic_type().to_string(),
+                });
+            }
+            let mut slot = D::new_slot(r.payload.len())?;
+            slot.as_mut_slice().copy_from_slice(&r.payload);
+            let msg = D::finish_slot(slot)?;
+            publisher.publish(&msg);
+            count += 1;
+        }
+        Ok(count)
+    }
+}
+
+/// A live recorder: subscribes to a topic and appends every message to a
+/// shared [`Bag`]. Dropping it stops recording.
+pub struct BagRecorder<D: Decode> {
+    _sub: Subscriber<D>,
+    bag: Arc<Mutex<Bag>>,
+    topic: String,
+}
+
+impl<D: Decode + Encode + 'static> BagRecorder<D> {
+    /// Start recording `topic` through `nh`.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`] if the topic carries a different type.
+    pub fn start(nh: &NodeHandle, topic: &str) -> Result<Self, RosError> {
+        let bag = Arc::new(Mutex::new(Bag::new()));
+        let bag_cb = Arc::clone(&bag);
+        let topic_cb = topic.to_string();
+        let sub = nh.try_subscribe(topic, move |msg: D| {
+            let frame = msg.encode();
+            bag_cb.lock().push(BagRecord {
+                stamp_nanos: now_nanos(),
+                topic: topic_cb.clone(),
+                type_name: D::topic_type().to_string(),
+                payload: frame.as_slice().to_vec(),
+            });
+        })?;
+        Ok(BagRecorder {
+            _sub: sub,
+            bag,
+            topic: topic.to_string(),
+        })
+    }
+
+    /// Messages recorded so far.
+    pub fn count(&self) -> usize {
+        self.bag.lock().len()
+    }
+
+    /// The topic being recorded.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Stop recording and take the bag.
+    pub fn finish(self) -> Bag {
+        // Dropping the subscriber first guarantees no further appends.
+        drop(self._sub);
+        Arc::try_unwrap(self.bag)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u64) -> BagRecord {
+        BagRecord {
+            stamp_nanos: i * 1000,
+            topic: format!("topic_{}", i % 2),
+            type_name: "test/T".to_string(),
+            payload: vec![i as u8; (i as usize % 7) + 1],
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut bag = Bag::new();
+        for i in 0..10 {
+            bag.push(record(i));
+        }
+        let mut bytes = Vec::new();
+        bag.write_to(&mut bytes).unwrap();
+        let back = Bag::read_from(&mut &bytes[..]).unwrap();
+        assert_eq!(back, bag);
+        assert_eq!(back.len(), 10);
+        assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn empty_bag_roundtrips() {
+        let bag = Bag::new();
+        let mut bytes = Vec::new();
+        bag.write_to(&mut bytes).unwrap();
+        assert_eq!(bytes, MAGIC);
+        assert!(Bag::read_from(&mut &bytes[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = b"NOTABAG!!".to_vec();
+        assert!(matches!(
+            Bag::read_from(&mut &bytes[..]),
+            Err(RosError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_record_is_io_error() {
+        let mut bag = Bag::new();
+        bag.push(record(1));
+        let mut bytes = Vec::new();
+        bag.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 2);
+        assert!(Bag::read_from(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn file_save_and_load() {
+        let mut bag = Bag::new();
+        bag.push(record(3));
+        let path = std::env::temp_dir().join(format!("rossf_bag_test_{}.bag", std::process::id()));
+        bag.save(&path).unwrap();
+        let back = Bag::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, bag);
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // topic_len
+        assert!(Bag::read_from(&mut &bytes[..]).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! The ROS master: the registry connecting publishers and subscribers.
+//!
+//! Real ROS1 runs `roscore` as a separate process speaking XML-RPC; the
+//! experiments in the paper only need its *matchmaking* function, so this
+//! master is an in-process registry shared by every simulated node (the
+//! nodes still exchange message data over real TCP sockets, like roscpp).
+//! It additionally owns the [`LinkTable`] that assigns link shaping to
+//! cross-machine connections.
+
+use crate::error::RosError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rossf_netsim::{LinkTable, MachineId};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a publisher for a topic accepts subscriber connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublisherEndpoint {
+    /// TCP address of the publisher's listener.
+    pub addr: SocketAddr,
+    /// Simulated machine the publisher runs on.
+    pub machine: MachineId,
+    /// Unique id of the publisher registration.
+    pub id: u64,
+}
+
+struct TopicEntry {
+    type_name: String,
+    publishers: Vec<PublisherEndpoint>,
+    watchers: Vec<(u64, Sender<PublisherEndpoint>)>,
+}
+
+struct MasterInner {
+    topics: Mutex<HashMap<String, TopicEntry>>,
+    links: LinkTable,
+    services: crate::service::ServiceRegistry,
+    next_id: AtomicU64,
+}
+
+/// Handle to the shared in-process master. Cloning is cheap; all clones
+/// address the same registry.
+#[derive(Clone)]
+pub struct Master {
+    inner: Arc<MasterInner>,
+}
+
+impl Default for Master {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Master {
+    /// Fresh, empty master with an unshaped link table.
+    pub fn new() -> Self {
+        Master {
+            inner: Arc::new(MasterInner {
+                topics: Mutex::new(HashMap::new()),
+                links: LinkTable::new(),
+                services: crate::service::ServiceRegistry::default(),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The simulated network between machines; configure before creating
+    /// cross-machine subscriptions.
+    pub fn links(&self) -> &LinkTable {
+        &self.inner.links
+    }
+
+    /// The service registry (request/response endpoints).
+    pub fn services(&self) -> &crate::service::ServiceRegistry {
+        &self.inner.services
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register a publisher of `type_name` on `topic`, listening at `addr`.
+    /// Existing and future subscribers are pointed at it.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`] if the topic already carries a different
+    /// type.
+    pub fn register_publisher(
+        &self,
+        topic: &str,
+        type_name: &str,
+        addr: SocketAddr,
+        machine: MachineId,
+    ) -> Result<u64, RosError> {
+        let id = self.fresh_id();
+        let mut topics = self.inner.topics.lock();
+        let entry = topics.entry(topic.to_string()).or_insert_with(|| TopicEntry {
+            type_name: type_name.to_string(),
+            publishers: Vec::new(),
+            watchers: Vec::new(),
+        });
+        if entry.type_name != type_name {
+            return Err(RosError::TypeMismatch {
+                topic: topic.to_string(),
+                registered: entry.type_name.clone(),
+                attempted: type_name.to_string(),
+            });
+        }
+        let ep = PublisherEndpoint { addr, machine, id };
+        entry.publishers.push(ep.clone());
+        // Notify live watchers; forget those whose subscriber is gone.
+        entry
+            .watchers
+            .retain(|(_, w)| w.send(ep.clone()).is_ok());
+        Ok(id)
+    }
+
+    /// Remove a publisher registration (called when the publisher drops).
+    pub fn unregister_publisher(&self, topic: &str, id: u64) {
+        if let Some(entry) = self.inner.topics.lock().get_mut(topic) {
+            entry.publishers.retain(|p| p.id != id);
+        }
+    }
+
+    /// Register interest in `topic`: returns the current publishers, a
+    /// channel yielding future ones, and a watcher id for
+    /// [`Master::unregister_subscriber`].
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`] if the topic already carries a different
+    /// type.
+    pub fn register_subscriber(
+        &self,
+        topic: &str,
+        type_name: &str,
+    ) -> Result<(Vec<PublisherEndpoint>, Receiver<PublisherEndpoint>, u64), RosError> {
+        let id = self.fresh_id();
+        let mut topics = self.inner.topics.lock();
+        let entry = topics.entry(topic.to_string()).or_insert_with(|| TopicEntry {
+            type_name: type_name.to_string(),
+            publishers: Vec::new(),
+            watchers: Vec::new(),
+        });
+        if entry.type_name != type_name {
+            return Err(RosError::TypeMismatch {
+                topic: topic.to_string(),
+                registered: entry.type_name.clone(),
+                attempted: type_name.to_string(),
+            });
+        }
+        let (tx, rx) = unbounded();
+        entry.watchers.push((id, tx));
+        Ok((entry.publishers.clone(), rx, id))
+    }
+
+    /// Remove a subscriber watcher (called when the subscriber drops). The
+    /// watcher's channel sender is dropped, ending its notification stream.
+    pub fn unregister_subscriber(&self, topic: &str, id: u64) {
+        if let Some(entry) = self.inner.topics.lock().get_mut(topic) {
+            entry.watchers.retain(|(wid, _)| *wid != id);
+        }
+    }
+
+    /// Message type currently registered for `topic`, if any.
+    pub fn topic_type(&self, topic: &str) -> Option<String> {
+        self.inner
+            .topics
+            .lock()
+            .get(topic)
+            .map(|e| e.type_name.clone())
+    }
+
+    /// Number of live publishers on `topic`.
+    pub fn publisher_count(&self, topic: &str) -> usize {
+        self.inner
+            .topics
+            .lock()
+            .get(topic)
+            .map_or(0, |e| e.publishers.len())
+    }
+
+    /// Names of all known topics, sorted.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.topics.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Render the current graph (topics, publisher/subscriber counts,
+    /// services) as Graphviz DOT — a `rqt_graph`-style snapshot.
+    pub fn graph_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph rossf {\n  rankdir=LR;\n");
+        {
+            let topics = self.inner.topics.lock();
+            let mut names: Vec<_> = topics.keys().cloned().collect();
+            names.sort();
+            for name in names {
+                let entry = &topics[&name];
+                let _ = writeln!(
+                    out,
+                    "  \"{name}\" [shape=box, label=\"{name}\\n{}\\npubs={} subs={}\"];",
+                    entry.type_name,
+                    entry.publishers.len(),
+                    entry.watchers.len()
+                );
+            }
+        }
+        for service in self.services().names() {
+            let _ = writeln!(
+                out,
+                "  \"{service}\" [shape=ellipse, label=\"{service}\\n(service)\"];"
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl std::fmt::Debug for Master {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Master")
+            .field("topics", &self.topic_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn publisher_then_subscriber_sees_endpoint() {
+        let m = Master::new();
+        let id = m
+            .register_publisher("t", "sensor_msgs/Image", addr(1000), MachineId::A)
+            .unwrap();
+        let (eps, _rx, _sid) = m.register_subscriber("t", "sensor_msgs/Image").unwrap();
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].id, id);
+        assert_eq!(m.publisher_count("t"), 1);
+    }
+
+    #[test]
+    fn subscriber_then_publisher_notified_via_channel() {
+        let m = Master::new();
+        let (eps, rx, _sid) = m.register_subscriber("t", "T").unwrap();
+        assert!(eps.is_empty());
+        let id = m
+            .register_publisher("t", "T", addr(1234), MachineId::B)
+            .unwrap();
+        let ep = rx.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+        assert_eq!(ep.id, id);
+        assert_eq!(ep.machine, MachineId::B);
+    }
+
+    #[test]
+    fn type_mismatch_rejected_both_directions() {
+        let m = Master::new();
+        m.register_publisher("t", "A", addr(1), MachineId::A).unwrap();
+        assert!(matches!(
+            m.register_publisher("t", "B", addr(2), MachineId::A),
+            Err(RosError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            m.register_subscriber("t", "B"),
+            Err(RosError::TypeMismatch { .. })
+        ));
+        assert_eq!(m.topic_type("t").unwrap(), "A");
+    }
+
+    #[test]
+    fn unregister_publisher_removes_endpoint() {
+        let m = Master::new();
+        let id = m.register_publisher("t", "T", addr(1), MachineId::A).unwrap();
+        m.unregister_publisher("t", id);
+        assert_eq!(m.publisher_count("t"), 0);
+    }
+
+    #[test]
+    fn unregister_subscriber_closes_watcher_channel() {
+        let m = Master::new();
+        let (_, rx, sid) = m.register_subscriber("t", "T").unwrap();
+        m.unregister_subscriber("t", sid);
+        // Channel sender dropped → receiver sees disconnect.
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn topic_names_sorted() {
+        let m = Master::new();
+        m.register_publisher("zeta", "T", addr(1), MachineId::A).unwrap();
+        m.register_publisher("alpha", "T", addr(2), MachineId::A).unwrap();
+        assert_eq!(m.topic_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert!(format!("{m:?}").contains("alpha"));
+    }
+
+    #[test]
+    fn graph_dot_lists_topics_and_services() {
+        let m = Master::new();
+        m.register_publisher("camera/image", "sensor_msgs/Image", addr(1), MachineId::A)
+            .unwrap();
+        m.services()
+            .register(
+                "add_two_ints",
+                crate::service::ServiceEndpoint {
+                    addr: addr(2),
+                    req_type: "a".into(),
+                    res_type: "b".into(),
+                    id: 1,
+                },
+            )
+            .unwrap();
+        let dot = m.graph_dot();
+        assert!(dot.starts_with("digraph rossf {"));
+        assert!(dot.contains("camera/image"));
+        assert!(dot.contains("sensor_msgs/Image"));
+        assert!(dot.contains("pubs=1"));
+        assert!(dot.contains("add_two_ints"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Master::new();
+        let m2 = m.clone();
+        m.register_publisher("t", "T", addr(1), MachineId::A).unwrap();
+        assert_eq!(m2.publisher_count("t"), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! `NodeHandle` — the entry point of the paper's program pattern (Fig. 3).
+
+use crate::error::RosError;
+use crate::master::Master;
+use crate::publisher::Publisher;
+use crate::subscriber::Subscriber;
+use crate::traits::{Decode, Encode};
+use rossf_netsim::MachineId;
+use std::time::{Duration, Instant};
+
+/// Handle representing a ROS node: a named participant on one simulated
+/// machine, through which topics are advertised and subscribed.
+///
+/// ```
+/// use rossf_ros::{Master, NodeHandle, MachineId};
+///
+/// let master = Master::new();
+/// let nh = NodeHandle::new(&master, "pub_node");
+/// let remote = NodeHandle::with_machine(&master, "trans_node", MachineId::B);
+/// assert_eq!(nh.name(), "pub_node");
+/// assert_eq!(remote.machine(), MachineId::B);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    master: Master,
+    name: String,
+    machine: MachineId,
+}
+
+impl NodeHandle {
+    /// Create a node on the default machine (machine A).
+    pub fn new(master: &Master, name: &str) -> Self {
+        Self::with_machine(master, name, MachineId::A)
+    }
+
+    /// Create a node on a specific simulated machine. Traffic between
+    /// machines is shaped per the master's link table.
+    pub fn with_machine(master: &Master, name: &str, machine: MachineId) -> Self {
+        NodeHandle {
+            master: master.clone(),
+            name: name.to_string(),
+            machine,
+        }
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Simulated machine this node runs on.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// The master this node registered with.
+    pub fn master(&self) -> &Master {
+        &self.master
+    }
+
+    /// Declare a topic and obtain a publisher for it (Fig. 3,
+    /// `nh.advertise(...)`). `queue_size` bounds each subscriber
+    /// connection's transmission queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topic already carries a different message type or the
+    /// listener socket cannot be created; use [`NodeHandle::try_advertise`]
+    /// to handle those cases.
+    pub fn advertise<M: Encode>(&self, topic: &str, queue_size: usize) -> Publisher<M> {
+        self.try_advertise(topic, queue_size)
+            .unwrap_or_else(|e| panic!("advertise({topic}) failed: {e}"))
+    }
+
+    /// Fallible variant of [`NodeHandle::advertise`].
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`] or [`RosError::Io`].
+    pub fn try_advertise<M: Encode>(
+        &self,
+        topic: &str,
+        queue_size: usize,
+    ) -> Result<Publisher<M>, RosError> {
+        Publisher::create(&self.master, topic, queue_size, self.machine)
+    }
+
+    /// Register `callback` for messages on `topic` (Fig. 3,
+    /// `nh.subscribe(..., callback)`). The callback runs on the connection
+    /// reader thread, receiving the decoded message — an `Arc<M>` for plain
+    /// messages or an [`SfmShared`](rossf_sfm::SfmShared) for
+    /// serialization-free ones.
+    ///
+    /// `_queue_size` is accepted for API fidelity with ROS; backpressure is
+    /// provided by the TCP socket itself in this implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type mismatch; use [`NodeHandle::try_subscribe`] to handle
+    /// it.
+    pub fn subscribe<D: Decode, F>(
+        &self,
+        topic: &str,
+        _queue_size: usize,
+        callback: F,
+    ) -> Subscriber<D>
+    where
+        F: Fn(D) + Send + Sync + 'static,
+    {
+        self.try_subscribe(topic, callback)
+            .unwrap_or_else(|e| panic!("subscribe({topic}) failed: {e}"))
+    }
+
+    /// Fallible variant of [`NodeHandle::subscribe`].
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`].
+    pub fn try_subscribe<D: Decode, F>(
+        &self,
+        topic: &str,
+        callback: F,
+    ) -> Result<Subscriber<D>, RosError>
+    where
+        F: Fn(D) + Send + Sync + 'static,
+    {
+        Subscriber::create(&self.master, topic, self.machine, callback)
+    }
+
+    /// Advertise a request/response service (`rosservice` style). The
+    /// handler runs on the per-client connection thread.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::Rejected`] if the name is taken; I/O errors binding.
+    pub fn advertise_service<Req, Res, F>(
+        &self,
+        name: &str,
+        handler: F,
+    ) -> Result<crate::service::ServiceServer, RosError>
+    where
+        Req: crate::Decode,
+        Res: crate::Encode + 'static,
+        F: Fn(Req) -> Res + Send + Sync + 'static,
+    {
+        crate::service::ServiceServer::advertise::<Req, Res, F>(self, name, handler)
+    }
+
+    /// Connect a client to a service advertised on this master.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::Rejected`] if the service does not exist or the types
+    /// mismatch.
+    pub fn service_client<Req, Res>(
+        &self,
+        name: &str,
+    ) -> Result<crate::service::ServiceClient<Req, Res>, RosError>
+    where
+        Req: crate::Encode,
+        Res: crate::Decode,
+    {
+        crate::service::ServiceClient::connect(self, name)
+    }
+
+    /// Block until `publisher` has at least `n` connected subscribers
+    /// (handshakes complete), or 5 seconds elapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on timeout — connection problems in a benchmark should be
+    /// loud, not measured.
+    pub fn wait_for_subscribers<M: Encode>(&self, publisher: &Publisher<M>, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while publisher.subscriber_count() < n {
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {n} subscribers on {}",
+                publisher.topic()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

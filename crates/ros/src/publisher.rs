@@ -1,0 +1,242 @@
+//! The publisher side of a topic.
+//!
+//! `advertise` binds a TCP listener and registers it with the master. Each
+//! subscriber that connects gets its own bounded *transmission queue* and
+//! writer thread (the queue of paper Fig. 8: `publish` deposits a cheap
+//! clone of the encoded frame — for serialization-free messages, a clone of
+//! the buffer pointer — and returns; the writer threads drain to the
+//! sockets). Cross-machine connections are paced by the master's
+//! [`LinkTable`](rossf_netsim::LinkTable).
+
+use crate::error::RosError;
+use crate::master::Master;
+use crate::traits::Encode;
+use crate::wire::{write_frame, ConnectionHeader, OutFrame};
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
+use rossf_netsim::{MachineId, ShapedWriter};
+use std::io::BufReader;
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Conn {
+    queue: Sender<OutFrame>,
+    alive: Arc<AtomicBool>,
+}
+
+struct PubCore {
+    topic: String,
+    type_name: &'static str,
+    addr: SocketAddr,
+    machine: MachineId,
+    queue_size: usize,
+    master: Master,
+    registration: u64,
+    conns: Mutex<Vec<Conn>>,
+    shutdown: AtomicBool,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl PubCore {
+    /// Accept loop. Holds only a `Weak` reference so that dropping the last
+    /// `Publisher` clone tears the core down (its `Drop` then wakes this
+    /// loop with a dummy connection, and the upgrade below fails).
+    fn accept_loop(core: std::sync::Weak<Self>, listener: TcpListener) {
+        loop {
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(_) => break,
+            };
+            let Some(strong) = core.upgrade() else { break };
+            if strong.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Handshake on its own thread so a slow subscriber cannot
+            // stall other joins.
+            std::thread::spawn(move || {
+                let _ = strong.handle_subscriber(stream);
+            });
+        }
+    }
+
+    fn handle_subscriber(self: Arc<Self>, mut stream: TcpStream) -> Result<(), RosError> {
+        stream.set_nodelay(true)?;
+        let header = {
+            let mut reader = BufReader::new(stream.try_clone()?);
+            ConnectionHeader::read_from(&mut reader)?
+        };
+        let sub_type = header.get("type").unwrap_or_default().to_string();
+        if sub_type != self.type_name {
+            let reply = ConnectionHeader::new().with(
+                "error",
+                format!("topic carries {} not {}", self.type_name, sub_type),
+            );
+            reply.write_to(&mut stream)?;
+            return Err(RosError::TypeMismatch {
+                topic: self.topic.clone(),
+                registered: self.type_name.to_string(),
+                attempted: sub_type,
+            });
+        }
+        let sub_machine: MachineId = header
+            .get("machine")
+            .and_then(|m| m.parse::<u32>().ok())
+            .unwrap_or_default()
+            .into();
+
+        let reply = ConnectionHeader::new()
+            .with("type", self.type_name)
+            .with("topic", &self.topic)
+            .with("endian", ConnectionHeader::native_endian());
+        reply.write_to(&mut stream)?;
+
+        // Link shaping: pace the data path if the subscriber lives on a
+        // different simulated machine.
+        let profile = self.master.links().profile(self.machine, sub_machine);
+        let mut wire = ShapedWriter::new(stream, profile);
+
+        let (tx, rx) = bounded::<OutFrame>(self.queue_size.max(1));
+        let alive = Arc::new(AtomicBool::new(true));
+        self.conns.lock().push(Conn {
+            queue: tx,
+            alive: Arc::clone(&alive),
+        });
+        // Release our strong reference: the writer loop must not keep the
+        // core alive, or dropping the last Publisher could never clear the
+        // queues this loop waits on.
+        drop(self);
+
+        // Writer thread body (we are already on a dedicated thread).
+        while let Ok(frame) = rx.recv() {
+            wire.start_frame();
+            if write_frame(&mut wire, frame.as_slice()).is_err() {
+                break; // subscriber went away
+            }
+        }
+        alive.store(false, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+impl Drop for PubCore {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.master.unregister_publisher(&self.topic, self.registration);
+        // Close all transmission queues so writer threads exit.
+        self.conns.lock().clear();
+        // Wake the accept loop so it observes the shutdown flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A handle for publishing messages of type `M` on one topic (the object
+/// returned by `nh.advertise(...)` in the paper's Fig. 3).
+///
+/// Cloning shares the same underlying listener and connections; the
+/// listener shuts down when the last clone drops.
+pub struct Publisher<M: Encode> {
+    core: Arc<PubCore>,
+    _marker: PhantomData<fn(&M)>,
+}
+
+impl<M: Encode> Clone for Publisher<M> {
+    fn clone(&self) -> Self {
+        Publisher {
+            core: Arc::clone(&self.core),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<M: Encode> Publisher<M> {
+    pub(crate) fn create(
+        master: &Master,
+        topic: &str,
+        queue_size: usize,
+        machine: MachineId,
+    ) -> Result<Self, RosError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let registration =
+            master.register_publisher(topic, M::topic_type(), addr, machine)?;
+        let core = Arc::new(PubCore {
+            topic: topic.to_string(),
+            type_name: M::topic_type(),
+            addr,
+            machine,
+            queue_size,
+            master: master.clone(),
+            registration,
+            conns: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            published: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        });
+        let weak = Arc::downgrade(&core);
+        std::thread::spawn(move || PubCore::accept_loop(weak, listener));
+        Ok(Publisher {
+            core,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Publish a message: encode once (for serialization-free messages this
+    /// only clones the buffer pointer) and enqueue on every subscriber
+    /// connection. Never blocks; if a connection's transmission queue is
+    /// full the frame is dropped for that subscriber (counted in
+    /// [`Publisher::dropped`]).
+    pub fn publish(&self, msg: &M) {
+        let frame = msg.encode();
+        self.core.published.fetch_add(1, Ordering::Relaxed);
+        let mut conns = self.core.conns.lock();
+        conns.retain(|conn| match conn.queue.try_send(frame.clone()) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                self.core.dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+    }
+
+    /// The topic this publisher serves.
+    pub fn topic(&self) -> &str {
+        &self.core.topic
+    }
+
+    /// Address subscribers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.core.addr
+    }
+
+    /// Number of currently connected subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        let mut conns = self.core.conns.lock();
+        // Prune connections whose writer thread exited (subscriber gone).
+        conns.retain(|c| c.alive.load(Ordering::SeqCst));
+        conns.len()
+    }
+
+    /// Frames published so far (per `publish` call, not per connection).
+    pub fn published(&self) -> u64 {
+        self.core.published.load(Ordering::Relaxed)
+    }
+
+    /// Frames dropped because a subscriber's queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.core.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<M: Encode> std::fmt::Debug for Publisher<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Publisher")
+            .field("topic", &self.core.topic)
+            .field("type", &self.core.type_name)
+            .field("subscribers", &self.core.conns.lock().len())
+            .finish()
+    }
+}

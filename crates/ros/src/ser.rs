@@ -1,0 +1,480 @@
+//! The ROS1 serialization format.
+//!
+//! This is the baseline the paper compares against: the format produced by
+//! `roscpp`'s generated serializers. It is little-endian and packed:
+//!
+//! | IDL type        | wire form                              |
+//! |-----------------|----------------------------------------|
+//! | numeric         | little-endian bytes                    |
+//! | `bool`          | one byte (0/1)                         |
+//! | `string`        | `u32` length + UTF-8 bytes (no NUL)    |
+//! | `T[]` (dynamic) | `u32` count + serialized elements      |
+//! | `T[N]` (fixed)  | serialized elements only               |
+//! | `time`          | `u32` sec + `u32` nsec                 |
+//! | nested message  | fields in declaration order            |
+//!
+//! [`RosField`] implements the per-field encoding recursively;
+//! [`RosMessage`] adds the message-level metadata. Both are generated for
+//! user types by `ros_message!` in `rossf-msg`.
+
+use crate::time::{RosDuration, RosTime};
+use core::fmt;
+
+/// Error produced when decoding a ROS1-serialized buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the field was complete.
+    UnexpectedEof {
+        /// Bytes needed by the field being decoded.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A `string` field held invalid UTF-8.
+    InvalidUtf8,
+    /// A declared length is absurd (longer than the remaining buffer) —
+    /// corrupt data; refusing early avoids huge allocations.
+    LengthOverrun {
+        /// The declared element/byte count.
+        declared: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// Bytes were left over after the message was fully decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of buffer: needed {needed}, had {remaining}")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "string field holds invalid UTF-8"),
+            DecodeError::LengthOverrun {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining buffer {remaining}"
+            ),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor over a serialized buffer.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Error unless the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::TrailingBytes`] when bytes remain.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(DecodeError::TrailingBytes(n)),
+        }
+    }
+}
+
+/// A value serializable as a ROS1 message field.
+pub trait RosField: Sized {
+    /// Exact number of bytes `write_field` will append.
+    fn field_len(&self) -> usize;
+    /// Append the wire form to `out`.
+    fn write_field(&self, out: &mut Vec<u8>);
+    /// Decode the wire form.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on truncated or corrupt input.
+    fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError>;
+}
+
+macro_rules! impl_numeric_field {
+    ($($t:ty),*) => {$(
+        impl RosField for $t {
+            #[inline]
+            fn field_len(&self) -> usize {
+                core::mem::size_of::<$t>()
+            }
+
+            #[inline]
+            fn write_field(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+                let bytes = r.take(core::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact take")))
+            }
+        }
+    )*};
+}
+impl_numeric_field!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl RosField for bool {
+    fn field_len(&self) -> usize {
+        1
+    }
+
+    fn write_field(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.take(1)?[0] != 0)
+    }
+}
+
+impl RosField for String {
+    fn field_len(&self) -> usize {
+        4 + self.len()
+    }
+
+    fn write_field(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).write_field(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let len = u32::read_field(r)? as usize;
+        if len > r.remaining() {
+            return Err(DecodeError::LengthOverrun {
+                declared: len,
+                remaining: r.remaining(),
+            });
+        }
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+impl<T: RosField> RosField for Vec<T> {
+    fn field_len(&self) -> usize {
+        4 + self.iter().map(RosField::field_len).sum::<usize>()
+    }
+
+    fn write_field(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).write_field(out);
+        // Fast path for byte arrays dominates image payloads.
+        for item in self {
+            item.write_field(out);
+        }
+    }
+
+    fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let count = u32::read_field(r)? as usize;
+        // Each element occupies at least one byte on the wire.
+        if count > r.remaining() {
+            return Err(DecodeError::LengthOverrun {
+                declared: count,
+                remaining: r.remaining(),
+            });
+        }
+        let mut v = Vec::with_capacity(count);
+        for _ in 0..count {
+            v.push(T::read_field(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: RosField + Default + Copy, const N: usize> RosField for [T; N] {
+    fn field_len(&self) -> usize {
+        self.iter().map(RosField::field_len).sum()
+    }
+
+    fn write_field(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.write_field(out);
+        }
+    }
+
+    fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let mut arr = [T::default(); N];
+        for slot in &mut arr {
+            *slot = T::read_field(r)?;
+        }
+        Ok(arr)
+    }
+}
+
+impl RosField for RosTime {
+    fn field_len(&self) -> usize {
+        8
+    }
+
+    fn write_field(&self, out: &mut Vec<u8>) {
+        self.sec.write_field(out);
+        self.nsec.write_field(out);
+    }
+
+    fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(RosTime {
+            sec: u32::read_field(r)?,
+            nsec: u32::read_field(r)?,
+        })
+    }
+}
+
+impl RosField for RosDuration {
+    fn field_len(&self) -> usize {
+        8
+    }
+
+    fn write_field(&self, out: &mut Vec<u8>) {
+        self.sec.write_field(out);
+        self.nsec.write_field(out);
+    }
+
+    fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(RosDuration {
+            sec: i32::read_field(r)?,
+            nsec: i32::read_field(r)?,
+        })
+    }
+}
+
+/// A complete ROS1 message: a [`RosField`] with a registered type name.
+///
+/// The generated serializer/de-serializer pair of `roscpp` corresponds to
+/// [`RosMessage::to_bytes`] / [`RosMessage::from_bytes`].
+pub trait RosMessage: RosField + Clone + Send + Sync + fmt::Debug + 'static {
+    /// ROS type name, e.g. `sensor_msgs/Image`.
+    fn ros_type_name() -> &'static str;
+
+    /// Serialize into a fresh buffer (what `publish` does internally for
+    /// ordinary messages).
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.field_len());
+        self.write_field(&mut out);
+        out
+    }
+
+    /// De-serialize a full frame, requiring every byte to be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on truncated, trailing, or corrupt input.
+    fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = ByteReader::new(buf);
+        let msg = Self::read_field(&mut r)?;
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+// Specialized byte-vector helpers used by generated code: `Vec<u8>` copies
+// in bulk rather than element-wise, which matters for megabyte image
+// payloads in the baseline serializer.
+/// Append a `u8[]` field in bulk (helper for generated serializers).
+pub fn write_bytes_field(data: &[u8], out: &mut Vec<u8>) {
+    (data.len() as u32).write_field(out);
+    out.extend_from_slice(data);
+}
+
+/// Read a `u8[]` field in bulk (helper for generated de-serializers).
+///
+/// # Errors
+///
+/// [`DecodeError::LengthOverrun`] / [`DecodeError::UnexpectedEof`] on
+/// truncated input.
+pub fn read_bytes_field(r: &mut ByteReader<'_>) -> Result<Vec<u8>, DecodeError> {
+    let len = u32::read_field(r)? as usize;
+    if len > r.remaining() {
+        return Err(DecodeError::LengthOverrun {
+            declared: len,
+            remaining: r.remaining(),
+        });
+    }
+    Ok(r.take(len)?.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: RosField + PartialEq + fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.write_field(&mut buf);
+        assert_eq!(buf.len(), value.field_len(), "field_len mismatch");
+        let mut r = ByteReader::new(&buf);
+        let back = T::read_field(&mut r).unwrap();
+        assert_eq!(back, value);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn numeric_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(-7i8);
+        roundtrip(65535u16);
+        roundtrip(-32768i16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(i32::MIN);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f32);
+        roundtrip(-2.25f64);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn numbers_are_little_endian() {
+        let mut buf = Vec::new();
+        0x0102_0304u32.write_field(&mut buf);
+        assert_eq!(buf, [0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn string_roundtrip_and_layout() {
+        roundtrip(String::from(""));
+        roundtrip(String::from("rgb8"));
+        roundtrip(String::from("héllo✓"));
+        let mut buf = Vec::new();
+        String::from("rgb8").write_field(&mut buf);
+        // u32 len (4) + bytes, no NUL — the ROS1 layout.
+        assert_eq!(buf, [4, 0, 0, 0, b'r', b'g', b'b', b'8']);
+    }
+
+    #[test]
+    fn vec_roundtrips() {
+        roundtrip(Vec::<u8>::new());
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(vec![1.5f64, -0.5]);
+        roundtrip(vec![String::from("a"), String::from("bb")]);
+        roundtrip(vec![vec![1u16, 2], vec![3u16]]);
+    }
+
+    #[test]
+    fn fixed_array_has_no_length_prefix() {
+        let arr = [1.0f64, 2.0, 3.0];
+        let mut buf = Vec::new();
+        arr.write_field(&mut buf);
+        assert_eq!(buf.len(), 24);
+        roundtrip(arr);
+    }
+
+    #[test]
+    fn time_roundtrip() {
+        roundtrip(RosTime {
+            sec: 12,
+            nsec: 345_678_910,
+        });
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(
+            u32::read_field(&mut r),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+
+        // String claiming 100 bytes with only 2 available.
+        let mut buf = Vec::new();
+        100u32.write_field(&mut buf);
+        buf.extend_from_slice(b"ab");
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            String::read_field(&mut r),
+            Err(DecodeError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_vec_count_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        u32::MAX.write_field(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            Vec::<u8>::read_field(&mut r),
+            Err(DecodeError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        2u32.write_field(&mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(String::read_field(&mut r), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = ByteReader::new(&[0u8; 3]);
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn bulk_byte_helpers_match_generic_path() {
+        let data = vec![7u8; 1000];
+        let mut a = Vec::new();
+        data.write_field(&mut a);
+        let mut b = Vec::new();
+        write_bytes_field(&data, &mut b);
+        assert_eq!(a, b);
+        let mut r = ByteReader::new(&b);
+        assert_eq!(read_bytes_field(&mut r).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_error_display() {
+        for e in [
+            DecodeError::UnexpectedEof {
+                needed: 4,
+                remaining: 1,
+            },
+            DecodeError::InvalidUtf8,
+            DecodeError::LengthOverrun {
+                declared: 9,
+                remaining: 2,
+            },
+            DecodeError::TrailingBytes(5),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

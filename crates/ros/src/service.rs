@@ -1,0 +1,328 @@
+//! ROS services: the request/response half of the ROS1 API.
+//!
+//! The paper optimizes the publish/subscribe path, but a credible ROS
+//! substrate also serves `rosservice`-style calls; and the same
+//! [`Encode`]/[`Decode`] machinery makes service payloads
+//! serialization-free when the request/response types are SFM messages.
+//!
+//! Protocol: one TCP connection per client, a connection-header handshake
+//! (`service=`, `req_type=`, `res_type=`), then strictly alternating
+//! length-prefixed request/response frames.
+
+use crate::error::RosError;
+use crate::master::Master;
+use crate::node::NodeHandle;
+use crate::traits::{Decode, Encode, RecvSlot};
+use crate::wire::{read_frame_len, write_frame, ConnectionHeader};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufReader, Read};
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a service server accepts client connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceEndpoint {
+    /// TCP address of the server's listener.
+    pub addr: SocketAddr,
+    /// Request type name.
+    pub req_type: String,
+    /// Response type name.
+    pub res_type: String,
+    /// Registration id.
+    pub id: u64,
+}
+
+/// Master-side service registry (held by [`Master`]).
+#[derive(Debug, Default)]
+pub struct ServiceRegistry {
+    services: Mutex<HashMap<String, ServiceEndpoint>>,
+}
+
+impl ServiceRegistry {
+    /// Register a server. Errors if the name is taken.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::Rejected`] when the service name is already registered.
+    pub fn register(&self, name: &str, ep: ServiceEndpoint) -> Result<(), RosError> {
+        let mut services = self.services.lock();
+        if services.contains_key(name) {
+            return Err(RosError::Rejected(format!(
+                "service `{name}` already advertised"
+            )));
+        }
+        services.insert(name.to_string(), ep);
+        Ok(())
+    }
+
+    /// Remove a registration by id.
+    pub fn unregister(&self, name: &str, id: u64) {
+        let mut services = self.services.lock();
+        if services.get(name).is_some_and(|ep| ep.id == id) {
+            services.remove(name);
+        }
+    }
+
+    /// Look up a service by name.
+    pub fn lookup(&self, name: &str) -> Option<ServiceEndpoint> {
+        self.services.lock().get(name).cloned()
+    }
+
+    /// Names of all registered services, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.services.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+struct ServerCore {
+    name: String,
+    master: Master,
+    registration: u64,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    calls: AtomicU64,
+}
+
+impl Drop for ServerCore {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.master
+            .services()
+            .unregister(&self.name, self.registration);
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A live service server; dropping it withdraws the service.
+pub struct ServiceServer {
+    core: Arc<ServerCore>,
+}
+
+impl ServiceServer {
+    /// Advertise `name` on `nh`, serving requests with `handler`.
+    ///
+    /// `Req` is what arrives (e.g. `Arc<M>` or `SfmShared<T>`); `Res` is
+    /// what the handler returns (e.g. a plain message or `SfmBox<T>`).
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::Rejected`] if the name is taken, or I/O errors binding
+    /// the listener.
+    pub fn advertise<Req, Res, F>(
+        nh: &NodeHandle,
+        name: &str,
+        handler: F,
+    ) -> Result<ServiceServer, RosError>
+    where
+        Req: Decode,
+        Res: Encode + 'static,
+        F: Fn(Req) -> Res + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        let registration = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        nh.master().services().register(
+            name,
+            ServiceEndpoint {
+                addr,
+                req_type: Req::topic_type().to_string(),
+                res_type: Res::topic_type().to_string(),
+                id: registration,
+            },
+        )?;
+        let core = Arc::new(ServerCore {
+            name: name.to_string(),
+            master: nh.master().clone(),
+            registration,
+            addr,
+            shutdown: AtomicBool::new(false),
+            calls: AtomicU64::new(0),
+        });
+        let weak = Arc::downgrade(&core);
+        let handler = Arc::new(handler);
+        std::thread::spawn(move || {
+            loop {
+                let Ok((stream, _)) = listener.accept() else {
+                    break;
+                };
+                let Some(core) = weak.upgrade() else { break };
+                if core.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    let _ = serve_connection::<Req, Res, F>(core, handler, stream);
+                });
+            }
+        });
+        Ok(ServiceServer { core })
+    }
+
+    /// Requests served so far.
+    pub fn calls(&self) -> u64 {
+        self.core.calls.load(Ordering::SeqCst)
+    }
+
+    /// The service name.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+}
+
+fn serve_connection<Req, Res, F>(
+    core: Arc<ServerCore>,
+    handler: Arc<F>,
+    mut stream: TcpStream,
+) -> Result<(), RosError>
+where
+    Req: Decode,
+    Res: Encode,
+    F: Fn(Req) -> Res + Send + Sync,
+{
+    stream.set_nodelay(true)?;
+    let header = {
+        let mut r = BufReader::new(stream.try_clone()?);
+        ConnectionHeader::read_from(&mut r)?
+    };
+    let want_req = header.get("req_type").unwrap_or_default();
+    let want_res = header.get("res_type").unwrap_or_default();
+    if want_req != Req::topic_type() || want_res != Res::topic_type() {
+        ConnectionHeader::new()
+            .with(
+                "error",
+                format!(
+                    "service types are {}/{}",
+                    Req::topic_type(),
+                    Res::topic_type()
+                ),
+            )
+            .write_to(&mut stream)?;
+        return Err(RosError::TypeMismatch {
+            topic: core.name.clone(),
+            registered: format!("{}/{}", Req::topic_type(), Res::topic_type()),
+            attempted: format!("{want_req}/{want_res}"),
+        });
+    }
+    ConnectionHeader::new()
+        .with("service", &core.name)
+        .with("endian", ConnectionHeader::native_endian())
+        .write_to(&mut stream)?;
+
+    // Release the strong core reference before the serve loop so server
+    // drop is never blocked by idle clients; keep a weak one for stats.
+    let weak = Arc::downgrade(&core);
+    drop(core);
+
+    let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
+    loop {
+        let Some(len) = read_frame_len(&mut reader)? else {
+            return Ok(()); // client hung up
+        };
+        let mut slot = Req::new_slot(len)?;
+        reader.read_exact(slot.as_mut_slice())?;
+        let request = Req::finish_slot(slot)?;
+        let response = handler(request);
+        let frame = response.encode();
+        // Count before replying so `calls()` is accurate the moment the
+        // client observes the response.
+        match weak.upgrade() {
+            Some(core) => {
+                core.calls.fetch_add(1, Ordering::SeqCst);
+                if core.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            None => return Ok(()),
+        }
+        write_frame(&mut stream, frame.as_slice())?;
+    }
+}
+
+/// A connected service client.
+pub struct ServiceClient<Req: Encode, Res: Decode> {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    service: String,
+    _marker: PhantomData<fn(&Req) -> Res>,
+}
+
+impl<Req: Encode, Res: Decode> ServiceClient<Req, Res> {
+    /// Connect to service `name` through `nh`'s master.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::Rejected`] if the service does not exist or the types
+    /// do not match; I/O errors on connect.
+    pub fn connect(nh: &NodeHandle, name: &str) -> Result<Self, RosError> {
+        let ep = nh
+            .master()
+            .services()
+            .lookup(name)
+            .ok_or_else(|| RosError::Rejected(format!("no such service `{name}`")))?;
+        if ep.req_type != Req::topic_type() || ep.res_type != Res::topic_type() {
+            return Err(RosError::TypeMismatch {
+                topic: name.to_string(),
+                registered: format!("{}/{}", ep.req_type, ep.res_type),
+                attempted: format!("{}/{}", Req::topic_type(), Res::topic_type()),
+            });
+        }
+        let mut stream = TcpStream::connect(ep.addr)?;
+        stream.set_nodelay(true)?;
+        ConnectionHeader::new()
+            .with("service", name)
+            .with("req_type", Req::topic_type())
+            .with("res_type", Res::topic_type())
+            .write_to(&mut stream)?;
+        let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
+        let reply = ConnectionHeader::read_from(&mut reader)?;
+        if let Some(err) = reply.get("error") {
+            return Err(RosError::Rejected(err.to_string()));
+        }
+        Ok(ServiceClient {
+            stream,
+            reader,
+            service: name.to_string(),
+            _marker: PhantomData,
+        })
+    }
+
+    /// Invoke the service synchronously.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors if the server goes away mid-call; decode errors on a
+    /// malformed response.
+    pub fn call(&mut self, request: &Req) -> Result<Res, RosError> {
+        let frame = request.encode();
+        write_frame(&mut self.stream, frame.as_slice())?;
+        let len = read_frame_len(&mut self.reader)?.ok_or_else(|| {
+            RosError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "service closed before responding",
+            ))
+        })?;
+        let mut slot = Res::new_slot(len)?;
+        self.reader.read_exact(slot.as_mut_slice())?;
+        Res::finish_slot(slot)
+    }
+
+    /// The service name this client is bound to.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+}
+
+impl<Req: Encode, Res: Decode> std::fmt::Debug for ServiceClient<Req, Res> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("service", &self.service)
+            .finish()
+    }
+}

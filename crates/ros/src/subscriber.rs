@@ -1,0 +1,210 @@
+//! The subscriber side of a topic.
+//!
+//! `subscribe` registers a callback with the master and connects to every
+//! current and future publisher of the topic. Each connection runs a reader
+//! thread: read the frame length, obtain a receive slot from the
+//! [`Decode`] impl (for serialization-free messages the slot *is* the
+//! message's final allocation), read the payload into it, finish, invoke
+//! the callback — the paper's subscriber-side flow of Fig. 9.
+
+use crate::error::RosError;
+use crate::master::{Master, PublisherEndpoint};
+use crate::traits::{Decode, RecvSlot};
+use crate::wire::{read_frame_len, ConnectionHeader};
+use rossf_netsim::MachineId;
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+struct SubCore<D: Decode> {
+    topic: String,
+    machine: MachineId,
+    master: Master,
+    registration: u64,
+    callback: Box<dyn Fn(D) + Send + Sync>,
+    shutdown: AtomicBool,
+    streams: Mutex<Vec<TcpStream>>,
+    received: AtomicU64,
+    received_bytes: AtomicU64,
+    decode_errors: AtomicU64,
+    connected: AtomicU64,
+}
+
+impl<D: Decode> SubCore<D> {
+    fn reader_loop(self: Arc<Self>, ep: PublisherEndpoint) -> Result<(), RosError> {
+        let stream = TcpStream::connect(ep.addr)?;
+        stream.set_nodelay(true)?;
+        {
+            let mut streams = self.streams.lock();
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            streams.push(stream.try_clone()?);
+        }
+
+        let mut write_half = stream.try_clone()?;
+        ConnectionHeader::new()
+            .with("topic", &self.topic)
+            .with("type", D::topic_type())
+            .with("machine", self.machine.0.to_string())
+            .with("endian", ConnectionHeader::native_endian())
+            .write_to(&mut write_half)?;
+
+        let mut reader = BufReader::with_capacity(256 * 1024, stream);
+        let reply = ConnectionHeader::read_from(&mut reader)?;
+        if let Some(err) = reply.get("error") {
+            return Err(RosError::Rejected(err.to_string()));
+        }
+        if let Some(endian) = reply.get("endian") {
+            if endian != ConnectionHeader::native_endian() {
+                // §4.4.1: a serialization-free frame arrives in the
+                // publisher's endianness; conversion is out of scope, so a
+                // cross-endian link is refused outright.
+                return Err(RosError::Rejected(format!(
+                    "endianness mismatch: publisher is {endian}"
+                )));
+            }
+        }
+        self.connected.fetch_add(1, Ordering::SeqCst);
+
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Some(len) = read_frame_len(&mut reader)? else {
+                break; // publisher closed
+            };
+            match D::new_slot(len) {
+                Ok(mut slot) => {
+                    reader.read_exact(slot.as_mut_slice())?;
+                    match D::finish_slot(slot) {
+                        Ok(msg) => {
+                            self.received.fetch_add(1, Ordering::SeqCst);
+                            self.received_bytes.fetch_add(len as u64, Ordering::SeqCst);
+                            (self.callback)(msg);
+                        }
+                        Err(_) => {
+                            self.decode_errors.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Skip the frame's bytes to stay in sync.
+                    self.decode_errors.fetch_add(1, Ordering::SeqCst);
+                    std::io::copy(
+                        &mut (&mut reader).take(len as u64),
+                        &mut std::io::sink(),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A live subscription: holds the callback and the reader threads.
+///
+/// Messages stop being delivered when the `Subscriber` is dropped (the
+/// paper's `ros::Subscriber` semantics).
+pub struct Subscriber<D: Decode> {
+    core: Arc<SubCore<D>>,
+}
+
+impl<D: Decode> Subscriber<D> {
+    pub(crate) fn create<F>(
+        master: &Master,
+        topic: &str,
+        machine: MachineId,
+        callback: F,
+    ) -> Result<Self, RosError>
+    where
+        F: Fn(D) + Send + Sync + 'static,
+    {
+        let (endpoints, watcher, registration) =
+            master.register_subscriber(topic, D::topic_type())?;
+        let core = Arc::new(SubCore {
+            topic: topic.to_string(),
+            machine,
+            master: master.clone(),
+            registration,
+            callback: Box::new(callback),
+            shutdown: AtomicBool::new(false),
+            streams: Mutex::new(Vec::new()),
+            received: AtomicU64::new(0),
+            received_bytes: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            connected: AtomicU64::new(0),
+        });
+        for ep in endpoints {
+            let c = Arc::clone(&core);
+            std::thread::spawn(move || {
+                let _ = c.reader_loop(ep);
+            });
+        }
+        // Watcher: connect to publishers that appear later.
+        let c = Arc::clone(&core);
+        std::thread::spawn(move || {
+            for ep in watcher.iter() {
+                if c.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let cc = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let _ = cc.reader_loop(ep);
+                });
+            }
+        });
+        Ok(Subscriber { core })
+    }
+
+    /// The topic subscribed to.
+    pub fn topic(&self) -> &str {
+        &self.core.topic
+    }
+
+    /// Messages delivered to the callback so far.
+    pub fn received(&self) -> u64 {
+        self.core.received.load(Ordering::SeqCst)
+    }
+
+    /// Total payload bytes delivered (the numerator of a `rostopic bw`
+    /// style bandwidth estimate).
+    pub fn received_bytes(&self) -> u64 {
+        self.core.received_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Frames that failed decoding/adoption.
+    pub fn decode_errors(&self) -> u64 {
+        self.core.decode_errors.load(Ordering::SeqCst)
+    }
+
+    /// Publisher connections that completed the handshake.
+    pub fn connection_count(&self) -> u64 {
+        self.core.connected.load(Ordering::SeqCst)
+    }
+}
+
+impl<D: Decode> Drop for Subscriber<D> {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        self.core
+            .master
+            .unregister_subscriber(&self.core.topic, self.core.registration);
+        // Unblock reader threads stuck in read().
+        for s in self.core.streams.lock().iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl<D: Decode> std::fmt::Debug for Subscriber<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscriber")
+            .field("topic", &self.core.topic)
+            .field("received", &self.received())
+            .finish()
+    }
+}

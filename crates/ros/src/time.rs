@@ -1,0 +1,154 @@
+//! ROS time: the `time` primitive of the ROS IDL plus a process-wide
+//! monotonic clock used for latency measurement.
+//!
+//! The experiments stamp a message with its creation time at the publisher
+//! and subtract at the subscriber (Fig. 12). All simulated machines live in
+//! one OS process, so a single monotonic epoch gives the paper's machine-A
+//! clock for free (the reason the paper uses ping-pong for inter-machine
+//! tests is *avoided*, but we still reproduce the ping-pong topology).
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The ROS `time` primitive: seconds + nanoseconds since an epoch. Wire
+/// format: two little-endian `u32`s.
+///
+/// `#[repr(C)]` and [`SfmPod`](rossf_sfm::SfmPod) so the same type serves
+/// as the `time` field of both plain and SFM message structs.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RosTime {
+    /// Whole seconds.
+    pub sec: u32,
+    /// Nanoseconds within the second (`< 1_000_000_000`).
+    pub nsec: u32,
+}
+
+impl RosTime {
+    /// Zero time.
+    pub const ZERO: RosTime = RosTime { sec: 0, nsec: 0 };
+
+    /// Current time on the process-wide monotonic clock.
+    pub fn now() -> RosTime {
+        RosTime::from_nanos(now_nanos())
+    }
+
+    /// Build from a nanosecond count.
+    pub fn from_nanos(nanos: u64) -> RosTime {
+        RosTime {
+            sec: (nanos / 1_000_000_000) as u32,
+            nsec: (nanos % 1_000_000_000) as u32,
+        }
+    }
+
+    /// Total nanoseconds represented.
+    pub fn as_nanos(&self) -> u64 {
+        self.sec as u64 * 1_000_000_000 + self.nsec as u64
+    }
+
+    /// `self - earlier` in nanoseconds; saturates at zero if `earlier` is
+    /// later (clock misuse).
+    pub fn nanos_since(&self, earlier: RosTime) -> u64 {
+        self.as_nanos().saturating_sub(earlier.as_nanos())
+    }
+}
+
+// SAFETY: two u32s, repr(C), all-zero is valid, no drop glue.
+unsafe impl rossf_sfm::SfmPod for RosTime {}
+
+impl rossf_sfm::SfmValidate for RosTime {
+    #[inline]
+    fn validate_in(&self, _base: usize, _len: usize) -> Result<(), rossf_sfm::SfmError> {
+        Ok(())
+    }
+}
+
+impl rossf_sfm::SfmEndianSwap for RosTime {
+    fn swap_in_place(
+        &mut self,
+        base: usize,
+        len: usize,
+        dir: rossf_sfm::SwapDirection,
+    ) -> Result<(), rossf_sfm::SfmError> {
+        self.sec.swap_in_place(base, len, dir)?;
+        self.nsec.swap_in_place(base, len, dir)
+    }
+}
+
+/// The ROS `duration` primitive: a signed seconds + nanoseconds span.
+/// Wire format: two little-endian `i32`s.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RosDuration {
+    /// Whole seconds (may be negative).
+    pub sec: i32,
+    /// Nanoseconds within the second.
+    pub nsec: i32,
+}
+
+// SAFETY: two i32s, repr(C), all-zero is valid, no drop glue.
+unsafe impl rossf_sfm::SfmPod for RosDuration {}
+
+impl rossf_sfm::SfmValidate for RosDuration {
+    #[inline]
+    fn validate_in(&self, _base: usize, _len: usize) -> Result<(), rossf_sfm::SfmError> {
+        Ok(())
+    }
+}
+
+impl rossf_sfm::SfmEndianSwap for RosDuration {
+    fn swap_in_place(
+        &mut self,
+        base: usize,
+        len: usize,
+        dir: rossf_sfm::SwapDirection,
+    ) -> Result<(), rossf_sfm::SfmError> {
+        self.sec.swap_in_place(base, len, dir)?;
+        self.nsec.swap_in_place(base, len, dir)
+    }
+}
+
+/// Nanoseconds since the process-wide monotonic epoch (first call).
+pub fn now_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nanos() {
+        for nanos in [0u64, 1, 999_999_999, 1_000_000_000, 1_234_567_891] {
+            assert_eq!(RosTime::from_nanos(nanos).as_nanos(), nanos);
+        }
+    }
+
+    #[test]
+    fn now_is_monotone() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+        let t1 = RosTime::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t2 = RosTime::now();
+        assert!(t2.nanos_since(t1) >= 2_000_000);
+    }
+
+    #[test]
+    fn nanos_since_saturates() {
+        let early = RosTime::from_nanos(100);
+        let late = RosTime::from_nanos(500);
+        assert_eq!(late.nanos_since(early), 400);
+        assert_eq!(early.nanos_since(late), 0);
+    }
+
+    #[test]
+    fn nsec_stays_in_range() {
+        let t = RosTime::from_nanos(7_999_999_999);
+        assert_eq!(t.sec, 7);
+        assert_eq!(t.nsec, 999_999_999);
+    }
+}

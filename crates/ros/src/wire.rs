@@ -1,0 +1,260 @@
+//! Wire framing and the TCPROS-style connection header.
+//!
+//! Each (publisher, subscriber) pair speaks over one TCP connection:
+//!
+//! 1. the subscriber sends a [`ConnectionHeader`] (topic, type, machine,
+//!    endianness);
+//! 2. the publisher validates and replies with its own header (or an
+//!    `error=` header);
+//! 3. message frames follow, each a little-endian `u32` length + payload.
+//!
+//! The payload of a frame is either serialized bytes (ordinary messages) or
+//! the whole serialization-free message verbatim ([`OutFrame::Sfm`]).
+
+use crate::error::RosError;
+use rossf_sfm::PublishedBuffer;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// One encoded message ready for transmission.
+///
+/// `Clone` is cheap (reference counted) — `publish` encodes once and hands
+/// a clone to every per-connection transmission queue, which is exactly the
+/// paper's "copy of the buffer pointer is provided to ROS" (Fig. 8).
+#[derive(Debug, Clone)]
+pub enum OutFrame {
+    /// Serialized bytes produced by a ROS1 serializer (baseline path).
+    Owned(Arc<Vec<u8>>),
+    /// The whole serialization-free message (zero-copy path).
+    Sfm(PublishedBuffer),
+}
+
+impl OutFrame {
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            OutFrame::Owned(v) => v.as_slice(),
+            OutFrame::Sfm(b) => b.as_slice(),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            OutFrame::Owned(v) => v.len(),
+            OutFrame::Sfm(b) => b.len(),
+        }
+    }
+
+    /// `true` for an empty payload (never produced by real messages).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Write one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), RosError> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame length header. Returns `None` on clean EOF before the
+/// header (peer closed).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn read_frame_len<R: Read>(r: &mut R) -> Result<Option<usize>, RosError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(RosError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    Ok(Some(u32::from_le_bytes(len_buf) as usize))
+}
+
+/// The key/value connection header exchanged at connect time, mirroring
+/// TCPROS (`topic=`, `type=`, plus this reproduction's `machine=` used for
+/// link shaping and `endian=` per the paper's §4.4.1 discussion).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConnectionHeader {
+    fields: BTreeMap<String, String>,
+}
+
+impl ConnectionHeader {
+    /// Empty header.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a field, returning `self` for chaining.
+    pub fn with(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Get a field.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Host endianness marker for the `endian` field.
+    pub fn native_endian() -> &'static str {
+        if cfg!(target_endian = "little") {
+            "le"
+        } else {
+            "be"
+        }
+    }
+
+    /// Serialize and write as a length-prefixed blob.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), RosError> {
+        let mut blob = Vec::new();
+        for (k, v) in &self.fields {
+            let field = format!("{k}={v}");
+            (field.len() as u32).to_le_bytes().iter().for_each(|b| blob.push(*b));
+            blob.extend_from_slice(field.as_bytes());
+        }
+        write_frame(w, &blob)
+    }
+
+    /// Read a header previously written by [`ConnectionHeader::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::BadHeader`] on malformed input, [`RosError::Io`] on
+    /// transport failure or EOF.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, RosError> {
+        let len = read_frame_len(r)?.ok_or_else(|| {
+            RosError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof before connection header",
+            ))
+        })?;
+        if len > 64 * 1024 {
+            return Err(RosError::BadHeader(format!("header too large: {len}")));
+        }
+        let mut blob = vec![0u8; len];
+        r.read_exact(&mut blob)?;
+        let mut fields = BTreeMap::new();
+        let mut pos = 0;
+        while pos < blob.len() {
+            if pos + 4 > blob.len() {
+                return Err(RosError::BadHeader("truncated field length".into()));
+            }
+            let flen =
+                u32::from_le_bytes(blob[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            if pos + flen > blob.len() {
+                return Err(RosError::BadHeader("truncated field".into()));
+            }
+            let field = std::str::from_utf8(&blob[pos..pos + flen])
+                .map_err(|_| RosError::BadHeader("non-utf8 field".into()))?;
+            pos += flen;
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| RosError::BadHeader(format!("missing `=` in `{field}`")))?;
+            fields.insert(k.to_string(), v.to_string());
+        }
+        Ok(ConnectionHeader { fields })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        let mut r = &wire[..];
+        let len = read_frame_len(&mut r).unwrap().unwrap();
+        assert_eq!(len, 7);
+        assert_eq!(r, b"payload");
+    }
+
+    #[test]
+    fn eof_before_frame_is_none() {
+        let mut r: &[u8] = &[];
+        assert!(read_frame_len(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_header_is_error() {
+        let mut r: &[u8] = &[1, 2];
+        assert!(read_frame_len(&mut r).is_err());
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = ConnectionHeader::new()
+            .with("topic", "camera/image")
+            .with("type", "sensor_msgs/Image")
+            .with("machine", "0")
+            .with("endian", ConnectionHeader::native_endian());
+        let mut wire = Vec::new();
+        h.write_to(&mut wire).unwrap();
+        let back = ConnectionHeader::read_from(&mut &wire[..]).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.get("topic"), Some("camera/image"));
+        assert_eq!(back.get("missing"), None);
+    }
+
+    #[test]
+    fn malformed_headers_rejected() {
+        // Field without '='.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&3u32.to_le_bytes());
+        blob.extend_from_slice(b"abc");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &blob).unwrap();
+        assert!(matches!(
+            ConnectionHeader::read_from(&mut &wire[..]),
+            Err(RosError::BadHeader(_))
+        ));
+
+        // Truncated inner field.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&100u32.to_le_bytes());
+        blob.extend_from_slice(b"k=v");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &blob).unwrap();
+        assert!(ConnectionHeader::read_from(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn outframe_views() {
+        let f = OutFrame::Owned(Arc::new(vec![1, 2, 3]));
+        assert_eq!(f.as_slice(), &[1, 2, 3]);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        let g = f.clone();
+        assert_eq!(g.as_slice(), f.as_slice());
+    }
+
+    #[test]
+    fn native_endian_matches_cfg() {
+        assert_eq!(ConnectionHeader::native_endian(), "le");
+    }
+}

@@ -1,0 +1,203 @@
+//! Failure injection: hostile or broken peers must not wedge the
+//! middleware — corrupt frames are counted and skipped, malformed
+//! handshakes are rejected, and healthy traffic continues.
+
+use rossf_ros::wire::{write_frame, ConnectionHeader};
+use rossf_ros::{Master, NodeHandle, Publisher};
+use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[repr(C)]
+#[derive(Debug)]
+struct Payload {
+    seq: u32,
+    _pad: u32,
+    data: SfmVec<u8>,
+}
+unsafe impl SfmPod for Payload {}
+impl SfmValidate for Payload {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.data.validate_in(base, len)
+    }
+}
+unsafe impl SfmMessage for Payload {
+    fn type_name() -> &'static str {
+        "test/FaultPayload"
+    }
+    fn max_size() -> usize {
+        4096
+    }
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timeout waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A hand-rolled "publisher" speaking the wire protocol directly, so tests
+/// can send arbitrary (broken) bytes to a real subscriber.
+struct RawPublisher {
+    listener: TcpListener,
+}
+
+impl RawPublisher {
+    fn register(master: &Master, topic: &str, type_name: &str) -> Self {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        master
+            .register_publisher(
+                topic,
+                type_name,
+                listener.local_addr().unwrap(),
+                rossf_ros::MachineId::A,
+            )
+            .unwrap();
+        RawPublisher { listener }
+    }
+
+    /// Accept one subscriber and complete a valid handshake.
+    fn accept(&self, type_name: &str) -> TcpStream {
+        let (mut stream, _) = self.listener.accept().unwrap();
+        let _request = {
+            let mut r = std::io::BufReader::new(stream.try_clone().unwrap());
+            ConnectionHeader::read_from(&mut r).unwrap()
+        };
+        ConnectionHeader::new()
+            .with("type", type_name)
+            .with("endian", ConnectionHeader::native_endian())
+            .write_to(&mut stream)
+            .unwrap();
+        stream
+    }
+}
+
+fn valid_frame(seq: u32) -> Vec<u8> {
+    let mut msg = SfmBox::<Payload>::new();
+    msg.seq = seq;
+    msg.data.resize(32);
+    msg.publish_handle().as_slice().to_vec()
+}
+
+#[test]
+fn corrupt_sfm_frame_is_counted_and_skipped() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "victim");
+    let raw = RawPublisher::register(&master, "fault/corrupt", Payload::type_name());
+
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh.subscribe("fault/corrupt", 8, move |m: SfmShared<Payload>| {
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(m.data.len(), 32);
+    });
+    let mut stream = raw.accept(Payload::type_name());
+
+    // Good frame, corrupt frame (offset points far outside), good frame.
+    write_frame(&mut stream, &valid_frame(0)).unwrap();
+    let mut bad = valid_frame(1);
+    let off = core::mem::offset_of!(Payload, data) + 4;
+    bad[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    write_frame(&mut stream, &bad).unwrap();
+    write_frame(&mut stream, &valid_frame(2)).unwrap();
+
+    wait_until("2 good frames", || seen.load(Ordering::SeqCst) == 2);
+    wait_until("1 decode error", || sub.decode_errors() == 1);
+    assert_eq!(sub.received(), 2);
+    assert_eq!(sub.received_bytes(), 2 * valid_frame(0).len() as u64);
+}
+
+#[test]
+fn oversized_frame_is_skipped_without_desync() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "victim2");
+    let raw = RawPublisher::register(&master, "fault/oversized", Payload::type_name());
+
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh.subscribe("fault/oversized", 8, move |_m: SfmShared<Payload>| {
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+    let mut stream = raw.accept(Payload::type_name());
+
+    // A frame larger than Payload::max_size() cannot be adopted; the
+    // subscriber must skip its bytes and stay in sync for the next frame.
+    let huge = vec![0xAA; 8192];
+    write_frame(&mut stream, &huge).unwrap();
+    write_frame(&mut stream, &valid_frame(7)).unwrap();
+
+    wait_until("good frame after oversized", || {
+        seen.load(Ordering::SeqCst) == 1
+    });
+    assert_eq!(sub.decode_errors(), 1);
+}
+
+#[test]
+fn garbage_handshake_does_not_break_publisher() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "pub");
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("fault/handshake", 8);
+
+    // A bogus client connects and sends garbage instead of a header.
+    let mut bogus = TcpStream::connect(publisher.addr()).unwrap();
+    bogus.write_all(b"\xff\xff\xff\xffgarbage!").unwrap();
+    drop(bogus);
+
+    // A second bogus client sends a header with the wrong type.
+    let mut wrong_type = TcpStream::connect(publisher.addr()).unwrap();
+    ConnectionHeader::new()
+        .with("topic", "fault/handshake")
+        .with("type", "completely/Wrong")
+        .write_to(&mut wrong_type)
+        .unwrap();
+    let reply = {
+        let mut r = std::io::BufReader::new(wrong_type.try_clone().unwrap());
+        ConnectionHeader::read_from(&mut r).unwrap()
+    };
+    assert!(reply.get("error").is_some(), "publisher rejects wrong type");
+    drop(wrong_type);
+
+    // A real subscriber still works afterwards.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let _sub = nh.subscribe("fault/handshake", 8, move |m: SfmShared<Payload>| {
+        tx.send(m.seq).unwrap();
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+    let mut msg = SfmBox::<Payload>::new();
+    msg.seq = 42;
+    msg.data.resize(8);
+    publisher.publish(&msg);
+    assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 42);
+}
+
+#[test]
+fn publisher_death_mid_stream_ends_cleanly() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "victim3");
+    let raw = RawPublisher::register(&master, "fault/truncated", Payload::type_name());
+
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let _sub = nh.subscribe("fault/truncated", 8, move |_m: SfmShared<Payload>| {
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+    let mut stream = raw.accept(Payload::type_name());
+
+    write_frame(&mut stream, &valid_frame(0)).unwrap();
+    // Die in the middle of the next frame: length header promises more
+    // bytes than will ever arrive.
+    stream.write_all(&1000u32.to_le_bytes()).unwrap();
+    stream.write_all(&[1, 2, 3]).unwrap();
+    drop(stream);
+
+    wait_until("first frame", || seen.load(Ordering::SeqCst) == 1);
+    // The reader thread exits on the truncated read; no further delivery,
+    // no hang — give it a moment and confirm the count is stable.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(seen.load(Ordering::SeqCst), 1);
+}

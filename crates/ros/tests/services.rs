@@ -1,0 +1,187 @@
+//! Service (request/response) tests over both message families.
+
+use rossf_ros::ser::{ByteReader, DecodeError, RosField, RosMessage};
+use rossf_ros::{Encode, Master, NodeHandle, OutFrame, RosError, TopicType};
+use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
+use std::sync::Arc;
+
+// Plain request/response pair (the `rossf-msg` macro would generate this).
+#[derive(Debug, Clone, PartialEq, Default)]
+struct AddRequest {
+    a: i32,
+    b: i32,
+}
+#[derive(Debug, Clone, PartialEq, Default)]
+struct AddResponse {
+    sum: i32,
+}
+
+macro_rules! plain_msg {
+    ($t:ident, $name:literal, $($field:ident),+) => {
+        impl RosField for $t {
+            fn field_len(&self) -> usize {
+                0 $(+ self.$field.field_len())+
+            }
+            fn write_field(&self, out: &mut Vec<u8>) {
+                $(self.$field.write_field(out);)+
+            }
+            fn read_field(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+                Ok($t { $($field: RosField::read_field(r)?),+ })
+            }
+        }
+        impl RosMessage for $t {
+            fn ros_type_name() -> &'static str {
+                $name
+            }
+        }
+        impl TopicType for $t {
+            fn topic_type() -> &'static str {
+                $name
+            }
+        }
+        impl Encode for $t {
+            fn encode(&self) -> OutFrame {
+                OutFrame::Owned(Arc::new(self.to_bytes()))
+            }
+        }
+    };
+}
+plain_msg!(AddRequest, "test/AddRequest", a, b);
+plain_msg!(AddResponse, "test/AddResponse", sum);
+
+// SFM request/response pair: a blur service over image-like payloads.
+#[repr(C)]
+#[derive(Debug)]
+struct SfmBlob {
+    rounds: u32,
+    _pad: u32,
+    data: SfmVec<u8>,
+}
+unsafe impl SfmPod for SfmBlob {}
+impl SfmValidate for SfmBlob {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.data.validate_in(base, len)
+    }
+}
+unsafe impl SfmMessage for SfmBlob {
+    fn type_name() -> &'static str {
+        "test/SfmBlob"
+    }
+    fn max_size() -> usize {
+        1 << 16
+    }
+}
+
+#[test]
+fn plain_service_roundtrip() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "calc");
+    let server = nh
+        .advertise_service("add_two_ints", |req: Arc<AddRequest>| AddResponse {
+            sum: req.a + req.b,
+        })
+        .expect("advertise service");
+
+    let mut client = nh
+        .service_client::<AddRequest, Arc<AddResponse>>("add_two_ints")
+        .expect("connect client");
+    assert_eq!(client.service(), "add_two_ints");
+
+    for (a, b) in [(1, 2), (-5, 5), (i32::MAX - 1, 1)] {
+        let res = client.call(&AddRequest { a, b }).expect("call succeeds");
+        assert_eq!(res.sum, a.wrapping_add(b));
+    }
+    assert_eq!(server.calls(), 3);
+    assert_eq!(master.services().names(), vec!["add_two_ints".to_string()]);
+}
+
+#[test]
+fn sfm_service_roundtrip_zero_serialization() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "imgproc");
+    let _server = nh
+        .advertise_service("invert", |req: SfmShared<SfmBlob>| {
+            // Build the response directly in its wire form.
+            let mut res = SfmBox::<SfmBlob>::new();
+            res.rounds = req.rounds + 1;
+            res.data.resize(req.data.len());
+            for (dst, src) in res.data.iter_mut().zip(req.data.iter()) {
+                *dst = !*src;
+            }
+            res
+        })
+        .expect("advertise sfm service");
+
+    let mut client = nh
+        .service_client::<SfmBox<SfmBlob>, SfmShared<SfmBlob>>("invert")
+        .expect("connect");
+    let mut req = SfmBox::<SfmBlob>::new();
+    req.rounds = 1;
+    req.data.assign(&[0x00, 0xFF, 0xA5]);
+    let res = client.call(&req).expect("call");
+    assert_eq!(res.rounds, 2);
+    assert_eq!(res.data.as_slice(), &[0xFF, 0x00, 0x5A]);
+}
+
+#[test]
+fn duplicate_service_name_rejected() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "dup");
+    let _first = nh
+        .advertise_service("svc", |_: Arc<AddRequest>| AddResponse::default())
+        .unwrap();
+    let second = nh.advertise_service("svc", |_: Arc<AddRequest>| AddResponse::default());
+    assert!(matches!(second, Err(RosError::Rejected(_))));
+}
+
+#[test]
+fn missing_service_and_type_mismatch_rejected() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "strict");
+    assert!(matches!(
+        nh.service_client::<AddRequest, Arc<AddResponse>>("nope"),
+        Err(RosError::Rejected(_))
+    ));
+
+    let _server = nh
+        .advertise_service("typed", |req: Arc<AddRequest>| AddResponse {
+            sum: req.a,
+        })
+        .unwrap();
+    // Wrong request type at connect time.
+    assert!(matches!(
+        nh.service_client::<SfmBox<SfmBlob>, SfmShared<SfmBlob>>("typed"),
+        Err(RosError::TypeMismatch { .. })
+    ));
+}
+
+#[test]
+fn server_drop_withdraws_service() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "ephemeral");
+    let server = nh
+        .advertise_service("gone_soon", |_: Arc<AddRequest>| AddResponse::default())
+        .unwrap();
+    assert!(master.services().lookup("gone_soon").is_some());
+    drop(server);
+    assert!(master.services().lookup("gone_soon").is_none());
+    // And the name becomes reusable.
+    let again = nh.advertise_service("gone_soon", |_: Arc<AddRequest>| AddResponse::default());
+    assert!(again.is_ok());
+}
+
+#[test]
+fn sequential_calls_share_one_connection() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "seq");
+    let server = nh
+        .advertise_service("echo", |req: Arc<AddRequest>| AddResponse { sum: req.a })
+        .unwrap();
+    let mut client = nh
+        .service_client::<AddRequest, Arc<AddResponse>>("echo")
+        .unwrap();
+    for i in 0..20 {
+        assert_eq!(client.call(&AddRequest { a: i, b: 0 }).unwrap().sum, i);
+    }
+    assert_eq!(server.calls(), 20);
+}

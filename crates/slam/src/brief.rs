@@ -1,0 +1,211 @@
+//! BRIEF-style binary descriptors — the "descriptor" half of ORB.
+//!
+//! ORB = FAST keypoints + rotation-aware BRIEF descriptors. The dataset's
+//! camera does not rotate, so plain BRIEF suffices here: each keypoint is
+//! described by 256 brightness comparisons between pseudo-random pixel
+//! pairs in a 15×15 patch, packed into four `u64`s; similarity is Hamming
+//! distance over the 256 bits.
+
+use crate::dataset::XorShift64;
+use std::sync::OnceLock;
+
+/// Descriptor width in bits.
+pub const BITS: usize = 256;
+/// Half-extent of the sampling patch (15×15).
+pub const PATCH_R: i32 = 7;
+
+/// A 256-bit binary descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor(pub [u64; 4]);
+
+impl Descriptor {
+    /// Hamming distance to another descriptor (0..=256).
+    pub fn distance(&self, other: &Descriptor) -> u32 {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+/// The fixed comparison pattern: 256 pixel-pair offsets inside the patch,
+/// identical for every keypoint and every run (deterministic generator).
+fn pattern() -> &'static [(i8, i8, i8, i8); BITS] {
+    static PATTERN: OnceLock<[(i8, i8, i8, i8); BITS]> = OnceLock::new();
+    PATTERN.get_or_init(|| {
+        let mut rng = XorShift64::new(0x0B5E55ED);
+        let mut coord = || {
+            // Roughly Gaussian-ish concentration near the center, like the
+            // original BRIEF pattern: average two uniforms.
+            let a = (rng.next_u64() % (2 * PATCH_R as u64 + 1)) as i32 - PATCH_R;
+            let b = (rng.next_u64() % (2 * PATCH_R as u64 + 1)) as i32 - PATCH_R;
+            ((a + b) / 2) as i8
+        };
+        core::array::from_fn(|_| (coord(), coord(), coord(), coord()))
+    })
+}
+
+/// Compute the descriptor at `(x, y)`, or `None` when the patch would
+/// leave the image.
+pub fn describe(gray: &[u8], width: u32, height: u32, x: u32, y: u32) -> Option<Descriptor> {
+    let (w, h) = (width as i32, height as i32);
+    let (cx, cy) = (x as i32, y as i32);
+    if cx < PATCH_R || cy < PATCH_R || cx >= w - PATCH_R || cy >= h - PATCH_R {
+        return None;
+    }
+    debug_assert_eq!(gray.len(), (width * height) as usize);
+    let px = |dx: i8, dy: i8| gray[((cy + dy as i32) * w + cx + dx as i32) as usize];
+    let mut words = [0u64; 4];
+    for (i, &(x1, y1, x2, y2)) in pattern().iter().enumerate() {
+        if px(x1, y1) > px(x2, y2) {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    Some(Descriptor(words))
+}
+
+/// A keypoint with its descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Described {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+    /// The descriptor.
+    pub descriptor: Descriptor,
+}
+
+/// Describe every corner that fits in the image.
+pub fn describe_corners(
+    gray: &[u8],
+    width: u32,
+    height: u32,
+    corners: &[crate::fast::Corner],
+) -> Vec<Described> {
+    corners
+        .iter()
+        .filter_map(|c| {
+            describe(gray, width, height, c.x, c.y).map(|descriptor| Described {
+                x: c.x,
+                y: c.y,
+                descriptor,
+            })
+        })
+        .collect()
+}
+
+/// Cross-checked nearest-neighbour matching: `(i, j)` is a match when `b[j]`
+/// is `a[i]`'s best neighbour *and vice versa*, with distance ≤ `max_dist`.
+pub fn match_descriptors(a: &[Described], b: &[Described], max_dist: u32) -> Vec<(usize, usize)> {
+    let best_in = |from: &Described, pool: &[Described]| -> Option<(usize, u32)> {
+        pool.iter()
+            .enumerate()
+            .map(|(j, d)| (j, from.descriptor.distance(&d.descriptor)))
+            .min_by_key(|&(_, dist)| dist)
+    };
+    let mut matches = Vec::new();
+    for (i, da) in a.iter().enumerate() {
+        let Some((j, dist)) = best_in(da, b) else {
+            continue;
+        };
+        if dist > max_dist {
+            continue;
+        }
+        // Cross-check.
+        if let Some((i_back, _)) = best_in(&b[j], a) {
+            if i_back == i {
+                matches.push((i, j));
+            }
+        }
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sequence;
+    use crate::fast;
+
+    #[test]
+    fn identical_patches_have_zero_distance() {
+        let seq = Sequence::with_resolution(41, 96, 64, 2.0);
+        let gray = seq.frame(0).to_gray();
+        let d1 = describe(&gray, 96, 64, 40, 30).unwrap();
+        let d2 = describe(&gray, 96, 64, 40, 30).unwrap();
+        assert_eq!(d1.distance(&d2), 0);
+    }
+
+    #[test]
+    fn different_patches_are_far_apart() {
+        let seq = Sequence::with_resolution(43, 96, 64, 2.0);
+        let gray = seq.frame(0).to_gray();
+        let d1 = describe(&gray, 96, 64, 20, 20).unwrap();
+        let d2 = describe(&gray, 96, 64, 70, 40).unwrap();
+        assert!(
+            d1.distance(&d2) > 20,
+            "unrelated patches should differ, got {}",
+            d1.distance(&d2)
+        );
+    }
+
+    #[test]
+    fn border_keypoints_are_rejected() {
+        let gray = vec![0u8; 32 * 32];
+        assert!(describe(&gray, 32, 32, 0, 0).is_none());
+        assert!(describe(&gray, 32, 32, 31, 31).is_none());
+        assert!(describe(&gray, 32, 32, 16, 16).is_some());
+    }
+
+    #[test]
+    fn pattern_is_deterministic_across_calls() {
+        let p1 = pattern();
+        let p2 = pattern();
+        assert_eq!(p1[0], p2[0]);
+        assert_eq!(p1[BITS - 1], p2[BITS - 1]);
+        // The pattern has variety.
+        let distinct: std::collections::HashSet<_> = p1.iter().collect();
+        assert!(distinct.len() > BITS / 2);
+    }
+
+    #[test]
+    fn matching_recovers_corner_correspondences_across_frames() {
+        // Two overlapping frames of the same scene: matched descriptors
+        // must agree on the (known) camera displacement.
+        let seq = Sequence::with_resolution(47, 160, 120, 2.0);
+        let f0 = seq.frame(0);
+        let f1 = seq.frame(1);
+        let g0 = f0.to_gray();
+        let g1 = f1.to_gray();
+        let c0 = fast::strongest(fast::detect(&g0, 160, 120, 25), 64);
+        let c1 = fast::strongest(fast::detect(&g1, 160, 120, 25), 64);
+        let d0 = describe_corners(&g0, 160, 120, &c0);
+        let d1 = describe_corners(&g1, 160, 120, &c1);
+        let matches = match_descriptors(&d0, &d1, 40);
+        assert!(matches.len() >= 8, "only {} matches", matches.len());
+
+        // Camera moved by (dx, dy); content moves by (-dx, -dy).
+        let dx = f1.truth.x - f0.truth.x;
+        let dy = f1.truth.y - f0.truth.y;
+        let consistent = matches
+            .iter()
+            .filter(|&&(i, j)| {
+                let mx = d1[j].x as f64 - d0[i].x as f64 + dx;
+                let my = d1[j].y as f64 - d0[i].y as f64 + dy;
+                mx.abs() <= 2.0 && my.abs() <= 2.0
+            })
+            .count();
+        assert!(
+            consistent * 2 >= matches.len(),
+            "{consistent}/{} matches consistent with ground truth",
+            matches.len()
+        );
+    }
+
+    #[test]
+    fn cross_check_rejects_asymmetric_matches() {
+        // One descriptor pool empty → no matches, no panic.
+        assert!(match_descriptors(&[], &[], 64).is_empty());
+    }
+}

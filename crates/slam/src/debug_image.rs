@@ -1,0 +1,96 @@
+//! The debug-image output: "an image, which combines the input image and
+//! the feature points, is generated for debugging purpose" (§5.3).
+
+use crate::fast::Corner;
+
+/// Marker color drawn at feature positions (bright green, ORB-SLAM
+/// style).
+pub const MARKER_RGB: [u8; 3] = [40, 255, 40];
+
+/// Draw a cross of half-extent `r` at each corner onto a copy of the
+/// input RGB frame. Returns the annotated pixels.
+///
+/// # Panics
+///
+/// Panics if `rgb.len() != width * height * 3`.
+pub fn annotate(rgb: &[u8], width: u32, height: u32, corners: &[Corner], r: u32) -> Vec<u8> {
+    let (w, h) = (width as usize, height as usize);
+    assert_eq!(rgb.len(), w * h * 3, "rgb buffer size mismatch");
+    let mut out = rgb.to_vec();
+    let mut put = |x: i64, y: i64| {
+        if x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h {
+            let p = (y as usize * w + x as usize) * 3;
+            out[p..p + 3].copy_from_slice(&MARKER_RGB);
+        }
+    };
+    for c in corners {
+        let (cx, cy) = (c.x as i64, c.y as i64);
+        for d in -(r as i64)..=r as i64 {
+            put(cx + d, cy);
+            put(cx, cy + d);
+        }
+    }
+    out
+}
+
+/// Draw markers in place over an existing mutable buffer (used by the
+/// serialization-free path, which composes directly into the outgoing
+/// message's pixel array — zero intermediate buffers).
+pub fn annotate_in_place(rgb: &mut [u8], width: u32, height: u32, corners: &[Corner], r: u32) {
+    let (w, h) = (width as usize, height as usize);
+    assert_eq!(rgb.len(), w * h * 3, "rgb buffer size mismatch");
+    for c in corners {
+        let (cx, cy) = (c.x as i64, c.y as i64);
+        for d in -(r as i64)..=r as i64 {
+            for (x, y) in [(cx + d, cy), (cx, cy + d)] {
+                if x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h {
+                    let p = (y as usize * w + x as usize) * 3;
+                    rgb[p..p + 3].copy_from_slice(&MARKER_RGB);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_drawn_at_corner_pixels() {
+        let rgb = vec![0u8; 16 * 16 * 3];
+        let corners = vec![Corner { x: 8, y: 8, score: 1 }];
+        let out = annotate(&rgb, 16, 16, &corners, 2);
+        let at = |x: usize, y: usize| {
+            let p = (y * 16 + x) * 3;
+            [out[p], out[p + 1], out[p + 2]]
+        };
+        assert_eq!(at(8, 8), MARKER_RGB);
+        assert_eq!(at(6, 8), MARKER_RGB);
+        assert_eq!(at(8, 10), MARKER_RGB);
+        assert_eq!(at(5, 8), [0, 0, 0], "outside the cross untouched");
+        assert_eq!(at(7, 7), [0, 0, 0], "diagonal untouched");
+    }
+
+    #[test]
+    fn border_corners_are_clipped_safely() {
+        let rgb = vec![9u8; 8 * 8 * 3];
+        let corners = vec![Corner { x: 0, y: 0, score: 1 }, Corner { x: 7, y: 7, score: 1 }];
+        let out = annotate(&rgb, 8, 8, &corners, 3);
+        assert_eq!(out.len(), rgb.len());
+    }
+
+    #[test]
+    fn in_place_matches_copying_version() {
+        let seq = crate::dataset::Sequence::with_resolution(21, 32, 24, 1.0);
+        let frame = seq.frame(0);
+        let corners = vec![
+            Corner { x: 5, y: 5, score: 1 },
+            Corner { x: 20, y: 12, score: 2 },
+        ];
+        let copied = annotate(&frame.rgb, 32, 24, &corners, 2);
+        let mut in_place = frame.rgb.clone();
+        annotate_in_place(&mut in_place, 32, 24, &corners, 2);
+        assert_eq!(copied, in_place);
+    }
+}

@@ -1,0 +1,189 @@
+//! Point-cloud output: back-projection of tracked corners.
+//!
+//! ORB-SLAM publishes "the corresponding 3D points of the feature points
+//! on the 2D input image" as `sensor_msgs/PointCloud2` (§5.3). The
+//! synthetic scene is a plane at known depth, so back-projection is exact:
+//! a pinhole model maps each corner pixel (plus the estimated camera
+//! position) to a world point.
+
+use crate::fast::Corner;
+use crate::tracker::PoseEstimate;
+use rossf_msg::sensor_msgs::{PointCloud2, PointField};
+use rossf_msg::std_msgs::Header;
+use rossf_ros::time::RosTime;
+
+/// Pinhole camera intrinsics for the synthetic rig.
+#[derive(Debug, Clone, Copy)]
+pub struct Intrinsics {
+    /// Focal length in pixels.
+    pub focal: f32,
+    /// Principal point x.
+    pub cx: f32,
+    /// Principal point y.
+    pub cy: f32,
+    /// Depth of the scene plane (meters).
+    pub plane_depth: f32,
+}
+
+impl Intrinsics {
+    /// TUM-flavoured defaults for a 640×480 frame.
+    pub fn tum_like(width: u32, height: u32) -> Intrinsics {
+        Intrinsics {
+            focal: 525.0,
+            cx: width as f32 / 2.0,
+            cy: height as f32 / 2.0,
+            plane_depth: 2.0,
+        }
+    }
+
+    /// Back-project pixel `(u, v)` at the plane depth, in camera
+    /// coordinates.
+    pub fn backproject(&self, u: f32, v: f32) -> [f32; 3] {
+        let z = self.plane_depth;
+        [(u - self.cx) * z / self.focal, (v - self.cy) * z / self.focal, z]
+    }
+}
+
+/// One world point produced by mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapPoint {
+    /// World coordinates (meters).
+    pub xyz: [f32; 3],
+    /// Feature strength carried through for downstream filtering.
+    pub intensity: f32,
+}
+
+/// Back-project `corners` given the current pose estimate.
+pub fn map_points(
+    corners: &[Corner],
+    pose: PoseEstimate,
+    intr: &Intrinsics,
+) -> Vec<MapPoint> {
+    // Texture pixels → meters at the plane: one pixel subtends
+    // depth/focal meters.
+    let scale = intr.plane_depth / intr.focal;
+    corners
+        .iter()
+        .map(|c| {
+            let local = intr.backproject(c.x as f32, c.y as f32);
+            MapPoint {
+                xyz: [
+                    local[0] + pose.x as f32 * scale,
+                    local[1] + pose.y as f32 * scale,
+                    local[2],
+                ],
+                intensity: c.score as f32,
+            }
+        })
+        .collect()
+}
+
+/// Pack map points into a `PointCloud2` (xyz+intensity float32 records),
+/// the exact message ORB-SLAM's ROS wrapper publishes.
+pub fn to_point_cloud2(points: &[MapPoint], stamp: RosTime, seq: u32) -> PointCloud2 {
+    let point_step = 16u32; // 4 × f32
+    let mut data = Vec::with_capacity(points.len() * point_step as usize);
+    for p in points {
+        for v in [p.xyz[0], p.xyz[1], p.xyz[2], p.intensity] {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let float32 = 7u8; // sensor_msgs/PointField FLOAT32
+    PointCloud2 {
+        header: Header {
+            seq,
+            stamp,
+            frame_id: "map".to_string(),
+        },
+        height: 1,
+        width: points.len() as u32,
+        fields: ["x", "y", "z", "intensity"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| PointField {
+                name: (*name).to_string(),
+                offset: (i * 4) as u32,
+                datatype: float32,
+                count: 1,
+            })
+            .collect(),
+        is_bigendian: 0,
+        point_step,
+        row_step: point_step * points.len() as u32,
+        data,
+        is_dense: 1,
+    }
+}
+
+/// Decode the cloud back into map points (used by tests and the measuring
+/// subscriber example).
+///
+/// # Panics
+///
+/// Panics if the cloud was not produced by [`to_point_cloud2`]'s layout.
+pub fn from_point_cloud2(cloud: &PointCloud2) -> Vec<MapPoint> {
+    assert_eq!(cloud.point_step, 16);
+    cloud
+        .data
+        .chunks_exact(16)
+        .map(|rec| {
+            let f = |i: usize| {
+                f32::from_le_bytes(rec[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+            };
+            MapPoint {
+                xyz: [f(0), f(1), f(2)],
+                intensity: f(3),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backprojection_center_is_on_axis() {
+        let intr = Intrinsics::tum_like(640, 480);
+        let p = intr.backproject(320.0, 240.0);
+        assert_eq!(p, [0.0, 0.0, 2.0]);
+        let q = intr.backproject(320.0 + 525.0, 240.0);
+        assert!((q[0] - 2.0).abs() < 1e-6, "one focal length = one depth");
+    }
+
+    #[test]
+    fn pose_offsets_shift_points() {
+        let intr = Intrinsics::tum_like(640, 480);
+        let corners = vec![Corner { x: 320, y: 240, score: 10 }];
+        let a = map_points(&corners, PoseEstimate { x: 0.0, y: 0.0 }, &intr);
+        let b = map_points(&corners, PoseEstimate { x: 525.0, y: 0.0 }, &intr);
+        assert!((b[0].xyz[0] - a[0].xyz[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cloud_roundtrip() {
+        let points = vec![
+            MapPoint {
+                xyz: [1.0, -2.0, 3.0],
+                intensity: 42.0,
+            },
+            MapPoint {
+                xyz: [0.5, 0.25, 2.0],
+                intensity: 7.0,
+            },
+        ];
+        let cloud = to_point_cloud2(&points, RosTime { sec: 1, nsec: 2 }, 9);
+        assert_eq!(cloud.width, 2);
+        assert_eq!(cloud.fields.len(), 4);
+        assert_eq!(cloud.fields[3].name, "intensity");
+        assert_eq!(cloud.data.len(), 32);
+        assert_eq!(from_point_cloud2(&cloud), points);
+    }
+
+    #[test]
+    fn empty_cloud_is_valid() {
+        let cloud = to_point_cloud2(&[], RosTime::ZERO, 0);
+        assert_eq!(cloud.width, 0);
+        assert!(from_point_cloud2(&cloud).is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Patch-matching visual odometry with a constant-velocity prior.
+//!
+//! For each strong corner of the previous frame, the tracker searches a
+//! small window (seeded at the constant-velocity prediction) in the new
+//! frame for the position minimizing the sum of absolute differences of a
+//! 7×7 patch. The median of the per-corner displacements is the frame
+//! motion; integrating it yields the camera trajectory that `orb_slam`
+//! publishes as `geometry_msgs/PoseStamped`.
+
+use crate::fast::{detect, strongest, Corner};
+
+/// Half-size of the matching patch (7×7).
+const PATCH_R: i32 = 3;
+/// Search radius around the predicted position.
+const SEARCH_R: i32 = 8;
+/// Corners tracked per frame.
+const TRACK_CORNERS: usize = 48;
+
+/// Accumulated camera pose estimate (plane translation; the dataset camera
+/// does not rotate).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoseEstimate {
+    /// Estimated x in world-texture pixels.
+    pub x: f64,
+    /// Estimated y in world-texture pixels.
+    pub y: f64,
+}
+
+/// Result of tracking one frame.
+#[derive(Debug, Clone)]
+pub struct TrackResult {
+    /// Updated pose estimate.
+    pub pose: PoseEstimate,
+    /// Displacement measured against the previous frame.
+    pub delta: (f64, f64),
+    /// Corners detected in this frame (inputs for mapping/debug).
+    pub corners: Vec<Corner>,
+    /// How many corner matches contributed to the motion estimate.
+    pub inliers: usize,
+}
+
+/// Frame-to-frame tracker state.
+#[derive(Debug)]
+pub struct Tracker {
+    width: u32,
+    height: u32,
+    threshold: u8,
+    prev_gray: Option<Vec<u8>>,
+    prev_corners: Vec<Corner>,
+    velocity: (f64, f64),
+    pose: PoseEstimate,
+}
+
+fn sad(
+    a: &[u8],
+    b: &[u8],
+    width: i32,
+    ax: i32,
+    ay: i32,
+    bx: i32,
+    by: i32,
+) -> u32 {
+    let mut total = 0u32;
+    for dy in -PATCH_R..=PATCH_R {
+        for dx in -PATCH_R..=PATCH_R {
+            let pa = a[((ay + dy) * width + ax + dx) as usize] as i32;
+            let pb = b[((by + dy) * width + bx + dx) as usize] as i32;
+            total += pa.abs_diff(pb);
+        }
+    }
+    total
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    xs[xs.len() / 2]
+}
+
+impl Tracker {
+    /// Tracker for frames of the given size.
+    pub fn new(width: u32, height: u32) -> Tracker {
+        Tracker {
+            width,
+            height,
+            threshold: 25,
+            prev_gray: None,
+            prev_corners: Vec::new(),
+            velocity: (0.0, 0.0),
+            pose: PoseEstimate::default(),
+        }
+    }
+
+    /// Current pose estimate.
+    pub fn pose(&self) -> PoseEstimate {
+        self.pose
+    }
+
+    /// Process one grayscale frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gray.len() != width * height` of the tracker.
+    pub fn track(&mut self, gray: &[u8]) -> TrackResult {
+        let (w, h) = (self.width, self.height);
+        assert_eq!(gray.len(), (w * h) as usize);
+        let corners = strongest(detect(gray, w, h, self.threshold), TRACK_CORNERS);
+
+        let mut delta = (0.0, 0.0);
+        let mut inliers = 0;
+        if let Some(prev) = &self.prev_gray {
+            let wi = w as i32;
+            let hi = h as i32;
+            let (px, py) = (self.velocity.0.round() as i32, self.velocity.1.round() as i32);
+            let mut dxs = Vec::new();
+            let mut dys = Vec::new();
+            for c in &self.prev_corners {
+                let (cx, cy) = (c.x as i32, c.y as i32);
+                // Predicted position in the new frame: the camera moved by
+                // `velocity`, so scene content moves by -velocity.
+                let sx = cx - px;
+                let sy = cy - py;
+                let margin = PATCH_R + SEARCH_R + 1;
+                if sx < margin || sy < margin || sx >= wi - margin || sy >= hi - margin {
+                    continue;
+                }
+                if cx < PATCH_R + 1 || cy < PATCH_R + 1 || cx >= wi - PATCH_R - 1 || cy >= hi - PATCH_R - 1 {
+                    continue;
+                }
+                let mut best = u32::MAX;
+                let mut best_at = (sx, sy);
+                for oy in -SEARCH_R..=SEARCH_R {
+                    for ox in -SEARCH_R..=SEARCH_R {
+                        let cost = sad(prev, gray, wi, cx, cy, sx + ox, sy + oy);
+                        if cost < best {
+                            best = cost;
+                            best_at = (sx + ox, sy + oy);
+                        }
+                    }
+                }
+                // A good match is nearly identical texture.
+                if best < 49 * 12 {
+                    // Content displacement → camera displacement is its
+                    // negation.
+                    dxs.push(-(best_at.0 - cx) as f64);
+                    dys.push(-(best_at.1 - cy) as f64);
+                }
+            }
+            inliers = dxs.len();
+            if inliers >= 3 {
+                delta = (median(dxs), median(dys));
+                self.velocity = delta;
+            } else {
+                // Lost: coast on the constant-velocity prior.
+                delta = self.velocity;
+            }
+            self.pose.x += delta.0;
+            self.pose.y += delta.1;
+        }
+
+        self.prev_gray = Some(gray.to_vec());
+        self.prev_corners = corners.clone();
+        TrackResult {
+            pose: self.pose,
+            delta,
+            corners,
+            inliers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sequence;
+
+    #[test]
+    fn first_frame_initializes_without_motion() {
+        let seq = Sequence::with_resolution(11, 160, 120, 2.0);
+        let mut tracker = Tracker::new(160, 120);
+        let r = tracker.track(&seq.frame(0).to_gray());
+        assert_eq!(r.delta, (0.0, 0.0));
+        assert!(!r.corners.is_empty());
+    }
+
+    #[test]
+    fn recovers_the_dataset_trajectory() {
+        let seq = Sequence::with_resolution(13, 192, 144, 2.0);
+        let mut tracker = Tracker::new(192, 144);
+        let start = seq.truth(0);
+        tracker.track(&seq.frame(0).to_gray());
+        for i in 1..12 {
+            let r = tracker.track(&seq.frame(i).to_gray());
+            assert!(r.inliers >= 3, "frame {i}: only {} inliers", r.inliers);
+        }
+        let truth = seq.truth(11);
+        let est = tracker.pose();
+        let err_x = (est.x - (truth.x - start.x)).abs();
+        let err_y = (est.y - (truth.y - start.y)).abs();
+        assert!(
+            err_x <= 6.0 && err_y <= 6.0,
+            "trajectory error too large: ({err_x:.1}, {err_y:.1})"
+        );
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(vec![]), 0.0);
+        assert_eq!(median(vec![3.0]), 3.0);
+        assert_eq!(median(vec![1.0, 9.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn static_camera_measures_zero_motion() {
+        let seq = Sequence::with_resolution(17, 128, 96, 2.0);
+        let gray = seq.frame(4).to_gray();
+        let mut tracker = Tracker::new(128, 96);
+        tracker.track(&gray);
+        let r = tracker.track(&gray);
+        assert_eq!(r.delta, (0.0, 0.0));
+        assert_eq!(tracker.pose(), PoseEstimate { x: 0.0, y: 0.0 });
+    }
+}

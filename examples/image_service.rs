@@ -1,0 +1,84 @@
+//! A request/response service over serialization-free messages: a
+//! thumbnail service that downsamples images on demand. Both the request
+//! and the response travel without serialization — construction writes
+//! directly into the wire buffer on each side.
+//!
+//! ```text
+//! cargo run --example image_service
+//! ```
+
+use rossf::prelude::*;
+use rossf_sfm::SfmBox;
+
+const FULL_W: u32 = 320;
+const FULL_H: u32 = 240;
+const THUMB: u32 = 4; // downsample factor
+
+fn main() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "thumbnailer");
+
+    // Server: nearest-neighbour downsample, built straight into the
+    // response message.
+    let server = nh
+        .advertise_service("make_thumbnail", |req: SfmShared<SfmImage>| {
+            let (w, h) = (req.width / THUMB, req.height / THUMB);
+            let mut res = SfmBox::<SfmImage>::new();
+            res.header.seq = req.header.seq;
+            res.header.stamp = req.header.stamp;
+            res.header.frame_id.assign(req.header.frame_id.as_str());
+            res.width = w;
+            res.height = h;
+            res.encoding.assign(req.encoding.as_str());
+            res.step = w * 3;
+            res.data.resize((w * h * 3) as usize);
+            let src = req.data.as_slice();
+            let dst = res.data.as_mut_slice();
+            for y in 0..h {
+                for x in 0..w {
+                    let s = (((y * THUMB) * req.width + x * THUMB) * 3) as usize;
+                    let d = ((y * w + x) * 3) as usize;
+                    dst[d..d + 3].copy_from_slice(&src[s..s + 3]);
+                }
+            }
+            res
+        })
+        .expect("advertise service");
+
+    // Client: request thumbnails for a few frames.
+    let mut client = nh
+        .service_client::<SfmBox<SfmImage>, SfmShared<SfmImage>>("make_thumbnail")
+        .expect("connect client");
+    println!("services on this master: {:?}", master.services().names());
+
+    for seq in 0..4u32 {
+        let mut req = SfmBox::<SfmImage>::new();
+        req.header.seq = seq;
+        req.header.frame_id.assign("camera");
+        req.width = FULL_W;
+        req.height = FULL_H;
+        req.encoding.assign("rgb8");
+        req.step = FULL_W * 3;
+        req.data.resize((FULL_W * FULL_H * 3) as usize);
+        let data = req.data.as_mut_slice();
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = ((i as u32 + seq * 31) % 256) as u8;
+        }
+
+        let thumb = client.call(&req).expect("thumbnail call");
+        println!(
+            "frame {seq}: {}x{} ({} bytes) -> {}x{} ({} bytes)",
+            req.width,
+            req.height,
+            req.data.len(),
+            thumb.width,
+            thumb.height,
+            thumb.data.len()
+        );
+        assert_eq!(thumb.width, FULL_W / THUMB);
+        assert_eq!(thumb.data.len(), (FULL_W / THUMB * FULL_H / THUMB * 3) as usize);
+        // Spot-check the downsample: thumbnail pixel (0,0) is source (0,0).
+        assert_eq!(thumb.data[0], req.data[0]);
+    }
+    println!("served {} thumbnail calls.", server.calls());
+}

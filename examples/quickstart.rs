@@ -1,0 +1,90 @@
+//! Quickstart: the paper's Fig. 3 program, twice.
+//!
+//! Publishes a 10×10 `rgb8` image from a publisher node to a subscriber
+//! node — first with ordinary ROS messages (serialize + de-serialize),
+//! then with ROS-SF serialization-free messages. Note the two programs
+//! are statement-for-statement the same shape: that is the transparency
+//! the paper is about.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rossf::prelude::*;
+use rossf::sfm::MessageState;
+use rossf_msg::std_msgs::Header;
+use rossf_ros::time::RosTime;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+fn main() {
+    let master = Master::new();
+
+    // ======================= ordinary ROS =======================
+    let nh = NodeHandle::new(&master, "talker");
+    let publisher = nh.advertise::<Image>("camera/image", 8);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("camera/image", 8, move |img: Arc<Image>| {
+        // The callback receives Image::ConstPtr (Fig. 3).
+        println!(
+            "[plain ] received {}x{} `{}` image, {} bytes",
+            img.height,
+            img.width,
+            img.encoding,
+            img.data.len()
+        );
+        tx.send(()).unwrap();
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let mut img = Image {
+        header: Header {
+            seq: 1,
+            stamp: RosTime::now(),
+            frame_id: "camera".to_string(),
+        },
+        ..Image::default()
+    };
+    img.encoding = "rgb8".to_string();
+    img.height = 10;
+    img.width = 10;
+    img.data.resize(10 * 10 * 3, 0);
+    publisher.publish(&img); // serialized inside publish
+    rx.recv().expect("plain image delivered");
+
+    // ========================= ROS-SF ============================
+    let publisher = nh.advertise::<SfmBox<SfmImage>>("camera/image_sf", 8);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("camera/image_sf", 8, move |img: SfmShared<SfmImage>| {
+        // Fields read exactly like plain struct fields — no accessors.
+        println!(
+            "[rossf ] received {}x{} `{}` image, {} bytes (zero (de)serialization)",
+            img.height,
+            img.width,
+            img.encoding.as_str(),
+            img.data.len()
+        );
+        tx.send(()).unwrap();
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let mut img = SfmBox::<SfmImage>::new(); // Allocated state
+    img.header.seq = 1;
+    img.header.stamp = RosTime::now();
+    img.header.frame_id.assign("camera");
+    img.encoding.assign("rgb8");
+    img.height = 10;
+    img.width = 10;
+    img.data.resize(10 * 10 * 3); // one-shot sizing
+    publisher.publish(&img); // buffer pointer handed to the queue
+    rx.recv().expect("sfm image delivered");
+
+    // Peek at the life-cycle machinery (Fig. 8).
+    let info = rossf::sfm::mm().info(img.base()).expect("still registered");
+    println!(
+        "[rossf ] message state: {:?}, whole message {} bytes, buffer refs {}",
+        info.state, info.used, info.buffer_refs
+    );
+    assert_eq!(info.state, MessageState::Published);
+    println!("done.");
+}

@@ -1,0 +1,331 @@
+//! Property-based tests over the core invariants.
+//!
+//! * SFM: any message constructed from arbitrary plain content survives
+//!   wire transport byte-for-byte (offsets are position-independent).
+//! * ROS1 serialization: encode/decode is the identity for arbitrary
+//!   messages; decoding never panics on arbitrary bytes.
+//! * ProtoBuf-style varints: roundtrip identity.
+//! * IDL parser: parsing never panics; valid specs regenerate code.
+
+use proptest::prelude::*;
+use rossf::msg::sensor_msgs::{Image, PointCloud, SfmImage, SfmPointCloud};
+use rossf::msg::std_msgs::Header;
+use rossf::ros::ser::{ByteReader, RosField, RosMessage};
+use rossf::ros::time::RosTime;
+use rossf::sfm::SfmRecvBuffer;
+use rossf_msg::geometry_msgs::Point32;
+use rossf_msg::sensor_msgs::ChannelFloat32;
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    ("[a-z_/]{0,24}", any::<u32>(), any::<u32>(), 0u32..1_000_000_000u32).prop_map(
+        |(frame_id, seq, sec, nsec)| Header {
+            seq,
+            stamp: RosTime { sec, nsec },
+            frame_id,
+        },
+    )
+}
+
+prop_compose! {
+    fn arb_image()(
+        header in arb_header(),
+        encoding in "[a-zA-Z0-9]{0,12}",
+        dims in (1u32..32, 1u32..32),
+        bigendian in 0u8..2,
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) -> Image {
+        Image {
+            header,
+            height: dims.1,
+            width: dims.0,
+            encoding,
+            is_bigendian: bigendian,
+            step: dims.0 * 3,
+            data,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_pointcloud()(
+        header in arb_header(),
+        points in proptest::collection::vec(
+            (any::<f32>(), any::<f32>(), any::<f32>())
+                .prop_map(|(x, y, z)| Point32 { x, y, z }),
+            0..64,
+        ),
+        channels in proptest::collection::vec(
+            ("[a-z]{0,8}", proptest::collection::vec(any::<f32>(), 0..32))
+                .prop_map(|(name, values)| ChannelFloat32 { name, values }),
+            0..4,
+        ),
+    ) -> PointCloud {
+        PointCloud { header, points, channels }
+    }
+}
+
+fn bits_equal_f32(a: f32, b: f32) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn pointclouds_bitwise_equal(a: &PointCloud, b: &PointCloud) -> bool {
+    a.header == b.header
+        && a.points.len() == b.points.len()
+        && a.channels.len() == b.channels.len()
+        && a.points.iter().zip(&b.points).all(|(p, q)| {
+            bits_equal_f32(p.x, q.x) && bits_equal_f32(p.y, q.y) && bits_equal_f32(p.z, q.z)
+        })
+        && a.channels.iter().zip(&b.channels).all(|(c, d)| {
+            c.name == d.name
+                && c.values.len() == d.values.len()
+                && c.values
+                    .iter()
+                    .zip(&d.values)
+                    .all(|(x, y)| bits_equal_f32(*x, *y))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ros1_image_serialization_roundtrips(img in arb_image()) {
+        let bytes = img.to_bytes();
+        prop_assert_eq!(bytes.len(), img.field_len());
+        let back = Image::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn sfm_image_survives_the_wire(img in arb_image()) {
+        // plain → SFM → wire bytes → adopt at a new address → plain.
+        let boxed = SfmImage::boxed_from_plain(&img);
+        let frame = boxed.publish_handle();
+        let mut rb = SfmRecvBuffer::<SfmImage>::new(frame.len()).unwrap();
+        rb.as_mut_slice().copy_from_slice(frame.as_slice());
+        let adopted = rb.finish().unwrap();
+        prop_assert_ne!(adopted.base(), boxed.base(), "distinct allocation");
+        prop_assert_eq!(adopted.to_plain(), img);
+    }
+
+    #[test]
+    fn sfm_nested_pointcloud_survives_the_wire(pc in arb_pointcloud()) {
+        let boxed = SfmPointCloud::boxed_from_plain(&pc);
+        let frame = boxed.publish_handle();
+        let mut rb = SfmRecvBuffer::<SfmPointCloud>::new(frame.len()).unwrap();
+        rb.as_mut_slice().copy_from_slice(frame.as_slice());
+        let adopted = rb.finish().unwrap();
+        prop_assert!(pointclouds_bitwise_equal(&adopted.to_plain(), &pc));
+    }
+
+    #[test]
+    fn sfm_whole_len_is_monotone_and_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut boxed = rossf::sfm::SfmBox::<SfmImage>::new();
+        let before = boxed.whole_len();
+        boxed.data.assign(&data);
+        let after = boxed.whole_len();
+        prop_assert!(after >= before);
+        prop_assert!(after <= <SfmImage as rossf::sfm::SfmMessage>::max_size());
+        prop_assert_eq!(boxed.data.as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn ros1_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Image::from_bytes(&bytes); // may Err, must not panic
+        let _ = PointCloud::from_bytes(&bytes);
+        let _ = Header::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn sfm_adoption_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(mut rb) = SfmRecvBuffer::<SfmImage>::new(bytes.len()) {
+            rb.as_mut_slice().copy_from_slice(&bytes);
+            let _ = rb.finish(); // may Err (corrupt offsets), must not panic
+        }
+    }
+
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        rossf::baselines::protolite::write_varint(v, &mut buf);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        prop_assert_eq!(rossf::baselines::protolite::read_varint(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn codec_consensus_across_middleware(
+        dims in (1u32..24, 1u32..24),
+        // The ROS codec carries the stamp as a ROS time (u32 seconds +
+        // u32 nanos), so the consensus property holds within that range —
+        // ample for a monotonic experiment clock.
+        stamp in 0u64..(u32::MAX as u64) * 1_000_000_000,
+    ) {
+        use rossf::baselines::{Codec, WorkImage};
+        let mut img = WorkImage::synthetic(dims.0, dims.1);
+        img.stamp_nanos = stamp;
+        let expected = rossf::baselines::roscodec::RosCodec::consume(
+            &rossf::baselines::roscodec::RosCodec::make_wire(&img),
+        );
+        macro_rules! check {
+            ($codec:ty) => {{
+                let got = <$codec>::consume(&<$codec>::make_wire(&img));
+                prop_assert_eq!(got, expected, "{}", stringify!($codec));
+            }};
+        }
+        check!(rossf::baselines::sfm_image::SfmCodec);
+        check!(rossf::baselines::protolite::ProtoCodec);
+        check!(rossf::baselines::flatlite::FlatLiteCodec);
+        check!(rossf::baselines::xcdr::XcdrCodec);
+        check!(rossf::baselines::flatdata::FlatDataCodec);
+    }
+
+    #[test]
+    fn idl_parser_never_panics(text in "[ -~\n]{0,256}") {
+        let _ = rossf::idl::parse_msg("pkg", "Fuzz", &text);
+    }
+
+    #[test]
+    fn idl_valid_fields_always_generate(
+        names in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..6),
+        kinds in proptest::collection::vec(0usize..6, 1..6),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let mut text = String::new();
+        for (name, kind) in names.iter().zip(&kinds) {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            let ty = ["uint32", "float64", "string", "uint8[]", "float32[]", "Header"][*kind];
+            text.push_str(&format!("{ty} {name}\n"));
+        }
+        let spec = rossf::idl::parse_msg("pkg", "Gen", &text).unwrap();
+        let catalog = {
+            let mut c = rossf::idl::Catalog::with_standard_messages();
+            c.add(spec).unwrap();
+            c
+        };
+        let code = catalog.generate_all(&rossf::idl::GenConfig::default()).unwrap();
+        prop_assert!(code.contains("pub struct Gen"));
+        prop_assert!(code.contains("pub struct SfmGen"));
+    }
+
+    #[test]
+    fn checker_conversion_is_idempotent(n_decls in 0usize..4) {
+        let mut src = String::from("void f() {\n");
+        for i in 0..n_decls {
+            src.push_str(&format!("    sensor_msgs::Image img{i};\n"));
+            src.push_str(&format!("    img{i}.data.resize(64);\n"));
+        }
+        src.push_str("}\n");
+        let once = rossf::checker::convert_stack_to_heap(&src);
+        prop_assert_eq!(once.converted_lines.len(), n_decls);
+        let twice = rossf::checker::convert_stack_to_heap(&once.source);
+        prop_assert!(twice.converted_lines.is_empty(), "already heap-allocated");
+        prop_assert_eq!(&twice.source, &once.source);
+    }
+
+    #[test]
+    fn stats_mean_is_within_min_max(samples in proptest::collection::vec(1u64..10_000_000_000, 1..64)) {
+        let stats = rossf_bench_stats(&samples);
+        prop_assert!(stats.0 >= stats.1 && stats.0 <= stats.2);
+    }
+}
+
+// Local helper: compute (mean, min, max) in ms without depending on the
+// bench crate (it is not part of the facade).
+fn rossf_bench_stats(samples: &[u64]) -> (f64, f64, f64) {
+    let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64 / 1e6;
+    let min = *samples.iter().min().unwrap() as f64 / 1e6;
+    let max = *samples.iter().max().unwrap() as f64 / 1e6;
+    (mean, min, max)
+}
+
+#[test]
+fn fixed_seed_smoke() {
+    // One deterministic pass so failures in the property suite have a
+    // quick non-random companion.
+    let img = Image {
+        header: Header::default(),
+        height: 2,
+        width: 2,
+        encoding: "rgb8".to_string(),
+        is_bigendian: 0,
+        step: 6,
+        data: vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12],
+    };
+    let bytes = img.to_bytes();
+    assert_eq!(Image::from_bytes(&bytes).unwrap(), img);
+    let mut r = ByteReader::new(&bytes);
+    let _ = Image::read_field(&mut r).unwrap();
+    r.finish().unwrap();
+}
+
+// === Extension properties (bag, endianness, optional/map) ===
+
+mod extension_properties {
+    use proptest::prelude::*;
+    use rossf::msg::sensor_msgs::SfmImage;
+    use rossf::ros::{Bag, BagRecord};
+    use rossf::sfm::{SfmBox, SfmEndianSwap, SwapDirection};
+
+    prop_compose! {
+        fn arb_record()(
+            stamp in any::<u64>(),
+            topic in "[a-z/_]{1,24}",
+            type_name in "[a-z_]{1,12}/[A-Z][a-zA-Z]{0,12}",
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) -> BagRecord {
+            BagRecord { stamp_nanos: stamp, topic, type_name, payload }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn bag_roundtrips_arbitrary_records(records in proptest::collection::vec(arb_record(), 0..16)) {
+            let mut bag = Bag::new();
+            for r in &records {
+                bag.push(r.clone());
+            }
+            let mut bytes = Vec::new();
+            bag.write_to(&mut bytes).unwrap();
+            let back = Bag::read_from(&mut &bytes[..]).unwrap();
+            prop_assert_eq!(back.records(), &records[..]);
+        }
+
+        #[test]
+        fn bag_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Bag::read_from(&mut &bytes[..]); // may Err, must not panic
+        }
+
+        #[test]
+        fn endian_double_swap_is_identity_for_any_image(
+            dims in (1u32..24, 1u32..24),
+            encoding in "[a-z0-9]{0,8}",
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let mut img = SfmBox::<SfmImage>::new();
+            img.height = dims.1;
+            img.width = dims.0;
+            img.encoding.assign(&encoding);
+            img.data.assign(&data);
+            img.header.frame_id.assign("prop");
+            let base = img.base();
+            let len = img.whole_len();
+            let before = img.publish_handle().as_slice().to_vec();
+            img.swap_in_place(base, len, SwapDirection::ToForeign).unwrap();
+            img.swap_in_place(base, len, SwapDirection::FromForeign).unwrap();
+            let after = img.publish_handle();
+            prop_assert_eq!(after.as_slice(), &before[..]);
+        }
+
+        #[test]
+        fn checker_never_panics_on_arbitrary_cpp(text in "[ -~\n]{0,512}") {
+            let _ = rossf::checker::analyze_source("fuzz.cpp", &text);
+            let _ = rossf::checker::convert_stack_to_heap(&text);
+        }
+    }
+}

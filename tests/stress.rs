@@ -1,0 +1,161 @@
+//! Concurrency stress: the global message manager and the transport under
+//! multi-threaded churn. Lives in its own test binary so the live-record
+//! accounting isn't disturbed by unrelated tests.
+
+use rossf::prelude::*;
+use rossf::sfm::mm;
+use rossf_msg::sensor_msgs::SfmImage;
+use rossf_sfm::SfmBox;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn concurrent_lifecycle_churn_leaves_no_records_behind() {
+    let live_before = mm().live();
+    let threads = 8;
+    let per_thread = 200;
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let mut img = SfmBox::<SfmImage>::new();
+                    img.header.seq = (t * per_thread + i) as u32;
+                    img.header.frame_id.assign("stress");
+                    img.encoding.assign("mono8");
+                    img.data.resize(64 + (i % 512));
+                    // Exercise all exit paths: plain drop, publish-then-
+                    // drop, into_shared with clones.
+                    match i % 3 {
+                        0 => drop(img),
+                        1 => {
+                            let frame = img.publish_handle();
+                            drop(img);
+                            assert!(!frame.as_slice().is_empty());
+                        }
+                        _ => {
+                            let shared = img.into_shared();
+                            let c1 = shared.clone();
+                            let c2 = shared.clone();
+                            drop(shared);
+                            assert_eq!(c1.data.len(), c2.data.len());
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics under churn");
+    }
+
+    assert_eq!(
+        mm().live(),
+        live_before,
+        "every record must be released after churn"
+    );
+    let stats = mm().stats();
+    assert!(stats.registered >= (threads * per_thread) as u64);
+}
+
+#[test]
+fn publish_subscribe_storm() {
+    // Several publishers and subscribers on one topic, messages flying
+    // concurrently; every published frame must reach every subscriber.
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "storm");
+    let n_pubs = 3;
+    let n_subs = 3;
+    let per_pub = 40u64;
+
+    let publishers: Vec<_> = (0..n_pubs)
+        .map(|_| nh.advertise::<SfmBox<SfmImage>>("storm/topic", 256))
+        .collect();
+    let counters: Vec<Arc<AtomicU64>> = (0..n_subs).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let _subs: Vec<_> = counters
+        .iter()
+        .map(|c| {
+            let c = Arc::clone(c);
+            nh.subscribe("storm/topic", 256, move |m: SfmShared<SfmImage>| {
+                assert_eq!(m.encoding.as_str(), "mono8");
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for p in &publishers {
+        nh.wait_for_subscribers(p, n_subs);
+    }
+
+    let handles: Vec<_> = publishers
+        .into_iter()
+        .map(|p| {
+            std::thread::spawn(move || {
+                for i in 0..per_pub {
+                    let mut img = SfmBox::<SfmImage>::new();
+                    img.header.seq = i as u32;
+                    img.encoding.assign("mono8");
+                    img.data.resize(256);
+                    p.publish(&img);
+                    // Pace so the bounded queues never drop on 1 CPU.
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                p
+            })
+        })
+        .collect();
+    let publishers: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let expected = n_pubs as u64 * per_pub;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while counters
+        .iter()
+        .any(|c| c.load(Ordering::SeqCst) < expected)
+    {
+        assert!(
+            Instant::now() < deadline,
+            "storm incomplete: {:?} (dropped: {:?})",
+            counters
+                .iter()
+                .map(|c| c.load(Ordering::SeqCst))
+                .collect::<Vec<_>>(),
+            publishers.iter().map(|p| p.dropped()).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for p in &publishers {
+        assert_eq!(p.dropped(), 0, "no frame may be dropped at this pacing");
+    }
+}
+
+#[test]
+fn rapid_subscribe_unsubscribe_cycles() {
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "cycler");
+    let publisher = nh.advertise::<SfmBox<SfmImage>>("cycle/topic", 8);
+
+    for round in 0..10 {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sub = nh.subscribe("cycle/topic", 8, move |m: SfmShared<SfmImage>| {
+            let _ = tx.send(m.header.seq);
+        });
+        nh.wait_for_subscribers(&publisher, 1);
+        let mut img = SfmBox::<SfmImage>::new();
+        img.header.seq = round;
+        img.data.resize(32);
+        publisher.publish(&img);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            round,
+            "round {round}"
+        );
+        drop(sub);
+        // Publisher prunes the dead connection before the next round.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while publisher.subscriber_count() > 0 {
+            assert!(Instant::now() < deadline, "connection not pruned");
+            publisher.publish(&SfmBox::<SfmImage>::new());
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
