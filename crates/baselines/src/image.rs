@@ -35,11 +35,8 @@ impl WorkImage {
 
     /// The three image sizes of the paper's evaluation (§5.1): ~200 KB,
     /// ~1 MB, ~6 MB as `(label, width, height)`.
-    pub const PAPER_SIZES: [(&'static str, u32, u32); 3] = [
-        ("200KB", 256, 256),
-        ("1MB", 800, 600),
-        ("6MB", 1920, 1080),
-    ];
+    pub const PAPER_SIZES: [(&'static str, u32, u32); 3] =
+        [("200KB", 256, 256), ("1MB", 800, 600), ("6MB", 1920, 1080)];
 }
 
 /// What a subscriber-side consumer observed — returned by

@@ -147,8 +147,7 @@ mod tests {
 
         let frame = img.publish_handle();
         let buf = frame.as_slice();
-        let word =
-            |addr: usize| u32::from_le_bytes(buf[addr..addr + 4].try_into().unwrap());
+        let word = |addr: usize| u32::from_le_bytes(buf[addr..addr + 4].try_into().unwrap());
 
         assert_eq!(word(0x0000), 8, "Length of encoding");
         assert_eq!(word(0x0004), 20, "Offset to the value of encoding");

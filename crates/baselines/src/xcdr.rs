@@ -228,9 +228,7 @@ mod tests {
         w.member_bytes(member::DATA, &data, 300);
         let buf = w.into_bytes();
 
-        let word = |addr: usize| {
-            u32::from_le_bytes(buf[addr..addr + 4].try_into().unwrap())
-        };
+        let word = |addr: usize| u32::from_le_bytes(buf[addr..addr + 4].try_into().unwrap());
         // Start of encoding.
         assert_eq!(word(0x0000), 0x4000_0002, "Type and Index of encoding");
         assert_eq!(word(0x0004), 8, "Length of encoding");

@@ -27,7 +27,11 @@ fn alloc_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocation_strategy");
     group.sample_size(20);
 
-    for &(label, w, h) in &[("200KB", 256u32, 256u32), ("1MB", 800, 600), ("6MB", 1920, 1080)] {
+    for &(label, w, h) in &[
+        ("200KB", 256u32, 256u32),
+        ("1MB", 800, 600),
+        ("6MB", 1920, 1080),
+    ] {
         let pixels = vec![7u8; (w * h * 3) as usize];
         group.throughput(Throughput::Bytes(pixels.len() as u64));
 

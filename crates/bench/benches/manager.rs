@@ -17,8 +17,7 @@ fn lookup_ablation(c: &mut Criterion) {
     for &live in &[1usize, 16, 256, 1024] {
         // A private manager with `live` registered messages.
         let manager = MessageManager::new();
-        let allocs: Vec<Arc<SfmAlloc>> =
-            (0..live).map(|_| Arc::new(SfmAlloc::new(256))).collect();
+        let allocs: Vec<Arc<SfmAlloc>> = (0..live).map(|_| Arc::new(SfmAlloc::new(256))).collect();
         for a in &allocs {
             manager.register(Arc::clone(a), 32, "bench/M");
         }
@@ -31,19 +30,15 @@ fn lookup_ablation(c: &mut Criterion) {
                 LookupStrategy::Binary => "binary",
                 LookupStrategy::Linear => "linear",
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, live),
-                &probes,
-                |b, probes| {
-                    let mut i = 0;
-                    b.iter(|| {
-                        let addr = probes[i % probes.len()];
-                        i += 1;
-                        // expand-by-0 exercises lookup without growth.
-                        black_box(manager.expand(black_box(addr), 0, 1).unwrap());
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, live), &probes, |b, probes| {
+                let mut i = 0;
+                b.iter(|| {
+                    let addr = probes[i % probes.len()];
+                    i += 1;
+                    // expand-by-0 exercises lookup without growth.
+                    black_box(manager.expand(black_box(addr), 0, 1).unwrap());
+                });
+            });
         }
     }
     group.finish();

@@ -57,7 +57,9 @@ fn transport_ablation(c: &mut Criterion) {
         b.iter(|| {
             let frame = img.encode();
             write_frame(&mut writer, frame.as_slice()).expect("write");
-            let len = read_frame_len(&mut reader).expect("read len").expect("open");
+            let len = read_frame_len(&mut reader)
+                .expect("read len")
+                .expect("open");
             let mut slot = <SfmShared<SfmImage> as Decode>::new_slot(len).expect("slot");
             reader
                 .read_exact(rossf_ros::RecvSlot::as_mut_slice(&mut slot))

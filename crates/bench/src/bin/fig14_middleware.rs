@@ -54,8 +54,11 @@ fn main() {
     // The pairings the paper discusses: each serialization-free framework
     // vs its serializing counterpart.
     println!("\nserialization-free vs serializing counterparts:");
-    for (sf_name, base_name) in [("ROS-SF", "ROS"), ("FlatBuf", "ProtoBuf"), ("RTI-FlatData", "RTI")]
-    {
+    for (sf_name, base_name) in [
+        ("ROS-SF", "ROS"),
+        ("FlatBuf", "ProtoBuf"),
+        ("RTI-FlatData", "RTI"),
+    ] {
         let sf = &results.iter().find(|r| r.0 == sf_name).expect("present").2;
         let base = &results
             .iter()

@@ -38,7 +38,10 @@ fn main() {
     ];
 
     println!("=== Link-speed sweep: where serialization stops being negligible ===");
-    println!("workload: 1MB images, ping-pong, {} messages per cell\n", args.iters);
+    println!(
+        "workload: 1MB images, ping-pong, {} messages per cell\n",
+        args.iters
+    );
     println!(
         "{:<10} {:>14} {:>14} {:>11}",
         "link", "ROS mean (ms)", "ROS-SF (ms)", "reduction"

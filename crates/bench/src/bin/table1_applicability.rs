@@ -5,7 +5,7 @@
 //! cargo run -p rossf-bench --release --bin table1_applicability
 //! ```
 
-use rossf_checker::{applicability_table, corpus::corpus, convert_stack_to_heap};
+use rossf_checker::{applicability_table, convert_stack_to_heap, corpus::corpus};
 
 fn main() {
     let files = corpus();

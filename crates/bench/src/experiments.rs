@@ -33,13 +33,23 @@ fn unique_topic(prefix: &str) -> String {
     format!("{prefix}_{}", COUNTER.fetch_add(1, Ordering::Relaxed))
 }
 
-
 /// Start-of-cell hygiene: return pooled SFM buffers to the system so one
 /// cell's allocator state cannot perturb the next (the pool is process-
 /// global; without this, a serialization-free cell's retained buffers
 /// measurably slow a following plain cell's large allocations).
 fn fresh_cell() {
     rossf_sfm::drain_alloc_pool();
+}
+
+/// End-of-run transport dump: drops, reconnects, decode errors, and queue
+/// depths next to the latency numbers, so an anomalous run is recognizable
+/// without rerunning under instrumentation. Goes to stderr, keeping stdout
+/// parseable.
+fn dump_transport_metrics(label: &str, master: &Master) {
+    let text = master.metrics().render();
+    if !text.is_empty() {
+        eprint!("# {label} transport metrics\n{text}");
+    }
 }
 
 fn drain_one(rx: &mpsc::Receiver<u64>, what: &str) -> u64 {
@@ -83,6 +93,7 @@ pub fn intra_plain(args: RunArgs, width: u32, height: u32) -> Stats {
         lat.push(drain_one(&rx, "fig13 plain"));
         std::thread::sleep(args.gap());
     }
+    dump_transport_metrics("fig13 plain", &master);
     Stats::from_nanos(lat)
 }
 
@@ -119,6 +130,7 @@ pub fn intra_sfm(args: RunArgs, width: u32, height: u32) -> Stats {
         lat.push(drain_one(&rx, "fig13 sfm"));
         std::thread::sleep(args.gap());
     }
+    dump_transport_metrics("fig13 sfm", &master);
     Stats::from_nanos(lat)
 }
 
@@ -226,6 +238,7 @@ pub fn pingpong_plain(args: RunArgs, width: u32, height: u32, link: LinkProfile)
         lat.push(drain_one(&rx, "fig16 plain"));
         std::thread::sleep(args.gap());
     }
+    dump_transport_metrics("fig16 plain", &master);
     Stats::from_nanos(lat)
 }
 
@@ -278,6 +291,7 @@ pub fn pingpong_sfm(args: RunArgs, width: u32, height: u32, link: LinkProfile) -
         lat.push(drain_one(&rx, "fig16 sfm"));
         std::thread::sleep(args.gap());
     }
+    dump_transport_metrics("fig16 sfm", &master);
     Stats::from_nanos(lat)
 }
 
@@ -358,12 +372,21 @@ pub fn slam_case_study(
             let publisher: Publisher<Image> = nh.advertise(&topics.image, 8);
             let node = spawn_plain(&nh, &topics, width, height, config);
             let subs = (
-                nh.subscribe(&topics.pose, 8, move |m: Arc<rossf_msg::geometry_msgs::PoseStamped>| {
-                    let _ = pose_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
-                }),
-                nh.subscribe(&topics.cloud, 8, move |m: Arc<rossf_msg::sensor_msgs::PointCloud2>| {
-                    let _ = cloud_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
-                }),
+                nh.subscribe(
+                    &topics.pose,
+                    8,
+                    move |m: Arc<rossf_msg::geometry_msgs::PoseStamped>| {
+                        let _ = pose_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                    },
+                ),
+                nh.subscribe(
+                    &topics.cloud,
+                    8,
+                    move |m: Arc<rossf_msg::sensor_msgs::PointCloud2>| {
+                        let _ =
+                            cloud_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                    },
+                ),
                 nh.subscribe(&topics.debug, 8, move |m: Arc<Image>| {
                     let _ = debug_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
                 }),
@@ -383,8 +406,7 @@ pub fn slam_case_study(
                     &topics.pose,
                     8,
                     move |m: SfmShared<rossf_msg::geometry_msgs::SfmPoseStamped>| {
-                        let _ =
-                            pose_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                        let _ = pose_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
                     },
                 ),
                 nh.subscribe(
@@ -430,6 +452,7 @@ pub fn slam_case_study(
         debug_lat.push(drain_one(&debug_rx, "fig18 debug"));
         std::thread::sleep(args.gap());
     }
+    dump_transport_metrics("fig18 slam", &master);
     SlamLatencies {
         pose: Stats::from_nanos(pose_lat),
         cloud: Stats::from_nanos(cloud_lat),
@@ -487,7 +510,14 @@ mod tests {
         let args = RunArgs { iters: 3, hz: 0.0 };
         let plain = slam_case_study(args, Family::Plain, (96, 72), Duration::ZERO);
         let sfm = slam_case_study(args, Family::Sfm, (96, 72), Duration::ZERO);
-        for s in [&plain.pose, &plain.cloud, &plain.debug, &sfm.pose, &sfm.cloud, &sfm.debug] {
+        for s in [
+            &plain.pose,
+            &plain.cloud,
+            &plain.debug,
+            &sfm.pose,
+            &sfm.cloud,
+            &sfm.debug,
+        ] {
             assert_eq!(s.n, 3);
             assert!(s.mean_ms > 0.0);
         }

@@ -205,10 +205,7 @@ fn scan_declarations(line: &str) -> Vec<(String, &'static MessageClassInfo, Prio
                 body = r.trim_start();
             }
             // Variable identifier.
-            let ident_len = body
-                .bytes()
-                .take_while(|&c| is_ident_char(c))
-                .count();
+            let ident_len = body.bytes().take_while(|&c| is_ident_char(c)).count();
             if ident_len == 0 {
                 continue;
             }
@@ -325,8 +322,7 @@ pub fn analyze_source(name: &str, source: &str) -> FileReport {
                 // Modifier method call? (path ends with the method name)
                 if let Some(call_args) = tail_trim.strip_prefix('(') {
                     if let Some((base, method)) = path.rsplit_once('.') {
-                        if MODIFIER_METHODS.contains(&method)
-                            && class.vector_fields.contains(&base)
+                        if MODIFIER_METHODS.contains(&method) && class.vector_fields.contains(&base)
                         {
                             violations.push(Violation {
                                 kind: ViolationKind::OtherMethod,
@@ -361,19 +357,21 @@ pub fn analyze_source(name: &str, source: &str) -> FileReport {
                 }
 
                 // Assignment to a string field? (single `=`, not `==`)
-                if tail_trim.starts_with('=') && !tail_trim.starts_with("==")
-                    && class.string_fields.contains(&path.as_str()) {
-                        let n = state.bump(&path);
-                        if n > 1 {
-                            violations.push(Violation {
-                                kind: ViolationKind::StringReassignment,
-                                line: lineno,
-                                class: class.ros_name,
-                                variable: var.clone(),
-                                field: path.clone(),
-                            });
-                        }
+                if tail_trim.starts_with('=')
+                    && !tail_trim.starts_with("==")
+                    && class.string_fields.contains(&path.as_str())
+                {
+                    let n = state.bump(&path);
+                    if n > 1 {
+                        violations.push(Violation {
+                            kind: ViolationKind::StringReassignment,
+                            line: lineno,
+                            class: class.ros_name,
+                            variable: var.clone(),
+                            field: path.clone(),
+                        });
                     }
+                }
             }
         }
     }

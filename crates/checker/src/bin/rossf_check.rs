@@ -11,9 +11,7 @@
 //! `.cpp`/`.cc`/`.h`/`.hpp`).
 
 use rossf_checker::corpus::CorpusFile;
-use rossf_checker::{
-    analyze_source, applicability_table, convert_stack_to_heap, GroundTruth,
-};
+use rossf_checker::{analyze_source, applicability_table, convert_stack_to_heap, GroundTruth};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

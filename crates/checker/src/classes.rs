@@ -58,11 +58,8 @@ pub fn class_by_cpp(name: &str) -> Option<&'static MessageClassInfo> {
 /// Classes embedded inside other messages the checker must see through:
 /// `stereo_msgs::DisparityImage::image` is a `sensor_msgs::Image` (the
 /// paper's Fig. 20 failure case reaches an Image through this path).
-pub const EMBEDDED_MESSAGE_FIELDS: &[(&str, &str, &str)] = &[(
-    "stereo_msgs::DisparityImage",
-    "image",
-    "sensor_msgs::Image",
-)];
+pub const EMBEDDED_MESSAGE_FIELDS: &[(&str, &str, &str)] =
+    &[("stereo_msgs::DisparityImage", "image", "sensor_msgs::Image")];
 
 #[cfg(test)]
 mod tests {

@@ -109,7 +109,9 @@ pub.publish(img);
         assert!(report
             .source
             .starts_with("    std::shared_ptr<sensor_msgs::LaserScan> ptmp_scan"));
-        assert!(report.source.contains("\n    sensor_msgs::LaserScan & scan"));
+        assert!(report
+            .source
+            .contains("\n    sensor_msgs::LaserScan & scan"));
     }
 
     #[test]
@@ -122,7 +124,10 @@ pub.publish(img);
             "int x;",
         ] {
             let report = convert_stack_to_heap(line);
-            assert!(report.converted_lines.is_empty(), "should not touch: {line}");
+            assert!(
+                report.converted_lines.is_empty(),
+                "should not touch: {line}"
+            );
             assert_eq!(report.source.trim_end(), line);
         }
     }

@@ -499,7 +499,10 @@ mod tests {
         let files = corpus();
         assert_eq!(files.len(), 49 + 7 + 14 + 15 + 18);
         for info in MESSAGE_CLASSES {
-            let n = files.iter().filter(|f| f.truth.class == info.ros_name).count();
+            let n = files
+                .iter()
+                .filter(|f| f.truth.class == info.ros_name)
+                .count();
             assert_eq!(n, class_totals(info), "{}", info.ros_name);
         }
         // Names unique.

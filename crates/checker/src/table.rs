@@ -34,7 +34,12 @@ impl fmt::Display for Table1 {
         writeln!(
             f,
             "{:<32} {:>6} {:>11} {:>20} {:>20} {:>14}",
-            "Message Class", "Total", "Applicable", "String Reassignment", "Vector Multi-Resize", "Other Methods"
+            "Message Class",
+            "Total",
+            "Applicable",
+            "String Reassignment",
+            "Vector Multi-Resize",
+            "Other Methods"
         )?;
         for r in &self.rows {
             writeln!(

@@ -152,7 +152,11 @@ mod tests {
 
     #[test]
     fn kinds_display() {
-        assert!(AlertKind::OneShotStringAssignment.to_string().contains("One-Shot"));
-        assert!(AlertKind::OneShotVectorResizing.to_string().contains("resized"));
+        assert!(AlertKind::OneShotStringAssignment
+            .to_string()
+            .contains("One-Shot"));
+        assert!(AlertKind::OneShotVectorResizing
+            .to_string()
+            .contains("resized"));
     }
 }

@@ -114,7 +114,10 @@ mod tests {
                 max_size: 64,
                 actual: 128,
             },
-            SfmError::CorruptOffset { offset: 99, len: 10 },
+            SfmError::CorruptOffset {
+                offset: 99,
+                len: 10,
+            },
             SfmError::AssumptionViolated(crate::AlertKind::OneShotStringAssignment),
         ];
         for e in errs {

@@ -14,9 +14,9 @@
 //!   `std::vector` of ordered records"; so do we, with a linear-scan
 //!   fallback selectable for the ablation benchmark.
 
+use crate::align_up;
 use crate::alloc::SfmAlloc;
 use crate::error::SfmError;
-use crate::align_up;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -125,12 +125,7 @@ impl MessageManager {
     /// This is what the overloaded global `new` operator does in the paper:
     /// "the allocated memory segment is then registered into the message
     /// manager, and the message enters the *Allocated* state".
-    pub fn register(
-        &self,
-        buffer: Arc<SfmAlloc>,
-        skeleton_size: usize,
-        type_name: &'static str,
-    ) {
+    pub fn register(&self, buffer: Arc<SfmAlloc>, skeleton_size: usize, type_name: &'static str) {
         debug_assert!(skeleton_size <= buffer.capacity());
         self.insert(Record {
             start: buffer.base(),
@@ -192,13 +187,11 @@ impl MessageManager {
             .ok_or(SfmError::UnmanagedAddress { addr: field_addr })?;
         let rec = &mut records[idx];
         let offset = align_up(rec.used, align);
-        let new_used = offset
-            .checked_add(len)
-            .ok_or(SfmError::CapacityExceeded {
-                type_name: rec.type_name,
-                requested: len,
-                available: rec.capacity - rec.used,
-            })?;
+        let new_used = offset.checked_add(len).ok_or(SfmError::CapacityExceeded {
+            type_name: rec.type_name,
+            requested: len,
+            available: rec.capacity - rec.used,
+        })?;
         if new_used > rec.capacity {
             return Err(SfmError::CapacityExceeded {
                 type_name: rec.type_name,
@@ -212,11 +205,7 @@ impl MessageManager {
             // SAFETY: [used, offset) is in-bounds (offset <= new_used <=
             // capacity) and not yet part of any field's region.
             unsafe {
-                std::ptr::write_bytes(
-                    (rec.start + rec.used) as *mut u8,
-                    0,
-                    offset - rec.used,
-                );
+                std::ptr::write_bytes((rec.start + rec.used) as *mut u8, 0, offset - rec.used);
             }
         }
         rec.used = new_used;

@@ -1,10 +1,10 @@
 //! `sfm::string` — the SFM skeleton of a string field (§4.1, §4.3.3).
 
 use crate::alert::{self, AlertKind};
+use crate::align_up;
 use crate::error::SfmError;
 use crate::manager::mm;
 use crate::message::{SfmPod, SfmValidate};
-use crate::align_up;
 use core::fmt;
 
 /// The 8-byte skeleton of a ROS `string` field.

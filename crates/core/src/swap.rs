@@ -107,11 +107,7 @@ impl<T: SfmEndianSwap, const N: usize> SfmEndianSwap for [T; N] {
 
 /// Swap the two skeleton words of a string/vector, returning the
 /// native-order `(len, off)` regardless of direction.
-fn swap_skeleton_words(
-    len_word: &mut u32,
-    off_word: &mut u32,
-    dir: SwapDirection,
-) -> (u32, u32) {
+fn swap_skeleton_words(len_word: &mut u32, off_word: &mut u32, dir: SwapDirection) -> (u32, u32) {
     match dir {
         SwapDirection::FromForeign => {
             *len_word = len_word.swap_bytes();
@@ -284,7 +280,8 @@ mod tests {
         let base = m.base();
         let len = m.whole_len();
         let before = m.publish_handle().as_slice().to_vec();
-        m.swap_in_place(base, len, SwapDirection::ToForeign).unwrap();
+        m.swap_in_place(base, len, SwapDirection::ToForeign)
+            .unwrap();
         // Foreign buffer differs from native...
         assert_ne!(m.publish_handle().as_slice(), &before[..]);
         m.swap_in_place(base, len, SwapDirection::FromForeign)
@@ -304,7 +301,8 @@ mod tests {
         let mut m = build();
         let base = m.base();
         let len = m.whole_len();
-        m.swap_in_place(base, len, SwapDirection::ToForeign).unwrap();
+        m.swap_in_place(base, len, SwapDirection::ToForeign)
+            .unwrap();
         let foreign = m.publish_handle().as_slice().to_vec();
 
         let mut rb = crate::SfmRecvBuffer::<Mixed>::new(foreign.len()).unwrap();
@@ -334,7 +332,8 @@ mod tests {
         let mut m = build();
         let base = m.base();
         let len = m.whole_len();
-        m.swap_in_place(base, len, SwapDirection::ToForeign).unwrap();
+        m.swap_in_place(base, len, SwapDirection::ToForeign)
+            .unwrap();
         let mut foreign = m.publish_handle().as_slice().to_vec();
         // Poison the samples vector's count (big-endian huge value).
         let samples_skel = 8 + 4 + 4 + 8; // tag(8) count(4) pad(4)? — locate dynamically instead:

@@ -33,10 +33,7 @@ impl GenConfig {
 
 /// The `ros_message_impls!` field kind for `field`, plus the plain and SFM
 /// Rust types.
-fn field_plan(
-    field: &Field,
-    catalog: &Catalog,
-) -> Result<(&'static str, String, String), String> {
+fn field_plan(field: &Field, catalog: &Catalog) -> Result<(&'static str, String, String), String> {
     let unsupported = |what: &str| {
         Err(format!(
             "unsupported construct in field `{}`: {what}",
@@ -84,7 +81,9 @@ fn field_plan(
             ))
         }
         (Arity::DynamicArray, ty) => {
-            let p = ty.rust_prim().expect("remaining element types are primitive");
+            let p = ty
+                .rust_prim()
+                .expect("remaining element types are primitive");
             Ok((
                 "vec",
                 format!("Vec<{p}>"),
@@ -92,11 +91,9 @@ fn field_plan(
             ))
         }
         (Arity::FixedArray(n), ty) => match ty.rust_prim() {
-            Some(p) if !matches!(ty, FieldType::Time | FieldType::Duration) => Ok((
-                "arr",
-                format!("[{p}; {n}]"),
-                format!("[{p}; {n}]"),
-            )),
+            Some(p) if !matches!(ty, FieldType::Time | FieldType::Duration) => {
+                Ok(("arr", format!("[{p}; {n}]"), format!("[{p}; {n}]")))
+            }
             _ => unsupported("fixed arrays of strings, times, or messages"),
         },
     }
@@ -112,10 +109,7 @@ fn constant_decl(c: &Constant) -> Result<String, String> {
                 other => return Err(format!("bad bool constant `{other}`")),
             },
         ),
-        FieldType::RosString => (
-            "&'static str".to_string(),
-            format!("{:?}", c.value),
-        ),
+        FieldType::RosString => ("&'static str".to_string(), format!("{:?}", c.value)),
         ty => {
             let p = ty
                 .rust_prim()
@@ -163,7 +157,10 @@ pub fn generate(
         .any(|f| matches!(f.arity, Arity::FixedArray(n) if n > 32));
 
     let mut out = String::new();
-    let _ = writeln!(out, "// Generated by rossf-idl from `{full}.msg` — do not edit.");
+    let _ = writeln!(
+        out,
+        "// Generated by rossf-idl from `{full}.msg` — do not edit."
+    );
     let _ = writeln!(out);
 
     // Plain struct.
@@ -178,7 +175,9 @@ pub fn generate(
         doc_line(
             &mut out,
             "    ",
-            f.comment.as_deref().unwrap_or(&format!("`{}` field.", f.name)),
+            f.comment
+                .as_deref()
+                .unwrap_or(&format!("`{}` field.", f.name)),
         );
         let _ = writeln!(out, "    pub {}: {},", f.name, plain_ty);
     }
@@ -192,11 +191,7 @@ pub fn generate(
         for (f, _) in &plans {
             match f.arity {
                 Arity::FixedArray(n) => {
-                    let _ = writeln!(
-                        out,
-                        "            {}: [Default::default(); {}],",
-                        f.name, n
-                    );
+                    let _ = writeln!(out, "            {}: [Default::default(); {}],", f.name, n);
                 }
                 _ => {
                     let _ = writeln!(out, "            {}: Default::default(),", f.name);
@@ -224,7 +219,10 @@ pub fn generate(
     doc_line(
         &mut out,
         "",
-        &format!("Serialization-free skeleton of [`{}`] (generated).", spec.name),
+        &format!(
+            "Serialization-free skeleton of [`{}`] (generated).",
+            spec.name
+        ),
     );
     let _ = writeln!(out, "#[repr(C)]");
     let _ = writeln!(out, "#[derive(Debug)]");
@@ -233,7 +231,9 @@ pub fn generate(
         doc_line(
             &mut out,
             "    ",
-            f.comment.as_deref().unwrap_or(&format!("`{}` field.", f.name)),
+            f.comment
+                .as_deref()
+                .unwrap_or(&format!("`{}` field.", f.name)),
         );
         let _ = writeln!(out, "    pub {}: {},", f.name, sfm_ty);
     }

@@ -231,8 +231,7 @@ impl Catalog {
             plain: spec.name.clone(),
             sfm: format!("Sfm{}", spec.name),
         };
-        self.resolutions
-            .insert(spec.full_name(), resolved.clone());
+        self.resolutions.insert(spec.full_name(), resolved.clone());
         self.resolutions.insert(spec.name.clone(), resolved);
         self.specs.push(spec);
         Ok(())

@@ -39,7 +39,9 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 
 fn valid_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -102,7 +104,10 @@ pub fn parse_msg(package: &str, name: &str, text: &str) -> Result<MessageSpec, P
                 .rfind(']')
                 .ok_or_else(|| err(lineno, "unterminated `[`"))?;
             if close != type_tok.len() - 1 || close < open {
-                return Err(err(lineno, format!("malformed array suffix in `{type_tok}`")));
+                return Err(err(
+                    lineno,
+                    format!("malformed array suffix in `{type_tok}`"),
+                ));
             }
             let inner = &type_tok[open + 1..close];
             let arity = if inner.is_empty() {
@@ -258,10 +263,7 @@ uint8[] data         # actual matrix data, size is (step * rows)
             ("Header C=1", "primitive"),
         ] {
             let e = parse_msg("p", "M", text).unwrap_err();
-            assert!(
-                e.message.contains(needle),
-                "for {text:?}: got {e}"
-            );
+            assert!(e.message.contains(needle), "for {text:?}: got {e}");
             assert!(!e.to_string().is_empty());
         }
     }
@@ -289,7 +291,8 @@ uint8[] data         # actual matrix data, size is (step * rows)
 
     #[test]
     fn srv_with_empty_request_or_response() {
-        let (req, res) = parse_srv("std_srvs", "Trigger", "---\nbool success\nstring message\n").unwrap();
+        let (req, res) =
+            parse_srv("std_srvs", "Trigger", "---\nbool success\nstring message\n").unwrap();
         assert!(req.fields.is_empty());
         assert_eq!(res.fields.len(), 2);
 

@@ -49,12 +49,16 @@ fn main() {
     for (pkg, name, text) in [
         ("geometry_msgs", "Twist", TWIST),
         ("geometry_msgs", "PoseWithCovariance", POSE_WITH_COVARIANCE),
-        ("geometry_msgs", "TwistWithCovariance", TWIST_WITH_COVARIANCE),
+        (
+            "geometry_msgs",
+            "TwistWithCovariance",
+            TWIST_WITH_COVARIANCE,
+        ),
         ("nav_msgs", "Odometry", ODOMETRY),
         ("nav_msgs", "Path", PATH),
     ] {
-        let spec = parse_msg(pkg, name, text)
-            .unwrap_or_else(|e| panic!("parsing {pkg}/{name}: {e}"));
+        let spec =
+            parse_msg(pkg, name, text).unwrap_or_else(|e| panic!("parsing {pkg}/{name}: {e}"));
         catalog
             .add(spec)
             .unwrap_or_else(|_| panic!("duplicate spec {pkg}/{name}"));

@@ -29,10 +29,12 @@
 
 #![deny(missing_docs)]
 
+mod fault;
 mod link;
 mod machine;
 mod shaper;
 
+pub use fault::{FaultAction, FaultInjector};
 pub use link::{LinkProfile, LinkTable};
 pub use machine::MachineId;
 pub use shaper::{ShapedWriter, Shaper};

@@ -1,8 +1,10 @@
 //! Link profiles and the per-pair link table.
 
+use crate::fault::FaultInjector;
 use crate::machine::MachineId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Characteristics of a simulated network link.
@@ -79,6 +81,18 @@ pub struct LinkTable {
     links: RwLock<HashMap<(MachineId, MachineId), LinkProfile>>,
     /// Profile used for machine pairs with no explicit entry.
     default: RwLock<LinkProfile>,
+    /// Fault injectors, per pair. Unlike profiles, faults may also be
+    /// attached to same-machine (loopback) "links" so intra-machine
+    /// transports can be exercised too.
+    faults: RwLock<HashMap<(MachineId, MachineId), Arc<FaultInjector>>>,
+}
+
+fn pair_key(a: MachineId, b: MachineId) -> (MachineId, MachineId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl LinkTable {
@@ -96,8 +110,7 @@ impl LinkTable {
 
     /// Register `profile` for traffic between `a` and `b` (both ways).
     pub fn connect(&self, a: MachineId, b: MachineId, profile: LinkProfile) {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.links.write().insert(key, profile);
+        self.links.write().insert(pair_key(a, b), profile);
     }
 
     /// Profile governing traffic from `a` to `b`.
@@ -105,12 +118,35 @@ impl LinkTable {
         if a == b {
             return LinkProfile::UNLIMITED;
         }
-        let key = if a <= b { (a, b) } else { (b, a) };
         self.links
             .read()
-            .get(&key)
+            .get(&pair_key(a, b))
             .copied()
             .unwrap_or(*self.default.read())
+    }
+
+    /// Attach (or fetch the existing) fault injector for the `a`↔`b` link.
+    /// The same injector governs both directions; `a == b` targets the
+    /// loopback path.
+    pub fn inject(&self, a: MachineId, b: MachineId) -> Arc<FaultInjector> {
+        Arc::clone(
+            self.faults
+                .write()
+                .entry(pair_key(a, b))
+                .or_insert_with(|| Arc::new(FaultInjector::new())),
+        )
+    }
+
+    /// The fault injector currently attached to the `a`↔`b` link, if any.
+    /// Transports consult this once per connection.
+    pub fn fault(&self, a: MachineId, b: MachineId) -> Option<Arc<FaultInjector>> {
+        self.faults.read().get(&pair_key(a, b)).cloned()
+    }
+
+    /// Detach the fault injector from the `a`↔`b` link. Connections that
+    /// already hold it keep applying its remaining schedule.
+    pub fn clear_fault(&self, a: MachineId, b: MachineId) {
+        self.faults.write().remove(&pair_key(a, b));
     }
 }
 
@@ -150,7 +186,28 @@ mod tests {
         // 1 MB at 10 Gb/s = 0.8 ms.
         assert!((t1.as_secs_f64() - 0.0008).abs() < 1e-9);
         assert!((t6.as_secs_f64() / t1.as_secs_f64() - 6.0).abs() < 1e-9);
-        assert_eq!(LinkProfile::UNLIMITED.transmit_time(1 << 30), Duration::ZERO);
+        assert_eq!(
+            LinkProfile::UNLIMITED.transmit_time(1 << 30),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn fault_injectors_are_shared_and_symmetric() {
+        let t = LinkTable::new();
+        assert!(t.fault(MachineId::A, MachineId::B).is_none());
+        let f = t.inject(MachineId::A, MachineId::B);
+        f.sever_now();
+        // Same injector both ways and on repeat lookups.
+        assert!(t.fault(MachineId::B, MachineId::A).unwrap().is_severed());
+        assert!(Arc::ptr_eq(&t.inject(MachineId::A, MachineId::B), &f));
+        // Loopback faults are allowed even though loopback is never shaped.
+        let lo = t.inject(MachineId::A, MachineId::A);
+        assert!(!Arc::ptr_eq(&lo, &f));
+        t.clear_fault(MachineId::A, MachineId::B);
+        assert!(t.fault(MachineId::A, MachineId::B).is_none());
+        // Detaching doesn't invalidate held handles.
+        assert!(f.is_severed());
     }
 
     #[test]

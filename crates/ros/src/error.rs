@@ -21,6 +21,15 @@ pub enum RosError {
         /// Type this end attempted to use.
         attempted: String,
     },
+    /// A frame length violated the transport's configured bound: an
+    /// incoming length prefix above `max_frame_len` (rejected before any
+    /// allocation) or an outgoing payload too large for the 4-byte prefix.
+    FrameTooLarge {
+        /// Claimed or actual payload length.
+        len: usize,
+        /// The bound that was exceeded.
+        max: usize,
+    },
     /// Malformed connection header during the TCPROS-style handshake.
     BadHeader(String),
     /// The peer rejected the connection during handshake.
@@ -41,6 +50,9 @@ impl fmt::Display for RosError {
                 f,
                 "topic `{topic}` carries `{registered}` but `{attempted}` was used"
             ),
+            RosError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds limit of {max}")
+            }
             RosError::BadHeader(s) => write!(f, "malformed connection header: {s}"),
             RosError::Rejected(s) => write!(f, "connection rejected by peer: {s}"),
         }
@@ -101,6 +113,13 @@ mod tests {
         }
         .into();
         assert!(sfm.to_string().contains("adoption"));
+
+        let big = RosError::FrameTooLarge {
+            len: 5_000_000_000,
+            max: 1 << 26,
+        };
+        assert!(big.to_string().contains("5000000000"));
+        assert!(big.source().is_none());
     }
 
     #[test]

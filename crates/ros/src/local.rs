@@ -274,9 +274,7 @@ mod tests {
             bus.publish("t2", &other),
             Err(RosError::TypeMismatch { .. })
         ));
-        assert!(bus
-            .subscribe("t2", |_m: SfmShared<Other>| {})
-            .is_err());
+        assert!(bus.subscribe("t2", |_m: SfmShared<Other>| {}).is_err());
         assert!(format!("{bus:?}").contains("LocalBus"));
     }
 }

@@ -8,6 +8,7 @@
 //! cross-machine connections.
 
 use crate::error::RosError;
+use crate::metrics::MetricsRegistry;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rossf_netsim::{LinkTable, MachineId};
@@ -37,6 +38,7 @@ struct MasterInner {
     topics: Mutex<HashMap<String, TopicEntry>>,
     links: LinkTable,
     services: crate::service::ServiceRegistry,
+    metrics: MetricsRegistry,
     next_id: AtomicU64,
 }
 
@@ -61,6 +63,7 @@ impl Master {
                 topics: Mutex::new(HashMap::new()),
                 links: LinkTable::new(),
                 services: crate::service::ServiceRegistry::default(),
+                metrics: MetricsRegistry::new(),
                 next_id: AtomicU64::new(1),
             }),
         }
@@ -75,6 +78,12 @@ impl Master {
     /// The service registry (request/response endpoints).
     pub fn services(&self) -> &crate::service::ServiceRegistry {
         &self.inner.services
+    }
+
+    /// Per-topic transport metrics for everything registered with this
+    /// master. Dump with [`MetricsRegistry::render`] after an experiment.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     fn fresh_id(&self) -> u64 {
@@ -97,11 +106,13 @@ impl Master {
     ) -> Result<u64, RosError> {
         let id = self.fresh_id();
         let mut topics = self.inner.topics.lock();
-        let entry = topics.entry(topic.to_string()).or_insert_with(|| TopicEntry {
-            type_name: type_name.to_string(),
-            publishers: Vec::new(),
-            watchers: Vec::new(),
-        });
+        let entry = topics
+            .entry(topic.to_string())
+            .or_insert_with(|| TopicEntry {
+                type_name: type_name.to_string(),
+                publishers: Vec::new(),
+                watchers: Vec::new(),
+            });
         if entry.type_name != type_name {
             return Err(RosError::TypeMismatch {
                 topic: topic.to_string(),
@@ -112,9 +123,7 @@ impl Master {
         let ep = PublisherEndpoint { addr, machine, id };
         entry.publishers.push(ep.clone());
         // Notify live watchers; forget those whose subscriber is gone.
-        entry
-            .watchers
-            .retain(|(_, w)| w.send(ep.clone()).is_ok());
+        entry.watchers.retain(|(_, w)| w.send(ep.clone()).is_ok());
         Ok(id)
     }
 
@@ -140,11 +149,13 @@ impl Master {
     ) -> Result<(Vec<PublisherEndpoint>, Receiver<PublisherEndpoint>, u64), RosError> {
         let id = self.fresh_id();
         let mut topics = self.inner.topics.lock();
-        let entry = topics.entry(topic.to_string()).or_insert_with(|| TopicEntry {
-            type_name: type_name.to_string(),
-            publishers: Vec::new(),
-            watchers: Vec::new(),
-        });
+        let entry = topics
+            .entry(topic.to_string())
+            .or_insert_with(|| TopicEntry {
+                type_name: type_name.to_string(),
+                publishers: Vec::new(),
+                watchers: Vec::new(),
+            });
         if entry.type_name != type_name {
             return Err(RosError::TypeMismatch {
                 topic: topic.to_string(),
@@ -163,6 +174,20 @@ impl Master {
         if let Some(entry) = self.inner.topics.lock().get_mut(topic) {
             entry.watchers.retain(|(wid, _)| *wid != id);
         }
+    }
+
+    /// The endpoint of publisher registration `id` on `topic`, if it is
+    /// still registered. Subscriber supervisors poll this after a
+    /// connection dies: `Some` means the publisher should be reachable
+    /// again (reconnect with backoff); `None` means it unregistered and the
+    /// supervisor can stand down (a replacement arrives via the watcher
+    /// channel with a fresh id).
+    pub fn lookup_publisher(&self, topic: &str, id: u64) -> Option<PublisherEndpoint> {
+        self.inner
+            .topics
+            .lock()
+            .get(topic)
+            .and_then(|e| e.publishers.iter().find(|p| p.id == id).cloned())
     }
 
     /// Message type currently registered for `topic`, if any.
@@ -265,7 +290,8 @@ mod tests {
     #[test]
     fn type_mismatch_rejected_both_directions() {
         let m = Master::new();
-        m.register_publisher("t", "A", addr(1), MachineId::A).unwrap();
+        m.register_publisher("t", "A", addr(1), MachineId::A)
+            .unwrap();
         assert!(matches!(
             m.register_publisher("t", "B", addr(2), MachineId::A),
             Err(RosError::TypeMismatch { .. })
@@ -280,9 +306,25 @@ mod tests {
     #[test]
     fn unregister_publisher_removes_endpoint() {
         let m = Master::new();
-        let id = m.register_publisher("t", "T", addr(1), MachineId::A).unwrap();
+        let id = m
+            .register_publisher("t", "T", addr(1), MachineId::A)
+            .unwrap();
+        assert_eq!(m.lookup_publisher("t", id).unwrap().addr, addr(1));
         m.unregister_publisher("t", id);
         assert_eq!(m.publisher_count("t"), 0);
+        assert!(m.lookup_publisher("t", id).is_none());
+        assert!(m.lookup_publisher("missing", id).is_none());
+    }
+
+    #[test]
+    fn metrics_registry_is_shared_across_clones() {
+        let m = Master::new();
+        let m2 = m.clone();
+        m.metrics()
+            .topic("t")
+            .frames_sent
+            .store(4, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(m2.metrics().topic("t").snapshot().frames_sent, 4);
     }
 
     #[test]
@@ -297,9 +339,14 @@ mod tests {
     #[test]
     fn topic_names_sorted() {
         let m = Master::new();
-        m.register_publisher("zeta", "T", addr(1), MachineId::A).unwrap();
-        m.register_publisher("alpha", "T", addr(2), MachineId::A).unwrap();
-        assert_eq!(m.topic_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        m.register_publisher("zeta", "T", addr(1), MachineId::A)
+            .unwrap();
+        m.register_publisher("alpha", "T", addr(2), MachineId::A)
+            .unwrap();
+        assert_eq!(
+            m.topic_names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
         assert!(format!("{m:?}").contains("alpha"));
     }
 
@@ -332,7 +379,8 @@ mod tests {
     fn clones_share_state() {
         let m = Master::new();
         let m2 = m.clone();
-        m.register_publisher("t", "T", addr(1), MachineId::A).unwrap();
+        m.register_publisher("t", "T", addr(1), MachineId::A)
+            .unwrap();
         assert_eq!(m2.publisher_count("t"), 1);
     }
 }

@@ -1,5 +1,6 @@
 //! `NodeHandle` — the entry point of the paper's program pattern (Fig. 3).
 
+use crate::config::TransportConfig;
 use crate::error::RosError;
 use crate::master::Master;
 use crate::publisher::Publisher;
@@ -25,6 +26,7 @@ pub struct NodeHandle {
     master: Master,
     name: String,
     machine: MachineId,
+    config: TransportConfig,
 }
 
 impl NodeHandle {
@@ -36,10 +38,22 @@ impl NodeHandle {
     /// Create a node on a specific simulated machine. Traffic between
     /// machines is shaped per the master's link table.
     pub fn with_machine(master: &Master, name: &str, machine: MachineId) -> Self {
+        Self::with_config(master, name, machine, TransportConfig::default())
+    }
+
+    /// Create a node with explicit transport tunables. Every publisher and
+    /// subscriber created through this handle inherits `config`.
+    pub fn with_config(
+        master: &Master,
+        name: &str,
+        machine: MachineId,
+        config: TransportConfig,
+    ) -> Self {
         NodeHandle {
             master: master.clone(),
             name: name.to_string(),
             machine,
+            config,
         }
     }
 
@@ -58,9 +72,16 @@ impl NodeHandle {
         &self.master
     }
 
+    /// The transport tunables publishers and subscribers created through
+    /// this handle use.
+    pub fn transport_config(&self) -> &TransportConfig {
+        &self.config
+    }
+
     /// Declare a topic and obtain a publisher for it (Fig. 3,
     /// `nh.advertise(...)`). `queue_size` bounds each subscriber
-    /// connection's transmission queue.
+    /// connection's transmission queue; `0` means "use the node's
+    /// [`TransportConfig::queue_size`]".
     ///
     /// # Panics
     ///
@@ -82,7 +103,13 @@ impl NodeHandle {
         topic: &str,
         queue_size: usize,
     ) -> Result<Publisher<M>, RosError> {
-        Publisher::create(&self.master, topic, queue_size, self.machine)
+        Publisher::create(
+            &self.master,
+            topic,
+            queue_size,
+            self.machine,
+            self.config.clone(),
+        )
     }
 
     /// Register `callback` for messages on `topic` (Fig. 3,
@@ -124,7 +151,13 @@ impl NodeHandle {
     where
         F: Fn(D) + Send + Sync + 'static,
     {
-        Subscriber::create(&self.master, topic, self.machine, callback)
+        Subscriber::create(
+            &self.master,
+            topic,
+            self.machine,
+            self.config.clone(),
+            callback,
+        )
     }
 
     /// Advertise a request/response service (`rosservice` style). The

@@ -6,18 +6,24 @@
 //! clone of the encoded frame — for serialization-free messages, a clone of
 //! the buffer pointer — and returns; the writer threads drain to the
 //! sockets). Cross-machine connections are paced by the master's
-//! [`LinkTable`](rossf_netsim::LinkTable).
+//! [`LinkTable`](rossf_netsim::LinkTable), and any
+//! [`FaultInjector`](rossf_netsim::FaultInjector) attached to the link is
+//! applied frame-by-frame in the writer loop: delayed frames sleep, dropped
+//! frames are skipped, and a severed link shuts the socket down and refuses
+//! new connections until healed.
 
+use crate::config::TransportConfig;
 use crate::error::RosError;
 use crate::master::Master;
+use crate::metrics::TransportMetrics;
 use crate::traits::Encode;
 use crate::wire::{write_frame, ConnectionHeader, OutFrame};
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
-use rossf_netsim::{MachineId, ShapedWriter};
+use rossf_netsim::{FaultAction, MachineId, ShapedWriter};
 use std::io::BufReader;
 use std::marker::PhantomData;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -32,6 +38,8 @@ struct PubCore {
     addr: SocketAddr,
     machine: MachineId,
     queue_size: usize,
+    config: TransportConfig,
+    metrics: Arc<TransportMetrics>,
     master: Master,
     registration: u64,
     conns: Mutex<Vec<Conn>>,
@@ -64,10 +72,14 @@ impl PubCore {
 
     fn handle_subscriber(self: Arc<Self>, mut stream: TcpStream) -> Result<(), RosError> {
         stream.set_nodelay(true)?;
+        // Bound the handshake: a connector that never sends a header must
+        // not pin this thread.
+        stream.set_read_timeout(Some(self.config.handshake_timeout))?;
         let header = {
             let mut reader = BufReader::new(stream.try_clone()?);
             ConnectionHeader::read_from(&mut reader)?
         };
+        stream.set_read_timeout(None)?;
         let sub_type = header.get("type").unwrap_or_default().to_string();
         if sub_type != self.type_name {
             let reply = ConnectionHeader::new().with(
@@ -87,11 +99,20 @@ impl PubCore {
             .unwrap_or_default()
             .into();
 
+        // A severed link refuses new connections: close without a reply so
+        // the subscriber sees a transport failure and keeps retrying under
+        // its backoff schedule until the link heals.
+        let injector = self.master.links().fault(self.machine, sub_machine);
+        if injector.as_ref().is_some_and(|f| f.is_severed()) {
+            return Err(RosError::Rejected("link severed".to_string()));
+        }
+
         let reply = ConnectionHeader::new()
             .with("type", self.type_name)
             .with("topic", &self.topic)
             .with("endian", ConnectionHeader::native_endian());
         reply.write_to(&mut stream)?;
+        self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
 
         // Link shaping: pace the data path if the subscriber lives on a
         // different simulated machine.
@@ -104,6 +125,7 @@ impl PubCore {
             queue: tx,
             alive: Arc::clone(&alive),
         });
+        let metrics = Arc::clone(&self.metrics);
         // Release our strong reference: the writer loop must not keep the
         // core alive, or dropping the last Publisher could never clear the
         // queues this loop waits on.
@@ -111,12 +133,37 @@ impl PubCore {
 
         // Writer thread body (we are already on a dedicated thread).
         while let Ok(frame) = rx.recv() {
+            match injector
+                .as_ref()
+                .map_or(FaultAction::Pass, |f| f.next_frame_action())
+            {
+                FaultAction::Pass => {}
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Drop => {
+                    metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                FaultAction::Sever => {
+                    // The frame is lost and the connection is cut at the
+                    // transport level, exactly like a yanked cable.
+                    metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                    let _ = wire.get_ref().shutdown(Shutdown::Both);
+                    break;
+                }
+            }
             wire.start_frame();
-            if write_frame(&mut wire, frame.as_slice()).is_err() {
-                break; // subscriber went away
+            match write_frame(&mut wire, frame.as_slice()) {
+                Ok(()) => {
+                    metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    metrics
+                        .bytes_sent
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                }
+                Err(_) => break, // subscriber went away
             }
         }
         alive.store(false, Ordering::SeqCst);
+        metrics.disconnects.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -124,7 +171,8 @@ impl PubCore {
 impl Drop for PubCore {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.master.unregister_publisher(&self.topic, self.registration);
+        self.master
+            .unregister_publisher(&self.topic, self.registration);
         // Close all transmission queues so writer threads exit.
         self.conns.lock().clear();
         // Wake the accept loop so it observes the shutdown flag.
@@ -157,17 +205,24 @@ impl<M: Encode> Publisher<M> {
         topic: &str,
         queue_size: usize,
         machine: MachineId,
+        config: TransportConfig,
     ) -> Result<Self, RosError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let registration =
-            master.register_publisher(topic, M::topic_type(), addr, machine)?;
+        let registration = master.register_publisher(topic, M::topic_type(), addr, machine)?;
+        let queue_size = if queue_size == 0 {
+            config.queue_size
+        } else {
+            queue_size
+        };
         let core = Arc::new(PubCore {
             topic: topic.to_string(),
             type_name: M::topic_type(),
             addr,
             machine,
             queue_size,
+            config,
+            metrics: master.metrics().topic(topic),
             master: master.clone(),
             registration,
             conns: Mutex::new(Vec::new()),
@@ -187,15 +242,29 @@ impl<M: Encode> Publisher<M> {
     /// only clones the buffer pointer) and enqueue on every subscriber
     /// connection. Never blocks; if a connection's transmission queue is
     /// full the frame is dropped for that subscriber (counted in
-    /// [`Publisher::dropped`]).
+    /// [`Publisher::dropped`]). A frame larger than the configured
+    /// `max_frame_len` is refused outright — every subscriber would reject
+    /// it anyway.
     pub fn publish(&self, msg: &M) {
         let frame = msg.encode();
+        if frame.len() > self.core.config.max_frame_len {
+            self.core
+                .metrics
+                .frames_dropped_oversized
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.core.published.fetch_add(1, Ordering::Relaxed);
+        let metrics = &self.core.metrics;
         let mut conns = self.core.conns.lock();
         conns.retain(|conn| match conn.queue.try_send(frame.clone()) {
-            Ok(()) => true,
+            Ok(()) => {
+                metrics.observe_queue_depth(conn.queue.len() as u64);
+                true
+            }
             Err(TrySendError::Full(_)) => {
                 self.core.dropped.fetch_add(1, Ordering::Relaxed);
+                metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
                 true
             }
             Err(TrySendError::Disconnected(_)) => false,
@@ -228,6 +297,11 @@ impl<M: Encode> Publisher<M> {
     /// Frames dropped because a subscriber's queue was full.
     pub fn dropped(&self) -> u64 {
         self.core.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The shared per-topic transport metrics this publisher reports into.
+    pub fn metrics(&self) -> Arc<TransportMetrics> {
+        Arc::clone(&self.core.metrics)
     }
 }
 

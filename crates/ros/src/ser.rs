@@ -48,7 +48,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of buffer: needed {needed}, had {remaining}")
+                write!(
+                    f,
+                    "unexpected end of buffer: needed {needed}, had {remaining}"
+                )
             }
             DecodeError::InvalidUtf8 => write!(f, "string field holds invalid UTF-8"),
             DecodeError::LengthOverrun {

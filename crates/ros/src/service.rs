@@ -147,20 +147,18 @@ impl ServiceServer {
         });
         let weak = Arc::downgrade(&core);
         let handler = Arc::new(handler);
-        std::thread::spawn(move || {
-            loop {
-                let Ok((stream, _)) = listener.accept() else {
-                    break;
-                };
-                let Some(core) = weak.upgrade() else { break };
-                if core.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let handler = Arc::clone(&handler);
-                std::thread::spawn(move || {
-                    let _ = serve_connection::<Req, Res, F>(core, handler, stream);
-                });
+        std::thread::spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                break;
+            };
+            let Some(core) = weak.upgrade() else { break };
+            if core.shutdown.load(Ordering::SeqCst) {
+                break;
             }
+            let handler = Arc::clone(&handler);
+            std::thread::spawn(move || {
+                let _ = serve_connection::<Req, Res, F>(core, handler, stream);
+            });
         });
         Ok(ServiceServer { core })
     }

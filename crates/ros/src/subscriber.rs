@@ -1,21 +1,31 @@
 //! The subscriber side of a topic.
 //!
 //! `subscribe` registers a callback with the master and connects to every
-//! current and future publisher of the topic. Each connection runs a reader
-//! thread: read the frame length, obtain a receive slot from the
-//! [`Decode`] impl (for serialization-free messages the slot *is* the
-//! message's final allocation), read the payload into it, finish, invoke
-//! the callback — the paper's subscriber-side flow of Fig. 9.
+//! current and future publisher of the topic. Each publisher endpoint is
+//! owned by a *supervisor* thread: it runs one connection at a time (the
+//! reader loop of the paper's Fig. 9 — read the frame length, obtain a
+//! receive slot from the [`Decode`] impl, read the payload into it, finish,
+//! invoke the callback) and, when the connection dies while the publisher
+//! is still registered, re-resolves the endpoint via the master and
+//! reconnects under the node's
+//! [`BackoffPolicy`](crate::config::BackoffPolicy). A publisher that
+//! unregisters ends its supervisor; a replacement publisher arrives through
+//! the master's watcher channel with a fresh registration and gets a fresh
+//! supervisor.
 
+use crate::config::TransportConfig;
 use crate::error::RosError;
 use crate::master::{Master, PublisherEndpoint};
+use crate::metrics::TransportMetrics;
 use crate::traits::{Decode, RecvSlot};
 use crate::wire::{read_frame_len, ConnectionHeader};
 use rossf_netsim::MachineId;
+use std::collections::HashMap;
 use std::io::{BufReader, Read};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -24,27 +34,128 @@ struct SubCore<D: Decode> {
     machine: MachineId,
     master: Master,
     registration: u64,
+    config: TransportConfig,
+    metrics: Arc<TransportMetrics>,
     callback: Box<dyn Fn(D) + Send + Sync>,
     shutdown: AtomicBool,
-    streams: Mutex<Vec<TcpStream>>,
+    /// Live connection streams, keyed by a per-core serial so each reader
+    /// removes exactly its own entry when the connection ends — dead
+    /// streams never accumulate.
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_stream_key: AtomicU64,
     received: AtomicU64,
     received_bytes: AtomicU64,
     decode_errors: AtomicU64,
     connected: AtomicU64,
+    reconnect_attempts: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl<D: Decode> SubCore<D> {
-    fn reader_loop(self: Arc<Self>, ep: PublisherEndpoint) -> Result<(), RosError> {
+    /// Own one publisher endpoint for the life of its registration:
+    /// connect, run the reader loop, and on abnormal death reconnect with
+    /// capped exponential backoff as long as the master still lists the
+    /// registration.
+    fn supervise(self: Arc<Self>, ep: PublisherEndpoint) {
+        // Failed attempts since the last healthy connection.
+        let mut attempt: u32 = 0;
+        // Whether any connection to this endpoint ever completed a
+        // handshake (a later success is then a *re*connect).
+        let mut was_connected = false;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut handshaken = false;
+            let result = self.run_connection(&ep, was_connected, &mut handshaken);
+            if handshaken {
+                was_connected = true;
+                attempt = 0; // healthy link existed; restart the schedule
+                self.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match result {
+                // The peer refused this subscription outright (type or
+                // endianness mismatch): retrying cannot change the answer.
+                Err(RosError::Rejected(_)) | Err(RosError::TypeMismatch { .. }) => return,
+                // Clean EOF or a transport-level failure: retryable.
+                _ => {}
+            }
+            // Reconnect only while this exact registration is still
+            // current; a replacement publisher has a fresh id and arrives
+            // via the watcher channel.
+            if self.master.lookup_publisher(&self.topic, ep.id).is_none() {
+                return;
+            }
+            if self.config.backoff.exhausted(attempt) {
+                return;
+            }
+            let delay = self
+                .config
+                .backoff
+                .delay(attempt, ep.id ^ self.registration);
+            attempt = attempt.saturating_add(1);
+            self.reconnect_attempts.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .reconnect_attempts
+                .fetch_add(1, Ordering::Relaxed);
+            if !self.sleep_unless_shutdown(delay) {
+                return;
+            }
+        }
+    }
+
+    /// Sleep `total`, polling the shutdown flag so teardown is never
+    /// delayed by a pending backoff. Returns `false` if shut down.
+    fn sleep_unless_shutdown(&self, total: Duration) -> bool {
+        let deadline = Instant::now() + total;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+        }
+    }
+
+    /// One connection lifetime: connect, handshake, read frames until the
+    /// stream ends. The stream is registered in `streams` for the duration
+    /// so `Drop` can unblock it, and always removed on the way out.
+    fn run_connection(
+        &self,
+        ep: &PublisherEndpoint,
+        is_reconnect: bool,
+        handshaken: &mut bool,
+    ) -> Result<(), RosError> {
         let stream = TcpStream::connect(ep.addr)?;
         stream.set_nodelay(true)?;
+        let key = self.next_stream_key.fetch_add(1, Ordering::Relaxed);
         {
             let mut streams = self.streams.lock();
             if self.shutdown.load(Ordering::SeqCst) {
                 return Ok(());
             }
-            streams.push(stream.try_clone()?);
+            streams.insert(key, stream.try_clone()?);
         }
+        let result = self.reader_loop(stream, is_reconnect, handshaken);
+        self.streams.lock().remove(&key);
+        result
+    }
 
+    fn reader_loop(
+        &self,
+        stream: TcpStream,
+        is_reconnect: bool,
+        handshaken: &mut bool,
+    ) -> Result<(), RosError> {
+        // A peer that accepts the connection but never answers the
+        // handshake must not pin this thread forever.
+        stream.set_read_timeout(Some(self.config.handshake_timeout))?;
         let mut write_half = stream.try_clone()?;
         ConnectionHeader::new()
             .with("topic", &self.topic)
@@ -68,7 +179,16 @@ impl<D: Decode> SubCore<D> {
                 )));
             }
         }
+        // Steady-state reads block indefinitely; teardown happens via
+        // socket shutdown, not timeouts.
+        reader.get_ref().set_read_timeout(None)?;
         self.connected.fetch_add(1, Ordering::SeqCst);
+        self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
+        *handshaken = true;
+        if is_reconnect {
+            self.reconnects.fetch_add(1, Ordering::SeqCst);
+            self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
 
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -77,6 +197,19 @@ impl<D: Decode> SubCore<D> {
             let Some(len) = read_frame_len(&mut reader)? else {
                 break; // publisher closed
             };
+            if len > self.config.max_frame_len {
+                // Protocol violation (a corrupt or hostile prefix can claim
+                // up to 4 GiB): reject before allocating anything and tear
+                // the connection down — the stream cannot be trusted to be
+                // in sync anymore.
+                self.metrics
+                    .frame_len_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(RosError::FrameTooLarge {
+                    len,
+                    max: self.config.max_frame_len,
+                });
+            }
             match D::new_slot(len) {
                 Ok(mut slot) => {
                     reader.read_exact(slot.as_mut_slice())?;
@@ -84,20 +217,25 @@ impl<D: Decode> SubCore<D> {
                         Ok(msg) => {
                             self.received.fetch_add(1, Ordering::SeqCst);
                             self.received_bytes.fetch_add(len as u64, Ordering::SeqCst);
+                            self.metrics.frames_received.fetch_add(1, Ordering::Relaxed);
+                            self.metrics
+                                .bytes_received
+                                .fetch_add(len as u64, Ordering::Relaxed);
                             (self.callback)(msg);
                         }
                         Err(_) => {
                             self.decode_errors.fetch_add(1, Ordering::SeqCst);
+                            self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
                 Err(_) => {
-                    // Skip the frame's bytes to stay in sync.
+                    // Oversized for this message type (but within the
+                    // transport cap): skip the frame's bytes to stay in
+                    // sync.
                     self.decode_errors.fetch_add(1, Ordering::SeqCst);
-                    std::io::copy(
-                        &mut (&mut reader).take(len as u64),
-                        &mut std::io::sink(),
-                    )?;
+                    self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    std::io::copy(&mut (&mut reader).take(len as u64), &mut std::io::sink())?;
                 }
             }
         }
@@ -105,7 +243,8 @@ impl<D: Decode> SubCore<D> {
     }
 }
 
-/// A live subscription: holds the callback and the reader threads.
+/// A live subscription: holds the callback and the per-publisher
+/// supervisor threads.
 ///
 /// Messages stop being delivered when the `Subscriber` is dropped (the
 /// paper's `ros::Subscriber` semantics).
@@ -118,6 +257,7 @@ impl<D: Decode> Subscriber<D> {
         master: &Master,
         topic: &str,
         machine: MachineId,
+        config: TransportConfig,
         callback: F,
     ) -> Result<Self, RosError>
     where
@@ -130,21 +270,24 @@ impl<D: Decode> Subscriber<D> {
             machine,
             master: master.clone(),
             registration,
+            config,
+            metrics: master.metrics().topic(topic),
             callback: Box::new(callback),
             shutdown: AtomicBool::new(false),
-            streams: Mutex::new(Vec::new()),
+            streams: Mutex::new(HashMap::new()),
+            next_stream_key: AtomicU64::new(0),
             received: AtomicU64::new(0),
             received_bytes: AtomicU64::new(0),
             decode_errors: AtomicU64::new(0),
             connected: AtomicU64::new(0),
+            reconnect_attempts: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
         });
         for ep in endpoints {
             let c = Arc::clone(&core);
-            std::thread::spawn(move || {
-                let _ = c.reader_loop(ep);
-            });
+            std::thread::spawn(move || c.supervise(ep));
         }
-        // Watcher: connect to publishers that appear later.
+        // Watcher: supervise publishers that appear later.
         let c = Arc::clone(&core);
         std::thread::spawn(move || {
             for ep in watcher.iter() {
@@ -152,9 +295,7 @@ impl<D: Decode> Subscriber<D> {
                     break;
                 }
                 let cc = Arc::clone(&c);
-                std::thread::spawn(move || {
-                    let _ = cc.reader_loop(ep);
-                });
+                std::thread::spawn(move || cc.supervise(ep));
             }
         });
         Ok(Subscriber { core })
@@ -185,6 +326,24 @@ impl<D: Decode> Subscriber<D> {
     pub fn connection_count(&self) -> u64 {
         self.core.connected.load(Ordering::SeqCst)
     }
+
+    /// Connection attempts made after a connection died (successful or
+    /// not).
+    pub fn reconnect_attempts(&self) -> u64 {
+        self.core.reconnect_attempts.load(Ordering::SeqCst)
+    }
+
+    /// Reconnections that completed a handshake after a previous
+    /// connection to the same publisher registration died.
+    pub fn reconnects(&self) -> u64 {
+        self.core.reconnects.load(Ordering::SeqCst)
+    }
+
+    /// The shared per-topic transport metrics this subscription reports
+    /// into.
+    pub fn metrics(&self) -> Arc<TransportMetrics> {
+        Arc::clone(&self.core.metrics)
+    }
 }
 
 impl<D: Decode> Drop for Subscriber<D> {
@@ -194,7 +353,7 @@ impl<D: Decode> Drop for Subscriber<D> {
             .master
             .unregister_subscriber(&self.core.topic, self.core.registration);
         // Unblock reader threads stuck in read().
-        for s in self.core.streams.lock().iter() {
+        for s in self.core.streams.lock().values() {
             let _ = s.shutdown(Shutdown::Both);
         }
     }
@@ -205,6 +364,7 @@ impl<D: Decode> std::fmt::Debug for Subscriber<D> {
         f.debug_struct("Subscriber")
             .field("topic", &self.core.topic)
             .field("received", &self.received())
+            .field("reconnects", &self.reconnects())
             .finish()
     }
 }

@@ -53,13 +53,29 @@ impl OutFrame {
     }
 }
 
+/// Validate that a payload length fits the 4-byte frame prefix.
+///
+/// # Errors
+///
+/// [`RosError::FrameTooLarge`] for payloads the prefix cannot represent —
+/// writing such a frame would silently truncate the length and desync the
+/// stream.
+pub fn frame_len_prefix(len: usize) -> Result<u32, RosError> {
+    u32::try_from(len).map_err(|_| RosError::FrameTooLarge {
+        len,
+        max: u32::MAX as usize,
+    })
+}
+
 /// Write one length-prefixed frame.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the underlying stream.
+/// [`RosError::FrameTooLarge`] if the payload cannot be represented by the
+/// 4-byte length prefix (≥ 4 GiB); otherwise propagates I/O errors from the
+/// underlying stream.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), RosError> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&frame_len_prefix(payload.len())?.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
@@ -132,7 +148,10 @@ impl ConnectionHeader {
         let mut blob = Vec::new();
         for (k, v) in &self.fields {
             let field = format!("{k}={v}");
-            (field.len() as u32).to_le_bytes().iter().for_each(|b| blob.push(*b));
+            (field.len() as u32)
+                .to_le_bytes()
+                .iter()
+                .for_each(|b| blob.push(*b));
             blob.extend_from_slice(field.as_bytes());
         }
         write_frame(w, &blob)
@@ -162,8 +181,7 @@ impl ConnectionHeader {
             if pos + 4 > blob.len() {
                 return Err(RosError::BadHeader("truncated field length".into()));
             }
-            let flen =
-                u32::from_le_bytes(blob[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let flen = u32::from_le_bytes(blob[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + flen > blob.len() {
                 return Err(RosError::BadHeader("truncated field".into()));
@@ -192,6 +210,19 @@ mod tests {
         let len = read_frame_len(&mut r).unwrap().unwrap();
         assert_eq!(len, 7);
         assert_eq!(r, b"payload");
+    }
+
+    #[test]
+    fn unencodable_payload_length_is_an_error() {
+        // 4 GiB and beyond cannot be described by the u32 prefix; the check
+        // fires on the length alone, before any payload byte is touched.
+        assert_eq!(frame_len_prefix(u32::MAX as usize).unwrap(), u32::MAX);
+        let too_big = u32::MAX as usize + 1;
+        assert!(matches!(
+            frame_len_prefix(too_big),
+            Err(RosError::FrameTooLarge { len, max })
+                if len == too_big && max == u32::MAX as usize
+        ));
     }
 
     #[test]

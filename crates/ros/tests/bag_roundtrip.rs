@@ -70,7 +70,10 @@ impl Encode for PlainSample {
 fn wait_count<F: Fn() -> usize>(f: F, n: usize, what: &str) {
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while f() < n {
-        assert!(std::time::Instant::now() < deadline, "timeout waiting for {what}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timeout waiting for {what}"
+        );
         std::thread::sleep(Duration::from_millis(2));
     }
 }

@@ -3,7 +3,7 @@
 //! handshakes are rejected, and healthy traffic continues.
 
 use rossf_ros::wire::{write_frame, ConnectionHeader};
-use rossf_ros::{Master, NodeHandle, Publisher};
+use rossf_ros::{BackoffPolicy, Master, NodeHandle, Publisher, TransportConfig};
 use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
@@ -173,6 +173,55 @@ fn garbage_handshake_does_not_break_publisher() {
     msg.data.resize(8);
     publisher.publish(&msg);
     assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 42);
+}
+
+#[test]
+fn absurd_length_prefix_is_rejected_without_allocation() {
+    let master = Master::new();
+    // One quick retry then stand down, so the dead raw listener does not
+    // keep a supervisor looping for the rest of the test.
+    let config = TransportConfig {
+        handshake_timeout: Duration::from_millis(200),
+        backoff: BackoffPolicy {
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(5),
+            max_attempts: 1,
+            ..BackoffPolicy::default()
+        },
+        ..TransportConfig::default()
+    };
+    let nh = NodeHandle::with_config(&master, "victim4", rossf_ros::MachineId::A, config);
+    let raw = RawPublisher::register(&master, "fault/hugelen", Payload::type_name());
+
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh.subscribe("fault/hugelen", 8, move |_m: SfmShared<Payload>| {
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+    let mut stream = raw.accept(Payload::type_name());
+
+    write_frame(&mut stream, &valid_frame(0)).unwrap();
+    // A corrupted length prefix claiming a ~4 GiB frame. The subscriber
+    // must reject it against `max_frame_len` *before* allocating or
+    // reading, and treat the connection as poisoned.
+    stream.write_all(&0xFFFF_FFF0u32.to_le_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    wait_until("first frame", || seen.load(Ordering::SeqCst) == 1);
+    wait_until("frame-length reject", || {
+        master
+            .metrics()
+            .topic("fault/hugelen")
+            .snapshot()
+            .frame_len_rejects
+            == 1
+    });
+    // The poisoned connection is torn down; nothing further is delivered
+    // and the bogus length is not misread as a decode error.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(seen.load(Ordering::SeqCst), 1);
+    assert_eq!(sub.decode_errors(), 0);
+    assert_eq!(sub.received(), 1);
 }
 
 #[test]

@@ -117,7 +117,11 @@ fn plain_messages_roundtrip_over_tcp() {
         assert_eq!(msg.payload, vec![i as u8; 100]);
     }
     assert_eq!(publisher.published(), 20);
-    assert_eq!(publisher.dropped(), 0, "queue depth 64 must absorb the burst");
+    assert_eq!(
+        publisher.dropped(),
+        0,
+        "queue depth 64 must absorb the burst"
+    );
 }
 
 #[test]
@@ -288,7 +292,10 @@ fn subscriber_drop_stops_delivery_and_publisher_notices() {
         if publisher.subscriber_count() == 0 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "connection not pruned");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection not pruned"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
 }

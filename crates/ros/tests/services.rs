@@ -144,9 +144,7 @@ fn missing_service_and_type_mismatch_rejected() {
     ));
 
     let _server = nh
-        .advertise_service("typed", |req: Arc<AddRequest>| AddResponse {
-            sum: req.a,
-        })
+        .advertise_service("typed", |req: Arc<AddRequest>| AddResponse { sum: req.a })
         .unwrap();
     // Wrong request type at connect time.
     assert!(matches!(

@@ -59,7 +59,11 @@ mod tests {
     #[test]
     fn markers_drawn_at_corner_pixels() {
         let rgb = vec![0u8; 16 * 16 * 3];
-        let corners = vec![Corner { x: 8, y: 8, score: 1 }];
+        let corners = vec![Corner {
+            x: 8,
+            y: 8,
+            score: 1,
+        }];
         let out = annotate(&rgb, 16, 16, &corners, 2);
         let at = |x: usize, y: usize| {
             let p = (y * 16 + x) * 3;
@@ -75,7 +79,18 @@ mod tests {
     #[test]
     fn border_corners_are_clipped_safely() {
         let rgb = vec![9u8; 8 * 8 * 3];
-        let corners = vec![Corner { x: 0, y: 0, score: 1 }, Corner { x: 7, y: 7, score: 1 }];
+        let corners = vec![
+            Corner {
+                x: 0,
+                y: 0,
+                score: 1,
+            },
+            Corner {
+                x: 7,
+                y: 7,
+                score: 1,
+            },
+        ];
         let out = annotate(&rgb, 8, 8, &corners, 3);
         assert_eq!(out.len(), rgb.len());
     }
@@ -85,8 +100,16 @@ mod tests {
         let seq = crate::dataset::Sequence::with_resolution(21, 32, 24, 1.0);
         let frame = seq.frame(0);
         let corners = vec![
-            Corner { x: 5, y: 5, score: 1 },
-            Corner { x: 20, y: 12, score: 2 },
+            Corner {
+                x: 5,
+                y: 5,
+                score: 1,
+            },
+            Corner {
+                x: 20,
+                y: 12,
+                score: 2,
+            },
         ];
         let copied = annotate(&frame.rgb, 32, 24, &corners, 2);
         let mut in_place = frame.rgb.clone();

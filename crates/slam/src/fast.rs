@@ -64,7 +64,10 @@ fn classify(gray: &[u8], width: usize, x: usize, y: usize, threshold: i16) -> Op
         *v = px(i);
     }
     for (pass, pred) in [
-        (true, Box::new(move |p: i16| p > hi) as Box<dyn Fn(i16) -> bool>),
+        (
+            true,
+            Box::new(move |p: i16| p > hi) as Box<dyn Fn(i16) -> bool>,
+        ),
         (false, Box::new(move |p: i16| p < lo)),
     ] {
         let _ = pass;
@@ -217,8 +220,8 @@ mod tests {
         let corners = detect(&img, 40, 40, 20);
         for (i, a) in corners.iter().enumerate() {
             for b in corners.iter().skip(i + 1) {
-                let close = (a.x as i32 - b.x as i32).abs() <= 1
-                    && (a.y as i32 - b.y as i32).abs() <= 1;
+                let close =
+                    (a.x as i32 - b.x as i32).abs() <= 1 && (a.y as i32 - b.y as i32).abs() <= 1;
                 assert!(!close, "adjacent corners {a:?} {b:?} not suppressed");
             }
         }
@@ -227,9 +230,21 @@ mod tests {
     #[test]
     fn strongest_truncates_by_score() {
         let corners = vec![
-            Corner { x: 1, y: 1, score: 5 },
-            Corner { x: 2, y: 2, score: 50 },
-            Corner { x: 3, y: 3, score: 20 },
+            Corner {
+                x: 1,
+                y: 1,
+                score: 5,
+            },
+            Corner {
+                x: 2,
+                y: 2,
+                score: 50,
+            },
+            Corner {
+                x: 3,
+                y: 3,
+                score: 20,
+            },
         ];
         let top2 = strongest(corners, 2);
         assert_eq!(top2.len(), 2);

@@ -40,7 +40,11 @@ impl Intrinsics {
     /// coordinates.
     pub fn backproject(&self, u: f32, v: f32) -> [f32; 3] {
         let z = self.plane_depth;
-        [(u - self.cx) * z / self.focal, (v - self.cy) * z / self.focal, z]
+        [
+            (u - self.cx) * z / self.focal,
+            (v - self.cy) * z / self.focal,
+            z,
+        ]
     }
 }
 
@@ -54,11 +58,7 @@ pub struct MapPoint {
 }
 
 /// Back-project `corners` given the current pose estimate.
-pub fn map_points(
-    corners: &[Corner],
-    pose: PoseEstimate,
-    intr: &Intrinsics,
-) -> Vec<MapPoint> {
+pub fn map_points(corners: &[Corner], pose: PoseEstimate, intr: &Intrinsics) -> Vec<MapPoint> {
     // Texture pixels → meters at the plane: one pixel subtends
     // depth/focal meters.
     let scale = intr.plane_depth / intr.focal;
@@ -127,9 +127,8 @@ pub fn from_point_cloud2(cloud: &PointCloud2) -> Vec<MapPoint> {
         .data
         .chunks_exact(16)
         .map(|rec| {
-            let f = |i: usize| {
-                f32::from_le_bytes(rec[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
-            };
+            let f =
+                |i: usize| f32::from_le_bytes(rec[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
             MapPoint {
                 xyz: [f(0), f(1), f(2)],
                 intensity: f(3),
@@ -154,7 +153,11 @@ mod tests {
     #[test]
     fn pose_offsets_shift_points() {
         let intr = Intrinsics::tum_like(640, 480);
-        let corners = vec![Corner { x: 320, y: 240, score: 10 }];
+        let corners = vec![Corner {
+            x: 320,
+            y: 240,
+            score: 10,
+        }];
         let a = map_points(&corners, PoseEstimate { x: 0.0, y: 0.0 }, &intr);
         let b = map_points(&corners, PoseEstimate { x: 525.0, y: 0.0 }, &intr);
         assert!((b[0].xyz[0] - a[0].xyz[0] - 2.0).abs() < 1e-5);

@@ -263,8 +263,7 @@ pub fn spawn_sfm(
                     .iter()
                     .enumerate()
                 {
-                    bytes[i * 16 + j * 4..i * 16 + j * 4 + 4]
-                        .copy_from_slice(&v.to_le_bytes());
+                    bytes[i * 16 + j * 4..i * 16 + j * 4 + 4].copy_from_slice(&v.to_le_bytes());
                 }
             }
         }
@@ -443,7 +442,9 @@ mod tests {
 
         let (pose_tx, pose_rx) = mpsc::channel();
         let _pose_sub = nh.subscribe(&topics.pose, 8, move |m: SfmShared<SfmPoseStamped>| {
-            pose_tx.send((m.pose.position.x, m.pose.orientation.w)).unwrap();
+            pose_tx
+                .send((m.pose.position.x, m.pose.orientation.w))
+                .unwrap();
         });
         let (cloud_tx, cloud_rx) = mpsc::channel();
         let _cloud_sub = nh.subscribe(&topics.cloud, 8, move |m: SfmShared<SfmPointCloud2>| {

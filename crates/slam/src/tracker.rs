@@ -51,15 +51,7 @@ pub struct Tracker {
     pose: PoseEstimate,
 }
 
-fn sad(
-    a: &[u8],
-    b: &[u8],
-    width: i32,
-    ax: i32,
-    ay: i32,
-    bx: i32,
-    by: i32,
-) -> u32 {
+fn sad(a: &[u8], b: &[u8], width: i32, ax: i32, ay: i32, bx: i32, by: i32) -> u32 {
     let mut total = 0u32;
     for dy in -PATCH_R..=PATCH_R {
         for dx in -PATCH_R..=PATCH_R {
@@ -113,7 +105,10 @@ impl Tracker {
         if let Some(prev) = &self.prev_gray {
             let wi = w as i32;
             let hi = h as i32;
-            let (px, py) = (self.velocity.0.round() as i32, self.velocity.1.round() as i32);
+            let (px, py) = (
+                self.velocity.0.round() as i32,
+                self.velocity.1.round() as i32,
+            );
             let mut dxs = Vec::new();
             let mut dys = Vec::new();
             for c in &self.prev_corners {
@@ -126,7 +121,11 @@ impl Tracker {
                 if sx < margin || sy < margin || sx >= wi - margin || sy >= hi - margin {
                     continue;
                 }
-                if cx < PATCH_R + 1 || cy < PATCH_R + 1 || cx >= wi - PATCH_R - 1 || cy >= hi - PATCH_R - 1 {
+                if cx < PATCH_R + 1
+                    || cy < PATCH_R + 1
+                    || cx >= wi - PATCH_R - 1
+                    || cy >= hi - PATCH_R - 1
+                {
                     continue;
                 }
                 let mut best = u32::MAX;

@@ -44,8 +44,7 @@ fn main() {
     let nh_consumer = NodeHandle::new(&master, "consumer");
     let (done_tx, done_rx) = mpsc::channel();
     let _consumer = nh_consumer.subscribe("camera/rect", 8, move |img: SfmShared<SfmImage>| {
-        let latency_us =
-            (now_nanos().saturating_sub(img.header.stamp.as_nanos())) as f64 / 1000.0;
+        let latency_us = (now_nanos().saturating_sub(img.header.stamp.as_nanos())) as f64 / 1000.0;
         println!(
             "consumer: frame {:>2} ({}, frame_id `{}`) end-to-end {:.0} µs",
             img.header.seq,

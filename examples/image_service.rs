@@ -76,7 +76,10 @@ fn main() {
             thumb.data.len()
         );
         assert_eq!(thumb.width, FULL_W / THUMB);
-        assert_eq!(thumb.data.len(), (FULL_W / THUMB * FULL_H / THUMB * 3) as usize);
+        assert_eq!(
+            thumb.data.len(),
+            (FULL_W / THUMB * FULL_H / THUMB * 3) as usize
+        );
         // Spot-check the downsample: thumbnail pixel (0,0) is source (0,0).
         assert_eq!(thumb.data[0], req.data[0]);
     }

@@ -1,0 +1,219 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API used by this
+//! workspace's benches. Each routine runs a small fixed number of
+//! iterations and a mean wall-clock time is printed, so `cargo bench`
+//! produces usable smoke numbers and `cargo test` finishes quickly; no
+//! statistical analysis is performed.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub use std::hint::black_box;
+
+/// Iterations per routine. Enough for a stable smoke mean, small enough
+/// that bench binaries stay fast in CI.
+const ITERS: u32 = 10;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to each benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Run `routine` [`ITERS`] times, recording the mean duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always runs a fixed
+    /// iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Run one benchmark routine against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = b.mean_nanos;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / per_iter * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:.0} elem/s", n as f64 / per_iter * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} µs/iter ({} iters){rate}",
+            self.name,
+            id,
+            per_iter / 1000.0,
+            ITERS
+        );
+    }
+
+    /// End the group (no-op; reports are printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark routine.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running each group, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(5).throughput(Throughput::Bytes(1024));
+            g.bench_function("noop", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, v| {
+                b.iter(|| *v * 2)
+            });
+            g.finish();
+        }
+        assert!(ran >= 1, "routine must actually run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("6MB").to_string(), "6MB");
+    }
+}

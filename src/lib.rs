@@ -58,6 +58,8 @@ pub use rossf_slam as slam;
 pub mod prelude {
     pub use rossf_msg::sensor_msgs::{Image, SfmImage};
     pub use rossf_msg::std_msgs::{Header, SfmHeader};
-    pub use rossf_ros::{Master, NodeHandle, Publisher, Subscriber};
+    pub use rossf_ros::{
+        BackoffPolicy, Master, NodeHandle, Publisher, Subscriber, TransportConfig,
+    };
     pub use rossf_sfm::{SfmBox, SfmShared, SfmString, SfmVec};
 }

@@ -113,9 +113,15 @@ fn lifecycle_states_follow_fig8_and_fig9() {
     );
     let clone = received.clone(); // callback keeps a reference
     drop(received);
-    assert!(mm().info(sub_base).is_some(), "alive while references exist");
+    assert!(
+        mm().info(sub_base).is_some(),
+        "alive while references exist"
+    );
     drop(clone);
-    assert!(mm().info(sub_base).is_none(), "released with last reference");
+    assert!(
+        mm().info(sub_base).is_none(),
+        "released with last reference"
+    );
 }
 
 #[test]

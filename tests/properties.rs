@@ -1,4 +1,7 @@
-//! Property-based tests over the core invariants.
+//! Property-style tests over the core invariants, driven by a small
+//! deterministic PRNG (the build environment has no registry access, so
+//! `proptest` is replaced by fixed-seed randomized sweeps — failures are
+//! reproducible by construction).
 //!
 //! * SFM: any message constructed from arbitrary plain content survives
 //!   wire transport byte-for-byte (offsets are position-independent).
@@ -7,7 +10,6 @@
 //! * ProtoBuf-style varints: roundtrip identity.
 //! * IDL parser: parsing never panics; valid specs regenerate code.
 
-use proptest::prelude::*;
 use rossf::msg::sensor_msgs::{Image, PointCloud, SfmImage, SfmPointCloud};
 use rossf::msg::std_msgs::Header;
 use rossf::ros::ser::{ByteReader, RosField, RosMessage};
@@ -16,51 +18,104 @@ use rossf::sfm::SfmRecvBuffer;
 use rossf_msg::geometry_msgs::Point32;
 use rossf_msg::sensor_msgs::ChannelFloat32;
 
-fn arb_header() -> impl Strategy<Value = Header> {
-    ("[a-z_/]{0,24}", any::<u32>(), any::<u32>(), 0u32..1_000_000_000u32).prop_map(
-        |(frame_id, seq, sec, nsec)| Header {
-            seq,
-            stamp: RosTime { sec, nsec },
-            frame_id,
-        },
-    )
-}
+const CASES: u64 = 64;
 
-prop_compose! {
-    fn arb_image()(
-        header in arb_header(),
-        encoding in "[a-zA-Z0-9]{0,12}",
-        dims in (1u32..32, 1u32..32),
-        bigendian in 0u8..2,
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-    ) -> Image {
-        Image {
-            header,
-            height: dims.1,
-            width: dims.0,
-            encoding,
-            is_bigendian: bigendian,
-            step: dims.0 * 3,
-            data,
-        }
+/// xorshift64* — deterministic, seedable, good enough for test sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    fn u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn f32_bits(&mut self) -> f32 {
+        f32::from_bits(self.u32())
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.usize(0, max_len + 1);
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    /// String of length `0..=max_len` drawn from `charset`.
+    fn string(&mut self, charset: &[u8], max_len: usize) -> String {
+        let len = self.usize(0, max_len + 1);
+        (0..len)
+            .map(|_| charset[self.usize(0, charset.len())] as char)
+            .collect()
     }
 }
 
-prop_compose! {
-    fn arb_pointcloud()(
-        header in arb_header(),
-        points in proptest::collection::vec(
-            (any::<f32>(), any::<f32>(), any::<f32>())
-                .prop_map(|(x, y, z)| Point32 { x, y, z }),
-            0..64,
-        ),
-        channels in proptest::collection::vec(
-            ("[a-z]{0,8}", proptest::collection::vec(any::<f32>(), 0..32))
-                .prop_map(|(name, values)| ChannelFloat32 { name, values }),
-            0..4,
-        ),
-    ) -> PointCloud {
-        PointCloud { header, points, channels }
+const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz_/";
+const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+const PRINTABLE: &[u8] =
+    b" !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~\n";
+
+fn arb_header(rng: &mut Rng) -> Header {
+    Header {
+        seq: rng.u32(),
+        stamp: RosTime {
+            sec: rng.u32(),
+            nsec: rng.range(0, 1_000_000_000) as u32,
+        },
+        frame_id: rng.string(LOWER, 24),
+    }
+}
+
+fn arb_image(rng: &mut Rng) -> Image {
+    let (width, height) = (rng.range(1, 32) as u32, rng.range(1, 32) as u32);
+    Image {
+        header: arb_header(rng),
+        height,
+        width,
+        encoding: rng.string(ALNUM, 12),
+        is_bigendian: rng.range(0, 2) as u8,
+        step: width * 3,
+        data: rng.bytes(2048),
+    }
+}
+
+fn arb_pointcloud(rng: &mut Rng) -> PointCloud {
+    let points = (0..rng.usize(0, 64))
+        .map(|_| Point32 {
+            x: rng.f32_bits(),
+            y: rng.f32_bits(),
+            z: rng.f32_bits(),
+        })
+        .collect();
+    let channels = (0..rng.usize(0, 4))
+        .map(|_| ChannelFloat32 {
+            name: rng.string(LOWER, 8),
+            values: (0..rng.usize(0, 32)).map(|_| rng.f32_bits()).collect(),
+        })
+        .collect();
+    PointCloud {
+        header: arb_header(rng),
+        points,
+        channels,
     }
 }
 
@@ -85,93 +140,133 @@ fn pointclouds_bitwise_equal(a: &PointCloud, b: &PointCloud) -> bool {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ros1_image_serialization_roundtrips(img in arb_image()) {
+#[test]
+fn ros1_image_serialization_roundtrips() {
+    let mut rng = Rng::new(0x1301);
+    for case in 0..CASES {
+        let img = arb_image(&mut rng);
         let bytes = img.to_bytes();
-        prop_assert_eq!(bytes.len(), img.field_len());
+        assert_eq!(bytes.len(), img.field_len(), "case {case}");
         let back = Image::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(back, img);
+        assert_eq!(back, img, "case {case}");
     }
+}
 
-    #[test]
-    fn sfm_image_survives_the_wire(img in arb_image()) {
+#[test]
+fn sfm_image_survives_the_wire() {
+    let mut rng = Rng::new(0x1302);
+    for case in 0..CASES {
         // plain → SFM → wire bytes → adopt at a new address → plain.
+        let img = arb_image(&mut rng);
         let boxed = SfmImage::boxed_from_plain(&img);
         let frame = boxed.publish_handle();
         let mut rb = SfmRecvBuffer::<SfmImage>::new(frame.len()).unwrap();
         rb.as_mut_slice().copy_from_slice(frame.as_slice());
         let adopted = rb.finish().unwrap();
-        prop_assert_ne!(adopted.base(), boxed.base(), "distinct allocation");
-        prop_assert_eq!(adopted.to_plain(), img);
+        assert_ne!(adopted.base(), boxed.base(), "distinct allocation");
+        assert_eq!(adopted.to_plain(), img, "case {case}");
     }
+}
 
-    #[test]
-    fn sfm_nested_pointcloud_survives_the_wire(pc in arb_pointcloud()) {
+#[test]
+fn sfm_nested_pointcloud_survives_the_wire() {
+    let mut rng = Rng::new(0x1303);
+    for case in 0..CASES {
+        let pc = arb_pointcloud(&mut rng);
         let boxed = SfmPointCloud::boxed_from_plain(&pc);
         let frame = boxed.publish_handle();
         let mut rb = SfmRecvBuffer::<SfmPointCloud>::new(frame.len()).unwrap();
         rb.as_mut_slice().copy_from_slice(frame.as_slice());
         let adopted = rb.finish().unwrap();
-        prop_assert!(pointclouds_bitwise_equal(&adopted.to_plain(), &pc));
+        assert!(
+            pointclouds_bitwise_equal(&adopted.to_plain(), &pc),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn sfm_whole_len_is_monotone_and_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn sfm_whole_len_is_monotone_and_bounded() {
+    let mut rng = Rng::new(0x1304);
+    for case in 0..CASES {
+        let data = rng.bytes(4096);
         let mut boxed = rossf::sfm::SfmBox::<SfmImage>::new();
         let before = boxed.whole_len();
         boxed.data.assign(&data);
         let after = boxed.whole_len();
-        prop_assert!(after >= before);
-        prop_assert!(after <= <SfmImage as rossf::sfm::SfmMessage>::max_size());
-        prop_assert_eq!(boxed.data.as_slice(), &data[..]);
+        assert!(after >= before, "case {case}");
+        assert!(
+            after <= <SfmImage as rossf::sfm::SfmMessage>::max_size(),
+            "case {case}"
+        );
+        assert_eq!(boxed.data.as_slice(), &data[..], "case {case}");
     }
+}
 
-    #[test]
-    fn ros1_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn ros1_decoder_never_panics_on_garbage() {
+    let mut rng = Rng::new(0x1305);
+    for _ in 0..CASES {
+        let bytes = rng.bytes(512);
         let _ = Image::from_bytes(&bytes); // may Err, must not panic
         let _ = PointCloud::from_bytes(&bytes);
         let _ = Header::from_bytes(&bytes);
     }
+}
 
-    #[test]
-    fn sfm_adoption_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn sfm_adoption_never_panics_on_garbage() {
+    let mut rng = Rng::new(0x1306);
+    for _ in 0..CASES {
+        let bytes = rng.bytes(512);
         if let Ok(mut rb) = SfmRecvBuffer::<SfmImage>::new(bytes.len()) {
             rb.as_mut_slice().copy_from_slice(&bytes);
             let _ = rb.finish(); // may Err (corrupt offsets), must not panic
         }
     }
+}
 
-    #[test]
-    fn varint_roundtrips(v in any::<u64>()) {
+#[test]
+fn varint_roundtrips() {
+    let mut rng = Rng::new(0x1307);
+    for case in 0..CASES {
+        // Sweep the interesting magnitude bands, not just uniform u64s.
+        let v = match case % 4 {
+            0 => rng.range(0, 128),
+            1 => rng.range(0, 1 << 21),
+            2 => rng.range(0, 1 << 42),
+            _ => rng.next_u64(),
+        };
         let mut buf = Vec::new();
         rossf::baselines::protolite::write_varint(v, &mut buf);
-        prop_assert!(buf.len() <= 10);
+        assert!(buf.len() <= 10);
         let mut pos = 0;
-        prop_assert_eq!(rossf::baselines::protolite::read_varint(&buf, &mut pos), Some(v));
-        prop_assert_eq!(pos, buf.len());
+        assert_eq!(
+            rossf::baselines::protolite::read_varint(&buf, &mut pos),
+            Some(v)
+        );
+        assert_eq!(pos, buf.len());
     }
+}
 
-    #[test]
-    fn codec_consensus_across_middleware(
-        dims in (1u32..24, 1u32..24),
+#[test]
+fn codec_consensus_across_middleware() {
+    use rossf::baselines::{Codec, WorkImage};
+    let mut rng = Rng::new(0x1308);
+    for case in 0..CASES {
+        let dims = (rng.range(1, 24) as u32, rng.range(1, 24) as u32);
+        let mut img = WorkImage::synthetic(dims.0, dims.1);
         // The ROS codec carries the stamp as a ROS time (u32 seconds +
         // u32 nanos), so the consensus property holds within that range —
         // ample for a monotonic experiment clock.
-        stamp in 0u64..(u32::MAX as u64) * 1_000_000_000,
-    ) {
-        use rossf::baselines::{Codec, WorkImage};
-        let mut img = WorkImage::synthetic(dims.0, dims.1);
-        img.stamp_nanos = stamp;
+        img.stamp_nanos = rng.range(0, (u32::MAX as u64) * 1_000_000_000);
         let expected = rossf::baselines::roscodec::RosCodec::consume(
             &rossf::baselines::roscodec::RosCodec::make_wire(&img),
         );
         macro_rules! check {
             ($codec:ty) => {{
                 let got = <$codec>::consume(&<$codec>::make_wire(&img));
-                prop_assert_eq!(got, expected, "{}", stringify!($codec));
+                assert_eq!(got, expected, "case {case}: {}", stringify!($codec));
             }};
         }
         check!(rossf::baselines::sfm_image::SfmCodec);
@@ -180,24 +275,38 @@ proptest! {
         check!(rossf::baselines::xcdr::XcdrCodec);
         check!(rossf::baselines::flatdata::FlatDataCodec);
     }
+}
 
-    #[test]
-    fn idl_parser_never_panics(text in "[ -~\n]{0,256}") {
+#[test]
+fn idl_parser_never_panics() {
+    let mut rng = Rng::new(0x1309);
+    for _ in 0..CASES {
+        let text = rng.string(PRINTABLE, 256);
         let _ = rossf::idl::parse_msg("pkg", "Fuzz", &text);
     }
+}
 
-    #[test]
-    fn idl_valid_fields_always_generate(
-        names in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..6),
-        kinds in proptest::collection::vec(0usize..6, 1..6),
-    ) {
+#[test]
+fn idl_valid_fields_always_generate() {
+    let mut rng = Rng::new(0x130a);
+    for case in 0..CASES {
+        let n_fields = rng.usize(1, 6);
         let mut seen = std::collections::HashSet::new();
         let mut text = String::new();
-        for (name, kind) in names.iter().zip(&kinds) {
+        for _ in 0..n_fields {
+            let mut name = String::from((b'a' + rng.usize(0, 26) as u8) as char);
+            name.push_str(&rng.string(b"abcdefghijklmnopqrstuvwxyz0123456789_", 8));
             if !seen.insert(name.clone()) {
                 continue;
             }
-            let ty = ["uint32", "float64", "string", "uint8[]", "float32[]", "Header"][*kind];
+            let ty = [
+                "uint32",
+                "float64",
+                "string",
+                "uint8[]",
+                "float32[]",
+                "Header",
+            ][rng.usize(0, 6)];
             text.push_str(&format!("{ty} {name}\n"));
         }
         let spec = rossf::idl::parse_msg("pkg", "Gen", &text).unwrap();
@@ -206,13 +315,17 @@ proptest! {
             c.add(spec).unwrap();
             c
         };
-        let code = catalog.generate_all(&rossf::idl::GenConfig::default()).unwrap();
-        prop_assert!(code.contains("pub struct Gen"));
-        prop_assert!(code.contains("pub struct SfmGen"));
+        let code = catalog
+            .generate_all(&rossf::idl::GenConfig::default())
+            .unwrap();
+        assert!(code.contains("pub struct Gen"), "case {case}");
+        assert!(code.contains("pub struct SfmGen"), "case {case}");
     }
+}
 
-    #[test]
-    fn checker_conversion_is_idempotent(n_decls in 0usize..4) {
+#[test]
+fn checker_conversion_is_idempotent() {
+    for n_decls in 0..4usize {
         let mut src = String::from("void f() {\n");
         for i in 0..n_decls {
             src.push_str(&format!("    sensor_msgs::Image img{i};\n"));
@@ -220,16 +333,22 @@ proptest! {
         }
         src.push_str("}\n");
         let once = rossf::checker::convert_stack_to_heap(&src);
-        prop_assert_eq!(once.converted_lines.len(), n_decls);
+        assert_eq!(once.converted_lines.len(), n_decls);
         let twice = rossf::checker::convert_stack_to_heap(&once.source);
-        prop_assert!(twice.converted_lines.is_empty(), "already heap-allocated");
-        prop_assert_eq!(&twice.source, &once.source);
+        assert!(twice.converted_lines.is_empty(), "already heap-allocated");
+        assert_eq!(&twice.source, &once.source);
     }
+}
 
-    #[test]
-    fn stats_mean_is_within_min_max(samples in proptest::collection::vec(1u64..10_000_000_000, 1..64)) {
+#[test]
+fn stats_mean_is_within_min_max() {
+    let mut rng = Rng::new(0x130b);
+    for case in 0..CASES {
+        let samples: Vec<u64> = (0..rng.usize(1, 64))
+            .map(|_| rng.range(1, 10_000_000_000))
+            .collect();
         let stats = rossf_bench_stats(&samples);
-        prop_assert!(stats.0 >= stats.1 && stats.0 <= stats.2);
+        assert!(stats.0 >= stats.1 && stats.0 <= stats.2, "case {case}");
     }
 }
 
@@ -244,8 +363,8 @@ fn rossf_bench_stats(samples: &[u64]) -> (f64, f64, f64) {
 
 #[test]
 fn fixed_seed_smoke() {
-    // One deterministic pass so failures in the property suite have a
-    // quick non-random companion.
+    // One deterministic pass so failures in the randomized sweeps have a
+    // quick hand-written companion.
     let img = Image {
         header: Header::default(),
         height: 2,
@@ -265,27 +384,34 @@ fn fixed_seed_smoke() {
 // === Extension properties (bag, endianness, optional/map) ===
 
 mod extension_properties {
-    use proptest::prelude::*;
+    use super::{Rng, CASES, LOWER};
     use rossf::msg::sensor_msgs::SfmImage;
     use rossf::ros::{Bag, BagRecord};
     use rossf::sfm::{SfmBox, SfmEndianSwap, SwapDirection};
 
-    prop_compose! {
-        fn arb_record()(
-            stamp in any::<u64>(),
-            topic in "[a-z/_]{1,24}",
-            type_name in "[a-z_]{1,12}/[A-Z][a-zA-Z]{0,12}",
-            payload in proptest::collection::vec(any::<u8>(), 0..256),
-        ) -> BagRecord {
-            BagRecord { stamp_nanos: stamp, topic, type_name, payload }
+    fn arb_record(rng: &mut Rng) -> BagRecord {
+        let mut topic = String::from("t");
+        topic.push_str(&rng.string(LOWER, 23));
+        let type_name = format!(
+            "{}/{}",
+            rng.string(b"abcdefghijklmnopqrstuvwxyz_", 12),
+            rng.string(b"ABCDEFGHIJKLMNOPQRSTUVWXYZ", 4)
+        );
+        BagRecord {
+            stamp_nanos: rng.next_u64(),
+            topic,
+            type_name,
+            payload: rng.bytes(256),
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn bag_roundtrips_arbitrary_records(records in proptest::collection::vec(arb_record(), 0..16)) {
+    #[test]
+    fn bag_roundtrips_arbitrary_records() {
+        let mut rng = Rng::new(0x1401);
+        for case in 0..48 {
+            let records: Vec<BagRecord> = (0..rng.usize(0, 16))
+                .map(|_| arb_record(&mut rng))
+                .collect();
             let mut bag = Bag::new();
             for r in &records {
                 bag.push(r.clone());
@@ -293,37 +419,49 @@ mod extension_properties {
             let mut bytes = Vec::new();
             bag.write_to(&mut bytes).unwrap();
             let back = Bag::read_from(&mut &bytes[..]).unwrap();
-            prop_assert_eq!(back.records(), &records[..]);
+            assert_eq!(back.records(), &records[..], "case {case}");
         }
+    }
 
-        #[test]
-        fn bag_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+    #[test]
+    fn bag_reader_never_panics_on_garbage() {
+        let mut rng = Rng::new(0x1402);
+        for _ in 0..CASES {
+            let bytes = rng.bytes(128);
             let _ = Bag::read_from(&mut &bytes[..]); // may Err, must not panic
         }
+    }
 
-        #[test]
-        fn endian_double_swap_is_identity_for_any_image(
-            dims in (1u32..24, 1u32..24),
-            encoding in "[a-z0-9]{0,8}",
-            data in proptest::collection::vec(any::<u8>(), 0..512),
-        ) {
+    #[test]
+    fn endian_double_swap_is_identity_for_any_image() {
+        let mut rng = Rng::new(0x1403);
+        for case in 0..48 {
             let mut img = SfmBox::<SfmImage>::new();
-            img.height = dims.1;
-            img.width = dims.0;
-            img.encoding.assign(&encoding);
-            img.data.assign(&data);
+            img.height = rng.range(1, 24) as u32;
+            img.width = rng.range(1, 24) as u32;
+            img.encoding.assign(
+                rng.string(b"abcdefghijklmnopqrstuvwxyz0123456789", 8)
+                    .as_str(),
+            );
+            img.data.assign(&rng.bytes(512));
             img.header.frame_id.assign("prop");
             let base = img.base();
             let len = img.whole_len();
             let before = img.publish_handle().as_slice().to_vec();
-            img.swap_in_place(base, len, SwapDirection::ToForeign).unwrap();
-            img.swap_in_place(base, len, SwapDirection::FromForeign).unwrap();
+            img.swap_in_place(base, len, SwapDirection::ToForeign)
+                .unwrap();
+            img.swap_in_place(base, len, SwapDirection::FromForeign)
+                .unwrap();
             let after = img.publish_handle();
-            prop_assert_eq!(after.as_slice(), &before[..]);
+            assert_eq!(after.as_slice(), &before[..], "case {case}");
         }
+    }
 
-        #[test]
-        fn checker_never_panics_on_arbitrary_cpp(text in "[ -~\n]{0,512}") {
+    #[test]
+    fn checker_never_panics_on_arbitrary_cpp() {
+        let mut rng = Rng::new(0x1404);
+        for _ in 0..48 {
+            let text = rng.string(super::PRINTABLE, 512);
             let _ = rossf::checker::analyze_source("fuzz.cpp", &text);
             let _ = rossf::checker::convert_stack_to_heap(&text);
         }

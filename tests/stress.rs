@@ -2,10 +2,13 @@
 //! multi-threaded churn. Lives in its own test binary so the live-record
 //! accounting isn't disturbed by unrelated tests.
 
+use rossf::netsim::MachineId;
 use rossf::prelude::*;
+use rossf::ros::wire::{write_frame, ConnectionHeader};
 use rossf::sfm::mm;
 use rossf_msg::sensor_msgs::SfmImage;
-use rossf_sfm::SfmBox;
+use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmValidate, SfmVec};
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -108,10 +111,7 @@ fn publish_subscribe_storm() {
 
     let expected = n_pubs as u64 * per_pub;
     let deadline = Instant::now() + Duration::from_secs(30);
-    while counters
-        .iter()
-        .any(|c| c.load(Ordering::SeqCst) < expected)
-    {
+    while counters.iter().any(|c| c.load(Ordering::SeqCst) < expected) {
         assert!(
             Instant::now() < deadline,
             "storm incomplete: {:?} (dropped: {:?})",
@@ -126,6 +126,162 @@ fn publish_subscribe_storm() {
     for p in &publishers {
         assert_eq!(p.dropped(), 0, "no frame may be dropped at this pacing");
     }
+}
+
+#[test]
+fn dropped_accounting_is_exact_under_full_queue() {
+    // Stall the writer thread with an injected delay so the transmission
+    // queue fills deterministically, then count drops against the excess.
+    let master = Master::new();
+    let fault = master.links().inject(MachineId::A, MachineId::B);
+    fault.delay_frame(0, Duration::from_millis(400));
+    let nh_pub = NodeHandle::new(&master, "dropper");
+    let nh_sub = NodeHandle::with_machine(&master, "sink", MachineId::B);
+
+    let queue = 4usize;
+    let extra = 3u64;
+    let publisher = nh_pub.advertise::<SfmBox<SfmImage>>("drop/exact", queue);
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let _sub = nh_sub.subscribe("drop/exact", 8, move |_m: SfmShared<SfmImage>| {
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+    nh_pub.wait_for_subscribers(&publisher, 1);
+
+    let mut img = SfmBox::<SfmImage>::new();
+    img.data.resize(64);
+
+    // Frame 0 is dequeued immediately and held in the injected delay...
+    publisher.publish(&img);
+    std::thread::sleep(Duration::from_millis(100));
+    // ...so these fill the queue to the brim, and the rest must be counted
+    // as dropped — exactly, not approximately.
+    for _ in 0..queue as u64 + extra {
+        publisher.publish(&img);
+    }
+    assert_eq!(publisher.dropped(), extra, "drops must equal the excess");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let expected = 1 + queue as u64;
+    while seen.load(Ordering::SeqCst) < expected {
+        assert!(Instant::now() < deadline, "queued frames not delivered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(seen.load(Ordering::SeqCst), expected);
+
+    let snap = publisher.metrics().snapshot();
+    assert_eq!(snap.frames_dropped, extra);
+    assert_eq!(
+        snap.queue_depth_hwm, queue as u64,
+        "high-water mark must reach the configured queue bound"
+    );
+}
+
+#[repr(C)]
+#[derive(Debug)]
+struct Probe {
+    seq: u32,
+    _pad: u32,
+    data: SfmVec<u8>,
+}
+unsafe impl SfmPod for Probe {}
+impl SfmValidate for Probe {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.data.validate_in(base, len)
+    }
+}
+unsafe impl SfmMessage for Probe {
+    fn type_name() -> &'static str {
+        "test/StressProbe"
+    }
+    fn max_size() -> usize {
+        4096
+    }
+}
+
+#[test]
+fn malformed_frame_storm_counts_errors_without_desync() {
+    // A hostile publisher interleaves many corrupt frames with valid ones;
+    // every corrupt frame must increment decode_errors, every valid frame
+    // must be delivered, and the connection must survive the whole storm.
+    let master = Master::new();
+    let nh = NodeHandle::new(&master, "victim");
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    master
+        .register_publisher(
+            "stress/malformed",
+            Probe::type_name(),
+            listener.local_addr().unwrap(),
+            MachineId::A,
+        )
+        .unwrap();
+
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh.subscribe("stress/malformed", 8, move |m: SfmShared<Probe>| {
+        assert_eq!(m.data.len(), 32);
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+
+    let (mut stream, _) = listener.accept().unwrap();
+    {
+        let mut r = std::io::BufReader::new(stream.try_clone().unwrap());
+        ConnectionHeader::read_from(&mut r).unwrap();
+    }
+    ConnectionHeader::new()
+        .with("type", Probe::type_name())
+        .with("endian", ConnectionHeader::native_endian())
+        .write_to(&mut stream)
+        .unwrap();
+
+    let frame = {
+        let mut msg = SfmBox::<Probe>::new();
+        msg.data.resize(32);
+        msg.publish_handle().as_slice().to_vec()
+    };
+    let corrupt = {
+        let mut bad = frame.clone();
+        let off = core::mem::offset_of!(Probe, data) + 4;
+        bad[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        bad
+    };
+
+    let rounds = 50u64;
+    let mut corrupt_sent = 0u64;
+    let mut valid_sent = 0u64;
+    for i in 0..rounds {
+        if i % 3 == 1 {
+            write_frame(&mut stream, &corrupt).unwrap();
+            corrupt_sent += 1;
+        } else {
+            write_frame(&mut stream, &frame).unwrap();
+            valid_sent += 1;
+        }
+    }
+    stream.flush().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while seen.load(Ordering::SeqCst) < valid_sent || sub.decode_errors() < corrupt_sent {
+        assert!(
+            Instant::now() < deadline,
+            "storm incomplete: seen {} of {valid_sent}, errors {} of {corrupt_sent}",
+            seen.load(Ordering::SeqCst),
+            sub.decode_errors()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(sub.received(), valid_sent);
+    assert_eq!(sub.decode_errors(), corrupt_sent);
+
+    // The connection is still alive: one more valid frame gets through.
+    write_frame(&mut stream, &frame).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while seen.load(Ordering::SeqCst) < valid_sent + 1 {
+        assert!(Instant::now() < deadline, "connection died during storm");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(sub.decode_errors(), corrupt_sent);
 }
 
 #[test]
