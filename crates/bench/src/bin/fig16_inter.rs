@@ -2,12 +2,16 @@
 //! 10 GbE link (Fig. 15 topology: `pub` and `sub` on machine A, `trans`
 //! on machine B).
 //!
+//! Besides the paper's ROS vs ROS-SF comparison, a third series runs the
+//! SFM path with `validate_on_receive` enabled, pricing the structural
+//! verifier on every received frame.
+//!
 //! ```text
 //! cargo run -p rossf-bench --release --bin fig16_inter [--iters N] [--hz F]
 //! ```
 
 use rossf_baselines::WorkImage;
-use rossf_bench::experiments::{pingpong_plain, pingpong_sfm};
+use rossf_bench::experiments::{pingpong_plain, pingpong_sfm, pingpong_sfm_with};
 use rossf_bench::RunArgs;
 use rossf_ros::LinkProfile;
 
@@ -22,23 +26,33 @@ fn main() {
         args.iters
     );
     println!(
-        "{:<8} {:<50} {:<50} {:>10}",
-        "size", "ROS (mean ± std)", "ROS-SF (mean ± std)", "reduction"
+        "{:<8} {:<50} {:<50} {:<50} {:>10} {:>10}",
+        "size",
+        "ROS (mean ± std)",
+        "ROS-SF (mean ± std)",
+        "ROS-SF +verify (mean ± std)",
+        "reduction",
+        "verify Δ"
     );
     for (label, w, h) in WorkImage::PAPER_SIZES {
         let ros = pingpong_plain(args, w, h, link);
         let rossf = pingpong_sfm(args, w, h, link);
+        let verified = pingpong_sfm_with(args, w, h, link, true);
         println!(
-            "{:<8} {:<50} {:<50} {:>9.1}%",
+            "{:<8} {:<50} {:<50} {:<50} {:>9.1}% {:>9.1}%",
             label,
             ros.to_string(),
             rossf.to_string(),
-            rossf.reduction_vs(&ros)
+            verified.to_string(),
+            rossf.reduction_vs(&ros),
+            // Positive = verification costs latency; near zero = free.
+            -verified.reduction_vs(&rossf)
         );
     }
     println!();
     println!(
         "note: divide the ping-pong latency by 2 for the approximate one-way \
-         latency (paper §5.2); paper reference: up to ~69.9% reduction at 6MB"
+         latency (paper §5.2); paper reference: up to ~69.9% reduction at 6MB. \
+         `verify Δ` is the extra round-trip cost of validate_on_receive."
     );
 }

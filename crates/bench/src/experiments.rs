@@ -13,7 +13,7 @@ use rossf_msg::sensor_msgs::{Image, SfmImage};
 use rossf_msg::std_msgs::Header;
 use rossf_ros::time::{now_nanos, RosTime};
 use rossf_ros::wire::{read_frame_len, write_frame};
-use rossf_ros::{LinkProfile, MachineId, Master, NodeHandle, Publisher};
+use rossf_ros::{LinkProfile, MachineId, Master, NodeHandle, Publisher, TransportConfig};
 use rossf_sfm::{SfmBox, SfmShared};
 use rossf_slam::dataset::Sequence;
 use rossf_slam::pipeline::{
@@ -244,11 +244,29 @@ pub fn pingpong_plain(args: RunArgs, width: u32, height: u32, link: LinkProfile)
 
 /// Fig. 16, "ROS-SF" series.
 pub fn pingpong_sfm(args: RunArgs, width: u32, height: u32, link: LinkProfile) -> Stats {
+    pingpong_sfm_with(args, width, height, link, false)
+}
+
+/// Fig. 16 SFM series with the structural verifier toggled: `validate`
+/// turns on `TransportConfig::validate_on_receive` on both nodes, so every
+/// received frame is proved sound against the schema before adoption. The
+/// delta against the unvalidated run is the verifier's overhead.
+pub fn pingpong_sfm_with(
+    args: RunArgs,
+    width: u32,
+    height: u32,
+    link: LinkProfile,
+    validate: bool,
+) -> Stats {
     fresh_cell();
     let master = Master::new();
     master.links().connect(MachineId::A, MachineId::B, link);
-    let nh_a = NodeHandle::new(&master, "machine_a");
-    let nh_b = NodeHandle::with_machine(&master, "trans", MachineId::B);
+    let config = TransportConfig {
+        validate_on_receive: validate,
+        ..TransportConfig::default()
+    };
+    let nh_a = NodeHandle::with_config(&master, "machine_a", MachineId::A, config.clone());
+    let nh_b = NodeHandle::with_config(&master, "trans", MachineId::B, config);
     let t1 = unique_topic("fig16_sfm_t1");
     let t2 = unique_topic("fig16_sfm_t2");
 
@@ -503,6 +521,19 @@ mod tests {
         // Both pay the propagation latency twice.
         assert!(plain.min_ms >= 0.2);
         assert!(sfm.min_ms >= 0.2);
+    }
+
+    #[test]
+    fn fig16_pingpong_validated_matches_unvalidated_count() {
+        let link = LinkProfile {
+            bandwidth_bps: 1_000_000_000,
+            latency: Duration::from_micros(100),
+        };
+        // With the verifier on, every valid frame still gets through: the
+        // run completes with the same number of round trips.
+        let validated = pingpong_sfm_with(tiny(), 32, 32, link, true);
+        assert_eq!(validated.n, 5);
+        assert!(validated.min_ms >= 0.2);
     }
 
     #[test]

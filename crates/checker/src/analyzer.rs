@@ -141,13 +141,61 @@ fn is_ident_char(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
 }
 
-/// Strip `// ...` comments (string literals containing `//` are out of
-/// scope for this checker, as they are for the paper's manual study).
-fn strip_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
+/// Line-by-line comment stripper with block-comment state carried across
+/// lines (string literals containing comment markers are out of scope for
+/// this checker, as they are for the paper's manual study).
+#[derive(Debug, Default)]
+struct CommentStripper {
+    in_block: bool,
+}
+
+impl CommentStripper {
+    /// Strip `// ...` and `/* ... */` comments from one line. A `/*` left
+    /// open swallows subsequent lines until its `*/`. Each removed block
+    /// comment becomes a single space so tokens on either side don't fuse.
+    fn strip(&mut self, line: &str) -> String {
+        let mut out = String::with_capacity(line.len());
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if self.in_block {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    self.in_block = false;
+                    out.push(' ');
+                }
+            } else if c == '/' {
+                match chars.peek() {
+                    Some('/') => break,
+                    Some('*') => {
+                        chars.next();
+                        self.in_block = true;
+                    }
+                    _ => out.push(c),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
     }
+}
+
+/// Is `arg` a C++ integer literal whose value is zero? Handles decimal,
+/// octal (`05`), hex (`0x0`), binary (`0b0`) and `u`/`l` suffixes —
+/// `resize(0x10)` must *not* be mistaken for a clear.
+fn is_zero_literal(arg: &str) -> bool {
+    let body = arg.trim().trim_end_matches(['u', 'U', 'l', 'L']);
+    let (digits, radix) =
+        if let Some(h) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            (h, 16)
+        } else if let Some(b) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+            (b, 2)
+        } else if body.len() > 1 && body.starts_with('0') {
+            (&body[1..], 8)
+        } else {
+            (body, 10)
+        };
+    !digits.is_empty() && u64::from_str_radix(digits, radix) == Ok(0)
 }
 
 /// Remove `[...]` index groups: `channels[i].name` → `channels.name`.
@@ -250,9 +298,11 @@ pub fn analyze_source(name: &str, source: &str) -> FileReport {
     let mut uses = Vec::new();
     let mut violations = Vec::new();
 
+    let mut comments = CommentStripper::default();
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
-        let line = strip_comment(raw);
+        let line = comments.strip(raw);
+        let line = line.as_str();
 
         // New declarations first (a line can declare and the next use).
         for (var, class, prior, arrow) in scan_declarations(line) {
@@ -336,9 +386,12 @@ pub fn analyze_source(name: &str, source: &str) -> FileReport {
                         if method == "resize" && class.vector_fields.contains(&base) {
                             // resize(0) clears without allocating: not a
                             // counted sizing (matches SfmVec semantics).
-                            let arg = call_args.trim_start();
-                            if arg.starts_with("0") && arg[1..].trim_start().starts_with(')') {
-                                continue;
+                            // Only a literal zero qualifies — resize(0x10)
+                            // and resize(05) are real sizings.
+                            if let Some(close) = call_args.find(')') {
+                                if is_zero_literal(&call_args[..close]) {
+                                    continue;
+                                }
                             }
                             let n = state.bump(base);
                             if n > 1 {
@@ -539,6 +592,80 @@ mod tests {
             "sensor_msgs::Image img;\nimg.encoding = \"a\";\n// img.encoding = \"b\";\n",
         );
         assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn block_comments_are_ignored_including_multiline() {
+        let r = analyze_source(
+            "bc.cpp",
+            r#"
+            sensor_msgs::Image img;
+            img.encoding = "a";
+            /* img.encoding = "b"; */
+            /*
+            img.encoding = "c";
+            img.encoding = "d";
+            */
+            img.height = 1; /* tail comment */ img.width = 2;
+            "#,
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn block_comment_close_reenables_analysis() {
+        let r = analyze_source(
+            "bc2.cpp",
+            "sensor_msgs::Image img;\nimg.encoding = \"a\";\n/* noise\nstill noise */ img.encoding = \"b\";\n",
+        );
+        assert_eq!(r.violations_of(ViolationKind::StringReassignment).len(), 1);
+    }
+
+    #[test]
+    fn inline_block_comment_does_not_fuse_tokens() {
+        // A block comment between the path and the `=` is replaced by a
+        // space, so the assignment is still recognized (and counted).
+        let r = analyze_source(
+            "bc3.cpp",
+            "sensor_msgs::Image img;\nimg.encoding = \"a\";\nimg.encoding /*later*/ = \"b\";\n",
+        );
+        assert_eq!(r.violations_of(ViolationKind::StringReassignment).len(), 1);
+    }
+
+    #[test]
+    fn resize_hex_and_octal_literals_are_real_sizings() {
+        // resize(0x10) is 16 elements, resize(05) is 5 — the old prefix
+        // check misread both as clears.
+        let r = analyze_source(
+            "hex.cpp",
+            "sensor_msgs::LaserScan scan;\nscan.ranges.resize(0x10);\nscan.ranges.resize(05);\n",
+        );
+        assert_eq!(r.violations_of(ViolationKind::VectorMultiResize).len(), 1);
+    }
+
+    #[test]
+    fn resize_zero_literal_forms_all_clear() {
+        for zero in ["0", "0x0", "00", "0b0", "0u", "0UL", " 0 "] {
+            let src = format!(
+                "sensor_msgs::LaserScan scan;\nscan.ranges.resize({zero});\nscan.ranges.resize(10);\n"
+            );
+            let r = analyze_source("z.cpp", &src);
+            assert!(
+                r.violations_of(ViolationKind::VectorMultiResize).is_empty(),
+                "resize({zero}) should be a non-counting clear: {:?}",
+                r.violations
+            );
+        }
+    }
+
+    #[test]
+    fn zero_literal_parser() {
+        for yes in ["0", "00", "0x0", "0X00", "0b0", "0u", "0L", "0x0ull"] {
+            assert!(is_zero_literal(yes), "{yes}");
+        }
+        for no in ["0x10", "05", "1", "0b1", "n", "", "0x", "0 + 1"] {
+            assert!(!is_zero_literal(no), "{no}");
+        }
     }
 
     #[test]

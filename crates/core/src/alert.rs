@@ -19,6 +19,18 @@ pub enum AlertKind {
     /// A [`SfmVec`](crate::SfmVec) was resized more than once
     /// (Assumption 2, "One-Shot Vector Resizing").
     OneShotVectorResizing,
+    /// The lifecycle sanitizer saw a release for a record that was already
+    /// released (use of a stale handle, or a manager bookkeeping bug).
+    LifecycleDoubleRelease,
+    /// The lifecycle sanitizer saw an `expand` targeting a message that was
+    /// already released — content would be appended to freed memory.
+    LifecycleExpandAfterRelease,
+    /// The lifecycle sanitizer saw a refcount that cannot be right for the
+    /// operation (e.g. a release while the manager held the only reference).
+    LifecycleRefcountAnomaly,
+    /// The lifecycle sanitizer found `Allocated` records that were never
+    /// published or released (leak check, typically at shutdown).
+    LifecycleLeak,
 }
 
 impl fmt::Display for AlertKind {
@@ -29,6 +41,21 @@ impl fmt::Display for AlertKind {
             }
             AlertKind::OneShotVectorResizing => {
                 write!(f, "vector resized twice (One-Shot Vector Resizing)")
+            }
+            AlertKind::LifecycleDoubleRelease => {
+                write!(f, "message released twice (lifecycle sanitizer)")
+            }
+            AlertKind::LifecycleExpandAfterRelease => {
+                write!(f, "expand on a released message (lifecycle sanitizer)")
+            }
+            AlertKind::LifecycleRefcountAnomaly => {
+                write!(f, "implausible buffer refcount (lifecycle sanitizer)")
+            }
+            AlertKind::LifecycleLeak => {
+                write!(
+                    f,
+                    "allocated message never published or released (lifecycle sanitizer)"
+                )
             }
         }
     }
@@ -56,6 +83,7 @@ pub enum AlertPolicy {
 static POLICY: AtomicU8 = AtomicU8::new(0); // 0=Panic 1=Warn 2=Count
 static STRING_ALERTS: AtomicU64 = AtomicU64::new(0);
 static VECTOR_ALERTS: AtomicU64 = AtomicU64::new(0);
+static LIFECYCLE_ALERTS: AtomicU64 = AtomicU64::new(0);
 
 /// Set the process-wide alert policy. Returns the previous policy.
 pub fn set_alert_policy(policy: AlertPolicy) -> AlertPolicy {
@@ -88,10 +116,18 @@ pub fn alert_counts() -> (u64, u64) {
     )
 }
 
-/// Reset both alert counters to zero.
+/// Number of lifecycle-sanitizer alerts (all four lifecycle kinds combined)
+/// raised since the last [`reset_alert_counts`]. Per-kind counts live on the
+/// sanitizer report ([`mm().sanitizer_report()`](crate::MessageManager::sanitizer_report)).
+pub fn lifecycle_alert_count() -> u64 {
+    LIFECYCLE_ALERTS.load(Ordering::SeqCst)
+}
+
+/// Reset all alert counters to zero.
 pub fn reset_alert_counts() {
     STRING_ALERTS.store(0, Ordering::SeqCst);
     VECTOR_ALERTS.store(0, Ordering::SeqCst);
+    LIFECYCLE_ALERTS.store(0, Ordering::SeqCst);
 }
 
 /// Raise an alert for `kind` on behalf of message type `type_name`.
@@ -106,6 +142,12 @@ pub(crate) fn raise(kind: AlertKind, type_name: &str) {
         }
         AlertKind::OneShotVectorResizing => {
             VECTOR_ALERTS.fetch_add(1, Ordering::SeqCst);
+        }
+        AlertKind::LifecycleDoubleRelease
+        | AlertKind::LifecycleExpandAfterRelease
+        | AlertKind::LifecycleRefcountAnomaly
+        | AlertKind::LifecycleLeak => {
+            LIFECYCLE_ALERTS.fetch_add(1, Ordering::SeqCst);
         }
     }
     match current_policy() {

@@ -38,7 +38,9 @@
 mod codegen;
 mod model;
 mod parse;
+mod schema;
 
 pub use codegen::{generate, GenConfig};
 pub use model::{Arity, Catalog, Constant, Field, FieldType, MessageSpec, ResolvedType};
 pub use parse::{parse_msg, parse_srv, ParseError};
+pub use schema::{schema_from_spec, SchemaBuilder, SchemaError};

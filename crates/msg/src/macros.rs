@@ -238,6 +238,37 @@ macro_rules! ros_message_impls {
             fn max_size() -> usize {
                 $max
             }
+            fn schema() -> Option<&'static ::rossf_sfm::MessageSchema> {
+                static SCHEMA: ::std::sync::OnceLock<::rossf_sfm::MessageSchema> =
+                    ::std::sync::OnceLock::new();
+                Some(SCHEMA.get_or_init(::rossf_sfm::MessageSchema::of::<$sfm>))
+            }
+        }
+
+        impl ::rossf_sfm::SfmReflect for $sfm {
+            fn type_desc() -> ::rossf_sfm::TypeDesc {
+                // Closure-to-fn-pointer coercion infers each field's type
+                // so the manifest does not have to repeat it.
+                fn __desc<M, T: ::rossf_sfm::SfmReflect>(
+                    _p: fn(&M) -> &T,
+                ) -> ::rossf_sfm::TypeDesc {
+                    T::type_desc()
+                }
+                ::rossf_sfm::TypeDesc::Struct(::rossf_sfm::StructDesc {
+                    name: $type_name.to_string(),
+                    size: ::core::mem::size_of::<$sfm>(),
+                    align: ::core::mem::align_of::<$sfm>(),
+                    fields: vec![
+                        $(
+                            ::rossf_sfm::FieldDesc {
+                                name: stringify!($field).to_string(),
+                                offset: ::core::mem::offset_of!($sfm, $field),
+                                ty: __desc(|m: &$sfm| &m.$field),
+                            },
+                        )*
+                    ],
+                })
+            }
         }
 
         impl ::rossf_sfm::SfmEndianSwap for $sfm {

@@ -86,6 +86,13 @@ pub struct TransportConfig {
     pub handshake_timeout: Duration,
     /// Reconnection schedule for subscriber connections that die.
     pub backoff: BackoffPolicy,
+    /// Run the structural verifier over every received frame before
+    /// adopting it ([`rossf_sfm::verify_frame`]). A frame that fails is
+    /// dropped and counted (`verify_rejects`) instead of being adopted; the
+    /// connection stays up because length-prefixed framing is still in
+    /// sync. Off by default — adopted frames are otherwise only
+    /// bounds-checked, not proved structurally sound.
+    pub validate_on_receive: bool,
 }
 
 impl Default for TransportConfig {
@@ -95,6 +102,7 @@ impl Default for TransportConfig {
             queue_size: 8,
             handshake_timeout: Duration::from_secs(5),
             backoff: BackoffPolicy::default(),
+            validate_on_receive: false,
         }
     }
 }

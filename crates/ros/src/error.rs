@@ -12,6 +12,10 @@ pub enum RosError {
     Decode(DecodeError),
     /// A serialization-free frame failed adoption (size/offset checks).
     Sfm(rossf_sfm::SfmError),
+    /// A serialization-free frame failed structural verification
+    /// (`validate_on_receive`); the diagnostic names the failing field
+    /// path.
+    Verify(rossf_sfm::VerifyError),
     /// Publisher and subscriber disagree about the topic's message type.
     TypeMismatch {
         /// The topic in question.
@@ -42,6 +46,7 @@ impl fmt::Display for RosError {
             RosError::Io(e) => write!(f, "transport i/o error: {e}"),
             RosError::Decode(e) => write!(f, "message decode error: {e}"),
             RosError::Sfm(e) => write!(f, "serialization-free adoption error: {e}"),
+            RosError::Verify(e) => write!(f, "frame failed structural verification: {e}"),
             RosError::TypeMismatch {
                 topic,
                 registered,
@@ -65,6 +70,7 @@ impl std::error::Error for RosError {
             RosError::Io(e) => Some(e),
             RosError::Decode(e) => Some(e),
             RosError::Sfm(e) => Some(e),
+            RosError::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -85,6 +91,12 @@ impl From<DecodeError> for RosError {
 impl From<rossf_sfm::SfmError> for RosError {
     fn from(e: rossf_sfm::SfmError) -> Self {
         RosError::Sfm(e)
+    }
+}
+
+impl From<rossf_sfm::VerifyError> for RosError {
+    fn from(e: rossf_sfm::VerifyError) -> Self {
+        RosError::Verify(e)
     }
 }
 

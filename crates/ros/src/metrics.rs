@@ -61,6 +61,9 @@ transport_counters! {
     bytes_received,
     /// Frames that failed decode/adoption (corrupt or oversized payloads).
     decode_errors,
+    /// Frames rejected by the structural verifier
+    /// (`validate_on_receive`): dropped without adoption, connection kept.
+    verify_rejects,
     /// Length prefixes rejected for exceeding `max_frame_len` (connection
     /// torn down without allocating).
     frame_len_rejects,

@@ -213,6 +213,15 @@ impl<D: Decode> SubCore<D> {
             match D::new_slot(len) {
                 Ok(mut slot) => {
                     reader.read_exact(slot.as_mut_slice())?;
+                    if self.config.validate_on_receive
+                        && D::verify_frame(slot.as_mut_slice()).is_err()
+                    {
+                        // Structurally corrupt: drop the frame without
+                        // adopting it. Framing is length-prefixed, so the
+                        // stream stays in sync and the connection lives on.
+                        self.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                     match D::finish_slot(slot) {
                         Ok(msg) => {
                             self.received.fetch_add(1, Ordering::SeqCst);
@@ -320,6 +329,12 @@ impl<D: Decode> Subscriber<D> {
     /// Frames that failed decoding/adoption.
     pub fn decode_errors(&self) -> u64 {
         self.core.decode_errors.load(Ordering::SeqCst)
+    }
+
+    /// Frames rejected by the structural verifier
+    /// (`TransportConfig::validate_on_receive`) and dropped unadopted.
+    pub fn verify_rejects(&self) -> u64 {
+        self.core.metrics.verify_rejects.load(Ordering::SeqCst)
     }
 
     /// Publisher connections that completed the handshake.

@@ -56,6 +56,16 @@ impl RosTime {
 // SAFETY: two u32s, repr(C), all-zero is valid, no drop glue.
 unsafe impl rossf_sfm::SfmPod for RosTime {}
 
+impl rossf_sfm::SfmReflect for RosTime {
+    /// A `time` is an indirection-free 8-byte leaf to the verifier.
+    fn type_desc() -> rossf_sfm::TypeDesc {
+        rossf_sfm::TypeDesc::Prim {
+            size: core::mem::size_of::<RosTime>(),
+            align: core::mem::align_of::<RosTime>(),
+        }
+    }
+}
+
 impl rossf_sfm::SfmValidate for RosTime {
     #[inline]
     fn validate_in(&self, _base: usize, _len: usize) -> Result<(), rossf_sfm::SfmError> {
@@ -88,6 +98,16 @@ pub struct RosDuration {
 
 // SAFETY: two i32s, repr(C), all-zero is valid, no drop glue.
 unsafe impl rossf_sfm::SfmPod for RosDuration {}
+
+impl rossf_sfm::SfmReflect for RosDuration {
+    /// A `duration` is an indirection-free 8-byte leaf to the verifier.
+    fn type_desc() -> rossf_sfm::TypeDesc {
+        rossf_sfm::TypeDesc::Prim {
+            size: core::mem::size_of::<RosDuration>(),
+            align: core::mem::align_of::<RosDuration>(),
+        }
+    }
+}
 
 impl rossf_sfm::SfmValidate for RosDuration {
     #[inline]

@@ -9,6 +9,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> sfm_verify --self-test"
+cargo run -q --release -p rossf-bench --bin sfm_verify -- --self-test
+
+echo "==> frame-corruption harness"
+cargo test -q -p rossf-msg --test verify_corruption
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
