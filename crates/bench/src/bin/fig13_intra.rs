@@ -7,6 +7,7 @@
 
 use rossf_baselines::WorkImage;
 use rossf_bench::experiments::{intra_plain, intra_sfm};
+use rossf_bench::report::{write_report, ScenarioReport};
 use rossf_bench::RunArgs;
 
 fn main() {
@@ -21,7 +22,9 @@ fn main() {
         "{:<8} {:<50} {:<50} {:>10}",
         "size", "ROS (mean ± std)", "ROS-SF (mean ± std)", "reduction"
     );
+    let mut rows: Vec<ScenarioReport> = Vec::new();
     for (label, w, h) in WorkImage::PAPER_SIZES {
+        let payload = u64::from(w) * u64::from(h) * 3;
         let ros = intra_plain(args, w, h);
         let rossf = intra_sfm(args, w, h);
         println!(
@@ -31,10 +34,24 @@ fn main() {
             rossf.to_string(),
             rossf.reduction_vs(&ros)
         );
+        rows.push(ScenarioReport::from_stats(
+            &format!("ros intra {label}"),
+            payload,
+            &ros,
+        ));
+        rows.push(ScenarioReport::from_stats(
+            &format!("sfm intra {label}"),
+            payload,
+            &rossf,
+        ));
     }
     println!();
     println!(
         "paper reference: ROS-SF reduces mean latency, growing with size, \
          up to ~76.3% at 6MB"
     );
+    match write_report("fig13", &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_fig13.json: {e}"),
+    }
 }

@@ -16,6 +16,7 @@ use rossf_baselines::roscodec::RosCodec;
 use rossf_baselines::sfm_image::SfmCodec;
 use rossf_baselines::xcdr::XcdrCodec;
 use rossf_bench::experiments::codec_latency;
+use rossf_bench::report::{write_report, ScenarioReport};
 use rossf_bench::{RunArgs, Stats};
 
 fn main() {
@@ -75,4 +76,13 @@ fn main() {
          below their serializing counterparts; the FlatBuf-ProtoBuf gap is the \
          smallest of the three pairs"
     );
+    let payload = u64::from(w) * u64::from(h) * 3;
+    let rows: Vec<ScenarioReport> = results
+        .iter()
+        .map(|(name, _, stats)| ScenarioReport::from_stats(&format!("{name} 6MB"), payload, stats))
+        .collect();
+    match write_report("fig14", &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_fig14.json: {e}"),
+    }
 }

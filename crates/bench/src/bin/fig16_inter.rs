@@ -4,20 +4,28 @@
 //!
 //! Besides the paper's ROS vs ROS-SF comparison, a third series runs the
 //! SFM path with `validate_on_receive` enabled, pricing the structural
-//! verifier on every received frame.
+//! verifier on every received frame; a final same-machine section
+//! contrasts the transport tiers (zero-copy pointer handoff vs the same
+//! frames forced over TCP loopback).
+//!
+//! Writes `results/BENCH_fig16.json` with every measured series.
 //!
 //! ```text
 //! cargo run -p rossf-bench --release --bin fig16_inter [--iters N] [--hz F]
 //! ```
 
 use rossf_baselines::WorkImage;
-use rossf_bench::experiments::{pingpong_plain, pingpong_sfm, pingpong_sfm_with};
+use rossf_bench::experiments::{
+    pingpong_plain, pingpong_same_machine, pingpong_sfm, pingpong_sfm_with,
+};
+use rossf_bench::report::{write_report, ScenarioReport};
 use rossf_bench::RunArgs;
 use rossf_ros::LinkProfile;
 
 fn main() {
     let args = RunArgs::from_env();
     let link = LinkProfile::ten_gbe();
+    let mut rows: Vec<ScenarioReport> = Vec::new();
     println!("=== Fig. 16: inter-machine ping-pong latency (ROS vs ROS-SF) ===");
     println!(
         "link: {} Gb/s, {} µs one-way; workload: {} messages per configuration\n",
@@ -35,6 +43,7 @@ fn main() {
         "verify Δ"
     );
     for (label, w, h) in WorkImage::PAPER_SIZES {
+        let payload = u64::from(w) * u64::from(h) * 3;
         let ros = pingpong_plain(args, w, h, link);
         let rossf = pingpong_sfm(args, w, h, link);
         let verified = pingpong_sfm_with(args, w, h, link, true);
@@ -48,11 +57,69 @@ fn main() {
             // Positive = verification costs latency; near zero = free.
             -verified.reduction_vs(&rossf)
         );
+        rows.push(ScenarioReport::from_stats(
+            &format!("ros ten_gbe {label}"),
+            payload,
+            &ros,
+        ));
+        rows.push(ScenarioReport::from_stats(
+            &format!("sfm ten_gbe {label}"),
+            payload,
+            &rossf,
+        ));
+        rows.push(ScenarioReport::from_stats(
+            &format!("sfm+verify ten_gbe {label}"),
+            payload,
+            &verified,
+        ));
     }
+
+    println!("\n--- same-machine transport tiers: zero-copy fast path vs forced TCP ---");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "size", "TCP p50 (ms)", "fastpath p50", "speedup"
+    );
+    let mut speedup_1mb = 0.0;
+    for (label, w, h) in WorkImage::PAPER_SIZES {
+        let payload = u64::from(w) * u64::from(h) * 3;
+        let tcp = pingpong_same_machine(args, w, h, false);
+        let fast = pingpong_same_machine(args, w, h, true);
+        let speedup = if fast.p50_ms > 0.0 {
+            tcp.p50_ms / fast.p50_ms
+        } else {
+            f64::INFINITY
+        };
+        if label == "1MB" {
+            speedup_1mb = speedup;
+        }
+        println!(
+            "{:<8} {:>14.3} {:>14.3} {:>9.1}x",
+            label, tcp.p50_ms, fast.p50_ms, speedup
+        );
+        rows.push(ScenarioReport::from_stats(
+            &format!("same-machine tcp {label}"),
+            payload,
+            &tcp,
+        ));
+        rows.push(ScenarioReport::from_stats(
+            &format!("same-machine fastpath {label}"),
+            payload,
+            &fast,
+        ));
+    }
+    println!(
+        "same-machine p50 speedup at 1MB: {speedup_1mb:.1}x (target: >=3x for the \
+         zero-copy fast path)"
+    );
+
     println!();
     println!(
         "note: divide the ping-pong latency by 2 for the approximate one-way \
          latency (paper §5.2); paper reference: up to ~69.9% reduction at 6MB. \
          `verify Δ` is the extra round-trip cost of validate_on_receive."
     );
+    match write_report("fig16", &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_fig16.json: {e}"),
+    }
 }

@@ -7,6 +7,7 @@
 //! ```
 
 use rossf_bench::experiments::{slam_case_study, Family, SlamLatencies};
+use rossf_bench::report::{write_report, ScenarioReport};
 use rossf_bench::RunArgs;
 use std::time::Duration;
 
@@ -41,6 +42,31 @@ fn main() {
         "\npaper reference: the 30-40 ms ORB-SLAM compute dominates, so the \
          overall reduction shrinks to roughly 5%"
     );
+    // 640x480x24bit input frames drive every output; report per-output
+    // latency series against that payload.
+    let payload = 640 * 480 * 3;
+    let mut rows: Vec<ScenarioReport> = Vec::new();
+    for (family, lat) in [("ros", &ros), ("sfm", &rossf)] {
+        rows.push(ScenarioReport::from_stats(
+            &format!("{family} slam pose"),
+            payload,
+            &lat.pose,
+        ));
+        rows.push(ScenarioReport::from_stats(
+            &format!("{family} slam cloud"),
+            payload,
+            &lat.cloud,
+        ));
+        rows.push(ScenarioReport::from_stats(
+            &format!("{family} slam debug"),
+            payload,
+            &lat.debug,
+        ));
+    }
+    match write_report("fig18", &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_fig18.json: {e}"),
+    }
 }
 
 fn print_family(name: &str, lat: &SlamLatencies) {

@@ -7,23 +7,74 @@
 //! Runs the Fig. 15 ping-pong topology at a 1 MB image size across link
 //! speeds from 100 Mb/s to unlimited (loopback) and reports the ROS-SF
 //! latency reduction at each: it should be small on slow links and grow
-//! as the wire gets faster.
+//! as the wire gets faster. Writes `results/BENCH_link_sweep.json`.
+//!
+//! `--fastpath-smoke` instead runs a short same-machine comparison —
+//! zero-copy fast path vs the same frames forced over TCP loopback — and
+//! exits non-zero unless the fast path is measurably faster (TCP p50 at
+//! least 1.5x the fast-path p50). `scripts/check.sh` uses this as the
+//! regression gate for the same-machine tier.
 //!
 //! ```text
-//! cargo run -p rossf-bench --release --bin link_sweep [--iters N]
+//! cargo run -p rossf-bench --release --bin link_sweep [--iters N] [--fastpath-smoke]
 //! ```
 
-use rossf_bench::experiments::{pingpong_plain, pingpong_sfm};
+use rossf_bench::experiments::{pingpong_plain, pingpong_same_machine, pingpong_sfm};
+use rossf_bench::report::{write_report, ScenarioReport};
 use rossf_bench::RunArgs;
 use rossf_ros::LinkProfile;
 use std::time::Duration;
 
+/// The ~1 MB image configuration the sweep (and the smoke gate) uses.
+const SIZE: (u32, u32) = (800, 600);
+
+fn fastpath_smoke(args: RunArgs) -> ! {
+    let (w, h) = SIZE;
+    let payload = u64::from(w) * u64::from(h) * 3;
+    println!("=== fast-path smoke: same-machine zero-copy vs forced TCP ===");
+    println!(
+        "workload: 1MB images, ping-pong, {} messages per tier\n",
+        args.iters
+    );
+    let tcp = pingpong_same_machine(args, w, h, false);
+    let fast = pingpong_same_machine(args, w, h, true);
+    let speedup = if fast.p50_ms > 0.0 {
+        tcp.p50_ms / fast.p50_ms
+    } else {
+        f64::INFINITY
+    };
+    println!("forced TCP p50: {:.3} ms", tcp.p50_ms);
+    println!("fast path  p50: {:.3} ms", fast.p50_ms);
+    println!("speedup: {speedup:.2}x (gate: >=1.5x)");
+    let rows = [
+        ScenarioReport::from_stats("smoke same-machine tcp 1MB", payload, &tcp),
+        ScenarioReport::from_stats("smoke same-machine fastpath 1MB", payload, &fast),
+    ];
+    match write_report("fastpath_smoke", &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_fastpath_smoke.json: {e}"),
+    }
+    if tcp.p50_ms >= 1.5 * fast.p50_ms {
+        std::process::exit(0);
+    }
+    eprintln!("FAIL: same-machine fast path is not measurably faster than TCP");
+    std::process::exit(1);
+}
+
 fn main() {
-    let mut args = RunArgs::from_env();
+    // `--fastpath-smoke` is ours, not RunArgs's (whose parser rejects
+    // unknown flags) — strip it before parsing.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--fastpath-smoke");
+    let mut args = RunArgs::parse(raw.into_iter().filter(|a| a != "--fastpath-smoke"));
     if args.iters == RunArgs::default().iters {
         args.iters = 60; // slow links make each iteration expensive
     }
-    let (w, h) = (800u32, 600u32); // the ~1 MB configuration
+    if smoke {
+        fastpath_smoke(args);
+    }
+    let (w, h) = SIZE;
+    let payload = u64::from(w) * u64::from(h) * 3;
     let links: [(&str, LinkProfile); 4] = [
         ("100Mb/s", LinkProfile::fast_ethernet()),
         ("1Gb/s", LinkProfile::gigabit()),
@@ -46,6 +97,7 @@ fn main() {
         "{:<10} {:>14} {:>14} {:>11}",
         "link", "ROS mean (ms)", "ROS-SF (ms)", "reduction"
     );
+    let mut rows: Vec<ScenarioReport> = Vec::new();
     for (label, link) in links {
         let ros = pingpong_plain(args, w, h, link);
         let rossf = pingpong_sfm(args, w, h, link);
@@ -56,10 +108,24 @@ fn main() {
             rossf.mean_ms,
             rossf.reduction_vs(&ros)
         );
+        rows.push(ScenarioReport::from_stats(
+            &format!("ros {label} 1MB"),
+            payload,
+            &ros,
+        ));
+        rows.push(ScenarioReport::from_stats(
+            &format!("sfm {label} 1MB"),
+            payload,
+            &rossf,
+        ));
     }
     println!(
         "\nexpected shape: on a 100 Mb/s link the wire dominates and the \
          reduction is small; the faster the link, the larger ROS-SF's share \
          of the saved time"
     );
+    match write_report("link_sweep", &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_link_sweep.json: {e}"),
+    }
 }

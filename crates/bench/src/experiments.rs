@@ -313,6 +313,63 @@ pub fn pingpong_sfm_with(
     Stats::from_nanos(lat)
 }
 
+/// Same-machine ping-pong isolating the transport tier: the Fig. 15
+/// topology with *all three* nodes on machine A, and a verbatim relay
+/// (the received `SfmShared` is republished unchanged, as in the
+/// zero-copy relay pattern) so the round trip measures message motion,
+/// not reconstruction. With `fastpath` on, delivery is the pointer-handoff
+/// same-machine tier; with it off, the identical frames travel the TCP
+/// loopback wire — the pair quantifies the zero-copy fast path's gain.
+pub fn pingpong_same_machine(args: RunArgs, width: u32, height: u32, fastpath: bool) -> Stats {
+    fresh_cell();
+    let master = Master::new();
+    let config = TransportConfig {
+        enable_fastpath: fastpath,
+        ..TransportConfig::default()
+    };
+    let nh = NodeHandle::with_config(&master, "same_machine", MachineId::A, config);
+    let t1 = unique_topic("fig16_local_t1");
+    let t2 = unique_topic("fig16_local_t2");
+
+    let pub1: Publisher<SfmBox<SfmImage>> = nh.advertise(&t1, 8);
+    let pub2: Publisher<SfmShared<SfmImage>> = nh.advertise(&t2, 8);
+    let pub2_cb = pub2.clone();
+    let _trans = nh.subscribe(&t1, 8, move |m: SfmShared<SfmImage>| {
+        pub2_cb.publish(&m); // relay the received object verbatim
+    });
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe(&t2, 8, move |m: SfmShared<SfmImage>| {
+        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+    });
+    nh.wait_for_subscribers(&pub1, 1);
+    nh.wait_for_subscribers(&pub2, 1);
+
+    let pixels = WorkImage::synthetic(width, height).data;
+    let mut lat = Vec::with_capacity(args.iters);
+    for seq in 0..args.iters {
+        let t0 = now_nanos();
+        let mut img = SfmBox::<SfmImage>::new();
+        img.header.seq = seq as u32;
+        img.header.stamp = RosTime::from_nanos(t0);
+        img.header.frame_id.assign("ping");
+        img.height = height;
+        img.width = width;
+        img.encoding.assign("rgb8");
+        img.step = width * 3;
+        img.data.assign(&pixels);
+        pub1.publish(&img);
+        lat.push(drain_one(&rx, "fig16 same-machine"));
+        std::thread::sleep(args.gap());
+    }
+    let label = if fastpath {
+        "fig16 same-machine fastpath"
+    } else {
+        "fig16 same-machine tcp"
+    };
+    dump_transport_metrics(label, &master);
+    Stats::from_nanos(lat)
+}
+
 /// Latency sets measured by the three output subscribers of Fig. 17.
 #[derive(Debug, Clone)]
 pub struct SlamLatencies {
@@ -534,6 +591,16 @@ mod tests {
         let validated = pingpong_sfm_with(tiny(), 32, 32, link, true);
         assert_eq!(validated.n, 5);
         assert!(validated.min_ms >= 0.2);
+    }
+
+    #[test]
+    fn fig16_same_machine_runs_on_both_tiers() {
+        let fast = pingpong_same_machine(tiny(), 32, 32, true);
+        let tcp = pingpong_same_machine(tiny(), 32, 32, false);
+        assert_eq!(fast.n, 5);
+        assert_eq!(tcp.n, 5);
+        assert!(fast.mean_ms > 0.0 && fast.mean_ms < 1000.0);
+        assert!(tcp.mean_ms > 0.0 && tcp.mean_ms < 1000.0);
     }
 
     #[test]

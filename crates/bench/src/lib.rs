@@ -24,7 +24,9 @@
 
 pub mod args;
 pub mod experiments;
+pub mod report;
 pub mod stats;
 
 pub use args::RunArgs;
+pub use report::ScenarioReport;
 pub use stats::Stats;

@@ -1,0 +1,156 @@
+//! Machine-readable benchmark output.
+//!
+//! Every harness binary writes a `results/BENCH_<fig>.json` next to its
+//! human-readable table so runs can be diffed and plotted without
+//! scraping stdout. The JSON is hand-rolled (the workspace carries no
+//! serde) and intentionally flat: one object per measured scenario with
+//! the latency percentiles and derived throughput.
+
+use crate::stats::Stats;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// One measured scenario: a (series, payload) cell of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Human-readable scenario label, e.g. `"sfm ten_gbe 800x600"`.
+    pub scenario: String,
+    /// Payload size carried per message, in bytes.
+    pub payload_bytes: u64,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Sustained message rate implied by the mean latency. The harness
+    /// keeps exactly one message in flight (Fig. 12 protocol), so rate
+    /// is the reciprocal of the mean round time.
+    pub msgs_per_s: f64,
+    /// Payload throughput implied by `msgs_per_s`.
+    pub bytes_per_s: f64,
+}
+
+impl ScenarioReport {
+    /// Derive a report row from a latency summary.
+    pub fn from_stats(scenario: &str, payload_bytes: u64, stats: &Stats) -> ScenarioReport {
+        let msgs_per_s = if stats.mean_ms > 0.0 {
+            1000.0 / stats.mean_ms
+        } else {
+            0.0
+        };
+        ScenarioReport {
+            scenario: scenario.to_string(),
+            payload_bytes,
+            p50_ms: stats.p50_ms,
+            p99_ms: stats.p99_ms,
+            msgs_per_s,
+            bytes_per_s: msgs_per_s * payload_bytes as f64,
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON has no NaN/Infinity literals; clamp pathological values to 0.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.000000".to_string()
+    }
+}
+
+/// Render the report document for `fig` (e.g. `"fig16"`).
+pub fn render_json(fig: &str, rows: &[ScenarioReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"fig\": \"{}\",\n", escape(fig)));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"payload_bytes\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"msgs_per_s\": {}, \"bytes_per_s\": {}}}{}\n",
+            escape(&r.scenario),
+            r.payload_bytes,
+            num(r.p50_ms),
+            num(r.p99_ms),
+            num(r.msgs_per_s),
+            num(r.bytes_per_s),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Where `results/` lives: the working directory if it already has one
+/// (the repo root when run via `cargo run`), otherwise relative to the
+/// bench crate's manifest so binaries invoked from anywhere agree.
+fn results_dir() -> PathBuf {
+    let cwd = PathBuf::from("results");
+    if cwd.is_dir() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Write `results/BENCH_<fig>.json`, creating the directory if needed.
+/// Returns the path written, so binaries can tell the user where it went.
+pub fn write_report(fig: &str, rows: &[ScenarioReport]) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{fig}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(render_json(fig, rows).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> Stats {
+        Stats::from_nanos(vec![1_000_000, 2_000_000, 3_000_000])
+    }
+
+    #[test]
+    fn from_stats_derives_throughput_from_mean() {
+        let r = ScenarioReport::from_stats("sfm", 1000, &stats());
+        // mean is 2 ms → 500 msgs/s → 500 kB/s.
+        assert!((r.msgs_per_s - 500.0).abs() < 1e-9);
+        assert!((r.bytes_per_s - 500_000.0).abs() < 1e-9);
+        assert_eq!(r.p50_ms, 2.0);
+        assert_eq!(r.p99_ms, 3.0);
+    }
+
+    #[test]
+    fn render_escapes_and_terminates_rows() {
+        let mut r = ScenarioReport::from_stats("a\"b\\c", 7, &stats());
+        r.msgs_per_s = f64::NAN; // must not leak a NaN literal into JSON
+        let json = render_json("figX", &[r.clone(), r]);
+        assert!(json.contains("\"fig\": \"figX\""));
+        assert!(json.contains("a\\\"b\\\\c"));
+        assert!(json.contains("\"msgs_per_s\": 0.000000"));
+        // Exactly one separating comma between the two rows.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn render_empty_is_valid() {
+        let json = render_json("fig0", &[]);
+        assert!(json.contains("\"scenarios\": [\n  ]"));
+    }
+}

@@ -18,6 +18,8 @@ pub struct Stats {
     pub p50_ms: f64,
     /// 95th percentile, milliseconds.
     pub p95_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
     /// Maximum, milliseconds.
     pub max_ms: f64,
 }
@@ -54,6 +56,7 @@ impl Stats {
             min_ms: to_ms(nanos[0]),
             p50_ms: pct(0.5),
             p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
             max_ms: to_ms(nanos[n - 1]),
         }
     }
@@ -72,8 +75,15 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:8.3} ± {:6.3} ms  (p50 {:7.3}, p95 {:7.3}, min {:7.3}, max {:7.3}, n={})",
-            self.mean_ms, self.std_ms, self.p50_ms, self.p95_ms, self.min_ms, self.max_ms, self.n
+            "{:8.3} ± {:6.3} ms  (p50 {:7.3}, p95 {:7.3}, p99 {:7.3}, min {:7.3}, max {:7.3}, n={})",
+            self.mean_ms,
+            self.std_ms,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.min_ms,
+            self.max_ms,
+            self.n
         )
     }
 }
@@ -91,6 +101,16 @@ mod tests {
         assert_eq!(s.min_ms, 1.0);
         assert_eq!(s.max_ms, 3.0);
         assert_eq!(s.p50_ms, 2.0);
+        assert_eq!(s.p99_ms, 3.0);
+    }
+
+    #[test]
+    fn p99_sits_between_p95_and_max() {
+        let nanos: Vec<u64> = (1..=200).map(|i| i * 1_000_000).collect();
+        let s = Stats::from_nanos(nanos);
+        assert!(s.p95_ms <= s.p99_ms);
+        assert!(s.p99_ms <= s.max_ms);
+        assert_eq!(s.p99_ms, 198.0);
     }
 
     #[test]

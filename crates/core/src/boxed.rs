@@ -260,6 +260,10 @@ impl<T: SfmMessage> SfmShared<T> {
         // SAFETY: aligned pod view over an initialized, published buffer.
         let view = unsafe { &*(frame.buffer.as_ptr() as *const T) };
         view.validate_in(base, frame.len)?;
+        // Life-cycle notation: the subscriber now shares the publisher's
+        // allocation (the Published state gains a reference; Destructed is
+        // reached when the last Arc drops).
+        mm().note_shared_adoption(base);
         Ok(SfmShared {
             core: Arc::new(SharedCore {
                 buffer: Arc::clone(&frame.buffer),

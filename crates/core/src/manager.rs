@@ -82,6 +82,11 @@ pub struct ManagerStats {
     pub expands: u64,
     /// Messages that reached the `Published` state.
     pub published: u64,
+    /// Cross-node adoptions that shared a published buffer in place instead
+    /// of copying it (the same-machine zero-copy fast path): no new record
+    /// is created — the subscriber's handle joins the refcount of the
+    /// publisher's allocation.
+    pub shared_adoptions: u64,
 }
 
 /// One lifecycle operation recorded by the sanitizer's event log.
@@ -91,6 +96,10 @@ pub enum LifecycleOp {
     Register,
     /// `adopt` — received frame entered `Published` directly.
     Adopt,
+    /// A subscriber began sharing a published buffer in place (zero-copy
+    /// same-machine delivery): the existing record's refcount grew; no new
+    /// record was created.
+    AdoptShared,
     /// `expand` — content space appended.
     Expand,
     /// `mark_published` — `Allocated → Published` transition.
@@ -200,6 +209,7 @@ pub struct MessageManager {
     released: AtomicU64,
     expands: AtomicU64,
     published: AtomicU64,
+    shared_adoptions: AtomicU64,
 }
 
 impl Default for MessageManager {
@@ -219,6 +229,7 @@ impl MessageManager {
             released: AtomicU64::new(0),
             expands: AtomicU64::new(0),
             published: AtomicU64::new(0),
+            shared_adoptions: AtomicU64::new(0),
         }
     }
 
@@ -303,6 +314,27 @@ impl MessageManager {
         self.registered.fetch_add(1, Ordering::Relaxed);
         self.published.fetch_add(1, Ordering::Relaxed);
         self.sanitize_insert(LifecycleOp::Adopt, start, end, type_name);
+    }
+
+    /// Note that a subscriber adopted the published message starting at
+    /// `start` *in place* — zero-copy same-machine delivery, where the
+    /// subscriber's handle shares the publisher's allocation instead of
+    /// re-materializing it (Published → Destructed governed purely by the
+    /// buffer refcount, §4.2). No record is created or mutated; the record
+    /// may already be gone if the publisher released after publishing, which
+    /// is fine — the queue's `Arc` keeps the bytes alive.
+    pub fn note_shared_adoption(&self, start: usize) {
+        self.shared_adoptions.fetch_add(1, Ordering::Relaxed);
+        let ty = {
+            let records = self.records.lock();
+            records
+                .binary_search_by(|r| r.start.cmp(&start))
+                .ok()
+                .map(|idx| records[idx].type_name)
+        };
+        if let Some(san) = self.sanitizer.lock().as_mut() {
+            san.log(LifecycleOp::AdoptShared, start, ty);
+        }
     }
 
     fn insert(&self, rec: Record) {
@@ -573,6 +605,7 @@ impl MessageManager {
             released: self.released.load(Ordering::Relaxed),
             expands: self.expands.load(Ordering::Relaxed),
             published: self.published.load(Ordering::Relaxed),
+            shared_adoptions: self.shared_adoptions.load(Ordering::Relaxed),
         }
     }
 }
@@ -746,6 +779,30 @@ mod tests {
         assert_eq!(s.expands, 1);
         assert_eq!(s.published, 1);
         assert_eq!(s.released, 1);
+    }
+
+    #[test]
+    fn shared_adoption_counts_and_logs_without_touching_records() {
+        let m = MessageManager::new();
+        m.set_sanitizer(true);
+        let a = alloc(64);
+        let base = a.base();
+        m.register(Arc::clone(&a), 8, "t/A");
+        m.mark_published(base);
+        m.note_shared_adoption(base);
+        assert_eq!(m.stats().shared_adoptions, 1);
+        assert_eq!(m.live(), 1, "no record created or removed");
+        let ev = m.lifecycle_events();
+        let shared = ev
+            .iter()
+            .find(|e| e.op == LifecycleOp::AdoptShared)
+            .expect("AdoptShared logged");
+        assert_eq!(shared.addr, base);
+        assert_eq!(shared.type_name, Some("t/A"));
+        m.release(base);
+        // After release the record is gone; the notation still counts.
+        m.note_shared_adoption(base);
+        assert_eq!(m.stats().shared_adoptions, 2);
     }
 
     #[test]

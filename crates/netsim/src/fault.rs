@@ -49,6 +49,7 @@ pub struct FaultInjector {
     severed: AtomicBool,
     frames_dropped: AtomicU64,
     frames_delayed: AtomicU64,
+    frames_passed: AtomicU64,
     severs: AtomicU64,
 }
 
@@ -110,7 +111,9 @@ impl FaultInjector {
             .copied()
             .unwrap_or(FaultAction::Pass);
         match action {
-            FaultAction::Pass => {}
+            FaultAction::Pass => {
+                self.frames_passed.fetch_add(1, Ordering::Relaxed);
+            }
             FaultAction::Delay(_) => {
                 self.frames_delayed.fetch_add(1, Ordering::Relaxed);
             }
@@ -130,6 +133,14 @@ impl FaultInjector {
     /// Frames delayed by `Delay` rules so far.
     pub fn frames_delayed(&self) -> u64 {
         self.frames_delayed.load(Ordering::Relaxed)
+    }
+
+    /// Frames that crossed the link untouched (`Pass`). Transports that
+    /// bypass the socket — e.g. a same-machine pointer handoff — still
+    /// consult the injector per frame, so this counts deliveries on *any*
+    /// path over the link.
+    pub fn frames_passed(&self) -> u64 {
+        self.frames_passed.load(Ordering::Relaxed)
     }
 
     /// Times the link has been severed.
@@ -171,6 +182,7 @@ mod tests {
         assert_eq!(f.next_frame_action(), FaultAction::Pass);
         assert_eq!(f.frames_dropped(), 1);
         assert_eq!(f.frames_delayed(), 1);
+        assert_eq!(f.frames_passed(), 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Pacing of a byte stream to a [`LinkProfile`].
 
 use crate::link::LinkProfile;
-use std::io::{self, Write};
+use std::io::{self, IoSlice, Write};
 use std::time::{Duration, Instant};
 
 /// Stateful pacing engine: tracks when the simulated link next becomes
@@ -121,6 +121,21 @@ impl<W: Write> Write for ShapedWriter<W> {
         self.inner.write(&buf[..n])
     }
 
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        // Unshaped links forward the whole gather list so a coalesced
+        // prefix+payload frame stays one syscall on the real socket.
+        if self.shaper.profile().bandwidth_bps == 0 {
+            return self.inner.write_vectored(bufs);
+        }
+        // Shaped links pace chunk-by-chunk; vectoring would not change the
+        // simulated transmit time, so fall back to the chunked scalar path
+        // on the first non-empty segment.
+        match bufs.iter().find(|b| !b.is_empty()) {
+            Some(buf) => self.write(buf),
+            None => Ok(0),
+        }
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         self.inner.flush()
     }
@@ -181,6 +196,35 @@ mod tests {
         w.start_frame();
         w.write_all(b"hello").unwrap();
         assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn unshaped_vectored_write_passes_all_segments() {
+        let mut w = ShapedWriter::new(Vec::new(), LinkProfile::UNLIMITED);
+        let n = w
+            .write_vectored(&[IoSlice::new(b"abc"), IoSlice::new(b"defg")])
+            .unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(w.get_ref(), b"abcdefg");
+    }
+
+    #[test]
+    fn shaped_vectored_write_still_paces() {
+        // 80 Mb/s → 10 bytes/µs; 100 KB ≈ 10 ms, split across two segments.
+        let mut w = ShapedWriter::new(Vec::new(), mbps(80_000_000));
+        let (a, b) = (vec![7u8; 40_000], vec![8u8; 60_000]);
+        let start = Instant::now();
+        let mut written = 0;
+        while written < a.len() + b.len() {
+            let bufs = if written < a.len() {
+                [IoSlice::new(&a[written..]), IoSlice::new(&b)]
+            } else {
+                [IoSlice::new(&b[written - a.len()..]), IoSlice::new(&[])]
+            };
+            written += w.write_vectored(&bufs).unwrap();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(9));
+        assert_eq!(w.get_ref().len(), 100_000);
     }
 
     #[test]

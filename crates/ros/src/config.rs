@@ -93,6 +93,14 @@ pub struct TransportConfig {
     /// sync. Off by default — adopted frames are otherwise only
     /// bounds-checked, not proved structurally sound.
     pub validate_on_receive: bool,
+    /// Use the zero-copy same-machine fast path when publisher and
+    /// subscriber share a `MachineId` within one process: the encoded
+    /// [`OutFrame`](crate::OutFrame) — a refcounted SFM buffer pointer — is
+    /// handed directly into the subscriber's delivery queue, skipping the
+    /// loopback socket entirely. Both ends must opt in (negotiated via a
+    /// `fastpath` connection-header field); either side disabling it falls
+    /// back to TCP transparently. On by default.
+    pub enable_fastpath: bool,
 }
 
 impl Default for TransportConfig {
@@ -103,6 +111,7 @@ impl Default for TransportConfig {
             handshake_timeout: Duration::from_secs(5),
             backoff: BackoffPolicy::default(),
             validate_on_receive: false,
+            enable_fastpath: true,
         }
     }
 }
@@ -117,6 +126,7 @@ mod tests {
         assert_eq!(c.max_frame_len, 64 * 1024 * 1024);
         assert!(c.queue_size > 0);
         assert!(!c.backoff.exhausted(1_000_000));
+        assert!(c.enable_fastpath, "zero-copy fast path on by default");
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Zero-copy same-machine fast path (transport tier between the
+//! in-process [`LocalBus`](crate::LocalBus) and remote TCP).
+//!
+//! When the master resolves a subscription whose publisher endpoint lives
+//! on the same simulated machine *within the same process*, the subscriber
+//! attaches to the publisher's transmission queue directly: `publish`
+//! deposits the encoded [`OutFrame`] — for serialization-free messages, a
+//! refcount-managed buffer pointer ([`rossf_sfm::PublishedBuffer`]) — and
+//! the subscriber adopts that very allocation via
+//! [`Decode::from_local_frame`](crate::Decode::from_local_frame). No
+//! socket, no kernel copies, no re-materialization: publisher and
+//! subscriber observe the *same* bytes, `Published → Destructed` governed
+//! purely by the buffer refcount (paper §4.2).
+//!
+//! The capability is negotiated through the connection header (`fastpath`
+//! field) and guarded by the `enable_fastpath` flag on
+//! [`TransportConfig`](crate::TransportConfig): either side opting out
+//! falls back to TCP transparently, producing byte-identical frames. The fast
+//! path keeps the TCP path's invariants — it consults the loopback
+//! [`FaultInjector`](rossf_netsim::FaultInjector) per frame, honors
+//! `queue_size` backpressure with `frames_dropped` accounting, and runs
+//! `validate_on_receive` when enabled.
+
+use crate::error::RosError;
+use crate::wire::{ConnectionHeader, OutFrame};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use rossf_netsim::{FaultAction, FaultInjector};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Header value marking both the subscriber's request and the publisher's
+/// reply as fast-path capable.
+pub(crate) const FASTPATH_FIELD: &str = "fastpath";
+
+/// A publisher that can accept same-process subscribers without a socket.
+///
+/// Implemented by the publisher core; the master holds a `Weak` reference
+/// in its local-port registry so a dropped publisher disappears from
+/// endpoint resolution automatically.
+pub(crate) trait LocalAttach: Send + Sync {
+    /// Validate `header` exactly like the TCP handshake would and, on
+    /// success, splice a new bounded transmission queue into the
+    /// publisher's connection list, returning the subscriber's end.
+    ///
+    /// # Errors
+    ///
+    /// * [`RosError::Rejected`] for permanent refusals (type mismatch,
+    ///   missing `fastpath` capability field) — mirrors the TCP `error=`
+    ///   reply header.
+    /// * [`RosError::Io`] for transient refusals (severed link, publisher
+    ///   shutting down) — mirrors a TCP connect/handshake failure, so the
+    ///   subscriber retries under its backoff schedule.
+    fn attach_local(&self, header: &ConnectionHeader) -> Result<LocalSinkHandle, RosError>;
+}
+
+/// The subscriber's end of a fast-path attachment: the reply header, the
+/// receiving half of the transmission queue, and the liveness flag shared
+/// with the publisher's connection entry.
+pub(crate) struct LocalSinkHandle {
+    /// The publisher's reply header (type/topic/endian/fastpath), checked
+    /// by the subscriber exactly like a TCP reply.
+    pub(crate) reply: ConnectionHeader,
+    /// Receiving end of the bounded per-connection transmission queue.
+    pub(crate) rx: Receiver<OutFrame>,
+    /// Cleared on drop so the publisher's `subscriber_count` and pruning
+    /// see the detach without a writer thread.
+    pub(crate) alive: Arc<AtomicBool>,
+    /// The loopback link's fault injector, consulted once per frame —
+    /// drop/delay/sever apply to pointer handoff exactly as to sockets.
+    pub(crate) injector: Option<Arc<FaultInjector>>,
+}
+
+impl LocalSinkHandle {
+    /// Wait up to `timeout` for the next queued frame.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if no frame arrived (poll the shutdown
+    /// flag and retry); [`RecvTimeoutError::Disconnected`] once the
+    /// publisher dropped the sending half (connection over).
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Result<OutFrame, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// The fault action for the next frame crossing the loopback link.
+    pub(crate) fn frame_action(&self) -> FaultAction {
+        self.injector
+            .as_ref()
+            .map_or(FaultAction::Pass, |f| f.next_frame_action())
+    }
+}
+
+impl Drop for LocalSinkHandle {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}

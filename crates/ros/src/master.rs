@@ -8,6 +8,7 @@
 //! cross-machine connections.
 
 use crate::error::RosError;
+use crate::fastpath::LocalAttach;
 use crate::metrics::MetricsRegistry;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -15,7 +16,7 @@ use rossf_netsim::{LinkTable, MachineId};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Where a publisher for a topic accepts subscriber connections.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +37,10 @@ struct TopicEntry {
 
 struct MasterInner {
     topics: Mutex<HashMap<String, TopicEntry>>,
+    /// Registration id → same-process attach hook for the zero-copy fast
+    /// path. `Weak` so a dropped publisher vanishes without a round-trip;
+    /// locked independently of (and never nested with) `topics`.
+    local_ports: Mutex<HashMap<u64, Weak<dyn LocalAttach>>>,
     links: LinkTable,
     services: crate::service::ServiceRegistry,
     metrics: MetricsRegistry,
@@ -61,6 +66,7 @@ impl Master {
         Master {
             inner: Arc::new(MasterInner {
                 topics: Mutex::new(HashMap::new()),
+                local_ports: Mutex::new(HashMap::new()),
                 links: LinkTable::new(),
                 services: crate::service::ServiceRegistry::default(),
                 metrics: MetricsRegistry::new(),
@@ -105,6 +111,45 @@ impl Master {
         machine: MachineId,
     ) -> Result<u64, RosError> {
         let id = self.fresh_id();
+        self.register_with_id(topic, type_name, addr, machine, id)?;
+        Ok(id)
+    }
+
+    /// Register a publisher that *additionally* exposes a same-process
+    /// attach hook for the zero-copy fast path. The hook is visible through
+    /// [`Master::local_port`] before any watcher learns the endpoint, so a
+    /// notified subscriber can never observe the registration without it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Master::register_publisher`].
+    pub(crate) fn register_publisher_local(
+        &self,
+        topic: &str,
+        type_name: &str,
+        addr: SocketAddr,
+        machine: MachineId,
+        port: Weak<dyn LocalAttach>,
+    ) -> Result<u64, RosError> {
+        let id = self.fresh_id();
+        self.inner.local_ports.lock().insert(id, port);
+        match self.register_with_id(topic, type_name, addr, machine, id) {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                self.inner.local_ports.lock().remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    fn register_with_id(
+        &self,
+        topic: &str,
+        type_name: &str,
+        addr: SocketAddr,
+        machine: MachineId,
+        id: u64,
+    ) -> Result<(), RosError> {
         let mut topics = self.inner.topics.lock();
         let entry = topics
             .entry(topic.to_string())
@@ -122,9 +167,20 @@ impl Master {
         }
         let ep = PublisherEndpoint { addr, machine, id };
         entry.publishers.push(ep.clone());
-        // Notify live watchers; forget those whose subscriber is gone.
         entry.watchers.retain(|(_, w)| w.send(ep.clone()).is_ok());
-        Ok(id)
+        Ok(())
+    }
+
+    /// The same-process attach hook of publisher registration `id`, if the
+    /// publisher registered one and is still alive. `None` means the
+    /// subscriber must use TCP (remote endpoint, fast path disabled, or a
+    /// peer predating the capability).
+    pub(crate) fn local_port(&self, id: u64) -> Option<Arc<dyn LocalAttach>> {
+        self.inner
+            .local_ports
+            .lock()
+            .get(&id)
+            .and_then(Weak::upgrade)
     }
 
     /// Remove a publisher registration (called when the publisher drops).
@@ -132,6 +188,7 @@ impl Master {
         if let Some(entry) = self.inner.topics.lock().get_mut(topic) {
             entry.publishers.retain(|p| p.id != id);
         }
+        self.inner.local_ports.lock().remove(&id);
     }
 
     /// Register interest in `topic`: returns the current publishers, a

@@ -77,6 +77,12 @@ transport_counters! {
     disconnects,
     /// Deepest any transmission queue has been on this topic.
     queue_depth_hwm,
+    /// Handshakes completed over the zero-copy same-machine fast path
+    /// (counted once per attach, publisher side).
+    fastpath_handshakes,
+    /// Frames delivered by pointer handoff instead of a socket (subset of
+    /// `frames_sent`).
+    fastpath_frames,
 }
 
 impl TransportMetrics {

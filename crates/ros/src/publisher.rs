@@ -14,18 +14,24 @@
 
 use crate::config::TransportConfig;
 use crate::error::RosError;
+use crate::fastpath::{LocalAttach, LocalSinkHandle, FASTPATH_FIELD};
 use crate::master::Master;
 use crate::metrics::TransportMetrics;
 use crate::traits::Encode;
-use crate::wire::{write_frame, ConnectionHeader, OutFrame};
+use crate::wire::{write_frame_vectored, ConnectionHeader, OutFrame};
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use rossf_netsim::{FaultAction, MachineId, ShapedWriter};
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::marker::PhantomData;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+
+/// Most frames a writer wakeup drains into one socket flush. Bounds the
+/// latency a freshly queued frame can hide behind a long batch while still
+/// amortizing the per-wakeup syscall cost.
+const WRITE_BATCH: usize = 32;
 
 struct Conn {
     queue: Sender<OutFrame>,
@@ -41,14 +47,26 @@ struct PubCore {
     config: TransportConfig,
     metrics: Arc<TransportMetrics>,
     master: Master,
-    registration: u64,
-    conns: Mutex<Vec<Conn>>,
+    /// Set once right after master registration (0 until then); the id is
+    /// not known when the core is built because the fast-path registration
+    /// needs a `Weak` of the finished core.
+    registration: AtomicU64,
+    conns: Mutex<Vec<Arc<Conn>>>,
     shutdown: AtomicBool,
     published: AtomicU64,
     dropped: AtomicU64,
 }
 
 impl PubCore {
+    /// Splice a new connection into the list, pruning dead entries while
+    /// the lock is held anyway (the accept/attach-side half of the pruning
+    /// that `subscriber_count` no longer does).
+    fn add_conn(&self, conn: Arc<Conn>) {
+        let mut conns = self.conns.lock();
+        conns.retain(|c| c.alive.load(Ordering::Acquire));
+        conns.push(conn);
+    }
+
     /// Accept loop. Holds only a `Weak` reference so that dropping the last
     /// `Publisher` clone tears the core down (its `Drop` then wakes this
     /// loop with a dummy connection, and the upgrade below fails).
@@ -121,10 +139,10 @@ impl PubCore {
 
         let (tx, rx) = bounded::<OutFrame>(self.queue_size.max(1));
         let alive = Arc::new(AtomicBool::new(true));
-        self.conns.lock().push(Conn {
+        self.add_conn(Arc::new(Conn {
             queue: tx,
             alive: Arc::clone(&alive),
-        });
+        }));
         let metrics = Arc::clone(&self.metrics);
         // Release our strong reference: the writer loop must not keep the
         // core alive, or dropping the last Publisher could never clear the
@@ -132,34 +150,53 @@ impl PubCore {
         drop(self);
 
         // Writer thread body (we are already on a dedicated thread).
-        while let Ok(frame) = rx.recv() {
-            match injector
-                .as_ref()
-                .map_or(FaultAction::Pass, |f| f.next_frame_action())
-            {
-                FaultAction::Pass => {}
-                FaultAction::Delay(d) => std::thread::sleep(d),
-                FaultAction::Drop => {
-                    metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                FaultAction::Sever => {
-                    // The frame is lost and the connection is cut at the
-                    // transport level, exactly like a yanked cable.
-                    metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
-                    let _ = wire.get_ref().shutdown(Shutdown::Both);
-                    break;
+        // Drain-batch: block for the first frame of a wakeup, then pull
+        // whatever else is already queued and flush the socket once for the
+        // whole batch instead of once per frame.
+        let mut batch: Vec<OutFrame> = Vec::with_capacity(WRITE_BATCH);
+        'conn: while let Ok(first) = rx.recv() {
+            batch.clear();
+            batch.push(first);
+            while batch.len() < WRITE_BATCH {
+                match rx.try_recv() {
+                    Ok(frame) => batch.push(frame),
+                    Err(_) => break,
                 }
             }
-            wire.start_frame();
-            match write_frame(&mut wire, frame.as_slice()) {
-                Ok(()) => {
-                    metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
-                    metrics
-                        .bytes_sent
-                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            let mut wrote = false;
+            for frame in &batch {
+                match injector
+                    .as_ref()
+                    .map_or(FaultAction::Pass, |f| f.next_frame_action())
+                {
+                    FaultAction::Pass => {}
+                    FaultAction::Delay(d) => std::thread::sleep(d),
+                    FaultAction::Drop => {
+                        metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    FaultAction::Sever => {
+                        // The frame is lost and the connection is cut at the
+                        // transport level, exactly like a yanked cable.
+                        metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                        let _ = wire.get_ref().shutdown(Shutdown::Both);
+                        break 'conn;
+                    }
                 }
-                Err(_) => break, // subscriber went away
+                wire.start_frame();
+                match write_frame_vectored(&mut wire, frame.as_slice()) {
+                    Ok(()) => {
+                        wrote = true;
+                        metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        metrics
+                            .bytes_sent
+                            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => break 'conn, // subscriber went away
+                }
+            }
+            if wrote && wire.flush().is_err() {
+                break;
             }
         }
         alive.store(false, Ordering::SeqCst);
@@ -168,11 +205,69 @@ impl PubCore {
     }
 }
 
+impl LocalAttach for PubCore {
+    fn attach_local(&self, header: &ConnectionHeader) -> Result<LocalSinkHandle, RosError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(RosError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "publisher shutting down",
+            )));
+        }
+        let sub_type = header.get("type").unwrap_or_default();
+        if sub_type != self.type_name {
+            // Same wording as the TCP `error=` reply so callers see one
+            // diagnostic regardless of path.
+            return Err(RosError::Rejected(format!(
+                "topic carries {} not {}",
+                self.type_name, sub_type
+            )));
+        }
+        if header.get(FASTPATH_FIELD) != Some("1") {
+            // Peer predates the capability: permanent refusal, the
+            // subscriber falls back to TCP for this endpoint.
+            return Err(RosError::Rejected(
+                "fastpath capability missing from header".to_string(),
+            ));
+        }
+        // The loopback link's fault injector governs this attachment; a
+        // severed link refuses it transiently (retry under backoff until
+        // healed), exactly like the TCP accept path.
+        let injector = self.master.links().fault(self.machine, self.machine);
+        if injector.as_ref().is_some_and(|f| f.is_severed()) {
+            return Err(RosError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "link severed",
+            )));
+        }
+        let reply = ConnectionHeader::new()
+            .with("type", self.type_name)
+            .with("topic", &self.topic)
+            .with("endian", ConnectionHeader::native_endian())
+            .with(FASTPATH_FIELD, "1");
+        let (tx, rx) = bounded::<OutFrame>(self.queue_size.max(1));
+        let alive = Arc::new(AtomicBool::new(true));
+        self.add_conn(Arc::new(Conn {
+            queue: tx,
+            alive: Arc::clone(&alive),
+        }));
+        self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .fastpath_handshakes
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(LocalSinkHandle {
+            reply,
+            rx,
+            alive,
+            injector,
+        })
+    }
+}
+
 impl Drop for PubCore {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.master
-            .unregister_publisher(&self.topic, self.registration);
+            .unregister_publisher(&self.topic, self.registration.load(Ordering::SeqCst));
         // Close all transmission queues so writer threads exit.
         self.conns.lock().clear();
         // Wake the accept loop so it observes the shutdown flag.
@@ -209,7 +304,6 @@ impl<M: Encode> Publisher<M> {
     ) -> Result<Self, RosError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let registration = master.register_publisher(topic, M::topic_type(), addr, machine)?;
         let queue_size = if queue_size == 0 {
             config.queue_size
         } else {
@@ -224,12 +318,22 @@ impl<M: Encode> Publisher<M> {
             config,
             metrics: master.metrics().topic(topic),
             master: master.clone(),
-            registration,
+            registration: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             published: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         });
+        // Fast-path-capable publishers register a local attach port so
+        // same-machine subscribers in this process can skip the socket.
+        let registration = if core.config.enable_fastpath {
+            let weak = Arc::downgrade(&core);
+            let port: Weak<dyn LocalAttach> = weak;
+            master.register_publisher_local(topic, M::topic_type(), addr, machine, port)?
+        } else {
+            master.register_publisher(topic, M::topic_type(), addr, machine)?
+        };
+        core.registration.store(registration, Ordering::SeqCst);
         let weak = Arc::downgrade(&core);
         std::thread::spawn(move || PubCore::accept_loop(weak, listener));
         Ok(Publisher {
@@ -256,19 +360,31 @@ impl<M: Encode> Publisher<M> {
         }
         self.core.published.fetch_add(1, Ordering::Relaxed);
         let metrics = &self.core.metrics;
-        let mut conns = self.core.conns.lock();
-        conns.retain(|conn| match conn.queue.try_send(frame.clone()) {
-            Ok(()) => {
-                metrics.observe_queue_depth(conn.queue.len() as u64);
-                true
+        // Snapshot the connection list so the fan-out (try_send plus its
+        // metrics bookkeeping) runs without the lock: a concurrent accept,
+        // attach, or `publish` from another clone is never serialized
+        // behind this one.
+        let snapshot: Vec<Arc<Conn>> = self.core.conns.lock().clone();
+        let mut saw_dead = false;
+        for conn in &snapshot {
+            match conn.queue.try_send(frame.clone()) {
+                Ok(()) => metrics.observe_queue_depth(conn.queue.len() as u64),
+                Err(TrySendError::Full(_)) => {
+                    self.core.dropped.fetch_add(1, Ordering::Relaxed);
+                    metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    conn.alive.store(false, Ordering::Release);
+                    saw_dead = true;
+                }
             }
-            Err(TrySendError::Full(_)) => {
-                self.core.dropped.fetch_add(1, Ordering::Relaxed);
-                metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                true
-            }
-            Err(TrySendError::Disconnected(_)) => false,
-        });
+        }
+        if saw_dead {
+            self.core
+                .conns
+                .lock()
+                .retain(|c| c.alive.load(Ordering::Acquire));
+        }
     }
 
     /// The topic this publisher serves.
@@ -282,11 +398,17 @@ impl<M: Encode> Publisher<M> {
     }
 
     /// Number of currently connected subscribers.
+    ///
+    /// A pure read: dead entries are counted out here but pruned on the
+    /// publish and accept/attach paths, so calling a getter never mutates
+    /// transport state.
     pub fn subscriber_count(&self) -> usize {
-        let mut conns = self.core.conns.lock();
-        // Prune connections whose writer thread exited (subscriber gone).
-        conns.retain(|c| c.alive.load(Ordering::SeqCst));
-        conns.len()
+        self.core
+            .conns
+            .lock()
+            .iter()
+            .filter(|c| c.alive.load(Ordering::Acquire))
+            .count()
     }
 
     /// Frames published so far (per `publish` call, not per connection).
@@ -312,5 +434,101 @@ impl<M: Encode> std::fmt::Debug for Publisher<M> {
             .field("type", &self.core.type_name)
             .field("subscribers", &self.core.conns.lock().len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmValidate, SfmVec};
+
+    #[repr(C)]
+    struct P {
+        data: SfmVec<u8>,
+    }
+    unsafe impl SfmPod for P {}
+    impl SfmValidate for P {
+        fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+            self.data.validate_in(base, len)
+        }
+    }
+    unsafe impl SfmMessage for P {
+        fn type_name() -> &'static str {
+            "test/AttachP"
+        }
+        fn max_size() -> usize {
+            256
+        }
+    }
+
+    fn request(ty: &str, fastpath: Option<&str>) -> ConnectionHeader {
+        let mut h = ConnectionHeader::new()
+            .with("topic", "attach/neg")
+            .with("type", ty)
+            .with("machine", "0")
+            .with("endian", ConnectionHeader::native_endian());
+        if let Some(v) = fastpath {
+            h = h.with(FASTPATH_FIELD, v);
+        }
+        h
+    }
+
+    /// The connection-header capability negotiation: a peer that predates
+    /// the fast path (no `fastpath` field) is refused *permanently* with a
+    /// message naming the capability, so the subscriber knows to fall back
+    /// to TCP rather than retry. Mismatched types get the same diagnostic
+    /// as the TCP `error=` reply, and a severed loopback link refuses only
+    /// *transiently* (an `Io` error the supervisor retries).
+    #[test]
+    fn attach_local_negotiates_capability_and_faults() {
+        let master = Master::new();
+        let machine = MachineId(77);
+        let publisher: Publisher<SfmBox<P>> = Publisher::create(
+            &master,
+            "attach/neg",
+            4,
+            machine,
+            TransportConfig::default(),
+        )
+        .unwrap();
+        let core = &*publisher.core;
+
+        match core.attach_local(&request(P::type_name(), None)) {
+            Err(RosError::Rejected(msg)) => assert!(msg.contains(FASTPATH_FIELD)),
+            Err(e) => panic!("expected capability rejection, got {e:?}"),
+            Ok(_) => panic!("attach without capability must fail"),
+        }
+        match core.attach_local(&request("wrong/Type", Some("1"))) {
+            Err(RosError::Rejected(msg)) => {
+                assert_eq!(msg, "topic carries test/AttachP not wrong/Type");
+            }
+            Err(e) => panic!("expected type rejection, got {e:?}"),
+            Ok(_) => panic!("attach with wrong type must fail"),
+        }
+
+        let fault = master.links().inject(machine, machine);
+        fault.sever_now();
+        match core.attach_local(&request(P::type_name(), Some("1"))) {
+            Err(RosError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::ConnectionRefused);
+            }
+            Err(e) => panic!("expected transient refusal, got {e:?}"),
+            Ok(_) => panic!("attach over a severed link must fail"),
+        }
+        fault.heal();
+
+        let sink = core
+            .attach_local(&request(P::type_name(), Some("1")))
+            .map_err(|e| format!("healed attach must succeed: {e:?}"))
+            .unwrap();
+        assert_eq!(sink.reply.get(FASTPATH_FIELD), Some("1"));
+        assert_eq!(sink.reply.get("type"), Some(P::type_name()));
+        assert_eq!(publisher.subscriber_count(), 1);
+        drop(sink);
+        assert_eq!(
+            publisher.subscriber_count(),
+            0,
+            "dropping the sink releases the connection without a publish"
+        );
     }
 }

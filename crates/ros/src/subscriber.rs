@@ -15,11 +15,13 @@
 
 use crate::config::TransportConfig;
 use crate::error::RosError;
+use crate::fastpath::{LocalAttach, FASTPATH_FIELD};
 use crate::master::{Master, PublisherEndpoint};
 use crate::metrics::TransportMetrics;
 use crate::traits::{Decode, RecvSlot};
 use crate::wire::{read_frame_len, ConnectionHeader};
-use rossf_netsim::MachineId;
+use crossbeam::channel::RecvTimeoutError;
+use rossf_netsim::{FaultAction, MachineId};
 use std::collections::HashMap;
 use std::io::{BufReader, Read};
 use std::net::{Shutdown, TcpStream};
@@ -67,7 +69,23 @@ impl<D: Decode> SubCore<D> {
                 return;
             }
             let mut handshaken = false;
-            let result = self.run_connection(&ep, was_connected, &mut handshaken);
+            let result = match self.local_port(&ep) {
+                Some(port) => {
+                    let r = self.run_local_connection(port, was_connected, &mut handshaken);
+                    match r {
+                        // The publisher refused the *capability*, not the
+                        // subscription (peer predates the fast path): fall
+                        // back to plain TCP in this same iteration.
+                        Err(RosError::Rejected(ref msg))
+                            if !handshaken && msg.contains(FASTPATH_FIELD) =>
+                        {
+                            self.run_connection(&ep, was_connected, &mut handshaken)
+                        }
+                        other => other,
+                    }
+                }
+                None => self.run_connection(&ep, was_connected, &mut handshaken),
+            };
             if handshaken {
                 was_connected = true;
                 attempt = 0; // healthy link existed; restart the schedule
@@ -121,6 +139,119 @@ impl<D: Decode> SubCore<D> {
             }
             std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
         }
+    }
+
+    /// The publisher's local attach port, if the zero-copy fast path
+    /// applies to this endpoint: both sides opted in, same simulated
+    /// machine, and the publisher lives in this process (its port is
+    /// registered with our master).
+    fn local_port(&self, ep: &PublisherEndpoint) -> Option<Arc<dyn LocalAttach>> {
+        if self.config.enable_fastpath && ep.machine == self.machine {
+            self.master.local_port(ep.id)
+        } else {
+            None
+        }
+    }
+
+    /// One fast-path attachment lifetime: the pointer-handoff analogue of
+    /// [`SubCore::reader_loop`]. Frames arrive as already-encoded
+    /// [`OutFrame`](crate::OutFrame)s straight from the publisher's
+    /// transmission queue and are adopted via [`Decode::from_local_frame`]
+    /// — for serialization-free messages, the subscriber object points at
+    /// the publisher's allocation. Fault injection, `validate_on_receive`,
+    /// and all metrics accounting mirror the socket path.
+    fn run_local_connection(
+        &self,
+        port: Arc<dyn LocalAttach>,
+        is_reconnect: bool,
+        handshaken: &mut bool,
+    ) -> Result<(), RosError> {
+        let request = ConnectionHeader::new()
+            .with("topic", &self.topic)
+            .with("type", D::topic_type())
+            .with("machine", self.machine.0.to_string())
+            .with("endian", ConnectionHeader::native_endian())
+            .with(FASTPATH_FIELD, "1");
+        let sink = port.attach_local(&request)?;
+        // Release the strong reference immediately: holding it through the
+        // receive loop would keep the publisher core (and its master
+        // registration) alive after the last `Publisher` handle drops. The
+        // sink's queue disconnects when the publisher tears down.
+        drop(port);
+        if let Some(err) = sink.reply.get("error") {
+            return Err(RosError::Rejected(err.to_string()));
+        }
+        if let Some(endian) = sink.reply.get("endian") {
+            if endian != ConnectionHeader::native_endian() {
+                return Err(RosError::Rejected(format!(
+                    "endianness mismatch: publisher is {endian}"
+                )));
+            }
+        }
+        self.connected.fetch_add(1, Ordering::Relaxed);
+        self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
+        *handshaken = true;
+        if is_reconnect {
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
+            self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Short timeout so shutdown is observed promptly; there is no
+            // socket to shut down from `Drop` on this path.
+            let frame = match sink.recv_timeout(Duration::from_millis(20)) {
+                Ok(frame) => frame,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break, // publisher gone
+            };
+            // The loopback link's fault injector applies to pointer handoff
+            // exactly as it does to socket writes.
+            match sink.frame_action() {
+                FaultAction::Pass => {}
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Drop => {
+                    self.metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                FaultAction::Sever => {
+                    // The frame is lost and the attachment is cut; re-attach
+                    // is refused until the link heals, so report retryable.
+                    self.metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+            let len = frame.len();
+            // There is no writer thread on this path: account the "send" at
+            // the moment of delivery so both paths report the same totals.
+            self.metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .bytes_sent
+                .fetch_add(len as u64, Ordering::Relaxed);
+            self.metrics.fastpath_frames.fetch_add(1, Ordering::Relaxed);
+            if self.config.validate_on_receive && D::verify_frame(frame.as_slice()).is_err() {
+                self.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match D::from_local_frame(&frame) {
+                Ok(msg) => {
+                    self.received.fetch_add(1, Ordering::Relaxed);
+                    self.received_bytes.fetch_add(len as u64, Ordering::Relaxed);
+                    self.metrics.frames_received.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .bytes_received
+                        .fetch_add(len as u64, Ordering::Relaxed);
+                    (self.callback)(msg);
+                }
+                Err(_) => {
+                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// One connection lifetime: connect, handshake, read frames until the
@@ -182,11 +313,11 @@ impl<D: Decode> SubCore<D> {
         // Steady-state reads block indefinitely; teardown happens via
         // socket shutdown, not timeouts.
         reader.get_ref().set_read_timeout(None)?;
-        self.connected.fetch_add(1, Ordering::SeqCst);
+        self.connected.fetch_add(1, Ordering::Relaxed);
         self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
         *handshaken = true;
         if is_reconnect {
-            self.reconnects.fetch_add(1, Ordering::SeqCst);
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
             self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
         }
 
@@ -224,8 +355,8 @@ impl<D: Decode> SubCore<D> {
                     }
                     match D::finish_slot(slot) {
                         Ok(msg) => {
-                            self.received.fetch_add(1, Ordering::SeqCst);
-                            self.received_bytes.fetch_add(len as u64, Ordering::SeqCst);
+                            self.received.fetch_add(1, Ordering::Relaxed);
+                            self.received_bytes.fetch_add(len as u64, Ordering::Relaxed);
                             self.metrics.frames_received.fetch_add(1, Ordering::Relaxed);
                             self.metrics
                                 .bytes_received
@@ -233,7 +364,7 @@ impl<D: Decode> SubCore<D> {
                             (self.callback)(msg);
                         }
                         Err(_) => {
-                            self.decode_errors.fetch_add(1, Ordering::SeqCst);
+                            self.decode_errors.fetch_add(1, Ordering::Relaxed);
                             self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -242,7 +373,7 @@ impl<D: Decode> SubCore<D> {
                     // Oversized for this message type (but within the
                     // transport cap): skip the frame's bytes to stay in
                     // sync.
-                    self.decode_errors.fetch_add(1, Ordering::SeqCst);
+                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
                     self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
                     std::io::copy(&mut (&mut reader).take(len as u64), &mut std::io::sink())?;
                 }
@@ -316,42 +447,45 @@ impl<D: Decode> Subscriber<D> {
     }
 
     /// Messages delivered to the callback so far.
+    ///
+    /// Counter getters use `Relaxed` loads: each counter is internally
+    /// consistent on its own and none is used to publish other memory.
     pub fn received(&self) -> u64 {
-        self.core.received.load(Ordering::SeqCst)
+        self.core.received.load(Ordering::Relaxed)
     }
 
     /// Total payload bytes delivered (the numerator of a `rostopic bw`
     /// style bandwidth estimate).
     pub fn received_bytes(&self) -> u64 {
-        self.core.received_bytes.load(Ordering::SeqCst)
+        self.core.received_bytes.load(Ordering::Relaxed)
     }
 
     /// Frames that failed decoding/adoption.
     pub fn decode_errors(&self) -> u64 {
-        self.core.decode_errors.load(Ordering::SeqCst)
+        self.core.decode_errors.load(Ordering::Relaxed)
     }
 
     /// Frames rejected by the structural verifier
     /// (`TransportConfig::validate_on_receive`) and dropped unadopted.
     pub fn verify_rejects(&self) -> u64 {
-        self.core.metrics.verify_rejects.load(Ordering::SeqCst)
+        self.core.metrics.verify_rejects.load(Ordering::Relaxed)
     }
 
     /// Publisher connections that completed the handshake.
     pub fn connection_count(&self) -> u64 {
-        self.core.connected.load(Ordering::SeqCst)
+        self.core.connected.load(Ordering::Relaxed)
     }
 
     /// Connection attempts made after a connection died (successful or
     /// not).
     pub fn reconnect_attempts(&self) -> u64 {
-        self.core.reconnect_attempts.load(Ordering::SeqCst)
+        self.core.reconnect_attempts.load(Ordering::Relaxed)
     }
 
     /// Reconnections that completed a handshake after a previous
     /// connection to the same publisher registration died.
     pub fn reconnects(&self) -> u64 {
-        self.core.reconnects.load(Ordering::SeqCst)
+        self.core.reconnects.load(Ordering::Relaxed)
     }
 
     /// The shared per-topic transport metrics this subscription reports

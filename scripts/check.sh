@@ -15,6 +15,12 @@ cargo run -q --release -p rossf-bench --bin sfm_verify -- --self-test
 echo "==> frame-corruption harness"
 cargo test -q -p rossf-msg --test verify_corruption
 
+echo "==> same-machine fast-path suite"
+cargo test -q -p rossf-ros --test fastpath
+
+echo "==> fast-path smoke (same-machine zero-copy vs forced TCP)"
+cargo run -q --release -p rossf-bench --bin link_sweep -- --iters 40 --fastpath-smoke
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

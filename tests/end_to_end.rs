@@ -84,8 +84,17 @@ fn sfm_relay_republishes_without_copy() {
 
 #[test]
 fn lifecycle_states_follow_fig8_and_fig9() {
+    // This test pins the *wire adoption* life cycle: the subscriber reads
+    // the frame into a fresh allocation with its own manager record
+    // (Fig. 9's dummy de-serialization). Force the TCP path — the
+    // same-machine zero-copy fast path shares the publisher's allocation
+    // instead (no second record; covered in crates/ros/tests/fastpath.rs).
     let master = Master::new();
-    let nh = NodeHandle::new(&master, "lifecycle");
+    let config = rossf_ros::TransportConfig {
+        enable_fastpath: false,
+        ..rossf_ros::TransportConfig::default()
+    };
+    let nh = NodeHandle::with_config(&master, "lifecycle", rossf_ros::MachineId::A, config);
     let publisher = nh.advertise::<SfmBox<SfmImage>>("lifecycle/topic", 8);
     let (tx, rx) = mpsc::channel();
     let _sub = nh.subscribe("lifecycle/topic", 8, move |m: SfmShared<SfmImage>| {
