@@ -6,9 +6,10 @@
 //! ```
 
 use rossf_baselines::WorkImage;
-use rossf_bench::experiments::{intra_plain, intra_sfm};
-use rossf_bench::report::{write_report, ScenarioReport};
+use rossf_bench::experiments::{intra_plain, intra_sfm, oneway_traced, TraceTier};
+use rossf_bench::report::{write_report, write_trace_report, ScenarioReport, TraceWaterfall};
 use rossf_bench::RunArgs;
+use rossf_ros::LinkProfile;
 
 fn main() {
     let args = RunArgs::from_env();
@@ -50,6 +51,37 @@ fn main() {
         "paper reference: ROS-SF reduces mean latency, growing with size, \
          up to ~76.3% at 6MB"
     );
+
+    println!("\n--- stage-latency attribution: traced one-way 1MB frame, intra tiers ---");
+    let (w, h) = (664, 504); // ~1 MB RGB frame
+    let mut tiers: Vec<TraceWaterfall> = Vec::new();
+    // Intra-machine: the zero-copy fast path and the same frames forced
+    // over unshaped loopback TCP.
+    for tier in [TraceTier::Fastpath, TraceTier::Tcp] {
+        let (stats, snapshot) = oneway_traced(args, w, h, tier, LinkProfile::UNLIMITED);
+        print!(
+            "{}",
+            rossf_trace::render_waterfall(std::slice::from_ref(&snapshot))
+        );
+        let wf = TraceWaterfall {
+            label: tier.label().to_string(),
+            snapshot,
+            e2e_mean_us: stats.mean_ms * 1_000.0,
+        };
+        println!(
+            "{:<9} e2e mean {:>10.1} µs, stage sum {:>10.1} µs, error {:>5.1}%\n",
+            tier.label(),
+            wf.e2e_mean_us,
+            wf.stage_sum_us(),
+            wf.sum_error() * 100.0
+        );
+        tiers.push(wf);
+    }
+    match write_trace_report("fig13", &tiers) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write TRACE_fig13.json: {e}"),
+    }
+
     match write_report("fig13", &rows) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_fig13.json: {e}"),

@@ -16,9 +16,10 @@
 
 use rossf_baselines::WorkImage;
 use rossf_bench::experiments::{
-    pingpong_plain, pingpong_same_machine, pingpong_sfm, pingpong_sfm_with,
+    oneway_traced, pingpong_plain, pingpong_same_machine, pingpong_sfm, pingpong_sfm_with,
+    TraceTier,
 };
-use rossf_bench::report::{write_report, ScenarioReport};
+use rossf_bench::report::{write_report, write_trace_report, ScenarioReport, TraceWaterfall};
 use rossf_bench::RunArgs;
 use rossf_ros::LinkProfile;
 
@@ -111,6 +112,35 @@ fn main() {
         "same-machine p50 speedup at 1MB: {speedup_1mb:.1}x (target: >=3x for the \
          zero-copy fast path)"
     );
+
+    println!("\n--- stage-latency attribution: traced one-way 1MB frame, all tiers ---");
+    let (w, h) = (664, 504); // ~1 MB RGB frame
+    let mut tiers: Vec<TraceWaterfall> = Vec::new();
+    for tier in [TraceTier::Tcp, TraceTier::Fastpath, TraceTier::Local] {
+        let (stats, snapshot) = oneway_traced(args, w, h, tier, link);
+        print!(
+            "{}",
+            rossf_trace::render_waterfall(std::slice::from_ref(&snapshot))
+        );
+        let wf = TraceWaterfall {
+            label: tier.label().to_string(),
+            snapshot,
+            e2e_mean_us: stats.mean_ms * 1_000.0,
+        };
+        println!(
+            "{:<9} e2e mean {:>10.1} µs, stage sum {:>10.1} µs, error {:>5.1}% \
+             (target: <10%)\n",
+            tier.label(),
+            wf.e2e_mean_us,
+            wf.stage_sum_us(),
+            wf.sum_error() * 100.0
+        );
+        tiers.push(wf);
+    }
+    match write_trace_report("fig16", &tiers) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write TRACE_fig16.json: {e}"),
+    }
 
     println!();
     println!(

@@ -6,9 +6,10 @@
 //! cargo run -p rossf-bench --release --bin fig18_slam [--iters N] [--hz F]
 //! ```
 
-use rossf_bench::experiments::{slam_case_study, Family, SlamLatencies};
-use rossf_bench::report::{write_report, ScenarioReport};
+use rossf_bench::experiments::{oneway_traced, slam_case_study, Family, SlamLatencies, TraceTier};
+use rossf_bench::report::{write_report, write_trace_report, ScenarioReport, TraceWaterfall};
 use rossf_bench::RunArgs;
+use rossf_ros::LinkProfile;
 use std::time::Duration;
 
 fn main() {
@@ -66,6 +67,31 @@ fn main() {
     match write_report("fig18", &rows) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_fig18.json: {e}"),
+    }
+
+    // Stage-latency attribution for the SLAM input hop: one traced one-way
+    // run at the 640x480 frame size on the intra-machine fast path.
+    println!("\n--- stage-latency attribution: traced 640x480 input hop (fast path) ---");
+    let (stats, snapshot) =
+        oneway_traced(args, 640, 480, TraceTier::Fastpath, LinkProfile::UNLIMITED);
+    print!(
+        "{}",
+        rossf_trace::render_waterfall(std::slice::from_ref(&snapshot))
+    );
+    let wf = TraceWaterfall {
+        label: TraceTier::Fastpath.label().to_string(),
+        snapshot,
+        e2e_mean_us: stats.mean_ms * 1_000.0,
+    };
+    println!(
+        "fastpath  e2e mean {:>10.1} µs, stage sum {:>10.1} µs, error {:>5.1}%",
+        wf.e2e_mean_us,
+        wf.stage_sum_us(),
+        wf.sum_error() * 100.0
+    );
+    match write_trace_report("fig18", &[wf]) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write TRACE_fig18.json: {e}"),
     }
 }
 

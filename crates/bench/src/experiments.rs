@@ -13,7 +13,10 @@ use rossf_msg::sensor_msgs::{Image, SfmImage};
 use rossf_msg::std_msgs::Header;
 use rossf_ros::time::{now_nanos, RosTime};
 use rossf_ros::wire::{read_frame_len, write_frame};
-use rossf_ros::{LinkProfile, MachineId, Master, NodeHandle, Publisher, TransportConfig};
+use rossf_ros::{
+    LinkProfile, LocalBus, MachineId, Master, NodeHandle, Publisher, PublisherOptions,
+    SubscriberOptions, TransportConfig,
+};
 use rossf_sfm::{SfmBox, SfmShared};
 use rossf_slam::dataset::Sequence;
 use rossf_slam::pipeline::{
@@ -370,6 +373,180 @@ pub fn pingpong_same_machine(args: RunArgs, width: u32, height: u32, fastpath: b
     Stats::from_nanos(lat)
 }
 
+/// Build one synthetic `SfmImage` with the creation time inside.
+fn make_sfm_image(seq: u32, width: u32, height: u32, pixels: &[u8], t0: u64) -> SfmBox<SfmImage> {
+    let mut img = SfmBox::<SfmImage>::new();
+    img.header.seq = seq;
+    img.header.stamp = RosTime::from_nanos(t0);
+    img.header.frame_id.assign("camera");
+    img.height = height;
+    img.width = width;
+    img.encoding.assign("rgb8");
+    img.step = width * 3;
+    img.data.assign(pixels);
+    img
+}
+
+/// The transport tier a traced one-way run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceTier {
+    /// Shaped inter-machine TCP (publisher on machine A, subscriber on B).
+    Tcp,
+    /// Same-process pointer handoff.
+    Fastpath,
+    /// The synchronous in-process [`LocalBus`].
+    Local,
+}
+
+impl TraceTier {
+    /// Series label used in trace reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceTier::Tcp => "tcp",
+            TraceTier::Fastpath => "fastpath",
+            TraceTier::Local => "local",
+        }
+    }
+}
+
+/// A traced one-way pipeline (single publisher, single subscriber, one
+/// topic — the shape `rossf_trace::check_monotone` assumes) with per-stage
+/// tracing enabled on both endpoints. Returns the end-to-end latency
+/// summary and the per-stage histograms; because the stages telescope, the
+/// sum of stage means should land near the e2e mean.
+///
+/// `validate_on_receive` is on so the `verify` stage appears in the
+/// waterfall.
+///
+/// # Panics
+///
+/// Panics when messages are lost or the trace table is missing.
+pub fn oneway_traced(
+    args: RunArgs,
+    width: u32,
+    height: u32,
+    tier: TraceTier,
+    link: LinkProfile,
+) -> (Stats, rossf_trace::TopicSnapshot) {
+    let (stats, snapshot) = oneway_run(args, width, height, tier, link, true);
+    (stats, snapshot.expect("trace table for traced run"))
+}
+
+/// The same one-way pipeline as [`oneway_traced`] with tracing left off —
+/// the control arm of the tracing-overhead gate (`sfm_trace
+/// --overhead-gate`). No clock reads or histogram writes happen on this
+/// path.
+pub fn oneway_untraced(
+    args: RunArgs,
+    width: u32,
+    height: u32,
+    tier: TraceTier,
+    link: LinkProfile,
+) -> Stats {
+    oneway_run(args, width, height, tier, link, false).0
+}
+
+fn oneway_run(
+    args: RunArgs,
+    width: u32,
+    height: u32,
+    tier: TraceTier,
+    link: LinkProfile,
+    traced: bool,
+) -> (Stats, Option<rossf_trace::TopicSnapshot>) {
+    fresh_cell();
+    let pixels = WorkImage::synthetic(width, height).data;
+    let (tx, rx) = mpsc::channel();
+
+    let run = |publish: &mut dyn FnMut(u32, u64)| {
+        let mut lat = Vec::with_capacity(args.iters);
+        for seq in 0..args.iters {
+            let t0 = now_nanos();
+            publish(seq as u32, t0);
+            lat.push(drain_one(&rx, "oneway traced"));
+            std::thread::sleep(args.gap());
+        }
+        Stats::from_nanos(lat)
+    };
+
+    match tier {
+        TraceTier::Local => {
+            let bus = LocalBus::new();
+            let topic = unique_topic("trace_local");
+            let _sub = bus
+                .subscribe_with(
+                    &topic,
+                    SubscriberOptions::new().trace(traced),
+                    move |m: SfmShared<SfmImage>| {
+                        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                    },
+                )
+                .expect("local subscribe");
+            let stats = run(&mut |seq, t0| {
+                let img = make_sfm_image(seq, width, height, &pixels, t0);
+                bus.publish(&topic, &img).expect("local publish");
+            });
+            let snapshot = traced.then(|| {
+                rossf_trace::tracer()
+                    .topic_snapshot(&topic)
+                    .expect("trace table for local topic")
+            });
+            (stats, snapshot)
+        }
+        TraceTier::Fastpath | TraceTier::Tcp => {
+            let master = Master::new();
+            let (config, pub_machine, sub_machine) = if tier == TraceTier::Tcp {
+                master.links().connect(MachineId::A, MachineId::B, link);
+                (
+                    TransportConfig {
+                        validate_on_receive: true,
+                        enable_fastpath: false,
+                        ..TransportConfig::default()
+                    },
+                    MachineId::A,
+                    MachineId::B,
+                )
+            } else {
+                (
+                    TransportConfig {
+                        validate_on_receive: true,
+                        ..TransportConfig::default()
+                    },
+                    MachineId::A,
+                    MachineId::A,
+                )
+            };
+            let nh_pub = NodeHandle::with_config(&master, "trace_pub", pub_machine, config.clone());
+            let nh_sub = NodeHandle::with_config(&master, "trace_sub", sub_machine, config);
+            let topic = unique_topic(if tier == TraceTier::Tcp {
+                "trace_tcp"
+            } else {
+                "trace_fastpath"
+            });
+            let publisher: Publisher<SfmBox<SfmImage>> =
+                nh_pub.advertise_with(&topic, PublisherOptions::new().queue_size(8).trace(traced));
+            let _sub = nh_sub.subscribe_with(
+                &topic,
+                SubscriberOptions::new().trace(traced),
+                move |m: SfmShared<SfmImage>| {
+                    let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                },
+            );
+            nh_pub.wait_for_subscribers(&publisher, 1);
+            let stats = run(&mut |seq, t0| {
+                publisher.publish(&make_sfm_image(seq, width, height, &pixels, t0));
+            });
+            dump_transport_metrics("oneway traced", &master);
+            let snapshot = traced.then(|| {
+                rossf_trace::tracer()
+                    .topic_snapshot(&topic)
+                    .expect("trace table for topic")
+            });
+            (stats, snapshot)
+        }
+    }
+}
+
 /// Latency sets measured by the three output subscribers of Fig. 17.
 #[derive(Debug, Clone)]
 pub struct SlamLatencies {
@@ -601,6 +778,66 @@ mod tests {
         assert_eq!(tcp.n, 5);
         assert!(fast.mean_ms > 0.0 && fast.mean_ms < 1000.0);
         assert!(tcp.mean_ms > 0.0 && tcp.mean_ms < 1000.0);
+    }
+
+    #[test]
+    fn oneway_traced_covers_all_three_tiers() {
+        let link = LinkProfile {
+            bandwidth_bps: 1_000_000_000,
+            latency: Duration::from_micros(100),
+        };
+        use rossf_trace::Stage;
+        for (tier, want_stages) in [
+            (
+                TraceTier::Local,
+                vec![Stage::Alloc, Stage::Encode, Stage::Adopt, Stage::Callback],
+            ),
+            (
+                TraceTier::Fastpath,
+                vec![
+                    Stage::Alloc,
+                    Stage::Encode,
+                    Stage::Enqueue,
+                    Stage::Verify,
+                    Stage::Adopt,
+                    Stage::Callback,
+                ],
+            ),
+            (
+                TraceTier::Tcp,
+                vec![
+                    Stage::Alloc,
+                    Stage::Encode,
+                    Stage::Enqueue,
+                    Stage::WireWrite,
+                    Stage::WireRead,
+                    Stage::Verify,
+                    Stage::Adopt,
+                    Stage::Callback,
+                ],
+            ),
+        ] {
+            let (stats, snap) = oneway_traced(tiny(), 32, 32, tier, link);
+            assert_eq!(stats.n, 5, "{tier:?}");
+            for stage in want_stages {
+                let cell = snap
+                    .cells
+                    .iter()
+                    .find(|c| c.stage == stage)
+                    .unwrap_or_else(|| panic!("{tier:?} missing stage {stage:?}"));
+                assert_eq!(cell.hist.count, 5, "{tier:?} stage {stage:?} sample count");
+            }
+            // The telescoping property that makes the waterfall meaningful:
+            // per-stage means sum to the neighborhood of the measured e2e
+            // (loose here — CI boxes are noisy; the harness binaries report
+            // the exact error).
+            let sum_ms = snap.stage_sum_ns(true) / 1e6;
+            assert!(
+                sum_ms > 0.0 && sum_ms < stats.mean_ms * 3.0,
+                "{tier:?}: stage sum {sum_ms} ms vs e2e mean {} ms",
+                stats.mean_ms
+            );
+        }
     }
 
     #[test]

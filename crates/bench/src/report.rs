@@ -7,8 +7,72 @@
 //! the latency percentiles and derived throughput.
 
 use crate::stats::Stats;
+use rossf_trace::{Stage, TopicSnapshot};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+
+/// Provenance of one benchmark run, embedded in every report document so a
+/// results file can be matched to the code and build that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// `git rev-parse HEAD` of the working tree, or `"unknown"` outside a
+    /// repository.
+    pub git_sha: String,
+    /// UTC wall-clock time of the run, `YYYY-MM-DDTHH:MM:SSZ`.
+    pub timestamp_utc: String,
+    /// Cargo profile the harness was compiled under.
+    pub profile: &'static str,
+}
+
+impl RunMeta {
+    /// Capture the current process's provenance.
+    pub fn capture() -> RunMeta {
+        let git_sha = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        RunMeta {
+            git_sha,
+            timestamp_utc: utc_timestamp(secs),
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        }
+    }
+}
+
+/// Format seconds-since-Unix-epoch as `YYYY-MM-DDTHH:MM:SSZ` (the workspace
+/// carries no date crate; the civil-date conversion is the standard
+/// days-to-date algorithm).
+fn utc_timestamp(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let rem = unix_secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    // Shift epoch from 1970-01-01 to 0000-03-01 so leap days land at the
+    // end of the (shifted) year.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
 
 /// One measured scenario: a (series, payload) cell of a figure.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,11 +137,21 @@ fn num(v: f64) -> String {
     }
 }
 
+fn meta_fragment(meta: &RunMeta) -> String {
+    format!(
+        "  \"meta\": {{\"git_sha\": \"{}\", \"timestamp_utc\": \"{}\", \"profile\": \"{}\"}},\n",
+        escape(&meta.git_sha),
+        escape(&meta.timestamp_utc),
+        meta.profile,
+    )
+}
+
 /// Render the report document for `fig` (e.g. `"fig16"`).
-pub fn render_json(fig: &str, rows: &[ScenarioReport]) -> String {
+pub fn render_json(fig: &str, meta: &RunMeta, rows: &[ScenarioReport]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"fig\": \"{}\",\n", escape(fig)));
+    out.push_str(&meta_fragment(meta));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -113,7 +187,92 @@ pub fn write_report(fig: &str, rows: &[ScenarioReport]) -> io::Result<PathBuf> {
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("BENCH_{fig}.json"));
     let mut file = std::fs::File::create(&path)?;
-    file.write_all(render_json(fig, rows).as_bytes())?;
+    file.write_all(render_json(fig, &RunMeta::capture(), rows).as_bytes())?;
+    Ok(path)
+}
+
+/// One measured tier of a figure's trace section: a stage-latency waterfall
+/// plus the end-to-end latency it should telescope to.
+#[derive(Debug, Clone)]
+pub struct TraceWaterfall {
+    /// Series label, e.g. `"tcp"`, `"fastpath"`, `"local"`.
+    pub label: String,
+    /// The per-topic stage histograms collected during the run.
+    pub snapshot: TopicSnapshot,
+    /// Mean end-to-end latency measured by the harness, microseconds.
+    pub e2e_mean_us: f64,
+}
+
+impl TraceWaterfall {
+    /// Sum of per-stage mean durations (callback included, faults
+    /// excluded), microseconds. Stages telescope, so this should land near
+    /// `e2e_mean_us`.
+    pub fn stage_sum_us(&self) -> f64 {
+        self.snapshot.stage_sum_ns(true) / 1e3
+    }
+
+    /// `|stage_sum − e2e| / e2e`, the telescoping-consistency measure the
+    /// harness gates on (0 when e2e was not measured).
+    pub fn sum_error(&self) -> f64 {
+        if self.e2e_mean_us > 0.0 {
+            (self.stage_sum_us() - self.e2e_mean_us).abs() / self.e2e_mean_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Render the trace document for `fig` (e.g. `"fig16"`).
+pub fn render_trace_json(fig: &str, meta: &RunMeta, tiers: &[TraceWaterfall]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"fig\": \"{}\",\n", escape(fig)));
+    out.push_str(&meta_fragment(meta));
+    out.push_str("  \"tiers\": [\n");
+    for (i, t) in tiers.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tier\": \"{}\", \"topic\": \"{}\", \"e2e_mean_us\": {}, \"stage_sum_us\": {}, \"sum_error\": {}, \"stages\": [\n",
+            escape(&t.label),
+            escape(&t.snapshot.topic),
+            num(t.e2e_mean_us),
+            num(t.stage_sum_us()),
+            num(t.sum_error()),
+        ));
+        let cells: Vec<_> = t
+            .snapshot
+            .cells
+            .iter()
+            .filter(|c| c.stage != Stage::Fault)
+            .collect();
+        for (j, c) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"stage\": \"{}\", \"tier\": \"{}\", \"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{}\n",
+                c.stage.name(),
+                c.tier.name(),
+                c.hist.count,
+                num(c.hist.mean_ns() / 1e3),
+                num(c.hist.quantile_ns(0.5) / 1e3),
+                num(c.hist.quantile_ns(0.99) / 1e3),
+                num(c.hist.max_ns as f64 / 1e3),
+                if j + 1 < cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < tiers.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `results/TRACE_<fig>.json`, creating the directory if needed.
+pub fn write_trace_report(fig: &str, tiers: &[TraceWaterfall]) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("TRACE_{fig}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(render_trace_json(fig, &RunMeta::capture(), tiers).as_bytes())?;
     Ok(path)
 }
 
@@ -123,6 +282,14 @@ mod tests {
 
     fn stats() -> Stats {
         Stats::from_nanos(vec![1_000_000, 2_000_000, 3_000_000])
+    }
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            git_sha: "abc123".to_string(),
+            timestamp_utc: utc_timestamp(0),
+            profile: "debug",
+        }
     }
 
     #[test]
@@ -139,18 +306,65 @@ mod tests {
     fn render_escapes_and_terminates_rows() {
         let mut r = ScenarioReport::from_stats("a\"b\\c", 7, &stats());
         r.msgs_per_s = f64::NAN; // must not leak a NaN literal into JSON
-        let json = render_json("figX", &[r.clone(), r]);
+        let json = render_json("figX", &meta(), &[r.clone(), r]);
         assert!(json.contains("\"fig\": \"figX\""));
         assert!(json.contains("a\\\"b\\\\c"));
         assert!(json.contains("\"msgs_per_s\": 0.000000"));
-        // Exactly one separating comma between the two rows.
-        assert_eq!(json.matches("},\n").count(), 1);
+        // One comma between the two scenario rows, one after the meta line.
+        assert_eq!(json.matches("},\n").count(), 2);
         assert!(!json.contains("NaN"));
     }
 
     #[test]
     fn render_empty_is_valid() {
-        let json = render_json("fig0", &[]);
+        let json = render_json("fig0", &meta(), &[]);
         assert!(json.contains("\"scenarios\": [\n  ]"));
+        assert!(json.contains("\"git_sha\": \"abc123\""));
+        assert!(json.contains("\"profile\": \"debug\""));
+    }
+
+    #[test]
+    fn utc_timestamp_converts_known_instants() {
+        assert_eq!(utc_timestamp(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29 (leap day) 12:34:56 UTC.
+        assert_eq!(utc_timestamp(951_827_696), "2000-02-29T12:34:56Z");
+        // 2026-01-01 00:00:00 UTC.
+        assert_eq!(utc_timestamp(1_767_225_600), "2026-01-01T00:00:00Z");
+    }
+
+    #[test]
+    fn captured_meta_is_well_formed() {
+        let m = RunMeta::capture();
+        assert!(!m.git_sha.is_empty());
+        assert!(m.timestamp_utc.ends_with('Z'));
+        assert!(m.profile == "debug" || m.profile == "release");
+    }
+
+    #[test]
+    fn trace_json_includes_stages_and_consistency() {
+        use rossf_trace::{Stage, StageHist, Tier};
+        let hist = StageHist::new();
+        hist.record(1_000);
+        hist.record(3_000);
+        let snapshot = rossf_trace::TopicSnapshot {
+            topic: "t".to_string(),
+            cells: vec![rossf_trace::StageCell {
+                stage: Stage::Encode,
+                tier: Tier::Local,
+                hist: hist.snapshot(),
+            }],
+        };
+        let wf = TraceWaterfall {
+            label: "local".to_string(),
+            snapshot,
+            e2e_mean_us: 2.0,
+        };
+        assert!((wf.stage_sum_us() - 2.0).abs() < 1e-9);
+        assert!(wf.sum_error() < 1e-9);
+        let json = render_trace_json("figT", &meta(), &[wf]);
+        assert!(json.contains("\"tier\": \"local\""));
+        assert!(json.contains("\"stage\": \"encode\""));
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"sum_error\": 0.000000"));
     }
 }

@@ -90,6 +90,10 @@ pub fn drain_alloc_pool() {
 pub struct SfmAlloc {
     ptr: NonNull<u8>,
     capacity: usize,
+    /// Birth timestamp on the tracing clock, or 0 when the tracer was not
+    /// armed at allocation time. Recycled pool entries are re-stamped: the
+    /// `alloc` span measures this message's construction, not the region's.
+    born_ns: u64,
 }
 
 // SAFETY: SfmAlloc uniquely owns its region; shared access is `&self` reads
@@ -109,6 +113,11 @@ impl SfmAlloc {
     /// or on allocation failure.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "SFM allocation must be nonempty");
+        let born_ns = if rossf_trace::tracer().armed() {
+            rossf_trace::now_nanos()
+        } else {
+            0
+        };
         if capacity >= POOL_MIN_SIZE {
             let mut pool = pool().lock().expect("pool lock");
             if let Some(idx) = pool.entries.iter().position(|e| e.capacity == capacity) {
@@ -117,6 +126,7 @@ impl SfmAlloc {
                 return SfmAlloc {
                     ptr: entry.ptr,
                     capacity: entry.capacity,
+                    born_ns,
                 };
             }
         }
@@ -127,7 +137,11 @@ impl SfmAlloc {
         let Some(ptr) = NonNull::new(raw) else {
             handle_alloc_error(layout)
         };
-        SfmAlloc { ptr, capacity }
+        SfmAlloc {
+            ptr,
+            capacity,
+            born_ns,
+        }
     }
 
     /// Zero the first `n` bytes (used to initialize skeletons; an all-zero
@@ -153,6 +167,14 @@ impl SfmAlloc {
     #[inline]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// When this allocation was handed out, on the
+    /// [`rossf_trace::now_nanos`] clock — 0 if tracing was not armed at
+    /// allocation time. Anchors the `alloc` stage span.
+    #[inline]
+    pub fn born_ns(&self) -> u64 {
+        self.born_ns
     }
 
     /// Raw base pointer.

@@ -360,6 +360,15 @@ impl PublishedBuffer {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Birth timestamp of the backing allocation on the tracing clock
+    /// (0 when tracing was not armed when the buffer was allocated). The
+    /// transport uses this to anchor the `alloc` stage span without any
+    /// extra bookkeeping on the publish path.
+    #[inline]
+    pub fn alloc_ns(&self) -> u64 {
+        self.buffer.born_ns()
+    }
 }
 
 impl core::fmt::Debug for PublishedBuffer {

@@ -51,6 +51,9 @@ struct Record {
     state: MessageState,
     type_name: &'static str,
     buffer: Arc<SfmAlloc>,
+    /// When the record was created, on the tracing clock (0 when tracing
+    /// was not armed at registration time).
+    registered_ns: u64,
 }
 
 /// A snapshot of one record, for introspection and tests.
@@ -69,6 +72,10 @@ pub struct RecordInfo {
     /// Strong count of the underlying buffer (includes the record's own
     /// clone).
     pub buffer_refs: usize,
+    /// When the record was created, on the [`rossf_trace::now_nanos`]
+    /// clock — 0 unless tracing was armed at registration time. Lets the
+    /// tracer attribute manager-resident lifetime per message.
+    pub registered_ns: u64,
 }
 
 /// Cumulative counters exposed for benchmarks and EXPERIMENTS.md.
@@ -291,6 +298,7 @@ impl MessageManager {
             used: skeleton_size,
             state: MessageState::Allocated,
             type_name,
+            registered_ns: buffer.born_ns(),
             buffer,
         });
         self.registered.fetch_add(1, Ordering::Relaxed);
@@ -303,12 +311,18 @@ impl MessageManager {
     pub fn adopt(&self, buffer: Arc<SfmAlloc>, used: usize, type_name: &'static str) {
         debug_assert!(used <= buffer.capacity());
         let (start, end) = (buffer.base(), buffer.base() + buffer.capacity());
+        let registered_ns = if rossf_trace::tracer().armed() {
+            rossf_trace::now_nanos()
+        } else {
+            0
+        };
         self.insert(Record {
             start,
             capacity: buffer.capacity(),
             used,
             state: MessageState::Published,
             type_name,
+            registered_ns,
             buffer,
         });
         self.registered.fetch_add(1, Ordering::Relaxed);
@@ -530,6 +544,7 @@ impl MessageManager {
                     state: r.state,
                     type_name: r.type_name,
                     buffer_refs: Arc::strong_count(&r.buffer),
+                    registered_ns: r.registered_ns,
                 })
                 .collect()
         };
@@ -589,6 +604,7 @@ impl MessageManager {
                 state: r.state,
                 type_name: r.type_name,
                 buffer_refs: Arc::strong_count(&r.buffer),
+                registered_ns: r.registered_ns,
             }
         })
     }

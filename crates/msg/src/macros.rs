@@ -198,7 +198,7 @@ macro_rules! ros_message_impls {
         impl ::rossf_ros::Encode for $plain {
             /// The baseline publish path: serialize into a fresh buffer.
             fn encode(&self) -> ::rossf_ros::OutFrame {
-                ::rossf_ros::OutFrame::Owned(::std::sync::Arc::new(
+                ::rossf_ros::OutFrame::owned(::std::sync::Arc::new(
                     ::rossf_ros::ser::RosMessage::to_bytes(self),
                 ))
             }

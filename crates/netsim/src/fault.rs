@@ -80,6 +80,7 @@ impl FaultInjector {
     pub fn sever_now(&self) {
         if !self.severed.swap(true, Ordering::SeqCst) {
             self.severs.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault("sever", 0);
         }
     }
 
@@ -114,15 +115,35 @@ impl FaultInjector {
             FaultAction::Pass => {
                 self.frames_passed.fetch_add(1, Ordering::Relaxed);
             }
-            FaultAction::Delay(_) => {
+            FaultAction::Delay(d) => {
                 self.frames_delayed.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault("delay", d.as_nanos() as u64);
             }
             FaultAction::Drop => {
                 self.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault("drop", 0);
             }
-            FaultAction::Sever => self.sever_now(),
+            FaultAction::Sever => {
+                // `sever_now` tags the fault into the trace stream itself
+                // (first sever only, matching the latch).
+                self.sever_now();
+            }
         }
         action
+    }
+
+    /// Tag an injected fault into the tracing event stream (trace id 0) so
+    /// a waterfall can show a delayed frame next to its inflated wire span.
+    /// A no-op unless the tracer is armed.
+    fn trace_fault(&self, kind: &str, dur_ns: u64) {
+        let tracer = rossf_trace::tracer();
+        if tracer.armed() {
+            tracer.fault_event(
+                &format!("netsim/{kind}@frame{}", self.frames_seen()),
+                rossf_trace::Tier::Tcp,
+                dur_ns,
+            );
+        }
     }
 
     /// Frames discarded by `Drop` rules so far.

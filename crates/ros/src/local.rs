@@ -11,9 +11,11 @@
 //! against TCP loopback.
 
 use crate::error::RosError;
+use crate::options::SubscriberOptions;
 use crate::traits::{Decode, Encode};
 use crate::wire::OutFrame;
 use parking_lot::RwLock;
+use rossf_trace::{now_nanos, tracer, Stage, Tier, TopicTrace};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,6 +25,9 @@ type LocalDelivery = Arc<dyn Fn(&OutFrame) + Send + Sync>;
 struct LocalTopic {
     type_name: &'static str,
     subscribers: Vec<(u64, LocalDelivery)>,
+    /// Set when any subscription on this topic enabled tracing: `publish`
+    /// then records the publish-side spans at [`Tier::Local`].
+    trace: Option<Arc<TopicTrace>>,
 }
 
 struct BusInner {
@@ -64,10 +69,59 @@ impl LocalBus {
         D: Decode,
         F: Fn(D) + Send + Sync + 'static,
     {
+        self.subscribe_with(topic, SubscriberOptions::new(), callback)
+    }
+
+    /// [`LocalBus::subscribe`] with the full option set: the same
+    /// [`SubscriberOptions`] the socket transport takes (only the tracing
+    /// switch is meaningful here — there is no queue or transport config on
+    /// the synchronous bus).
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`] when the topic carries another type.
+    pub fn subscribe_with<D, F>(
+        &self,
+        topic: &str,
+        options: SubscriberOptions,
+        callback: F,
+    ) -> Result<LocalSubscription, RosError>
+    where
+        D: Decode,
+        F: Fn(D) + Send + Sync + 'static,
+    {
+        let trace = if options.trace_enabled() {
+            tracer().arm();
+            Some(tracer().topic(topic))
+        } else {
+            None
+        };
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let sub_trace = trace.clone();
         let deliver: LocalDelivery = Arc::new(move |frame| {
-            if let Ok(msg) = D::from_local_frame(frame) {
+            let tag = frame.trace();
+            let traced = if tag.id != 0 {
+                sub_trace.as_deref()
+            } else {
+                None
+            };
+            let mut t_prev = tag.enqueued_ns;
+            let decoded = D::from_local_frame(frame);
+            if let Some(table) = traced {
+                if decoded.is_ok() && t_prev != 0 {
+                    // Synchronous dispatch: the hop from `publish` to here
+                    // folds into `adopt` (there is no queue to dwell in).
+                    let t = now_nanos();
+                    tracer().span(table, Stage::Adopt, Tier::Local, tag.id, t_prev, t);
+                    t_prev = t;
+                }
+            }
+            if let Ok(msg) = decoded {
                 callback(msg);
+                if let Some(table) = traced {
+                    let t = now_nanos();
+                    tracer().span(table, Stage::Callback, Tier::Local, tag.id, t_prev, t);
+                }
             }
         });
         let mut topics = self.inner.topics.write();
@@ -76,6 +130,7 @@ impl LocalBus {
             .or_insert_with(|| LocalTopic {
                 type_name: D::topic_type(),
                 subscribers: Vec::new(),
+                trace: None,
             });
         if entry.type_name != D::topic_type() {
             return Err(RosError::TypeMismatch {
@@ -83,6 +138,9 @@ impl LocalBus {
                 registered: entry.type_name.to_string(),
                 attempted: D::topic_type().to_string(),
             });
+        }
+        if trace.is_some() {
+            entry.trace = trace;
         }
         entry.subscribers.push((id, deliver));
         Ok(LocalSubscription {
@@ -111,7 +169,22 @@ impl LocalBus {
                 attempted: M::topic_type().to_string(),
             });
         }
-        let frame = msg.encode();
+        // Publish-side spans at the local tier, mirroring `Publisher::publish`:
+        // one clock read brackets `encode`, `alloc` falls out of the buffer's
+        // allocation timestamp. Untraced topics skip every clock read.
+        let t_pub = entry.trace.as_ref().map(|_| now_nanos());
+        let mut frame = msg.encode();
+        if let (Some(table), Some(t0)) = (entry.trace.as_deref(), t_pub) {
+            let t1 = now_nanos();
+            let id = tracer().next_trace_id();
+            let tag = frame.trace_mut();
+            tag.id = id;
+            if tag.born_ns != 0 && tag.born_ns <= t0 {
+                tracer().span(table, Stage::Alloc, Tier::Local, id, tag.born_ns, t0);
+            }
+            tracer().span(table, Stage::Encode, Tier::Local, id, t0, t1);
+            tag.enqueued_ns = t1;
+        }
         for (_, deliver) in &entry.subscribers {
             deliver(&frame);
         }

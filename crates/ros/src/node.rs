@@ -3,6 +3,7 @@
 use crate::config::TransportConfig;
 use crate::error::RosError;
 use crate::master::Master;
+use crate::options::{PublisherOptions, SubscriberOptions};
 use crate::publisher::Publisher;
 use crate::subscriber::Subscriber;
 use crate::traits::{Decode, Encode};
@@ -103,10 +104,40 @@ impl NodeHandle {
         topic: &str,
         queue_size: usize,
     ) -> Result<Publisher<M>, RosError> {
-        Publisher::create(
+        self.try_advertise_with(topic, PublisherOptions::new().queue_size(queue_size))
+    }
+
+    /// [`NodeHandle::advertise`] with the full option set
+    /// ([`PublisherOptions`]): per-publisher transport override and the
+    /// tracing switch, in addition to the queue size.
+    ///
+    /// # Panics
+    ///
+    /// As [`NodeHandle::advertise`]; use
+    /// [`NodeHandle::try_advertise_with`] to handle failures.
+    pub fn advertise_with<M: Encode>(
+        &self,
+        topic: &str,
+        options: PublisherOptions,
+    ) -> Publisher<M> {
+        self.try_advertise_with(topic, options)
+            .unwrap_or_else(|e| panic!("advertise({topic}) failed: {e}"))
+    }
+
+    /// Fallible variant of [`NodeHandle::advertise_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`] or [`RosError::Io`].
+    pub fn try_advertise_with<M: Encode>(
+        &self,
+        topic: &str,
+        options: PublisherOptions,
+    ) -> Result<Publisher<M>, RosError> {
+        Publisher::create_with(
             &self.master,
             topic,
-            queue_size,
+            options,
             self.machine,
             self.config.clone(),
         )
@@ -151,9 +182,48 @@ impl NodeHandle {
     where
         F: Fn(D) + Send + Sync + 'static,
     {
-        Subscriber::create(
+        self.try_subscribe_with(topic, SubscriberOptions::new(), callback)
+    }
+
+    /// [`NodeHandle::subscribe`] with the full option set
+    /// ([`SubscriberOptions`]): per-subscription transport override and the
+    /// tracing switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type mismatch; use [`NodeHandle::try_subscribe_with`] to
+    /// handle it.
+    pub fn subscribe_with<D: Decode, F>(
+        &self,
+        topic: &str,
+        options: SubscriberOptions,
+        callback: F,
+    ) -> Subscriber<D>
+    where
+        F: Fn(D) + Send + Sync + 'static,
+    {
+        self.try_subscribe_with(topic, options, callback)
+            .unwrap_or_else(|e| panic!("subscribe({topic}) failed: {e}"))
+    }
+
+    /// Fallible variant of [`NodeHandle::subscribe_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`].
+    pub fn try_subscribe_with<D: Decode, F>(
+        &self,
+        topic: &str,
+        options: SubscriberOptions,
+        callback: F,
+    ) -> Result<Subscriber<D>, RosError>
+    where
+        F: Fn(D) + Send + Sync + 'static,
+    {
+        Subscriber::create_with(
             &self.master,
             topic,
+            options,
             self.machine,
             self.config.clone(),
             callback,

@@ -1,0 +1,193 @@
+//! Consolidated endpoint options and statistics.
+//!
+//! [`PublisherOptions`] / [`SubscriberOptions`] gather every per-endpoint
+//! knob — queue size, a per-endpoint transport-config override, and the
+//! tracing switch — into one builder, consumed by
+//! [`NodeHandle::advertise_with`](crate::NodeHandle::advertise_with) and
+//! [`NodeHandle::subscribe_with`](crate::NodeHandle::subscribe_with) (and by
+//! [`LocalBus::subscribe_with`](crate::LocalBus::subscribe_with) for the
+//! in-process bus). The positional `advertise`/`subscribe` signatures remain
+//! as thin wrappers.
+//!
+//! [`PublisherStats`] / [`SubscriberStats`] are the matching read side: one
+//! coherent snapshot of an endpoint's counters plus its per-topic transport
+//! metrics, replacing a fistful of individual getter calls.
+
+use crate::config::TransportConfig;
+use crate::metrics::MetricsSnapshot;
+
+/// Per-publisher options consumed by
+/// [`NodeHandle::advertise_with`](crate::NodeHandle::advertise_with).
+///
+/// ```
+/// use rossf_ros::PublisherOptions;
+/// let opts = PublisherOptions::new().queue_size(8).trace(true);
+/// assert_eq!(opts.queue_size_hint(), 8);
+/// assert!(opts.trace_enabled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PublisherOptions {
+    pub(crate) queue_size: usize,
+    pub(crate) transport: Option<TransportConfig>,
+    pub(crate) trace: bool,
+}
+
+impl PublisherOptions {
+    /// Defaults: node-config queue size, node transport config, no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound each subscriber connection's transmission queue (`0` = use the
+    /// effective [`TransportConfig::queue_size`]).
+    pub fn queue_size(mut self, n: usize) -> Self {
+        self.queue_size = n;
+        self
+    }
+
+    /// Override the node's transport config for this publisher only.
+    pub fn transport(mut self, config: TransportConfig) -> Self {
+        self.transport = Some(config);
+        self
+    }
+
+    /// Record per-stage tracing spans for every message this publisher
+    /// sends (see the `rossf-trace` crate). Off by default; when off the
+    /// publish path performs zero clock reads and histogram writes.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// The configured queue size (0 = config default).
+    pub fn queue_size_hint(&self) -> usize {
+        self.queue_size
+    }
+
+    /// The per-endpoint transport override, if any.
+    pub fn transport_override(&self) -> Option<&TransportConfig> {
+        self.transport.as_ref()
+    }
+
+    /// Whether tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+}
+
+/// Per-subscriber options consumed by
+/// [`NodeHandle::subscribe_with`](crate::NodeHandle::subscribe_with) and
+/// [`LocalBus::subscribe_with`](crate::LocalBus::subscribe_with).
+///
+/// `queue_size` is accepted for API fidelity with ROS (backpressure on the
+/// socket path comes from TCP itself).
+#[derive(Debug, Clone, Default)]
+pub struct SubscriberOptions {
+    pub(crate) queue_size: usize,
+    pub(crate) transport: Option<TransportConfig>,
+    pub(crate) trace: bool,
+}
+
+impl SubscriberOptions {
+    /// Defaults: node transport config, no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advisory queue size (kept for ROS API fidelity).
+    pub fn queue_size(mut self, n: usize) -> Self {
+        self.queue_size = n;
+        self
+    }
+
+    /// Override the node's transport config for this subscription only.
+    pub fn transport(mut self, config: TransportConfig) -> Self {
+        self.transport = Some(config);
+        self
+    }
+
+    /// Record per-stage tracing spans for every message this subscription
+    /// delivers. Off by default; when off the receive path performs zero
+    /// clock reads and histogram writes.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// The configured queue size (0 = config default).
+    pub fn queue_size_hint(&self) -> usize {
+        self.queue_size
+    }
+
+    /// The per-endpoint transport override, if any.
+    pub fn transport_override(&self) -> Option<&TransportConfig> {
+        self.transport.as_ref()
+    }
+
+    /// Whether tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+}
+
+/// One coherent snapshot of a publisher's counters
+/// ([`Publisher::stats`](crate::Publisher::stats)).
+#[derive(Debug, Clone)]
+pub struct PublisherStats {
+    /// Frames published (per `publish` call, not per connection).
+    pub published: u64,
+    /// Frames dropped because a subscriber's transmission queue was full.
+    pub dropped: u64,
+    /// Currently connected subscribers.
+    pub subscribers: usize,
+    /// The shared per-topic transport counters.
+    pub transport: MetricsSnapshot,
+}
+
+/// One coherent snapshot of a subscriber's counters
+/// ([`Subscriber::stats`](crate::Subscriber::stats)).
+#[derive(Debug, Clone)]
+pub struct SubscriberStats {
+    /// Messages delivered to the callback.
+    pub received: u64,
+    /// Total payload bytes delivered.
+    pub received_bytes: u64,
+    /// Frames that failed decoding/adoption.
+    pub decode_errors: u64,
+    /// Frames rejected by the structural verifier and dropped unadopted.
+    pub verify_rejects: u64,
+    /// Publisher connections that completed the handshake.
+    pub connections: u64,
+    /// Connection attempts made after a connection died.
+    pub reconnect_attempts: u64,
+    /// Reconnections that completed a handshake.
+    pub reconnects: u64,
+    /// The shared per-topic transport counters.
+    pub transport: MetricsSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_chain_and_default_off() {
+        let p = PublisherOptions::new();
+        assert_eq!(p.queue_size_hint(), 0);
+        assert!(p.transport_override().is_none());
+        assert!(!p.trace_enabled());
+
+        let p = PublisherOptions::new()
+            .queue_size(16)
+            .transport(TransportConfig::default())
+            .trace(true);
+        assert_eq!(p.queue_size_hint(), 16);
+        assert!(p.transport_override().is_some());
+        assert!(p.trace_enabled());
+
+        let s = SubscriberOptions::new().queue_size(4).trace(true);
+        assert_eq!(s.queue_size_hint(), 4);
+        assert!(s.trace_enabled());
+        assert!(s.transport_override().is_none());
+    }
+}

@@ -17,15 +17,17 @@ use crate::error::RosError;
 use crate::fastpath::{LocalAttach, LocalSinkHandle, FASTPATH_FIELD};
 use crate::master::Master;
 use crate::metrics::TransportMetrics;
+use crate::options::{PublisherOptions, PublisherStats};
 use crate::traits::Encode;
 use crate::wire::{write_frame_vectored, ConnectionHeader, OutFrame};
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use rossf_netsim::{FaultAction, MachineId, ShapedWriter};
+use rossf_trace::{now_nanos, tracer, Stage, Tier, TopicTrace};
 use std::io::{BufReader, Write};
 use std::marker::PhantomData;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Weak};
 
 /// Most frames a writer wakeup drains into one socket flush. Bounds the
@@ -55,9 +57,27 @@ struct PubCore {
     shutdown: AtomicBool,
     published: AtomicU64,
     dropped: AtomicU64,
+    /// The topic's tracing table when this publisher was created with
+    /// `PublisherOptions::trace(true)`; `None` keeps the publish path free
+    /// of clock reads and histogram writes.
+    trace: Option<Arc<TopicTrace>>,
+    /// [`Tier`] index the publish-side `alloc`/`encode` spans are attributed
+    /// to: set to fast path when a same-process subscriber attaches, back to
+    /// TCP when a socket subscriber handshakes. A heuristic — a publisher
+    /// serving both at once attributes to the most recent arrival.
+    tier_hint: AtomicU8,
 }
 
 impl PubCore {
+    /// The tier the publish-side spans are currently attributed to.
+    fn tier(&self) -> Tier {
+        if self.tier_hint.load(Ordering::Relaxed) == 1 {
+            Tier::Fastpath
+        } else {
+            Tier::Tcp
+        }
+    }
+
     /// Splice a new connection into the list, pruning dead entries while
     /// the lock is held anyway (the accept/attach-side half of the pruning
     /// that `subscriber_count` no longer does).
@@ -144,6 +164,20 @@ impl PubCore {
             alive: Arc::clone(&alive),
         }));
         let metrics = Arc::clone(&self.metrics);
+        // A socket subscriber arrived: attribute publish-side spans to TCP.
+        self.tier_hint.store(0, Ordering::Relaxed);
+        // Per-connection trace state, captured before the core reference is
+        // released below. The connection key mirrors the reader's
+        // `conn_key(peer, local)` — same address pair, same order.
+        let trace = self.trace.clone();
+        let conn_key = match (wire.get_ref().local_addr(), wire.get_ref().peer_addr()) {
+            (Ok(local), Ok(peer)) => rossf_trace::conn_key(&local.to_string(), &peer.to_string()),
+            _ => 0,
+        };
+        // Frames actually written on this socket, in wire order. Dropped and
+        // severed frames never reach the stream, so they must not advance
+        // the sequence the reader counts.
+        let mut wire_seq: u64 = 0;
         // Release our strong reference: the writer loop must not keep the
         // core alive, or dropping the last Publisher could never clear the
         // queues this loop waits on.
@@ -183,10 +217,29 @@ impl PubCore {
                         break 'conn;
                     }
                 }
+                // `enqueue` span ends (and the sidecar note lands) *before*
+                // the frame bytes hit the socket, so the reader can never
+                // observe the frame without its note.
+                let tag = frame.trace();
+                let t_write_start = match (trace.as_deref(), tag.id) {
+                    (Some(table), id) if id != 0 => {
+                        let t = now_nanos();
+                        tracer().span(table, Stage::Enqueue, Tier::Tcp, id, tag.enqueued_ns, t);
+                        tracer().sidecar().insert(conn_key, wire_seq, id, t);
+                        Some(t)
+                    }
+                    _ => None,
+                };
                 wire.start_frame();
                 match write_frame_vectored(&mut wire, frame.as_slice()) {
                     Ok(()) => {
                         wrote = true;
+                        if let (Some(table), Some(t0)) = (trace.as_deref(), t_write_start) {
+                            let t1 = now_nanos();
+                            tracer().span(table, Stage::WireWrite, Tier::Tcp, tag.id, t0, t1);
+                            tracer().sidecar().update_sent(conn_key, wire_seq, t1);
+                        }
+                        wire_seq += 1;
                         metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
                         metrics
                             .bytes_sent
@@ -254,6 +307,9 @@ impl LocalAttach for PubCore {
         self.metrics
             .fastpath_handshakes
             .fetch_add(1, Ordering::Relaxed);
+        // A same-process subscriber attached: attribute publish-side spans
+        // to the fast path.
+        self.tier_hint.store(1, Ordering::Relaxed);
         Ok(LocalSinkHandle {
             reply,
             rx,
@@ -295,19 +351,26 @@ impl<M: Encode> Clone for Publisher<M> {
 }
 
 impl<M: Encode> Publisher<M> {
-    pub(crate) fn create(
+    pub(crate) fn create_with(
         master: &Master,
         topic: &str,
-        queue_size: usize,
+        options: PublisherOptions,
         machine: MachineId,
-        config: TransportConfig,
+        default_config: TransportConfig,
     ) -> Result<Self, RosError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let queue_size = if queue_size == 0 {
+        let config = options.transport.unwrap_or(default_config);
+        let queue_size = if options.queue_size == 0 {
             config.queue_size
         } else {
-            queue_size
+            options.queue_size
+        };
+        let trace = if options.trace {
+            tracer().arm();
+            Some(tracer().topic(topic))
+        } else {
+            None
         };
         let core = Arc::new(PubCore {
             topic: topic.to_string(),
@@ -323,6 +386,8 @@ impl<M: Encode> Publisher<M> {
             shutdown: AtomicBool::new(false),
             published: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            trace,
+            tier_hint: AtomicU8::new(0),
         });
         // Fast-path-capable publishers register a local attach port so
         // same-machine subscribers in this process can skip the socket.
@@ -350,7 +415,23 @@ impl<M: Encode> Publisher<M> {
     /// `max_frame_len` is refused outright — every subscriber would reject
     /// it anyway.
     pub fn publish(&self, msg: &M) {
-        let frame = msg.encode();
+        // Tracing rides on the frame's tag: a single clock read brackets
+        // `encode`, and `alloc` falls out of the allocation timestamp the
+        // buffer already carries. Untraced publishers skip every clock
+        // read on this path.
+        let t_pub = self.core.trace.as_ref().map(|_| now_nanos());
+        let mut frame = msg.encode();
+        if let (Some(table), Some(t0)) = (self.core.trace.as_deref(), t_pub) {
+            let t1 = now_nanos();
+            let id = tracer().next_trace_id();
+            let tier = self.core.tier();
+            let tag = frame.trace_mut();
+            tag.id = id;
+            if tag.born_ns != 0 && tag.born_ns <= t0 {
+                tracer().span(table, Stage::Alloc, tier, id, tag.born_ns, t0);
+            }
+            tracer().span(table, Stage::Encode, tier, id, t0, t1);
+        }
         if frame.len() > self.core.config.max_frame_len {
             self.core
                 .metrics
@@ -367,7 +448,13 @@ impl<M: Encode> Publisher<M> {
         let snapshot: Vec<Arc<Conn>> = self.core.conns.lock().clone();
         let mut saw_dead = false;
         for conn in &snapshot {
-            match conn.queue.try_send(frame.clone()) {
+            // Each connection's clone carries its own enqueue timestamp
+            // (`TraceTag` is `Copy`, so clones do not alias).
+            let mut per_conn = frame.clone();
+            if per_conn.trace().id != 0 {
+                per_conn.trace_mut().enqueued_ns = now_nanos();
+            }
+            match conn.queue.try_send(per_conn) {
                 Ok(()) => metrics.observe_queue_depth(conn.queue.len() as u64),
                 Err(TrySendError::Full(_)) => {
                     self.core.dropped.fetch_add(1, Ordering::Relaxed);
@@ -424,6 +511,16 @@ impl<M: Encode> Publisher<M> {
     /// The shared per-topic transport metrics this publisher reports into.
     pub fn metrics(&self) -> Arc<TransportMetrics> {
         Arc::clone(&self.core.metrics)
+    }
+
+    /// One coherent snapshot of this publisher's counters.
+    pub fn stats(&self) -> PublisherStats {
+        PublisherStats {
+            published: self.published(),
+            dropped: self.dropped(),
+            subscribers: self.subscriber_count(),
+            transport: self.core.metrics.snapshot(),
+        }
     }
 }
 
@@ -483,10 +580,10 @@ mod tests {
     fn attach_local_negotiates_capability_and_faults() {
         let master = Master::new();
         let machine = MachineId(77);
-        let publisher: Publisher<SfmBox<P>> = Publisher::create(
+        let publisher: Publisher<SfmBox<P>> = Publisher::create_with(
             &master,
             "attach/neg",
-            4,
+            PublisherOptions::new().queue_size(4),
             machine,
             TransportConfig::default(),
         )

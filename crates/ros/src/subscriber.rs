@@ -18,10 +18,12 @@ use crate::error::RosError;
 use crate::fastpath::{LocalAttach, FASTPATH_FIELD};
 use crate::master::{Master, PublisherEndpoint};
 use crate::metrics::TransportMetrics;
+use crate::options::{SubscriberOptions, SubscriberStats};
 use crate::traits::{Decode, RecvSlot};
 use crate::wire::{read_frame_len, ConnectionHeader};
 use crossbeam::channel::RecvTimeoutError;
 use rossf_netsim::{FaultAction, MachineId};
+use rossf_trace::{now_nanos, tracer, Stage, Tier, TopicTrace};
 use std::collections::HashMap;
 use std::io::{BufReader, Read};
 use std::net::{Shutdown, TcpStream};
@@ -30,6 +32,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+
+/// How long a traced reader waits for the writer's sidecar note to carry
+/// the write-*completion* stamp before giving up on the `wire_read` span.
+/// The writer settles the note within microseconds of the last frame byte;
+/// this bound only matters when the writer thread is preempted in between.
+const SIDECAR_SETTLE_WAIT: Duration = Duration::from_millis(2);
 
 struct SubCore<D: Decode> {
     topic: String,
@@ -51,6 +59,10 @@ struct SubCore<D: Decode> {
     connected: AtomicU64,
     reconnect_attempts: AtomicU64,
     reconnects: AtomicU64,
+    /// The topic's tracing table when this subscription was created with
+    /// `SubscriberOptions::trace(true)`; `None` keeps the receive path free
+    /// of clock reads and histogram writes.
+    trace: Option<Arc<TopicTrace>>,
 }
 
 impl<D: Decode> SubCore<D> {
@@ -196,6 +208,7 @@ impl<D: Decode> SubCore<D> {
             self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
         }
 
+        let trace = self.trace.as_deref();
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -223,6 +236,25 @@ impl<D: Decode> SubCore<D> {
                     return Ok(());
                 }
             }
+            // Pointer handoff needs no sidecar: the trace id rides on the
+            // frame's own tag, and the queue dwell (plus any injected
+            // delay) is the `enqueue` span.
+            let tag = frame.trace();
+            let (id, mut t_prev) = match (trace, tag.id) {
+                (Some(table), id) if id != 0 && tag.enqueued_ns != 0 => {
+                    let t = now_nanos();
+                    tracer().span(
+                        table,
+                        Stage::Enqueue,
+                        Tier::Fastpath,
+                        id,
+                        tag.enqueued_ns,
+                        t,
+                    );
+                    (id, t)
+                }
+                _ => (0, 0),
+            };
             let len = frame.len();
             // There is no writer thread on this path: account the "send" at
             // the moment of delivery so both paths report the same totals.
@@ -231,11 +263,24 @@ impl<D: Decode> SubCore<D> {
                 .bytes_sent
                 .fetch_add(len as u64, Ordering::Relaxed);
             self.metrics.fastpath_frames.fetch_add(1, Ordering::Relaxed);
-            if self.config.validate_on_receive && D::verify_frame(frame.as_slice()).is_err() {
-                self.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
-                continue;
+            if self.config.validate_on_receive {
+                if D::verify_frame(frame.as_slice()).is_err() {
+                    self.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let (Some(table), true) = (trace, id != 0) {
+                    let t = now_nanos();
+                    tracer().span(table, Stage::Verify, Tier::Fastpath, id, t_prev, t);
+                    t_prev = t;
+                }
             }
-            match D::from_local_frame(&frame) {
+            let decoded = D::from_local_frame(&frame);
+            if let (Some(table), true, true) = (trace, id != 0, decoded.is_ok()) {
+                let t = now_nanos();
+                tracer().span(table, Stage::Adopt, Tier::Fastpath, id, t_prev, t);
+                t_prev = t;
+            }
+            match decoded {
                 Ok(msg) => {
                     self.received.fetch_add(1, Ordering::Relaxed);
                     self.received_bytes.fetch_add(len as u64, Ordering::Relaxed);
@@ -244,6 +289,10 @@ impl<D: Decode> SubCore<D> {
                         .bytes_received
                         .fetch_add(len as u64, Ordering::Relaxed);
                     (self.callback)(msg);
+                    if let (Some(table), true) = (trace, id != 0) {
+                        let t = now_nanos();
+                        tracer().span(table, Stage::Callback, Tier::Fastpath, id, t_prev, t);
+                    }
                 }
                 Err(_) => {
                     self.decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -321,6 +370,20 @@ impl<D: Decode> SubCore<D> {
             self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
         }
 
+        // The connection key mirrors the writer's `conn_key(local, peer)`:
+        // our peer is its local address, so the pair (and hence the key)
+        // agrees. A reconnect gets a fresh ephemeral port and therefore a
+        // fresh key — sequence numbers restart cleanly.
+        let trace = self.trace.as_deref();
+        let conn_key = match (reader.get_ref().peer_addr(), reader.get_ref().local_addr()) {
+            (Ok(peer), Ok(local)) => rossf_trace::conn_key(&peer.to_string(), &local.to_string()),
+            _ => 0,
+        };
+        // Frames consumed off the stream, in wire order; counted
+        // unconditionally so it stays in lockstep with the writer's count
+        // of frames actually written.
+        let mut wire_seq: u64 = 0;
+
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -344,17 +407,62 @@ impl<D: Decode> SubCore<D> {
             match D::new_slot(len) {
                 Ok(mut slot) => {
                     reader.read_exact(slot.as_mut_slice())?;
-                    if self.config.validate_on_receive
-                        && D::verify_frame(slot.as_mut_slice()).is_err()
-                    {
-                        // Structurally corrupt: drop the frame without
-                        // adopting it. Framing is length-prefixed, so the
-                        // stream stays in sync and the connection lives on.
-                        self.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
-                        continue;
+                    let seq = wire_seq;
+                    wire_seq += 1;
+                    // Recover the frame's trace id from the writer's
+                    // sidecar note; the `wire_read` span starts at the
+                    // writer's send timestamp. The last frame byte wakes
+                    // this thread at the same moment the writer moves to
+                    // stamp its completion time, so wait a bounded moment
+                    // for the note to settle; if it still hasn't (writer
+                    // preempted), only the id is recovered — measuring from
+                    // the provisional write-start stamp would double-count
+                    // `wire_write`.
+                    let (id, mut t_prev) = match trace {
+                        Some(table) => match tracer().sidecar().take_settled(
+                            conn_key,
+                            seq,
+                            SIDECAR_SETTLE_WAIT,
+                        ) {
+                            Some(note) if note.trace_id != 0 => {
+                                let t = now_nanos();
+                                if note.settled {
+                                    tracer().span(
+                                        table,
+                                        Stage::WireRead,
+                                        Tier::Tcp,
+                                        note.trace_id,
+                                        note.sent_ns,
+                                        t,
+                                    );
+                                }
+                                (note.trace_id, t)
+                            }
+                            _ => (0, 0),
+                        },
+                        None => (0, 0),
+                    };
+                    if self.config.validate_on_receive {
+                        if D::verify_frame(slot.as_mut_slice()).is_err() {
+                            // Structurally corrupt: drop the frame without
+                            // adopting it. Framing is length-prefixed, so the
+                            // stream stays in sync and the connection lives on.
+                            self.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        if let (Some(table), true) = (trace, id != 0) {
+                            let t = now_nanos();
+                            tracer().span(table, Stage::Verify, Tier::Tcp, id, t_prev, t);
+                            t_prev = t;
+                        }
                     }
                     match D::finish_slot(slot) {
                         Ok(msg) => {
+                            if let (Some(table), true) = (trace, id != 0) {
+                                let t = now_nanos();
+                                tracer().span(table, Stage::Adopt, Tier::Tcp, id, t_prev, t);
+                                t_prev = t;
+                            }
                             self.received.fetch_add(1, Ordering::Relaxed);
                             self.received_bytes.fetch_add(len as u64, Ordering::Relaxed);
                             self.metrics.frames_received.fetch_add(1, Ordering::Relaxed);
@@ -362,6 +470,10 @@ impl<D: Decode> SubCore<D> {
                                 .bytes_received
                                 .fetch_add(len as u64, Ordering::Relaxed);
                             (self.callback)(msg);
+                            if let (Some(table), true) = (trace, id != 0) {
+                                let t = now_nanos();
+                                tracer().span(table, Stage::Callback, Tier::Tcp, id, t_prev, t);
+                            }
                         }
                         Err(_) => {
                             self.decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -376,6 +488,12 @@ impl<D: Decode> SubCore<D> {
                     self.decode_errors.fetch_add(1, Ordering::Relaxed);
                     self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
                     std::io::copy(&mut (&mut reader).take(len as u64), &mut std::io::sink())?;
+                    // The skipped frame still occupied a wire slot; consume
+                    // its note so the sidecar does not accumulate.
+                    if trace.is_some() {
+                        let _ = tracer().sidecar().take(conn_key, wire_seq);
+                    }
+                    wire_seq += 1;
                 }
             }
         }
@@ -393,16 +511,24 @@ pub struct Subscriber<D: Decode> {
 }
 
 impl<D: Decode> Subscriber<D> {
-    pub(crate) fn create<F>(
+    pub(crate) fn create_with<F>(
         master: &Master,
         topic: &str,
+        options: SubscriberOptions,
         machine: MachineId,
-        config: TransportConfig,
+        default_config: TransportConfig,
         callback: F,
     ) -> Result<Self, RosError>
     where
         F: Fn(D) + Send + Sync + 'static,
     {
+        let config = options.transport.unwrap_or(default_config);
+        let trace = if options.trace {
+            tracer().arm();
+            Some(tracer().topic(topic))
+        } else {
+            None
+        };
         let (endpoints, watcher, registration) =
             master.register_subscriber(topic, D::topic_type())?;
         let core = Arc::new(SubCore {
@@ -422,6 +548,7 @@ impl<D: Decode> Subscriber<D> {
             connected: AtomicU64::new(0),
             reconnect_attempts: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            trace,
         });
         for ep in endpoints {
             let c = Arc::clone(&core);
@@ -492,6 +619,20 @@ impl<D: Decode> Subscriber<D> {
     /// into.
     pub fn metrics(&self) -> Arc<TransportMetrics> {
         Arc::clone(&self.core.metrics)
+    }
+
+    /// One coherent snapshot of this subscription's counters.
+    pub fn stats(&self) -> SubscriberStats {
+        SubscriberStats {
+            received: self.received(),
+            received_bytes: self.received_bytes(),
+            decode_errors: self.decode_errors(),
+            verify_rejects: self.verify_rejects(),
+            connections: self.connection_count(),
+            reconnect_attempts: self.reconnect_attempts(),
+            reconnects: self.reconnects(),
+            transport: self.core.metrics.snapshot(),
+        }
     }
 }
 

@@ -7,9 +7,6 @@
 //! clock for free (the reason the paper uses ping-pong for inter-machine
 //! tests is *avoided*, but we still reproduce the ping-pong topology).
 
-use std::sync::OnceLock;
-use std::time::Instant;
-
 /// The ROS `time` primitive: seconds + nanoseconds since an epoch. Wire
 /// format: two little-endian `u32`s.
 ///
@@ -129,10 +126,12 @@ impl rossf_sfm::SfmEndianSwap for RosDuration {
 }
 
 /// Nanoseconds since the process-wide monotonic epoch (first call).
+///
+/// Shares the tracing clock (`rossf_trace::now_nanos`): message stamps and
+/// stage spans live on one timeline, so a trace waterfall can be correlated
+/// with `RosTime` latency measurements directly.
 pub fn now_nanos() -> u64 {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    let epoch = *EPOCH.get_or_init(Instant::now);
-    epoch.elapsed().as_nanos() as u64
+    rossf_trace::now_nanos()
 }
 
 #[cfg(test)]

@@ -17,39 +17,108 @@ use std::collections::BTreeMap;
 use std::io::{IoSlice, Read, Write};
 use std::sync::Arc;
 
-/// One encoded message ready for transmission.
-///
-/// `Clone` is cheap (reference counted) — `publish` encodes once and hands
-/// a clone to every per-connection transmission queue, which is exactly the
-/// paper's "copy of the buffer pointer is provided to ROS" (Fig. 8).
+/// The payload of an encoded message: serialized bytes or the whole
+/// serialization-free message verbatim.
 #[derive(Debug, Clone)]
-pub enum OutFrame {
+pub enum FramePayload {
     /// Serialized bytes produced by a ROS1 serializer (baseline path).
     Owned(Arc<Vec<u8>>),
     /// The whole serialization-free message (zero-copy path).
     Sfm(PublishedBuffer),
 }
 
+/// Per-message tracing tag riding on a frame.
+///
+/// `Copy`, so each per-connection clone of an [`OutFrame`] carries an
+/// *independent* tag — `publish` stamps a distinct `enqueued_ns` into every
+/// transmission-queue copy without aliasing. An `id` of 0 means the frame is
+/// untraced and every instrumentation site skips it.
+///
+/// On the fast path and the local bus the tag reaches the subscriber on the
+/// frame object itself; over TCP the wire format stays untouched and the id
+/// travels through the [`Sidecar`](rossf_trace::Sidecar) instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTag {
+    /// Process-unique trace id (0 = untraced).
+    pub id: u64,
+    /// Backing-buffer birth timestamp (0 when unknown): anchors the `alloc`
+    /// stage. Republished messages zero this so a relay hop doesn't inherit
+    /// the first hop's allocation span.
+    pub born_ns: u64,
+    /// When this copy was deposited into its transmission queue (0 until
+    /// enqueued).
+    pub enqueued_ns: u64,
+}
+
+/// One encoded message ready for transmission.
+///
+/// `Clone` is cheap (reference counted) — `publish` encodes once and hands
+/// a clone to every per-connection transmission queue, which is exactly the
+/// paper's "copy of the buffer pointer is provided to ROS" (Fig. 8).
+#[derive(Debug, Clone)]
+pub struct OutFrame {
+    payload: FramePayload,
+    trace: TraceTag,
+}
+
 impl OutFrame {
+    /// A frame over serialized bytes (baseline path), untraced.
+    pub fn owned(bytes: Arc<Vec<u8>>) -> Self {
+        OutFrame {
+            payload: FramePayload::Owned(bytes),
+            trace: TraceTag::default(),
+        }
+    }
+
+    /// A frame over a serialization-free whole message (zero-copy path).
+    /// Inherits the buffer's birth timestamp as the `alloc` anchor.
+    pub fn sfm(buffer: PublishedBuffer) -> Self {
+        let born_ns = buffer.alloc_ns();
+        OutFrame {
+            payload: FramePayload::Sfm(buffer),
+            trace: TraceTag {
+                born_ns,
+                ..TraceTag::default()
+            },
+        }
+    }
+
     /// The payload bytes.
     pub fn as_slice(&self) -> &[u8] {
-        match self {
-            OutFrame::Owned(v) => v.as_slice(),
-            OutFrame::Sfm(b) => b.as_slice(),
+        match &self.payload {
+            FramePayload::Owned(v) => v.as_slice(),
+            FramePayload::Sfm(b) => b.as_slice(),
         }
     }
 
     /// Payload length in bytes.
     pub fn len(&self) -> usize {
-        match self {
-            OutFrame::Owned(v) => v.len(),
-            OutFrame::Sfm(b) => b.len(),
+        match &self.payload {
+            FramePayload::Owned(v) => v.len(),
+            FramePayload::Sfm(b) => b.len(),
         }
     }
 
     /// `true` for an empty payload (never produced by real messages).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The payload (serialized bytes or whole serialization-free message).
+    pub fn payload(&self) -> &FramePayload {
+        &self.payload
+    }
+
+    /// This copy's tracing tag.
+    #[inline]
+    pub fn trace(&self) -> TraceTag {
+        self.trace
+    }
+
+    /// Mutable access to this copy's tracing tag (stamped by `publish`).
+    #[inline]
+    pub fn trace_mut(&mut self) -> &mut TraceTag {
+        &mut self.trace
     }
 }
 
@@ -386,12 +455,24 @@ mod tests {
 
     #[test]
     fn outframe_views() {
-        let f = OutFrame::Owned(Arc::new(vec![1, 2, 3]));
+        let f = OutFrame::owned(Arc::new(vec![1, 2, 3]));
         assert_eq!(f.as_slice(), &[1, 2, 3]);
         assert_eq!(f.len(), 3);
         assert!(!f.is_empty());
+        assert!(matches!(f.payload(), FramePayload::Owned(_)));
         let g = f.clone();
         assert_eq!(g.as_slice(), f.as_slice());
+    }
+
+    #[test]
+    fn outframe_trace_tags_are_per_clone() {
+        let mut f = OutFrame::owned(Arc::new(vec![9]));
+        assert_eq!(f.trace(), TraceTag::default(), "untraced by default");
+        f.trace_mut().id = 7;
+        let mut g = f.clone();
+        g.trace_mut().enqueued_ns = 123;
+        assert_eq!(f.trace().enqueued_ns, 0, "clones carry independent tags");
+        assert_eq!(g.trace().id, 7);
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl TopicType for PlainSample {
 }
 impl Encode for PlainSample {
     fn encode(&self) -> OutFrame {
-        OutFrame::Owned(Arc::new(self.to_bytes()))
+        OutFrame::owned(Arc::new(self.to_bytes()))
     }
 }
 

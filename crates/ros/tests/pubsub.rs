@@ -53,7 +53,7 @@ impl TopicType for Ping {
 
 impl Encode for Ping {
     fn encode(&self) -> OutFrame {
-        OutFrame::Owned(Arc::new(self.to_bytes()))
+        OutFrame::owned(Arc::new(self.to_bytes()))
     }
 }
 

@@ -41,7 +41,7 @@ macro_rules! plain_msg {
         }
         impl Encode for $t {
             fn encode(&self) -> OutFrame {
-                OutFrame::Owned(Arc::new(self.to_bytes()))
+                OutFrame::owned(Arc::new(self.to_bytes()))
             }
         }
     };

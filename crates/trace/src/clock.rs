@@ -1,0 +1,32 @@
+//! The process-wide monotonic clock all trace timestamps share.
+//!
+//! Every simulated machine lives in one OS process, so a single monotonic
+//! epoch (first use) serves publisher, wire, and subscriber alike — span
+//! arithmetic never crosses clock domains. `rossf_ros::time::now_nanos`
+//! delegates here so end-to-end latency measurements and stage spans are
+//! directly comparable.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the process-wide monotonic epoch (first call).
+#[inline]
+pub fn now_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(now_nanos() - a >= 2_000_000);
+    }
+}

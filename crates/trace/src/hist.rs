@@ -1,0 +1,237 @@
+//! Fixed log2-bucket latency histograms.
+//!
+//! Bucket `i` holds durations in `[2^i, 2^(i+1))` nanoseconds (bucket 0
+//! additionally holds 0). 64 buckets cover every representable `u64`
+//! duration, so recording never saturates or clips — the paper's spans from
+//! sub-microsecond pointer handoffs to multi-second shaped transfers all
+//! land in range. Quantiles are estimated by linear interpolation inside
+//! the selected bucket; the exact `sum`/`count` pair gives an exact mean,
+//! which is what waterfall stage sums use.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets (one per power of two of a `u64`).
+pub const BUCKETS: usize = 64;
+
+/// The bucket a duration of `ns` nanoseconds falls into.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns <= 1 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
+}
+
+/// Smallest duration bucket `i` can hold (its left edge).
+#[inline]
+pub fn bucket_floor(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// One (topic, stage, tier) cell: lock-free log2 buckets plus exact
+/// sum/count/min/max. All writes are relaxed atomics — cheap enough to
+/// leave in the hot path of a traced run.
+pub struct StageHist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl StageHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        StageHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Plain-value copy at one instant.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: self.min_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for StageHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for StageHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageHist")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum_ns", &self.sum_ns.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Plain-value copy of a [`StageHist`].
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (`buckets[i]` covers `[2^i, 2^(i+1))` ns).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+}
+
+impl HistSnapshot {
+    /// `true` when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`) by linear interpolation inside
+    /// the selected log2 bucket, clamped to the observed min/max so narrow
+    /// distributions aren't inflated by the factor-2 bucket width.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank < seen + c {
+                // Position inside this bucket, interpolated linearly.
+                let lo = bucket_floor(i) as f64;
+                let hi = if i + 1 < BUCKETS {
+                    bucket_floor(i + 1) as f64
+                } else {
+                    u64::MAX as f64
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min_ns as f64, self.max_ns as f64);
+            }
+            seen += c;
+        }
+        self.max_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // The satellite-mandated boundary check: values on and around every
+        // power-of-two edge land in the expected bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        for i in 1..BUCKETS {
+            let edge = 1u64 << i;
+            assert_eq!(bucket_index(edge), i, "left edge of bucket {i}");
+            assert_eq!(bucket_index(edge - 1), i - 1, "just below bucket {i}");
+            if i < 63 {
+                assert_eq!(bucket_index(2 * edge - 1), i, "right edge of bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(10), 1024);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let h = StageHist::new();
+        for v in [5u64, 100, 1, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_ns, 1_000_106);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+        assert_eq!(s.buckets[bucket_index(5)], 1);
+        assert_eq!(s.buckets[bucket_index(1_000_000)], 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let s = StageHist::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.quantile_ns(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_clamped_to_observed_range() {
+        let h = StageHist::new();
+        // 100 identical samples: every quantile must be exactly the sample.
+        for _ in 0..100 {
+            h.record(1500);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.0), 1500.0);
+        assert_eq!(s.quantile_ns(0.5), 1500.0);
+        assert_eq!(s.quantile_ns(1.0), 1500.0);
+        assert_eq!(s.mean_ns(), 1500.0);
+    }
+
+    #[test]
+    fn quantiles_order_across_buckets() {
+        let h = StageHist::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_ns(0.5);
+        let p99 = s.quantile_ns(0.99);
+        assert!(p50 < p99, "p50={p50} p99={p99}");
+        assert!(p50 <= 256.0, "median sits in the low cluster: {p50}");
+        assert!(p99 >= 65_536.0, "p99 reaches the high cluster: {p99}");
+    }
+}

@@ -1,0 +1,140 @@
+//! The pipeline stage and transport tier axes of the histogram tables.
+
+/// A pipeline stage a traced message crosses, in causal order.
+///
+/// Each stage is recorded as a *span* (start and end timestamp); the
+/// histogram sample is the span duration. [`Stage::Fault`] is out-of-band:
+/// it tags injected link faults into the raw event stream (duration = the
+/// injected delay) and never participates in waterfall sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Buffer allocation plus field construction: from the backing buffer's
+    /// birth to `publish` entry. Only serialization-free messages stamp
+    /// their allocation; republished (`SfmShared`) and plain messages skip
+    /// this stage.
+    Alloc,
+    /// `publish` entry to encoded frame ready. For serialization-free
+    /// messages this is the buffer-pointer clone + publish bookkeeping; for
+    /// plain messages it includes full serialization.
+    Encode,
+    /// Sitting in a per-connection transmission queue: deposited by
+    /// `publish`, taken out by the writer thread (TCP) or the attached
+    /// subscriber (fast path).
+    Enqueue,
+    /// Writing the frame into the socket, including link-shaping pacing.
+    /// Absent on the fast path and the local bus (no socket).
+    WireWrite,
+    /// From write completion on the publisher to payload fully read on the
+    /// subscriber: propagation plus the read syscalls.
+    WireRead,
+    /// Structural verification of the received frame
+    /// (`TransportConfig::validate_on_receive`).
+    Verify,
+    /// Turning the frame into the callback argument: adoption for
+    /// serialization-free messages, de-serialization for plain ones.
+    Adopt,
+    /// The subscriber callback itself (`callback_enter` → `callback_exit`).
+    Callback,
+    /// An injected link fault (drop/delay/sever), tagged into the event
+    /// stream with trace id 0.
+    Fault,
+}
+
+/// Number of [`Stage`] variants.
+pub const STAGE_COUNT: usize = 9;
+
+impl Stage {
+    /// All stages in causal order ([`Stage::Fault`] last).
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Alloc,
+        Stage::Encode,
+        Stage::Enqueue,
+        Stage::WireWrite,
+        Stage::WireRead,
+        Stage::Verify,
+        Stage::Adopt,
+        Stage::Callback,
+        Stage::Fault,
+    ];
+
+    /// Dense index for table addressing (= position in [`Stage::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lowercase stage name as it appears in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Alloc => "alloc",
+            Stage::Encode => "encode",
+            Stage::Enqueue => "enqueue",
+            Stage::WireWrite => "wire_write",
+            Stage::WireRead => "wire_read",
+            Stage::Verify => "verify",
+            Stage::Adopt => "adopt",
+            Stage::Callback => "callback",
+            Stage::Fault => "fault",
+        }
+    }
+}
+
+/// The transport tier a span was measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tier {
+    /// Per-(publisher, subscriber) TCP connection (loopback or shaped).
+    Tcp,
+    /// Same-machine zero-copy pointer handoff (`rossf_ros::fastpath`).
+    Fastpath,
+    /// In-process synchronous [`LocalBus`](../rossf_ros/local/index.html).
+    Local,
+}
+
+/// Number of [`Tier`] variants.
+pub const TIER_COUNT: usize = 3;
+
+impl Tier {
+    /// All tiers.
+    pub const ALL: [Tier; TIER_COUNT] = [Tier::Tcp, Tier::Fastpath, Tier::Local];
+
+    /// Dense index for table addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lowercase tier name as it appears in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Tcp => "tcp",
+            Tier::Fastpath => "fastpath",
+            Tier::Local => "local",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, t) in Tier::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+        assert!(Stage::Alloc < Stage::Callback, "causal order is Ord");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.extend(Tier::ALL.iter().map(|t| t.name()));
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -21,6 +21,18 @@ cargo test -q -p rossf-ros --test fastpath
 echo "==> fast-path smoke (same-machine zero-copy vs forced TCP)"
 cargo run -q --release -p rossf-bench --bin link_sweep -- --iters 40 --fastpath-smoke
 
+echo "==> sfm_trace --self-test"
+cargo run -q --release -p rossf-bench --bin sfm_trace -- --self-test
+
+echo "==> tracing suite (monotone timelines, id survival, zero-overhead)"
+cargo test -q -p rossf-ros --test tracing
+
+echo "==> tracing-overhead gate (traced p50 <= 1.05x untraced)"
+cargo run -q --release -p rossf-bench --bin sfm_trace -- --overhead-gate
+
+echo "==> cargo doc -p rossf-trace (warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q -p rossf-trace --no-deps
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
