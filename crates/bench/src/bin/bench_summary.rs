@@ -1,0 +1,49 @@
+//! `bench_summary` — merge every `results/BENCH_*.json` into
+//! `results/TRAJECTORY.json`, the repo's consolidated performance record.
+//!
+//! Each harness binary writes its own per-figure report; this binary folds
+//! them into one document (scenario rows verbatim, provenance per run) so
+//! the measured trajectory can be diffed across commits from a single
+//! file.
+//!
+//! ```text
+//! cargo run -p rossf-bench --release --bin bench_summary
+//! ```
+
+use rossf_bench::report::{load_trajectory_runs, write_trajectory};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let runs = match load_trajectory_runs() {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("could not read results directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if runs.is_empty() {
+        eprintln!("no BENCH_*.json reports found; run the harness binaries first");
+        return ExitCode::FAILURE;
+    }
+    println!("=== bench_summary: {} report(s) merged ===", runs.len());
+    println!(
+        "{:<24} {:>10} {:<22} {:<10}",
+        "fig", "scenarios", "timestamp", "profile"
+    );
+    for run in &runs {
+        println!(
+            "{:<24} {:>10} {:<22} {:<10}",
+            run.fig, run.scenario_count, run.timestamp_utc, run.profile
+        );
+    }
+    match write_trajectory(&runs) {
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write TRAJECTORY.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,7 +17,7 @@
 use rossf_baselines::WorkImage;
 use rossf_bench::experiments::{
     oneway_traced, pingpong_plain, pingpong_same_machine, pingpong_sfm, pingpong_sfm_with,
-    TraceTier,
+    pingpong_shm, TraceTier,
 };
 use rossf_bench::report::{write_report, write_trace_report, ScenarioReport, TraceWaterfall};
 use rossf_bench::RunArgs;
@@ -75,27 +75,40 @@ fn main() {
         ));
     }
 
-    println!("\n--- same-machine transport tiers: zero-copy fast path vs forced TCP ---");
+    println!("\n--- same-machine transport tiers: fastpath / shm / forced TCP ---");
+    let shm_on = TraceTier::Shm.available();
     println!(
-        "{:<8} {:>14} {:>14} {:>10}",
-        "size", "TCP p50 (ms)", "fastpath p50", "speedup"
+        "{:<8} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "size", "TCP p50 (ms)", "fastpath p50", "shm p50", "fp speedup", "shm speedup"
     );
     let mut speedup_1mb = 0.0;
+    let mut shm_speedup_1mb = 0.0;
     for (label, w, h) in WorkImage::PAPER_SIZES {
         let payload = u64::from(w) * u64::from(h) * 3;
         let tcp = pingpong_same_machine(args, w, h, false);
         let fast = pingpong_same_machine(args, w, h, true);
+        let shm = shm_on.then(|| pingpong_shm(args, w, h));
         let speedup = if fast.p50_ms > 0.0 {
             tcp.p50_ms / fast.p50_ms
         } else {
             f64::INFINITY
         };
+        let shm_speedup = match &shm {
+            Some(s) if s.p50_ms > 0.0 => tcp.p50_ms / s.p50_ms,
+            _ => 0.0,
+        };
         if label == "1MB" {
             speedup_1mb = speedup;
+            shm_speedup_1mb = shm_speedup;
         }
         println!(
-            "{:<8} {:>14.3} {:>14.3} {:>9.1}x",
-            label, tcp.p50_ms, fast.p50_ms, speedup
+            "{:<8} {:>14.3} {:>14.3} {:>14.3} {:>9.1}x {:>9.1}x",
+            label,
+            tcp.p50_ms,
+            fast.p50_ms,
+            shm.as_ref().map_or(f64::NAN, |s| s.p50_ms),
+            speedup,
+            shm_speedup
         );
         rows.push(ScenarioReport::from_stats(
             &format!("same-machine tcp {label}"),
@@ -107,16 +120,39 @@ fn main() {
             payload,
             &fast,
         ));
+        if let Some(shm) = &shm {
+            rows.push(ScenarioReport::from_stats(
+                &format!("same-machine shm {label}"),
+                payload,
+                shm,
+            ));
+        }
     }
     println!(
         "same-machine p50 speedup at 1MB: {speedup_1mb:.1}x (target: >=3x for the \
          zero-copy fast path)"
     );
+    if shm_on {
+        println!(
+            "same-machine shm p50 speedup at 1MB: {shm_speedup_1mb:.1}x (target: >=3x \
+             vs forced TCP)"
+        );
+    } else {
+        println!("shm tier unavailable on this target; series skipped");
+    }
 
     println!("\n--- stage-latency attribution: traced one-way 1MB frame, all tiers ---");
     let (w, h) = (664, 504); // ~1 MB RGB frame
     let mut tiers: Vec<TraceWaterfall> = Vec::new();
-    for tier in [TraceTier::Tcp, TraceTier::Fastpath, TraceTier::Local] {
+    for tier in [
+        TraceTier::Tcp,
+        TraceTier::Fastpath,
+        TraceTier::Shm,
+        TraceTier::Local,
+    ] {
+        if !tier.available() {
+            continue;
+        }
         let (stats, snapshot) = oneway_traced(args, w, h, tier, link);
         print!(
             "{}",

@@ -11,9 +11,10 @@
 //!   telescoping-consistency summary (stage sum vs measured e2e mean).
 //! * `--self-test` — run `rossf_trace::self_test()` (bucket boundaries,
 //!   sidecar correlation, ring recorder, synthetic pipeline) and exit 0/1.
-//! * `--overhead-gate` — measure the tracing overhead on the fast path:
-//!   best-of-3 traced vs untraced p50; fail (exit 1) when the traced p50
-//!   exceeds `1.05 x untraced p50 + 50 µs`.
+//! * `--overhead-gate` — measure the tracing overhead on the fast path
+//!   and the shared-memory tier: best-of-3 traced vs untraced p50 per
+//!   tier; fail (exit 1) when any traced p50 exceeds
+//!   `1.05 x untraced p50 + 50 µs`.
 
 use rossf_bench::experiments::{oneway_traced, oneway_untraced, TraceTier};
 use rossf_bench::report::TraceWaterfall;
@@ -85,7 +86,15 @@ fn waterfall(args: RunArgs) -> ExitCode {
     );
     let link = LinkProfile::ten_gbe();
     let mut ok = true;
-    for tier in [TraceTier::Tcp, TraceTier::Fastpath, TraceTier::Local] {
+    for tier in [
+        TraceTier::Tcp,
+        TraceTier::Fastpath,
+        TraceTier::Shm,
+        TraceTier::Local,
+    ] {
+        if !tier.available() {
+            continue;
+        }
         let (stats, snapshot) = oneway_traced(args, w, h, tier, link);
         print!(
             "{}",
@@ -132,34 +141,48 @@ fn overhead_gate(mut args: RunArgs) -> ExitCode {
     }
     let (w, h) = (664, 504);
     println!(
-        "=== sfm_trace: tracing-overhead gate (fastpath, 1MB, best of {GATE_RUNS} x {} msgs) ===",
+        "=== sfm_trace: tracing-overhead gate (1MB, best of {GATE_RUNS} x {} msgs per tier) ===",
         args.iters
     );
-    let best = |traced: bool| -> f64 {
-        (0..GATE_RUNS)
-            .map(|_| {
-                if traced {
-                    oneway_traced(args, w, h, TraceTier::Fastpath, LinkProfile::UNLIMITED)
-                        .0
-                        .p50_ms
-                } else {
-                    oneway_untraced(args, w, h, TraceTier::Fastpath, LinkProfile::UNLIMITED).p50_ms
-                }
-            })
-            .fold(f64::INFINITY, f64::min)
-    };
-    let untraced = best(false);
-    let traced = best(true);
-    let allowance = untraced * GATE_RATIO + GATE_EPSILON_MS;
-    println!(
-        "untraced p50 {untraced:.3} ms, traced p50 {traced:.3} ms, \
-         allowance {allowance:.3} ms ({GATE_RATIO}x + {GATE_EPSILON_MS} ms)"
-    );
-    if traced <= allowance {
+    let mut ok = true;
+    for tier in [TraceTier::Fastpath, TraceTier::Shm] {
+        if !tier.available() {
+            println!("{:<9} unavailable on this target; skipped", tier.label());
+            continue;
+        }
+        let best = |traced: bool| -> f64 {
+            (0..GATE_RUNS)
+                .map(|_| {
+                    if traced {
+                        oneway_traced(args, w, h, tier, LinkProfile::UNLIMITED)
+                            .0
+                            .p50_ms
+                    } else {
+                        oneway_untraced(args, w, h, tier, LinkProfile::UNLIMITED).p50_ms
+                    }
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let untraced = best(false);
+        let traced = best(true);
+        let allowance = untraced * GATE_RATIO + GATE_EPSILON_MS;
+        println!(
+            "{:<9} untraced p50 {untraced:.3} ms, traced p50 {traced:.3} ms, \
+             allowance {allowance:.3} ms ({GATE_RATIO}x + {GATE_EPSILON_MS} ms)",
+            tier.label()
+        );
+        if traced > allowance {
+            eprintln!(
+                "overhead gate: FAIL ({} traced p50 exceeds allowance)",
+                tier.label()
+            );
+            ok = false;
+        }
+    }
+    if ok {
         println!("overhead gate: PASS");
         ExitCode::SUCCESS
     } else {
-        eprintln!("overhead gate: FAIL (traced p50 exceeds allowance)");
         ExitCode::FAILURE
     }
 }

@@ -324,12 +324,43 @@ pub fn pingpong_sfm_with(
 /// same-machine tier; with it off, the identical frames travel the TCP
 /// loopback wire — the pair quantifies the zero-copy fast path's gain.
 pub fn pingpong_same_machine(args: RunArgs, width: u32, height: u32, fastpath: bool) -> Stats {
-    fresh_cell();
-    let master = Master::new();
     let config = TransportConfig {
         enable_fastpath: fastpath,
         ..TransportConfig::default()
     };
+    let label = if fastpath {
+        "fig16 same-machine fastpath"
+    } else {
+        "fig16 same-machine tcp"
+    };
+    pingpong_same_machine_with(args, width, height, config, label)
+}
+
+/// Fig. 16, `shm` series: the same verbatim-relay ping-pong forced onto
+/// the cross-process shared-memory tier. The fast path is disabled and
+/// `shm_same_process` lifted so the loopback negotiation lands on the
+/// segment rings; every hop is one copy into a memfd segment and a
+/// zero-copy adoption out of it. Contrasted with the TCP and fastpath
+/// series, this prices the shm tier between "two socket traversals" and
+/// "pure pointer handoff".
+pub fn pingpong_shm(args: RunArgs, width: u32, height: u32) -> Stats {
+    let config = TransportConfig {
+        enable_fastpath: false,
+        shm_same_process: true,
+        ..TransportConfig::default()
+    };
+    pingpong_same_machine_with(args, width, height, config, "fig16 same-machine shm")
+}
+
+fn pingpong_same_machine_with(
+    args: RunArgs,
+    width: u32,
+    height: u32,
+    config: TransportConfig,
+    label: &str,
+) -> Stats {
+    fresh_cell();
+    let master = Master::new();
     let nh = NodeHandle::with_config(&master, "same_machine", MachineId::A, config);
     let t1 = unique_topic("fig16_local_t1");
     let t2 = unique_topic("fig16_local_t2");
@@ -364,11 +395,6 @@ pub fn pingpong_same_machine(args: RunArgs, width: u32, height: u32, fastpath: b
         lat.push(drain_one(&rx, "fig16 same-machine"));
         std::thread::sleep(args.gap());
     }
-    let label = if fastpath {
-        "fig16 same-machine fastpath"
-    } else {
-        "fig16 same-machine tcp"
-    };
     dump_transport_metrics(label, &master);
     Stats::from_nanos(lat)
 }
@@ -394,6 +420,10 @@ pub enum TraceTier {
     Tcp,
     /// Same-process pointer handoff.
     Fastpath,
+    /// The cross-process shared-memory segment rings, exercised in
+    /// same-process mode (`TransportConfig::shm_same_process`) so both
+    /// ends share the trace clock and the full waterfall telescopes.
+    Shm,
     /// The synchronous in-process [`LocalBus`].
     Local,
 }
@@ -404,8 +434,15 @@ impl TraceTier {
         match self {
             TraceTier::Tcp => "tcp",
             TraceTier::Fastpath => "fastpath",
+            TraceTier::Shm => "shm",
             TraceTier::Local => "local",
         }
+    }
+
+    /// Whether this tier can run on the current build target (the shm
+    /// tier needs the memfd transport; everything else always works).
+    pub fn available(self) -> bool {
+        self != TraceTier::Shm || rossf_shm::supported()
     }
 }
 
@@ -493,35 +530,46 @@ fn oneway_run(
             });
             (stats, snapshot)
         }
-        TraceTier::Fastpath | TraceTier::Tcp => {
+        TraceTier::Fastpath | TraceTier::Tcp | TraceTier::Shm => {
             let master = Master::new();
-            let (config, pub_machine, sub_machine) = if tier == TraceTier::Tcp {
-                master.links().connect(MachineId::A, MachineId::B, link);
-                (
+            let (config, pub_machine, sub_machine) = match tier {
+                TraceTier::Tcp => {
+                    master.links().connect(MachineId::A, MachineId::B, link);
+                    (
+                        TransportConfig {
+                            validate_on_receive: true,
+                            enable_fastpath: false,
+                            ..TransportConfig::default()
+                        },
+                        MachineId::A,
+                        MachineId::B,
+                    )
+                }
+                TraceTier::Shm => (
                     TransportConfig {
                         validate_on_receive: true,
                         enable_fastpath: false,
+                        shm_same_process: true,
                         ..TransportConfig::default()
                     },
                     MachineId::A,
-                    MachineId::B,
-                )
-            } else {
-                (
+                    MachineId::A,
+                ),
+                _ => (
                     TransportConfig {
                         validate_on_receive: true,
                         ..TransportConfig::default()
                     },
                     MachineId::A,
                     MachineId::A,
-                )
+                ),
             };
             let nh_pub = NodeHandle::with_config(&master, "trace_pub", pub_machine, config.clone());
             let nh_sub = NodeHandle::with_config(&master, "trace_sub", sub_machine, config);
-            let topic = unique_topic(if tier == TraceTier::Tcp {
-                "trace_tcp"
-            } else {
-                "trace_fastpath"
+            let topic = unique_topic(match tier {
+                TraceTier::Tcp => "trace_tcp",
+                TraceTier::Shm => "trace_shm",
+                _ => "trace_fastpath",
             });
             let publisher: Publisher<SfmBox<SfmImage>> =
                 nh_pub.advertise_with(&topic, PublisherOptions::new().queue_size(8).trace(traced));
@@ -771,22 +819,37 @@ mod tests {
     }
 
     #[test]
-    fn fig16_same_machine_runs_on_both_tiers() {
+    fn fig16_same_machine_runs_on_every_tier() {
         let fast = pingpong_same_machine(tiny(), 32, 32, true);
         let tcp = pingpong_same_machine(tiny(), 32, 32, false);
         assert_eq!(fast.n, 5);
         assert_eq!(tcp.n, 5);
         assert!(fast.mean_ms > 0.0 && fast.mean_ms < 1000.0);
         assert!(tcp.mean_ms > 0.0 && tcp.mean_ms < 1000.0);
+        if TraceTier::Shm.available() {
+            let shm = pingpong_shm(tiny(), 32, 32);
+            assert_eq!(shm.n, 5);
+            assert!(shm.mean_ms > 0.0 && shm.mean_ms < 1000.0);
+        }
     }
 
     #[test]
-    fn oneway_traced_covers_all_three_tiers() {
+    fn oneway_traced_covers_every_tier() {
         let link = LinkProfile {
             bandwidth_bps: 1_000_000_000,
             latency: Duration::from_micros(100),
         };
         use rossf_trace::Stage;
+        let all_stages = vec![
+            Stage::Alloc,
+            Stage::Encode,
+            Stage::Enqueue,
+            Stage::WireWrite,
+            Stage::WireRead,
+            Stage::Verify,
+            Stage::Adopt,
+            Stage::Callback,
+        ];
         for (tier, want_stages) in [
             (
                 TraceTier::Local,
@@ -803,20 +866,12 @@ mod tests {
                     Stage::Callback,
                 ],
             ),
-            (
-                TraceTier::Tcp,
-                vec![
-                    Stage::Alloc,
-                    Stage::Encode,
-                    Stage::Enqueue,
-                    Stage::WireWrite,
-                    Stage::WireRead,
-                    Stage::Verify,
-                    Stage::Adopt,
-                    Stage::Callback,
-                ],
-            ),
+            (TraceTier::Tcp, all_stages.clone()),
+            (TraceTier::Shm, all_stages),
         ] {
+            if !tier.available() {
+                continue;
+            }
             let (stats, snap) = oneway_traced(tiny(), 32, 32, tier, link);
             assert_eq!(stats.n, 5, "{tier:?}");
             for stage in want_stages {

@@ -276,6 +276,133 @@ pub fn write_trace_report(fig: &str, tiers: &[TraceWaterfall]) -> io::Result<Pat
     Ok(path)
 }
 
+/// One `BENCH_*.json` document folded into the trajectory summary: its
+/// provenance plus the scenario rows carried verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryRun {
+    /// Figure id, e.g. `"fig16"`.
+    pub fig: String,
+    /// Git SHA the report was produced from.
+    pub git_sha: String,
+    /// UTC wall-clock time of the producing run.
+    pub timestamp_utc: String,
+    /// Cargo profile of the producing run.
+    pub profile: String,
+    /// The scenario row objects, verbatim from the source document.
+    pub scenario_rows: String,
+    /// Number of scenario rows in `scenario_rows`.
+    pub scenario_count: usize,
+}
+
+/// Extract the string value of `"key": "..."` from a report document
+/// (handles the escapes [`render_json`] emits).
+fn extract_str_field(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let start = doc.find(&needle)? + needle.len();
+    let mut out = String::new();
+    let mut chars = doc[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parse one `BENCH_*.json` document produced by [`render_json`] back into
+/// a [`TrajectoryRun`]. Returns `None` when the document doesn't have the
+/// expected shape (hand-edited or from an incompatible version).
+pub fn parse_report_doc(doc: &str) -> Option<TrajectoryRun> {
+    let fig = extract_str_field(doc, "fig")?;
+    let git_sha = extract_str_field(doc, "git_sha")?;
+    let timestamp_utc = extract_str_field(doc, "timestamp_utc")?;
+    let profile = extract_str_field(doc, "profile")?;
+    let open = doc.find("\"scenarios\": [")? + "\"scenarios\": [".len();
+    let close = doc[open..].find("\n  ]")? + open;
+    let scenario_rows = doc[open..close].trim_matches('\n').to_string();
+    let scenario_count = scenario_rows.matches("\"scenario\":").count();
+    Some(TrajectoryRun {
+        fig,
+        git_sha,
+        timestamp_utc,
+        profile,
+        scenario_rows,
+        scenario_count,
+    })
+}
+
+/// Render the consolidated trajectory document: every benchmark report in
+/// `results/` merged into one file, so a repo checkout carries its whole
+/// measured performance trajectory in a single machine-readable place.
+pub fn render_trajectory(meta: &RunMeta, runs: &[TrajectoryRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"fig\": \"trajectory\",\n");
+    out.push_str(&meta_fragment(meta));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fig\": \"{}\", \"git_sha\": \"{}\", \"timestamp_utc\": \"{}\", \"profile\": \"{}\", \"scenario_count\": {}, \"scenarios\": [\n",
+            escape(&r.fig),
+            escape(&r.git_sha),
+            escape(&r.timestamp_utc),
+            escape(&r.profile),
+            r.scenario_count,
+        ));
+        if !r.scenario_rows.is_empty() {
+            out.push_str(&r.scenario_rows);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Load every `results/BENCH_*.json` as a [`TrajectoryRun`], sorted by
+/// file name. Unparseable documents are skipped with a note on stderr.
+pub fn load_trajectory_runs() -> io::Result<Vec<TrajectoryRun>> {
+    let dir = results_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut runs = Vec::new();
+    for path in paths {
+        let doc = std::fs::read_to_string(&path)?;
+        match parse_report_doc(&doc) {
+            Some(run) => runs.push(run),
+            None => eprintln!("skipping malformed report {}", path.display()),
+        }
+    }
+    Ok(runs)
+}
+
+/// Write `results/TRAJECTORY.json` from the given runs. Returns the path
+/// written.
+pub fn write_trajectory(runs: &[TrajectoryRun]) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("TRAJECTORY.json");
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(render_trajectory(&RunMeta::capture(), runs).as_bytes())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +465,40 @@ mod tests {
         assert!(!m.git_sha.is_empty());
         assert!(m.timestamp_utc.ends_with('Z'));
         assert!(m.profile == "debug" || m.profile == "release");
+    }
+
+    #[test]
+    fn report_round_trips_through_trajectory() {
+        let rows = vec![
+            ScenarioReport::from_stats("sfm ten_gbe 1MB", 1_000_000, &stats()),
+            ScenarioReport::from_stats("same-machine shm 1MB", 1_000_000, &stats()),
+        ];
+        let doc = render_json("fig16", &meta(), &rows);
+        let run = parse_report_doc(&doc).expect("well-formed report parses");
+        assert_eq!(run.fig, "fig16");
+        assert_eq!(run.git_sha, "abc123");
+        assert_eq!(run.profile, "debug");
+        assert_eq!(run.scenario_count, 2);
+        assert!(run.scenario_rows.contains("same-machine shm 1MB"));
+
+        let merged = render_trajectory(&meta(), &[run.clone(), run]);
+        assert!(merged.contains("\"fig\": \"trajectory\""));
+        assert_eq!(merged.matches("\"fig\": \"fig16\"").count(), 2);
+        assert_eq!(merged.matches("\"scenario_count\": 2").count(), 2);
+        // The scenario rows survive verbatim (4 total across both runs).
+        assert_eq!(merged.matches("\"scenario\":").count(), 4);
+    }
+
+    #[test]
+    fn trajectory_of_nothing_is_valid() {
+        let merged = render_trajectory(&meta(), &[]);
+        assert!(merged.contains("\"runs\": [\n  ]"));
+    }
+
+    #[test]
+    fn malformed_report_is_rejected() {
+        assert!(parse_report_doc("{}").is_none());
+        assert!(parse_report_doc("not json at all").is_none());
     }
 
     #[test]

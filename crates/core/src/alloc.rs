@@ -94,6 +94,12 @@ pub struct SfmAlloc {
     /// armed at allocation time. Recycled pool entries are re-stamped: the
     /// `alloc` span measures this message's construction, not the region's.
     born_ns: u64,
+    /// `Some` when the region is *externally owned* (e.g. a shared-memory
+    /// mapping adopted by [`SfmAlloc::from_extern`]): the guard keeps the
+    /// region alive and its drop performs whatever release the owner needs
+    /// (cross-process refcount decrement, unmap). Such regions are never
+    /// pooled nor deallocated here.
+    extern_guard: Option<Box<dyn std::any::Any + Send + Sync>>,
 }
 
 // SAFETY: SfmAlloc uniquely owns its region; shared access is `&self` reads
@@ -127,6 +133,7 @@ impl SfmAlloc {
                     ptr: entry.ptr,
                     capacity: entry.capacity,
                     born_ns,
+                    extern_guard: None,
                 };
             }
         }
@@ -141,7 +148,49 @@ impl SfmAlloc {
             ptr,
             capacity,
             born_ns,
+            extern_guard: None,
         }
+    }
+
+    /// Wrap an externally owned region (typically a shared-memory mapping)
+    /// as an `SfmAlloc` without copying. `guard` is dropped exactly once
+    /// when this allocation drops — it should release whatever keeps the
+    /// region alive (a mapping handle, a cross-process reference count).
+    /// `born_ns` of the result is 0: adopted frames do not re-run the
+    /// `alloc` stage.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must be non-null, aligned to [`SFM_ALLOC_ALIGN`], and valid
+    ///   for reads of `capacity` bytes for as long as `guard` lives.
+    /// * The region must not be written through other aliases while any
+    ///   clone of the returned allocation is alive (read-only mappings
+    ///   satisfy this trivially).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub unsafe fn from_extern(
+        ptr: *mut u8,
+        capacity: usize,
+        guard: Box<dyn std::any::Any + Send + Sync>,
+    ) -> Self {
+        assert!(capacity > 0, "SFM allocation must be nonempty");
+        let ptr = NonNull::new(ptr).expect("extern region must be non-null");
+        debug_assert_eq!(ptr.as_ptr() as usize % SFM_ALLOC_ALIGN, 0);
+        SfmAlloc {
+            ptr,
+            capacity,
+            born_ns: 0,
+            extern_guard: Some(guard),
+        }
+    }
+
+    /// Whether this allocation wraps an externally owned region (adopted
+    /// through [`SfmAlloc::from_extern`]) rather than heap memory.
+    #[inline]
+    pub fn is_extern(&self) -> bool {
+        self.extern_guard.is_some()
     }
 
     /// Zero the first `n` bytes (used to initialize skeletons; an all-zero
@@ -208,6 +257,12 @@ impl SfmAlloc {
 
 impl Drop for SfmAlloc {
     fn drop(&mut self) {
+        // Externally owned regions: release through the guard only — the
+        // bytes belong to the mapping's owner, never to the heap or pool.
+        if let Some(guard) = self.extern_guard.take() {
+            drop(guard);
+            return;
+        }
         if self.capacity >= POOL_MIN_SIZE {
             let mut pool = pool().lock().expect("pool lock");
             let same_class = pool
@@ -314,6 +369,42 @@ mod tests {
         // never holds it; allocating a *different* small size must work.
         let b = SfmAlloc::new(128);
         let _ = (base, b);
+    }
+
+    #[test]
+    fn extern_region_released_through_guard_never_pooled() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        // The Vec is held only to keep the extern region alive for the
+        // allocation's lifetime.
+        struct Guard(Arc<AtomicUsize>, #[allow(dead_code)] Vec<u64>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        // Large enough that the regular Drop path would try to pool it;
+        // u64 storage guarantees the 8-byte alignment from_extern expects.
+        let mut words = vec![0x0707_0707_0707_0707u64; POOL_MIN_SIZE / 8];
+        let ptr = words.as_mut_ptr() as *mut u8;
+        let guard = Guard(Arc::clone(&drops), words);
+        let a = unsafe { SfmAlloc::from_extern(ptr, POOL_MIN_SIZE, Box::new(guard)) };
+        assert!(a.is_extern());
+        assert_eq!(a.born_ns(), 0);
+        assert_eq!(a.slice(4), &[7, 7, 7, 7]);
+        drop(a);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            1,
+            "guard dropped exactly once"
+        );
+        // A fresh allocation of the same size must not resurrect the
+        // extern pointer from the pool.
+        let b = SfmAlloc::new(POOL_MIN_SIZE);
+        assert!(!b.is_extern());
     }
 
     #[test]

@@ -275,6 +275,45 @@ impl<T: SfmMessage> SfmShared<T> {
         })
     }
 
+    /// Adopt an externally owned buffer (typically a shared-memory mapped
+    /// frame wrapped by [`SfmAlloc::from_extern`]) as a subscriber-side
+    /// message **without copying**: the frame is validated in place,
+    /// registered with the global manager in the `Published` state, and the
+    /// returned handle's drop releases the record — which in turn drops the
+    /// buffer's external guard (unmapping / refcount release).
+    ///
+    /// This is the shared-memory analogue of
+    /// [`SfmRecvBuffer::finish`](crate::SfmRecvBuffer::finish): the same
+    /// validation and adoption sequence, minus the receive-time copy.
+    ///
+    /// # Errors
+    ///
+    /// * [`SfmError::FrameTooSmall`](crate::SfmError::FrameTooSmall) if
+    ///   `len` cannot hold the skeleton.
+    /// * [`SfmError::FrameTooLarge`](crate::SfmError::FrameTooLarge) if
+    ///   `len` exceeds the type's `max_size`.
+    /// * Validation errors from `validate_in` (malformed offsets).
+    pub fn adopt_extern(buffer: Arc<SfmAlloc>, len: usize) -> Result<Self, crate::SfmError> {
+        if len < T::SKELETON_SIZE {
+            return Err(crate::SfmError::FrameTooSmall {
+                expected: T::SKELETON_SIZE,
+                actual: len,
+            });
+        }
+        if len > T::max_size() {
+            return Err(crate::SfmError::FrameTooLarge {
+                max_size: T::max_size(),
+                actual: len,
+            });
+        }
+        let base = buffer.base();
+        // SAFETY: aligned pod view over the initialized received frame.
+        let view = unsafe { &*(buffer.as_ptr() as *const T) };
+        view.validate_in(base, len)?;
+        mm().adopt(Arc::clone(&buffer), len, T::type_name());
+        Ok(SfmShared::from_parts(buffer, len))
+    }
+
     /// Size of the whole message.
     #[inline]
     pub fn whole_len(&self) -> usize {

@@ -113,6 +113,14 @@ pub enum LifecycleOp {
     MarkPublished,
     /// `release` — record removed.
     Release,
+    /// A shared-memory segment was mapped into this process (publisher
+    /// creation or subscriber adoption of a peer's memfd).
+    SegmentMap,
+    /// A shared-memory segment mapping was torn down.
+    SegmentUnmap,
+    /// A shared-memory segment was re-acquired for a new frame after its
+    /// cross-process refcount returned to zero (generation bump).
+    SegmentRecycle,
     /// An anomaly was detected (the paired [`AlertKind`] says which).
     Anomaly(AlertKind),
 }
@@ -145,6 +153,10 @@ pub struct SanitizerReport {
     /// `Allocated` records found by the last [`MessageManager::check_leaks`]
     /// call.
     pub leaked_allocated: u64,
+    /// Shared-memory segments still mapped at the last
+    /// [`MessageManager::check_leaks`] call — orphaned segments whose
+    /// mapping was never torn down.
+    pub leaked_segments: u64,
 }
 
 /// Bounded history of recently released `[start, end)` ranges plus the
@@ -212,6 +224,9 @@ pub struct MessageManager {
     /// Opt-in lifecycle sanitizer (`None` = disabled, the default). Locked
     /// only after `records` has been released — never nested.
     sanitizer: Mutex<Option<Sanitizer>>,
+    /// Live shared-memory segment mappings, base address → mapped bytes.
+    /// Maintained unconditionally (cheap), reported through the sanitizer.
+    segments: Mutex<std::collections::BTreeMap<usize, usize>>,
     registered: AtomicU64,
     released: AtomicU64,
     expands: AtomicU64,
@@ -232,6 +247,7 @@ impl MessageManager {
             records: Mutex::new(Vec::new()),
             strategy: Mutex::new(LookupStrategy::Binary),
             sanitizer: Mutex::new(None),
+            segments: Mutex::new(std::collections::BTreeMap::new()),
             registered: AtomicU64::new(0),
             released: AtomicU64::new(0),
             expands: AtomicU64::new(0),
@@ -349,6 +365,45 @@ impl MessageManager {
         if let Some(san) = self.sanitizer.lock().as_mut() {
             san.log(LifecycleOp::AdoptShared, start, ty);
         }
+    }
+
+    /// Note that a shared-memory segment of `bytes` bytes was mapped at
+    /// `base` in this process (publisher segment creation or subscriber
+    /// adoption of a peer's memfd). The mapping is tracked until
+    /// [`MessageManager::note_segment_unmap`]; anything still tracked when
+    /// [`MessageManager::check_leaks`] runs is an orphaned segment.
+    pub fn note_segment_map(&self, base: usize, bytes: usize) {
+        self.segments.lock().insert(base, bytes);
+        if let Some(san) = self.sanitizer.lock().as_mut() {
+            san.log(LifecycleOp::SegmentMap, base, None);
+        }
+    }
+
+    /// Note that the shared-memory segment mapping at `base` was torn down.
+    pub fn note_segment_unmap(&self, base: usize) {
+        self.segments.lock().remove(&base);
+        if let Some(san) = self.sanitizer.lock().as_mut() {
+            san.log(LifecycleOp::SegmentUnmap, base, None);
+        }
+    }
+
+    /// Note that the segment mapped at `base` was recycled for a new frame
+    /// (cross-process refcount returned to zero; generation bumped).
+    pub fn note_segment_recycle(&self, base: usize) {
+        if let Some(san) = self.sanitizer.lock().as_mut() {
+            san.log(LifecycleOp::SegmentRecycle, base, None);
+        }
+    }
+
+    /// Number of shared-memory segment mappings currently live in this
+    /// process.
+    pub fn live_segments(&self) -> usize {
+        self.segments.lock().len()
+    }
+
+    /// Snapshot of the live segment mappings as `(base, bytes)` pairs.
+    pub fn segment_mappings(&self) -> Vec<(usize, usize)> {
+        self.segments.lock().iter().map(|(&b, &n)| (b, n)).collect()
     }
 
     fn insert(&self, rec: Record) {
@@ -531,6 +586,11 @@ impl MessageManager {
     /// the leak check the sanitizer runs at shutdown. Returns the leaked
     /// records; raises one [`AlertKind::LifecycleLeak`] alert (naming the
     /// first leaked type) when any are found and the sanitizer is enabled.
+    ///
+    /// The scan also covers orphaned shared-memory segments: any mapping
+    /// noted through [`MessageManager::note_segment_map`] and never
+    /// unmapped counts into [`SanitizerReport::leaked_segments`] and raises
+    /// the same alert kind.
     pub fn check_leaks(&self) -> Vec<RecordInfo> {
         let leaked: Vec<RecordInfo> = {
             let records = self.records.lock();
@@ -548,9 +608,11 @@ impl MessageManager {
                 })
                 .collect()
         };
+        let live_segments = self.segment_mappings();
         let mut alert = None;
         if let Some(san) = self.sanitizer.lock().as_mut() {
             san.report.leaked_allocated = leaked.len() as u64;
+            san.report.leaked_segments = live_segments.len() as u64;
             if let Some(first) = leaked.first() {
                 san.log(
                     LifecycleOp::Anomaly(AlertKind::LifecycleLeak),
@@ -558,6 +620,9 @@ impl MessageManager {
                     Some(first.type_name),
                 );
                 alert = Some(first.type_name);
+            } else if let Some(&(base, _)) = live_segments.first() {
+                san.log(LifecycleOp::Anomaly(AlertKind::LifecycleLeak), base, None);
+                alert = Some("<shm segment>");
             }
         }
         if let Some(ty) = alert {
@@ -980,6 +1045,35 @@ mod tests {
         assert_eq!(m.lifecycle_events().len(), super::SANITIZER_EVENTS_CAP);
         assert!(m.sanitizer_report().unwrap().events_logged > super::SANITIZER_EVENTS_CAP as u64);
         m.release(base);
+    }
+
+    #[test]
+    fn segment_tracking_and_leak_detection() {
+        with_counting_alerts(|| {
+            let m = MessageManager::new();
+            m.set_sanitizer(true);
+            m.note_segment_map(0x7000_0000, 4096);
+            m.note_segment_map(0x7000_2000, 8192);
+            m.note_segment_recycle(0x7000_0000);
+            assert_eq!(m.live_segments(), 2);
+            assert_eq!(
+                m.segment_mappings(),
+                vec![(0x7000_0000, 4096), (0x7000_2000, 8192)]
+            );
+            let before = crate::lifecycle_alert_count();
+            m.check_leaks();
+            assert_eq!(m.sanitizer_report().unwrap().leaked_segments, 2);
+            assert_eq!(crate::lifecycle_alert_count(), before + 1);
+            m.note_segment_unmap(0x7000_0000);
+            m.note_segment_unmap(0x7000_2000);
+            assert_eq!(m.live_segments(), 0);
+            m.check_leaks();
+            assert_eq!(m.sanitizer_report().unwrap().leaked_segments, 0);
+            let ops: Vec<LifecycleOp> = m.lifecycle_events().iter().map(|e| e.op).collect();
+            assert!(ops.contains(&LifecycleOp::SegmentMap));
+            assert!(ops.contains(&LifecycleOp::SegmentRecycle));
+            assert!(ops.contains(&LifecycleOp::SegmentUnmap));
+        });
     }
 
     #[test]

@@ -101,6 +101,20 @@ pub struct TransportConfig {
     /// `fastpath` connection-header field); either side disabling it falls
     /// back to TCP transparently. On by default.
     pub enable_fastpath: bool,
+    /// Use the shared-memory tier when publisher and subscriber share a
+    /// `MachineId` but live in *different* processes: the publisher copies
+    /// each frame once into a memfd-backed segment and hands the
+    /// subscriber a descriptor through a lock-free ring; the subscriber
+    /// maps the segment read-only and adopts the bytes without copying.
+    /// Negotiated via a `shm` connection-header field; either side
+    /// disabling it (or an unsupported platform) falls back to TCP with
+    /// byte-identical frames. On by default.
+    pub enable_shm: bool,
+    /// Allow the shm tier even when publisher and subscriber share one
+    /// process (where the fast path would normally win). Off by default;
+    /// benchmarks and tests turn it on to exercise the full shm data path
+    /// — ring, segments, and read-only mapping — inside a single process.
+    pub shm_same_process: bool,
 }
 
 impl Default for TransportConfig {
@@ -112,6 +126,8 @@ impl Default for TransportConfig {
             backoff: BackoffPolicy::default(),
             validate_on_receive: false,
             enable_fastpath: true,
+            enable_shm: true,
+            shm_same_process: false,
         }
     }
 }
@@ -127,6 +143,11 @@ mod tests {
         assert!(c.queue_size > 0);
         assert!(!c.backoff.exhausted(1_000_000));
         assert!(c.enable_fastpath, "zero-copy fast path on by default");
+        assert!(c.enable_shm, "shared-memory tier on by default");
+        assert!(
+            !c.shm_same_process,
+            "same-process traffic prefers the fast path by default"
+        );
     }
 
     #[test]

@@ -132,7 +132,15 @@ impl Master {
         port: Weak<dyn LocalAttach>,
     ) -> Result<u64, RosError> {
         let id = self.fresh_id();
-        self.inner.local_ports.lock().insert(id, port);
+        {
+            let mut ports = self.inner.local_ports.lock();
+            // Prune entries whose publisher core is already gone while the
+            // lock is held anyway — a publisher that died without a clean
+            // unregister (panicked teardown) must not pin map entries
+            // forever.
+            ports.retain(|_, p| p.strong_count() != 0);
+            ports.insert(id, port);
+        }
         match self.register_with_id(topic, type_name, addr, machine, id) {
             Ok(()) => Ok(id),
             Err(e) => {
@@ -176,11 +184,11 @@ impl Master {
     /// subscriber must use TCP (remote endpoint, fast path disabled, or a
     /// peer predating the capability).
     pub(crate) fn local_port(&self, id: u64) -> Option<Arc<dyn LocalAttach>> {
-        self.inner
-            .local_ports
-            .lock()
-            .get(&id)
-            .and_then(Weak::upgrade)
+        let mut ports = self.inner.local_ports.lock();
+        // Same pruning as registration: lookups are the other hot moment
+        // this map is locked, so dead `Weak`s never outlive the next one.
+        ports.retain(|_, p| p.strong_count() != 0);
+        ports.get(&id).and_then(Weak::upgrade)
     }
 
     /// Remove a publisher registration (called when the publisher drops).
@@ -439,5 +447,66 @@ mod tests {
         m.register_publisher("t", "T", addr(1), MachineId::A)
             .unwrap();
         assert_eq!(m2.publisher_count("t"), 1);
+    }
+
+    struct DummyPort;
+    impl LocalAttach for DummyPort {
+        fn attach_local(
+            &self,
+            _header: &crate::wire::ConnectionHeader,
+        ) -> Result<crate::fastpath::LocalSinkHandle, RosError> {
+            Err(RosError::Rejected("dummy port".to_string()))
+        }
+    }
+
+    /// Regression: a publisher core that dies without a clean
+    /// `unregister_publisher` (panicked teardown, leaked id) leaves a dead
+    /// `Weak` in the local-port map; both lookup and registration prune
+    /// such entries so the map never grows without bound.
+    #[test]
+    fn dead_local_port_entries_are_pruned() {
+        let m = Master::new();
+        let live = Arc::new(DummyPort);
+        let dead = Arc::new(DummyPort);
+        let live_id = m
+            .register_publisher_local(
+                "t",
+                "T",
+                addr(1),
+                MachineId::A,
+                Arc::downgrade(&live) as Weak<dyn LocalAttach>,
+            )
+            .unwrap();
+        let dead_id = m
+            .register_publisher_local(
+                "t",
+                "T",
+                addr(2),
+                MachineId::A,
+                Arc::downgrade(&dead) as Weak<dyn LocalAttach>,
+            )
+            .unwrap();
+        assert_eq!(m.inner.local_ports.lock().len(), 2);
+
+        // Kill one core without unregistering, then look up the *other*
+        // id: the dead entry is pruned as a side effect.
+        drop(dead);
+        assert!(m.local_port(live_id).is_some());
+        assert_eq!(m.inner.local_ports.lock().len(), 1);
+        assert!(m.local_port(dead_id).is_none());
+
+        // Registration prunes too: kill the remaining core and register a
+        // fresh one — the map holds exactly the new entry.
+        drop(live);
+        let fresh = Arc::new(DummyPort);
+        m.register_publisher_local(
+            "t",
+            "T",
+            addr(3),
+            MachineId::A,
+            Arc::downgrade(&fresh) as Weak<dyn LocalAttach>,
+        )
+        .unwrap();
+        assert_eq!(m.inner.local_ports.lock().len(), 1);
     }
 }

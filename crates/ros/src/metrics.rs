@@ -83,6 +83,12 @@ transport_counters! {
     /// Frames delivered by pointer handoff instead of a socket (subset of
     /// `frames_sent`).
     fastpath_frames,
+    /// Handshakes that negotiated the shared-memory tier (counted once per
+    /// link, publisher side).
+    shm_handshakes,
+    /// Frames delivered through a shared-memory ring instead of a socket
+    /// (subset of `frames_sent`).
+    shm_frames,
 }
 
 impl TransportMetrics {

@@ -18,17 +18,20 @@ use crate::fastpath::{LocalAttach, LocalSinkHandle, FASTPATH_FIELD};
 use crate::master::Master;
 use crate::metrics::TransportMetrics;
 use crate::options::{PublisherOptions, PublisherStats};
+use crate::shm::{SHM_EPOCH_FIELD, SHM_FD_FIELD, SHM_FIELD, SHM_PID_FIELD, SHM_PUB_PID_FIELD};
 use crate::traits::Encode;
 use crate::wire::{write_frame_vectored, ConnectionHeader, OutFrame};
-use crossbeam::channel::{bounded, Sender, TrySendError};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
-use rossf_netsim::{FaultAction, MachineId, ShapedWriter};
+use rossf_netsim::{FaultAction, FaultInjector, MachineId, ShapedWriter};
+use rossf_shm::{FrameMeta, PushOutcome, SegmentPool, ShmLink};
 use rossf_trace::{now_nanos, tracer, Stage, Tier, TopicTrace};
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::marker::PhantomData;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// Most frames a writer wakeup drains into one socket flush. Bounds the
 /// latency a freshly queued frame can hide behind a long batch while still
@@ -66,15 +69,19 @@ struct PubCore {
     /// TCP when a socket subscriber handshakes. A heuristic — a publisher
     /// serving both at once attributes to the most recent arrival.
     tier_hint: AtomicU8,
+    /// Segment pool shared by every shm link this publisher grants, so the
+    /// memfd count stays bounded by [`rossf_shm::DIR_CAP`] no matter how
+    /// many subscribers attach. Created lazily on the first grant.
+    shm_pool: Mutex<Option<Arc<SegmentPool>>>,
 }
 
 impl PubCore {
     /// The tier the publish-side spans are currently attributed to.
     fn tier(&self) -> Tier {
-        if self.tier_hint.load(Ordering::Relaxed) == 1 {
-            Tier::Fastpath
-        } else {
-            Tier::Tcp
+        match self.tier_hint.load(Ordering::Relaxed) {
+            1 => Tier::Fastpath,
+            2 => Tier::Shm,
+            _ => Tier::Tcp,
         }
     }
 
@@ -145,12 +152,47 @@ impl PubCore {
             return Err(RosError::Rejected("link severed".to_string()));
         }
 
-        let reply = ConnectionHeader::new()
+        // Shared-memory eligibility: both sides opted in, same simulated
+        // machine, a *different* process (same-process traffic prefers the
+        // fast path unless `shm_same_process` overrides), and a supported
+        // platform. Link creation failure withholds the grant silently —
+        // the connection proceeds over TCP with byte-identical frames.
+        let sub_pid = header
+            .get(SHM_PID_FIELD)
+            .and_then(|p| p.parse::<u32>().ok());
+        let shm_link = if self.config.enable_shm
+            && header.get(SHM_FIELD) == Some("1")
+            && sub_machine == self.machine
+            && rossf_shm::supported()
+            && sub_pid.is_some_and(|p| p != std::process::id() || self.config.shm_same_process)
+        {
+            let pool = {
+                let mut pool = self.shm_pool.lock();
+                Arc::clone(pool.get_or_insert_with(|| Arc::new(SegmentPool::new())))
+            };
+            ShmLink::create(pool, self.queue_size.max(1), rossf_shm::fresh_epoch()).ok()
+        } else {
+            None
+        };
+
+        let mut reply = ConnectionHeader::new()
             .with("type", self.type_name)
             .with("topic", &self.topic)
             .with("endian", ConnectionHeader::native_endian());
+        if let Some(link) = &shm_link {
+            reply = reply
+                .with(SHM_FIELD, "1")
+                .with(SHM_PUB_PID_FIELD, std::process::id().to_string())
+                .with(SHM_FD_FIELD, link.ctrl_fd().to_string())
+                .with(SHM_EPOCH_FIELD, link.epoch().to_string());
+        }
         reply.write_to(&mut stream)?;
         self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
+
+        if let Some(link) = shm_link {
+            self.metrics.shm_handshakes.fetch_add(1, Ordering::Relaxed);
+            return self.run_shm_link(stream, link, injector);
+        }
 
         // Link shaping: pace the data path if the subscriber lives on a
         // different simulated machine.
@@ -252,6 +294,129 @@ impl PubCore {
                 break;
             }
         }
+        alive.store(false, Ordering::SeqCst);
+        metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Producer half of one shared-memory link — the shm analogue of the
+    /// TCP writer loop above. Frames drain from the transmission queue
+    /// into the descriptor ring: one copy into a pooled segment
+    /// (`wire_write`), then a lock-free descriptor publish. The handshake
+    /// socket stays open as the liveness channel: the subscriber never
+    /// writes on it again, so any read outcome other than `WouldBlock`
+    /// means the subscriber is gone and the link tears down (dropping the
+    /// link closes the ring and drains unconsumed descriptors so their
+    /// segments recycle).
+    fn run_shm_link(
+        self: Arc<Self>,
+        mut stream: TcpStream,
+        mut link: ShmLink,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<(), RosError> {
+        let (tx, rx) = bounded::<OutFrame>(self.queue_size.max(1));
+        let alive = Arc::new(AtomicBool::new(true));
+        self.add_conn(Arc::new(Conn {
+            queue: tx,
+            alive: Arc::clone(&alive),
+        }));
+        let metrics = Arc::clone(&self.metrics);
+        // An shm subscriber arrived: attribute publish-side spans to it.
+        self.tier_hint.store(2, Ordering::Relaxed);
+        let trace = self.trace.clone();
+        stream.set_nonblocking(true)?;
+        // Release our strong reference: the producer loop must not keep
+        // the core alive, or dropping the last Publisher could never close
+        // the queue this loop waits on.
+        drop(self);
+
+        let mut probe = [0u8; 1];
+        'link: loop {
+            // Short timeout so subscriber departure (EOF on the liveness
+            // socket) is noticed even when nothing is being published.
+            let frame = match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(frame) => Some(frame),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break 'link, // publisher dropped
+            };
+            match stream.read(&mut probe) {
+                // EOF — or protocol-violating bytes; either way the
+                // subscriber's end of the link is dead.
+                Ok(_) => break 'link,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => break 'link,
+            }
+            let Some(frame) = frame else { continue };
+            // Injected faults apply to the ring handoff exactly as they do
+            // to socket writes: a dropped frame never reaches the ring, a
+            // severed link cuts the socket so both sides tear down.
+            match injector
+                .as_ref()
+                .map_or(FaultAction::Pass, |f| f.next_frame_action())
+            {
+                FaultAction::Pass => {}
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Drop => {
+                    metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                FaultAction::Sever => {
+                    metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break 'link;
+                }
+            }
+            let tag = frame.trace();
+            let t_copy_start = match (trace.as_deref(), tag.id) {
+                (Some(table), id) if id != 0 => {
+                    let t = now_nanos();
+                    tracer().span(table, Stage::Enqueue, Tier::Shm, id, tag.enqueued_ns, t);
+                    Some(t)
+                }
+                _ => None,
+            };
+            // Two-phase push so the spans telescope: `wire_write` covers
+            // the copy into the segment, and the descriptor's `pushed_ns`
+            // (where the reader's `wire_read` span starts) is stamped at
+            // the copy/publish boundary.
+            let prepared = link.prepare(frame.as_slice());
+            let outcome = match prepared {
+                None => PushOutcome::NoSegment,
+                Some(p) => {
+                    let t_pushed = if t_copy_start.is_some() {
+                        now_nanos()
+                    } else {
+                        0
+                    };
+                    if let (Some(table), Some(t0)) = (trace.as_deref(), t_copy_start) {
+                        tracer().span(table, Stage::WireWrite, Tier::Shm, tag.id, t0, t_pushed);
+                    }
+                    link.commit(
+                        p,
+                        FrameMeta {
+                            trace_id: tag.id,
+                            born_ns: tag.born_ns,
+                            enqueued_ns: tag.enqueued_ns,
+                            pushed_ns: t_pushed,
+                        },
+                    )
+                }
+            };
+            match outcome {
+                PushOutcome::Pushed => {
+                    metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    metrics
+                        .bytes_sent
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    metrics.shm_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                // Ring or pool exhausted: backpressure, frame dropped.
+                PushOutcome::RingFull | PushOutcome::NoSegment => {
+                    metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(link); // close the ring, drain unconsumed descriptors
         alive.store(false, Ordering::SeqCst);
         metrics.disconnects.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -388,6 +553,7 @@ impl<M: Encode> Publisher<M> {
             dropped: AtomicU64::new(0),
             trace,
             tier_hint: AtomicU8::new(0),
+            shm_pool: Mutex::new(None),
         });
         // Fast-path-capable publishers register a local attach port so
         // same-machine subscribers in this process can skip the socket.

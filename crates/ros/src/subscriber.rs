@@ -19,10 +19,12 @@ use crate::fastpath::{LocalAttach, FASTPATH_FIELD};
 use crate::master::{Master, PublisherEndpoint};
 use crate::metrics::TransportMetrics;
 use crate::options::{SubscriberOptions, SubscriberStats};
+use crate::shm::{SHM_EPOCH_FIELD, SHM_FD_FIELD, SHM_FIELD, SHM_PID_FIELD, SHM_PUB_PID_FIELD};
 use crate::traits::{Decode, RecvSlot};
 use crate::wire::{read_frame_len, ConnectionHeader};
 use crossbeam::channel::RecvTimeoutError;
 use rossf_netsim::{FaultAction, MachineId};
+use rossf_shm::{ShmReader, TakeError};
 use rossf_trace::{now_nanos, tracer, Stage, Tier, TopicTrace};
 use std::collections::HashMap;
 use std::io::{BufReader, Read};
@@ -337,12 +339,20 @@ impl<D: Decode> SubCore<D> {
         // handshake must not pin this thread forever.
         stream.set_read_timeout(Some(self.config.handshake_timeout))?;
         let mut write_half = stream.try_clone()?;
-        ConnectionHeader::new()
+        let mut request = ConnectionHeader::new()
             .with("topic", &self.topic)
             .with("type", D::topic_type())
             .with("machine", self.machine.0.to_string())
-            .with("endian", ConnectionHeader::native_endian())
-            .write_to(&mut write_half)?;
+            .with("endian", ConnectionHeader::native_endian());
+        // Offer the shared-memory tier: the publisher grants it only when
+        // both sides share a machine and (normally) live in different
+        // processes, so the offer also carries our pid.
+        if self.config.enable_shm && rossf_shm::supported() {
+            request = request
+                .with(SHM_FIELD, "1")
+                .with(SHM_PID_FIELD, std::process::id().to_string());
+        }
+        request.write_to(&mut write_half)?;
 
         let mut reader = BufReader::with_capacity(256 * 1024, stream);
         let reply = ConnectionHeader::read_from(&mut reader)?;
@@ -368,6 +378,13 @@ impl<D: Decode> SubCore<D> {
         if is_reconnect {
             self.reconnects.fetch_add(1, Ordering::Relaxed);
             self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if reply.get(SHM_FIELD) == Some("1") {
+            // The publisher granted the shared-memory tier and is now in
+            // its ring-producer loop: frames arrive as descriptors, not
+            // socket bytes. The socket stays open as the liveness channel.
+            return self.run_shm_connection(reader.get_ref(), &reply);
         }
 
         // The connection key mirrors the writer's `conn_key(local, peer)`:
@@ -494,6 +511,136 @@ impl<D: Decode> SubCore<D> {
                         let _ = tracer().sidecar().take(conn_key, wire_seq);
                     }
                     wire_seq += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One shared-memory link lifetime: adopt the publisher's control
+    /// segment and consume descriptors until either side tears down.
+    /// Frames are mapped read-only straight out of the publisher's
+    /// segments — zero subscriber-side payload copies for SFM messages.
+    /// The handshake socket is kept open purely as a liveness channel:
+    /// EOF means the publisher process is gone even if it never managed
+    /// to mark the ring closed (crash recovery).
+    fn run_shm_connection(
+        &self,
+        stream: &TcpStream,
+        reply: &ConnectionHeader,
+    ) -> Result<(), RosError> {
+        let field = |name: &str| -> Result<u64, RosError> {
+            reply
+                .get(name)
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    RosError::Rejected(format!("malformed shm grant: bad `{name}` field"))
+                })
+        };
+        let pub_pid = field(SHM_PUB_PID_FIELD)? as u32;
+        let ctrl_fd = field(SHM_FD_FIELD)? as i32;
+        let epoch = field(SHM_EPOCH_FIELD)?;
+        // An epoch mismatch (or unreadable fd) means the publisher
+        // incarnation that promised this grant is already gone: report a
+        // transport failure so the supervisor reconnects and renegotiates
+        // from a fresh handshake.
+        let shm = ShmReader::connect(pub_pid, ctrl_fd, epoch).map_err(RosError::Io)?;
+        stream.set_nonblocking(true)?;
+
+        let trace = self.trace.as_deref();
+        let own_pid = std::process::id();
+        let mut probe_stream = stream;
+        let mut probe = [0u8; 1];
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let frame = match shm.take(Duration::from_millis(20)) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => {
+                    if shm.is_closed() && shm.pending() == 0 {
+                        break; // graceful teardown, ring drained
+                    }
+                    // Liveness probe: a publisher that died without
+                    // closing the ring leaves EOF (or an error) here.
+                    match probe_stream.read(&mut probe) {
+                        Ok(_) => break, // EOF, or protocol-violating bytes
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        Err(_) => break,
+                    }
+                    continue;
+                }
+                Err(TakeError::Stale) => {
+                    // Abandoned frame from a recycled publisher
+                    // incarnation — counted like a decode failure.
+                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                // The ring can no longer be trusted to be in sync: tear
+                // the link down (retryable under backoff).
+                Err(TakeError::Corrupt(e)) => return Err(RosError::Io(e)),
+            };
+            let len = frame.len();
+            let desc = *frame.descriptor();
+            let (id, mut t_prev) = match trace {
+                Some(table) if desc.trace_id != 0 => {
+                    let t = now_nanos();
+                    // The descriptor's timestamps are on the *publisher's*
+                    // trace clock, meaningful here only when the publisher
+                    // is this same process (the `shm_same_process` bench
+                    // mode); a cross-process link skips the span rather
+                    // than mixing clocks.
+                    if pub_pid == own_pid && desc.pushed_ns != 0 {
+                        tracer().span(
+                            table,
+                            Stage::WireRead,
+                            Tier::Shm,
+                            desc.trace_id,
+                            desc.pushed_ns,
+                            t,
+                        );
+                    }
+                    (desc.trace_id, t)
+                }
+                _ => (0, 0),
+            };
+            if self.config.validate_on_receive {
+                if D::verify_frame(frame.as_slice()).is_err() {
+                    // Dropping the unadopted frame releases its segment
+                    // reference; the ring stays in sync.
+                    self.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let (Some(table), true) = (trace, id != 0) {
+                    let t = now_nanos();
+                    tracer().span(table, Stage::Verify, Tier::Shm, id, t_prev, t);
+                    t_prev = t;
+                }
+            }
+            let decoded = D::from_mapped_frame(frame);
+            if let (Some(table), true, true) = (trace, id != 0, decoded.is_ok()) {
+                let t = now_nanos();
+                tracer().span(table, Stage::Adopt, Tier::Shm, id, t_prev, t);
+                t_prev = t;
+            }
+            match decoded {
+                Ok(msg) => {
+                    self.received.fetch_add(1, Ordering::Relaxed);
+                    self.received_bytes.fetch_add(len as u64, Ordering::Relaxed);
+                    self.metrics.frames_received.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .bytes_received
+                        .fetch_add(len as u64, Ordering::Relaxed);
+                    (self.callback)(msg);
+                    if let (Some(table), true) = (trace, id != 0) {
+                        let t = now_nanos();
+                        tracer().span(table, Stage::Callback, Tier::Shm, id, t_prev, t);
+                    }
+                }
+                Err(_) => {
+                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }

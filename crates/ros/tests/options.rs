@@ -1,0 +1,262 @@
+//! The consolidated options/stats API: `advertise_with`/`subscribe_with`
+//! defaults are behaviorally identical to the legacy positional calls,
+//! per-endpoint transport overrides round-trip into real negotiation
+//! decisions, and `stats()` snapshots agree with the individual accessors
+//! on every transport tier.
+
+use rossf_ros::{
+    LocalBus, MachineId, Master, NodeHandle, Publisher, PublisherOptions, SubscriberOptions,
+    TransportConfig,
+};
+use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[repr(C)]
+#[derive(Debug)]
+struct Payload {
+    seq: u32,
+    _pad: u32,
+    data: SfmVec<u8>,
+}
+unsafe impl SfmPod for Payload {}
+impl SfmValidate for Payload {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.data.validate_in(base, len)
+    }
+}
+unsafe impl SfmMessage for Payload {
+    fn type_name() -> &'static str {
+        "test/OptionsPayload"
+    }
+    fn max_size() -> usize {
+        4096
+    }
+}
+
+fn msg(seq: u32) -> SfmBox<Payload> {
+    let mut m = SfmBox::<Payload>::new();
+    m.seq = seq;
+    m.data.resize(64);
+    m
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timeout waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Drives `n` frames through a fresh master under `config` using either the
+/// legacy positional API or the options API with equivalent settings, and
+/// returns `(published, received, fastpath_frames, shm_frames)`.
+fn run_pair(config: TransportConfig, use_options: bool, n: u64) -> (u64, u64, u64, u64) {
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "pair", MachineId::A, config);
+    let publisher: Publisher<SfmBox<Payload>> = if use_options {
+        nh.advertise_with("options/pair", PublisherOptions::new().queue_size(64))
+    } else {
+        nh.advertise("options/pair", 64)
+    };
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let cb = move |_m: SfmShared<Payload>| {
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    };
+    let _sub = if use_options {
+        nh.subscribe_with("options/pair", SubscriberOptions::new().queue_size(64), cb)
+    } else {
+        nh.subscribe("options/pair", 64, cb)
+    };
+    nh.wait_for_subscribers(&publisher, 1);
+    for seq in 0..n {
+        publisher.publish(&msg(seq as u32));
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    wait_until("all frames delivered", || seen.load(Ordering::SeqCst) == n);
+    let snap = master.metrics().topic("options/pair").snapshot();
+    (
+        publisher.published(),
+        seen.load(Ordering::SeqCst),
+        snap.fastpath_frames,
+        snap.shm_frames,
+    )
+}
+
+/// Defaulted options behave exactly like the legacy positional API on
+/// every negotiated tier: same delivery, same tier choice, same counters.
+#[test]
+fn default_options_match_legacy_api_on_every_tier() {
+    let tiers: Vec<(&str, TransportConfig)> = vec![
+        ("fastpath", TransportConfig::default()),
+        (
+            "tcp",
+            TransportConfig {
+                enable_fastpath: false,
+                enable_shm: false,
+                ..TransportConfig::default()
+            },
+        ),
+        (
+            "shm",
+            TransportConfig {
+                enable_fastpath: false,
+                shm_same_process: true,
+                ..TransportConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in tiers {
+        if name == "shm" && !rossf_shm::supported() {
+            continue;
+        }
+        let legacy = run_pair(config.clone(), false, 5);
+        let options = run_pair(config, true, 5);
+        assert_eq!(
+            legacy, options,
+            "{name}: options API must be behaviorally identical to the legacy API"
+        );
+    }
+}
+
+/// A per-endpoint transport override is honored over the node default: a
+/// publisher that opts out of both zero-copy tiers forces its links onto
+/// TCP even though the node config would negotiate them.
+#[test]
+fn per_endpoint_transport_override_forces_the_tier() {
+    let master = Master::new();
+    let config = TransportConfig {
+        shm_same_process: true,
+        ..TransportConfig::default()
+    };
+    let nh = NodeHandle::with_config(&master, "override", MachineId::A, config);
+    let tcp_only = TransportConfig {
+        enable_fastpath: false,
+        enable_shm: false,
+        ..nh.transport_config().clone()
+    };
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise_with(
+        "options/override",
+        PublisherOptions::new().queue_size(8).transport(tcp_only),
+    );
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let _sub = nh.subscribe("options/override", 8, move |_m: SfmShared<Payload>| {
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+    for seq in 0..3 {
+        publisher.publish(&msg(seq));
+    }
+    wait_until("frames delivered over TCP", || {
+        seen.load(Ordering::SeqCst) == 3
+    });
+    let snap = master.metrics().topic("options/override").snapshot();
+    assert_eq!(snap.fastpath_frames, 0, "override must veto the fast path");
+    assert_eq!(snap.shm_frames, 0, "override must veto the shm tier");
+    assert_eq!(snap.frames_sent, 3, "frames still flow, over the socket");
+}
+
+/// Runs `n` frames under `config` and asserts that the consolidated
+/// `stats()` snapshots agree with every individual accessor, then returns
+/// the per-topic metrics snapshot for tier bookkeeping.
+fn stats_scenario(config: TransportConfig, n: u64) -> rossf_ros::MetricsSnapshot {
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "stats", MachineId::A, config);
+    let publisher: Publisher<SfmBox<Payload>> =
+        nh.advertise_with("options/stats", PublisherOptions::new().queue_size(64));
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh.subscribe_with(
+        "options/stats",
+        SubscriberOptions::new(),
+        move |_m: SfmShared<Payload>| {
+            seen_cb.fetch_add(1, Ordering::SeqCst);
+        },
+    );
+    nh.wait_for_subscribers(&publisher, 1);
+    for seq in 0..n {
+        publisher.publish(&msg(seq as u32));
+    }
+    wait_until("all frames delivered", || seen.load(Ordering::SeqCst) == n);
+
+    let ps = publisher.stats();
+    assert_eq!(ps.published, publisher.published());
+    assert_eq!(ps.dropped, publisher.dropped());
+    assert_eq!(ps.subscribers, publisher.subscriber_count());
+    assert_eq!(ps.published, n);
+    assert_eq!(ps.dropped, 0);
+
+    let ss = sub.stats();
+    assert_eq!(ss.received, sub.received());
+    assert_eq!(ss.received_bytes, sub.received_bytes());
+    assert_eq!(ss.decode_errors, sub.decode_errors());
+    assert_eq!(ss.verify_rejects, sub.verify_rejects());
+    assert_eq!(ss.reconnects, sub.reconnects());
+    assert_eq!(ss.received, n);
+    assert_eq!(ss.decode_errors, 0);
+    assert_eq!(ss.connections, 1);
+    assert_eq!(ss.transport.frames_received, ss.received);
+    assert_eq!(ss.transport.frames_sent, ps.published);
+
+    master.metrics().topic("options/stats").snapshot()
+}
+
+/// `stats()` is coherent on all four tiers. The three negotiated tiers run
+/// through the full scenario; the local bus (whose subscriptions have no
+/// transport link) is checked through its synchronous delivery count.
+#[test]
+fn stats_are_consistent_on_all_four_tiers() {
+    // TCP: no zero-copy counters move.
+    let tcp = stats_scenario(
+        TransportConfig {
+            enable_fastpath: false,
+            enable_shm: false,
+            ..TransportConfig::default()
+        },
+        5,
+    );
+    assert_eq!((tcp.fastpath_frames, tcp.shm_frames), (0, 0));
+
+    // Fastpath: every frame is a pointer handoff.
+    let fast = stats_scenario(TransportConfig::default(), 5);
+    assert_eq!(fast.fastpath_frames, 5);
+    assert_eq!(fast.shm_frames, 0);
+
+    // Shm: every frame crosses a segment ring.
+    if rossf_shm::supported() {
+        let shm = stats_scenario(
+            TransportConfig {
+                enable_fastpath: false,
+                shm_same_process: true,
+                ..TransportConfig::default()
+            },
+            5,
+        );
+        assert_eq!(shm.shm_frames, 5);
+        assert_eq!(shm.fastpath_frames, 0);
+        assert!(shm.shm_handshakes >= 1);
+    }
+
+    // Local bus: synchronous dispatch, counted per publish call.
+    let bus = LocalBus::new();
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let _sub = bus
+        .subscribe_with(
+            "options/local",
+            SubscriberOptions::new(),
+            move |_m: SfmShared<Payload>| {
+                seen_cb.fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+    for seq in 0..5 {
+        assert_eq!(bus.publish("options/local", &msg(seq)).unwrap(), 1);
+    }
+    assert_eq!(seen.load(Ordering::SeqCst), 5);
+    assert_eq!(bus.subscriber_count("options/local"), 1);
+}

@@ -1,0 +1,642 @@
+//! The cross-process shared-memory tier: zero-copy delivery out of mapped
+//! segments, byte-identity with TCP, fault and backpressure parity,
+//! segment lifecycle hygiene, trace coverage — and a forked real-process
+//! subscriber proving the tier across an actual process boundary.
+//!
+//! Every test bails out early when [`rossf_shm::supported`] is false, so
+//! the suite degrades to a no-op on targets without the memfd transport.
+
+use rossf_ros::{BackoffPolicy, MachineId, Master, NodeHandle, Publisher, TransportConfig};
+use rossf_sfm::{mm, SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[repr(C)]
+#[derive(Debug)]
+struct Payload {
+    seq: u32,
+    _pad: u32,
+    data: SfmVec<u8>,
+}
+unsafe impl SfmPod for Payload {}
+impl SfmValidate for Payload {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.data.validate_in(base, len)
+    }
+}
+unsafe impl SfmMessage for Payload {
+    fn type_name() -> &'static str {
+        "test/ShmPayload"
+    }
+    fn max_size() -> usize {
+        // Large enough that the fork test can push frames well past
+        // MIN_SEGMENT_PAYLOAD and exercise multi-size segment pooling.
+        512 * 1024
+    }
+}
+
+fn sized_msg(seq: u32, len: usize) -> SfmBox<Payload> {
+    let mut m = SfmBox::<Payload>::new();
+    m.seq = seq;
+    m.data.resize(len);
+    for i in 0..len {
+        m.data[i] = (seq as usize).wrapping_add(i.wrapping_mul(7)) as u8;
+    }
+    m
+}
+
+fn msg(seq: u32) -> SfmBox<Payload> {
+    sized_msg(seq, 64)
+}
+
+/// Same-process shm configuration: the fast path is disabled so the
+/// loopback negotiation lands on the shared-memory tier, and
+/// `shm_same_process` overrides the distinct-process requirement so the
+/// whole ring protocol runs inside one test process.
+fn shm_config(enable_shm: bool) -> TransportConfig {
+    TransportConfig {
+        enable_fastpath: false,
+        enable_shm,
+        shm_same_process: true,
+        backoff: BackoffPolicy {
+            initial: Duration::from_millis(2),
+            max: Duration::from_millis(40),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 0,
+        },
+        ..TransportConfig::default()
+    }
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timeout waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The zero-copy proof: the buffer the callback receives lives inside a
+/// mapped shared-memory segment — not a heap re-materialization — and the
+/// shm counters record the handshake and every frame.
+#[test]
+fn delivery_is_zero_copy_out_of_a_mapped_segment() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "zc", MachineId::A, shm_config(true));
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/zero_copy", 8);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("shm/zero_copy", 8, move |m: SfmShared<Payload>| {
+        tx.send((m.base(), m.seq, m.data.len())).unwrap();
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let m = msg(7);
+    let pub_base = m.base();
+    publisher.publish(&m);
+    let (sub_base, seq, len) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_ne!(
+        sub_base, pub_base,
+        "shm crosses an address boundary: one copy into the segment"
+    );
+    assert!(
+        rossf_shm::is_shm_mapped(sub_base),
+        "subscriber buffer must live inside a mapped segment"
+    );
+    assert_eq!((seq, len), (7, 64));
+
+    let snap = master.metrics().topic("shm/zero_copy").snapshot();
+    assert!(snap.shm_handshakes >= 1, "handshake counted as shm");
+    assert!(snap.shm_frames >= 1, "frame delivered through the ring");
+    assert_eq!(snap.shm_frames, snap.frames_sent);
+    assert_eq!(snap.fastpath_frames, 0);
+}
+
+/// Runs one single-message round trip and returns the received bytes plus
+/// the topic's shm frame count.
+fn roundtrip_bytes(enable_shm: bool) -> (Vec<u8>, u64) {
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "rt", MachineId::A, shm_config(enable_shm));
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/fallback", 8);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("shm/fallback", 8, move |m: SfmShared<Payload>| {
+        tx.send(m.as_bytes().to_vec()).unwrap();
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let mut m = sized_msg(41, 64);
+    for (i, b) in (0..64).enumerate() {
+        m.data[i] = (b * 3 + 1) as u8;
+    }
+    publisher.publish(&m);
+    let got = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(got, m.publish_handle().as_slice().to_vec());
+    let snap = master.metrics().topic("shm/fallback").snapshot();
+    (got, snap.shm_frames)
+}
+
+/// Disabling the shm tier falls back to TCP transparently, and the frames
+/// that cross the ring are byte-identical to the socket encoding.
+#[test]
+fn forced_tcp_fallback_is_byte_identical() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let (shm_bytes, shm_frames) = roundtrip_bytes(true);
+    let (tcp_bytes, tcp_frames) = roundtrip_bytes(false);
+    assert!(shm_frames > 0, "enabled run must use the shm tier");
+    assert_eq!(tcp_frames, 0, "opt-out must force TCP");
+    assert_eq!(shm_bytes, tcp_bytes);
+}
+
+/// Segment lifecycle hygiene under the two nastiest teardown orders: a
+/// subscriber leaving mid-stream and a publisher dropping while its
+/// subscriber is still attached. Every mapping must be withdrawn and the
+/// sanitizer must see no refcount anomalies or leaked segments.
+#[test]
+fn early_unsubscribe_and_publisher_drop_leak_no_segments() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let prev_policy = rossf_sfm::set_alert_policy(rossf_sfm::AlertPolicy::Count);
+    mm().set_sanitizer(true);
+    wait_until("no segments left over from earlier tests", || {
+        mm().live_segments() == 0
+    });
+
+    // Scenario A: one of two subscribers unsubscribes mid-stream.
+    {
+        let master = Master::new();
+        let nh = NodeHandle::with_config(&master, "leak_a", MachineId::A, shm_config(true));
+        let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/leak_a", 16);
+        let counters: Vec<Arc<AtomicU64>> = (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut subs = Vec::new();
+        for c in &counters {
+            let c = Arc::clone(c);
+            subs.push(
+                nh.subscribe("shm/leak_a", 16, move |m: SfmShared<Payload>| {
+                    assert_eq!(m.data.len(), 64);
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        nh.wait_for_subscribers(&publisher, 2);
+        for seq in 0..4 {
+            publisher.publish(&msg(seq));
+        }
+        wait_until("both saw the first wave", || {
+            counters.iter().all(|c| c.load(Ordering::SeqCst) >= 4)
+        });
+
+        subs.pop();
+        wait_until("publisher pruned to one", || {
+            publisher.publish(&msg(99));
+            publisher.subscriber_count() == 1
+        });
+        let survivor_before = counters[0].load(Ordering::SeqCst);
+        publisher.publish(&msg(100));
+        wait_until("survivor still receiving", || {
+            counters[0].load(Ordering::SeqCst) > survivor_before
+        });
+    }
+    wait_until("scenario A unmapped every segment", || {
+        mm().live_segments() == 0
+    });
+
+    // Scenario B: the publisher drops while the subscriber is attached.
+    {
+        let master = Master::new();
+        let nh = NodeHandle::with_config(&master, "leak_b", MachineId::A, shm_config(true));
+        let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/leak_b", 16);
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen_cb = Arc::clone(&seen);
+        let _sub = nh.subscribe("shm/leak_b", 16, move |_m: SfmShared<Payload>| {
+            seen_cb.fetch_add(1, Ordering::SeqCst);
+        });
+        nh.wait_for_subscribers(&publisher, 1);
+        for seq in 0..4 {
+            publisher.publish(&msg(seq));
+        }
+        wait_until("frames delivered before the drop", || {
+            seen.load(Ordering::SeqCst) >= 4
+        });
+        drop(publisher);
+        wait_until("scenario B unmapped every segment", || {
+            mm().live_segments() == 0
+        });
+    }
+
+    mm().check_leaks();
+    let report = mm().sanitizer_report().expect("sanitizer enabled");
+    assert_eq!(report.leaked_segments, 0, "no orphaned segment mappings");
+    assert_eq!(report.double_release, 0);
+    assert_eq!(report.refcount_anomaly, 0);
+    assert_eq!(report.expand_after_release, 0);
+
+    mm().set_sanitizer(false);
+    rossf_sfm::set_alert_policy(prev_policy);
+}
+
+/// Runs one drop-fault scenario and returns
+/// `(delivered, frames_faulted, injector_drops)`.
+fn drop_scenario(enable_shm: bool) -> (u64, u64, u64) {
+    let master = Master::new();
+    let fault = master.links().inject(MachineId::A, MachineId::A);
+    fault.drop_frame(2);
+    let nh = NodeHandle::with_config(&master, "dropper", MachineId::A, shm_config(enable_shm));
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/dropfault", 64);
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh.subscribe("shm/dropfault", 64, move |m: SfmShared<Payload>| {
+        seen_cb.lock().unwrap().push(m.seq);
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    for seq in 0..5 {
+        publisher.publish(&msg(seq));
+        // Pace so link-order equals publish-order.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    wait_until("4 surviving frames", || seen.lock().unwrap().len() == 4);
+    assert_eq!(&*seen.lock().unwrap(), &[0, 1, 3, 4]);
+    assert_eq!(sub.decode_errors(), 0);
+    let snap = master.metrics().topic("shm/dropfault").snapshot();
+    if enable_shm {
+        assert!(snap.shm_frames > 0, "scenario must use the shm tier");
+    } else {
+        assert_eq!(snap.shm_frames, 0, "scenario must use TCP");
+    }
+    (sub.received(), snap.frames_faulted, fault.frames_dropped())
+}
+
+/// A drop fault on the loopback link discards exactly the same frame with
+/// exactly the same accounting whether frames travel through a shared ring
+/// or through a socket.
+#[test]
+fn drop_fault_accounting_matches_tcp_path() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let shm = drop_scenario(true);
+    let tcp = drop_scenario(false);
+    assert_eq!(shm, tcp, "(delivered, faulted, dropped) must match");
+    assert_eq!(shm, (4, 1, 1));
+}
+
+/// Severing the loopback link tears down a shm attachment mid-stream and
+/// refuses re-negotiation until healed — the subscriber retries under
+/// backoff and resumes ring delivery afterwards.
+#[test]
+fn sever_and_heal_reconnects_on_the_shm_path() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let master = Master::new();
+    let fault = master.links().inject(MachineId::A, MachineId::A);
+    let nh = NodeHandle::with_config(&master, "sever", MachineId::A, shm_config(true));
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/sever", 64);
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh.subscribe("shm/sever", 64, move |m: SfmShared<Payload>| {
+        assert_eq!(m.data.len(), 64);
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let mut seq = 0u32;
+    let mut publish_until = |what: &str, cond: &dyn Fn() -> bool| {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timeout publishing until {what}");
+            publisher.publish(&msg(seq));
+            seq += 1;
+            std::thread::sleep(Duration::from_millis(3));
+        }
+    };
+    publish_until("first frames", &|| seen.load(Ordering::SeqCst) >= 3);
+    assert_eq!(sub.reconnects(), 0);
+
+    fault.sever_now();
+    publish_until("reconnect attempts under sever", &|| {
+        sub.reconnect_attempts() >= 2
+    });
+    assert_eq!(sub.reconnects(), 0, "cannot re-attach while severed");
+
+    fault.heal();
+    let resumed_from = seen.load(Ordering::SeqCst);
+    publish_until("delivery after heal", &|| {
+        seen.load(Ordering::SeqCst) > resumed_from
+    });
+    assert!(sub.reconnects() >= 1, "re-attach must be recorded");
+    assert_eq!(sub.decode_errors(), 0);
+    assert_eq!(fault.severs(), 1);
+    let snap = master.metrics().topic("shm/sever").snapshot();
+    assert!(snap.shm_handshakes >= 2, "both attachments negotiated shm");
+}
+
+/// `queue_size` backpressure applies to the ring: while the subscriber's
+/// callback is blocked, excess frames are dropped and counted exactly as
+/// on the socket path, and delivery resumes once unblocked.
+#[test]
+fn queue_backpressure_drops_and_counts_when_full() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "bp", MachineId::A, shm_config(true));
+    // Tiny ring so the test saturates it instantly.
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/backpressure", 2);
+    let gate = Arc::new(Mutex::new(()));
+    let seen = Arc::new(AtomicU64::new(0));
+    let (gate_cb, seen_cb) = (Arc::clone(&gate), Arc::clone(&seen));
+    let _sub = nh.subscribe("shm/backpressure", 2, move |_m: SfmShared<Payload>| {
+        drop(gate_cb.lock().unwrap());
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let blocked = gate.lock().unwrap();
+    wait_until("queue saturated", || {
+        publisher.publish(&msg(0));
+        publisher.dropped() > 0
+            || master
+                .metrics()
+                .topic("shm/backpressure")
+                .snapshot()
+                .frames_dropped
+                > 0
+    });
+    drop(blocked);
+
+    let snap = master.metrics().topic("shm/backpressure").snapshot();
+    assert!(
+        publisher.dropped() > 0 || snap.frames_dropped > 0,
+        "saturation must be visible as drops"
+    );
+    assert!(snap.shm_handshakes >= 1);
+    wait_until("delivery resumes after unblock", || {
+        publisher.publish(&msg(1));
+        seen.load(Ordering::SeqCst) >= 3
+    });
+}
+
+/// `validate_on_receive` runs the structural verifier on mapped frames
+/// too — and clean frames still arrive zero-copy with nothing rejected.
+#[test]
+fn validate_on_receive_still_zero_copy() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let master = Master::new();
+    let config = TransportConfig {
+        validate_on_receive: true,
+        ..shm_config(true)
+    };
+    let nh = NodeHandle::with_config(&master, "validate", MachineId::A, config);
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/validate", 8);
+    let (tx, rx) = mpsc::channel();
+    let sub = nh.subscribe("shm/validate", 8, move |m: SfmShared<Payload>| {
+        tx.send(m.base()).unwrap();
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    publisher.publish(&msg(3));
+    let sub_base = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert!(
+        rossf_shm::is_shm_mapped(sub_base),
+        "verification must not force a copy out of the segment"
+    );
+    assert_eq!(sub.verify_rejects(), 0);
+    assert!(master.metrics().topic("shm/validate").snapshot().shm_frames > 0);
+}
+
+/// Same-process shm traffic records the full eight-stage pipeline at
+/// `Tier::Shm`: the copy into the segment is the wire_write span and the
+/// ring dwell is the wire_read span, each side causally ordered.
+#[test]
+fn shm_timeline_is_monotone_per_side() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    use rossf_ros::{PublisherOptions, SubscriberOptions};
+    use rossf_trace::{check_monotone, tracer, Stage, Tier, TraceEvent};
+
+    tracer().reset();
+    let master = Master::new();
+    let config = TransportConfig {
+        validate_on_receive: true,
+        ..shm_config(true)
+    };
+    let nh = NodeHandle::with_config(&master, "trace", MachineId::A, config);
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise_with(
+        "shm/trace",
+        PublisherOptions::new().queue_size(64).trace(true),
+    );
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let _sub = nh.subscribe_with(
+        "shm/trace",
+        SubscriberOptions::new().trace(true),
+        move |_m: SfmShared<Payload>| {
+            seen_cb.fetch_add(1, Ordering::SeqCst);
+        },
+    );
+    nh.wait_for_subscribers(&publisher, 1);
+    for seq in 0..10 {
+        publisher.publish(&msg(seq));
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    wait_until("10 shm frames", || seen.load(Ordering::SeqCst) == 10);
+
+    let events: Vec<TraceEvent> = tracer()
+        .events()
+        .into_iter()
+        .filter(|e| &*e.topic == "shm/trace")
+        .collect();
+    let mut stages: Vec<Stage> = events.iter().map(|e| e.stage).collect();
+    stages.sort_unstable();
+    stages.dedup();
+    assert_eq!(
+        stages,
+        [
+            Stage::Alloc,
+            Stage::Encode,
+            Stage::Enqueue,
+            Stage::WireWrite,
+            Stage::WireRead,
+            Stage::Verify,
+            Stage::Adopt,
+            Stage::Callback
+        ],
+        "the shm tier crosses every pipeline stage"
+    );
+    let pub_side: Vec<TraceEvent> = events
+        .iter()
+        .filter(|e| e.stage <= Stage::WireWrite)
+        .cloned()
+        .collect();
+    let sub_side: Vec<TraceEvent> = events
+        .iter()
+        .filter(|e| e.stage >= Stage::WireRead && e.stage != Stage::Fault)
+        .cloned()
+        .collect();
+    check_monotone(&pub_side).expect("publisher-side timeline must be monotone");
+    check_monotone(&sub_side).expect("subscriber-side timeline must be monotone");
+    assert!(events
+        .iter()
+        .filter(|e| e.stage == Stage::WireWrite || e.stage == Stage::WireRead)
+        .all(|e| e.tier == Tier::Shm));
+    assert!(sub_side.iter().all(|e| e.trace_id != 0));
+}
+
+/// Child half of the forked-process test. Runs only when the parent set
+/// the environment contract; in a normal test sweep it is a no-op.
+///
+/// The child builds its own master (the parent's registry is not shared),
+/// points it at the parent's listening socket, subscribes with shm
+/// enabled, and reports `fnv64(frame_bytes)` plus whether the buffer was
+/// inside a mapped shm segment — one line per frame, in arrival order.
+#[test]
+fn shm_child_process_entry() {
+    let addr = match std::env::var("ROSSF_SHM_CHILD_ADDR") {
+        Ok(a) => a,
+        Err(_) => return,
+    };
+    let out_path = std::env::var("ROSSF_SHM_CHILD_OUT").expect("child out path");
+    let count: usize = std::env::var("ROSSF_SHM_CHILD_COUNT")
+        .expect("child count")
+        .parse()
+        .expect("child count parses");
+    let addr: std::net::SocketAddr = addr.parse().expect("child addr parses");
+
+    let master = Master::new();
+    master
+        .register_publisher("shm/fork", Payload::type_name(), addr, MachineId::A)
+        .expect("register parent endpoint");
+    let config = TransportConfig {
+        enable_fastpath: false,
+        ..TransportConfig::default()
+    };
+    let nh = NodeHandle::with_config(&master, "fork_child", MachineId::A, config);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("shm/fork", 64, move |m: SfmShared<Payload>| {
+        let mapped = rossf_shm::is_shm_mapped(m.base());
+        let _ = tx.send((fnv1a(m.as_bytes()), mapped));
+    });
+
+    let mut lines = String::new();
+    for _ in 0..count {
+        let (hash, mapped) = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("child frame arrives");
+        lines.push_str(&format!("{hash:016x} {}\n", u8::from(mapped)));
+    }
+    std::fs::write(&out_path, lines).expect("write child report");
+}
+
+/// The real-process acceptance test: a forked child process negotiates the
+/// shm tier against this process's publisher and must observe frames
+/// byte-identical to a plain-TCP witness subscriber — every one of them
+/// served zero-copy out of a mapped segment, across frame sizes that span
+/// multiple segment classes.
+#[test]
+fn forked_subscriber_receives_byte_identical_shm_frames() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let sizes: [usize; 10] = [1, 64, 17, 1000, 4096, 5, 66_000, 150_000, 300_000, 128];
+    let master = Master::new();
+    let nh_pub = NodeHandle::with_config(
+        &master,
+        "fork_pub",
+        MachineId::A,
+        TransportConfig {
+            enable_fastpath: false,
+            ..TransportConfig::default()
+        },
+    );
+    let nh_tcp = NodeHandle::with_config(
+        &master,
+        "fork_tcp",
+        MachineId::A,
+        TransportConfig {
+            enable_fastpath: false,
+            enable_shm: false,
+            ..TransportConfig::default()
+        },
+    );
+    let publisher: Publisher<SfmBox<Payload>> = nh_pub.advertise("shm/fork", 64);
+    let tcp_hashes = Arc::new(Mutex::new(Vec::new()));
+    let tcp_cb = Arc::clone(&tcp_hashes);
+    let _tcp_sub = nh_tcp.subscribe("shm/fork", 64, move |m: SfmShared<Payload>| {
+        tcp_cb.lock().unwrap().push(fnv1a(m.as_bytes()));
+    });
+
+    let out_path = std::env::temp_dir().join(format!("rossf-shm-fork-{}.txt", std::process::id()));
+    let _ = std::fs::remove_file(&out_path);
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["shm_child_process_entry", "--exact", "--test-threads", "1"])
+        .env("ROSSF_SHM_CHILD_ADDR", publisher.addr().to_string())
+        .env("ROSSF_SHM_CHILD_OUT", &out_path)
+        .env("ROSSF_SHM_CHILD_COUNT", sizes.len().to_string())
+        .spawn()
+        .expect("spawn child subscriber process");
+
+    nh_pub.wait_for_subscribers(&publisher, 2);
+    for (seq, &len) in sizes.iter().enumerate() {
+        publisher.publish(&sized_msg(seq as u32, len));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    wait_until("tcp witness saw every frame", || {
+        tcp_hashes.lock().unwrap().len() == sizes.len()
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => break status,
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("child subscriber process timed out");
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    assert!(status.success(), "child subscriber process failed");
+
+    let report = std::fs::read_to_string(&out_path).expect("read child report");
+    let _ = std::fs::remove_file(&out_path);
+    let mut child_hashes = Vec::new();
+    for line in report.lines() {
+        let mut parts = line.split_whitespace();
+        let hash = u64::from_str_radix(parts.next().expect("hash column"), 16).expect("hash");
+        let mapped = parts.next().expect("mapped column") == "1";
+        assert!(mapped, "child frame must live in a mapped shm segment");
+        child_hashes.push(hash);
+    }
+    assert_eq!(
+        child_hashes,
+        *tcp_hashes.lock().unwrap(),
+        "shm frames must be byte-identical to the TCP witness"
+    );
+
+    let snap = master.metrics().topic("shm/fork").snapshot();
+    assert!(
+        snap.shm_handshakes >= 1,
+        "child must negotiate the shm tier"
+    );
+    assert!(snap.shm_frames >= sizes.len() as u64);
+}

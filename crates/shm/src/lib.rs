@@ -1,0 +1,79 @@
+//! # rossf-shm — the cross-process shared-memory transport tier
+//!
+//! ROS-SF's serialization-free format makes a message's wire bytes *be*
+//! its memory layout; this crate carries that payoff across process
+//! boundaries. A publisher copies each frame **once** into a memfd-backed
+//! shared segment and publishes a 64-byte descriptor into a lock-free
+//! SPMC ring; the subscriber maps the segment read-only and hands the
+//! bytes straight to `sfm::mm` — zero copies on the subscriber side.
+//!
+//! Three mechanisms make that safe:
+//!
+//! * **Cross-process reference counts** live in each segment's header:
+//!   the segment recycles only after the publisher's write hold, the
+//!   in-flight descriptor, and every subscriber-held frame have all
+//!   released ([`seg`]).
+//! * **Generation stamps** detect stale frames: descriptors carry the
+//!   generation they were published under, and a reader whose pop
+//!   observes a different generation in the segment header abandons the
+//!   frame instead of reading torn bytes ([`reader::TakeError::Stale`]).
+//! * **Epoch stamps** recover from publisher crashes: each control
+//!   segment is stamped with its publisher incarnation's epoch, promised
+//!   out-of-band in the connection handshake; a mismatch at
+//!   [`ShmReader::connect`] means the fd was recycled by a different
+//!   incarnation and the subscriber falls back to TCP.
+//!
+//! Fd hand-off needs no fd-passing protocol: both processes run as the
+//! same user, so the subscriber opens the publisher's memfd through
+//! `/proc/<pid>/fd/<fd>` ([`sys::open_peer_fd`]). Wakeups use the
+//! cross-process futex on a word in the control segment — no polling.
+//!
+//! On targets other than x86-64 Linux [`supported`] reports `false` and
+//! the transport negotiation simply never offers the capability.
+
+#![deny(missing_docs)]
+
+mod link;
+mod reader;
+mod ring;
+mod seg;
+pub mod sys;
+
+pub use link::{FrameMeta, PreparedFrame, PushOutcome, ShmLink};
+pub use reader::{is_shm_mapped, MappedFrame, SegmentMap, ShmReader, TakeError};
+pub use ring::{ControlSegment, Descriptor, CTL_MAGIC, MAX_RING_CAP};
+pub use seg::{Segment, SegmentPool, DIR_CAP, MIN_SEGMENT_PAYLOAD, SEG_HEADER, SEG_MAGIC};
+
+/// Whether the shared-memory tier works on this build target (x86-64
+/// Linux). `false` → negotiation falls back to TCP.
+pub fn supported() -> bool {
+    sys::supported()
+}
+
+/// Mint a fresh epoch stamp for a publisher incarnation: the process id in
+/// the high bits plus a process-local counter — unique across the crashes
+/// and restarts the crash-recovery scheme must distinguish.
+pub fn fresh_epoch() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    (u64::from(std::process::id()) << 24) | (COUNTER.fetch_add(1, Ordering::Relaxed) & 0xff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_are_unique_and_pid_tagged() {
+        let a = fresh_epoch();
+        let b = fresh_epoch();
+        assert_ne!(a, b);
+        assert_eq!(a >> 24, u64::from(std::process::id()));
+    }
+
+    #[test]
+    fn supported_matches_target() {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(supported());
+    }
+}

@@ -1,0 +1,260 @@
+//! Publisher side of one shm subscriber link: the control segment plus
+//! the frame-push protocol over the shared segment pool.
+
+use crate::ring::{ControlSegment, Descriptor};
+use crate::seg::{SegmentPool, DIR_CAP};
+use std::io;
+use std::sync::Arc;
+
+/// Timestamps and trace identity riding along with a pushed frame (all on
+/// the publisher's tracing clock; zeros when untraced).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrameMeta {
+    /// Trace id (0 = untraced).
+    pub trace_id: u64,
+    /// Buffer birth timestamp.
+    pub born_ns: u64,
+    /// When the frame entered the link's queue.
+    pub enqueued_ns: u64,
+    /// When the descriptor is being published.
+    pub pushed_ns: u64,
+}
+
+/// Outcome of [`ShmLink::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Descriptor published; the reader owns one reference.
+    Pushed,
+    /// The descriptor ring was full — frame dropped (backpressure).
+    RingFull,
+    /// No segment could be acquired (all pool slots still referenced by
+    /// in-flight frames) — frame dropped (backpressure).
+    NoSegment,
+}
+
+/// A frame already copied into a pooled segment but not yet published —
+/// the intermediate state of the two-phase push that lets the caller
+/// timestamp the copy and the ring publish separately (the `wire_write` /
+/// `wire_read` boundary in trace attribution).
+///
+/// Dropping an uncommitted `PreparedFrame` releases the segment's write
+/// hold, returning it to the pool.
+pub struct PreparedFrame {
+    idx: u32,
+    len: usize,
+    seg: Option<Arc<crate::seg::Segment>>,
+}
+
+impl PreparedFrame {
+    /// Payload length copied into the segment.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the prepared payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for PreparedFrame {
+    fn drop(&mut self) {
+        if let Some(seg) = self.seg.take() {
+            seg.release_ref(); // write hold of a frame never published
+        }
+    }
+}
+
+/// Publisher-side handle to one subscriber's shm link.
+pub struct ShmLink {
+    ctrl: ControlSegment,
+    pool: Arc<SegmentPool>,
+    dir_published: [bool; DIR_CAP],
+}
+
+impl ShmLink {
+    /// Create the link: a fresh control segment with `ring_cap` slots
+    /// stamped with `epoch`, backed by the publisher-wide `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Any error from control-segment creation.
+    pub fn create(pool: Arc<SegmentPool>, ring_cap: usize, epoch: u64) -> io::Result<ShmLink> {
+        Ok(ShmLink {
+            ctrl: ControlSegment::create(ring_cap, epoch)?,
+            pool,
+            dir_published: [false; DIR_CAP],
+        })
+    }
+
+    /// Fd of the control segment in the publisher process — what the
+    /// handshake reply advertises for the reader's `/proc` open.
+    pub fn ctrl_fd(&self) -> i32 {
+        self.ctrl.fd()
+    }
+
+    /// Epoch the control segment was created with.
+    pub fn epoch(&self) -> u64 {
+        self.ctrl.epoch()
+    }
+
+    /// Whether either side marked the link closed.
+    pub fn is_closed(&self) -> bool {
+        self.ctrl.is_closed()
+    }
+
+    /// First half of the push: acquire a segment, copy `payload` into it,
+    /// and make sure its directory entry is visible to the reader. `None`
+    /// means backpressure (every pool slot is still referenced).
+    ///
+    /// The returned frame holds the segment's write hold; publish it with
+    /// [`ShmLink::commit`] or drop it to return the segment to the pool.
+    pub fn prepare(&mut self, payload: &[u8]) -> Option<PreparedFrame> {
+        let (idx, seg) = self.pool.acquire(payload.len())?;
+        seg.write_payload(payload);
+        if !self.dir_published[idx as usize] {
+            self.ctrl.publish_dir(idx, seg.fd(), seg.payload_cap());
+            self.dir_published[idx as usize] = true;
+        }
+        Some(PreparedFrame {
+            idx,
+            len: payload.len(),
+            seg: Some(seg),
+        })
+    }
+
+    /// Second half of the push: publish the prepared frame's descriptor.
+    ///
+    /// Reference-count protocol: segment acquisition took the write hold
+    /// (`refs` 0 → 1), the in-flight descriptor adds one more, and the
+    /// write hold is dropped after the push — so a successfully pushed
+    /// frame leaves `refs == 1` (owned by the descriptor, inherited by the
+    /// reader), and a failed push returns the segment to `refs == 0`.
+    pub fn commit(&mut self, mut frame: PreparedFrame, meta: FrameMeta) -> PushOutcome {
+        let seg = frame
+            .seg
+            .take()
+            .expect("a prepared frame always holds its segment");
+        let d = Descriptor {
+            seg: frame.idx,
+            gen: seg.generation(),
+            len: frame.len,
+            trace_id: meta.trace_id,
+            born_ns: meta.born_ns,
+            enqueued_ns: meta.enqueued_ns,
+            pushed_ns: meta.pushed_ns,
+        };
+        seg.add_ref(); // the descriptor's reference
+        let pushed = self.ctrl.try_push(&d);
+        if !pushed {
+            seg.release_ref(); // descriptor reference
+        }
+        seg.release_ref(); // write hold
+        if pushed {
+            PushOutcome::Pushed
+        } else {
+            PushOutcome::RingFull
+        }
+    }
+
+    /// Copy `payload` into a pooled segment and publish its descriptor —
+    /// [`ShmLink::prepare`] and [`ShmLink::commit`] in one step.
+    pub fn push(&mut self, payload: &[u8], meta: FrameMeta) -> PushOutcome {
+        match self.prepare(payload) {
+            None => PushOutcome::NoSegment,
+            Some(frame) => self.commit(frame, meta),
+        }
+    }
+
+    /// Mark the link closed and wake the reader (graceful teardown).
+    pub fn close(&self) {
+        self.ctrl.close();
+    }
+
+    /// Drain descriptors the reader never consumed, releasing their
+    /// segment references so the pool can recycle. Races safely with a
+    /// still-live reader (each descriptor is popped exactly once).
+    pub fn drain(&self) {
+        while let Some(d) = self.ctrl.try_pop() {
+            if let Some(seg) = self.pool.get(d.seg) {
+                seg.release_ref();
+            }
+        }
+    }
+}
+
+impl Drop for ShmLink {
+    fn drop(&mut self) {
+        self.close();
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sys;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn push_leaves_one_descriptor_reference() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut link = ShmLink::create(Arc::clone(&pool), 4, 1).unwrap();
+        assert_eq!(
+            link.push(b"hello", FrameMeta::default()),
+            PushOutcome::Pushed
+        );
+        let seg = pool.get(0).unwrap();
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 1);
+        // Drain (as publisher teardown would) returns it to the pool.
+        link.drain();
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn ring_full_drops_frame_and_references() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut link = ShmLink::create(Arc::clone(&pool), 2, 1).unwrap();
+        assert_eq!(link.push(b"a", FrameMeta::default()), PushOutcome::Pushed);
+        assert_eq!(link.push(b"b", FrameMeta::default()), PushOutcome::Pushed);
+        // Ring of 2 is full; the frame is dropped and its segment freed.
+        assert_eq!(link.push(b"c", FrameMeta::default()), PushOutcome::RingFull);
+        let freed = pool.get(2).expect("third segment was created");
+        assert_eq!(freed.refs().load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn dropped_prepared_frame_returns_segment() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut link = ShmLink::create(Arc::clone(&pool), 4, 1).unwrap();
+        let prepared = link.prepare(b"never published").unwrap();
+        let seg = pool.get(0).unwrap();
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 1, "write hold taken");
+        drop(prepared);
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 0, "write hold released");
+    }
+
+    #[test]
+    fn drop_drains_outstanding_descriptors() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut link = ShmLink::create(Arc::clone(&pool), 4, 1).unwrap();
+        link.push(b"x", FrameMeta::default());
+        link.push(b"y", FrameMeta::default());
+        drop(link);
+        for i in 0..pool.len() as u32 {
+            assert_eq!(pool.get(i).unwrap().refs().load(Ordering::Relaxed), 0);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Subscriber side: adopt the publisher's control segment, pop
+//! descriptors, and map data segments for zero-copy frame access.
+
+use crate::ring::{ControlSegment, Descriptor};
+use crate::seg::{SEG_HEADER, SEG_MAGIC};
+use crate::sys;
+use parking_lot::Mutex;
+use rossf_sfm::SfmAlloc;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Global registry of reader-side payload mappings, used by tests and the
+/// check gate to prove zero-copy delivery: a subscriber-held SFM buffer
+/// whose base lies inside one of these ranges was *not* copied out of the
+/// shared segment.
+static MAPPED: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+
+/// Whether `addr` lies inside a live reader-side shared-segment mapping.
+pub fn is_shm_mapped(addr: usize) -> bool {
+    MAPPED.lock().iter().any(|&(s, e)| addr >= s && addr < e)
+}
+
+/// A data segment mapped into the subscriber: the payload is mapped
+/// read-only (the subscriber can never corrupt a frame another reader or
+/// the publisher sees), plus a small read-write view of the header page
+/// for the cross-process refcount.
+pub struct SegmentMap {
+    _file: File,
+    ro: *mut u8,
+    total: usize,
+    hdr: *mut u8,
+    payload_cap: usize,
+}
+
+// SAFETY: shared memory with atomic header fields; payload reads are
+// fenced by the ring's seq protocol.
+unsafe impl Send for SegmentMap {}
+unsafe impl Sync for SegmentMap {}
+
+impl SegmentMap {
+    /// Open and map segment `fd` of process `pub_pid` through procfs.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the mapped header's magic or capacity disagree
+    /// with the directory entry; otherwise any open/mapping error.
+    pub fn open(pub_pid: u32, fd: i32, expected_cap: usize) -> io::Result<SegmentMap> {
+        let file = sys::open_peer_fd(pub_pid, fd)?;
+        let file_len = file.metadata()?.len() as usize;
+        let total = sys::page_round(SEG_HEADER + expected_cap);
+        if total > file_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "data segment shorter than its directory entry claims",
+            ));
+        }
+        let ro = sys::mmap_shared(&file, total, false)?;
+        let hdr = match sys::mmap_shared(&file, SEG_HEADER, true) {
+            Ok(p) => p,
+            Err(e) => {
+                // SAFETY: ro is the mapping created just above.
+                unsafe { sys::munmap(ro, total) };
+                return Err(e);
+            }
+        };
+        let map = SegmentMap {
+            _file: file,
+            ro,
+            total,
+            hdr,
+            payload_cap: total - SEG_HEADER,
+        };
+        let magic = unsafe { (map.ro as *const u64).read() };
+        let cap = unsafe { (map.ro.add(32) as *const u64).read() } as usize;
+        if magic != SEG_MAGIC || cap != map.payload_cap {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "data segment header mismatch",
+            ));
+        }
+        rossf_sfm::mm().note_segment_map(map.ro as usize, map.total);
+        MAPPED
+            .lock()
+            .push((map.ro as usize, map.ro as usize + map.total));
+        Ok(map)
+    }
+
+    /// The cross-process reference count (through the writable header
+    /// view).
+    pub fn refs(&self) -> &AtomicU64 {
+        // SAFETY: offset 8 within the header page; mapping lives as long
+        // as self.
+        unsafe { &*(self.hdr.add(8) as *const AtomicU64) }
+    }
+
+    /// Generation currently stamped in the segment header.
+    pub fn generation(&self) -> u64 {
+        // SAFETY: offset 16 within the header page.
+        unsafe { (*(self.hdr.add(16) as *const AtomicU64)).load(Ordering::Acquire) }
+    }
+
+    /// Payload capacity in bytes.
+    pub fn payload_cap(&self) -> usize {
+        self.payload_cap
+    }
+
+    /// Base of the read-only payload area.
+    pub fn payload_ptr(&self) -> *mut u8 {
+        // The pointer is *mut only to satisfy SfmAlloc's signature; the
+        // mapping is PROT_READ and nothing ever writes through it.
+        // SAFETY: SEG_HEADER < total.
+        unsafe { self.ro.add(SEG_HEADER) }
+    }
+
+    /// Drop one cross-process reference (frame released by this reader).
+    pub fn release_ref(&self) {
+        self.refs().fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Drop for SegmentMap {
+    fn drop(&mut self) {
+        rossf_sfm::mm().note_segment_unmap(self.ro as usize);
+        MAPPED.lock().retain(|&(s, _)| s != self.ro as usize);
+        // SAFETY: both mappings were created in open and die exactly once
+        // here.
+        unsafe {
+            sys::munmap(self.ro, self.total);
+            sys::munmap(self.hdr, SEG_HEADER);
+        }
+    }
+}
+
+/// Why [`ShmReader::take`] could not produce a frame.
+#[derive(Debug)]
+pub enum TakeError {
+    /// The descriptor's generation no longer matches the segment header —
+    /// a stale frame from a crashed or recycled publisher incarnation;
+    /// the reader abandoned it.
+    Stale,
+    /// The descriptor or segment was structurally inconsistent.
+    Corrupt(io::Error),
+}
+
+impl std::fmt::Display for TakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TakeError::Stale => write!(f, "stale frame (publisher generation moved on)"),
+            TakeError::Corrupt(e) => write!(f, "corrupt shm frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TakeError {}
+
+/// Subscriber-side handle to one publisher link: the adopted control
+/// segment plus lazily-opened data-segment mappings (one per directory
+/// index, cached for the reader's life).
+pub struct ShmReader {
+    ctrl: ControlSegment,
+    pub_pid: u32,
+    maps: Mutex<HashMap<u32, Arc<SegmentMap>>>,
+    stale: AtomicU64,
+}
+
+impl ShmReader {
+    /// Adopt the publisher's control segment: open `ctrl_fd` of `pub_pid`
+    /// through procfs, map it, and verify the epoch matches what the
+    /// handshake promised (a mismatch means the fd was recycled by a new
+    /// publisher incarnation — crash recovery falls back to TCP).
+    ///
+    /// # Errors
+    ///
+    /// Open/mapping errors, or `InvalidData` on epoch mismatch.
+    pub fn connect(pub_pid: u32, ctrl_fd: i32, expected_epoch: u64) -> io::Result<ShmReader> {
+        let file = sys::open_peer_fd(pub_pid, ctrl_fd)?;
+        let ctrl = ControlSegment::open(file)?;
+        if ctrl.epoch() != expected_epoch {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "control segment epoch mismatch (stale publisher incarnation)",
+            ));
+        }
+        Ok(ShmReader {
+            ctrl,
+            pub_pid,
+            maps: Mutex::new(HashMap::new()),
+            stale: AtomicU64::new(0),
+        })
+    }
+
+    /// Pid of the publisher process (for same-process detection).
+    pub fn publisher_pid(&self) -> u32 {
+        self.pub_pid
+    }
+
+    /// Whether the publisher marked the link closed.
+    pub fn is_closed(&self) -> bool {
+        self.ctrl.is_closed()
+    }
+
+    /// Approximate descriptors waiting in the ring.
+    pub fn pending(&self) -> u64 {
+        self.ctrl.pending()
+    }
+
+    /// Frames abandoned because their generation was stale.
+    pub fn stale_frames(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    fn map_for(&self, d: &Descriptor) -> Result<Arc<SegmentMap>, TakeError> {
+        let mut maps = self.maps.lock();
+        if let Some(m) = maps.get(&d.seg) {
+            return Ok(Arc::clone(m));
+        }
+        let (fd, cap) = self.ctrl.dir_entry(d.seg).ok_or_else(|| {
+            TakeError::Corrupt(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "descriptor names an unpublished directory entry",
+            ))
+        })?;
+        let m = Arc::new(SegmentMap::open(self.pub_pid, fd, cap).map_err(TakeError::Corrupt)?);
+        maps.insert(d.seg, Arc::clone(&m));
+        Ok(m)
+    }
+
+    /// Take the next frame, waiting up to `timeout` for the producer's
+    /// futex signal. `Ok(None)` means no frame arrived (check
+    /// [`ShmReader::is_closed`] to distinguish idle from torn down).
+    ///
+    /// # Errors
+    ///
+    /// [`TakeError::Stale`] when a popped descriptor's generation no
+    /// longer matches its segment (abandoned, counted); otherwise
+    /// [`TakeError::Corrupt`].
+    pub fn take(&self, timeout: Duration) -> Result<Option<MappedFrame>, TakeError> {
+        let d = match self.ctrl.try_pop() {
+            Some(d) => d,
+            None => {
+                self.ctrl.wait(timeout);
+                match self.ctrl.try_pop() {
+                    Some(d) => d,
+                    None => return Ok(None),
+                }
+            }
+        };
+        let map = self.map_for(&d)?;
+        // The descriptor's reference is now ours; every early exit below
+        // must release it.
+        if map.generation() != d.gen {
+            map.release_ref();
+            self.stale.fetch_add(1, Ordering::Relaxed);
+            return Err(TakeError::Stale);
+        }
+        if d.len > map.payload_cap() {
+            map.release_ref();
+            return Err(TakeError::Corrupt(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "descriptor length exceeds segment capacity",
+            )));
+        }
+        Ok(Some(MappedFrame {
+            map,
+            desc: d,
+            armed: true,
+        }))
+    }
+}
+
+/// One received frame, borrowed zero-copy from the shared segment. Holds
+/// the descriptor's cross-process reference: dropping the frame (or the
+/// SFM buffer it converts into) releases it, allowing the publisher to
+/// recycle the segment.
+pub struct MappedFrame {
+    map: Arc<SegmentMap>,
+    desc: Descriptor,
+    armed: bool,
+}
+
+impl MappedFrame {
+    /// The payload bytes (read-only mapping).
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: seq protocol ordered the payload writes before the
+        // descriptor became visible; len was bounds-checked in take().
+        unsafe { std::slice::from_raw_parts(self.map.payload_ptr(), self.desc.len) }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.desc.len
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.desc.len == 0
+    }
+
+    /// The descriptor the frame arrived under (trace identity and
+    /// publisher-clock timestamps).
+    pub fn descriptor(&self) -> &Descriptor {
+        &self.desc
+    }
+
+    /// Convert into an [`SfmAlloc`] wrapping the mapped payload **without
+    /// copying**: the allocation's drop guard releases the cross-process
+    /// reference, so the segment recycles exactly when the subscriber's
+    /// last handle drops.
+    pub fn into_sfm_alloc(mut self) -> Arc<SfmAlloc> {
+        self.armed = false;
+        let guard = FrameGuard {
+            map: Arc::clone(&self.map),
+        };
+        // Capacity is the 8-aligned frame length (within the segment:
+        // capacities are 8-byte multiples).
+        let cap = (self.desc.len.max(1) + 7) & !7;
+        debug_assert!(cap <= self.map.payload_cap());
+        // SAFETY: payload_ptr is page+64 aligned (so 8-aligned) and valid
+        // for cap bytes while guard holds the mapping; the PROT_READ
+        // mapping is never written.
+        Arc::new(unsafe { SfmAlloc::from_extern(self.map.payload_ptr(), cap, Box::new(guard)) })
+    }
+}
+
+impl Drop for MappedFrame {
+    fn drop(&mut self) {
+        if self.armed {
+            self.map.release_ref();
+        }
+    }
+}
+
+/// Drop guard carried inside an adopted [`SfmAlloc`]: releases the
+/// frame's cross-process reference (and, transitively, the mapping once
+/// every frame from that segment is gone).
+struct FrameGuard {
+    map: Arc<SegmentMap>,
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        self.map.release_ref();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{FrameMeta, PushOutcome, ShmLink};
+    use crate::seg::SegmentPool;
+
+    fn loopback(ring: usize) -> (ShmLink, ShmReader, Arc<SegmentPool>) {
+        let pool = Arc::new(SegmentPool::new());
+        let link = ShmLink::create(Arc::clone(&pool), ring, 99).unwrap();
+        let reader = ShmReader::connect(std::process::id(), link.ctrl_fd(), 99).unwrap();
+        (link, reader, pool)
+    }
+
+    #[test]
+    fn end_to_end_frame_roundtrip_zero_copy() {
+        if !sys::supported() {
+            return;
+        }
+        let (mut link, reader, pool) = loopback(8);
+        let payload: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
+        let meta = FrameMeta {
+            trace_id: 5,
+            born_ns: 1,
+            enqueued_ns: 2,
+            pushed_ns: 3,
+        };
+        assert_eq!(link.push(&payload, meta), PushOutcome::Pushed);
+        let frame = reader.take(Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(frame.as_slice(), &payload[..]);
+        assert_eq!(frame.descriptor().trace_id, 5);
+        assert!(is_shm_mapped(frame.as_slice().as_ptr() as usize));
+        // Convert to an SfmAlloc: still the mapped bytes, no copy.
+        let alloc = frame.into_sfm_alloc();
+        assert!(alloc.is_extern());
+        assert!(is_shm_mapped(alloc.base()));
+        assert_eq!(alloc.slice(16), &payload[..16]);
+        // The segment stays referenced until the alloc drops.
+        let seg = pool.get(0).unwrap();
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 1);
+        drop(alloc);
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn dropping_unconverted_frame_releases_reference() {
+        if !sys::supported() {
+            return;
+        }
+        let (mut link, reader, pool) = loopback(8);
+        link.push(b"abc", FrameMeta::default());
+        let frame = reader.take(Duration::from_secs(1)).unwrap().unwrap();
+        drop(frame);
+        assert_eq!(pool.get(0).unwrap().refs().load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn stale_generation_is_abandoned() {
+        if !sys::supported() {
+            return;
+        }
+        let (mut link, reader, pool) = loopback(8);
+        link.push(b"old", FrameMeta::default());
+        // Simulate a crashed publisher whose recovery re-acquired the
+        // segment: force refs to 0 and re-acquire, bumping the generation
+        // while the old descriptor still sits in the ring.
+        let seg = pool.get(0).unwrap();
+        seg.refs().store(0, Ordering::Release);
+        assert!(seg.try_acquire());
+        seg.write_payload(b"new");
+        assert!(matches!(
+            reader.take(Duration::from_secs(1)),
+            Err(TakeError::Stale)
+        ));
+        assert_eq!(reader.stale_frames(), 1);
+        seg.release_ref();
+    }
+
+    #[test]
+    fn connect_rejects_epoch_mismatch() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let link = ShmLink::create(pool, 4, 7).unwrap();
+        let err = match ShmReader::connect(std::process::id(), link.ctrl_fd(), 8) {
+            Err(e) => e,
+            Ok(_) => panic!("epoch mismatch must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn closed_link_reported_to_reader() {
+        if !sys::supported() {
+            return;
+        }
+        let (link, reader, _pool) = loopback(4);
+        assert!(!reader.is_closed());
+        link.close();
+        assert!(reader.is_closed());
+        assert!(reader.take(Duration::from_millis(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn segment_mappings_unwind_cleanly() {
+        if !sys::supported() {
+            return;
+        }
+        let before = rossf_sfm::mm().live_segments();
+        {
+            let (mut link, reader, _pool) = loopback(4);
+            link.push(b"x", FrameMeta::default());
+            let f = reader.take(Duration::from_secs(1)).unwrap().unwrap();
+            assert!(rossf_sfm::mm().live_segments() > before);
+            drop(f);
+        }
+        assert_eq!(
+            rossf_sfm::mm().live_segments(),
+            before,
+            "all segments unmapped after teardown"
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The per-link control segment: a bounded SPMC descriptor ring plus the
+//! segment directory, all inside one shared memfd.
+//!
+//! Layout (everything 8-aligned, little-endian, one writer per field
+//! class):
+//!
+//! ```text
+//! [ 64 B header | dir_cap × 32 B directory entries | ring_cap × 64 B slots ]
+//! ```
+//!
+//! The ring is a Vyukov-style bounded queue: each slot carries a sequence
+//! word. A slot is writable by the producer when `seq == ticket`, readable
+//! by a consumer when `seq == ticket + 1`, and recycled by storing
+//! `ticket + ring_cap`. The single producer is the publisher's link
+//! thread; consumers are the subscriber process *and* the publisher's own
+//! teardown drain, which is why the consumer side takes the multi-consumer
+//! (`head` CAS) form.
+//!
+//! Wakeups go through a futex word in the header (`FUTEX_WAIT`/`WAKE`, the
+//! cross-process variants): the producer bumps the word and wakes after
+//! every push; a consumer that finds the ring empty re-checks, then sleeps
+//! bounded on the word. No spinning — the benchmark host has a single
+//! core, where polling would invert every latency result.
+
+use crate::seg::DIR_CAP;
+use crate::sys;
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Magic value stamped at offset 0 of every control segment ("ROSSFCTL").
+pub const CTL_MAGIC: u64 = 0x524f_5353_4643_544c;
+/// Largest ring capacity accepted when opening a peer's control segment
+/// (sanity bound against corrupt headers).
+pub const MAX_RING_CAP: u64 = 4096;
+
+const HDR: usize = 64;
+const OFF_MAGIC: usize = 0;
+const OFF_EPOCH: usize = 8;
+const OFF_RING_CAP: usize = 16;
+const OFF_DIR_CAP: usize = 24;
+const OFF_HEAD: usize = 32;
+const OFF_TAIL: usize = 40;
+const OFF_CLOSED: usize = 48;
+const OFF_SIGNAL: usize = 56;
+
+const DIR_ENTRY: usize = 32;
+const DENT_FD: usize = 0;
+const DENT_CAP: usize = 8;
+const DENT_STATE: usize = 16;
+
+const SLOT: usize = 64;
+const SLOT_SEQ: usize = 0;
+const SLOT_SEG: usize = 8;
+const SLOT_GEN: usize = 16;
+const SLOT_LEN: usize = 24;
+const SLOT_TRACE: usize = 32;
+const SLOT_BORN: usize = 40;
+const SLOT_ENQ: usize = 48;
+const SLOT_PUSHED: usize = 56;
+
+/// One frame descriptor as it travels through the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Descriptor {
+    /// Directory index of the data segment holding the payload.
+    pub seg: u32,
+    /// Segment generation the frame was published under; readers compare
+    /// it against the segment header and abandon the frame on mismatch.
+    pub gen: u64,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Trace id (0 = untraced).
+    pub trace_id: u64,
+    /// Buffer birth timestamp on the publisher's tracing clock (0 =
+    /// unknown).
+    pub born_ns: u64,
+    /// When the frame entered the link's queue, publisher clock.
+    pub enqueued_ns: u64,
+    /// When the descriptor was published to the ring, publisher clock.
+    pub pushed_ns: u64,
+}
+
+/// A mapped control segment; created by the publisher, opened read-write
+/// by the subscriber through the peer's fd.
+pub struct ControlSegment {
+    file: File,
+    ptr: *mut u8,
+    total: usize,
+    ring_cap: u64,
+    dir_cap: u64,
+}
+
+// SAFETY: plain shared memory; all cross-thread state is atomic.
+unsafe impl Send for ControlSegment {}
+unsafe impl Sync for ControlSegment {}
+
+fn layout_total(ring_cap: u64, dir_cap: u64) -> usize {
+    sys::page_round(HDR + dir_cap as usize * DIR_ENTRY + ring_cap as usize * SLOT)
+}
+
+impl ControlSegment {
+    /// Create a fresh control segment with `ring_cap` slots (rounded up to
+    /// a power of two, at least 2) stamped with `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Any error from memfd creation, sizing, or mapping.
+    pub fn create(ring_cap: usize, epoch: u64) -> io::Result<ControlSegment> {
+        let ring_cap = (ring_cap.max(2).next_power_of_two() as u64).min(MAX_RING_CAP);
+        let dir_cap = DIR_CAP as u64;
+        let total = layout_total(ring_cap, dir_cap);
+        let file = sys::memfd_create("rossf-ctl")?;
+        file.set_len(total as u64)?;
+        let ptr = sys::mmap_shared(&file, total, true)?;
+        let ctl = ControlSegment {
+            file,
+            ptr,
+            total,
+            ring_cap,
+            dir_cap,
+        };
+        unsafe {
+            (ctl.ptr.add(OFF_EPOCH) as *mut u64).write(epoch);
+            (ctl.ptr.add(OFF_RING_CAP) as *mut u64).write(ring_cap);
+            (ctl.ptr.add(OFF_DIR_CAP) as *mut u64).write(dir_cap);
+        }
+        // Slot i starts writable for ticket i.
+        for i in 0..ring_cap {
+            ctl.slot_word(i, SLOT_SEQ).store(i, Ordering::Relaxed);
+        }
+        // Magic last: a reader that validates it sees a complete layout.
+        unsafe { (ctl.ptr.add(OFF_MAGIC) as *mut u64).write(CTL_MAGIC) };
+        rossf_sfm::mm().note_segment_map(ctl.ptr as usize, total);
+        Ok(ctl)
+    }
+
+    /// Map a peer's control segment from an already-opened file (see
+    /// [`sys::open_peer_fd`]).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the magic, capacities, or file size are
+    /// inconsistent; otherwise any mapping error.
+    pub fn open(file: File) -> io::Result<ControlSegment> {
+        let file_len = file.metadata()?.len() as usize;
+        if file_len < HDR {
+            return Err(bad("control segment shorter than its header"));
+        }
+        // Peek at the header through a minimal mapping to learn the layout.
+        let peek = sys::mmap_shared(&file, HDR, false)?;
+        let (magic, ring_cap, dir_cap) = unsafe {
+            (
+                (peek.add(OFF_MAGIC) as *const u64).read(),
+                (peek.add(OFF_RING_CAP) as *const u64).read(),
+                (peek.add(OFF_DIR_CAP) as *const u64).read(),
+            )
+        };
+        unsafe { sys::munmap(peek, HDR) };
+        if magic != CTL_MAGIC {
+            return Err(bad("control segment magic mismatch"));
+        }
+        if ring_cap == 0 || ring_cap > MAX_RING_CAP || dir_cap == 0 || dir_cap > DIR_CAP as u64 {
+            return Err(bad("control segment capacities out of range"));
+        }
+        let total = layout_total(ring_cap, dir_cap);
+        if total > file_len {
+            return Err(bad("control segment file shorter than its layout"));
+        }
+        let ptr = sys::mmap_shared(&file, total, true)?;
+        let ctl = ControlSegment {
+            file,
+            ptr,
+            total,
+            ring_cap,
+            dir_cap,
+        };
+        rossf_sfm::mm().note_segment_map(ctl.ptr as usize, total);
+        Ok(ctl)
+    }
+
+    fn word(&self, off: usize) -> &AtomicU64 {
+        // SAFETY: off < HDR <= total; mapping lives as long as self.
+        unsafe { &*(self.ptr.add(off) as *const AtomicU64) }
+    }
+
+    fn signal(&self) -> &AtomicU32 {
+        // SAFETY: as `word`.
+        unsafe { &*(self.ptr.add(OFF_SIGNAL) as *const AtomicU32) }
+    }
+
+    fn slot_word(&self, index: u64, off: usize) -> &AtomicU64 {
+        let base = HDR + self.dir_cap as usize * DIR_ENTRY + (index as usize) * SLOT;
+        debug_assert!(base + SLOT <= self.total);
+        // SAFETY: in-bounds by construction (index < ring_cap).
+        unsafe { &*(self.ptr.add(base + off) as *const AtomicU64) }
+    }
+
+    fn dir_word(&self, index: u32, off: usize) -> &AtomicU64 {
+        debug_assert!((index as u64) < self.dir_cap);
+        let base = HDR + index as usize * DIR_ENTRY;
+        // SAFETY: in-bounds by construction.
+        unsafe { &*(self.ptr.add(base + off) as *const AtomicU64) }
+    }
+
+    /// Epoch stamp the creator wrote — the publisher-incarnation check for
+    /// crash recovery.
+    pub fn epoch(&self) -> u64 {
+        // SAFETY: immutable after create; plain read.
+        unsafe { (self.ptr.add(OFF_EPOCH) as *const u64).read() }
+    }
+
+    /// Ring capacity in slots.
+    pub fn ring_cap(&self) -> usize {
+        self.ring_cap as usize
+    }
+
+    /// The memfd's descriptor in this process.
+    pub fn fd(&self) -> i32 {
+        self.file.as_raw_fd()
+    }
+
+    /// Publish directory entry `index` → (`fd`, `capacity`). Written once
+    /// per segment, `state` released last so readers never observe a
+    /// partial entry.
+    pub fn publish_dir(&self, index: u32, fd: i32, capacity: usize) {
+        self.dir_word(index, DENT_FD)
+            .store(fd as u64, Ordering::Relaxed);
+        self.dir_word(index, DENT_CAP)
+            .store(capacity as u64, Ordering::Relaxed);
+        self.dir_word(index, DENT_STATE).store(1, Ordering::Release);
+    }
+
+    /// Read directory entry `index` if it has been published.
+    pub fn dir_entry(&self, index: u32) -> Option<(i32, usize)> {
+        if index as u64 >= self.dir_cap {
+            return None;
+        }
+        if self.dir_word(index, DENT_STATE).load(Ordering::Acquire) != 1 {
+            return None;
+        }
+        Some((
+            self.dir_word(index, DENT_FD).load(Ordering::Relaxed) as i32,
+            self.dir_word(index, DENT_CAP).load(Ordering::Relaxed) as usize,
+        ))
+    }
+
+    /// Producer: publish `d` into the next slot. Returns `false` when the
+    /// ring is full (backpressure — the caller drops the frame and counts
+    /// it). Single producer only.
+    pub fn try_push(&self, d: &Descriptor) -> bool {
+        let t = self.word(OFF_TAIL).load(Ordering::Relaxed);
+        let idx = t % self.ring_cap;
+        if self.slot_word(idx, SLOT_SEQ).load(Ordering::Acquire) != t {
+            return false;
+        }
+        self.slot_word(idx, SLOT_SEG)
+            .store(u64::from(d.seg), Ordering::Relaxed);
+        self.slot_word(idx, SLOT_GEN)
+            .store(d.gen, Ordering::Relaxed);
+        self.slot_word(idx, SLOT_LEN)
+            .store(d.len as u64, Ordering::Relaxed);
+        self.slot_word(idx, SLOT_TRACE)
+            .store(d.trace_id, Ordering::Relaxed);
+        self.slot_word(idx, SLOT_BORN)
+            .store(d.born_ns, Ordering::Relaxed);
+        self.slot_word(idx, SLOT_ENQ)
+            .store(d.enqueued_ns, Ordering::Relaxed);
+        self.slot_word(idx, SLOT_PUSHED)
+            .store(d.pushed_ns, Ordering::Relaxed);
+        self.slot_word(idx, SLOT_SEQ)
+            .store(t + 1, Ordering::Release);
+        self.word(OFF_TAIL).store(t + 1, Ordering::Release);
+        self.signal().fetch_add(1, Ordering::Release);
+        sys::futex_wake(self.signal());
+        true
+    }
+
+    /// Consumer: take the oldest descriptor, if any. Multi-consumer safe
+    /// (the subscriber and the publisher's teardown drain may race).
+    pub fn try_pop(&self) -> Option<Descriptor> {
+        loop {
+            let h = self.word(OFF_HEAD).load(Ordering::Acquire);
+            let idx = h % self.ring_cap;
+            if self.slot_word(idx, SLOT_SEQ).load(Ordering::Acquire) != h + 1 {
+                return None;
+            }
+            if self
+                .word(OFF_HEAD)
+                .compare_exchange(h, h + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let d = Descriptor {
+                seg: self.slot_word(idx, SLOT_SEG).load(Ordering::Relaxed) as u32,
+                gen: self.slot_word(idx, SLOT_GEN).load(Ordering::Relaxed),
+                len: self.slot_word(idx, SLOT_LEN).load(Ordering::Relaxed) as usize,
+                trace_id: self.slot_word(idx, SLOT_TRACE).load(Ordering::Relaxed),
+                born_ns: self.slot_word(idx, SLOT_BORN).load(Ordering::Relaxed),
+                enqueued_ns: self.slot_word(idx, SLOT_ENQ).load(Ordering::Relaxed),
+                pushed_ns: self.slot_word(idx, SLOT_PUSHED).load(Ordering::Relaxed),
+            };
+            // Recycle the slot for ticket h + ring_cap.
+            self.slot_word(idx, SLOT_SEQ)
+                .store(h + self.ring_cap, Ordering::Release);
+            return Some(d);
+        }
+    }
+
+    /// Approximate number of descriptors currently in the ring.
+    pub fn pending(&self) -> u64 {
+        let t = self.word(OFF_TAIL).load(Ordering::Acquire);
+        let h = self.word(OFF_HEAD).load(Ordering::Acquire);
+        t.saturating_sub(h)
+    }
+
+    /// Consumer: sleep until the producer signals (or `timeout`). Callers
+    /// re-check [`ControlSegment::try_pop`] afterwards; spurious returns
+    /// are fine.
+    pub fn wait(&self, timeout: Duration) {
+        let s = self.signal().load(Ordering::Acquire);
+        if self.pending() > 0 || self.is_closed() {
+            return;
+        }
+        sys::futex_wait(self.signal(), s, timeout);
+    }
+
+    /// Mark the link closed (graceful teardown) and wake all waiters.
+    pub fn close(&self) {
+        self.word(OFF_CLOSED).store(1, Ordering::Release);
+        self.signal().fetch_add(1, Ordering::Release);
+        sys::futex_wake(self.signal());
+    }
+
+    /// Whether [`ControlSegment::close`] has been called by either side.
+    pub fn is_closed(&self) -> bool {
+        self.word(OFF_CLOSED).load(Ordering::Acquire) != 0
+    }
+}
+
+impl Drop for ControlSegment {
+    fn drop(&mut self) {
+        rossf_sfm::mm().note_segment_unmap(self.ptr as usize);
+        // SAFETY: single live mapping created in create/open.
+        unsafe { sys::munmap(self.ptr, self.total) };
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_roundtrip_and_backpressure() {
+        if !sys::supported() {
+            return;
+        }
+        let c = ControlSegment::create(4, 7).unwrap();
+        assert_eq!(c.epoch(), 7);
+        assert_eq!(c.ring_cap(), 4);
+        let d = |i: u64| Descriptor {
+            seg: i as u32,
+            gen: i,
+            len: 100 + i as usize,
+            trace_id: i,
+            born_ns: i,
+            enqueued_ns: i,
+            pushed_ns: i,
+        };
+        for i in 0..4 {
+            assert!(c.try_push(&d(i)));
+        }
+        assert!(!c.try_push(&d(99)), "ring full");
+        assert_eq!(c.pending(), 4);
+        for i in 0..4 {
+            assert_eq!(c.try_pop().unwrap(), d(i));
+        }
+        assert!(c.try_pop().is_none());
+        // Wrap-around works after recycling.
+        for i in 4..10 {
+            assert!(c.try_push(&d(i)));
+            assert_eq!(c.try_pop().unwrap(), d(i));
+        }
+    }
+
+    #[test]
+    fn open_via_procfs_sees_same_ring() {
+        if !sys::supported() {
+            return;
+        }
+        let a = ControlSegment::create(8, 42).unwrap();
+        let file = sys::open_peer_fd(std::process::id(), a.fd()).unwrap();
+        let b = ControlSegment::open(file).unwrap();
+        assert_eq!(b.epoch(), 42);
+        a.publish_dir(3, 17, 4096);
+        assert_eq!(b.dir_entry(3), Some((17, 4096)));
+        assert_eq!(b.dir_entry(2), None);
+        let d = Descriptor {
+            seg: 3,
+            gen: 1,
+            len: 5,
+            ..Descriptor::default()
+        };
+        assert!(a.try_push(&d));
+        assert_eq!(b.try_pop().unwrap(), d);
+        a.close();
+        assert!(b.is_closed());
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        if !sys::supported() {
+            return;
+        }
+        let f = sys::memfd_create("rossf-bad-ctl").unwrap();
+        f.set_len(4096).unwrap();
+        assert!(ControlSegment::open(f).is_err(), "magic mismatch");
+        let short = sys::memfd_create("rossf-short-ctl").unwrap();
+        short.set_len(8).unwrap();
+        assert!(ControlSegment::open(short).is_err(), "shorter than header");
+    }
+
+    #[test]
+    fn wait_returns_promptly_when_data_or_closed() {
+        if !sys::supported() {
+            return;
+        }
+        let c = ControlSegment::create(2, 1).unwrap();
+        let t0 = std::time::Instant::now();
+        c.wait(Duration::from_millis(20)); // empty → sleeps the timeout
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        c.try_push(&Descriptor::default());
+        let t1 = std::time::Instant::now();
+        c.wait(Duration::from_secs(5)); // pending → immediate
+        assert!(t1.elapsed() < Duration::from_secs(1));
+        c.try_pop();
+        c.close();
+        let t2 = std::time::Instant::now();
+        c.wait(Duration::from_secs(5)); // closed → immediate
+        assert!(t2.elapsed() < Duration::from_secs(1));
+    }
+}

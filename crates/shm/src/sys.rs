@@ -1,0 +1,333 @@
+//! Raw Linux syscalls used by the shared-memory tier.
+//!
+//! The workspace has no access to crates.io (so no `libc`/`nix`); the four
+//! syscalls the tier needs — `memfd_create`, `mmap`, `munmap`, `futex` —
+//! are issued directly with inline assembly on x86-64 Linux. Everything
+//! that *can* go through `std` does: the memfd is immediately wrapped in a
+//! [`std::fs::File`] so sizing (`set_len`) and close come from the standard
+//! library, and cross-process hand-off opens the peer's fd through
+//! `/proc/<pid>/fd/<fd>` with `std::fs::OpenOptions`.
+//!
+//! On any other platform the module compiles to stubs that report
+//! [`supported`]` == false`; callers (the ros transport negotiation) then
+//! simply never offer the `shm` capability and fall back to TCP.
+
+use std::fs::File;
+use std::io;
+use std::time::Duration;
+
+/// Whether the shared-memory tier can work on this build target.
+pub fn supported() -> bool {
+    imp::SUPPORTED
+}
+
+/// Create an anonymous memfd named `name` (close-on-exec) wrapped in a
+/// [`File`]. Size it with [`File::set_len`] before mapping.
+///
+/// # Errors
+///
+/// The raw `errno` from the kernel, or [`io::ErrorKind::Unsupported`] on
+/// non-x86-64-Linux targets.
+pub fn memfd_create(name: &str) -> io::Result<File> {
+    imp::memfd_create(name)
+}
+
+/// Map `len` bytes of `file` shared into this process.
+///
+/// `writable` selects `PROT_READ|PROT_WRITE` vs `PROT_READ`; the mapping
+/// is always `MAP_SHARED` so stores (and the kernel-side pages) are seen by
+/// every process mapping the same memfd.
+///
+/// # Errors
+///
+/// The raw `errno` from the kernel, or [`io::ErrorKind::Unsupported`] on
+/// non-x86-64-Linux targets.
+pub fn mmap_shared(file: &File, len: usize, writable: bool) -> io::Result<*mut u8> {
+    imp::mmap_shared(file, len, writable)
+}
+
+/// Unmap a region previously returned by [`mmap_shared`].
+///
+/// # Safety
+///
+/// `ptr`/`len` must denote exactly one live mapping created by
+/// [`mmap_shared`]; no reference into the region may outlive the call.
+pub unsafe fn munmap(ptr: *mut u8, len: usize) {
+    imp::munmap(ptr, len);
+}
+
+/// Block until `*addr != expected` or `timeout` elapses (`FUTEX_WAIT`, the
+/// cross-process variant). Spurious wakeups are allowed; callers re-check
+/// their condition in a loop. On unsupported targets this sleeps for the
+/// timeout instead, degrading to polling.
+pub fn futex_wait(addr: &core::sync::atomic::AtomicU32, expected: u32, timeout: Duration) {
+    imp::futex_wait(addr, expected, timeout);
+}
+
+/// Wake every process waiting on `addr` (`FUTEX_WAKE`, the cross-process
+/// variant). A no-op on unsupported targets.
+pub fn futex_wake(addr: &core::sync::atomic::AtomicU32) {
+    imp::futex_wake(addr);
+}
+
+/// Open another process's open file descriptor through procfs
+/// (`/proc/<pid>/fd/<fd>`), read-write. This is how a subscriber process
+/// adopts a publisher's memfd without fd-passing over a Unix socket: both
+/// processes run as the same user in these experiments, so procfs grants
+/// access, and the resulting [`File`] keeps the memfd's memory alive even
+/// after the publisher closes or exits.
+///
+/// # Errors
+///
+/// Any error from [`std::fs::OpenOptions::open`] — most notably
+/// `NotFound` when the peer already exited.
+pub fn open_peer_fd(pid: u32, fd: i32) -> io::Result<File> {
+    std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(format!("/proc/{pid}/fd/{fd}"))
+}
+
+/// Round `len` up to the page granularity mappings are made at.
+pub fn page_round(len: usize) -> usize {
+    const PAGE: usize = 4096;
+    len.div_ceil(PAGE) * PAGE
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd};
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    pub const SUPPORTED: bool = true;
+
+    const SYS_MMAP: i64 = 9;
+    const SYS_MUNMAP: i64 = 11;
+    const SYS_FUTEX: i64 = 202;
+    const SYS_MEMFD_CREATE: i64 = 319;
+
+    const PROT_READ: i64 = 1;
+    const PROT_WRITE: i64 = 2;
+    const MAP_SHARED: i64 = 1;
+    const MFD_CLOEXEC: i64 = 1;
+    // Cross-process (non-PRIVATE) futex ops: the wait word lives in a
+    // MAP_SHARED segment visible to both sides.
+    const FUTEX_WAIT: i64 = 0;
+    const FUTEX_WAKE: i64 = 1;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    /// Raw 6-argument syscall. Return value is the kernel's `rax`:
+    /// negative values in `-4095..0` encode `-errno`.
+    unsafe fn syscall6(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: i64) -> io::Result<i64> {
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error((-ret) as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn memfd_create(name: &str) -> io::Result<File> {
+        // memfd_create wants a NUL-terminated name (used only for
+        // diagnostics in /proc/.../fd); truncate defensively.
+        let mut buf = [0u8; 64];
+        let n = name.len().min(buf.len() - 1);
+        buf[..n].copy_from_slice(&name.as_bytes()[..n]);
+        let fd = check(unsafe {
+            syscall6(
+                SYS_MEMFD_CREATE,
+                buf.as_ptr() as i64,
+                MFD_CLOEXEC,
+                0,
+                0,
+                0,
+                0,
+            )
+        })?;
+        // SAFETY: fd is a fresh, owned descriptor returned by the kernel.
+        Ok(unsafe { File::from_raw_fd(fd as i32) })
+    }
+
+    pub fn mmap_shared(file: &File, len: usize, writable: bool) -> io::Result<*mut u8> {
+        let prot = if writable {
+            PROT_READ | PROT_WRITE
+        } else {
+            PROT_READ
+        };
+        let ret = check(unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len as i64,
+                prot,
+                MAP_SHARED,
+                file.as_raw_fd() as i64,
+                0,
+            )
+        })?;
+        Ok(ret as *mut u8)
+    }
+
+    pub fn munmap(ptr: *mut u8, len: usize) {
+        // Failure here means the arguments were corrupted; nothing useful
+        // to do at drop time, so swallow it.
+        let _ = check(unsafe { syscall6(SYS_MUNMAP, ptr as i64, len as i64, 0, 0, 0, 0) });
+    }
+
+    pub fn futex_wait(addr: &AtomicU32, expected: u32, timeout: Duration) {
+        let ts = Timespec {
+            tv_sec: timeout.as_secs() as i64,
+            tv_nsec: i64::from(timeout.subsec_nanos()),
+        };
+        // EAGAIN (word changed first), EINTR, and ETIMEDOUT are all normal;
+        // the caller re-checks its condition either way.
+        let _ = unsafe {
+            syscall6(
+                SYS_FUTEX,
+                addr as *const AtomicU32 as i64,
+                FUTEX_WAIT,
+                i64::from(expected),
+                &ts as *const Timespec as i64,
+                0,
+                0,
+            )
+        };
+    }
+
+    pub fn futex_wake(addr: &AtomicU32) {
+        let _ = unsafe {
+            syscall6(
+                SYS_FUTEX,
+                addr as *const AtomicU32 as i64,
+                FUTEX_WAKE,
+                i64::from(i32::MAX),
+                0,
+                0,
+                0,
+            )
+        };
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    pub const SUPPORTED: bool = false;
+
+    pub fn memfd_create(_name: &str) -> io::Result<File> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "shm tier requires x86-64 Linux",
+        ))
+    }
+
+    pub fn mmap_shared(_file: &File, _len: usize, _writable: bool) -> io::Result<*mut u8> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "shm tier requires x86-64 Linux",
+        ))
+    }
+
+    pub fn munmap(_ptr: *mut u8, _len: usize) {}
+
+    pub fn futex_wait(_addr: &AtomicU32, _expected: u32, timeout: Duration) {
+        std::thread::sleep(timeout.min(Duration::from_millis(5)));
+    }
+
+    pub fn futex_wake(_addr: &AtomicU32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn page_round_is_page_granular() {
+        assert_eq!(page_round(0), 0);
+        assert_eq!(page_round(1), 4096);
+        assert_eq!(page_round(4096), 4096);
+        assert_eq!(page_round(4097), 8192);
+    }
+
+    #[test]
+    fn memfd_map_write_read_roundtrip() {
+        if !supported() {
+            return;
+        }
+        let f = memfd_create("rossf-sys-test").unwrap();
+        f.set_len(4096).unwrap();
+        let rw = mmap_shared(&f, 4096, true).unwrap();
+        let ro = mmap_shared(&f, 4096, false).unwrap();
+        assert_ne!(rw, ro, "two independent mappings");
+        unsafe {
+            rw.write(0xAB);
+            rw.add(4095).write(0xCD);
+            assert_eq!(ro.read(), 0xAB);
+            assert_eq!(ro.add(4095).read(), 0xCD);
+            munmap(rw, 4096);
+            munmap(ro, 4096);
+        }
+    }
+
+    #[test]
+    fn open_own_fd_through_procfs() {
+        if !supported() {
+            return;
+        }
+        let f = memfd_create("rossf-procfs-test").unwrap();
+        f.set_len(4096).unwrap();
+        let rw = mmap_shared(&f, 4096, true).unwrap();
+        unsafe { rw.write(0x5A) };
+        use std::os::fd::AsRawFd;
+        let peer = open_peer_fd(std::process::id(), f.as_raw_fd()).unwrap();
+        let ro = mmap_shared(&peer, 4096, false).unwrap();
+        assert_eq!(unsafe { ro.read() }, 0x5A);
+        unsafe {
+            munmap(rw, 4096);
+            munmap(ro, 4096);
+        }
+    }
+
+    #[test]
+    fn futex_wait_times_out_and_wake_is_safe() {
+        let w = AtomicU32::new(0);
+        let t0 = std::time::Instant::now();
+        futex_wait(&w, 0, Duration::from_millis(10));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        // Value mismatch returns immediately.
+        futex_wait(&w, 1, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        futex_wake(&w);
+        w.store(9, Ordering::Relaxed);
+    }
+}

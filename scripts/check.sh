@@ -18,6 +18,12 @@ cargo test -q -p rossf-msg --test verify_corruption
 echo "==> same-machine fast-path suite"
 cargo test -q -p rossf-ros --test fastpath
 
+echo "==> shared-memory tier suite (forked byte-identity, segment leak check, fault parity)"
+cargo test -q -p rossf-ros --test shm
+
+echo "==> options/stats suite (defaults, overrides, all four tiers)"
+cargo test -q -p rossf-ros --test options
+
 echo "==> fast-path smoke (same-machine zero-copy vs forced TCP)"
 cargo run -q --release -p rossf-bench --bin link_sweep -- --iters 40 --fastpath-smoke
 
@@ -27,8 +33,11 @@ cargo run -q --release -p rossf-bench --bin sfm_trace -- --self-test
 echo "==> tracing suite (monotone timelines, id survival, zero-overhead)"
 cargo test -q -p rossf-ros --test tracing
 
-echo "==> tracing-overhead gate (traced p50 <= 1.05x untraced)"
+echo "==> tracing-overhead gate (traced p50 <= 1.05x untraced, fastpath + shm)"
 cargo run -q --release -p rossf-bench --bin sfm_trace -- --overhead-gate
+
+echo "==> bench summary (merge results/BENCH_*.json -> results/TRAJECTORY.json)"
+cargo run -q --release -p rossf-bench --bin bench_summary
 
 echo "==> cargo doc -p rossf-trace (warning-clean)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q -p rossf-trace --no-deps
