@@ -89,6 +89,9 @@ transport_counters! {
     /// Frames delivered through a shared-memory ring instead of a socket
     /// (subset of `frames_sent`).
     shm_frames,
+    /// Granted shm links the subscriber could not attach (it then redoes
+    /// the handshake with the offer withheld and falls back to plain TCP).
+    shm_attach_failures,
 }
 
 impl TransportMetrics {

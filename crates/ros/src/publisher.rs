@@ -191,7 +191,8 @@ impl PubCore {
 
         if let Some(link) = shm_link {
             self.metrics.shm_handshakes.fetch_add(1, Ordering::Relaxed);
-            return self.run_shm_link(stream, link, injector);
+            // The grant condition above guarantees `sub_pid` is present.
+            return self.run_shm_link(stream, link, injector, sub_pid.unwrap_or_default());
         }
 
         // Link shaping: pace the data path if the subscriber lives on a
@@ -305,14 +306,17 @@ impl PubCore {
     /// (`wire_write`), then a lock-free descriptor publish. The handshake
     /// socket stays open as the liveness channel: the subscriber never
     /// writes on it again, so any read outcome other than `WouldBlock`
-    /// means the subscriber is gone and the link tears down (dropping the
-    /// link closes the ring and drains unconsumed descriptors so their
-    /// segments recycle).
+    /// means the subscriber is gone and the link tears down — closing the
+    /// ring, draining unconsumed descriptors, settling reader-abandoned
+    /// references, and, if the subscriber *process* died, reclaiming the
+    /// references it still held on popped frames so no pool slot stays
+    /// pinned by a crashed reader.
     fn run_shm_link(
         self: Arc<Self>,
         mut stream: TcpStream,
         mut link: ShmLink,
         injector: Option<Arc<FaultInjector>>,
+        sub_pid: u32,
     ) -> Result<(), RosError> {
         let (tx, rx) = bounded::<OutFrame>(self.queue_size.max(1));
         let alive = Arc::new(AtomicBool::new(true));
@@ -346,7 +350,13 @@ impl PubCore {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
                 Err(_) => break 'link,
             }
-            let Some(frame) = frame else { continue };
+            let Some(frame) = frame else {
+                // Idle tick: settle any references the reader declared
+                // abandoned (inherited but unmappable on its side) so the
+                // pool slots un-pin without waiting for teardown.
+                link.reconcile_abandoned();
+                continue;
+            };
             // Injected faults apply to the ring handoff exactly as they do
             // to socket writes: a dropped frame never reaches the ring, a
             // severed link cuts the socket so both sides tear down.
@@ -410,15 +420,39 @@ impl PubCore {
                         .fetch_add(frame.len() as u64, Ordering::Relaxed);
                     metrics.shm_frames.fetch_add(1, Ordering::Relaxed);
                 }
-                // Ring or pool exhausted: backpressure, frame dropped.
-                PushOutcome::RingFull | PushOutcome::NoSegment => {
+                PushOutcome::RingFull => {
                     metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                // Pool exhausted: some slots may only look pinned because
+                // the reader abandoned their references — settle those
+                // before the next frame retries.
+                PushOutcome::NoSegment => {
+                    metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                    link.reconcile_abandoned();
                 }
             }
         }
-        drop(link); // close the ring, drain unconsumed descriptors
+        link.close();
+        link.drain(); // unconsumed descriptors → their segments recycle
+        link.reconcile_abandoned();
         alive.store(false, Ordering::SeqCst);
         metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+        // A subscriber that *crashed* still holding popped frames would pin
+        // their segments forever: the EOF above usually arrives while the
+        // peer is mid-exit, so wait briefly for it to leave the process
+        // table and then reclaim its outstanding holds. A peer that is
+        // still alive keeps them — stashed message buffers may legally
+        // outlive the subscription, and the reader releases them itself.
+        if sub_pid != std::process::id() {
+            for _ in 0..50 {
+                if !rossf_shm::sys::process_alive(sub_pid) {
+                    link.reclaim_reader_holds();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        drop(link);
         Ok(())
     }
 }

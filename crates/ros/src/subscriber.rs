@@ -78,11 +78,18 @@ impl<D: Decode> SubCore<D> {
         // Whether any connection to this endpoint ever completed a
         // handshake (a later success is then a *re*connect).
         let mut was_connected = false;
+        // Once a granted shm link fails to attach (e.g. the `/proc` fd
+        // hand-off is denied by a ptrace-scope policy), stop offering the
+        // capability to this endpoint: the next handshake omits the offer
+        // and the publisher serves plain TCP instead.
+        let mut shm_blocked = false;
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
             let mut handshaken = false;
+            let mut shm_attach_failed = false;
+            let offer_shm = !shm_blocked;
             let result = match self.local_port(&ep) {
                 Some(port) => {
                     let r = self.run_local_connection(port, was_connected, &mut handshaken);
@@ -93,16 +100,39 @@ impl<D: Decode> SubCore<D> {
                         Err(RosError::Rejected(ref msg))
                             if !handshaken && msg.contains(FASTPATH_FIELD) =>
                         {
-                            self.run_connection(&ep, was_connected, &mut handshaken)
+                            self.run_connection(
+                                &ep,
+                                was_connected,
+                                &mut handshaken,
+                                offer_shm,
+                                &mut shm_attach_failed,
+                            )
                         }
                         other => other,
                     }
                 }
-                None => self.run_connection(&ep, was_connected, &mut handshaken),
+                None => self.run_connection(
+                    &ep,
+                    was_connected,
+                    &mut handshaken,
+                    offer_shm,
+                    &mut shm_attach_failed,
+                ),
             };
+            if shm_attach_failed {
+                shm_blocked = true;
+                self.metrics
+                    .shm_attach_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             if handshaken {
                 was_connected = true;
-                attempt = 0; // healthy link existed; restart the schedule
+                // A handshake whose shm grant could not be attached never
+                // delivered a frame: keep escalating backoff instead of
+                // restarting the schedule on every futile grant.
+                if !shm_attach_failed {
+                    attempt = 0; // healthy link existed; restart the schedule
+                }
                 self.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
             }
             if self.shutdown.load(Ordering::SeqCst) {
@@ -111,7 +141,14 @@ impl<D: Decode> SubCore<D> {
             match result {
                 // The peer refused this subscription outright (type or
                 // endianness mismatch): retrying cannot change the answer.
-                Err(RosError::Rejected(_)) | Err(RosError::TypeMismatch { .. }) => return,
+                // An unattachable (or malformed) shm grant is exempt: the
+                // retry renegotiates without the offer, which *can* change
+                // the answer.
+                Err(RosError::Rejected(_)) | Err(RosError::TypeMismatch { .. })
+                    if !shm_attach_failed =>
+                {
+                    return
+                }
                 // Clean EOF or a transport-level failure: retryable.
                 _ => {}
             }
@@ -313,6 +350,8 @@ impl<D: Decode> SubCore<D> {
         ep: &PublisherEndpoint,
         is_reconnect: bool,
         handshaken: &mut bool,
+        offer_shm: bool,
+        shm_attach_failed: &mut bool,
     ) -> Result<(), RosError> {
         let stream = TcpStream::connect(ep.addr)?;
         stream.set_nodelay(true)?;
@@ -324,7 +363,13 @@ impl<D: Decode> SubCore<D> {
             }
             streams.insert(key, stream.try_clone()?);
         }
-        let result = self.reader_loop(stream, is_reconnect, handshaken);
+        let result = self.reader_loop(
+            stream,
+            is_reconnect,
+            handshaken,
+            offer_shm,
+            shm_attach_failed,
+        );
         self.streams.lock().remove(&key);
         result
     }
@@ -334,6 +379,8 @@ impl<D: Decode> SubCore<D> {
         stream: TcpStream,
         is_reconnect: bool,
         handshaken: &mut bool,
+        offer_shm: bool,
+        shm_attach_failed: &mut bool,
     ) -> Result<(), RosError> {
         // A peer that accepts the connection but never answers the
         // handshake must not pin this thread forever.
@@ -346,8 +393,10 @@ impl<D: Decode> SubCore<D> {
             .with("endian", ConnectionHeader::native_endian());
         // Offer the shared-memory tier: the publisher grants it only when
         // both sides share a machine and (normally) live in different
-        // processes, so the offer also carries our pid.
-        if self.config.enable_shm && rossf_shm::supported() {
+        // processes, so the offer also carries our pid. The offer is
+        // withheld after a grant failed to attach (`offer_shm == false`)
+        // so the publisher serves this connection over plain TCP.
+        if offer_shm && self.config.enable_shm && rossf_shm::supported() {
             request = request
                 .with(SHM_FIELD, "1")
                 .with(SHM_PID_FIELD, std::process::id().to_string());
@@ -384,7 +433,7 @@ impl<D: Decode> SubCore<D> {
             // The publisher granted the shared-memory tier and is now in
             // its ring-producer loop: frames arrive as descriptors, not
             // socket bytes. The socket stays open as the liveness channel.
-            return self.run_shm_connection(reader.get_ref(), &reply);
+            return self.run_shm_connection(reader.get_ref(), &reply, shm_attach_failed);
         }
 
         // The connection key mirrors the writer's `conn_key(local, peer)`:
@@ -517,6 +566,20 @@ impl<D: Decode> SubCore<D> {
         Ok(())
     }
 
+    /// Attach a granted shm link, honouring the injected attach fault
+    /// (`TransportConfig::shm_attach_fault`), which stands in for the
+    /// real-world `/proc/<pid>/fd` denials that cannot be provoked
+    /// deterministically in a test.
+    fn attach_shm(&self, pub_pid: u32, ctrl_fd: i32, epoch: u64) -> Result<ShmReader, RosError> {
+        if self.config.shm_attach_fault {
+            return Err(RosError::Io(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "injected shm attach fault",
+            )));
+        }
+        ShmReader::connect(pub_pid, ctrl_fd, epoch).map_err(RosError::Io)
+    }
+
     /// One shared-memory link lifetime: adopt the publisher's control
     /// segment and consume descriptors until either side tears down.
     /// Frames are mapped read-only straight out of the publisher's
@@ -528,6 +591,7 @@ impl<D: Decode> SubCore<D> {
         &self,
         stream: &TcpStream,
         reply: &ConnectionHeader,
+        shm_attach_failed: &mut bool,
     ) -> Result<(), RosError> {
         let field = |name: &str| -> Result<u64, RosError> {
             reply
@@ -537,14 +601,34 @@ impl<D: Decode> SubCore<D> {
                     RosError::Rejected(format!("malformed shm grant: bad `{name}` field"))
                 })
         };
-        let pub_pid = field(SHM_PUB_PID_FIELD)? as u32;
-        let ctrl_fd = field(SHM_FD_FIELD)? as i32;
-        let epoch = field(SHM_EPOCH_FIELD)?;
-        // An epoch mismatch (or unreadable fd) means the publisher
-        // incarnation that promised this grant is already gone: report a
-        // transport failure so the supervisor reconnects and renegotiates
-        // from a fresh handshake.
-        let shm = ShmReader::connect(pub_pid, ctrl_fd, epoch).map_err(RosError::Io)?;
+        // Any failure between the grant and a working reader — malformed
+        // grant fields, a `/proc` fd hand-off denied by the kernel's
+        // ptrace-scope policy, an epoch mismatch from a recycled publisher
+        // incarnation — flags `shm_attach_failed`: the supervisor then
+        // redoes the handshake with the shm offer withheld and the
+        // publisher serves plain TCP, instead of re-granting a link this
+        // process can never attach.
+        let parsed = (|| {
+            Ok((
+                field(SHM_PUB_PID_FIELD)? as u32,
+                field(SHM_FD_FIELD)? as i32,
+                field(SHM_EPOCH_FIELD)?,
+            ))
+        })();
+        let (pub_pid, ctrl_fd, epoch) = match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                *shm_attach_failed = true;
+                return Err(e);
+            }
+        };
+        let shm = match self.attach_shm(pub_pid, ctrl_fd, epoch) {
+            Ok(shm) => shm,
+            Err(e) => {
+                *shm_attach_failed = true;
+                return Err(e);
+            }
+        };
         stream.set_nonblocking(true)?;
 
         let trace = self.trace.as_deref();

@@ -118,10 +118,15 @@ fn delivery_is_zero_copy_out_of_a_mapped_segment() {
     );
     assert_eq!((seq, len), (7, 64));
 
-    let snap = master.metrics().topic("shm/zero_copy").snapshot();
+    // The callback can fire before the link thread bumps its counters;
+    // wait for the send-side accounting to land before asserting on it.
+    let metrics = master.metrics().topic("shm/zero_copy");
+    wait_until("ring frame is accounted", || {
+        let s = metrics.snapshot();
+        s.shm_frames >= 1 && s.shm_frames == s.frames_sent
+    });
+    let snap = metrics.snapshot();
     assert!(snap.shm_handshakes >= 1, "handshake counted as shm");
-    assert!(snap.shm_frames >= 1, "frame delivered through the ring");
-    assert_eq!(snap.shm_frames, snap.frames_sent);
     assert_eq!(snap.fastpath_frames, 0);
 }
 
@@ -144,8 +149,13 @@ fn roundtrip_bytes(enable_shm: bool) -> (Vec<u8>, u64) {
     publisher.publish(&m);
     let got = rx.recv_timeout(Duration::from_secs(10)).unwrap();
     assert_eq!(got, m.publish_handle().as_slice().to_vec());
-    let snap = master.metrics().topic("shm/fallback").snapshot();
-    (got, snap.shm_frames)
+    // Delivery can outrun the send-side counter bump; wait for it.
+    let metrics = master.metrics().topic("shm/fallback");
+    wait_until("sent frame is accounted", || {
+        let s = metrics.snapshot();
+        s.frames_sent >= 1 && (!enable_shm || s.shm_frames >= 1)
+    });
+    (got, metrics.snapshot().shm_frames)
 }
 
 /// Disabling the shm tier falls back to TCP transparently, and the frames
@@ -420,7 +430,10 @@ fn validate_on_receive_still_zero_copy() {
         "verification must not force a copy out of the segment"
     );
     assert_eq!(sub.verify_rejects(), 0);
-    assert!(master.metrics().topic("shm/validate").snapshot().shm_frames > 0);
+    let metrics = master.metrics().topic("shm/validate");
+    wait_until("ring frame is accounted", || {
+        metrics.snapshot().shm_frames > 0
+    });
 }
 
 /// Same-process shm traffic records the full eight-stage pipeline at
@@ -500,6 +513,169 @@ fn shm_timeline_is_monotone_per_side() {
         .filter(|e| e.stage == Stage::WireWrite || e.stage == Stage::WireRead)
         .all(|e| e.tier == Tier::Shm));
     assert!(sub_side.iter().all(|e| e.trace_id != 0));
+}
+
+/// A granted shm link that cannot be attached (here: an injected fault
+/// standing in for a `/proc/<pid>/fd` open denied by the kernel's
+/// ptrace-scope policy) must not strand the subscription: the supervisor
+/// redoes the handshake with the shm offer withheld and the publisher
+/// serves plain TCP instead.
+#[test]
+fn unattachable_grant_falls_back_to_tcp() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let master = Master::new();
+    let nh_pub = NodeHandle::with_config(&master, "att_pub", MachineId::A, shm_config(true));
+    let nh_sub = NodeHandle::with_config(
+        &master,
+        "att_sub",
+        MachineId::A,
+        TransportConfig {
+            shm_attach_fault: true,
+            ..shm_config(true)
+        },
+    );
+    let publisher: Publisher<SfmBox<Payload>> = nh_pub.advertise("shm/attach_fault", 8);
+    let (tx, rx) = mpsc::channel();
+    let sub = nh_sub.subscribe("shm/attach_fault", 8, move |m: SfmShared<Payload>| {
+        let _ = tx.send((m.seq, rossf_shm::is_shm_mapped(m.base())));
+    });
+
+    // Delivery must still happen — over TCP, after the supervisor
+    // renegotiates without the offer.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let (seq, mapped) = loop {
+        publisher.publish(&msg(5));
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(got) => break got,
+            Err(_) => assert!(
+                Instant::now() < deadline,
+                "fallback never delivered a frame"
+            ),
+        }
+    };
+    assert_eq!(seq, 5);
+    assert!(!mapped, "fallback frames arrive over TCP, not a mapping");
+    let snap = master.metrics().topic("shm/attach_fault").snapshot();
+    assert!(snap.shm_attach_failures >= 1, "attach failure counted");
+    assert!(snap.shm_handshakes >= 1, "a grant was negotiated first");
+    assert_eq!(snap.shm_frames, 0, "no frame crossed a ring");
+    assert!(sub.reconnect_attempts() >= 1, "fallback is a renegotiation");
+    assert!(sub.received() >= 1);
+}
+
+/// Child half of the crashed-subscriber test: stash (never release) every
+/// mapped frame until `ROSSF_SHM_STASH_COUNT` are held, then exit without
+/// running a single destructor — as close to a crash as a test can get.
+/// Each stashed `SfmShared` pins one of the publisher's pool slots.
+#[test]
+fn shm_child_stash_entry() {
+    let addr = match std::env::var("ROSSF_SHM_STASH_ADDR") {
+        Ok(a) => a,
+        Err(_) => return,
+    };
+    let count: usize = std::env::var("ROSSF_SHM_STASH_COUNT")
+        .expect("stash count")
+        .parse()
+        .expect("stash count parses");
+    let addr: std::net::SocketAddr = addr.parse().expect("stash addr parses");
+
+    let master = Master::new();
+    master
+        .register_publisher("shm/crash", Payload::type_name(), addr, MachineId::A)
+        .expect("register parent endpoint");
+    let config = TransportConfig {
+        enable_fastpath: false,
+        ..TransportConfig::default()
+    };
+    let nh = NodeHandle::with_config(&master, "stash_child", MachineId::A, config);
+    let stash: Arc<Mutex<Vec<SfmShared<Payload>>>> = Arc::new(Mutex::new(Vec::new()));
+    let (tx, rx) = mpsc::channel();
+    let stash_cb = Arc::clone(&stash);
+    let _sub = nh.subscribe("shm/crash", 64, move |m: SfmShared<Payload>| {
+        if rossf_shm::is_shm_mapped(m.base()) {
+            let mut held = stash_cb.lock().unwrap();
+            held.push(m);
+            let _ = tx.send(held.len());
+        }
+    });
+    loop {
+        let held = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("stash frame arrives");
+        if held >= count {
+            // Die abruptly: `exit` runs no destructors, so the stashed
+            // frames' segment references are never released — exactly
+            // what a crashed subscriber leaves behind.
+            std::process::exit(0);
+        }
+    }
+}
+
+/// Subscriber-crash recovery: a subscriber process that dies while
+/// holding a frame in *every* pool slot must not pin the publisher's
+/// segment pool forever. The publisher notices the death on the liveness
+/// socket, reclaims the dead reader's outstanding references, and a fresh
+/// shm subscriber receives frames again — which is only possible if every
+/// slot was un-pinned, since the dead child held all of them.
+#[test]
+fn crashed_subscriber_frames_are_reclaimed() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "crash_pub", MachineId::A, shm_config(true));
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/crash", 64);
+
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["shm_child_stash_entry", "--exact", "--test-threads", "1"])
+        .env("ROSSF_SHM_STASH_ADDR", publisher.addr().to_string())
+        .env("ROSSF_SHM_STASH_COUNT", rossf_shm::DIR_CAP.to_string())
+        .spawn()
+        .expect("spawn stashing child process");
+    nh.wait_for_subscribers(&publisher, 1);
+
+    // Feed the child until it holds a frame in every one of the pool's
+    // DIR_CAP slots and dies with them. (A stashed frame keeps its slot
+    // referenced, so each delivered frame claims a fresh slot.)
+    let mut seq: u32 = 0;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => break status,
+            None => {
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    panic!("child never exhausted the pool");
+                }
+                publisher.publish(&msg(seq));
+                seq = seq.wrapping_add(1);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    };
+    assert!(status.success(), "stashing child failed");
+
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("shm/crash", 64, move |m: SfmShared<Payload>| {
+        let _ = tx.send(rossf_shm::is_shm_mapped(m.base()));
+    });
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mapped = loop {
+        publisher.publish(&msg(seq));
+        seq = seq.wrapping_add(1);
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(mapped) => break mapped,
+            Err(_) => assert!(
+                Instant::now() < deadline,
+                "no delivery after the crash — dead reader's slots were never reclaimed"
+            ),
+        }
+    };
+    assert!(mapped, "post-crash delivery must still ride the shm tier");
+    let snap = master.metrics().topic("shm/crash").snapshot();
+    assert!(snap.shm_handshakes >= 2, "both links negotiated shm");
 }
 
 /// Child half of the forked-process test. Runs only when the parent set

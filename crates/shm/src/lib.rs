@@ -50,13 +50,60 @@ pub fn supported() -> bool {
     sys::supported()
 }
 
-/// Mint a fresh epoch stamp for a publisher incarnation: the process id in
-/// the high bits plus a process-local counter — unique across the crashes
-/// and restarts the crash-recovery scheme must distinguish.
+/// Mint a fresh epoch stamp for a publisher incarnation — unique across
+/// the crashes and restarts the crash-recovery scheme must distinguish.
+///
+/// Pid plus a counter is not enough: a supervisor-restarted publisher
+/// binary has deterministic fd numbers and a counter restarting at 1, so
+/// a recycled pid would reproduce the exact epoch a stale grant promised
+/// and the subscriber would adopt the wrong incarnation's ring. The seed
+/// therefore also mixes in the process start time from `/proc/self/stat`
+/// (distinct for any two incarnations of one pid) and the wall clock,
+/// whitened through splitmix64 so every bit of the stamp varies.
 pub fn fresh_epoch() -> u64 {
     use std::sync::atomic::{AtomicU64, Ordering};
-    static COUNTER: AtomicU64 = AtomicU64::new(1);
-    (u64::from(std::process::id()) << 24) | (COUNTER.fetch_add(1, Ordering::Relaxed) & 0xff_ffff)
+    use std::sync::OnceLock;
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let wall = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(
+            u64::from(std::process::id())
+                ^ proc_start_ticks().rotate_left(17)
+                ^ wall.rotate_left(34),
+        )
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    splitmix64(seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// splitmix64's finalizer: a bijective mix, so distinct inputs always
+/// yield distinct epochs for one seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// This process's start time in clock ticks since boot (field 22 of
+/// `/proc/self/stat`); 0 when unreadable (non-Linux targets, where the
+/// tier is unsupported anyway).
+fn proc_start_ticks() -> u64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0;
+    };
+    // The parenthesised comm may contain spaces; fields resume after the
+    // last ')'. starttime is overall field 22 → 20th after the state.
+    let Some(end) = stat.rfind(')') else { return 0 };
+    stat[end + 1..]
+        .split_whitespace()
+        .nth(19)
+        .and_then(|f| f.parse().ok())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -64,11 +111,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn epochs_are_unique_and_pid_tagged() {
+    fn epochs_are_unique_within_a_process() {
         let a = fresh_epoch();
         let b = fresh_epoch();
+        let c = fresh_epoch();
         assert_ne!(a, b);
-        assert_eq!(a >> 24, u64::from(std::process::id()));
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn epoch_seed_reflects_process_start_time() {
+        #[cfg(target_os = "linux")]
+        assert_ne!(
+            super::proc_start_ticks(),
+            0,
+            "start time read from /proc/self/stat"
+        );
     }
 
     #[test]

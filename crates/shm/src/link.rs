@@ -181,12 +181,49 @@ impl ShmLink {
             }
         }
     }
+
+    /// Subtract references the reader inherited but declared unreleasable
+    /// (its mapping of the data segment failed, so it cannot reach the
+    /// refcount itself). Safe to call at any time, even with the reader
+    /// live — it only drains counts the reader explicitly gave up.
+    pub fn reconcile_abandoned(&self) {
+        for idx in 0..DIR_CAP as u32 {
+            let n = self.ctrl.take_abandoned(idx);
+            if n > 0 {
+                if let Some(seg) = self.pool.get(idx) {
+                    seg.reclaim_refs(n);
+                }
+            }
+        }
+    }
+
+    /// Subtract every reference the reader still holds on popped frames.
+    /// Only correct once the reader *process* is known dead: a live
+    /// reader releases (and un-counts) its holds itself, and reclaiming
+    /// under it would recycle segments it is still reading.
+    pub fn reclaim_reader_holds(&self) {
+        for idx in 0..DIR_CAP as u32 {
+            let n = self.ctrl.take_holds(idx);
+            if n > 0 {
+                if let Some(seg) = self.pool.get(idx) {
+                    seg.reclaim_refs(n);
+                }
+            }
+        }
+    }
+
+    /// The link's control segment (reader-side protocol tests).
+    #[cfg(test)]
+    pub(crate) fn ctrl(&self) -> &ControlSegment {
+        &self.ctrl
+    }
 }
 
 impl Drop for ShmLink {
     fn drop(&mut self) {
         self.close();
         self.drain();
+        self.reconcile_abandoned();
     }
 }
 
@@ -241,6 +278,52 @@ mod tests {
         assert_eq!(seg.refs().load(Ordering::Relaxed), 1, "write hold taken");
         drop(prepared);
         assert_eq!(seg.refs().load(Ordering::Relaxed), 0, "write hold released");
+    }
+
+    #[test]
+    fn dead_reader_holds_are_reclaimed() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut link = ShmLink::create(Arc::clone(&pool), 4, 1).unwrap();
+        assert_eq!(link.push(b"a", FrameMeta::default()), PushOutcome::Pushed);
+        assert_eq!(link.push(b"b", FrameMeta::default()), PushOutcome::Pushed);
+        // Act out the reader-side pop protocol by hand, then "crash": the
+        // inherited references are never released and the hold counts
+        // never decremented.
+        for _ in 0..2 {
+            let d = link.ctrl().try_pop().unwrap();
+            assert!(link.ctrl().add_hold(d.seg));
+        }
+        link.drain(); // ring empty — drain alone reclaims nothing
+        assert_eq!(pool.get(0).unwrap().refs().load(Ordering::Relaxed), 1);
+        assert_eq!(pool.get(1).unwrap().refs().load(Ordering::Relaxed), 1);
+        link.reclaim_reader_holds();
+        assert_eq!(pool.get(0).unwrap().refs().load(Ordering::Relaxed), 0);
+        assert_eq!(pool.get(1).unwrap().refs().load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn reclaim_after_clean_release_is_a_no_op() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut link = ShmLink::create(Arc::clone(&pool), 4, 1).unwrap();
+        assert_eq!(link.push(b"a", FrameMeta::default()), PushOutcome::Pushed);
+        // The reader pops, then releases properly: hold un-counted before
+        // the refcount decrement.
+        let d = link.ctrl().try_pop().unwrap();
+        assert!(link.ctrl().add_hold(d.seg));
+        link.ctrl().dec_hold(d.seg);
+        pool.get(d.seg).unwrap().release_ref();
+        // Reclaiming afterwards must not underflow the freed segment.
+        link.reclaim_reader_holds();
+        link.reconcile_abandoned();
+        assert_eq!(pool.get(0).unwrap().refs().load(Ordering::Relaxed), 0);
+        assert_eq!(link.push(b"b", FrameMeta::default()), PushOutcome::Pushed);
+        link.drain();
     }
 
     #[test]

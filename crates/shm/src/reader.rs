@@ -161,7 +161,7 @@ impl std::error::Error for TakeError {}
 /// segment plus lazily-opened data-segment mappings (one per directory
 /// index, cached for the reader's life).
 pub struct ShmReader {
-    ctrl: ControlSegment,
+    ctrl: Arc<ControlSegment>,
     pub_pid: u32,
     maps: Mutex<HashMap<u32, Arc<SegmentMap>>>,
     stale: AtomicU64,
@@ -186,7 +186,7 @@ impl ShmReader {
             ));
         }
         Ok(ShmReader {
-            ctrl,
+            ctrl: Arc::new(ctrl),
             pub_pid,
             maps: Mutex::new(HashMap::new()),
             stale: AtomicU64::new(0),
@@ -249,22 +249,41 @@ impl ShmReader {
                 }
             }
         };
-        let map = self.map_for(&d)?;
-        // The descriptor's reference is now ours; every early exit below
-        // must release it.
+        // The descriptor's reference is now ours. Account it in the
+        // shared hold counter *before* anything can fail, so the
+        // publisher can reclaim it if this process dies holding it.
+        if !self.ctrl.add_hold(d.seg) {
+            return Err(TakeError::Corrupt(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "descriptor directory index out of range",
+            )));
+        }
+        let map = match self.map_for(&d) {
+            Ok(m) => m,
+            Err(e) => {
+                // The segment would not map, so its refcount is
+                // unreachable from here; declare the reference abandoned
+                // for the publisher to reconcile instead of leaking the
+                // pool slot.
+                self.ctrl.abandon_hold(d.seg);
+                return Err(e);
+            }
+        };
+        // Every early exit below must release the accounted reference.
         if map.generation() != d.gen {
-            map.release_ref();
+            release_accounted(&self.ctrl, d.seg, &map);
             self.stale.fetch_add(1, Ordering::Relaxed);
             return Err(TakeError::Stale);
         }
         if d.len > map.payload_cap() {
-            map.release_ref();
+            release_accounted(&self.ctrl, d.seg, &map);
             return Err(TakeError::Corrupt(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "descriptor length exceeds segment capacity",
             )));
         }
         Ok(Some(MappedFrame {
+            ctrl: Arc::clone(&self.ctrl),
             map,
             desc: d,
             armed: true,
@@ -272,11 +291,21 @@ impl ShmReader {
     }
 }
 
+/// Release one accounted reference: hold un-counted first, then the
+/// refcount decrement — a crash between the two leaks one bounded
+/// reference instead of letting dead-reader reclamation subtract it a
+/// second time.
+fn release_accounted(ctrl: &ControlSegment, seg_idx: u32, map: &SegmentMap) {
+    ctrl.dec_hold(seg_idx);
+    map.release_ref();
+}
+
 /// One received frame, borrowed zero-copy from the shared segment. Holds
 /// the descriptor's cross-process reference: dropping the frame (or the
 /// SFM buffer it converts into) releases it, allowing the publisher to
 /// recycle the segment.
 pub struct MappedFrame {
+    ctrl: Arc<ControlSegment>,
     map: Arc<SegmentMap>,
     desc: Descriptor,
     armed: bool,
@@ -313,6 +342,8 @@ impl MappedFrame {
     pub fn into_sfm_alloc(mut self) -> Arc<SfmAlloc> {
         self.armed = false;
         let guard = FrameGuard {
+            ctrl: Arc::clone(&self.ctrl),
+            seg_idx: self.desc.seg,
             map: Arc::clone(&self.map),
         };
         // Capacity is the 8-aligned frame length (within the segment:
@@ -329,7 +360,7 @@ impl MappedFrame {
 impl Drop for MappedFrame {
     fn drop(&mut self) {
         if self.armed {
-            self.map.release_ref();
+            release_accounted(&self.ctrl, self.desc.seg, &self.map);
         }
     }
 }
@@ -338,12 +369,14 @@ impl Drop for MappedFrame {
 /// frame's cross-process reference (and, transitively, the mapping once
 /// every frame from that segment is gone).
 struct FrameGuard {
+    ctrl: Arc<ControlSegment>,
+    seg_idx: u32,
     map: Arc<SegmentMap>,
 }
 
 impl Drop for FrameGuard {
     fn drop(&mut self) {
-        self.map.release_ref();
+        release_accounted(&self.ctrl, self.seg_idx, &self.map);
     }
 }
 
@@ -383,11 +416,14 @@ mod tests {
         assert!(alloc.is_extern());
         assert!(is_shm_mapped(alloc.base()));
         assert_eq!(alloc.slice(16), &payload[..16]);
-        // The segment stays referenced until the alloc drops.
+        // The segment stays referenced until the alloc drops, and the
+        // shared hold counter mirrors the outstanding reference.
         let seg = pool.get(0).unwrap();
         assert_eq!(seg.refs().load(Ordering::Relaxed), 1);
+        assert_eq!(link.ctrl().reader_holds(0), 1);
         drop(alloc);
         assert_eq!(seg.refs().load(Ordering::Relaxed), 0);
+        assert_eq!(link.ctrl().reader_holds(0), 0);
     }
 
     #[test]
@@ -422,6 +458,35 @@ mod tests {
         ));
         assert_eq!(reader.stale_frames(), 1);
         seg.release_ref();
+    }
+
+    #[test]
+    fn unmappable_segment_is_abandoned_and_reconciled() {
+        if !sys::supported() {
+            return;
+        }
+        let (mut link, reader, pool) = loopback(8);
+        assert_eq!(
+            link.push(b"frame", FrameMeta::default()),
+            PushOutcome::Pushed
+        );
+        let seg = pool.get(0).unwrap();
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 1);
+        // Sabotage the directory before the reader's first mapping: point
+        // slot 0 at an fd number that cannot be opened through procfs —
+        // what a denied or exhausted open looks like from the reader.
+        link.ctrl().publish_dir(0, 1_000_000, seg.payload_cap());
+        assert!(matches!(
+            reader.take(Duration::from_secs(1)),
+            Err(TakeError::Corrupt(_))
+        ));
+        // The reader could not release the inherited reference itself but
+        // declared it abandoned; the publisher reconciles the account and
+        // the pool slot un-pins instead of leaking forever.
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 1);
+        assert_eq!(link.ctrl().reader_holds(0), 0);
+        link.reconcile_abandoned();
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! class):
 //!
 //! ```text
-//! [ 64 B header | dir_cap × 32 B directory entries | ring_cap × 64 B slots ]
+//! [ 64 B header | dir_cap × 48 B directory entries | ring_cap × 64 B slots ]
 //! ```
 //!
 //! The ring is a Vyukov-style bounded queue: each slot carries a sequence
@@ -46,10 +46,18 @@ const OFF_TAIL: usize = 40;
 const OFF_CLOSED: usize = 48;
 const OFF_SIGNAL: usize = 56;
 
-const DIR_ENTRY: usize = 32;
+const DIR_ENTRY: usize = 48;
 const DENT_FD: usize = 0;
 const DENT_CAP: usize = 8;
 const DENT_STATE: usize = 16;
+/// Segment references the reader inherited from popped descriptors and has
+/// not yet released. Written by the reader; drained by the publisher only
+/// once the reader *process* is known dead (crash reclamation).
+const DENT_HOLDS: usize = 24;
+/// Segment references the reader inherited but declared unreleasable (the
+/// data segment would not map, so it cannot reach the refcount). Drained
+/// by the publisher at any time.
+const DENT_ABANDONED: usize = 32;
 
 const SLOT: usize = 64;
 const SLOT_SEQ: usize = 0;
@@ -246,6 +254,75 @@ impl ControlSegment {
         ))
     }
 
+    /// Reader: record that one segment reference for directory slot
+    /// `index` was inherited from a popped descriptor. Returns `false`
+    /// when the index is out of range (corrupt descriptor — nothing to
+    /// account).
+    pub fn add_hold(&self, index: u32) -> bool {
+        if u64::from(index) >= self.dir_cap {
+            return false;
+        }
+        self.dir_word(index, DENT_HOLDS)
+            .fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Reader: record that one inherited reference for slot `index` was
+    /// released. Called *before* the segment refcount decrement, so a
+    /// crash between the two leaks at most one bounded reference instead
+    /// of letting dead-reader reclamation subtract the same reference
+    /// twice.
+    pub fn dec_hold(&self, index: u32) {
+        if u64::from(index) >= self.dir_cap {
+            return;
+        }
+        self.dir_word(index, DENT_HOLDS)
+            .fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Reader: convert one hold on slot `index` into an *abandoned*
+    /// reference — inherited but unreleasable because the data segment
+    /// would not map, so the reader cannot reach its refcount. The
+    /// publisher drains these with [`ControlSegment::take_abandoned`] and
+    /// subtracts them on its side, un-pinning the pool slot even while
+    /// the reader process lives on.
+    pub fn abandon_hold(&self, index: u32) {
+        if u64::from(index) >= self.dir_cap {
+            return;
+        }
+        self.dir_word(index, DENT_HOLDS)
+            .fetch_sub(1, Ordering::AcqRel);
+        self.dir_word(index, DENT_ABANDONED)
+            .fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Reader references currently outstanding on slot `index`.
+    pub fn reader_holds(&self, index: u32) -> u64 {
+        if u64::from(index) >= self.dir_cap {
+            return 0;
+        }
+        self.dir_word(index, DENT_HOLDS).load(Ordering::Acquire)
+    }
+
+    /// Publisher: drain the abandoned-reference count for slot `index`.
+    pub fn take_abandoned(&self, index: u32) -> u64 {
+        if u64::from(index) >= self.dir_cap {
+            return 0;
+        }
+        self.dir_word(index, DENT_ABANDONED)
+            .swap(0, Ordering::AcqRel)
+    }
+
+    /// Publisher: drain the outstanding-holds count for slot `index`.
+    /// Only meaningful once the reader *process* is known dead — a live
+    /// reader releases its own holds.
+    pub fn take_holds(&self, index: u32) -> u64 {
+        if u64::from(index) >= self.dir_cap {
+            return 0;
+        }
+        self.dir_word(index, DENT_HOLDS).swap(0, Ordering::AcqRel)
+    }
+
     /// Producer: publish `d` into the next slot. Returns `false` when the
     /// ring is full (backpressure — the caller drops the frame and counts
     /// it). Single producer only.
@@ -424,6 +501,33 @@ mod tests {
         let short = sys::memfd_create("rossf-short-ctl").unwrap();
         short.set_len(8).unwrap();
         assert!(ControlSegment::open(short).is_err(), "shorter than header");
+    }
+
+    #[test]
+    fn hold_accounting_roundtrips_and_bounds_checks() {
+        if !sys::supported() {
+            return;
+        }
+        let c = ControlSegment::create(4, 1).unwrap();
+        // Inherit two references on slot 2; release one, abandon one.
+        assert!(c.add_hold(2));
+        assert!(c.add_hold(2));
+        assert_eq!(c.reader_holds(2), 2);
+        c.dec_hold(2);
+        c.abandon_hold(2);
+        assert_eq!(c.reader_holds(2), 0);
+        assert_eq!(c.take_abandoned(2), 1);
+        assert_eq!(c.take_abandoned(2), 0, "drained exactly once");
+        // Dead-reader drain takes whatever is still held.
+        assert!(c.add_hold(3));
+        assert_eq!(c.take_holds(3), 1);
+        assert_eq!(c.take_holds(3), 0);
+        // Out-of-range indices are rejected without touching memory.
+        let bogus = DIR_CAP as u32 + 1;
+        assert!(!c.add_hold(bogus));
+        assert_eq!(c.reader_holds(bogus), 0);
+        assert_eq!(c.take_abandoned(bogus), 0);
+        assert_eq!(c.take_holds(bogus), 0);
     }
 
     #[test]

@@ -144,6 +144,30 @@ impl Segment {
         self.refs().fetch_sub(1, Ordering::AcqRel);
     }
 
+    /// Subtract up to `n` references on behalf of a reader that cannot do
+    /// it itself (abandoned references, or holds of a dead process).
+    /// Clamped at zero — never underflows even if an account was already
+    /// settled by a racing release.
+    pub fn reclaim_refs(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut cur = self.refs().load(Ordering::Acquire);
+        loop {
+            let sub = cur.min(n);
+            if sub == 0 {
+                return;
+            }
+            match self
+                .refs()
+                .compare_exchange(cur, cur - sub, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
     /// Copy `payload` into the segment and stamp its length.
     ///
     /// # Panics
@@ -291,6 +315,22 @@ mod tests {
         let got = unsafe { std::slice::from_raw_parts(base.add(SEG_HEADER), 5) };
         assert_eq!(got, &[1, 2, 3, 4, 5]);
         seg.release_ref();
+    }
+
+    #[test]
+    fn reclaim_refs_clamps_at_zero() {
+        if !sys::supported() {
+            return;
+        }
+        let seg = Segment::create(64).unwrap();
+        assert!(seg.try_acquire());
+        seg.add_ref();
+        // Over-reclaiming (a racing release already settled part of the
+        // account) clamps instead of wrapping to u64::MAX.
+        seg.reclaim_refs(5);
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 0);
+        seg.reclaim_refs(1);
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -88,6 +88,26 @@ pub fn open_peer_fd(pid: u32, fd: i32) -> io::Result<File> {
         .open(format!("/proc/{pid}/fd/{fd}"))
 }
 
+/// Whether process `pid` is still running, judged from
+/// `/proc/<pid>/stat`. A missing entry or a zombie/dead state char (`Z`,
+/// `X`, `x` — the process can never release resources again) counts as
+/// dead. Used by the publisher to decide when a vanished subscriber's
+/// outstanding frame references are reclaimable.
+pub fn process_alive(pid: u32) -> bool {
+    let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+        return false;
+    };
+    // Field 3 (state) follows the parenthesised comm, which may itself
+    // contain spaces and parentheses — parse from the last ')'.
+    let Some(end) = stat.rfind(')') else {
+        return false;
+    };
+    match stat[end + 1..].split_whitespace().next() {
+        Some(state) => !matches!(state, "Z" | "X" | "x"),
+        None => false,
+    }
+}
+
 /// Round `len` up to the page granularity mappings are made at.
 pub fn page_round(len: usize) -> usize {
     const PAGE: usize = 4096;
@@ -316,6 +336,17 @@ mod tests {
             munmap(rw, 4096);
             munmap(ro, 4096);
         }
+    }
+
+    #[test]
+    fn process_alive_detects_self_and_garbage() {
+        if !supported() {
+            return;
+        }
+        assert!(process_alive(std::process::id()));
+        // Pid 0 has no /proc entry; u32::MAX is far beyond pid_max.
+        assert!(!process_alive(0));
+        assert!(!process_alive(u32::MAX));
     }
 
     #[test]
