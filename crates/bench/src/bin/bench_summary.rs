@@ -6,14 +6,43 @@
 //! the measured trajectory can be diffed across commits from a single
 //! file.
 //!
+//! With `--gate`, the fresh reports are first compared against the runs
+//! recorded in the existing `TRAJECTORY.json`: any (fig, scenario) whose
+//! p50 or p99 grew by more than 10% (beyond a 0.05 ms absolute slack for
+//! microsecond-scale scenarios) fails the gate, and the trajectory file is
+//! left untouched so the baseline survives for the rerun. Scenarios
+//! without a baseline — new benches, renamed series, a missing previous
+//! trajectory — are skipped, not failed. Running without `--gate` always
+//! rewrites the trajectory, which is also how an accepted slowdown becomes
+//! the new baseline.
+//!
 //! ```text
-//! cargo run -p rossf-bench --release --bin bench_summary
+//! cargo run -p rossf-bench --release --bin bench_summary [-- --gate]
 //! ```
 
-use rossf_bench::report::{load_trajectory_runs, write_trajectory};
+use rossf_bench::report::{
+    gate_regressions, load_previous_trajectory, load_trajectory_runs, write_trajectory,
+};
 use std::process::ExitCode;
 
+/// Fractional growth allowed before a percentile counts as regressed.
+const GATE_THRESHOLD: f64 = 0.10;
+/// Absolute growth (ms) additionally required, so sub-0.1 ms scenarios
+/// don't trip the gate on scheduler noise.
+const GATE_SLACK_MS: f64 = 0.05;
+
 fn main() -> ExitCode {
+    let mut gate = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            other => {
+                eprintln!("unknown argument `{other}`; expected --gate");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let runs = match load_trajectory_runs() {
         Ok(runs) => runs,
         Err(e) => {
@@ -36,6 +65,36 @@ fn main() -> ExitCode {
             run.fig, run.scenario_count, run.timestamp_utc, run.profile
         );
     }
+
+    if gate {
+        match load_previous_trajectory() {
+            None => println!(
+                "regression gate: no previous TRAJECTORY.json; skipped (this run becomes the baseline)"
+            ),
+            Some(previous) => {
+                let regressions = gate_regressions(&previous, &runs, GATE_THRESHOLD, GATE_SLACK_MS);
+                if !regressions.is_empty() {
+                    for r in &regressions {
+                        eprintln!("REGRESSION: {r}");
+                    }
+                    eprintln!(
+                        "regression gate failed ({} percentile(s) > +{:.0}% vs previous \
+                         trajectory); TRAJECTORY.json left untouched — rerun the harness to \
+                         confirm, or run bench_summary without --gate to accept the new baseline",
+                        regressions.len(),
+                        GATE_THRESHOLD * 100.0
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "regression gate: all gated percentiles within +{:.0}% of the previous \
+                     trajectory",
+                    GATE_THRESHOLD * 100.0
+                );
+            }
+        }
+    }
+
     match write_trajectory(&runs) {
         Ok(path) => {
             println!("wrote {}", path.display());

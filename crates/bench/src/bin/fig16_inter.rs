@@ -4,9 +4,11 @@
 //!
 //! Besides the paper's ROS vs ROS-SF comparison, a third series runs the
 //! SFM path with `validate_on_receive` enabled, pricing the structural
-//! verifier on every received frame; a final same-machine section
-//! contrasts the transport tiers (zero-copy pointer handoff vs the same
-//! frames forced over TCP loopback).
+//! verifier on every received frame; a same-machine section contrasts the
+//! transport tiers (zero-copy pointer handoff vs the same frames forced
+//! over TCP loopback), and a one-way section prices loaned write-in-place
+//! publication (`Publisher::loan`) against the copy-publish shm path and
+//! the fast path.
 //!
 //! Writes `results/BENCH_fig16.json` with every measured series.
 //!
@@ -16,8 +18,8 @@
 
 use rossf_baselines::WorkImage;
 use rossf_bench::experiments::{
-    oneway_traced, pingpong_plain, pingpong_same_machine, pingpong_sfm, pingpong_sfm_with,
-    pingpong_shm, TraceTier,
+    oneway_loaned, oneway_loaned_traced, oneway_traced, oneway_untraced, pingpong_plain,
+    pingpong_same_machine, pingpong_sfm, pingpong_sfm_with, pingpong_shm, TraceTier,
 };
 use rossf_bench::report::{write_report, write_trace_report, ScenarioReport, TraceWaterfall};
 use rossf_bench::RunArgs;
@@ -141,6 +143,55 @@ fn main() {
         println!("shm tier unavailable on this target; series skipped");
     }
 
+    println!("\n--- same-machine one-way publish: fastpath vs shm copy vs shm loaned ---");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>10}",
+        "size", "fastpath p50", "shm p50", "shm+loan p50", "loan/fp"
+    );
+    for (label, w, h) in WorkImage::PAPER_SIZES {
+        let payload = u64::from(w) * u64::from(h) * 3;
+        let fast = oneway_untraced(args, w, h, TraceTier::Fastpath, link);
+        let shm = shm_on.then(|| oneway_untraced(args, w, h, TraceTier::Shm, link));
+        let loaned = shm_on.then(|| oneway_loaned(args, w, h, TraceTier::Shm, link));
+        let ratio = match &loaned {
+            Some(l) if fast.p50_ms > 0.0 => l.p50_ms / fast.p50_ms,
+            _ => f64::NAN,
+        };
+        println!(
+            "{:<8} {:>14.3} {:>14.3} {:>14.3} {:>9.2}x",
+            label,
+            fast.p50_ms,
+            shm.as_ref().map_or(f64::NAN, |s| s.p50_ms),
+            loaned.as_ref().map_or(f64::NAN, |s| s.p50_ms),
+            ratio
+        );
+        rows.push(ScenarioReport::from_stats(
+            &format!("oneway fastpath {label}"),
+            payload,
+            &fast,
+        ));
+        if let Some(shm) = &shm {
+            rows.push(ScenarioReport::from_stats(
+                &format!("oneway shm {label}"),
+                payload,
+                shm,
+            ));
+        }
+        if let Some(loaned) = &loaned {
+            rows.push(ScenarioReport::from_stats(
+                &format!("oneway shm+loan {label}"),
+                payload,
+                loaned,
+            ));
+        }
+    }
+    if shm_on {
+        println!(
+            "loaned publication builds the message inside the pool segment: the shm \
+             publish-side memcpy is gone (gate: loan/fp <= 1.2x, see loan_gate)"
+        );
+    }
+
     println!("\n--- stage-latency attribution: traced one-way 1MB frame, all tiers ---");
     let (w, h) = (664, 504); // ~1 MB RGB frame
     let mut tiers: Vec<TraceWaterfall> = Vec::new();
@@ -167,6 +218,29 @@ fn main() {
             "{:<9} e2e mean {:>10.1} µs, stage sum {:>10.1} µs, error {:>5.1}% \
              (target: <10%)\n",
             tier.label(),
+            wf.e2e_mean_us,
+            wf.stage_sum_us(),
+            wf.sum_error() * 100.0
+        );
+        tiers.push(wf);
+    }
+    if TraceTier::Shm.available() {
+        // The loaned shm waterfall: same tier, message built inside the
+        // segment — the wire_write (publish-side copy) row is absent.
+        let (stats, snapshot) = oneway_loaned_traced(args, w, h, TraceTier::Shm, link);
+        print!(
+            "{}",
+            rossf_trace::render_waterfall(std::slice::from_ref(&snapshot))
+        );
+        let wf = TraceWaterfall {
+            label: "shm+loan".to_string(),
+            snapshot,
+            e2e_mean_us: stats.mean_ms * 1_000.0,
+        };
+        println!(
+            "{:<9} e2e mean {:>10.1} µs, stage sum {:>10.1} µs, error {:>5.1}% \
+             (no wire_write: built in-segment)\n",
+            "shm+loan",
             wf.e2e_mean_us,
             wf.stage_sum_us(),
             wf.sum_error() * 100.0

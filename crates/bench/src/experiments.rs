@@ -399,9 +399,10 @@ fn pingpong_same_machine_with(
     Stats::from_nanos(lat)
 }
 
-/// Build one synthetic `SfmImage` with the creation time inside.
-fn make_sfm_image(seq: u32, width: u32, height: u32, pixels: &[u8], t0: u64) -> SfmBox<SfmImage> {
-    let mut img = SfmBox::<SfmImage>::new();
+/// Fill an `SfmImage` in place with the creation time inside — shared by
+/// the heap-allocated and loaned (write-in-place) publish paths so both
+/// arms run statement-identical construction code.
+fn fill_sfm_image(img: &mut SfmImage, seq: u32, width: u32, height: u32, pixels: &[u8], t0: u64) {
     img.header.seq = seq;
     img.header.stamp = RosTime::from_nanos(t0);
     img.header.frame_id.assign("camera");
@@ -410,6 +411,12 @@ fn make_sfm_image(seq: u32, width: u32, height: u32, pixels: &[u8], t0: u64) -> 
     img.encoding.assign("rgb8");
     img.step = width * 3;
     img.data.assign(pixels);
+}
+
+/// Build one synthetic `SfmImage` with the creation time inside.
+fn make_sfm_image(seq: u32, width: u32, height: u32, pixels: &[u8], t0: u64) -> SfmBox<SfmImage> {
+    let mut img = SfmBox::<SfmImage>::new();
+    fill_sfm_image(&mut img, seq, width, height, pixels, t0);
     img
 }
 
@@ -465,7 +472,7 @@ pub fn oneway_traced(
     tier: TraceTier,
     link: LinkProfile,
 ) -> (Stats, rossf_trace::TopicSnapshot) {
-    let (stats, snapshot) = oneway_run(args, width, height, tier, link, true);
+    let (stats, snapshot) = oneway_run(args, width, height, tier, link, true, false);
     (stats, snapshot.expect("trace table for traced run"))
 }
 
@@ -480,7 +487,47 @@ pub fn oneway_untraced(
     tier: TraceTier,
     link: LinkProfile,
 ) -> Stats {
-    oneway_run(args, width, height, tier, link, false).0
+    oneway_run(args, width, height, tier, link, false, false).0
+}
+
+/// The one-way pipeline published through the loaned write-in-place path:
+/// every message is requested with [`Publisher::loan`], built directly in
+/// its final backing store, and sent with `publish_loaned`. On the shm
+/// tier the message is constructed inside the pool segment subscribers
+/// map, so the publish-side payload memcpy (the `wire_write` stage)
+/// disappears; on other tiers the loan transparently falls back to the
+/// heap and the run measures the ordinary path.
+///
+/// # Panics
+///
+/// Panics on [`TraceTier::Local`] (the in-process bus has no publisher to
+/// loan from) or when a loan is starved for more than ten seconds.
+pub fn oneway_loaned(
+    args: RunArgs,
+    width: u32,
+    height: u32,
+    tier: TraceTier,
+    link: LinkProfile,
+) -> Stats {
+    oneway_run(args, width, height, tier, link, false, true).0
+}
+
+/// Traced variant of [`oneway_loaned`]: the per-stage waterfall of the
+/// loaned publish path. On the shm tier the snapshot should carry **no**
+/// `wire_write` cell — the copy stage is gone by construction.
+///
+/// # Panics
+///
+/// As [`oneway_loaned`], plus when the trace table is missing.
+pub fn oneway_loaned_traced(
+    args: RunArgs,
+    width: u32,
+    height: u32,
+    tier: TraceTier,
+    link: LinkProfile,
+) -> (Stats, rossf_trace::TopicSnapshot) {
+    let (stats, snapshot) = oneway_run(args, width, height, tier, link, true, true);
+    (stats, snapshot.expect("trace table for traced run"))
 }
 
 fn oneway_run(
@@ -490,6 +537,7 @@ fn oneway_run(
     tier: TraceTier,
     link: LinkProfile,
     traced: bool,
+    loaned: bool,
 ) -> (Stats, Option<rossf_trace::TopicSnapshot>) {
     fresh_cell();
     let pixels = WorkImage::synthetic(width, height).data;
@@ -508,6 +556,10 @@ fn oneway_run(
 
     match tier {
         TraceTier::Local => {
+            assert!(
+                !loaned,
+                "the in-process LocalBus has no publisher to loan from"
+            );
             let bus = LocalBus::new();
             let topic = unique_topic("trace_local");
             let _sub = bus
@@ -581,9 +633,33 @@ fn oneway_run(
                 },
             );
             nh_pub.wait_for_subscribers(&publisher, 1);
-            let stats = run(&mut |seq, t0| {
-                publisher.publish(&make_sfm_image(seq, width, height, &pixels, t0));
-            });
+            let stats = if loaned {
+                run(&mut |seq, t0| {
+                    // Transient `None` means every loanable slot is still
+                    // held (segments recycle as the subscriber drops its
+                    // adoption); with one message in flight this resolves
+                    // within microseconds.
+                    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                    let mut msg = loop {
+                        match publisher.loan() {
+                            Some(m) => break m,
+                            None => {
+                                assert!(
+                                    std::time::Instant::now() < deadline,
+                                    "loan starved for 10s"
+                                );
+                                std::thread::yield_now();
+                            }
+                        }
+                    };
+                    fill_sfm_image(&mut msg, seq, width, height, &pixels, t0);
+                    publisher.publish_loaned(msg);
+                })
+            } else {
+                run(&mut |seq, t0| {
+                    publisher.publish(&make_sfm_image(seq, width, height, &pixels, t0));
+                })
+            };
             dump_transport_metrics("oneway traced", &master);
             let snapshot = traced.then(|| {
                 rossf_trace::tracer()
@@ -893,6 +969,61 @@ mod tests {
                 stats.mean_ms
             );
         }
+    }
+
+    #[test]
+    fn oneway_loaned_shm_trace_omits_the_copy_stage() {
+        if !TraceTier::Shm.available() {
+            return;
+        }
+        let link = LinkProfile {
+            bandwidth_bps: 1_000_000_000,
+            latency: Duration::from_micros(100),
+        };
+        use rossf_trace::Stage;
+        let (stats, snap) = oneway_loaned_traced(tiny(), 32, 32, TraceTier::Shm, link);
+        assert_eq!(stats.n, 5);
+        // The message is built inside the segment, so the publish-side
+        // payload copy (wire_write) must not appear in the waterfall.
+        let copied: Vec<_> = snap
+            .cells
+            .iter()
+            .filter(|c| c.stage == Stage::WireWrite && c.hist.count > 0)
+            .collect();
+        assert!(
+            copied.is_empty(),
+            "loaned shm publish recorded a copy stage: {copied:?}"
+        );
+        // Every other stage of the shm waterfall is still present.
+        for stage in [
+            Stage::Alloc,
+            Stage::Encode,
+            Stage::Enqueue,
+            Stage::WireRead,
+            Stage::Verify,
+            Stage::Adopt,
+            Stage::Callback,
+        ] {
+            let cell = snap
+                .cells
+                .iter()
+                .find(|c| c.stage == stage)
+                .unwrap_or_else(|| panic!("loaned shm missing stage {stage:?}"));
+            assert_eq!(cell.hist.count, 5, "loaned shm stage {stage:?}");
+        }
+    }
+
+    #[test]
+    fn oneway_loaned_falls_back_on_non_shm_tiers() {
+        let link = LinkProfile {
+            bandwidth_bps: 1_000_000_000,
+            latency: Duration::from_micros(100),
+        };
+        // Fastpath delivery grants no shm loans; the heap fallback must
+        // keep the run indistinguishable from an ordinary publish.
+        let fast = oneway_loaned(tiny(), 32, 32, TraceTier::Fastpath, link);
+        assert_eq!(fast.n, 5);
+        assert!(fast.mean_ms > 0.0 && fast.mean_ms < 1000.0);
     }
 
     #[test]

@@ -337,6 +337,155 @@ pub fn parse_report_doc(doc: &str) -> Option<TrajectoryRun> {
     })
 }
 
+/// Extract the numeric value of `"key": <number>` from a JSON fragment.
+fn extract_num_field(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = doc.find(&needle)? + needle.len();
+    let end = doc[start..]
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .map_or(doc.len(), |i| start + i);
+    doc[start..end].parse().ok()
+}
+
+/// The latency percentiles of one scenario row, parsed back out of a
+/// report/trajectory document for regression comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Scenario label, e.g. `"same-machine shm 1MB"`.
+    pub scenario: String,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Parse the scenario row objects carried verbatim in a
+/// [`TrajectoryRun::scenario_rows`] string (or a `BENCH_*.json` scenarios
+/// array body). Rows missing a field are skipped.
+pub fn parse_scenario_rows(rows: &str) -> Vec<ScenarioRow> {
+    rows.split("{\"scenario\": \"")
+        .skip(1)
+        .filter_map(|chunk| {
+            let obj = format!("{{\"scenario\": \"{chunk}");
+            Some(ScenarioRow {
+                scenario: extract_str_field(&obj, "scenario")?,
+                p50_ms: extract_num_field(&obj, "p50_ms")?,
+                p99_ms: extract_num_field(&obj, "p99_ms")?,
+            })
+        })
+        .collect()
+}
+
+/// Parse a `TRAJECTORY.json` document (produced by [`render_trajectory`])
+/// back into its runs. Returns an empty vector for documents without a
+/// recognizable `runs` array.
+pub fn parse_trajectory_doc(doc: &str) -> Vec<TrajectoryRun> {
+    let Some(open) = doc.find("\"runs\": [") else {
+        return Vec::new();
+    };
+    doc[open..]
+        .split("\n    {\"fig\": \"")
+        .skip(1)
+        .filter_map(|chunk| {
+            let obj = format!("{{\"fig\": \"{chunk}");
+            let s_open = obj.find("\"scenarios\": [")? + "\"scenarios\": [".len();
+            let s_close = obj[s_open..].find("\n    ]")? + s_open;
+            let scenario_rows = obj[s_open..s_close].trim_matches('\n').to_string();
+            let scenario_count = scenario_rows.matches("\"scenario\":").count();
+            Some(TrajectoryRun {
+                fig: extract_str_field(&obj, "fig")?,
+                git_sha: extract_str_field(&obj, "git_sha")?,
+                timestamp_utc: extract_str_field(&obj, "timestamp_utc")?,
+                profile: extract_str_field(&obj, "profile")?,
+                scenario_rows,
+                scenario_count,
+            })
+        })
+        .collect()
+}
+
+/// One gated comparison that got slower: a scenario whose current
+/// percentile exceeds the previous trajectory entry beyond the allowed
+/// threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Figure the scenario belongs to.
+    pub fig: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Which percentile regressed (`"p50_ms"` or `"p99_ms"`).
+    pub metric: &'static str,
+    /// The previous trajectory value, milliseconds.
+    pub previous_ms: f64,
+    /// The freshly measured value, milliseconds.
+    pub current_ms: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} `{}` {}: {:.3} ms -> {:.3} ms (+{:.1}%)",
+            self.fig,
+            self.scenario,
+            self.metric,
+            self.previous_ms,
+            self.current_ms,
+            (self.current_ms / self.previous_ms - 1.0) * 100.0,
+        )
+    }
+}
+
+/// The trajectory regression gate: compare every (fig, scenario) present
+/// in both `previous` and `current` and flag p50/p99 values that grew by
+/// more than `threshold` (fractional — `0.10` allows +10%) *and* by more
+/// than `slack_ms` absolute (so microsecond-scale scenarios don't trip on
+/// scheduler noise). Scenarios or figures missing on either side are
+/// skipped — only like-for-like comparisons gate.
+pub fn gate_regressions(
+    previous: &[TrajectoryRun],
+    current: &[TrajectoryRun],
+    threshold: f64,
+    slack_ms: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cur in current {
+        let Some(prev) = previous.iter().find(|r| r.fig == cur.fig) else {
+            continue;
+        };
+        let prev_rows = parse_scenario_rows(&prev.scenario_rows);
+        for row in parse_scenario_rows(&cur.scenario_rows) {
+            let Some(base) = prev_rows.iter().find(|r| r.scenario == row.scenario) else {
+                continue;
+            };
+            for (metric, was, now) in [
+                ("p50_ms", base.p50_ms, row.p50_ms),
+                ("p99_ms", base.p99_ms, row.p99_ms),
+            ] {
+                if was > 0.0 && now > was * (1.0 + threshold) + slack_ms {
+                    out.push(Regression {
+                        fig: cur.fig.clone(),
+                        scenario: row.scenario.clone(),
+                        metric,
+                        previous_ms: was,
+                        current_ms: now,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Read the trajectory written by a previous `bench_summary` run, if any —
+/// the baseline side of [`gate_regressions`]. `None` when the file is
+/// absent or carries no parseable runs.
+pub fn load_previous_trajectory() -> Option<Vec<TrajectoryRun>> {
+    let doc = std::fs::read_to_string(results_dir().join("TRAJECTORY.json")).ok()?;
+    let runs = parse_trajectory_doc(&doc);
+    (!runs.is_empty()).then_some(runs)
+}
+
 /// Render the consolidated trajectory document: every benchmark report in
 /// `results/` merged into one file, so a repo checkout carries its whole
 /// measured performance trajectory in a single machine-readable place.
@@ -487,6 +636,71 @@ mod tests {
         assert_eq!(merged.matches("\"scenario_count\": 2").count(), 2);
         // The scenario rows survive verbatim (4 total across both runs).
         assert_eq!(merged.matches("\"scenario\":").count(), 4);
+    }
+
+    #[test]
+    fn trajectory_parses_back_into_its_runs() {
+        let rows = vec![
+            ScenarioReport::from_stats("sfm ten_gbe 1MB", 1_000_000, &stats()),
+            ScenarioReport::from_stats("oneway shm+loan 1MB", 1_000_000, &stats()),
+        ];
+        let run_a = parse_report_doc(&render_json("fig16", &meta(), &rows)).unwrap();
+        let run_b = parse_report_doc(&render_json("fig13", &meta(), &rows[..1])).unwrap();
+        let doc = render_trajectory(&meta(), &[run_a.clone(), run_b.clone()]);
+        let parsed = parse_trajectory_doc(&doc);
+        assert_eq!(parsed, vec![run_a, run_b]);
+        assert!(parse_trajectory_doc("{}").is_empty());
+
+        let parsed_rows = parse_scenario_rows(&parsed[0].scenario_rows);
+        assert_eq!(parsed_rows.len(), 2);
+        assert_eq!(parsed_rows[1].scenario, "oneway shm+loan 1MB");
+        assert_eq!(parsed_rows[0].p50_ms, 2.0);
+        assert_eq!(parsed_rows[0].p99_ms, 3.0);
+    }
+
+    fn run_with(fig: &str, scenario: &str, p50: f64, p99: f64) -> TrajectoryRun {
+        let mut r = ScenarioReport::from_stats(scenario, 1000, &stats());
+        r.p50_ms = p50;
+        r.p99_ms = p99;
+        parse_report_doc(&render_json(fig, &meta(), &[r])).unwrap()
+    }
+
+    #[test]
+    fn gate_flags_only_real_regressions() {
+        let prev = vec![run_with("fig16", "same-machine shm 1MB", 1.0, 2.0)];
+
+        // Unchanged numbers pass.
+        assert!(gate_regressions(&prev, &prev, 0.10, 0.05).is_empty());
+
+        // A +50% p50 regression is flagged with its metric and values.
+        let cur = vec![run_with("fig16", "same-machine shm 1MB", 1.5, 2.0)];
+        let bad = gate_regressions(&prev, &cur, 0.10, 0.05);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "p50_ms");
+        assert_eq!((bad[0].previous_ms, bad[0].current_ms), (1.0, 1.5));
+        assert!(bad[0].to_string().contains("same-machine shm 1MB"));
+
+        // p99 gates independently of p50.
+        let cur = vec![run_with("fig16", "same-machine shm 1MB", 1.0, 4.0)];
+        assert_eq!(
+            gate_regressions(&prev, &cur, 0.10, 0.05)[0].metric,
+            "p99_ms"
+        );
+
+        // Within threshold + slack passes; the absolute slack absorbs
+        // microsecond-scale noise even past the percentage threshold.
+        let cur = vec![run_with("fig16", "same-machine shm 1MB", 1.04, 2.0)];
+        assert!(gate_regressions(&prev, &cur, 0.10, 0.05).is_empty());
+        let tiny_prev = vec![run_with("fig16", "oneway fastpath 200KB", 0.010, 0.020)];
+        let tiny_cur = vec![run_with("fig16", "oneway fastpath 200KB", 0.015, 0.030)];
+        assert!(gate_regressions(&tiny_prev, &tiny_cur, 0.10, 0.05).is_empty());
+
+        // New scenarios and new figures have no baseline: skipped.
+        let cur = vec![
+            run_with("fig16", "oneway shm+loan 1MB", 9.0, 9.0),
+            run_with("fig99", "anything", 9.0, 9.0),
+        ];
+        assert!(gate_regressions(&prev, &cur, 0.10, 0.05).is_empty());
     }
 
     #[test]

@@ -193,6 +193,16 @@ impl SfmAlloc {
         self.extern_guard.is_some()
     }
 
+    /// Re-stamp the birth timestamp. [`SfmAlloc::from_extern`] always sets
+    /// it to 0 (reader-side adopted frames do not re-run the `alloc`
+    /// stage), but a *loaned* publisher-side allocation is a genuine birth:
+    /// the loan's segment acquisition is its `alloc` span, and the loaning
+    /// code stamps it here before sharing the allocation.
+    #[inline]
+    pub fn set_born_ns(&mut self, born_ns: u64) {
+        self.born_ns = born_ns;
+    }
+
     /// Zero the first `n` bytes (used to initialize skeletons; an all-zero
     /// skeleton is the valid "empty" state of every SFM message type).
     ///

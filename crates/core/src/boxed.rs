@@ -80,6 +80,48 @@ impl<T: SfmMessage> SfmBox<T> {
         }
     }
 
+    /// Build an owned message inside a caller-provided allocation — the
+    /// *loaned publication* constructor. The skeleton is zeroed and the
+    /// record registered exactly as [`SfmBox::new`] does (the sanitizer
+    /// logs [`RegisterLoaned`](crate::LifecycleOp::RegisterLoaned)); the
+    /// only difference is where the bytes live — typically a shared-memory
+    /// segment's payload area wrapped by [`SfmAlloc::from_extern`], so
+    /// that publishing later needs no copy at all.
+    ///
+    /// # Safety
+    ///
+    /// The allocation's region must be valid for **writes** of its full
+    /// capacity (stronger than the read-validity [`SfmAlloc::from_extern`]
+    /// requires — a read-only mapping must never be passed here), and no
+    /// other alias may access the region while this box is being built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation's capacity is smaller than
+    /// `T::max_size()` — fields grow toward `max_size` and must never
+    /// overrun the region.
+    pub unsafe fn from_alloc(buffer: Arc<SfmAlloc>) -> Self {
+        let max = T::max_size();
+        assert!(
+            max >= T::SKELETON_SIZE,
+            "max_size for {} ({max}) is smaller than its skeleton ({})",
+            T::type_name(),
+            T::SKELETON_SIZE
+        );
+        assert!(
+            buffer.capacity() >= max,
+            "loaned region for {} holds {} bytes, max_size is {max}",
+            T::type_name(),
+            buffer.capacity()
+        );
+        buffer.zero_prefix(T::SKELETON_SIZE);
+        mm().register_loaned(Arc::clone(&buffer), T::SKELETON_SIZE, T::type_name());
+        SfmBox {
+            buffer,
+            _marker: PhantomData,
+        }
+    }
+
     /// Base address of the whole message.
     #[inline]
     pub fn base(&self) -> usize {
@@ -550,6 +592,39 @@ mod tests {
         assert!(format!("{frame:?}").contains("PublishedBuffer"));
         let shared = img.into_shared();
         assert!(format!("{shared:?}").contains("SfmShared"));
+    }
+
+    #[test]
+    fn from_alloc_builds_in_caller_region_and_publishes_zero_copy() {
+        // A u64 backing store stands in for a shm segment's payload area:
+        // externally owned, 8-aligned, writable.
+        let mut words = vec![0u64; Img::max_size() / 8];
+        let ptr = words.as_mut_ptr() as *mut u8;
+        let buffer =
+            Arc::new(unsafe { SfmAlloc::from_extern(ptr, Img::max_size(), Box::new(words)) });
+        let mut img = unsafe { SfmBox::<Img>::from_alloc(Arc::clone(&buffer)) };
+        assert_eq!(img.base(), buffer.base(), "message lives in the region");
+        img.encoding.assign("rgb8");
+        img.height = 2;
+        img.data.resize(32);
+        img.data[7] = 0x5A;
+        assert_eq!(img.whole_len(), Img::SKELETON_SIZE + 8 + 32);
+        let frame = img.publish_handle();
+        assert_eq!(
+            frame.as_slice().as_ptr() as usize,
+            buffer.base(),
+            "publish hands out the region itself — no copy"
+        );
+        assert_eq!(frame.as_slice()[frame.len() - 32 + 7], 0x5A);
+        drop(img);
+        drop(frame);
+    }
+
+    #[test]
+    #[should_panic(expected = "loaned region")]
+    fn from_alloc_rejects_undersized_region() {
+        let buffer = Arc::new(SfmAlloc::new(Img::max_size() / 2));
+        let _ = unsafe { SfmBox::<Img>::from_alloc(buffer) };
     }
 
     #[test]

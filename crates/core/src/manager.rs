@@ -101,6 +101,9 @@ pub struct ManagerStats {
 pub enum LifecycleOp {
     /// `register` — message entered `Allocated`.
     Register,
+    /// `register_loaned` — message entered `Allocated` inside a loaned
+    /// shared-memory segment (built in place; publish will be copy-free).
+    RegisterLoaned,
     /// `adopt` — received frame entered `Published` directly.
     Adopt,
     /// A subscriber began sharing a published buffer in place (zero-copy
@@ -306,6 +309,36 @@ impl MessageManager {
     /// "the allocated memory segment is then registered into the message
     /// manager, and the message enters the *Allocated* state".
     pub fn register(&self, buffer: Arc<SfmAlloc>, skeleton_size: usize, type_name: &'static str) {
+        self.register_as(LifecycleOp::Register, buffer, skeleton_size, type_name);
+    }
+
+    /// Register a *loaned* message: identical to
+    /// [`MessageManager::register`] except that the buffer lives inside a
+    /// shared-memory segment's payload area (wrapped by
+    /// [`SfmAlloc::from_extern`]) rather than on the process heap, and the
+    /// sanitizer logs the distinct [`LifecycleOp::RegisterLoaned`] op so
+    /// tests can confirm a message was built in-segment.
+    pub fn register_loaned(
+        &self,
+        buffer: Arc<SfmAlloc>,
+        skeleton_size: usize,
+        type_name: &'static str,
+    ) {
+        self.register_as(
+            LifecycleOp::RegisterLoaned,
+            buffer,
+            skeleton_size,
+            type_name,
+        );
+    }
+
+    fn register_as(
+        &self,
+        op: LifecycleOp,
+        buffer: Arc<SfmAlloc>,
+        skeleton_size: usize,
+        type_name: &'static str,
+    ) {
         debug_assert!(skeleton_size <= buffer.capacity());
         let (start, end) = (buffer.base(), buffer.base() + buffer.capacity());
         self.insert(Record {
@@ -318,7 +351,7 @@ impl MessageManager {
             buffer,
         });
         self.registered.fetch_add(1, Ordering::Relaxed);
-        self.sanitize_insert(LifecycleOp::Register, start, end, type_name);
+        self.sanitize_insert(op, start, end, type_name);
     }
 
     /// Register a message adopted from a received frame of `used` bytes
@@ -404,6 +437,17 @@ impl MessageManager {
     /// Snapshot of the live segment mappings as `(base, bytes)` pairs.
     pub fn segment_mappings(&self) -> Vec<(usize, usize)> {
         self.segments.lock().iter().map(|(&b, &n)| (b, n)).collect()
+    }
+
+    /// Whether `addr` falls inside a live shared-memory segment mapping —
+    /// how the lifecycle sanitizer confirms a loaned message really was
+    /// built in-segment rather than on the heap.
+    pub fn address_in_segment(&self, addr: usize) -> bool {
+        self.segments
+            .lock()
+            .range(..=addr)
+            .next_back()
+            .is_some_and(|(&base, &bytes)| addr < base + bytes)
     }
 
     fn insert(&self, rec: Record) {
@@ -1074,6 +1118,35 @@ mod tests {
             assert!(ops.contains(&LifecycleOp::SegmentRecycle));
             assert!(ops.contains(&LifecycleOp::SegmentUnmap));
         });
+    }
+
+    #[test]
+    fn register_loaned_logs_distinct_op() {
+        let m = MessageManager::new();
+        m.set_sanitizer(true);
+        let a = alloc(128);
+        let base = a.base();
+        m.register_loaned(Arc::clone(&a), 16, "t/Loaned");
+        assert_eq!(m.info(base).unwrap().state, MessageState::Allocated);
+        let ops: Vec<LifecycleOp> = m.lifecycle_events().iter().map(|e| e.op).collect();
+        assert_eq!(ops, vec![LifecycleOp::RegisterLoaned]);
+        // Loaned records work through the ordinary lifecycle afterwards.
+        m.expand(base + 8, 4, 1).unwrap();
+        m.mark_published(base);
+        m.release(base);
+        drop(a);
+    }
+
+    #[test]
+    fn address_in_segment_checks_containment() {
+        let m = MessageManager::new();
+        m.note_segment_map(0x7000_0000, 4096);
+        assert!(m.address_in_segment(0x7000_0000));
+        assert!(m.address_in_segment(0x7000_0FFF));
+        assert!(!m.address_in_segment(0x7000_1000));
+        assert!(!m.address_in_segment(0x6FFF_FFFF));
+        m.note_segment_unmap(0x7000_0000);
+        assert!(!m.address_in_segment(0x7000_0000));
     }
 
     #[test]

@@ -25,15 +25,31 @@ use crate::metrics::MetricsSnapshot;
 /// assert_eq!(opts.queue_size_hint(), 8);
 /// assert!(opts.trace_enabled());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PublisherOptions {
     pub(crate) queue_size: usize,
     pub(crate) transport: Option<TransportConfig>,
     pub(crate) trace: bool,
+    pub(crate) shm_loans: bool,
+}
+
+impl Default for PublisherOptions {
+    /// Loaned publication is on by default: it only engages when a loan is
+    /// actually requested *and* the shm tier is active, so there is nothing
+    /// to pay otherwise.
+    fn default() -> Self {
+        PublisherOptions {
+            queue_size: 0,
+            transport: None,
+            trace: false,
+            shm_loans: true,
+        }
+    }
 }
 
 impl PublisherOptions {
-    /// Defaults: node-config queue size, node transport config, no tracing.
+    /// Defaults: node-config queue size, node transport config, no tracing,
+    /// loaned publication allowed.
     pub fn new() -> Self {
         Self::default()
     }
@@ -59,6 +75,16 @@ impl PublisherOptions {
         self
     }
 
+    /// Allow [`Publisher::loan`](crate::Publisher::loan) to hand out
+    /// shared-memory-backed loans (on by default). When disabled — or when
+    /// the shm tier is off or has no subscribers yet — `loan` falls back to
+    /// an ordinary heap allocation and `publish_loaned` behaves exactly
+    /// like `publish`.
+    pub fn shm_loans(mut self, on: bool) -> Self {
+        self.shm_loans = on;
+        self
+    }
+
     /// The configured queue size (0 = config default).
     pub fn queue_size_hint(&self) -> usize {
         self.queue_size
@@ -72,6 +98,11 @@ impl PublisherOptions {
     /// Whether tracing is enabled.
     pub fn trace_enabled(&self) -> bool {
         self.trace
+    }
+
+    /// Whether shared-memory loans are allowed.
+    pub fn shm_loans_enabled(&self) -> bool {
+        self.shm_loans
     }
 }
 
@@ -176,6 +207,8 @@ mod tests {
         assert_eq!(p.queue_size_hint(), 0);
         assert!(p.transport_override().is_none());
         assert!(!p.trace_enabled());
+        assert!(p.shm_loans_enabled(), "loans allowed by default");
+        assert!(!PublisherOptions::new().shm_loans(false).shm_loans_enabled());
 
         let p = PublisherOptions::new()
             .queue_size(16)

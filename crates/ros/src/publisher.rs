@@ -15,22 +15,24 @@
 use crate::config::TransportConfig;
 use crate::error::RosError;
 use crate::fastpath::{LocalAttach, LocalSinkHandle, FASTPATH_FIELD};
+use crate::loan::LoanedMessage;
 use crate::master::Master;
 use crate::metrics::TransportMetrics;
 use crate::options::{PublisherOptions, PublisherStats};
 use crate::shm::{SHM_EPOCH_FIELD, SHM_FD_FIELD, SHM_FIELD, SHM_PID_FIELD, SHM_PUB_PID_FIELD};
 use crate::traits::Encode;
-use crate::wire::{write_frame_vectored, ConnectionHeader, OutFrame};
+use crate::wire::{write_frame_vectored, ConnectionHeader, OutFrame, ShmSlot};
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use rossf_netsim::{FaultAction, FaultInjector, MachineId, ShapedWriter};
-use rossf_shm::{FrameMeta, PushOutcome, SegmentPool, ShmLink};
+use rossf_sfm::{SfmAlloc, SfmBox, SfmMessage};
+use rossf_shm::{FrameMeta, PushOutcome, SegmentPool, SharedFrame, ShmLink};
 use rossf_trace::{now_nanos, tracer, Stage, Tier, TopicTrace};
 use std::io::{BufReader, Read, Write};
 use std::marker::PhantomData;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::Duration;
 
 /// Most frames a writer wakeup drains into one socket flush. Bounds the
@@ -41,6 +43,10 @@ const WRITE_BATCH: usize = 32;
 struct Conn {
     queue: Sender<OutFrame>,
     alive: Arc<AtomicBool>,
+    /// Whether this connection drains into a shared-memory link — those
+    /// clones get the publish's [`ShmSlot`] attached so all shm links of
+    /// one publish share a single pooled segment.
+    is_shm: bool,
 }
 
 struct PubCore {
@@ -73,6 +79,9 @@ struct PubCore {
     /// memfd count stays bounded by [`rossf_shm::DIR_CAP`] no matter how
     /// many subscribers attach. Created lazily on the first grant.
     shm_pool: Mutex<Option<Arc<SegmentPool>>>,
+    /// Whether `Publisher::loan` may hand out shared-memory-backed loans
+    /// ([`PublisherOptions::shm_loans`], on by default).
+    shm_loans: bool,
 }
 
 impl PubCore {
@@ -205,6 +214,7 @@ impl PubCore {
         self.add_conn(Arc::new(Conn {
             queue: tx,
             alive: Arc::clone(&alive),
+            is_shm: false,
         }));
         let metrics = Arc::clone(&self.metrics);
         // A socket subscriber arrived: attribute publish-side spans to TCP.
@@ -323,6 +333,7 @@ impl PubCore {
         self.add_conn(Arc::new(Conn {
             queue: tx,
             alive: Arc::clone(&alive),
+            is_shm: true,
         }));
         let metrics = Arc::clone(&self.metrics);
         // An shm subscriber arrived: attribute publish-side spans to it.
@@ -385,24 +396,45 @@ impl PubCore {
                 }
                 _ => None,
             };
-            // Two-phase push so the spans telescope: `wire_write` covers
-            // the copy into the segment, and the descriptor's `pushed_ns`
-            // (where the reader's `wire_read` span starts) is stamped at
-            // the copy/publish boundary.
-            let prepared = link.prepare(frame.as_slice());
-            let outcome = match prepared {
+            // Resolve the frame's shared-memory residency: the first link
+            // thread of this publish performs the *single* copy into a
+            // pooled segment; every later thread (and a loaned frame,
+            // which arrives pre-resolved because it was built in the
+            // segment) reuses that frame with a descriptor-only commit.
+            // `wire_write` spans telescope around the copy exactly as
+            // before, but only on the thread that actually copied —
+            // descriptor-only commits have no copy stage to attribute.
+            let mut copied_here = false;
+            let shared: Option<SharedFrame> = match frame.shm_slot() {
+                Some(slot) => slot
+                    .get_or_init(|| {
+                        copied_here = true;
+                        link.pool().prepare_shared(frame.as_slice())
+                    })
+                    .clone(),
+                // No slot attached (a frame enqueued before this link
+                // joined the connection list mid-publish): fall back to a
+                // private single-link copy.
+                None => {
+                    copied_here = true;
+                    link.pool().prepare_shared(frame.as_slice())
+                }
+            };
+            let outcome = match shared {
                 None => PushOutcome::NoSegment,
-                Some(p) => {
+                Some(sf) => {
                     let t_pushed = if t_copy_start.is_some() {
                         now_nanos()
                     } else {
                         0
                     };
-                    if let (Some(table), Some(t0)) = (trace.as_deref(), t_copy_start) {
-                        tracer().span(table, Stage::WireWrite, Tier::Shm, tag.id, t0, t_pushed);
+                    if copied_here {
+                        if let (Some(table), Some(t0)) = (trace.as_deref(), t_copy_start) {
+                            tracer().span(table, Stage::WireWrite, Tier::Shm, tag.id, t0, t_pushed);
+                        }
                     }
-                    link.commit(
-                        p,
+                    link.commit_shared(
+                        &sf,
                         FrameMeta {
                             trace_id: tag.id,
                             born_ns: tag.born_ns,
@@ -455,6 +487,71 @@ impl PubCore {
         drop(link);
         Ok(())
     }
+
+    /// Fan one encoded frame out to every subscriber connection — the
+    /// shared tail of `publish` and `publish_loaned`. Never blocks; a full
+    /// transmission queue drops the frame for that subscriber only.
+    ///
+    /// `loaned` carries the pre-resolved shared-memory residency of a
+    /// loaned publish (the message was built inside a pool segment).
+    /// Otherwise, when at least one live shm connection will receive the
+    /// frame, an *empty* slot is created here so that however many shm
+    /// links drain it, only the first performs the copy into a pooled
+    /// segment and the rest commit descriptors against the same one (the
+    /// copy-per-link fix). Clones bound for TCP or fast-path connections
+    /// never carry the slot — holding it from a slow socket queue would
+    /// pin the segment's write hold for no benefit.
+    fn fan_out(&self, frame: OutFrame, loaned: Option<ShmSlot>) {
+        if frame.len() > self.config.max_frame_len {
+            self.metrics
+                .frames_dropped_oversized
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let metrics = &self.metrics;
+        // Snapshot the connection list so the fan-out (try_send plus its
+        // metrics bookkeeping) runs without the lock: a concurrent accept,
+        // attach, or `publish` from another clone is never serialized
+        // behind this one.
+        let snapshot: Vec<Arc<Conn>> = self.conns.lock().clone();
+        let slot = loaned.or_else(|| {
+            snapshot
+                .iter()
+                .any(|c| c.is_shm && c.alive.load(Ordering::Acquire))
+                .then(|| Arc::new(OnceLock::new()))
+        });
+        let mut saw_dead = false;
+        for conn in &snapshot {
+            // Each connection's clone carries its own enqueue timestamp
+            // (`TraceTag` is `Copy`, so clones do not alias).
+            let mut per_conn = frame.clone();
+            if per_conn.trace().id != 0 {
+                per_conn.trace_mut().enqueued_ns = now_nanos();
+            }
+            if conn.is_shm {
+                if let Some(slot) = &slot {
+                    per_conn.set_shm_slot(Arc::clone(slot));
+                }
+            }
+            match conn.queue.try_send(per_conn) {
+                Ok(()) => metrics.observe_queue_depth(conn.queue.len() as u64),
+                Err(TrySendError::Full(_)) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    conn.alive.store(false, Ordering::Release);
+                    saw_dead = true;
+                }
+            }
+        }
+        if saw_dead {
+            self.conns
+                .lock()
+                .retain(|c| c.alive.load(Ordering::Acquire));
+        }
+    }
 }
 
 impl LocalAttach for PubCore {
@@ -501,6 +598,7 @@ impl LocalAttach for PubCore {
         self.add_conn(Arc::new(Conn {
             queue: tx,
             alive: Arc::clone(&alive),
+            is_shm: false,
         }));
         self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
         self.metrics
@@ -588,6 +686,7 @@ impl<M: Encode> Publisher<M> {
             trace,
             tier_hint: AtomicU8::new(0),
             shm_pool: Mutex::new(None),
+            shm_loans: options.shm_loans,
         });
         // Fast-path-capable publishers register a local attach port so
         // same-machine subscribers in this process can skip the socket.
@@ -632,46 +731,7 @@ impl<M: Encode> Publisher<M> {
             }
             tracer().span(table, Stage::Encode, tier, id, t0, t1);
         }
-        if frame.len() > self.core.config.max_frame_len {
-            self.core
-                .metrics
-                .frames_dropped_oversized
-                .fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        self.core.published.fetch_add(1, Ordering::Relaxed);
-        let metrics = &self.core.metrics;
-        // Snapshot the connection list so the fan-out (try_send plus its
-        // metrics bookkeeping) runs without the lock: a concurrent accept,
-        // attach, or `publish` from another clone is never serialized
-        // behind this one.
-        let snapshot: Vec<Arc<Conn>> = self.core.conns.lock().clone();
-        let mut saw_dead = false;
-        for conn in &snapshot {
-            // Each connection's clone carries its own enqueue timestamp
-            // (`TraceTag` is `Copy`, so clones do not alias).
-            let mut per_conn = frame.clone();
-            if per_conn.trace().id != 0 {
-                per_conn.trace_mut().enqueued_ns = now_nanos();
-            }
-            match conn.queue.try_send(per_conn) {
-                Ok(()) => metrics.observe_queue_depth(conn.queue.len() as u64),
-                Err(TrySendError::Full(_)) => {
-                    self.core.dropped.fetch_add(1, Ordering::Relaxed);
-                    metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    conn.alive.store(false, Ordering::Release);
-                    saw_dead = true;
-                }
-            }
-        }
-        if saw_dead {
-            self.core
-                .conns
-                .lock()
-                .retain(|c| c.alive.load(Ordering::Acquire));
-        }
+        self.core.fan_out(frame, None);
     }
 
     /// The topic this publisher serves.
@@ -721,6 +781,99 @@ impl<M: Encode> Publisher<M> {
             subscribers: self.subscriber_count(),
             transport: self.core.metrics.snapshot(),
         }
+    }
+}
+
+impl<T: SfmMessage> Publisher<SfmBox<T>> {
+    /// Loan a message to build **in place inside a shared-memory pool
+    /// segment** — the write-in-place publication API (paper §4.3's
+    /// "message memory is the wire buffer", taken to its conclusion: the
+    /// wire buffer is the *shared* buffer, so publishing copies nothing).
+    ///
+    /// The loan is segment-backed when the shm tier is live for this
+    /// publisher (enabled, platform-supported, at least one shm subscriber
+    /// has handshaken, and [`PublisherOptions::shm_loans`] was not turned
+    /// off). Otherwise the loan transparently falls back to an ordinary
+    /// heap allocation and behaves exactly like `SfmBox::new()` — caller
+    /// code is identical either way.
+    ///
+    /// Returns `None` **only** as backpressure: the shm pool is active but
+    /// every loanable segment's write hold is taken (by other outstanding
+    /// loans or in-flight frames). Back off and retry, or fall back to
+    /// [`publish`](Publisher::publish).
+    ///
+    /// Dropping the loan without publishing is clean — the segment's
+    /// write hold returns to the pool and the allocation record is
+    /// released (no sanitizer leak).
+    pub fn loan(&self) -> Option<LoanedMessage<T>> {
+        if self.core.config.enable_shm && self.core.shm_loans {
+            let pool = self.core.shm_pool.lock().clone();
+            if let Some(pool) = pool {
+                let frame = pool.loan(T::max_size())?;
+                // The SharedFrame clone in the guard keeps the segment's
+                // write hold (and therefore its generation stamp) alive
+                // for as long as any clone of the allocation lives —
+                // including fast-path subscribers sharing the buffer.
+                let guard: Box<dyn std::any::Any + Send + Sync> = Box::new(frame.clone());
+                // SAFETY: the payload region is 64-byte offset into a
+                // page-aligned mapping (so 8-aligned), valid for
+                // `capacity() >= max_size` bytes while the guard lives,
+                // and the write hold guarantees no other writer aliases
+                // it until descriptors are committed.
+                let mut alloc =
+                    unsafe { SfmAlloc::from_extern(frame.payload_ptr(), T::max_size(), guard) };
+                if tracer().armed() {
+                    // A loan is a genuine allocation event: stamp its
+                    // birth so the `alloc` span anchors here rather than
+                    // vanishing with the reader-side `from_extern` zero.
+                    alloc.set_born_ns(now_nanos());
+                }
+                // SAFETY: region writable for the full capacity (publisher
+                // maps its own pool segments read-write) and un-aliased
+                // while building (write hold held above).
+                let msg = unsafe { SfmBox::from_alloc(Arc::new(alloc)) };
+                return Some(LoanedMessage::new(msg, Some(frame)));
+            }
+        }
+        Some(LoanedMessage::new(SfmBox::new(), None))
+    }
+
+    /// Publish a loaned message. For a segment-backed loan the payload is
+    /// already in shared memory, so shm subscribers get **zero payload
+    /// copies end to end**: the frame's residency slot arrives
+    /// pre-resolved and every shm link commits only a 64-byte descriptor.
+    /// TCP and fast-path subscribers are served from the same bytes
+    /// through the ordinary serialization-free frame (the publisher's
+    /// read-write mapping backs those reads), so mixed-tier fan-out needs
+    /// no second encoding.
+    ///
+    /// Tracing mirrors [`publish`](Publisher::publish): `alloc` spans the
+    /// loan's lifetime and `encode` the handle construction — with the
+    /// `wire_write` copy stage absent by construction on shm links.
+    pub fn publish_loaned(&self, loaned: LoanedMessage<T>) {
+        let (msg, shm) = loaned.into_parts();
+        let t_pub = self.core.trace.as_ref().map(|_| now_nanos());
+        let mut frame = msg.encode();
+        if let (Some(table), Some(t0)) = (self.core.trace.as_deref(), t_pub) {
+            let t1 = now_nanos();
+            let id = tracer().next_trace_id();
+            let tier = self.core.tier();
+            let tag = frame.trace_mut();
+            tag.id = id;
+            if tag.born_ns != 0 && tag.born_ns <= t0 {
+                tracer().span(table, Stage::Alloc, tier, id, tag.born_ns, t0);
+            }
+            tracer().span(table, Stage::Encode, tier, id, t0, t1);
+        }
+        let prefilled = shm.map(|sf| {
+            // Stamp how many bytes of the segment the message actually
+            // used — descriptors publish this length, not the capacity.
+            sf.set_len(frame.len());
+            let slot: ShmSlot = Arc::new(OnceLock::new());
+            let _ = slot.set(Some(sf));
+            slot
+        });
+        self.core.fan_out(frame, prefilled);
     }
 }
 

@@ -13,9 +13,24 @@
 
 use crate::error::RosError;
 use rossf_sfm::PublishedBuffer;
+use rossf_shm::SharedFrame;
 use std::collections::BTreeMap;
 use std::io::{IoSlice, Read, Write};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Shared-memory residency of one publish call, resolved at most once.
+///
+/// `publish` attaches one slot (an `Arc` of the same cell) to every
+/// shm-connection clone of a frame; the first link thread to drain its
+/// copy resolves the slot by copying the payload into a pooled segment
+/// **once**, and every other link reuses that [`SharedFrame`] with a
+/// descriptor-only commit. A loaned publish pre-resolves the slot — the
+/// message was built inside the segment, so no thread copies at all.
+///
+/// The resolved value is `None` when the pool was exhausted at resolution
+/// time; that verdict is shared too (the frame is dropped on every link,
+/// counted as `NoSegment` backpressure).
+pub type ShmSlot = Arc<OnceLock<Option<SharedFrame>>>;
 
 /// The payload of an encoded message: serialized bytes or the whole
 /// serialization-free message verbatim.
@@ -59,6 +74,10 @@ pub struct TraceTag {
 pub struct OutFrame {
     payload: FramePayload,
     trace: TraceTag,
+    /// Shared-memory residency, present only on clones bound for shm
+    /// connections (attached by `publish`). Cloning shares the cell: all
+    /// shm links of one publish resolve to the same pooled segment.
+    shm: Option<ShmSlot>,
 }
 
 impl OutFrame {
@@ -67,6 +86,7 @@ impl OutFrame {
         OutFrame {
             payload: FramePayload::Owned(bytes),
             trace: TraceTag::default(),
+            shm: None,
         }
     }
 
@@ -80,7 +100,21 @@ impl OutFrame {
                 born_ns,
                 ..TraceTag::default()
             },
+            shm: None,
         }
+    }
+
+    /// This clone's shared-memory residency slot, if one was attached.
+    #[inline]
+    pub fn shm_slot(&self) -> Option<&ShmSlot> {
+        self.shm.as_ref()
+    }
+
+    /// Attach a shared-memory residency slot to this clone (done by
+    /// `publish` for clones bound to shm connections).
+    #[inline]
+    pub fn set_shm_slot(&mut self, slot: ShmSlot) {
+        self.shm = Some(slot);
     }
 
     /// The payload bytes.

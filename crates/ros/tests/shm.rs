@@ -249,6 +249,37 @@ fn early_unsubscribe_and_publisher_drop_leak_no_segments() {
         });
     }
 
+    // Scenario C: loaned publication — one loan published, one dropped
+    // unpublished — must be exactly as clean as ordinary publishes.
+    {
+        let master = Master::new();
+        let nh = NodeHandle::with_config(&master, "leak_c", MachineId::A, shm_config(true));
+        let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/leak_c", 16);
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen_cb = Arc::clone(&seen);
+        let _sub = nh.subscribe("shm/leak_c", 16, move |m: SfmShared<Payload>| {
+            assert_eq!(m.data.len(), 32);
+            seen_cb.fetch_add(1, Ordering::SeqCst);
+        });
+        nh.wait_for_subscribers(&publisher, 1);
+        let mut loaned = loan_retrying(&publisher);
+        assert!(loaned.is_shm_backed());
+        loaned.seq = 50;
+        loaned.data.resize(32);
+        publisher.publish_loaned(loaned);
+        wait_until("loaned frame delivered", || {
+            seen.load(Ordering::SeqCst) >= 1
+        });
+        // An abandoned loan: dropped without publishing. Its allocation
+        // record and the segment's write hold must both be released.
+        let abandoned = loan_retrying(&publisher);
+        assert!(abandoned.is_shm_backed());
+        drop(abandoned);
+    }
+    wait_until("scenario C unmapped every segment", || {
+        mm().live_segments() == 0
+    });
+
     mm().check_leaks();
     let report = mm().sanitizer_report().expect("sanitizer enabled");
     assert_eq!(report.leaked_segments, 0, "no orphaned segment mappings");
@@ -814,5 +845,473 @@ fn forked_subscriber_receives_byte_identical_shm_frames() {
         snap.shm_handshakes >= 1,
         "child must negotiate the shm tier"
     );
+    assert!(snap.shm_frames >= sizes.len() as u64);
+}
+
+// === Loaned write-in-place publication ===
+
+/// Message type big enough for a loaned ~1.4 MB frame — `max_size` bounds
+/// the loaned segment capacity, so it must clear the largest test payload.
+#[repr(C)]
+#[derive(Debug)]
+struct BigPayload {
+    seq: u32,
+    _pad: u32,
+    data: SfmVec<u8>,
+}
+unsafe impl SfmPod for BigPayload {}
+impl SfmValidate for BigPayload {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.data.validate_in(base, len)
+    }
+}
+unsafe impl SfmMessage for BigPayload {
+    fn type_name() -> &'static str {
+        "test/ShmBigPayload"
+    }
+    fn max_size() -> usize {
+        2 * 1024 * 1024
+    }
+}
+
+/// Loan a message, retrying through transient pool backpressure.
+fn loan_retrying<T: SfmMessage>(publisher: &Publisher<SfmBox<T>>) -> rossf_ros::LoanedMessage<T> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Some(loaned) = publisher.loan() {
+            return loaned;
+        }
+        assert!(Instant::now() < deadline, "loan backpressure never cleared");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Without a live shm tier, `loan` degrades to an ordinary heap message
+/// and `publish_loaned` behaves exactly like `publish` — same callback,
+/// same bytes, no shm frames. Covers: shm disabled entirely, shm enabled
+/// but no subscriber granted yet, and loans explicitly switched off.
+#[test]
+fn loan_falls_back_to_heap_when_shm_is_idle() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    // Scenario 1: shm disabled — delivery over TCP.
+    {
+        let master = Master::new();
+        let nh = NodeHandle::with_config(&master, "loan_fb", MachineId::A, shm_config(false));
+        let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/loan_fb", 8);
+        let (tx, rx) = mpsc::channel();
+        let _sub = nh.subscribe("shm/loan_fb", 8, move |m: SfmShared<Payload>| {
+            tx.send((
+                m.seq,
+                m.data.as_slice().to_vec(),
+                rossf_shm::is_shm_mapped(m.base()),
+            ))
+            .unwrap();
+        });
+        nh.wait_for_subscribers(&publisher, 1);
+
+        let mut loaned = publisher.loan().expect("heap fallback is never refused");
+        assert!(!loaned.is_shm_backed(), "no shm tier, no segment loan");
+        loaned.seq = 11;
+        loaned.data.resize(64);
+        for i in 0..64 {
+            loaned.data[i] = (i * 5 + 1) as u8;
+        }
+        let expect: Vec<u8> = (0..64).map(|i| (i * 5 + 1) as u8).collect();
+        publisher.publish_loaned(loaned);
+        let (seq, data, mapped) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!((seq, data), (11, expect));
+        assert!(!mapped, "fallback frames arrive over TCP");
+        assert_eq!(
+            master.metrics().topic("shm/loan_fb").snapshot().shm_frames,
+            0
+        );
+    }
+    // Scenario 2: shm enabled but no subscriber has negotiated yet — the
+    // pool does not exist, so the loan is heap-backed.
+    {
+        let master = Master::new();
+        let nh = NodeHandle::with_config(&master, "loan_fb2", MachineId::A, shm_config(true));
+        let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/loan_fb2", 8);
+        let loaned = publisher.loan().expect("no pool yet, heap fallback");
+        assert!(!loaned.is_shm_backed());
+        drop(loaned);
+    }
+    // Scenario 3: loans switched off by option while the tier is live.
+    {
+        use rossf_ros::PublisherOptions;
+        let master = Master::new();
+        let nh = NodeHandle::with_config(&master, "loan_fb3", MachineId::A, shm_config(true));
+        let publisher: Publisher<SfmBox<Payload>> = nh.advertise_with(
+            "shm/loan_fb3",
+            PublisherOptions::new().queue_size(8).shm_loans(false),
+        );
+        let (tx, rx) = mpsc::channel();
+        let _sub = nh.subscribe("shm/loan_fb3", 8, move |m: SfmShared<Payload>| {
+            tx.send(m.seq).unwrap();
+        });
+        nh.wait_for_subscribers(&publisher, 1);
+        let mut loaned = publisher.loan().expect("opt-out falls back to heap");
+        assert!(
+            !loaned.is_shm_backed(),
+            "shm_loans(false) must not loan segments"
+        );
+        loaned.seq = 12;
+        loaned.data.resize(8);
+        publisher.publish_loaned(loaned);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 12);
+    }
+}
+
+/// The write-in-place proof: a segment-backed loan's message lives inside
+/// a tracked shared-memory mapping *while being built* — no staging heap
+/// buffer exists at any point — and the subscriber receives those bytes
+/// out of a mapped segment.
+#[test]
+fn loaned_message_is_built_inside_the_segment() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "loan_zc", MachineId::A, shm_config(true));
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/loan_zc", 8);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("shm/loan_zc", 8, move |m: SfmShared<Payload>| {
+        tx.send((
+            m.seq,
+            fnv1a(m.data.as_slice()),
+            m.data.len(),
+            rossf_shm::is_shm_mapped(m.base()),
+        ))
+        .unwrap();
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let mut loaned = loan_retrying(&publisher);
+    assert!(
+        loaned.is_shm_backed(),
+        "with a granted shm link the loan must be segment-backed"
+    );
+    let build_addr = &*loaned as *const Payload as usize;
+    assert!(
+        mm().address_in_segment(build_addr),
+        "the message is being built directly inside a shared segment"
+    );
+    loaned.seq = 21;
+    loaned.data.resize(1024);
+    for i in 0..1024 {
+        loaned.data[i] = (i.wrapping_mul(13) + 3) as u8;
+    }
+    let expect_hash = fnv1a(loaned.data.as_slice());
+    publisher.publish_loaned(loaned);
+
+    let (seq, hash, len, mapped) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!((seq, len), (21, 1024));
+    assert_eq!(hash, expect_hash, "loaned bytes arrive unchanged");
+    assert!(mapped, "delivery still rides the mapped segment");
+    let metrics = master.metrics().topic("shm/loan_zc");
+    wait_until("loaned frame accounted as shm", || {
+        metrics.snapshot().shm_frames >= 1
+    });
+}
+
+/// Loan backpressure: with every directory slot's write hold taken by
+/// outstanding loans, the next loan reports `None`; dropping the loans
+/// *without publishing* returns the holds and loaning resumes — the
+/// drop-unpublished lifecycle leaks nothing.
+#[test]
+fn loan_backpressure_and_unpublished_drop_return_write_holds() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "loan_bp", MachineId::A, shm_config(true));
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/loan_bp", 8);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("shm/loan_bp", 8, move |m: SfmShared<Payload>| {
+        tx.send(m.seq).unwrap();
+    });
+    nh.wait_for_subscribers(&publisher, 1);
+
+    let held: Vec<_> = (0..rossf_shm::DIR_CAP)
+        .map(|_| {
+            let l = loan_retrying(&publisher);
+            assert!(l.is_shm_backed());
+            l
+        })
+        .collect();
+    assert!(
+        publisher.loan().is_none(),
+        "all {} slots held: loan must report backpressure",
+        rossf_shm::DIR_CAP
+    );
+    drop(held);
+
+    // Every hold is back: a full publish round trip works again.
+    let mut loaned = loan_retrying(&publisher);
+    assert!(loaned.is_shm_backed(), "dropped loans returned their holds");
+    loaned.seq = 31;
+    loaned.data.resize(16);
+    publisher.publish_loaned(loaned);
+    assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 31);
+}
+
+/// Child half of the segment-accounting test. Runs in a forked process so
+/// `mm()`'s global segment map is hermetic (the parent suite's other
+/// tests would perturb exact counts). Asserts the copy-per-link fix: one
+/// publish fanned out to N shm subscribers settles at exactly **one** new
+/// pool segment (plus one read-only mapping per reader), for both the
+/// legacy copy path and the loaned path. Exits non-zero on any violation.
+#[test]
+fn shm_child_segment_count_entry() {
+    if std::env::var("ROSSF_SHM_SEGCOUNT").is_err() {
+        return;
+    }
+    const N: usize = 3;
+    let master = Master::new();
+    let nh = NodeHandle::with_config(&master, "segcount", MachineId::A, shm_config(true));
+    let publisher: Publisher<SfmBox<Payload>> = nh.advertise("shm/segcount", 16);
+    let (tx, rx) = mpsc::channel();
+    let mut subs = Vec::new();
+    for _ in 0..N {
+        let tx = tx.clone();
+        subs.push(
+            nh.subscribe("shm/segcount", 16, move |m: SfmShared<Payload>| {
+                assert!(rossf_shm::is_shm_mapped(m.base()));
+                tx.send(m.seq).unwrap();
+            }),
+        );
+    }
+    nh.wait_for_subscribers(&publisher, N);
+    // Reader-side control mappings land asynchronously after the
+    // handshake; wait for the segment count to hold still before taking
+    // it as the baseline. No data segment exists until the first frame.
+    let baseline = {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let v = mm().live_segments();
+            let hold = Instant::now() + Duration::from_millis(300);
+            let mut stable = true;
+            while Instant::now() < hold {
+                if mm().live_segments() != v {
+                    stable = false;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            if stable {
+                break v;
+            }
+            assert!(Instant::now() < deadline, "segment count never settled");
+        }
+    };
+
+    // Legacy publish: one pooled copy, descriptor fan-out to all N links.
+    publisher.publish(&msg(40));
+    for _ in 0..N {
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 40);
+    }
+    // One new pool segment + each of the N readers mapping it once. The
+    // pre-fix behavior (one copy per link) would create N pool segments
+    // and settle at baseline + 2N instead.
+    wait_until("single shared segment for the legacy fan-out", || {
+        mm().live_segments() == baseline + 1 + N
+    });
+
+    // Loaned publish: built in place in ONE segment shared by all links.
+    // Loans are sized for `max_size`, a bigger segment class than the
+    // 64-byte legacy frame above, so this creates exactly one more pool
+    // segment (and each reader maps it once) — never one per link.
+    let mut loaned = loan_retrying(&publisher);
+    assert!(loaned.is_shm_backed());
+    loaned.seq = 41;
+    loaned.data.resize(64);
+    publisher.publish_loaned(loaned);
+    for _ in 0..N {
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 41);
+    }
+    wait_until("single shared segment for the loaned fan-out", || {
+        mm().live_segments() == baseline + 2 * (1 + N)
+    });
+
+    // Let the readers' frame releases drain so the loan slot recycles,
+    // then prove a second loaned publish *reuses* it: no growth at all.
+    std::thread::sleep(Duration::from_millis(200));
+    let mut loaned = loan_retrying(&publisher);
+    assert!(loaned.is_shm_backed());
+    loaned.seq = 42;
+    loaned.data.resize(64);
+    publisher.publish_loaned(loaned);
+    for _ in 0..N {
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 42);
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(
+        mm().live_segments(),
+        baseline + 2 * (1 + N),
+        "a repeated loaned publish reuses the recycled segment"
+    );
+}
+
+/// With N same-process shm subscribers, one publish occupies exactly one
+/// pool segment — the copy-per-link fix, verified end to end in a forked
+/// child process whose segment accounting no other test can disturb.
+#[test]
+fn one_publish_occupies_one_segment_across_n_links() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args([
+            "shm_child_segment_count_entry",
+            "--exact",
+            "--test-threads",
+            "1",
+        ])
+        .env("ROSSF_SHM_SEGCOUNT", "1")
+        .status()
+        .expect("spawn segment-count child");
+    assert!(status.success(), "segment accounting violated in child");
+}
+
+/// Child half of the loaned forked-process test: subscribes over shm and
+/// reports `fnv64(bytes)` plus the mapped flag per frame, exactly like
+/// [`shm_child_process_entry`] but on the loaned topic/type.
+#[test]
+fn shm_child_loan_entry() {
+    let addr = match std::env::var("ROSSF_SHM_LOAN_ADDR") {
+        Ok(a) => a,
+        Err(_) => return,
+    };
+    let out_path = std::env::var("ROSSF_SHM_LOAN_OUT").expect("child out path");
+    let count: usize = std::env::var("ROSSF_SHM_LOAN_COUNT")
+        .expect("child count")
+        .parse()
+        .expect("child count parses");
+    let addr: std::net::SocketAddr = addr.parse().expect("child addr parses");
+
+    let master = Master::new();
+    master
+        .register_publisher("shm/loan_fork", BigPayload::type_name(), addr, MachineId::A)
+        .expect("register parent endpoint");
+    let config = TransportConfig {
+        enable_fastpath: false,
+        ..TransportConfig::default()
+    };
+    let nh = NodeHandle::with_config(&master, "loan_child", MachineId::A, config);
+    let (tx, rx) = mpsc::channel();
+    let _sub = nh.subscribe("shm/loan_fork", 64, move |m: SfmShared<BigPayload>| {
+        let mapped = rossf_shm::is_shm_mapped(m.base());
+        let _ = tx.send((fnv1a(m.as_bytes()), mapped));
+    });
+
+    let mut lines = String::new();
+    for _ in 0..count {
+        let (hash, mapped) = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("child frame arrives");
+        lines.push_str(&format!("{hash:016x} {}\n", u8::from(mapped)));
+    }
+    std::fs::write(&out_path, lines).expect("write child report");
+}
+
+/// The loaned-path acceptance test across a real process boundary: a
+/// forked child maps frames that were **built in place** in the parent's
+/// pool segments — including a 1 MB payload — and must observe bytes
+/// byte-identical to a plain-TCP witness subscriber fed from the same
+/// loaned publishes (the mixed-tier fallback encoding).
+#[test]
+fn forked_subscriber_receives_byte_identical_loaned_frames() {
+    if !rossf_shm::supported() {
+        return;
+    }
+    let sizes: [usize; 5] = [64, 4096, 150_000, 1_000_000, 128];
+    let master = Master::new();
+    let nh_pub = NodeHandle::with_config(
+        &master,
+        "loan_fork_pub",
+        MachineId::A,
+        TransportConfig {
+            enable_fastpath: false,
+            ..TransportConfig::default()
+        },
+    );
+    let nh_tcp = NodeHandle::with_config(
+        &master,
+        "loan_fork_tcp",
+        MachineId::A,
+        TransportConfig {
+            enable_fastpath: false,
+            enable_shm: false,
+            ..TransportConfig::default()
+        },
+    );
+    let publisher: Publisher<SfmBox<BigPayload>> = nh_pub.advertise("shm/loan_fork", 64);
+    let tcp_hashes = Arc::new(Mutex::new(Vec::new()));
+    let tcp_cb = Arc::clone(&tcp_hashes);
+    let _tcp_sub = nh_tcp.subscribe("shm/loan_fork", 64, move |m: SfmShared<BigPayload>| {
+        tcp_cb.lock().unwrap().push(fnv1a(m.as_bytes()));
+    });
+
+    let out_path =
+        std::env::temp_dir().join(format!("rossf-shm-loan-fork-{}.txt", std::process::id()));
+    let _ = std::fs::remove_file(&out_path);
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["shm_child_loan_entry", "--exact", "--test-threads", "1"])
+        .env("ROSSF_SHM_LOAN_ADDR", publisher.addr().to_string())
+        .env("ROSSF_SHM_LOAN_OUT", &out_path)
+        .env("ROSSF_SHM_LOAN_COUNT", sizes.len().to_string())
+        .spawn()
+        .expect("spawn child subscriber process");
+
+    nh_pub.wait_for_subscribers(&publisher, 2);
+    for (seq, &len) in sizes.iter().enumerate() {
+        let mut loaned = loan_retrying(&publisher);
+        assert!(
+            loaned.is_shm_backed(),
+            "with the child's shm link granted, loans are segment-backed"
+        );
+        loaned.seq = seq as u32;
+        loaned.data.resize(len);
+        for i in 0..len {
+            loaned.data[i] = (seq.wrapping_add(i.wrapping_mul(11))) as u8;
+        }
+        publisher.publish_loaned(loaned);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    wait_until("tcp witness saw every loaned frame", || {
+        tcp_hashes.lock().unwrap().len() == sizes.len()
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => break status,
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("loaned child subscriber timed out");
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    assert!(status.success(), "loaned child subscriber failed");
+
+    let report = std::fs::read_to_string(&out_path).expect("read child report");
+    let _ = std::fs::remove_file(&out_path);
+    let mut child_hashes = Vec::new();
+    for line in report.lines() {
+        let mut parts = line.split_whitespace();
+        let hash = u64::from_str_radix(parts.next().expect("hash column"), 16).expect("hash");
+        let mapped = parts.next().expect("mapped column") == "1";
+        assert!(mapped, "loaned frames must arrive out of a mapped segment");
+        child_hashes.push(hash);
+    }
+    assert_eq!(
+        child_hashes,
+        *tcp_hashes.lock().unwrap(),
+        "loaned shm frames must be byte-identical to the TCP witness"
+    );
+    let snap = master.metrics().topic("shm/loan_fork").snapshot();
     assert!(snap.shm_frames >= sizes.len() as u64);
 }

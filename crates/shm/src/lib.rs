@@ -2,10 +2,13 @@
 //!
 //! ROS-SF's serialization-free format makes a message's wire bytes *be*
 //! its memory layout; this crate carries that payoff across process
-//! boundaries. A publisher copies each frame **once** into a memfd-backed
-//! shared segment and publishes a 64-byte descriptor into a lock-free
-//! SPMC ring; the subscriber maps the segment read-only and hands the
-//! bytes straight to `sfm::mm` — zero copies on the subscriber side.
+//! boundaries. A publisher copies each frame **at most once** into a
+//! memfd-backed shared segment — a [`SharedFrame`] fans descriptors out to
+//! every subscriber link against that single copy, and a *loaned* frame
+//! ([`SegmentPool::loan`]) is built in place so no copy happens at all —
+//! and publishes a 64-byte descriptor into a lock-free SPMC ring; the
+//! subscriber maps the segment read-only and hands the bytes straight to
+//! `sfm::mm` — zero copies on the subscriber side.
 //!
 //! Three mechanisms make that safe:
 //!
@@ -37,12 +40,14 @@ mod link;
 mod reader;
 mod ring;
 mod seg;
+mod shared;
 pub mod sys;
 
 pub use link::{FrameMeta, PreparedFrame, PushOutcome, ShmLink};
 pub use reader::{is_shm_mapped, MappedFrame, SegmentMap, ShmReader, TakeError};
 pub use ring::{ControlSegment, Descriptor, CTL_MAGIC, MAX_RING_CAP};
 pub use seg::{Segment, SegmentPool, DIR_CAP, MIN_SEGMENT_PAYLOAD, SEG_HEADER, SEG_MAGIC};
+pub use shared::SharedFrame;
 
 /// Whether the shared-memory tier works on this build target (x86-64
 /// Linux). `false` → negotiation falls back to TCP.

@@ -3,6 +3,7 @@
 
 use crate::ring::{ControlSegment, Descriptor};
 use crate::seg::{SegmentPool, DIR_CAP};
+use crate::shared::SharedFrame;
 use std::io;
 use std::sync::Arc;
 
@@ -98,6 +99,15 @@ impl ShmLink {
         self.ctrl.epoch()
     }
 
+    /// The segment pool backing this link. Frames prepared from this pool
+    /// (including [`SharedFrame`]s from
+    /// [`SegmentPool::prepare_shared`](crate::SegmentPool) /
+    /// [`SegmentPool::loan`](crate::SegmentPool)) are committable on every
+    /// link sharing it.
+    pub fn pool(&self) -> &Arc<SegmentPool> {
+        &self.pool
+    }
+
     /// Whether either side marked the link closed.
     pub fn is_closed(&self) -> bool {
         self.ctrl.is_closed()
@@ -153,6 +163,50 @@ impl ShmLink {
         if pushed {
             PushOutcome::Pushed
         } else {
+            PushOutcome::RingFull
+        }
+    }
+
+    /// Publish a descriptor for a frame held in a [`SharedFrame`] — the
+    /// fan-out half of single-copy and loaned publication.
+    ///
+    /// Unlike [`ShmLink::commit`], the segment's write hold is **not**
+    /// touched: it belongs to the `SharedFrame` and is released when its
+    /// last clone drops (after every link of the publish has committed).
+    /// This call only manages the descriptor's reference — `+1` before the
+    /// push, `-1` back if the ring was full — so with N links one publish
+    /// settles at `refs == N` descriptors against a single segment.
+    ///
+    /// Returns [`PushOutcome::NoSegment`] if the frame's segment belongs
+    /// to a different pool than this link (its directory indices would
+    /// name the wrong segment); callers fall back to the copying path.
+    pub fn commit_shared(&mut self, frame: &SharedFrame, meta: FrameMeta) -> PushOutcome {
+        if !frame.pool_matches(&self.pool) {
+            debug_assert!(false, "shared frame committed against a foreign pool");
+            return PushOutcome::NoSegment;
+        }
+        let seg = frame.segment();
+        let idx = frame.idx();
+        if !self.dir_published[idx as usize] {
+            self.ctrl.publish_dir(idx, seg.fd(), seg.payload_cap());
+            self.dir_published[idx as usize] = true;
+        }
+        let d = Descriptor {
+            seg: idx,
+            // Stable: the SharedFrame's write hold keeps refs >= 1, so the
+            // pool cannot re-acquire (and re-stamp) this segment yet.
+            gen: seg.generation(),
+            len: frame.len(),
+            trace_id: meta.trace_id,
+            born_ns: meta.born_ns,
+            enqueued_ns: meta.enqueued_ns,
+            pushed_ns: meta.pushed_ns,
+        };
+        seg.add_ref(); // the descriptor's reference
+        if self.ctrl.try_push(&d) {
+            PushOutcome::Pushed
+        } else {
+            seg.release_ref();
             PushOutcome::RingFull
         }
     }
@@ -324,6 +378,100 @@ mod tests {
         assert_eq!(pool.get(0).unwrap().refs().load(Ordering::Relaxed), 0);
         assert_eq!(link.push(b"b", FrameMeta::default()), PushOutcome::Pushed);
         link.drain();
+    }
+
+    #[test]
+    fn shared_frame_fans_one_segment_out_to_n_links() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut links: Vec<_> = (0..3)
+            .map(|i| ShmLink::create(Arc::clone(&pool), 4, i + 1).unwrap())
+            .collect();
+        let frame = pool.prepare_shared(b"one copy, three descriptors").unwrap();
+        for link in &mut links {
+            assert_eq!(
+                link.commit_shared(&frame, FrameMeta::default()),
+                PushOutcome::Pushed
+            );
+        }
+        assert_eq!(pool.len(), 1, "exactly one pooled copy");
+        let seg = pool.get(0).unwrap();
+        assert_eq!(
+            seg.refs().load(Ordering::Relaxed),
+            4,
+            "write hold + one descriptor per link"
+        );
+        drop(frame);
+        assert_eq!(
+            seg.refs().load(Ordering::Relaxed),
+            3,
+            "after the hold drops, refs == N links"
+        );
+        // Each reader would inherit and release its own descriptor ref;
+        // publisher teardown drains the never-consumed ones here.
+        for link in &links {
+            link.drain();
+        }
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn commit_shared_ring_full_keeps_the_write_hold() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut link = ShmLink::create(Arc::clone(&pool), 2, 1).unwrap();
+        let a = pool.prepare_shared(b"a").unwrap();
+        let b = pool.prepare_shared(b"b").unwrap();
+        let c = pool.prepare_shared(b"c").unwrap();
+        assert_eq!(
+            link.commit_shared(&a, FrameMeta::default()),
+            PushOutcome::Pushed
+        );
+        assert_eq!(
+            link.commit_shared(&b, FrameMeta::default()),
+            PushOutcome::Pushed
+        );
+        assert_eq!(
+            link.commit_shared(&c, FrameMeta::default()),
+            PushOutcome::RingFull
+        );
+        let seg = Arc::clone(c.segment());
+        assert_eq!(
+            seg.refs().load(Ordering::Relaxed),
+            1,
+            "descriptor ref rolled back, hold intact"
+        );
+        drop(c);
+        assert_eq!(seg.refs().load(Ordering::Relaxed), 0);
+        link.drain();
+    }
+
+    #[test]
+    fn loaned_frame_round_trips_through_the_ring() {
+        if !sys::supported() {
+            return;
+        }
+        let pool = Arc::new(SegmentPool::new());
+        let mut link = ShmLink::create(Arc::clone(&pool), 4, 1).unwrap();
+        let frame = pool.loan(32).unwrap();
+        unsafe { std::ptr::copy_nonoverlapping(b"loaned".as_ptr(), frame.payload_ptr(), 6) };
+        frame.set_len(6);
+        assert_eq!(
+            link.commit_shared(&frame, FrameMeta::default()),
+            PushOutcome::Pushed
+        );
+        let d = link.ctrl().try_pop().unwrap();
+        assert_eq!(d.len, 6);
+        assert_eq!(d.gen, frame.segment().generation());
+        let got = unsafe { std::slice::from_raw_parts(frame.payload_ptr(), d.len) };
+        assert_eq!(got, b"loaned");
+        pool.get(d.seg).unwrap().release_ref(); // the popped descriptor's ref
+        drop(frame);
+        assert_eq!(pool.get(0).unwrap().refs().load(Ordering::Relaxed), 0);
     }
 
     #[test]

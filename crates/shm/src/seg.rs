@@ -186,8 +186,33 @@ impl Segment {
                 payload.len(),
             );
         }
-        self.word(OFF_LEN)
-            .store(payload.len() as u64, Ordering::Release);
+        self.stamp_len(payload.len());
+    }
+
+    /// Base address of the payload area (8-aligned because the mapping is
+    /// page-aligned and [`SEG_HEADER`] is a multiple of 8).
+    ///
+    /// Writing through this pointer requires the segment's write hold
+    /// ([`Segment::try_acquire`], `refs` 0 → 1) — the same exclusivity that
+    /// covers [`Segment::write_payload`]. Loaned publication builds the SFM
+    /// message in place here instead of copying a finished frame in.
+    #[inline]
+    pub fn payload_ptr(&self) -> *mut u8 {
+        // SAFETY: SEG_HEADER < total for every segment.
+        unsafe { self.ptr.add(SEG_HEADER) }
+    }
+
+    /// Stamp the header's payload-length word without touching the payload
+    /// bytes — the loaned-publication counterpart of
+    /// [`Segment::write_payload`], used after a message was built in place
+    /// through [`Segment::payload_ptr`].
+    ///
+    /// # Panics
+    ///
+    /// If `len` exceeds [`Segment::payload_cap`].
+    pub fn stamp_len(&self, len: usize) {
+        assert!(len <= self.payload_cap);
+        self.word(OFF_LEN).store(len as u64, Ordering::Release);
     }
 }
 

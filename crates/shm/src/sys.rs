@@ -58,10 +58,32 @@ pub unsafe fn munmap(ptr: *mut u8, len: usize) {
 
 /// Block until `*addr != expected` or `timeout` elapses (`FUTEX_WAIT`, the
 /// cross-process variant). Spurious wakeups are allowed; callers re-check
-/// their condition in a loop. On unsupported targets this sleeps for the
-/// timeout instead, degrading to polling.
+/// their condition in a loop. On unsupported targets this degrades to
+/// [`poll_wait`].
 pub fn futex_wait(addr: &core::sync::atomic::AtomicU32, expected: u32, timeout: Duration) {
     imp::futex_wait(addr, expected, timeout);
+}
+
+/// Degraded-mode wait: sleep in short bounded chunks, re-checking the word
+/// between chunks, until `*addr != expected` or the caller's full `timeout`
+/// has elapsed. This is the [`futex_wait`] fallback on targets without the
+/// futex syscall — chunking keeps wake latency bounded (a store by another
+/// thread is observed within one chunk) while still honoring the requested
+/// timeout instead of capping the whole wait at a single chunk.
+pub fn poll_wait(addr: &core::sync::atomic::AtomicU32, expected: u32, timeout: Duration) {
+    use core::sync::atomic::Ordering;
+    const CHUNK: Duration = Duration::from_millis(5);
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if addr.load(Ordering::Acquire) != expected {
+            return;
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(CHUNK));
+    }
 }
 
 /// Wake every process waiting on `addr` (`FUTEX_WAKE`, the cross-process
@@ -279,8 +301,8 @@ mod imp {
 
     pub fn munmap(_ptr: *mut u8, _len: usize) {}
 
-    pub fn futex_wait(_addr: &AtomicU32, _expected: u32, timeout: Duration) {
-        std::thread::sleep(timeout.min(Duration::from_millis(5)));
+    pub fn futex_wait(addr: &AtomicU32, expected: u32, timeout: Duration) {
+        super::poll_wait(addr, expected, timeout);
     }
 
     pub fn futex_wake(_addr: &AtomicU32) {}
@@ -347,6 +369,41 @@ mod tests {
         // Pid 0 has no /proc entry; u32::MAX is far beyond pid_max.
         assert!(!process_alive(0));
         assert!(!process_alive(u32::MAX));
+    }
+
+    #[test]
+    fn poll_wait_honors_the_full_timeout() {
+        let w = AtomicU32::new(0);
+        let t0 = std::time::Instant::now();
+        // The pre-fix fallback slept min(timeout, 5ms) and returned after a
+        // single chunk; the chunked wait must consume the whole request.
+        poll_wait(&w, 0, Duration::from_millis(60));
+        assert!(t0.elapsed() >= Duration::from_millis(55));
+    }
+
+    #[test]
+    fn poll_wait_observes_a_store_within_a_chunk() {
+        let w = std::sync::Arc::new(AtomicU32::new(0));
+        let w2 = std::sync::Arc::clone(&w);
+        let t0 = std::time::Instant::now();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.store(1, Ordering::Release);
+        });
+        poll_wait(&w, 0, Duration::from_secs(5));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "returned on the store"
+        );
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn poll_wait_mismatch_returns_immediately() {
+        let w = AtomicU32::new(0);
+        let t0 = std::time::Instant::now();
+        poll_wait(&w, 7, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_millis(100));
     }
 
     #[test]

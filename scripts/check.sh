@@ -36,8 +36,11 @@ cargo test -q -p rossf-ros --test tracing
 echo "==> tracing-overhead gate (traced p50 <= 1.05x untraced, fastpath + shm)"
 cargo run -q --release -p rossf-bench --bin sfm_trace -- --overhead-gate
 
-echo "==> bench summary (merge results/BENCH_*.json -> results/TRAJECTORY.json)"
-cargo run -q --release -p rossf-bench --bin bench_summary
+echo "==> loaned-publication gate (shm+loan one-way p50 <= 1.2x fastpath, all paper sizes)"
+cargo run -q --release -p rossf-bench --bin loan_gate -- --iters 60
+
+echo "==> bench summary + trajectory regression gate (p50/p99 <= +10% vs previous)"
+cargo run -q --release -p rossf-bench --bin bench_summary -- --gate
 
 echo "==> cargo doc -p rossf-trace (warning-clean)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q -p rossf-trace --no-deps
