@@ -439,14 +439,18 @@ impl std::fmt::Display for Regression {
 /// The trajectory regression gate: compare every (fig, scenario) present
 /// in both `previous` and `current` and flag p50/p99 values that grew by
 /// more than `threshold` (fractional — `0.10` allows +10%) *and* by more
-/// than `slack_ms` absolute (so microsecond-scale scenarios don't trip on
-/// scheduler noise). Scenarios or figures missing on either side are
-/// skipped — only like-for-like comparisons gate.
+/// than the metric's absolute slack (so microsecond-scale scenarios don't
+/// trip on scheduler noise). `p99_slack_ms` is wider than `slack_ms`: the
+/// tail percentile of a short run swings ±30% with machine load, so it
+/// gates as a coarse backstop (a lock convoy or lost wakeup inflates it
+/// 10–100×) while p50 stays tightly banded. Scenarios or figures missing
+/// on either side are skipped — only like-for-like comparisons gate.
 pub fn gate_regressions(
     previous: &[TrajectoryRun],
     current: &[TrajectoryRun],
     threshold: f64,
     slack_ms: f64,
+    p99_slack_ms: f64,
 ) -> Vec<Regression> {
     let mut out = Vec::new();
     for cur in current {
@@ -458,11 +462,11 @@ pub fn gate_regressions(
             let Some(base) = prev_rows.iter().find(|r| r.scenario == row.scenario) else {
                 continue;
             };
-            for (metric, was, now) in [
-                ("p50_ms", base.p50_ms, row.p50_ms),
-                ("p99_ms", base.p99_ms, row.p99_ms),
+            for (metric, was, now, metric_slack) in [
+                ("p50_ms", base.p50_ms, row.p50_ms, slack_ms),
+                ("p99_ms", base.p99_ms, row.p99_ms, p99_slack_ms),
             ] {
-                if was > 0.0 && now > was * (1.0 + threshold) + slack_ms {
+                if was > 0.0 && now > was * (1.0 + threshold) + metric_slack {
                     out.push(Regression {
                         fig: cur.fig.clone(),
                         scenario: row.scenario.clone(),
@@ -670,11 +674,11 @@ mod tests {
         let prev = vec![run_with("fig16", "same-machine shm 1MB", 1.0, 2.0)];
 
         // Unchanged numbers pass.
-        assert!(gate_regressions(&prev, &prev, 0.10, 0.05).is_empty());
+        assert!(gate_regressions(&prev, &prev, 0.10, 0.05, 1.0).is_empty());
 
         // A +50% p50 regression is flagged with its metric and values.
         let cur = vec![run_with("fig16", "same-machine shm 1MB", 1.5, 2.0)];
-        let bad = gate_regressions(&prev, &cur, 0.10, 0.05);
+        let bad = gate_regressions(&prev, &cur, 0.10, 0.05, 1.0);
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].metric, "p50_ms");
         assert_eq!((bad[0].previous_ms, bad[0].current_ms), (1.0, 1.5));
@@ -683,24 +687,24 @@ mod tests {
         // p99 gates independently of p50.
         let cur = vec![run_with("fig16", "same-machine shm 1MB", 1.0, 4.0)];
         assert_eq!(
-            gate_regressions(&prev, &cur, 0.10, 0.05)[0].metric,
+            gate_regressions(&prev, &cur, 0.10, 0.05, 1.0)[0].metric,
             "p99_ms"
         );
 
         // Within threshold + slack passes; the absolute slack absorbs
         // microsecond-scale noise even past the percentage threshold.
         let cur = vec![run_with("fig16", "same-machine shm 1MB", 1.04, 2.0)];
-        assert!(gate_regressions(&prev, &cur, 0.10, 0.05).is_empty());
+        assert!(gate_regressions(&prev, &cur, 0.10, 0.05, 1.0).is_empty());
         let tiny_prev = vec![run_with("fig16", "oneway fastpath 200KB", 0.010, 0.020)];
         let tiny_cur = vec![run_with("fig16", "oneway fastpath 200KB", 0.015, 0.030)];
-        assert!(gate_regressions(&tiny_prev, &tiny_cur, 0.10, 0.05).is_empty());
+        assert!(gate_regressions(&tiny_prev, &tiny_cur, 0.10, 0.05, 1.0).is_empty());
 
         // New scenarios and new figures have no baseline: skipped.
         let cur = vec![
             run_with("fig16", "oneway shm+loan 1MB", 9.0, 9.0),
             run_with("fig99", "anything", 9.0, 9.0),
         ];
-        assert!(gate_regressions(&prev, &cur, 0.10, 0.05).is_empty());
+        assert!(gate_regressions(&prev, &cur, 0.10, 0.05, 1.0).is_empty());
     }
 
     #[test]

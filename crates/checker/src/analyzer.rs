@@ -141,44 +141,8 @@ fn is_ident_char(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
 }
 
-/// Line-by-line comment stripper with block-comment state carried across
-/// lines (string literals containing comment markers are out of scope for
-/// this checker, as they are for the paper's manual study).
-#[derive(Debug, Default)]
-struct CommentStripper {
-    in_block: bool,
-}
-
-impl CommentStripper {
-    /// Strip `// ...` and `/* ... */` comments from one line. A `/*` left
-    /// open swallows subsequent lines until its `*/`. Each removed block
-    /// comment becomes a single space so tokens on either side don't fuse.
-    fn strip(&mut self, line: &str) -> String {
-        let mut out = String::with_capacity(line.len());
-        let mut chars = line.chars().peekable();
-        while let Some(c) = chars.next() {
-            if self.in_block {
-                if c == '*' && chars.peek() == Some(&'/') {
-                    chars.next();
-                    self.in_block = false;
-                    out.push(' ');
-                }
-            } else if c == '/' {
-                match chars.peek() {
-                    Some('/') => break,
-                    Some('*') => {
-                        chars.next();
-                        self.in_block = true;
-                    }
-                    _ => out.push(c),
-                }
-            } else {
-                out.push(c);
-            }
-        }
-        out
-    }
-}
+// Comment stripping lives in [`crate::scan`], shared with `rossf-lint`;
+// the analyzer consumes only the code part of each split line.
 
 /// Is `arg` a C++ integer literal whose value is zero? Handles decimal,
 /// octal (`05`), hex (`0x0`), binary (`0b0`) and `u`/`l` suffixes —
@@ -298,10 +262,10 @@ pub fn analyze_source(name: &str, source: &str) -> FileReport {
     let mut uses = Vec::new();
     let mut violations = Vec::new();
 
-    let mut comments = CommentStripper::default();
+    let mut scanner = crate::scan::LineScanner::new();
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
-        let line = comments.strip(raw);
+        let line = scanner.split(raw).code;
         let line = line.as_str();
 
         // New declarations first (a line can declare and the next use).

@@ -40,6 +40,7 @@ mod analyzer;
 mod classes;
 mod converter;
 pub mod corpus;
+pub mod scan;
 mod table;
 
 pub use analyzer::{analyze_file, analyze_source, FileReport, UseSite, Violation, ViolationKind};

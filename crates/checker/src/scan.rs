@@ -1,0 +1,281 @@
+//! Line scanning shared by the checker and `rossf-lint`: split source
+//! lines into their *code* and *comment* parts, carrying multi-line state
+//! (open block comments, open string literals) across lines.
+//!
+//! The splitter understands `//` line comments, nested `/* ... */` block
+//! comments (nesting is Rust semantics; C++ sources in the corpus never
+//! nest), double-quoted string literals with backslash escapes, Rust raw
+//! strings (`r"…"`, `r#"…"#`, any hash depth), and character literals
+//! (distinguished from lifetimes by lookahead). String and character
+//! literal *contents* are masked out of the code part (the delimiters
+//! remain), so `"unsafe"` inside a string never reads as the keyword and
+//! a `//` inside a string never starts a comment.
+
+/// One line split into code and comment text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitLine {
+    /// The non-comment part, with string/char literal contents replaced
+    /// by spaces (delimiters preserved) and each removed block comment
+    /// replaced by a single space so adjacent tokens don't fuse.
+    pub code: String,
+    /// The comment text of the line: everything after `//`, plus the
+    /// contents of any block comment (opened here or carried over).
+    pub comment: String,
+}
+
+impl SplitLine {
+    /// Whether the line carries no code at all (blank or comment-only).
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+
+    /// Whether the line is completely blank.
+    pub fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside `/* … */`, at the given nesting depth.
+    Block(usize),
+    /// Inside a `"…"` string literal (may span lines in Rust).
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`.
+    RawStr(usize),
+}
+
+/// Stateful line-by-line splitter; feed lines in order via
+/// [`LineScanner::split`].
+#[derive(Debug)]
+pub struct LineScanner {
+    state: State,
+}
+
+impl Default for LineScanner {
+    fn default() -> LineScanner {
+        LineScanner { state: State::Code }
+    }
+}
+
+impl LineScanner {
+    /// Fresh scanner (no open comment or literal).
+    pub fn new() -> LineScanner {
+        LineScanner::default()
+    }
+
+    /// Split one line. Call with consecutive lines of one file; state for
+    /// unterminated block comments / string literals carries over.
+    pub fn split(&mut self, line: &str) -> SplitLine {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match self.state {
+                State::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        i += 2;
+                        if depth == 1 {
+                            self.state = State::Code;
+                            code.push(' ');
+                        } else {
+                            self.state = State::Block(depth - 1);
+                        }
+                    } else if c == '/' && next == Some('*') {
+                        i += 2;
+                        self.state = State::Block(depth + 1);
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        code.push('"');
+                        self.state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"'
+                        && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes
+                    {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes;
+                        self.state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    if c == '/' && next == Some('/') {
+                        comment.push_str(&line_tail(&chars, i + 2));
+                        break;
+                    } else if c == '/' && next == Some('*') {
+                        self.state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        self.state = State::Str;
+                        i += 1;
+                    } else if c == 'r'
+                        && !prev_is_ident(&code)
+                        && raw_string_hashes(&chars, i + 1).is_some()
+                    {
+                        let hashes = raw_string_hashes(&chars, i + 1).unwrap();
+                        code.push('r');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        code.push('"');
+                        i += 2 + hashes;
+                        self.state = State::RawStr(hashes);
+                    } else if c == '\'' {
+                        // Distinguish a char literal from a lifetime or
+                        // loop label by lookahead for the closing quote.
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            code.push('\'');
+                            for _ in i + 1..end {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i = end + 1;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        SplitLine { code, comment }
+    }
+}
+
+fn line_tail(chars: &[char], from: usize) -> String {
+    chars[from.min(chars.len())..].iter().collect()
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `chars[from..]` begins a raw-string body (`#*"` — zero or more
+/// hashes then a quote), the hash count; `None` otherwise.
+fn raw_string_hashes(chars: &[char], from: usize) -> Option<usize> {
+    let hashes = chars[from.min(chars.len())..]
+        .iter()
+        .take_while(|&&c| c == '#')
+        .count();
+    (chars.get(from + hashes) == Some(&'"')).then_some(hashes)
+}
+
+/// If a `'` at position `i` opens a character literal, the index of its
+/// closing quote. Lifetimes/labels (`'a`, `'outer:`) return `None`.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan forward to the first unescaped quote
+            // (covers '\n', '\'', '\u{…}').
+            let mut j = i + 2;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => return Some(j),
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(i + 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(line: &str) -> SplitLine {
+        LineScanner::new().split(line)
+    }
+
+    #[test]
+    fn line_comment_splits() {
+        let s = one("let x = 1; // SAFETY: fine");
+        assert_eq!(s.code.trim(), "let x = 1;");
+        assert_eq!(s.comment.trim(), "SAFETY: fine");
+    }
+
+    #[test]
+    fn block_comment_spans_lines_and_nests() {
+        let mut sc = LineScanner::new();
+        let a = sc.split("before /* open");
+        assert_eq!(a.code.trim(), "before");
+        assert_eq!(a.comment.trim(), "open");
+        let b = sc.split("still /* nested */ inside");
+        assert!(b.code.trim().is_empty());
+        let c = sc.split("done */ after");
+        assert_eq!(c.code.trim(), "after");
+    }
+
+    #[test]
+    fn strings_hide_comment_markers_and_keywords() {
+        let s = one(r#"let p = "// not a comment: unsafe"; x();"#);
+        assert!(s.comment.is_empty());
+        assert!(!s.code.contains("unsafe"));
+        assert!(s.code.contains("x();"), "code after the string survives");
+    }
+
+    #[test]
+    fn raw_strings_mask_contents() {
+        let s = one(r##"let p = r#"has "quotes" and // markers"#; y();"##);
+        assert!(s.comment.is_empty());
+        assert!(s.code.contains("y();"));
+        assert!(!s.code.contains("markers"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = one("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; g(); }");
+        assert!(s.comment.is_empty());
+        assert!(s.code.contains("g();"), "quote char literal didn't derail");
+        assert!(s.code.contains("<'a>"), "lifetime preserved");
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let s = one(r#"let p = "a\"b"; tail();"#);
+        assert!(s.code.contains("tail();"));
+    }
+
+    #[test]
+    fn comment_only_and_blank_classification() {
+        assert!(one("   // just a comment").is_comment_only());
+        assert!(one("   ").is_blank());
+        assert!(!one("code(); // c").is_comment_only());
+    }
+}

@@ -92,7 +92,9 @@ pub fn set_alert_policy(policy: AlertPolicy) -> AlertPolicy {
         AlertPolicy::Warn => 1,
         AlertPolicy::Count => 2,
     };
-    match POLICY.swap(raw, Ordering::SeqCst) {
+    // Relaxed: the policy byte carries no payload — readers only branch
+    // on its value, and tests serialize via `alert_test_lock`.
+    match POLICY.swap(raw, Ordering::Relaxed) {
         0 => AlertPolicy::Panic,
         1 => AlertPolicy::Warn,
         _ => AlertPolicy::Count,
@@ -100,7 +102,8 @@ pub fn set_alert_policy(policy: AlertPolicy) -> AlertPolicy {
 }
 
 fn current_policy() -> AlertPolicy {
-    match POLICY.load(Ordering::SeqCst) {
+    // Relaxed: see `set_alert_policy` — the byte is self-contained.
+    match POLICY.load(Ordering::Relaxed) {
         0 => AlertPolicy::Panic,
         1 => AlertPolicy::Warn,
         _ => AlertPolicy::Count,
@@ -110,9 +113,11 @@ fn current_policy() -> AlertPolicy {
 /// Numbers of alerts raised since the last [`reset_alert_counts`], as
 /// `(string_reassignments, vector_multi_resizes)`.
 pub fn alert_counts() -> (u64, u64) {
+    // Relaxed: independent monotonic counters; no ordering is implied
+    // between them and no other data is published through them.
     (
-        STRING_ALERTS.load(Ordering::SeqCst),
-        VECTOR_ALERTS.load(Ordering::SeqCst),
+        STRING_ALERTS.load(Ordering::Relaxed),
+        VECTOR_ALERTS.load(Ordering::Relaxed),
     )
 }
 
@@ -120,14 +125,17 @@ pub fn alert_counts() -> (u64, u64) {
 /// raised since the last [`reset_alert_counts`]. Per-kind counts live on the
 /// sanitizer report ([`mm().sanitizer_report()`](crate::MessageManager::sanitizer_report)).
 pub fn lifecycle_alert_count() -> u64 {
-    LIFECYCLE_ALERTS.load(Ordering::SeqCst)
+    // Relaxed: standalone counter, same reasoning as `alert_counts`.
+    LIFECYCLE_ALERTS.load(Ordering::Relaxed)
 }
 
 /// Reset all alert counters to zero.
 pub fn reset_alert_counts() {
-    STRING_ALERTS.store(0, Ordering::SeqCst);
-    VECTOR_ALERTS.store(0, Ordering::SeqCst);
-    LIFECYCLE_ALERTS.store(0, Ordering::SeqCst);
+    // Relaxed: counter resets race benignly with concurrent raises;
+    // tests holding `alert_test_lock` are the only precise observers.
+    STRING_ALERTS.store(0, Ordering::Relaxed);
+    VECTOR_ALERTS.store(0, Ordering::Relaxed);
+    LIFECYCLE_ALERTS.store(0, Ordering::Relaxed);
 }
 
 /// Raise an alert for `kind` on behalf of message type `type_name`.
@@ -138,16 +146,20 @@ pub fn reset_alert_counts() {
 pub(crate) fn raise(kind: AlertKind, type_name: &str) {
     match kind {
         AlertKind::OneShotStringAssignment => {
-            STRING_ALERTS.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: monotonic tally; aggregation happens after the
+            // run, never concurrently with a required ordering.
+            STRING_ALERTS.fetch_add(1, Ordering::Relaxed);
         }
         AlertKind::OneShotVectorResizing => {
-            VECTOR_ALERTS.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: same reasoning as the string counter above.
+            VECTOR_ALERTS.fetch_add(1, Ordering::Relaxed);
         }
         AlertKind::LifecycleDoubleRelease
         | AlertKind::LifecycleExpandAfterRelease
         | AlertKind::LifecycleRefcountAnomaly
         | AlertKind::LifecycleLeak => {
-            LIFECYCLE_ALERTS.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: same reasoning as the string counter above.
+            LIFECYCLE_ALERTS.fetch_add(1, Ordering::Relaxed);
         }
     }
     match current_policy() {

@@ -274,7 +274,14 @@ impl Drop for SfmAlloc {
             return;
         }
         if self.capacity >= POOL_MIN_SIZE {
-            let mut pool = pool().lock().expect("pool lock");
+            // A panic here during unwinding would abort the process, so
+            // recover from a poisoned pool lock instead of propagating:
+            // the pool is a plain freelist, valid under any interleaving
+            // of a panicked pusher.
+            let mut pool = match pool().lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
             let same_class = pool
                 .entries
                 .iter()
@@ -289,11 +296,15 @@ impl Drop for SfmAlloc {
                 return;
             }
         }
-        let layout = Layout::from_size_align(self.capacity, SFM_ALLOC_ALIGN)
-            .expect("layout was validated at construction");
-        // SAFETY: ptr was allocated with exactly this layout and is dropped
-        // exactly once (pooled entries return through the branch above).
-        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+        // The layout was validated at construction, so `Err` is
+        // unreachable; leaking on it anyway beats an unwrap here, where a
+        // panic during unwinding would abort.
+        if let Ok(layout) = Layout::from_size_align(self.capacity, SFM_ALLOC_ALIGN) {
+            // SAFETY: ptr was allocated with exactly this layout and is
+            // dropped exactly once (pooled entries return through the
+            // branch above).
+            unsafe { dealloc(self.ptr.as_ptr(), layout) };
+        }
     }
 }
 

@@ -130,8 +130,8 @@ impl SfmEndianSwap for SfmString {
         whole_len: usize,
         dir: SwapDirection,
     ) -> Result<(), SfmError> {
-        // SAFETY of the transmutes below: SfmString is repr(C) { u32, u32 }
-        // (asserted by a unit test); we reinterpret it as its two words.
+        // SAFETY: SfmString is repr(C) { u32, u32 } (asserted by a unit
+        // test); we reinterpret it as its two words.
         let words = unsafe { &mut *(self as *mut SfmString as *mut [u32; 2]) };
         let (stored, off) = {
             let (l, o) = words.split_at_mut(1);

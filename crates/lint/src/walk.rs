@@ -1,0 +1,50 @@
+//! Workspace traversal: find the production sources and lint them.
+
+use crate::rules::{lint_source, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The `.rs` files under `crates/*/src/`, recursively, sorted for stable
+/// output. Integration tests (`crates/*/tests/`), benches, examples, and
+/// the vendored `shims/` are deliberately out of scope.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates = root.join("crates");
+    let mut out = Vec::new();
+    for entry in fs::read_dir(&crates)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every production source under `root` (a workspace checkout).
+/// Paths in the returned findings are relative to `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in workspace_sources(root)? {
+        let source = fs::read_to_string(&path)?;
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        findings.extend(lint_source(&label, &source));
+    }
+    Ok(findings)
+}

@@ -1,0 +1,68 @@
+//! `rossf-model` CLI: run the explorer's self-test pair.
+//!
+//! `rossf-model --self-test` explores a correct CAS-head mini-ring (must
+//! pass exhaustively) and a deliberately racy load-then-store variant
+//! (must fail, twice, with identical schedules — proving detection is
+//! deterministic). Exit code 0 only if both expectations hold. The shm
+//! protocol scenarios themselves live in `crates/shm/tests/model.rs` and
+//! run under `RUSTFLAGS="--cfg rossf_model"`; this binary is the
+//! always-on smoke test that the explorer machinery works.
+
+use rossf_model::selftest;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: rossf-model --self-test");
+        println!("  explores a correct and a seeded-racy mini-ring;");
+        println!("  exits 0 iff the correct one passes and the racy one fails");
+        return;
+    }
+    if !args.iter().any(|a| a == "--self-test") {
+        eprintln!("rossf-model: expected --self-test (see --help)");
+        std::process::exit(2);
+    }
+
+    let ok = selftest::run_correct();
+    if let Some(f) = &ok.failure {
+        eprintln!("FAIL: correct ring reported a spurious failure\n{f}");
+        std::process::exit(1);
+    }
+    println!(
+        "correct ring: {} schedules explored, no failure",
+        ok.executions
+    );
+
+    let racy1 = selftest::run_racy();
+    let Some(f1) = &racy1.failure else {
+        eprintln!(
+            "FAIL: racy ring passed ({} schedules) — detector is blind",
+            racy1.executions
+        );
+        std::process::exit(1);
+    };
+    let racy2 = selftest::run_racy();
+    let Some(f2) = &racy2.failure else {
+        eprintln!("FAIL: racy ring failure did not reproduce on re-run");
+        std::process::exit(1);
+    };
+    if f1.schedule != f2.schedule {
+        eprintln!(
+            "FAIL: nondeterministic detection ({:?} vs {:?})",
+            f1.schedule, f2.schedule
+        );
+        std::process::exit(1);
+    }
+    let replayed = rossf_model::Model::new().replay(|| {}, &[]).is_none();
+    debug_assert!(replayed, "empty replay of empty scenario must pass");
+    println!(
+        "racy ring: caught deterministically after {} schedules",
+        racy1.executions
+    );
+    println!("failing schedule: {:?}", f1.schedule);
+    println!("trace tail:");
+    for e in f1.trace.iter().rev().take(8).rev() {
+        println!("  t{} {}", e.thread, e.op);
+    }
+    println!("self-test OK");
+}

@@ -1,0 +1,834 @@
+//! The deterministic scheduler and DFS schedule explorer.
+//!
+//! One *execution* runs the scenario closure with every shadow-atomic /
+//! futex / mutex operation serialized: exactly one controlled thread owns
+//! the baton at any moment, and each operation is a *yield point* where the
+//! scheduler decides which thread performs its next operation. The explorer
+//! ([`Model::explore`]) re-executes the scenario with different decision
+//! prefixes (stateless model checking, CHESS-style) until every schedule
+//! within the preemption bound has been covered, pruning decision points
+//! whose (thread positions × shadow memory × budget) state hash was already
+//! visited — a subtree explored once is never re-branched.
+//!
+//! A failing schedule (assertion panic, explicit [`fail`], deadlock with
+//! every live thread blocked — the lost-wakeup signature — or a step-budget
+//! livelock) aborts the remaining threads, and the resulting [`Failure`]
+//! carries the decision list plus the full operation trace;
+//! [`Model::replay`] re-runs that exact schedule deterministically.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+
+/// Thread id of the scenario's root thread (the one running the closure
+/// passed to [`Model::explore`]).
+pub const MAIN_THREAD: usize = 0;
+
+/// Sentinel panic payload used to unwind controlled threads when an
+/// execution aborts; never reported as a scenario failure.
+struct AbortToken;
+
+/// One recorded operation: which thread performed what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Controlled thread id (0 = the scenario root).
+    pub thread: usize,
+    /// Human-readable operation description.
+    pub op: String,
+}
+
+/// Why a thread cannot currently be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Blocked {
+    /// Runnable.
+    No,
+    /// Parked in a model futex wait on the keyed word.
+    Futex(usize),
+    /// Waiting for a model mutex to be released.
+    Mutex(usize),
+    /// Waiting for the target thread to finish.
+    Join(usize),
+}
+
+/// Per-thread baton gate: a sticky flag so a grant issued before the
+/// thread parks is not lost.
+struct Gate {
+    open: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: StdMutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn wait(&self) {
+        let mut g = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g = false;
+    }
+
+    fn grant(&self) {
+        *self.open.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_one();
+    }
+}
+
+struct ThreadCell {
+    gate: Arc<Gate>,
+    finished: bool,
+    blocked: Blocked,
+    /// Operations performed so far (part of the state hash).
+    steps: u64,
+}
+
+/// One branching decision point (two or more runnable threads).
+#[derive(Debug, Clone)]
+struct Decision {
+    enabled: Vec<usize>,
+    chosen: usize,
+    /// The thread that held the baton when the decision was made.
+    current: usize,
+    /// Preemptions consumed before this decision.
+    preemptions: usize,
+    /// Came from the replay prefix — alternatives were generated when it
+    /// was first recorded.
+    replayed: bool,
+    /// The state hash had been visited (or the budget excludes switches) —
+    /// do not branch here.
+    pruned: bool,
+}
+
+struct Inner {
+    threads: Vec<ThreadCell>,
+    current: usize,
+    prefix: Vec<usize>,
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    trace: Vec<Event>,
+    failure: Option<String>,
+    aborting: bool,
+    steps_total: u64,
+    max_steps: u64,
+    /// First-touch interning of shadow addresses, so state hashes are
+    /// comparable across executions with different mmap placements.
+    addr_ids: HashMap<usize, u64>,
+    /// Last value written per interned address.
+    mem: HashMap<u64, u64>,
+    /// Incremental xor-fold of `hash(addr_id, value)` over `mem`.
+    mem_hash: u64,
+}
+
+impl Inner {
+    fn addr_id(&mut self, addr: usize) -> u64 {
+        let next = self.addr_ids.len() as u64;
+        *self.addr_ids.entry(addr).or_insert(next)
+    }
+
+    fn note_write(&mut self, addr: usize, value: u64) {
+        let id = self.addr_id(addr);
+        if let Some(old) = self.mem.insert(id, value) {
+            self.mem_hash ^= mix(id, old);
+        }
+        self.mem_hash ^= mix(id, value);
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut h = self.mem_hash ^ mix(0x5eed, self.preemptions as u64);
+        for (i, t) in self.threads.iter().enumerate() {
+            let b = match t.blocked {
+                Blocked::No => 0,
+                Blocked::Futex(a) => 1 ^ (a as u64) << 2,
+                Blocked::Mutex(a) => 2 ^ (a as u64) << 2,
+                Blocked::Join(t) => 3 ^ (t as u64) << 2,
+            };
+            h ^= mix(i as u64 ^ t.steps << 8 ^ u64::from(t.finished) << 1, b);
+        }
+        h
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished && t.blocked == Blocked::No)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn unfinished(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn record_failure(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.aborting = true;
+    }
+
+    /// Wake every parked or blocked thread so it can unwind (abort path).
+    fn release_everyone(&mut self) {
+        for t in &mut self.threads {
+            t.blocked = Blocked::No;
+            t.gate.grant();
+        }
+    }
+}
+
+/// splitmix64-style mixer for state hashing.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(31));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The per-execution scheduler shared by every controlled thread.
+pub(crate) struct Sched {
+    inner: StdMutex<Inner>,
+    visited: Arc<StdMutex<HashSet<u64>>>,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Sched>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Sched>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(v: Option<(Arc<Sched>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+/// Whether the calling thread is controlled by an active exploration.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Count of panic-hook installations (installed once, forwards for
+/// non-model threads forever after).
+static HOOK: OnceLock<()> = OnceLock::new();
+
+fn install_quiet_hook() {
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            // Controlled threads panic constantly while exploring failing
+            // schedules (that is the mechanism); keep them quiet.
+            if !in_model() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn abort_unwind() -> ! {
+    panic::resume_unwind(Box::new(AbortToken))
+}
+
+impl Sched {
+    fn new(prefix: Vec<usize>, max_steps: u64, visited: Arc<StdMutex<HashSet<u64>>>) -> Arc<Sched> {
+        Arc::new(Sched {
+            inner: StdMutex::new(Inner {
+                threads: Vec::new(),
+                current: MAIN_THREAD,
+                prefix,
+                decisions: Vec::new(),
+                preemptions: 0,
+                trace: Vec::new(),
+                failure: None,
+                aborting: false,
+                steps_total: 0,
+                max_steps,
+                addr_ids: HashMap::new(),
+                mem: HashMap::new(),
+                mem_hash: 0,
+            }),
+            visited,
+            os_handles: StdMutex::new(Vec::new()),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut inner = self.lock();
+        inner.threads.push(ThreadCell {
+            gate: Gate::new(),
+            finished: false,
+            blocked: Blocked::No,
+            steps: 0,
+        });
+        inner.threads.len() - 1
+    }
+
+    /// Pick the next thread to run; `None` when the execution is complete
+    /// or aborting. Must be called with the lock held; grants the chosen
+    /// thread's gate if it is not `me`.
+    fn pick_and_grant(&self, inner: &mut Inner, me: usize) -> Option<usize> {
+        let enabled = inner.enabled();
+        if enabled.is_empty() {
+            let unfinished = inner.unfinished();
+            if unfinished.is_empty() {
+                return None; // clean completion
+            }
+            if !inner.aborting {
+                let stuck: Vec<String> = unfinished
+                    .iter()
+                    .map(|&i| format!("t{i}:{:?}", inner.threads[i].blocked))
+                    .collect();
+                inner.record_failure(format!(
+                    "deadlock (lost wakeup?): every live thread is blocked [{}]",
+                    stuck.join(", ")
+                ));
+            }
+            inner.release_everyone();
+            return None;
+        }
+        let pos = inner.decisions.len();
+        let replayed = pos < inner.prefix.len();
+        let chosen = if replayed {
+            let c = inner.prefix[pos];
+            if enabled.contains(&c) {
+                c
+            } else {
+                // A pruned/aborted ancestor changed the enabled set; fall
+                // back deterministically.
+                enabled[0]
+            }
+        } else if enabled.contains(&inner.current) {
+            inner.current
+        } else {
+            enabled[0]
+        };
+        if enabled.len() > 1 {
+            let hash = inner.state_hash();
+            let novel = self
+                .visited
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(hash);
+            inner.decisions.push(Decision {
+                enabled: enabled.clone(),
+                chosen,
+                current: inner.current,
+                preemptions: inner.preemptions,
+                replayed,
+                pruned: !novel,
+            });
+        }
+        if chosen != inner.current && enabled.contains(&inner.current) {
+            inner.preemptions += 1;
+        }
+        inner.current = chosen;
+        if chosen != me {
+            inner.threads[chosen].gate.grant();
+        }
+        Some(chosen)
+    }
+
+    /// A controlled thread is about to perform a visible operation: give
+    /// the scheduler a chance to run someone else first. Returns once the
+    /// caller owns the baton.
+    pub(crate) fn yield_op(self: &Arc<Self>, me: usize) {
+        let mut inner = self.lock();
+        if inner.aborting {
+            drop(inner);
+            if std::thread::panicking() {
+                return; // let the current unwind proceed
+            }
+            abort_unwind();
+        }
+        inner.steps_total += 1;
+        inner.threads[me].steps += 1;
+        if inner.steps_total > inner.max_steps {
+            let budget = inner.max_steps;
+            inner.record_failure(format!(
+                "step budget exceeded ({budget} ops): livelock or unbounded loop"
+            ));
+            inner.release_everyone();
+            drop(inner);
+            if std::thread::panicking() {
+                return;
+            }
+            abort_unwind();
+        }
+        let next = self.pick_and_grant(&mut inner, me);
+        match next {
+            Some(n) if n != me => {
+                let gate = Arc::clone(&inner.threads[me].gate);
+                drop(inner);
+                gate.wait();
+                let inner = self.lock();
+                if inner.aborting {
+                    drop(inner);
+                    if std::thread::panicking() {
+                        return;
+                    }
+                    abort_unwind();
+                }
+            }
+            Some(_) => {}
+            None => {
+                drop(inner);
+                if !std::thread::panicking() {
+                    abort_unwind();
+                }
+            }
+        }
+    }
+
+    /// Record a performed operation in the trace and (for writes) the
+    /// shadow memory used for state hashing.
+    pub(crate) fn note(self: &Arc<Self>, me: usize, addr: usize, write: Option<u64>, op: String) {
+        let mut inner = self.lock();
+        if inner.aborting {
+            return;
+        }
+        let id = inner.addr_id(addr);
+        if let Some(v) = write {
+            inner.note_write(addr, v);
+        }
+        inner.trace.push(Event {
+            thread: me,
+            op: format!("a{id} {op}"),
+        });
+    }
+
+    /// Block the calling thread until something unblocks it (futex wake,
+    /// mutex release, join target finishing) or the execution aborts.
+    fn block_on(self: &Arc<Self>, me: usize, why: Blocked) {
+        let mut inner = self.lock();
+        if inner.aborting {
+            drop(inner);
+            if std::thread::panicking() {
+                return;
+            }
+            abort_unwind();
+        }
+        inner.threads[me].blocked = why;
+        inner.trace.push(Event {
+            thread: me,
+            op: format!("block {why:?}"),
+        });
+        let next = self.pick_and_grant(&mut inner, me);
+        debug_assert_ne!(next, Some(me), "a blocked thread cannot be chosen");
+        let gate = Arc::clone(&inner.threads[me].gate);
+        drop(inner);
+        gate.wait();
+        let inner = self.lock();
+        if inner.aborting {
+            drop(inner);
+            if std::thread::panicking() {
+                return;
+            }
+            abort_unwind();
+        }
+    }
+
+    fn unblock_where(&self, inner: &mut Inner, pred: impl Fn(Blocked) -> bool) {
+        for t in &mut inner.threads {
+            if pred(t.blocked) {
+                t.blocked = Blocked::No;
+            }
+        }
+        // Freshly-runnable threads stay parked until a decision grants
+        // them — no gate touch here.
+    }
+
+    fn thread_finished(self: &Arc<Self>, me: usize) {
+        let mut inner = self.lock();
+        inner.threads[me].finished = true;
+        self.unblock_where(&mut inner, |b| b == Blocked::Join(me));
+        if !inner.aborting {
+            self.pick_and_grant(&mut inner, me);
+        }
+    }
+
+    fn record_panic(&self, me: usize, payload: Box<dyn std::any::Any + Send>) {
+        if payload.downcast_ref::<AbortToken>().is_some() {
+            return;
+        }
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_string());
+        let mut inner = self.lock();
+        inner.record_failure(format!("thread t{me} panicked: {msg}"));
+        inner.release_everyone();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public in-scenario API (used through `crate::sync` and directly by
+// scenarios for spawn/join).
+// ---------------------------------------------------------------------------
+
+/// Handle to a controlled thread spawned with [`spawn`]; join it with
+/// [`JoinHandle::join`] before asserting on shared state.
+pub struct JoinHandle {
+    id: usize,
+}
+
+impl JoinHandle {
+    /// Cooperatively wait until the thread's closure has finished. Unlike
+    /// `std::thread::JoinHandle::join`, child panics do not surface here —
+    /// they abort the whole execution and are reported by the explorer.
+    pub fn join(self) {
+        let Some((sched, me)) = ctx() else {
+            panic!("model JoinHandle joined outside an exploration");
+        };
+        sched.yield_op(me);
+        loop {
+            let finished = sched.lock().threads[self.id].finished;
+            if finished {
+                return;
+            }
+            sched.block_on(me, Blocked::Join(self.id));
+        }
+    }
+}
+
+/// Spawn a controlled thread inside a scenario. Must be called from a
+/// thread already controlled by the exploration (the scenario closure or
+/// another spawned thread).
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    let Some((sched, _me)) = ctx() else {
+        panic!("model spawn outside an exploration; use Model::explore");
+    };
+    let id = sched.register_thread();
+    let sched2 = Arc::clone(&sched);
+    let gate = Arc::clone(&sched.lock().threads[id].gate);
+    let os = std::thread::Builder::new()
+        .name(format!("rossf-model-t{id}"))
+        .spawn(move || {
+            set_ctx(Some((Arc::clone(&sched2), id)));
+            gate.wait();
+            let aborting = sched2.lock().aborting;
+            if !aborting {
+                if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                    sched2.record_panic(id, p);
+                }
+            }
+            sched2.thread_finished(id);
+            set_ctx(None);
+        })
+        .expect("spawn model thread");
+    sched
+        .os_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(os);
+    JoinHandle { id }
+}
+
+/// Explicitly fail the current execution with a protocol-violation
+/// message (alternative to `assert!` for non-panicking invariant checks).
+pub fn fail(msg: &str) -> ! {
+    panic!("model invariant violated: {msg}");
+}
+
+/// Hooks called by shadow sync primitives ([`crate::sync`]). All of them
+/// are no-ops when the calling thread is not controlled by an exploration.
+pub(crate) mod hooks {
+    use super::*;
+
+    /// Yield before a visible operation.
+    pub(crate) fn before_op() {
+        if let Some((s, me)) = ctx() {
+            s.yield_op(me);
+        }
+    }
+
+    /// Record a performed operation (`write` carries the stored value).
+    pub(crate) fn note(addr: usize, write: Option<u64>, op: impl FnOnce() -> String) {
+        if let Some((s, me)) = ctx() {
+            s.note(me, addr, write, op());
+        }
+    }
+
+    /// Model futex wait: block until a wake on `addr`, unless the word no
+    /// longer holds `expected`. Timeouts are modeled as *infinite* so a
+    /// missing wake shows up as a deadlock instead of being papered over.
+    pub(crate) fn futex_wait(addr: usize, current: impl Fn() -> u32, expected: u32) {
+        let Some((s, me)) = ctx() else { return };
+        s.yield_op(me);
+        if current() != expected {
+            s.note(me, addr, None, format!("futex_wait@{addr:#x} -> EAGAIN"));
+            return;
+        }
+        s.note(me, addr, None, "futex_wait sleeps".to_string());
+        s.block_on(me, Blocked::Futex(addr));
+        // Woken (or aborted): the caller re-checks its condition.
+    }
+
+    /// Model futex wake: unblock every thread parked on `addr`.
+    pub(crate) fn futex_wake(addr: usize) {
+        let Some((s, me)) = ctx() else { return };
+        s.yield_op(me);
+        let mut inner = s.lock();
+        if inner.aborting {
+            return;
+        }
+        s.unblock_where(&mut inner, |b| b == Blocked::Futex(addr));
+        inner.trace.push(Event {
+            thread: me,
+            op: format!("futex_wake@{addr:#x}"),
+        });
+    }
+
+    /// Model mutex lock: returns once `try_lock` should be attempted;
+    /// loops via [`lock_blocked`] on contention.
+    pub(crate) fn lock_attempt() {
+        before_op();
+    }
+
+    /// Model mutex contention: block until the holder releases.
+    pub(crate) fn lock_blocked(addr: usize) {
+        if let Some((s, me)) = ctx() {
+            s.block_on(me, Blocked::Mutex(addr));
+        }
+    }
+
+    /// Model mutex release: wake contenders.
+    pub(crate) fn lock_released(addr: usize) {
+        let Some((s, me)) = ctx() else { return };
+        s.yield_op(me);
+        let mut inner = s.lock();
+        if inner.aborting {
+            return;
+        }
+        s.unblock_where(&mut inner, |b| b == Blocked::Mutex(addr));
+        inner.trace.push(Event {
+            thread: me,
+            op: format!("unlock@{addr:#x}"),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer.
+// ---------------------------------------------------------------------------
+
+/// A failing schedule: the decision list that reproduces it plus the full
+/// operation trace of the failing execution.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (assertion message, deadlock report, …).
+    pub message: String,
+    /// Thread chosen at each branching decision point — feed to
+    /// [`Model::replay`] to reproduce deterministically.
+    pub schedule: Vec<usize>,
+    /// Every operation of the failing execution, in order.
+    pub trace: Vec<Event>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model failure: {}", self.message)?;
+        writeln!(f, "schedule (branch choices): {:?}", self.schedule)?;
+        writeln!(f, "trace ({} ops):", self.trace.len())?;
+        let skip = self.trace.len().saturating_sub(Model::TRACE_TAIL);
+        if skip > 0 {
+            writeln!(f, "  … {skip} earlier ops elided …")?;
+        }
+        for (i, e) in self.trace.iter().enumerate().skip(skip) {
+            writeln!(f, "  [{i:4}] t{} {}", e.thread, e.op)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Number of executions performed.
+    pub executions: u64,
+    /// The first failing schedule found, if any.
+    pub failure: Option<Failure>,
+    /// The execution cap was hit before the schedule space was exhausted.
+    pub capped: bool,
+}
+
+/// Configuration for one exploration of a scenario.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Maximum context switches away from a runnable thread per schedule
+    /// (CHESS-style bounded preemption). 2 catches most protocol bugs.
+    pub preemption_bound: usize,
+    /// Hard cap on executions (guards against state-space blowups).
+    pub max_executions: u64,
+    /// Hard cap on operations per execution (livelock guard).
+    pub max_steps: u64,
+}
+
+impl Default for Model {
+    fn default() -> Model {
+        Model {
+            preemption_bound: 2,
+            max_executions: 100_000,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+static EXPLORING: AtomicUsize = AtomicUsize::new(0);
+
+impl Model {
+    const TRACE_TAIL: usize = 120;
+
+    /// Default configuration (preemption bound 2).
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Set the preemption bound.
+    pub fn preemptions(mut self, n: usize) -> Model {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// Set the execution cap.
+    pub fn max_executions(mut self, n: u64) -> Model {
+        self.max_executions = n;
+        self
+    }
+
+    fn run_once(
+        scenario: &(impl Fn() + panic::RefUnwindSafe),
+        prefix: Vec<usize>,
+        max_steps: u64,
+        visited: &Arc<StdMutex<HashSet<u64>>>,
+    ) -> (Option<Failure>, Vec<Decision>) {
+        let sched = Sched::new(prefix, max_steps, Arc::clone(visited));
+        let id = sched.register_thread();
+        debug_assert_eq!(id, MAIN_THREAD);
+        set_ctx(Some((Arc::clone(&sched), MAIN_THREAD)));
+        let result = panic::catch_unwind(AssertUnwindSafe(scenario));
+        if let Err(p) = result {
+            sched.record_panic(MAIN_THREAD, p);
+        }
+        sched.thread_finished(MAIN_THREAD);
+        set_ctx(None);
+        // Drive any threads the scenario left running to completion (they
+        // schedule among themselves; a total block trips the deadlock
+        // path and aborts them).
+        let handles =
+            std::mem::take(&mut *sched.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        let inner = sched.lock();
+        let failure = inner.failure.as_ref().map(|message| Failure {
+            message: message.clone(),
+            schedule: inner.decisions.iter().map(|d| d.chosen).collect(),
+            trace: inner.trace.clone(),
+        });
+        (failure, inner.decisions.clone())
+    }
+
+    /// Exhaustively explore the scenario's schedules within the preemption
+    /// bound. Returns the first failure found, or a clean [`Outcome`].
+    ///
+    /// # Panics
+    ///
+    /// If called re-entrantly from inside another exploration.
+    pub fn explore(&self, scenario: impl Fn() + panic::RefUnwindSafe) -> Outcome {
+        install_quiet_hook();
+        // ORDER: the re-entrancy guard must observe a total count across
+        // every exploring thread; this is a cold, once-per-exploration op.
+        assert!(
+            EXPLORING.fetch_add(1, StdOrdering::SeqCst) == 0 || !in_model(),
+            "nested Model::explore inside a controlled thread"
+        );
+        let visited: Arc<StdMutex<HashSet<u64>>> = Arc::new(StdMutex::new(HashSet::new()));
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut executions = 0u64;
+        let mut outcome = Outcome {
+            executions: 0,
+            failure: None,
+            capped: false,
+        };
+        while let Some(prefix) = stack.pop() {
+            if executions >= self.max_executions {
+                outcome.capped = true;
+                break;
+            }
+            executions += 1;
+            let (failure, decisions) = Model::run_once(&scenario, prefix, self.max_steps, &visited);
+            if failure.is_some() {
+                outcome.failure = failure;
+                break;
+            }
+            for (i, d) in decisions.iter().enumerate() {
+                if d.replayed || d.pruned {
+                    continue;
+                }
+                let current_enabled = d.enabled.contains(&d.current);
+                for &alt in &d.enabled {
+                    if alt == d.chosen {
+                        continue;
+                    }
+                    let costs_preemption = current_enabled && alt != d.current;
+                    if costs_preemption && d.preemptions >= self.preemption_bound {
+                        continue;
+                    }
+                    let mut p: Vec<usize> = decisions[..i].iter().map(|dd| dd.chosen).collect();
+                    p.push(alt);
+                    stack.push(p);
+                }
+            }
+        }
+        // ORDER: pairs with the guard's fetch_add above.
+        EXPLORING.fetch_sub(1, StdOrdering::SeqCst);
+        outcome.executions = executions;
+        outcome
+    }
+
+    /// Assert the scenario has no failing schedule; panics with the full
+    /// failure report (message, schedule, trace) otherwise.
+    pub fn check(&self, scenario: impl Fn() + panic::RefUnwindSafe) {
+        let out = self.explore(scenario);
+        if let Some(f) = out.failure {
+            panic!("{f}");
+        }
+        assert!(
+            !out.capped,
+            "exploration hit the execution cap ({}) before exhausting schedules",
+            self.max_executions
+        );
+    }
+
+    /// Re-run one exact schedule (from [`Failure::schedule`]); returns the
+    /// failure it reproduces, if it still fails.
+    pub fn replay(
+        &self,
+        scenario: impl Fn() + panic::RefUnwindSafe,
+        schedule: &[usize],
+    ) -> Option<Failure> {
+        install_quiet_hook();
+        let visited = Arc::new(StdMutex::new(HashSet::new()));
+        let (failure, _) = Model::run_once(&scenario, schedule.to_vec(), self.max_steps, &visited);
+        failure
+    }
+}

@@ -1,0 +1,150 @@
+//! Integration tests for the explorer itself: the correct mini-ring must
+//! pass exhaustively, the seeded-racy variant must fail deterministically
+//! and its failing schedule must replay.
+
+use rossf_model::{selftest, spawn, sync::AtomicU64, Model};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+#[test]
+fn correct_ring_passes_exhaustively() {
+    let out = selftest::run_correct();
+    assert!(
+        out.failure.is_none(),
+        "spurious failure: {}",
+        out.failure.unwrap()
+    );
+    assert!(!out.capped, "exploration capped before exhaustion");
+    assert!(out.executions > 1, "no interleavings were explored");
+}
+
+#[test]
+fn racy_ring_is_caught_deterministically() {
+    let a = selftest::run_racy();
+    let fa = a.failure.expect("racy ring must fail");
+    let b = selftest::run_racy();
+    let fb = b.failure.expect("racy ring must fail on re-run");
+    assert_eq!(a.executions, b.executions, "nondeterministic exploration");
+    assert_eq!(fa.schedule, fb.schedule, "nondeterministic schedule");
+    assert!(
+        fa.message.contains("lost or delivered twice"),
+        "unexpected failure mode: {}",
+        fa.message
+    );
+    assert!(!fa.trace.is_empty(), "failure carries no trace");
+}
+
+#[test]
+fn failing_schedule_replays() {
+    let out = selftest::run_racy();
+    let f = out.failure.expect("racy ring must fail");
+    let again = Model::new()
+        .replay(
+            || {
+                // Same racy scenario, same schedule → same failure.
+                let _ = &f;
+            },
+            &f.schedule,
+        )
+        .is_none();
+    // The trivial closure above has no ops, so replay finds nothing;
+    // replay the real scenario through the public self-test surface:
+    assert!(again);
+    let replayed = selftest::replay_racy(&f.schedule);
+    let rf = replayed.expect("replay must reproduce the failure");
+    assert_eq!(rf.schedule, f.schedule);
+    assert_eq!(rf.message, f.message);
+}
+
+#[test]
+fn lost_wakeup_is_reported_as_deadlock() {
+    use rossf_model::sync::{futex_wait, futex_wake, AtomicU32};
+    // Classic unsynchronized sleep/wake: the waiter checks the flag, the
+    // waker sets it and wakes *before* the waiter parks — under some
+    // schedule the wake lands between check and park and is lost. With
+    // futex semantics (value re-check under the scheduler baton) the
+    // only failing shape is waker-finishes-first AND flag-check stale,
+    // which futex_wait's EAGAIN path rescues — so a *correct* futex loop
+    // must pass:
+    let out = Model::new().explore(|| {
+        let flag = Arc::new(AtomicU32::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = spawn(move || {
+            f2.store(1, Ordering::Release);
+            futex_wake(&f2);
+        });
+        while flag.load(Ordering::Acquire) == 0 {
+            futex_wait(&flag, 0, 100);
+        }
+        t.join();
+    });
+    assert!(
+        out.failure.is_none(),
+        "correct futex loop failed: {}",
+        out.failure.unwrap()
+    );
+
+    // And a *broken* wait that parks without re-checking the value must
+    // deadlock under the schedule where the wake precedes the park:
+    let out = Model::new().explore(|| {
+        let flag = Arc::new(AtomicU32::new(0));
+        let parked = Arc::new(AtomicU32::new(0));
+        let f2 = Arc::clone(&flag);
+        let p2 = Arc::clone(&parked);
+        let t = spawn(move || {
+            f2.store(1, Ordering::Release);
+            // Broken waker: only wakes if someone is already parked,
+            // losing the wake when it runs first.
+            if p2.load(Ordering::Acquire) == 1 {
+                futex_wake(&f2);
+            }
+        });
+        if flag.load(Ordering::Acquire) == 0 {
+            parked.store(1, Ordering::Release);
+            // Broken wait: expected value re-read is bypassed by passing
+            // the stale expectation unconditionally — models a sleep
+            // that doesn't participate in the futex value protocol.
+            futex_wait(&flag, flag.load(Ordering::Acquire), 100);
+            assert_eq!(flag.load(Ordering::Acquire), 1);
+        }
+        t.join();
+    });
+    let f = out.failure.expect("lost wakeup must be caught");
+    assert!(
+        f.message.contains("deadlock"),
+        "expected deadlock report, got: {}",
+        f.message
+    );
+}
+
+#[test]
+fn mutex_is_exclusive_under_exploration() {
+    use rossf_model::sync::Mutex;
+    let out = Model::new().explore(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let c = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let c = Arc::clone(&c);
+                spawn(move || {
+                    let mut g = m.lock();
+                    // Non-atomic read-modify-write under the lock: only
+                    // mutual exclusion keeps it correct.
+                    let v = *g;
+                    c.fetch_add(1, Ordering::Relaxed); // forces a yield point mid-section
+                    *g = v + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*m.lock(), 2, "mutex failed to exclude");
+    });
+    assert!(
+        out.failure.is_none(),
+        "mutex exclusion violated: {}",
+        out.failure.unwrap()
+    );
+}

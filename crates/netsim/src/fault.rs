@@ -78,7 +78,10 @@ impl FaultInjector {
     /// Cut the link immediately: in-flight and future frames fail and new
     /// connections are refused until [`FaultInjector::heal`].
     pub fn sever_now(&self) {
-        if !self.severed.swap(true, Ordering::SeqCst) {
+        // Relaxed: `severed` is a standalone flag — no data is published
+        // through it (rules live under their own lock), and the swap alone
+        // guarantees the sever is counted exactly once.
+        if !self.severed.swap(true, Ordering::Relaxed) {
             self.severs.fetch_add(1, Ordering::Relaxed);
             self.trace_fault("sever", 0);
         }
@@ -87,12 +90,14 @@ impl FaultInjector {
     /// Restore a severed link. Scheduled rules for not-yet-reached frame
     /// indices remain in force.
     pub fn heal(&self) {
-        self.severed.store(false, Ordering::SeqCst);
+        // Relaxed: see `sever_now` — the flag is self-contained.
+        self.severed.store(false, Ordering::Relaxed);
     }
 
     /// `true` while the link is cut.
     pub fn is_severed(&self) -> bool {
-        self.severed.load(Ordering::SeqCst)
+        // Relaxed: see `sever_now` — the flag is self-contained.
+        self.severed.load(Ordering::Relaxed)
     }
 
     /// Consume the next frame index and return the action for it.
@@ -104,7 +109,9 @@ impl FaultInjector {
         if self.is_severed() {
             return FaultAction::Sever;
         }
-        let index = self.next_frame.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: the fetch_add's atomicity alone guarantees unique
+        // frame indices; the rules map is read under its own lock.
+        let index = self.next_frame.fetch_add(1, Ordering::Relaxed);
         let action = self
             .rules
             .lock()
@@ -171,7 +178,8 @@ impl FaultInjector {
 
     /// Frame indices consumed so far (frames that reached the link).
     pub fn frames_seen(&self) -> u64 {
-        self.next_frame.load(Ordering::SeqCst)
+        // Relaxed: monotonic counter read for diagnostics only.
+        self.next_frame.load(Ordering::Relaxed)
     }
 }
 

@@ -113,7 +113,10 @@ impl PubCore {
                 Err(_) => break,
             };
             let Some(strong) = core.upgrade() else { break };
-            if strong.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: `shutdown` is a standalone exit flag — no data is
+            // published through it, and a late observation only delays
+            // this accept loop's exit by one connection.
+            if strong.shutdown.load(Ordering::Relaxed) {
                 break;
             }
             // Handshake on its own thread so a slow subscriber cannot
@@ -305,7 +308,9 @@ impl PubCore {
                 break;
             }
         }
-        alive.store(false, Ordering::SeqCst);
+        // Relaxed: `alive` is a standalone liveness flag; the pruner that
+        // reads it takes the sink lock, which orders the removal.
+        alive.store(false, Ordering::Relaxed);
         metrics.disconnects.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -467,7 +472,8 @@ impl PubCore {
         link.close();
         link.drain(); // unconsumed descriptors → their segments recycle
         link.reconcile_abandoned();
-        alive.store(false, Ordering::SeqCst);
+        // Relaxed: see the TCP writer above — pruning is lock-ordered.
+        alive.store(false, Ordering::Relaxed);
         metrics.disconnects.fetch_add(1, Ordering::Relaxed);
         // A subscriber that *crashed* still holding popped frames would pin
         // their segments forever: the EOF above usually arrives while the
@@ -556,7 +562,8 @@ impl PubCore {
 
 impl LocalAttach for PubCore {
     fn attach_local(&self, header: &ConnectionHeader) -> Result<LocalSinkHandle, RosError> {
-        if self.shutdown.load(Ordering::SeqCst) {
+        // Relaxed: standalone exit flag (see the accept loop).
+        if self.shutdown.load(Ordering::Relaxed) {
             return Err(RosError::Io(std::io::Error::new(
                 std::io::ErrorKind::ConnectionRefused,
                 "publisher shutting down",
@@ -618,9 +625,14 @@ impl LocalAttach for PubCore {
 
 impl Drop for PubCore {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // Relaxed: standalone exit flag; worker threads only ever exit
+        // on observing it, so no write ordering is required.
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Relaxed: `registration` was stored before this core was shared
+        // (`Arc::downgrade` in `advertise`), and Arc's refcount already
+        // orders construction before Drop.
         self.master
-            .unregister_publisher(&self.topic, self.registration.load(Ordering::SeqCst));
+            .unregister_publisher(&self.topic, self.registration.load(Ordering::Relaxed));
         // Close all transmission queues so writer threads exit.
         self.conns.lock().clear();
         // Wake the accept loop so it observes the shutdown flag.
@@ -697,7 +709,8 @@ impl<M: Encode> Publisher<M> {
         } else {
             master.register_publisher(topic, M::topic_type(), addr, machine)?
         };
-        core.registration.store(registration, Ordering::SeqCst);
+        // Relaxed: see the Drop-side load — Arc orders this store.
+        core.registration.store(registration, Ordering::Relaxed);
         let weak = Arc::downgrade(&core);
         std::thread::spawn(move || PubCore::accept_loop(weak, listener));
         Ok(Publisher {

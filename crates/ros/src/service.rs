@@ -90,7 +90,8 @@ struct ServerCore {
 
 impl Drop for ServerCore {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // Relaxed: standalone exit flag for the accept/serve loops.
+        self.shutdown.store(true, Ordering::Relaxed);
         self.master
             .services()
             .unregister(&self.name, self.registration);
@@ -152,7 +153,8 @@ impl ServiceServer {
                 break;
             };
             let Some(core) = weak.upgrade() else { break };
-            if core.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: standalone exit flag (see ServerCore::drop).
+            if core.shutdown.load(Ordering::Relaxed) {
                 break;
             }
             let handler = Arc::clone(&handler);
@@ -165,6 +167,8 @@ impl ServiceServer {
 
     /// Requests served so far.
     pub fn calls(&self) -> u64 {
+        // ORDER: pairs with the SeqCst fetch_add in `serve_connection` —
+        // a caller that has received a response must observe its count.
         self.core.calls.load(Ordering::SeqCst)
     }
 
@@ -232,8 +236,12 @@ where
         // client observes the response.
         match weak.upgrade() {
             Some(core) => {
+                // ORDER: the count must be globally visible before the
+                // reply bytes hit the wire so `calls()` read after a
+                // response is never behind it.
                 core.calls.fetch_add(1, Ordering::SeqCst);
-                if core.shutdown.load(Ordering::SeqCst) {
+                // Relaxed: standalone exit flag (see ServerCore::drop).
+                if core.shutdown.load(Ordering::Relaxed) {
                     return Ok(());
                 }
             }

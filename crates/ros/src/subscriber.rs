@@ -84,7 +84,9 @@ impl<D: Decode> SubCore<D> {
         // and the publisher serves plain TCP instead.
         let mut shm_blocked = false;
         loop {
-            if self.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: standalone exit flag, polled — a stale read
+            // only costs one extra loop iteration.
+            if self.shutdown.load(Ordering::Relaxed) {
                 return;
             }
             let mut handshaken = false;
@@ -135,7 +137,9 @@ impl<D: Decode> SubCore<D> {
                 }
                 self.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
             }
-            if self.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: standalone exit flag, polled — a stale read
+            // only costs one extra loop iteration.
+            if self.shutdown.load(Ordering::Relaxed) {
                 return;
             }
             match result {
@@ -181,7 +185,9 @@ impl<D: Decode> SubCore<D> {
     fn sleep_unless_shutdown(&self, total: Duration) -> bool {
         let deadline = Instant::now() + total;
         loop {
-            if self.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: standalone exit flag, polled — a stale read
+            // only costs one extra loop iteration.
+            if self.shutdown.load(Ordering::Relaxed) {
                 return false;
             }
             let now = Instant::now();
@@ -249,7 +255,9 @@ impl<D: Decode> SubCore<D> {
 
         let trace = self.trace.as_deref();
         loop {
-            if self.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: standalone exit flag, polled — a stale read
+            // only costs one extra loop iteration.
+            if self.shutdown.load(Ordering::Relaxed) {
                 break;
             }
             // Short timeout so shutdown is observed promptly; there is no
@@ -358,7 +366,9 @@ impl<D: Decode> SubCore<D> {
         let key = self.next_stream_key.fetch_add(1, Ordering::Relaxed);
         {
             let mut streams = self.streams.lock();
-            if self.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: re-checked under the streams lock, which orders
+            // this insert against Drop's drain of the map.
+            if self.shutdown.load(Ordering::Relaxed) {
                 return Ok(());
             }
             streams.insert(key, stream.try_clone()?);
@@ -451,7 +461,9 @@ impl<D: Decode> SubCore<D> {
         let mut wire_seq: u64 = 0;
 
         loop {
-            if self.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: standalone exit flag, polled — a stale read
+            // only costs one extra loop iteration.
+            if self.shutdown.load(Ordering::Relaxed) {
                 break;
             }
             let Some(len) = read_frame_len(&mut reader)? else {
@@ -636,7 +648,9 @@ impl<D: Decode> SubCore<D> {
         let mut probe_stream = stream;
         let mut probe = [0u8; 1];
         loop {
-            if self.shutdown.load(Ordering::SeqCst) {
+            // Relaxed: standalone exit flag, polled — a stale read
+            // only costs one extra loop iteration.
+            if self.shutdown.load(Ordering::Relaxed) {
                 break;
             }
             let frame = match shm.take(Duration::from_millis(20)) {
@@ -789,7 +803,9 @@ impl<D: Decode> Subscriber<D> {
         let c = Arc::clone(&core);
         std::thread::spawn(move || {
             for ep in watcher.iter() {
-                if c.shutdown.load(Ordering::SeqCst) {
+                // Relaxed: standalone exit flag, polled — a stale read
+                // only costs one extra loop iteration.
+                if c.shutdown.load(Ordering::Relaxed) {
                     break;
                 }
                 let cc = Arc::clone(&c);
@@ -869,7 +885,10 @@ impl<D: Decode> Subscriber<D> {
 
 impl<D: Decode> Drop for Subscriber<D> {
     fn drop(&mut self) {
-        self.core.shutdown.store(true, Ordering::SeqCst);
+        // Relaxed: standalone exit flag — every reader either polls it in
+        // a loop or re-checks it under the streams lock, which provides
+        // the ordering for the map cleanup below.
+        self.core.shutdown.store(true, Ordering::Relaxed);
         self.core
             .master
             .unregister_subscriber(&self.core.topic, self.core.registration);

@@ -182,6 +182,11 @@ fn stats_scenario(config: TransportConfig, n: u64) -> rossf_ros::MetricsSnapshot
         publisher.publish(&msg(seq as u32));
     }
     wait_until("all frames delivered", || seen.load(Ordering::SeqCst) == n);
+    // Delivery can outrun the send-side counter bump on the threaded
+    // tiers; wait for the accounting to land before asserting on it.
+    wait_until("send-side accounting settled", || {
+        sub.stats().transport.frames_sent == n
+    });
 
     let ps = publisher.stats();
     assert_eq!(ps.published, publisher.published());

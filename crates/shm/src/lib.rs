@@ -41,6 +41,7 @@ mod reader;
 mod ring;
 mod seg;
 mod shared;
+pub mod sync;
 pub mod sys;
 
 pub use link::{FrameMeta, PreparedFrame, PushOutcome, ShmLink};

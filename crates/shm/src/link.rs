@@ -266,9 +266,11 @@ impl ShmLink {
         }
     }
 
-    /// The link's control segment (reader-side protocol tests).
-    #[cfg(test)]
-    pub(crate) fn ctrl(&self) -> &ControlSegment {
+    /// The link's control segment — exposed only to protocol tests (unit
+    /// tests and the model-checked build's scenarios).
+    #[cfg(any(test, rossf_model))]
+    #[doc(hidden)]
+    pub fn ctrl(&self) -> &ControlSegment {
         &self.ctrl
     }
 }

@@ -3,13 +3,12 @@
 
 use crate::ring::{ControlSegment, Descriptor};
 use crate::seg::{SEG_HEADER, SEG_MAGIC};
+use crate::sync::{AtomicU64, Mutex, Ordering};
 use crate::sys;
-use parking_lot::Mutex;
 use rossf_sfm::SfmAlloc;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -74,6 +73,9 @@ impl SegmentMap {
             hdr,
             payload_cap: total - SEG_HEADER,
         };
+        // SAFETY: `ro` is a page-aligned mapping of at least SEG_HEADER
+        // bytes (checked above), so the u64 header words at offsets 0 and
+        // 32 are in bounds and naturally aligned.
         let magic = unsafe { (map.ro as *const u64).read() };
         let cap = unsafe { (map.ro.add(32) as *const u64).read() } as usize;
         if magic != SEG_MAGIC || cap != map.payload_cap {

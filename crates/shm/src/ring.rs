@@ -23,11 +23,11 @@
 //! core, where polling would invert every latency result.
 
 use crate::seg::DIR_CAP;
+use crate::sync::{self, AtomicU32, AtomicU64, Ordering};
 use crate::sys;
 use std::fs::File;
 use std::io;
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Magic value stamped at offset 0 of every control segment ("ROSSFCTL").
@@ -129,6 +129,9 @@ impl ControlSegment {
             ring_cap,
             dir_cap,
         };
+        // SAFETY: `ptr` maps `total >= HDR` zeroed bytes we exclusively
+        // own until the magic is published; the header offsets are all
+        // u64-aligned and within HDR.
         unsafe {
             (ctl.ptr.add(OFF_EPOCH) as *mut u64).write(epoch);
             (ctl.ptr.add(OFF_RING_CAP) as *mut u64).write(ring_cap);
@@ -139,6 +142,7 @@ impl ControlSegment {
             ctl.slot_word(i, SLOT_SEQ).store(i, Ordering::Relaxed);
         }
         // Magic last: a reader that validates it sees a complete layout.
+        // SAFETY: same mapping as above; OFF_MAGIC is aligned and in HDR.
         unsafe { (ctl.ptr.add(OFF_MAGIC) as *mut u64).write(CTL_MAGIC) };
         rossf_sfm::mm().note_segment_map(ctl.ptr as usize, total);
         Ok(ctl)
@@ -158,6 +162,8 @@ impl ControlSegment {
         }
         // Peek at the header through a minimal mapping to learn the layout.
         let peek = sys::mmap_shared(&file, HDR, false)?;
+        // SAFETY: `peek` maps exactly HDR bytes (file length checked
+        // above); the three header words are u64-aligned and in bounds.
         let (magic, ring_cap, dir_cap) = unsafe {
             (
                 (peek.add(OFF_MAGIC) as *const u64).read(),
@@ -165,6 +171,8 @@ impl ControlSegment {
                 (peek.add(OFF_DIR_CAP) as *const u64).read(),
             )
         };
+        // SAFETY: unmapping the exact mapping created two lines up; no
+        // references into it survive.
         unsafe { sys::munmap(peek, HDR) };
         if magic != CTL_MAGIC {
             return Err(bad("control segment magic mismatch"));
@@ -350,7 +358,7 @@ impl ControlSegment {
             .store(t + 1, Ordering::Release);
         self.word(OFF_TAIL).store(t + 1, Ordering::Release);
         self.signal().fetch_add(1, Ordering::Release);
-        sys::futex_wake(self.signal());
+        sync::futex_wake(self.signal());
         true
     }
 
@@ -401,14 +409,14 @@ impl ControlSegment {
         if self.pending() > 0 || self.is_closed() {
             return;
         }
-        sys::futex_wait(self.signal(), s, timeout);
+        sync::futex_wait(self.signal(), s, timeout);
     }
 
     /// Mark the link closed (graceful teardown) and wake all waiters.
     pub fn close(&self) {
         self.word(OFF_CLOSED).store(1, Ordering::Release);
         self.signal().fetch_add(1, Ordering::Release);
-        sys::futex_wake(self.signal());
+        sync::futex_wake(self.signal());
     }
 
     /// Whether [`ControlSegment::close`] has been called by either side.

@@ -21,13 +21,12 @@
 //! index), so capacity is sized up-front per segment and the pool grows by
 //! appending new indices.
 
+use crate::sync::{AtomicU64, Mutex, Ordering};
 use crate::sys;
-use parking_lot::Mutex;
 use rossf_sfm::mm;
 use std::fs::File;
 use std::io;
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Magic value stamped at offset 0 of every data segment ("ROSSFSEG").
@@ -80,6 +79,8 @@ impl Segment {
         };
         // The mapping starts zeroed; publish capacity + magic last so a
         // reader that validates magic sees a complete header.
+        // SAFETY: `ptr` maps `total >= SEG_HEADER` bytes we exclusively
+        // own pre-publication; both offsets are u64-aligned and in bounds.
         unsafe {
             (seg.ptr.add(OFF_CAP) as *mut u64).write(seg.payload_cap as u64);
             (seg.ptr.add(OFF_MAGIC) as *mut u64).write(SEG_MAGIC);

@@ -21,7 +21,7 @@
 //!   done (loaned publication).
 
 use crate::seg::{Segment, SegmentPool};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 struct SharedInner {

@@ -168,6 +168,11 @@ mod imp {
 
     /// Raw 6-argument syscall. Return value is the kernel's `rax`:
     /// negative values in `-4095..0` encode `-errno`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass arguments valid for syscall `nr` — pointers
+    /// must reference live memory of the size the kernel will access.
     unsafe fn syscall6(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
         let ret: i64;
         core::arch::asm!(
@@ -200,6 +205,8 @@ mod imp {
         let mut buf = [0u8; 64];
         let n = name.len().min(buf.len() - 1);
         buf[..n].copy_from_slice(&name.as_bytes()[..n]);
+        // SAFETY: `buf` is a live, NUL-terminated 64-byte array; the
+        // remaining arguments are plain flags.
         let fd = check(unsafe {
             syscall6(
                 SYS_MEMFD_CREATE,
@@ -221,6 +228,8 @@ mod imp {
         } else {
             PROT_READ
         };
+        // SAFETY: address 0 lets the kernel pick the range; `file` is a
+        // live descriptor for the duration of the call.
         let ret = check(unsafe {
             syscall6(
                 SYS_MMAP,
@@ -238,6 +247,8 @@ mod imp {
     pub fn munmap(ptr: *mut u8, len: usize) {
         // Failure here means the arguments were corrupted; nothing useful
         // to do at drop time, so swallow it.
+        // SAFETY: callers pass the exact (ptr, len) a successful
+        // mmap_shared returned, with no live references into the range.
         let _ = check(unsafe { syscall6(SYS_MUNMAP, ptr as i64, len as i64, 0, 0, 0, 0) });
     }
 
@@ -248,6 +259,8 @@ mod imp {
         };
         // EAGAIN (word changed first), EINTR, and ETIMEDOUT are all normal;
         // the caller re-checks its condition either way.
+        // SAFETY: `addr` borrows a live atomic (4-aligned as the kernel
+        // requires) and `ts` lives across the call.
         let _ = unsafe {
             syscall6(
                 SYS_FUTEX,
@@ -262,6 +275,8 @@ mod imp {
     }
 
     pub fn futex_wake(addr: &AtomicU32) {
+        // SAFETY: `addr` borrows a live atomic; FUTEX_WAKE dereferences
+        // nothing else.
         let _ = unsafe {
             syscall6(
                 SYS_FUTEX,

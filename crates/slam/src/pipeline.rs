@@ -151,7 +151,8 @@ pub struct OrbSlamNode<S: rossf_ros::Decode> {
 impl<S: rossf_ros::Decode> OrbSlamNode<S> {
     /// Frames processed so far.
     pub fn frames_processed(&self) -> u64 {
-        self.frames.load(Ordering::SeqCst)
+        // Relaxed: monotonic progress counter; readers only poll it.
+        self.frames.load(Ordering::Relaxed)
     }
 }
 
@@ -178,7 +179,9 @@ pub fn spawn_plain(
             .map(|p| ((p[0] as u16 + p[1] as u16 + p[2] as u16) / 3) as u8)
             .collect();
         let analysis = engine.lock().expect("engine lock").analyze(&gray);
-        let seq = frames_cb.fetch_add(1, Ordering::SeqCst) as u32;
+        // Relaxed: atomicity alone gives unique, dense sequence numbers;
+        // the engine lock above already serializes the callback bodies.
+        let seq = frames_cb.fetch_add(1, Ordering::Relaxed) as u32;
         let stamp = msg.header.stamp;
 
         pose_pub.publish(&pose_msg(seq, stamp, analysis.pose));
@@ -227,7 +230,8 @@ pub fn spawn_sfm(
             .map(|p| ((p[0] as u16 + p[1] as u16 + p[2] as u16) / 3) as u8)
             .collect();
         let analysis = engine.lock().expect("engine lock").analyze(&gray);
-        let seq = frames_cb.fetch_add(1, Ordering::SeqCst) as u32;
+        // Relaxed: same reasoning as the ordinary-message node above.
+        let seq = frames_cb.fetch_add(1, Ordering::Relaxed) as u32;
         let stamp = msg.header.stamp;
 
         // Pose (fixed-size: identical code either way).

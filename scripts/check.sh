@@ -25,7 +25,9 @@ echo "==> options/stats suite (defaults, overrides, all four tiers)"
 cargo test -q -p rossf-ros --test options
 
 echo "==> fast-path smoke (same-machine zero-copy vs forced TCP)"
-cargo run -q --release -p rossf-bench --bin link_sweep -- --iters 40 --fastpath-smoke
+# 150 iters: with 40, the smoke's p99 is effectively the sample max and
+# flaps past the trajectory gate's +10% band on an idle machine.
+cargo run -q --release -p rossf-bench --bin link_sweep -- --iters 150 --fastpath-smoke
 
 echo "==> sfm_trace --self-test"
 cargo run -q --release -p rossf-bench --bin sfm_trace -- --self-test
@@ -42,8 +44,18 @@ cargo run -q --release -p rossf-bench --bin loan_gate -- --iters 60
 echo "==> bench summary + trajectory regression gate (p50/p99 <= +10% vs previous)"
 cargo run -q --release -p rossf-bench --bin bench_summary -- --gate
 
-echo "==> cargo doc -p rossf-trace (warning-clean)"
-RUSTDOCFLAGS="-D warnings" cargo doc -q -p rossf-trace --no-deps
+echo "==> rossf-lint (unsafe/SeqCst annotations, syscall confinement, Drop hygiene)"
+cargo run -q --release -p rossf-lint --bin rossf-lint -- .
+
+echo "==> rossf-model --self-test (explorer catches the seeded racy ring, deterministically)"
+cargo run -q --release -p rossf-model --bin rossf-model -- --self-test
+
+echo "==> model-checked shm interleaving suite (ring, two-phase publish, refcounts, epochs)"
+RUSTFLAGS="--cfg rossf_model" CARGO_TARGET_DIR=target/model \
+    cargo test -q -p rossf-shm --test model
+
+echo "==> cargo doc -p rossf-trace -p rossf-model -p rossf-lint (warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q -p rossf-trace -p rossf-model -p rossf-lint --no-deps
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
