@@ -21,7 +21,8 @@
 //! ```
 
 use rossf_bench::report::{
-    gate_regressions, load_previous_trajectory, load_trajectory_runs, write_trajectory,
+    gate_regressions, load_previous_trajectory, load_trajectory_runs, parse_scenario_rows,
+    write_trajectory,
 };
 use std::process::ExitCode;
 
@@ -69,6 +70,31 @@ fn main() -> ExitCode {
             "{:<24} {:>10} {:<22} {:<10}",
             run.fig, run.scenario_count, run.timestamp_utc, run.profile
         );
+    }
+
+    // Rows carrying process counts (the soak report) get their own table:
+    // the threads column is the O(1)-threads claim made visible — it must
+    // not move with the link count in the scenario label.
+    for run in &runs {
+        let rows = parse_scenario_rows(&run.scenario_rows);
+        let counted: Vec<_> = rows
+            .iter()
+            .filter(|r| r.threads.is_some() || r.fds.is_some())
+            .collect();
+        if counted.is_empty() {
+            continue;
+        }
+        println!("\nprocess counts ({}):", run.fig);
+        println!("{:<32} {:>8} {:>8}", "scenario", "threads", "fds");
+        for r in counted {
+            let cell = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.0}"));
+            println!(
+                "{:<32} {:>8} {:>8}",
+                r.scenario,
+                cell(r.threads),
+                cell(r.fds)
+            );
+        }
     }
 
     if gate {

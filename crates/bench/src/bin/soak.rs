@@ -1,0 +1,335 @@
+//! `soak` — the churn soak behind the reactor's O(1)-threads claim.
+//!
+//! Spins up hundreds of topics fanning out to thousands of subscriber
+//! TCP links (publisher on machine A, subscribers on machine B, so every
+//! link crosses the netsim wire), then soaks the mesh under churn:
+//! subscribers continuously leave and rejoin, scheduled netsim drop
+//! faults eat frames, and mid-run the whole machine link is severed and
+//! healed — a full reconnect storm across every link. Throughput is
+//! whatever the mesh sustains through all of that.
+//!
+//! The point is the resource row, not the latency row: at steady state
+//! the process must hold its thread count *independent of link count* —
+//! one reactor thread plus the fixed job pool, never a thread per
+//! connection — and its fd count must track links, not churn history.
+//! Each scale's row in `results/BENCH_soak.json` carries `threads`,
+//! `fds`, and `rss_kb`, `bench_summary --gate` holds them flat across
+//! commits, and this binary itself exits non-zero when the largest scale
+//! needs more threads than the smallest (the claim, checked every run).
+//! Latency percentiles are deliberately zero: a churn soak's tail is
+//! storm noise, and the zeros keep the trajectory latency gate off these
+//! rows.
+//!
+//! ```text
+//! cargo run -p rossf-bench --release --bin soak [--smoke]
+//! ```
+//!
+//! `--smoke` runs the same protocol at a small scale (a few seconds,
+//! `results/BENCH_soak_smoke.json`) — the `scripts/check.sh` gate.
+
+use rossf_bench::report::{write_report, ScenarioReport};
+use rossf_ros::{BackoffPolicy, MachineId, Master, NodeHandle, Publisher, TransportConfig};
+use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Payload bytes carried per message.
+const PAYLOAD: usize = 256;
+/// Threads the largest scale may need beyond the smallest before the
+/// in-binary O(1)-threads check fails.
+const THREAD_SLACK: u64 = 2;
+
+#[repr(C)]
+#[derive(Debug)]
+struct SoakMsg {
+    seq: u64,
+    data: SfmVec<u8>,
+}
+// SAFETY: `SoakMsg` is `#[repr(C)]` and both fields (`u64`, `SfmVec<u8>`)
+// are themselves plain-old-data with no padding-sensitive invariants.
+unsafe impl SfmPod for SoakMsg {}
+impl SfmValidate for SoakMsg {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.data.validate_in(base, len)
+    }
+}
+// SAFETY: `max_size` covers the header plus the largest `data` payload the
+// bench ever publishes (`PAYLOAD` bytes), and `validate_in` bounds-checks
+// the only indirect field.
+unsafe impl SfmMessage for SoakMsg {
+    fn type_name() -> &'static str {
+        "bench/SoakMsg"
+    }
+    fn max_size() -> usize {
+        4096
+    }
+}
+
+/// One soak configuration: `topics` publishers, `subs_per_topic` steady
+/// subscribers each, churned for `duration`.
+struct Scale {
+    label: &'static str,
+    topics: usize,
+    subs_per_topic: usize,
+    duration: Duration,
+}
+
+impl Scale {
+    fn links(&self) -> usize {
+        self.topics * self.subs_per_topic
+    }
+}
+
+/// What one scale measured.
+struct Outcome {
+    report: ScenarioReport,
+    threads: u64,
+    delivered: u64,
+    reconnects: u64,
+}
+
+fn fd_count() -> u64 {
+    std::fs::read_dir("/proc/self/fd").unwrap().count() as u64
+}
+
+fn proc_status_field(key: &str) -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix(key))
+        .and_then(|v| v.trim().trim_end_matches(" kB").parse().ok())
+        .unwrap_or(0)
+}
+
+fn fast_reconnect() -> TransportConfig {
+    TransportConfig {
+        handshake_timeout: Duration::from_secs(5),
+        backoff: BackoffPolicy {
+            initial: Duration::from_millis(2),
+            max: Duration::from_millis(50),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 0,
+        },
+        ..TransportConfig::default()
+    }
+}
+
+fn wait_until(what: &str, secs: u64, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !cond() {
+        assert!(
+            Instant::now() < deadline,
+            "soak: timeout waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn run_scale(scale: &Scale) -> Outcome {
+    let master = Master::new();
+    let fault = master.links().inject(MachineId::A, MachineId::B);
+    // A sprinkle of scheduled drop faults across the early frame stream.
+    for i in 0..16u64 {
+        fault.drop_frame(i * 97 + 5);
+    }
+    let nh_pub = NodeHandle::new(&master, "soak-pub");
+    let nh_sub = NodeHandle::with_config(&master, "soak-sub", MachineId::B, fast_reconnect());
+
+    let delivered = Arc::new(AtomicU64::new(0));
+    let subscribe = |topic: &str| {
+        let delivered = Arc::clone(&delivered);
+        nh_sub.subscribe(topic, 64, move |m: SfmShared<SoakMsg>| {
+            debug_assert_eq!(m.data.len(), PAYLOAD);
+            delivered.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+
+    let mut publishers: Vec<Publisher<SfmBox<SoakMsg>>> = Vec::with_capacity(scale.topics);
+    let mut steady = Vec::with_capacity(scale.links());
+    let topic_name = |t: usize| format!("soak/t{t}");
+    for t in 0..scale.topics {
+        let topic = topic_name(t);
+        publishers.push(nh_pub.advertise(&topic, 64));
+        for _ in 0..scale.subs_per_topic {
+            steady.push(subscribe(&topic));
+        }
+    }
+    let want = scale.links();
+    let all_connected = |pubs: &[Publisher<SfmBox<SoakMsg>>]| {
+        pubs.iter().map(|p| p.subscriber_count()).sum::<usize>() >= want
+    };
+    wait_until("initial links", 60, || all_connected(&publishers));
+
+    let mut msg = SfmBox::<SoakMsg>::new();
+    msg.data.resize(PAYLOAD);
+
+    // Soak: publish round-robin; churn one subscription every few rounds;
+    // sever the whole machine link mid-run and let it heal.
+    let start = Instant::now();
+    let sever_at = scale.duration.mul_f64(0.4);
+    let heal_at = scale.duration.mul_f64(0.5);
+    let mut severed = false;
+    let mut healed = false;
+    let mut churner = None;
+    let mut churn_topic = 0usize;
+    let mut round = 0u64;
+    while start.elapsed() < scale.duration {
+        for publisher in &publishers {
+            msg.seq = round;
+            publisher.publish(&msg);
+        }
+        round += 1;
+        if round.is_multiple_of(8) {
+            // Join/leave churn: drop the previous extra subscription and
+            // open one on the next topic.
+            churner = Some(subscribe(&topic_name(churn_topic)));
+            churn_topic = (churn_topic + 1) % scale.topics;
+        }
+        if !severed && start.elapsed() >= sever_at {
+            severed = true;
+            fault.sever_now();
+        }
+        if !healed && start.elapsed() >= heal_at {
+            healed = true;
+            fault.heal();
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    drop(churner);
+    let elapsed = start.elapsed();
+    let got = delivered.load(Ordering::Relaxed);
+
+    // Quiesce: every steady link reconnected after the storm, then read
+    // the resource numbers the report exists for.
+    wait_until("post-storm reconnect", 60, || all_connected(&publishers));
+    std::thread::sleep(Duration::from_millis(200));
+    let threads = proc_status_field("Threads:");
+    let fds = fd_count();
+    let rss_kb = proc_status_field("VmRSS:");
+    let reconnects = steady.iter().map(|s| s.reconnects()).sum::<u64>();
+
+    let msgs_per_s = got as f64 / elapsed.as_secs_f64();
+    let report = ScenarioReport {
+        scenario: scale.label.to_string(),
+        payload_bytes: PAYLOAD as u64,
+        p50_ms: 0.0,
+        p99_ms: 0.0,
+        msgs_per_s,
+        bytes_per_s: msgs_per_s * PAYLOAD as f64,
+        threads: None,
+        fds: None,
+        rss_kb: None,
+    }
+    .with_process_counts(threads, fds, rss_kb);
+    Outcome {
+        report,
+        threads,
+        delivered: got,
+        reconnects,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    for arg in std::env::args().skip(1) {
+        assert!(
+            arg == "--smoke",
+            "unknown argument `{arg}`; expected --smoke"
+        );
+    }
+    let (fig, scales): (&str, Vec<Scale>) = if smoke {
+        (
+            "soak_smoke",
+            vec![
+                Scale {
+                    label: "soak-smoke 40 links",
+                    topics: 8,
+                    subs_per_topic: 5,
+                    duration: Duration::from_secs(2),
+                },
+                Scale {
+                    label: "soak-smoke 120 links",
+                    topics: 24,
+                    subs_per_topic: 5,
+                    duration: Duration::from_secs(3),
+                },
+            ],
+        )
+    } else {
+        (
+            "soak",
+            vec![
+                Scale {
+                    label: "soak 500 links",
+                    topics: 50,
+                    subs_per_topic: 10,
+                    duration: Duration::from_secs(6),
+                },
+                Scale {
+                    label: "soak 2000 links",
+                    topics: 200,
+                    subs_per_topic: 10,
+                    duration: Duration::from_secs(8),
+                },
+            ],
+        )
+    };
+
+    println!("=== churn soak: reactor resource footprint vs link count ===");
+    println!(
+        "{:<22} {:>7} {:>12} {:>10} {:>8} {:>7} {:>9}",
+        "scale", "links", "delivered", "msgs/s", "threads", "fds", "rss (MB)"
+    );
+    let mut rows = Vec::new();
+    let mut outcomes = Vec::new();
+    for scale in &scales {
+        let outcome = run_scale(scale);
+        println!(
+            "{:<22} {:>7} {:>12} {:>10.0} {:>8} {:>7} {:>9.1}",
+            scale.label,
+            scale.links(),
+            outcome.delivered,
+            outcome.report.msgs_per_s,
+            outcome.threads,
+            outcome.report.fds.unwrap_or(0),
+            outcome.report.rss_kb.unwrap_or(0) as f64 / 1024.0,
+        );
+        assert!(
+            outcome.delivered > 0,
+            "soak delivered nothing at {}",
+            scale.label
+        );
+        assert!(
+            outcome.reconnects > 0,
+            "the sever storm must force reconnects at {}",
+            scale.label
+        );
+        rows.push(outcome.report.clone());
+        outcomes.push(outcome);
+    }
+
+    match write_report(fig, &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_{fig}.json: {e}"),
+    }
+
+    // The claim itself: growing the mesh 4x must not grow the thread
+    // count. (fds legitimately track links; threads may not.)
+    let smallest = outcomes.first().map(|o| o.threads).unwrap_or(0);
+    let largest = outcomes.last().map(|o| o.threads).unwrap_or(0);
+    if largest > smallest + THREAD_SLACK {
+        eprintln!(
+            "FAIL: thread count grew with link count ({smallest} -> {largest}); \
+             the reactor is supposed to hold it flat"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "thread count independent of link count: {smallest} thread(s) at {} links, \
+         {largest} at {} links",
+        scales.first().map(|s| s.links()).unwrap_or(0),
+        scales.last().map(|s| s.links()).unwrap_or(0),
+    );
+}

@@ -91,6 +91,16 @@ pub struct ScenarioReport {
     pub msgs_per_s: f64,
     /// Payload throughput implied by `msgs_per_s`.
     pub bytes_per_s: f64,
+    /// Live threads of the harness process at steady state, when the
+    /// scenario measures resource footprint (the soak report). The
+    /// reactor keeps this independent of link count, and the trajectory
+    /// gate holds it there.
+    pub threads: Option<u64>,
+    /// Open descriptors (`/proc/self/fd`) at steady state, when measured.
+    pub fds: Option<u64>,
+    /// Resident set size (`VmRSS`) in kB at steady state, when measured.
+    /// Recorded for trend-watching, not gated (allocator noise).
+    pub rss_kb: Option<u64>,
 }
 
 impl ScenarioReport {
@@ -108,7 +118,18 @@ impl ScenarioReport {
             p99_ms: stats.p99_ms,
             msgs_per_s,
             bytes_per_s: msgs_per_s * payload_bytes as f64,
+            threads: None,
+            fds: None,
+            rss_kb: None,
         }
+    }
+
+    /// Attach steady-state process counts (soak report rows).
+    pub fn with_process_counts(mut self, threads: u64, fds: u64, rss_kb: u64) -> ScenarioReport {
+        self.threads = Some(threads);
+        self.fds = Some(fds);
+        self.rss_kb = Some(rss_kb);
+        self
     }
 }
 
@@ -154,14 +175,21 @@ pub fn render_json(fig: &str, meta: &RunMeta, rows: &[ScenarioReport]) -> String
     out.push_str(&meta_fragment(meta));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let mut counts = String::new();
+        for (key, v) in [("threads", r.threads), ("fds", r.fds), ("rss_kb", r.rss_kb)] {
+            if let Some(v) = v {
+                counts.push_str(&format!(", \"{key}\": {v}"));
+            }
+        }
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"payload_bytes\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"msgs_per_s\": {}, \"bytes_per_s\": {}}}{}\n",
+            "    {{\"scenario\": \"{}\", \"payload_bytes\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"msgs_per_s\": {}, \"bytes_per_s\": {}{}}}{}\n",
             escape(&r.scenario),
             r.payload_bytes,
             num(r.p50_ms),
             num(r.p99_ms),
             num(r.msgs_per_s),
             num(r.bytes_per_s),
+            counts,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -357,6 +385,10 @@ pub struct ScenarioRow {
     pub p50_ms: f64,
     /// 99th-percentile latency, milliseconds.
     pub p99_ms: f64,
+    /// Steady-state thread count, when the row carries one (soak rows).
+    pub threads: Option<f64>,
+    /// Steady-state open-descriptor count, when the row carries one.
+    pub fds: Option<f64>,
 }
 
 /// Parse the scenario row objects carried verbatim in a
@@ -371,6 +403,8 @@ pub fn parse_scenario_rows(rows: &str) -> Vec<ScenarioRow> {
                 scenario: extract_str_field(&obj, "scenario")?,
                 p50_ms: extract_num_field(&obj, "p50_ms")?,
                 p99_ms: extract_num_field(&obj, "p99_ms")?,
+                threads: extract_num_field(&obj, "threads"),
+                fds: extract_num_field(&obj, "fds"),
             })
         })
         .collect()
@@ -413,28 +447,48 @@ pub struct Regression {
     pub fig: String,
     /// Scenario label.
     pub scenario: String,
-    /// Which percentile regressed (`"p50_ms"` or `"p99_ms"`).
+    /// Which metric regressed (`"p50_ms"`, `"p99_ms"`, `"threads"`, or
+    /// `"fds"`).
     pub metric: &'static str,
-    /// The previous trajectory value, milliseconds.
+    /// The previous trajectory value (milliseconds for latency metrics,
+    /// a plain count for `threads`/`fds`).
     pub previous_ms: f64,
-    /// The freshly measured value, milliseconds.
+    /// The freshly measured value, in the same unit as `previous_ms`.
     pub current_ms: f64,
 }
 
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} `{}` {}: {:.3} ms -> {:.3} ms (+{:.1}%)",
-            self.fig,
-            self.scenario,
-            self.metric,
-            self.previous_ms,
-            self.current_ms,
-            (self.current_ms / self.previous_ms - 1.0) * 100.0,
-        )
+        if self.metric.ends_with("_ms") {
+            write!(
+                f,
+                "{} `{}` {}: {:.3} ms -> {:.3} ms (+{:.1}%)",
+                self.fig,
+                self.scenario,
+                self.metric,
+                self.previous_ms,
+                self.current_ms,
+                (self.current_ms / self.previous_ms - 1.0) * 100.0,
+            )
+        } else {
+            write!(
+                f,
+                "{} `{}` {}: {:.0} -> {:.0}",
+                self.fig, self.scenario, self.metric, self.previous_ms, self.current_ms,
+            )
+        }
     }
 }
+
+/// Extra threads tolerated at the same scenario before the O(1)-threads
+/// gate fails. The reactor architecture pins the count (one event loop,
+/// a fixed pool, named per-connection-resource threads), so the band is
+/// deliberately tight.
+pub const THREAD_GATE_SLACK: f64 = 2.0;
+/// Fractional fd growth tolerated at the same scenario.
+pub const FD_GATE_THRESHOLD: f64 = 0.10;
+/// Absolute fd growth additionally tolerated (listener/bookkeeping fds).
+pub const FD_GATE_SLACK: f64 = 8.0;
 
 /// The trajectory regression gate: compare every (fig, scenario) present
 /// in both `previous` and `current` and flag p50/p99 values that grew by
@@ -445,6 +499,12 @@ impl std::fmt::Display for Regression {
 /// gates as a coarse backstop (a lock convoy or lost wakeup inflates it
 /// 10–100×) while p50 stays tightly banded. Scenarios or figures missing
 /// on either side are skipped — only like-for-like comparisons gate.
+///
+/// Rows carrying process counts (the soak report) additionally gate
+/// `threads` and `fds`: thread count is the O(1)-threads claim and may
+/// not grow by more than [`THREAD_GATE_SLACK`] at the same link scale;
+/// fd count allows small fractional drift ([`FD_GATE_THRESHOLD`] plus
+/// [`FD_GATE_SLACK`]).
 pub fn gate_regressions(
     previous: &[TrajectoryRun],
     current: &[TrajectoryRun],
@@ -467,6 +527,23 @@ pub fn gate_regressions(
                 ("p99_ms", base.p99_ms, row.p99_ms, p99_slack_ms),
             ] {
                 if was > 0.0 && now > was * (1.0 + threshold) + metric_slack {
+                    out.push(Regression {
+                        fig: cur.fig.clone(),
+                        scenario: row.scenario.clone(),
+                        metric,
+                        previous_ms: was,
+                        current_ms: now,
+                    });
+                }
+            }
+            for (metric, was, now, count_threshold, count_slack) in [
+                ("threads", base.threads, row.threads, 0.0, THREAD_GATE_SLACK),
+                ("fds", base.fds, row.fds, FD_GATE_THRESHOLD, FD_GATE_SLACK),
+            ] {
+                let (Some(was), Some(now)) = (was, now) else {
+                    continue;
+                };
+                if now > was * (1.0 + count_threshold) + count_slack {
                     out.push(Regression {
                         fig: cur.fig.clone(),
                         scenario: row.scenario.clone(),
@@ -705,6 +782,50 @@ mod tests {
             run_with("fig99", "anything", 9.0, 9.0),
         ];
         assert!(gate_regressions(&prev, &cur, 0.10, 0.05, 1.0).is_empty());
+    }
+
+    #[test]
+    fn process_counts_round_trip_and_gate() {
+        let mk = |threads: u64, fds: u64| {
+            let r = ScenarioReport::from_stats("soak 500 links", 256, &stats())
+                .with_process_counts(threads, fds, 12_345);
+            parse_report_doc(&render_json("soak", &meta(), &[r])).unwrap()
+        };
+        let prev = vec![mk(6, 1100)];
+        let doc = render_json(
+            "soak",
+            &meta(),
+            &[ScenarioReport::from_stats("soak 500 links", 256, &stats())
+                .with_process_counts(6, 1100, 12_345)],
+        );
+        assert!(doc.contains("\"threads\": 6, \"fds\": 1100, \"rss_kb\": 12345"));
+        let rows = parse_scenario_rows(&prev[0].scenario_rows);
+        assert_eq!(rows[0].threads, Some(6.0));
+        assert_eq!(rows[0].fds, Some(1100.0));
+
+        // Same counts pass; within-slack drift passes.
+        assert!(gate_regressions(&prev, &prev, 0.10, 0.05, 1.0).is_empty());
+        assert!(gate_regressions(&prev, &[mk(8, 1150)], 0.10, 0.05, 1.0).is_empty());
+
+        // A thread-count jump past the slack is the O(1)-threads gate.
+        let bad = gate_regressions(&prev, &[mk(9, 1100)], 0.10, 0.05, 1.0);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "threads");
+        assert_eq!(bad[0].to_string(), "soak `soak 500 links` threads: 6 -> 9");
+
+        // An fd leak past threshold+slack is flagged too.
+        let bad = gate_regressions(&prev, &[mk(6, 1300)], 0.10, 0.05, 1.0);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "fds");
+
+        // Rows without counts never gate on them.
+        let plain = vec![parse_report_doc(&render_json(
+            "soak",
+            &meta(),
+            &[ScenarioReport::from_stats("soak 500 links", 256, &stats())],
+        ))
+        .unwrap()];
+        assert!(gate_regressions(&prev, &plain, 0.10, 0.05, 1.0).is_empty());
     }
 
     #[test]

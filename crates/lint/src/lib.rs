@@ -8,7 +8,10 @@
 //!   doc section) explaining why the invariants hold;
 //! - every `Ordering::SeqCst` carries a `// ORDER:` note justifying the
 //!   strongest ordering (weaker orderings are assumed deliberate);
-//! - raw syscalls / inline asm stay confined to `crates/shm/src/sys.rs`;
+//! - raw syscalls / inline asm stay confined to the audited sys modules
+//!   (`crates/shm/src/sys.rs`, `crates/reactor/src/sys.rs`), and the
+//!   epoll/eventfd surface specifically never leaks outside them — every
+//!   other module goes through the reactor's `Poller`/`WakeFd` wrappers;
 //! - no `.unwrap()` / `.expect(` inside `impl Drop` bodies (a panic in a
 //!   drop during unwinding aborts the process).
 //!

@@ -21,8 +21,9 @@ pub enum Rule {
     /// An `Ordering::SeqCst` use without a `// ORDER:` justification in
     /// the same places the SAFETY rule accepts.
     SeqCstNeedsOrder,
-    /// A raw syscall surface (`asm!`, `std::arch::asm`) outside
-    /// `crates/shm/src/sys.rs` — the single audited syscall module.
+    /// A raw syscall surface (`asm!`, `std::arch::asm`) — or an
+    /// epoll/eventfd identifier — outside the audited syscall modules
+    /// (`crates/shm/src/sys.rs`, `crates/reactor/src/sys.rs`).
     SyscallOutsideSys,
     /// `.unwrap()` / `.expect(` inside an `impl Drop` — a panic in drop
     /// during unwinding aborts the whole process.
@@ -62,6 +63,26 @@ impl fmt::Display for Finding {
             self.path, self.line, self.rule, self.message
         )
     }
+}
+
+/// The modules allowed to touch raw syscalls directly. Everything else
+/// goes through their safe wrappers.
+const SYS_MODULES: [&str; 2] = ["crates/shm/src/sys.rs", "crates/reactor/src/sys.rs"];
+
+/// Whether `path` labels one of the audited sys modules.
+fn is_sys_module(path: &str) -> bool {
+    SYS_MODULES.iter().any(|m| path.ends_with(m)) || path == "sys.rs"
+}
+
+/// Whether a code line names the epoll/eventfd syscall surface: any
+/// identifier containing `epoll` or `eventfd` (case-insensitive), which
+/// covers the syscalls themselves (`epoll_ctl`, `eventfd2`), their
+/// `SYS_*` numbers, and flag constants (`EPOLLIN`, `EFD_NONBLOCK` is the
+/// one spelling this misses — it rides along with the `eventfd` call
+/// that needs it).
+fn mentions_event_poll_surface(code: &str) -> bool {
+    let lower = code.to_ascii_lowercase();
+    lower.contains("epoll") || lower.contains("eventfd")
 }
 
 /// Whether `code` contains `word` delimited by non-identifier characters.
@@ -121,7 +142,7 @@ fn has_order(comment: &str) -> bool {
 /// Lint one file's source text under the label `path`. Pure function —
 /// the fixture tests drive it directly.
 pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
-    let is_sys_rs = path.ends_with("crates/shm/src/sys.rs") || path == "sys.rs";
+    let is_sys_rs = is_sys_module(path);
     let mut scanner = LineScanner::new();
     let mut findings = Vec::new();
 
@@ -214,14 +235,26 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
         }
 
         // Rule: syscall confinement.
-        if !is_sys_rs && (code.contains("asm!(") || code.contains("arch::asm")) {
-            findings.push(Finding {
-                rule: Rule::SyscallOutsideSys,
-                path: path.to_string(),
-                line: lineno,
-                message: "raw syscalls/inline asm are confined to crates/shm/src/sys.rs"
-                    .to_string(),
-            });
+        if !is_sys_rs {
+            if code.contains("asm!(") || code.contains("arch::asm") {
+                findings.push(Finding {
+                    rule: Rule::SyscallOutsideSys,
+                    path: path.to_string(),
+                    line: lineno,
+                    message: "raw syscalls/inline asm are confined to the sys modules \
+                              (crates/shm/src/sys.rs, crates/reactor/src/sys.rs)"
+                        .to_string(),
+                });
+            } else if mentions_event_poll_surface(code) {
+                findings.push(Finding {
+                    rule: Rule::SyscallOutsideSys,
+                    path: path.to_string(),
+                    line: lineno,
+                    message: "epoll/eventfd syscalls are confined to crates/reactor/src/sys.rs \
+                              (and crates/shm/src/sys.rs); use the reactor's Poller/WakeFd"
+                        .to_string(),
+                });
+            }
         }
 
         // Rule: unsafe needs SAFETY.

@@ -148,13 +148,59 @@ fn raw() -> i64 {
     r
 }
 "#;
-    // Outside sys.rs: asm flagged (and the bare unsafe too).
+    // Outside the sys modules: asm flagged (and the bare unsafe too).
     let findings = lint_source("crates/shm/src/ring.rs", src);
     assert_eq!(lines_of(&findings, Rule::SyscallOutsideSys), vec![5]);
-    // Same content inside sys.rs: only the bare-unsafe finding remains.
-    let findings = lint_source("crates/shm/src/sys.rs", src);
-    assert!(lines_of(&findings, Rule::SyscallOutsideSys).is_empty());
-    assert_eq!(lines_of(&findings, Rule::UnsafeNeedsSafety), vec![4]);
+    // Same content inside either sys module: only the bare-unsafe finding
+    // remains.
+    for sys_path in ["crates/shm/src/sys.rs", "crates/reactor/src/sys.rs"] {
+        let findings = lint_source(sys_path, src);
+        assert!(
+            lines_of(&findings, Rule::SyscallOutsideSys).is_empty(),
+            "{sys_path} must be exempt: {findings:?}"
+        );
+        assert_eq!(lines_of(&findings, Rule::UnsafeNeedsSafety), vec![4]);
+    }
+}
+
+#[test]
+fn epoll_surface_confined_to_sys_modules() {
+    let src = r#"
+fn roll_my_own() -> i32 {
+    let ep = unsafe { epoll_create1(0) }; // SAFETY: fixture.
+    let ev = libc_shim::eventfd(0, EFD_CLOEXEC);
+    let mask = EPOLLIN | EPOLLOUT;
+    let _ = (ev, mask);
+    ep
+}
+"#;
+    // Outside the sys modules every epoll/eventfd-surface line is flagged.
+    let findings = lint_source("crates/ros/src/publisher.rs", src);
+    assert_eq!(
+        lines_of(&findings, Rule::SyscallOutsideSys),
+        vec![3, 4, 5],
+        "epoll_create1, eventfd, and EPOLL* flag constants: {findings:?}"
+    );
+    // Inside either sys module the same content is exempt.
+    for sys_path in ["crates/reactor/src/sys.rs", "crates/shm/src/sys.rs"] {
+        let findings = lint_source(sys_path, src);
+        assert!(
+            lines_of(&findings, Rule::SyscallOutsideSys).is_empty(),
+            "{sys_path} must be exempt: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn epoll_in_comments_and_strings_is_ignored() {
+    let src = r#"
+// The reactor multiplexes via epoll; wakeups ride an eventfd.
+fn doc_only() {
+    let msg = "drained the epoll backlog";
+    let _ = msg;
+}
+"#;
+    assert!(lint_source("crates/ros/src/subscriber.rs", src).is_empty());
 }
 
 #[test]

@@ -1,0 +1,817 @@
+//! # rossf-reactor — one event loop for every TCP link in the process
+//!
+//! The transport used to spend one or two dedicated threads per TCP
+//! connection (a blocking reader, a queue-draining writer). That caps the
+//! node graph at hundreds of endpoints; the ROADMAP north star is
+//! thousands. This crate replaces thread-per-socket with the classic
+//! reactor shape:
+//!
+//! * **one reactor thread** per process runs a readiness loop
+//!   ([`sys::Poller`], raw `epoll` on Linux) over *all* registered
+//!   nonblocking sockets and dispatches [`Event`]s to per-link
+//!   [`Handler`] state machines;
+//! * **a fixed job pool** ([`JobPool`]) absorbs the blocking edges —
+//!   connects, connection-header handshakes, supervision steps — so the
+//!   reactor thread itself never blocks on anything but the poll;
+//! * **cross-thread wakeups** go through a single eventfd: enqueuing work
+//!   for a link from any thread is [`Reactor::notify`] + one counter bump;
+//! * **timers** (pacing, fault delays, reconnect backoff) ride the poll
+//!   timeout with sub-millisecond precision, so netsim's 50 µs propagation
+//!   delays stay accurate without sleeping the loop;
+//! * **peer death is an event**: hangup/error readiness is delivered as
+//!   [`Event::Closed`], so supervision is *triggered* instead of
+//!   discovering failures via blocking-read errors.
+//!
+//! Handlers own their socket; the reactor only borrows the raw fd while
+//! the registration lives. All dispatch happens on the reactor thread, so
+//! handler state needs no locking.
+//!
+//! On targets without the readiness syscalls the loop degrades to a
+//! bounded 1 ms tick that treats every registered descriptor as ready —
+//! semantically a superset (handlers are written against nonblocking
+//! sockets and tolerate spurious readiness), just slower.
+
+#![deny(missing_docs)]
+
+mod pool;
+pub mod sys;
+
+pub use pool::JobPool;
+
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Identifies one registration (socket + handler) on a [`Reactor`].
+/// Tokens are never reused within a reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(u64);
+
+impl Token {
+    /// The raw token value (stable diagnostic identity).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Why a [`Handler`] is being dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The socket has data (or EOF) to read.
+    Readable,
+    /// The socket can accept writes again (only delivered while write
+    /// interest is enabled via [`Ctl::set_interest`]).
+    Writable,
+    /// Peer hangup or socket error: the link is dead. Delivered after any
+    /// final `Readable` so trailing bytes can still be drained.
+    Closed,
+    /// Another thread called [`Reactor::notify`] for this token (new
+    /// frames were enqueued for a writer, shutdown was requested, …).
+    Notify,
+    /// A timer armed with [`Ctl::arm_timer`] fired.
+    Timer,
+}
+
+/// A per-link state machine driven by the reactor thread.
+///
+/// Handlers own their socket (dropping the handler closes it) and must
+/// only perform nonblocking I/O plus bounded computation: the loop is
+/// shared by every link in the process.
+pub trait Handler: Send {
+    /// React to `event`. Use `ctl` to adjust interest, arm timers, or
+    /// close this registration.
+    fn on_event(&mut self, event: Event, ctl: &mut Ctl<'_>);
+}
+
+/// Per-dispatch control surface handed to [`Handler::on_event`].
+/// Operations are applied by the loop after the handler returns.
+pub struct Ctl<'a> {
+    reactor: &'a Reactor,
+    token: Token,
+    close: bool,
+    interest: Option<(bool, bool)>,
+    timers: Vec<Duration>,
+}
+
+impl Ctl<'_> {
+    /// The reactor this handler runs on (for notifying *other* tokens or
+    /// arming free-standing timers).
+    pub fn reactor(&self) -> &Reactor {
+        self.reactor
+    }
+
+    /// This handler's token.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Replace the interest set: whether `Readable` / `Writable` events
+    /// are wanted. Hangup is always delivered.
+    pub fn set_interest(&mut self, readable: bool, writable: bool) {
+        self.interest = Some((readable, writable));
+    }
+
+    /// Deregister this handler once the dispatch returns: the poller
+    /// forgets the fd and the handler (with its socket) is dropped.
+    pub fn close(&mut self) {
+        self.close = true;
+    }
+
+    /// Deliver [`Event::Timer`] to this handler after `after`.
+    pub fn arm_timer(&mut self, after: Duration) {
+        self.timers.push(after);
+    }
+}
+
+enum TimerTarget {
+    Token(Token),
+    Callback(Box<dyn FnOnce(&Reactor) + Send>),
+}
+
+struct TimerSlot {
+    deadline: Instant,
+    seq: u64,
+    target: TimerTarget,
+}
+
+impl PartialEq for TimerSlot {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerSlot {}
+impl PartialOrd for TimerSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerSlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // deadline on top.
+        (other.deadline, other.seq).cmp(&(self.deadline, self.seq))
+    }
+}
+
+enum Cmd {
+    Register {
+        token: Token,
+        fd: RawFd,
+        readable: bool,
+        writable: bool,
+        handler: Box<dyn Handler>,
+    },
+    Deregister(Token),
+    Timer {
+        after: Duration,
+        cb: Box<dyn FnOnce(&Reactor) + Send>,
+    },
+    Shutdown,
+}
+
+struct Shared {
+    cmds: Mutex<Vec<Cmd>>,
+    notifies: Mutex<HashSet<u64>>,
+    waker: Option<sys::WakeFd>,
+    next_token: AtomicU64,
+    live: AtomicUsize,
+}
+
+/// Token the internal wakeup fd is registered under; user tokens start
+/// at 1.
+const WAKE_TOKEN: u64 = 0;
+
+/// Fallback tick period when the readiness syscalls are unavailable.
+const FALLBACK_TICK: Duration = Duration::from_millis(1);
+
+/// Cloneable handle to one reactor thread.
+#[derive(Clone)]
+pub struct Reactor {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("live_links", &self.live_links())
+            .field("evented", &self.shared.waker.is_some())
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Start a reactor thread named `name`. Falls back to the tick loop
+    /// (never fails) when the readiness syscalls are unavailable.
+    pub fn new(name: &str) -> Reactor {
+        let setup = match (sys::Poller::new(), sys::WakeFd::new()) {
+            (Ok(poller), Ok(waker)) => {
+                if poller.add(waker.raw_fd(), WAKE_TOKEN, true, false).is_ok() {
+                    Some((poller, waker))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let (poller, waker) = match setup {
+            Some((p, w)) => (Some(p), Some(w)),
+            None => (None, None),
+        };
+        let shared = Arc::new(Shared {
+            cmds: Mutex::new(Vec::new()),
+            notifies: Mutex::new(HashSet::new()),
+            waker,
+            next_token: AtomicU64::new(WAKE_TOKEN + 1),
+            live: AtomicUsize::new(0),
+        });
+        let reactor = Reactor {
+            shared: Arc::clone(&shared),
+        };
+        let on_loop = reactor.clone();
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || run_loop(on_loop, poller))
+            .expect("spawn reactor thread");
+        reactor
+    }
+
+    /// `true` when the loop runs on real readiness syscalls (vs the
+    /// degraded tick fallback).
+    pub fn evented(&self) -> bool {
+        self.shared.waker.is_some()
+    }
+
+    /// Register `handler` for `fd` with the given initial interest and
+    /// return its token. The handler must own the object behind `fd` (the
+    /// fd has to stay open until the registration is closed) and `fd`
+    /// must already be nonblocking.
+    pub fn register(
+        &self,
+        fd: RawFd,
+        readable: bool,
+        writable: bool,
+        handler: Box<dyn Handler>,
+    ) -> Token {
+        // Relaxed: the counter's atomicity alone guarantees unique tokens.
+        let token = Token(self.shared.next_token.fetch_add(1, Ordering::Relaxed));
+        self.push_cmd(Cmd::Register {
+            token,
+            fd,
+            readable,
+            writable,
+            handler,
+        });
+        token
+    }
+
+    /// Deregister `token` from any thread: the poller forgets the fd and
+    /// the handler (with its socket) is dropped on the loop thread.
+    /// Idempotent; unknown tokens are ignored.
+    pub fn deregister(&self, token: Token) {
+        self.push_cmd(Cmd::Deregister(token));
+    }
+
+    /// Deliver [`Event::Notify`] to `token` on the loop thread. Cheap and
+    /// coalescing: notifies for the same token merge until dispatched.
+    pub fn notify(&self, token: Token) {
+        let wake = {
+            let mut set = self.shared.notifies.lock();
+            let was_empty = set.is_empty();
+            set.insert(token.0);
+            was_empty
+        };
+        if wake {
+            self.wake();
+        }
+    }
+
+    /// Run `cb` on the loop thread after `after`. `cb` must be brief — it
+    /// shares the loop with every link; typically it just schedules a
+    /// [`JobPool`] job.
+    pub fn timer(&self, after: Duration, cb: impl FnOnce(&Reactor) + Send + 'static) {
+        self.push_cmd(Cmd::Timer {
+            after,
+            cb: Box::new(cb),
+        });
+    }
+
+    /// Number of live registrations (diagnostics; the leak test gates on
+    /// this returning to baseline).
+    pub fn live_links(&self) -> usize {
+        // Relaxed: diagnostic counter.
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Stop the loop thread, dropping every handler. Only for tests —
+    /// the process-wide reactor from [`runtime`] lives forever.
+    pub fn shutdown(&self) {
+        self.push_cmd(Cmd::Shutdown);
+    }
+
+    fn push_cmd(&self, cmd: Cmd) {
+        self.shared.cmds.lock().push(cmd);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        if let Some(w) = &self.shared.waker {
+            w.wake();
+        }
+        // Fallback mode: the tick loop observes the queues within one
+        // tick; no wakeup channel needed.
+    }
+}
+
+struct Slot {
+    fd: RawFd,
+    readable: bool,
+    writable: bool,
+    handler: Box<dyn Handler>,
+}
+
+struct LoopState {
+    handlers: HashMap<u64, Slot>,
+    timers: BinaryHeap<TimerSlot>,
+    timer_seq: u64,
+}
+
+impl LoopState {
+    fn dispatch(
+        &mut self,
+        reactor: &Reactor,
+        poller: Option<&sys::Poller>,
+        token: u64,
+        event: Event,
+    ) {
+        // Take the slot out so the handler can re-enter the reactor
+        // handle (notify, timers) without aliasing the map.
+        let Some(mut slot) = self.handlers.remove(&token) else {
+            return;
+        };
+        let mut ctl = Ctl {
+            reactor,
+            token: Token(token),
+            close: false,
+            interest: None,
+            timers: Vec::new(),
+        };
+        slot.handler.on_event(event, &mut ctl);
+        let now = Instant::now();
+        for after in ctl.timers.drain(..) {
+            self.timer_seq += 1;
+            self.timers.push(TimerSlot {
+                deadline: now + after,
+                seq: self.timer_seq,
+                target: TimerTarget::Token(Token(token)),
+            });
+        }
+        if ctl.close {
+            if let Some(p) = poller {
+                let _ = p.remove(slot.fd);
+            }
+            // Relaxed: diagnostic counter.
+            reactor.shared.live.fetch_sub(1, Ordering::Relaxed);
+            return; // dropping the slot closes the socket
+        }
+        if let Some((r, w)) = ctl.interest {
+            if let Some(p) = poller {
+                let _ = p.modify(slot.fd, token, r, w);
+            }
+            slot.readable = r;
+            slot.writable = w;
+        }
+        self.handlers.insert(token, slot);
+    }
+}
+
+fn run_loop(reactor: Reactor, poller: Option<sys::Poller>) {
+    let shared = Arc::clone(&reactor.shared);
+    let mut state = LoopState {
+        handlers: HashMap::new(),
+        timers: BinaryHeap::new(),
+        timer_seq: 0,
+    };
+    let mut events: Vec<sys::PollEvent> = Vec::new();
+    loop {
+        // 1. Apply externally queued commands, in order.
+        let cmds = std::mem::take(&mut *shared.cmds.lock());
+        for cmd in cmds {
+            match cmd {
+                Cmd::Register {
+                    token,
+                    fd,
+                    readable,
+                    writable,
+                    handler,
+                } => {
+                    let mut slot = Slot {
+                        fd,
+                        readable,
+                        writable,
+                        handler,
+                    };
+                    let added = poller
+                        .as_ref()
+                        .map_or(Ok(()), |p| p.add(fd, token.0, readable, writable));
+                    match added {
+                        Ok(()) => {
+                            state.handlers.insert(token.0, slot);
+                            // Relaxed: diagnostic counter.
+                            shared.live.fetch_add(1, Ordering::Relaxed);
+                            // A notify sent between `register` returning and
+                            // this command applying targets a token the loop
+                            // does not know yet and would be dropped: prime
+                            // every fresh handler with one Notify so work
+                            // queued in that window is never missed.
+                            state.dispatch(&reactor, poller.as_ref(), token.0, Event::Notify);
+                        }
+                        Err(_) => {
+                            // Unwatchable fd: tell the handler its link is
+                            // dead so supervision reacts, then drop it.
+                            let mut ctl = Ctl {
+                                reactor: &reactor,
+                                token,
+                                close: true,
+                                interest: None,
+                                timers: Vec::new(),
+                            };
+                            slot.handler.on_event(Event::Closed, &mut ctl);
+                        }
+                    }
+                }
+                Cmd::Deregister(token) => {
+                    if let Some(slot) = state.handlers.remove(&token.0) {
+                        if let Some(p) = &poller {
+                            let _ = p.remove(slot.fd);
+                        }
+                        // Relaxed: diagnostic counter.
+                        shared.live.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Cmd::Timer { after, cb } => {
+                    state.timer_seq += 1;
+                    state.timers.push(TimerSlot {
+                        deadline: Instant::now() + after,
+                        seq: state.timer_seq,
+                        target: TimerTarget::Callback(cb),
+                    });
+                }
+                Cmd::Shutdown => {
+                    for (_, slot) in state.handlers.drain() {
+                        if let Some(p) = &poller {
+                            let _ = p.remove(slot.fd);
+                        }
+                    }
+                    shared.live.store(0, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+
+        // 2. Coalesced cross-thread notifies.
+        let pending = std::mem::take(&mut *shared.notifies.lock());
+        for token in pending {
+            state.dispatch(&reactor, poller.as_ref(), token, Event::Notify);
+        }
+
+        // 3. Due timers.
+        let now = Instant::now();
+        while state.timers.peek().is_some_and(|t| t.deadline <= now) {
+            let slot = state.timers.pop().expect("peeked");
+            match slot.target {
+                TimerTarget::Token(tok) => {
+                    state.dispatch(&reactor, poller.as_ref(), tok.0, Event::Timer)
+                }
+                TimerTarget::Callback(cb) => cb(&reactor),
+            }
+        }
+
+        // 4. Wait for readiness (bounded by the next timer deadline).
+        let timeout = state
+            .timers
+            .peek()
+            .map(|t| t.deadline.saturating_duration_since(Instant::now()));
+        match &poller {
+            Some(p) => {
+                if p.wait(&mut events, timeout).is_err() {
+                    events.clear();
+                }
+                for ev in std::mem::take(&mut events) {
+                    if ev.token == WAKE_TOKEN {
+                        if let Some(w) = &shared.waker {
+                            w.drain();
+                        }
+                        continue;
+                    }
+                    if ev.readable {
+                        state.dispatch(&reactor, Some(p), ev.token, Event::Readable);
+                    }
+                    if ev.writable {
+                        state.dispatch(&reactor, Some(p), ev.token, Event::Writable);
+                    }
+                    if ev.closed {
+                        state.dispatch(&reactor, Some(p), ev.token, Event::Closed);
+                    }
+                }
+            }
+            None => {
+                // Degraded tick: every registered fd is treated as ready
+                // per its interest; nonblocking handlers tolerate the
+                // spurious dispatches.
+                std::thread::sleep(timeout.unwrap_or(FALLBACK_TICK).min(FALLBACK_TICK));
+                let ready: Vec<(u64, bool, bool)> = state
+                    .handlers
+                    .iter()
+                    .map(|(t, s)| (*t, s.readable, s.writable))
+                    .collect();
+                for (token, readable, writable) in ready {
+                    if readable {
+                        state.dispatch(&reactor, None, token, Event::Readable);
+                    }
+                    if writable {
+                        state.dispatch(&reactor, None, token, Event::Writable);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The process-wide reactor + pool pair.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    /// The shared event loop every TCP link registers with.
+    pub reactor: Reactor,
+    /// The fixed pool absorbing blocking connects/handshakes.
+    pub pool: JobPool,
+}
+
+/// Pool width: enough to overlap a few blocking handshakes without
+/// contributing meaningfully to the process thread count.
+const POOL_WORKERS: usize = 4;
+
+/// The process-wide [`Runtime`], created on first use.
+///
+/// Fork-aware: a child process (the shm tier's forked tests) observes a
+/// different pid and lazily gets a fresh reactor and pool — the parent's
+/// loop thread does not exist on the child's side of the fork.
+pub fn runtime() -> Runtime {
+    static GLOBAL: OnceLock<Mutex<Option<(u32, Runtime)>>> = OnceLock::new();
+    let slot = GLOBAL.get_or_init(|| Mutex::new(None));
+    let mut guard = slot.lock();
+    let pid = std::process::id();
+    if let Some((owner, rt)) = &*guard {
+        if *owner == pid {
+            return rt.clone();
+        }
+    }
+    let rt = Runtime {
+        reactor: Reactor::new("rossf-reactor"),
+        pool: JobPool::new(POOL_WORKERS, "rossf-pool"),
+    };
+    *guard = Some((pid, rt.clone()));
+    rt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::mpsc;
+
+    /// Echoes every byte back and reports lifecycle events on a channel.
+    struct Echo {
+        stream: TcpStream,
+        events: mpsc::Sender<&'static str>,
+    }
+
+    impl Handler for Echo {
+        fn on_event(&mut self, event: Event, ctl: &mut Ctl<'_>) {
+            match event {
+                Event::Readable => {
+                    let mut buf = [0u8; 4096];
+                    loop {
+                        match self.stream.read(&mut buf) {
+                            Ok(0) => {
+                                let _ = self.events.send("eof");
+                                ctl.close();
+                                return;
+                            }
+                            Ok(n) => {
+                                // Echo responses are tiny; a full send
+                                // buffer is not reachable in this test.
+                                let _ = self.stream.write_all(&buf[..n]);
+                                let _ = self.events.send("echoed");
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                            Err(_) => {
+                                let _ = self.events.send("error");
+                                ctl.close();
+                                return;
+                            }
+                        }
+                    }
+                }
+                Event::Closed => {
+                    let _ = self.events.send("closed");
+                    ctl.close();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn echo_roundtrip_and_peer_death_event() {
+        let reactor = Reactor::new("test-reactor-echo");
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        let (tx, rx) = mpsc::channel();
+        use std::os::fd::AsRawFd;
+        let fd = server.as_raw_fd();
+        reactor.register(
+            fd,
+            true,
+            false,
+            Box::new(Echo {
+                stream: server,
+                events: tx,
+            }),
+        );
+
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok("echoed"));
+        assert_eq!(reactor.live_links(), 1);
+
+        drop(client);
+        // EOF arrives as Readable-then-0 or Closed; either path closes.
+        let ev = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(ev == "eof" || ev == "closed", "got {ev}");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while reactor.live_links() != 0 {
+            assert!(Instant::now() < deadline, "registration never released");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        reactor.shutdown();
+    }
+
+    /// Drains a shared queue into the socket on notify.
+    struct QueueWriter {
+        stream: TcpStream,
+        queue: Arc<Mutex<Vec<Vec<u8>>>>,
+    }
+
+    impl Handler for QueueWriter {
+        fn on_event(&mut self, event: Event, _ctl: &mut Ctl<'_>) {
+            if matches!(event, Event::Notify | Event::Writable) {
+                let pending = std::mem::take(&mut *self.queue.lock());
+                for msg in pending {
+                    let _ = self.stream.write_all(&msg);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn notify_coalesces_and_drives_writes() {
+        let reactor = Reactor::new("test-reactor-notify");
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        let queue = Arc::new(Mutex::new(Vec::new()));
+        use std::os::fd::AsRawFd;
+        let fd = server.as_raw_fd();
+        let token = reactor.register(
+            fd,
+            false,
+            false,
+            Box::new(QueueWriter {
+                stream: server,
+                queue: Arc::clone(&queue),
+            }),
+        );
+        for i in 0..8u8 {
+            queue.lock().push(vec![i]);
+            reactor.notify(token);
+        }
+        let mut buf = [0u8; 8];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [0, 1, 2, 3, 4, 5, 6, 7]);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let reactor = Reactor::new("test-reactor-timer");
+        let (tx, rx) = mpsc::channel();
+        let tx2 = tx.clone();
+        reactor.timer(Duration::from_millis(40), move |_| {
+            let _ = tx2.send("late");
+        });
+        reactor.timer(Duration::from_millis(5), move |_| {
+            let _ = tx.send("early");
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok("early"));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok("late"));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn handler_armed_timer_reaches_its_own_token() {
+        struct TimerSelf {
+            stream: TcpStream,
+            armed: bool,
+            fired: Arc<AtomicBool>,
+        }
+        impl Handler for TimerSelf {
+            fn on_event(&mut self, event: Event, ctl: &mut Ctl<'_>) {
+                match event {
+                    Event::Notify if !self.armed => {
+                        self.armed = true;
+                        ctl.arm_timer(Duration::from_millis(5));
+                    }
+                    Event::Timer => {
+                        // Store before the write: the client asserts `fired`
+                        // as soon as the byte arrives.
+                        self.fired.store(true, Ordering::Release);
+                        let _ = self.stream.write_all(b"t");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let reactor = Reactor::new("test-reactor-self-timer");
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        let fired = Arc::new(AtomicBool::new(false));
+        use std::os::fd::AsRawFd;
+        let fd = server.as_raw_fd();
+        let token = reactor.register(
+            fd,
+            false,
+            false,
+            Box::new(TimerSelf {
+                stream: server,
+                armed: false,
+                fired: Arc::clone(&fired),
+            }),
+        );
+        reactor.notify(token);
+        let mut b = [0u8; 1];
+        client.read_exact(&mut b).unwrap();
+        assert!(fired.load(Ordering::Acquire));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn deregister_drops_handler_and_closes_socket() {
+        let reactor = Reactor::new("test-reactor-dereg");
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        let (tx, _rx) = mpsc::channel();
+        use std::os::fd::AsRawFd;
+        let fd = server.as_raw_fd();
+        let token = reactor.register(
+            fd,
+            true,
+            false,
+            Box::new(Echo {
+                stream: server,
+                events: tx,
+            }),
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while reactor.live_links() != 1 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        reactor.deregister(token);
+        // The dropped server socket surfaces as EOF on the client.
+        let mut buf = [0u8; 1];
+        assert_eq!(client.read(&mut buf).unwrap(), 0);
+        assert_eq!(reactor.live_links(), 0);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn runtime_is_process_wide_and_stable() {
+        let a = runtime();
+        let b = runtime();
+        assert!(Arc::ptr_eq(&a.reactor.shared, &b.reactor.shared));
+        assert_eq!(a.pool.workers(), POOL_WORKERS);
+    }
+}

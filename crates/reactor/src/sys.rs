@@ -1,0 +1,570 @@
+//! Raw Linux syscalls used by the reactor: epoll and eventfd.
+//!
+//! The workspace has no access to crates.io (so no `libc`/`mio`); the
+//! syscalls the event loop needs — `epoll_create1`, `epoll_ctl`,
+//! `epoll_pwait`/`epoll_pwait2`, `eventfd2`, plus `setsockopt` for
+//! sizing data-socket buffers — are issued directly with inline assembly
+//! on x86-64 Linux, in the same style as `crates/shm/src/sys.rs`. Everything that *can* go through `std` does:
+//! both descriptors are immediately wrapped in [`std::fs::File`] so close
+//! comes from the standard library, and the eventfd counter is written and
+//! drained with ordinary `Read`/`Write` calls.
+//!
+//! Sub-millisecond waits matter here: netsim pacing charges 50 µs
+//! propagation delays through reactor timers, so [`Poller::wait`] prefers
+//! `epoll_pwait2` (nanosecond timeout) and falls back to millisecond
+//! `epoll_pwait` only when the kernel lacks it.
+//!
+//! On any other platform the module compiles to stubs that report
+//! [`supported`]` == false`; the reactor then degrades to a bounded tick
+//! loop that treats every registered descriptor as ready each tick.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Whether the readiness syscalls exist on this build target.
+pub fn supported() -> bool {
+    imp::SUPPORTED
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollEvent {
+    /// The `token` the descriptor was registered under.
+    pub token: u64,
+    /// Data (or EOF) is available to read.
+    pub readable: bool,
+    /// The socket can accept writes again.
+    pub writable: bool,
+    /// Peer hangup or socket error: the link is dead and will never be
+    /// readable/writable again.
+    pub closed: bool,
+}
+
+/// An owned kernel readiness queue (one per reactor thread).
+#[derive(Debug)]
+pub struct Poller {
+    file: std::fs::File,
+}
+
+impl Poller {
+    /// Create a close-on-exec readiness queue.
+    ///
+    /// # Errors
+    ///
+    /// The raw `errno` from the kernel, or
+    /// [`io::ErrorKind::Unsupported`] on non-x86-64-Linux targets.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            file: imp::create()?,
+        })
+    }
+
+    /// Start watching `fd` under `token`. Hangup/error conditions are
+    /// always reported regardless of the interest flags.
+    ///
+    /// # Errors
+    ///
+    /// The raw `errno` from the kernel (`EEXIST` if already added).
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        imp::ctl(&self.file, imp::OP_ADD, fd, token, readable, writable)
+    }
+
+    /// Change the interest set of an already-watched `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The raw `errno` from the kernel (`ENOENT` if never added).
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        imp::ctl(&self.file, imp::OP_MOD, fd, token, readable, writable)
+    }
+
+    /// Stop watching `fd`. Must be called while `fd` is still open.
+    ///
+    /// # Errors
+    ///
+    /// The raw `errno` from the kernel.
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        imp::ctl(&self.file, imp::OP_DEL, fd, 0, false, false)
+    }
+
+    /// Block until at least one watched descriptor is ready or `timeout`
+    /// elapses (`None` blocks indefinitely). Ready descriptors are
+    /// appended to `out` (which is cleared first). An interrupted wait
+    /// returns success with no events; callers loop.
+    ///
+    /// # Errors
+    ///
+    /// The raw `errno` from the kernel.
+    pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        imp::wait(&self.file, out, timeout)
+    }
+}
+
+/// Grow `fd`'s kernel send and receive buffers to `bytes` each
+/// (best-effort; the kernel clamps to `net.core.{w,r}mem_max`).
+///
+/// Multi-megabyte frames through a nonblocking socket otherwise trickle
+/// at TCP's small *initial* buffer size, costing one reactor round trip
+/// (EAGAIN → EPOLLOUT → write) per buffer-full until auto-tuning catches
+/// up. Pre-sizing the buffers lets a large frame move in a handful of
+/// syscalls from the first write. Failure is ignored by callers: an
+/// untuned socket is slower, never incorrect.
+///
+/// # Errors
+///
+/// The raw `errno` from the kernel; never errors on stub targets.
+pub fn set_socket_buffers(fd: RawFd, bytes: usize) -> io::Result<()> {
+    imp::set_socket_buffers(fd, bytes)
+}
+
+/// A cross-thread wakeup descriptor (kernel counter): any thread bumps the
+/// counter to force a blocked [`Poller::wait`] to return.
+#[derive(Debug)]
+pub struct WakeFd {
+    file: std::fs::File,
+}
+
+impl WakeFd {
+    /// Create a nonblocking close-on-exec wakeup counter.
+    ///
+    /// # Errors
+    ///
+    /// The raw `errno` from the kernel, or
+    /// [`io::ErrorKind::Unsupported`] on non-x86-64-Linux targets.
+    pub fn new() -> io::Result<WakeFd> {
+        Ok(WakeFd {
+            file: imp::wake_new()?,
+        })
+    }
+
+    /// The descriptor to register with a [`Poller`].
+    pub fn raw_fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.file.as_raw_fd()
+    }
+
+    /// Bump the counter, waking the poller. Infallible from the caller's
+    /// view: a saturated counter already guarantees a pending wakeup.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.file).write(&1u64.to_ne_bytes());
+    }
+
+    /// Reset the counter so the next [`WakeFd::wake`] is level-visible
+    /// again. Called by the reactor thread after each wakeup.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 8];
+        // Nonblocking: one read empties the whole counter.
+        let _ = (&self.file).read(&mut buf);
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use super::PollEvent;
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    pub const SUPPORTED: bool = true;
+
+    const SYS_EPOLL_WAIT_NS: i64 = 441; // epoll_pwait2
+    const SYS_EPOLL_WAIT_MS: i64 = 281; // epoll_pwait
+    const SYS_EPOLL_CTL: i64 = 233;
+    const SYS_EPOLL_CREATE1: i64 = 291;
+    const SYS_EVENTFD2: i64 = 290;
+    const SYS_SETSOCKOPT: i64 = 54;
+
+    const SOL_SOCKET: i64 = 1;
+    const SO_SNDBUF: i64 = 7;
+    const SO_RCVBUF: i64 = 8;
+
+    const CLOEXEC: i64 = 0x8_0000; // EPOLL_CLOEXEC == EFD_CLOEXEC
+    const EFD_NONBLOCK: i64 = 0x800;
+
+    pub const OP_ADD: i64 = 1;
+    pub const OP_DEL: i64 = 2;
+    pub const OP_MOD: i64 = 3;
+
+    const EV_IN: u32 = 0x1;
+    const EV_OUT: u32 = 0x4;
+    const EV_ERR: u32 = 0x8;
+    const EV_HUP: u32 = 0x10;
+    const EV_RDHUP: u32 = 0x2000;
+
+    /// The kernel's epoll_event layout — packed on x86-64.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct RawEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    /// Raw 6-argument syscall. Return value is the kernel's `rax`:
+    /// negative values in `-4095..0` encode `-errno`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass arguments valid for syscall `nr` — pointers
+    /// must reference live memory of the size the kernel will access.
+    unsafe fn syscall6(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: i64) -> io::Result<i64> {
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error((-ret) as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn create() -> io::Result<File> {
+        // SAFETY: epoll_create1 takes a flags word and dereferences
+        // nothing.
+        let fd = check(unsafe { syscall6(SYS_EPOLL_CREATE1, CLOEXEC, 0, 0, 0, 0, 0) })?;
+        // SAFETY: fd is a fresh, owned descriptor returned by the kernel.
+        Ok(unsafe { File::from_raw_fd(fd as i32) })
+    }
+
+    pub fn wake_new() -> io::Result<File> {
+        // SAFETY: eventfd2 takes an initial count and a flags word and
+        // dereferences nothing.
+        let fd = check(unsafe { syscall6(SYS_EVENTFD2, 0, CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })?;
+        // SAFETY: fd is a fresh, owned descriptor returned by the kernel.
+        Ok(unsafe { File::from_raw_fd(fd as i32) })
+    }
+
+    pub fn ctl(
+        ep: &File,
+        op: i64,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        // Peer half-close (RDHUP) is requested alongside read interest so
+        // a write-only link still learns its peer died without polling.
+        let mut events = EV_RDHUP;
+        if readable {
+            events |= EV_IN;
+        }
+        if writable {
+            events |= EV_OUT;
+        }
+        let ev = RawEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` lives across the call (DEL ignores the pointer on
+        // modern kernels but passing it is always valid); `ep`/`fd` are
+        // live descriptors.
+        check(unsafe {
+            syscall6(
+                SYS_EPOLL_CTL,
+                ep.as_raw_fd() as i64,
+                op,
+                fd as i64,
+                &ev as *const RawEvent as i64,
+                0,
+                0,
+            )
+        })?;
+        Ok(())
+    }
+
+    pub fn set_socket_buffers(fd: RawFd, bytes: usize) -> io::Result<()> {
+        let val: i32 = bytes.min(i32::MAX as usize) as i32;
+        for opt in [SO_SNDBUF, SO_RCVBUF] {
+            // SAFETY: `val` lives across the call and optlen matches its
+            // size; `fd` is a live descriptor owned by the caller.
+            check(unsafe {
+                syscall6(
+                    SYS_SETSOCKOPT,
+                    fd as i64,
+                    SOL_SOCKET,
+                    opt,
+                    &val as *const i32 as i64,
+                    std::mem::size_of::<i32>() as i64,
+                    0,
+                )
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Latched once the kernel reports it lacks `epoll_pwait2`.
+    static NO_WAIT_NS: AtomicBool = AtomicBool::new(false);
+
+    pub fn wait(ep: &File, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        const MAX_EVENTS: usize = 256;
+        let mut buf = [RawEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let n = if NO_WAIT_NS.load(Ordering::Relaxed) {
+            wait_ms(ep, &mut buf, timeout)?
+        } else {
+            match wait_ns(ep, &mut buf, timeout) {
+                Err(e) if e.raw_os_error() == Some(38) || e.raw_os_error() == Some(1) => {
+                    // ENOSYS/EPERM: pre-5.11 kernel or seccomp; degrade to
+                    // millisecond granularity permanently.
+                    NO_WAIT_NS.store(true, Ordering::Relaxed);
+                    wait_ms(ep, &mut buf, timeout)?
+                }
+                Err(e) if e.raw_os_error() == Some(4) => 0, // EINTR: retry via caller
+                other => other?,
+            }
+        };
+        for ev in buf.iter().take(n) {
+            let bits = ev.events;
+            out.push(PollEvent {
+                token: ev.data,
+                readable: bits & EV_IN != 0,
+                writable: bits & EV_OUT != 0,
+                closed: bits & (EV_ERR | EV_HUP | EV_RDHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn wait_ns(ep: &File, buf: &mut [RawEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        let ts = timeout.map(|t| Timespec {
+            tv_sec: t.as_secs() as i64,
+            tv_nsec: i64::from(t.subsec_nanos()),
+        });
+        let ts_ptr = ts.as_ref().map_or(0i64, |t| t as *const Timespec as i64);
+        // SAFETY: `buf` is a live array of the length passed; `ts` (when
+        // present) lives across the call; the null sigmask means the
+        // sigsetsize argument is ignored.
+        let n = check(unsafe {
+            syscall6(
+                SYS_EPOLL_WAIT_NS,
+                ep.as_raw_fd() as i64,
+                buf.as_mut_ptr() as i64,
+                buf.len() as i64,
+                ts_ptr,
+                0,
+                0,
+            )
+        })?;
+        Ok(n as usize)
+    }
+
+    fn wait_ms(ep: &File, buf: &mut [RawEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        // Round up so a 50 µs timer still sleeps (1 ms) rather than
+        // busy-spinning at 0.
+        let ms = timeout.map_or(-1i64, |t| t.as_millis().max(1).min(i64::MAX as u128) as i64);
+        // SAFETY: `buf` is a live array of the length passed; the null
+        // sigmask means the sigsetsize argument is ignored.
+        let ret = unsafe {
+            syscall6(
+                SYS_EPOLL_WAIT_MS,
+                ep.as_raw_fd() as i64,
+                buf.as_mut_ptr() as i64,
+                buf.len() as i64,
+                ms,
+                0,
+                0,
+            )
+        };
+        if ret == -4 {
+            return Ok(0); // EINTR: caller re-loops
+        }
+        Ok(check(ret)? as usize)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    use super::PollEvent;
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    pub const SUPPORTED: bool = false;
+
+    pub const OP_ADD: i64 = 1;
+    pub const OP_DEL: i64 = 2;
+    pub const OP_MOD: i64 = 3;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "reactor readiness syscalls require x86-64 Linux",
+        )
+    }
+
+    pub fn create() -> io::Result<File> {
+        Err(unsupported())
+    }
+
+    pub fn wake_new() -> io::Result<File> {
+        Err(unsupported())
+    }
+
+    pub fn ctl(
+        _ep: &File,
+        _op: i64,
+        _fd: RawFd,
+        _token: u64,
+        _readable: bool,
+        _writable: bool,
+    ) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub fn wait(
+        _ep: &File,
+        _out: &mut Vec<PollEvent>,
+        _timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub fn set_socket_buffers(_fd: RawFd, _bytes: usize) -> io::Result<()> {
+        // Buffer sizing is a performance hint; stub targets simply keep
+        // the platform defaults.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn wait_times_out_with_sub_millisecond_precision() {
+        if !supported() {
+            return;
+        }
+        let p = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let t0 = Instant::now();
+        p.wait(&mut events, Some(Duration::from_micros(200)))
+            .unwrap();
+        let dt = t0.elapsed();
+        assert!(events.is_empty());
+        // Either ns-precision (sub-ms) or the ms fallback (~1 ms): both
+        // must return promptly rather than blocking.
+        assert!(dt < Duration::from_millis(100), "timeout took {dt:?}");
+    }
+
+    #[test]
+    fn socket_readiness_and_hangup_are_reported() {
+        if !supported() {
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let p = Poller::new().unwrap();
+        use std::os::fd::AsRawFd;
+        p.add(server.as_raw_fd(), 7, true, false).unwrap();
+
+        client.write_all(b"hi").unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        let mut buf = [0u8; 8];
+        assert_eq!((&server).read(&mut buf).unwrap(), 2);
+
+        drop(client);
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.closed),
+            "peer close must surface as a closed event: {events:?}"
+        );
+        p.remove(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn write_interest_fires_and_can_be_modified_away() {
+        if !supported() {
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let p = Poller::new().unwrap();
+        use std::os::fd::AsRawFd;
+        p.add(client.as_raw_fd(), 9, false, true).unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.writable));
+
+        // Dropping write interest silences the (level-triggered) event.
+        p.modify(client.as_raw_fd(), 9, false, false).unwrap();
+        p.wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "no interest -> no events: {events:?}");
+    }
+
+    #[test]
+    fn socket_buffers_can_be_grown() {
+        if !supported() {
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        use std::os::fd::AsRawFd;
+        set_socket_buffers(client.as_raw_fd(), 1 << 20).unwrap();
+        // No getsockopt wrapper to read it back; success of the syscall
+        // (and the kernel's documented clamp-don't-fail behavior) is the
+        // contract under test.
+    }
+
+    #[test]
+    fn wake_fd_unblocks_wait_and_drains() {
+        if !supported() {
+            return;
+        }
+        let p = Poller::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        p.add(wake.raw_fd(), 0, true, false).unwrap();
+
+        wake.wake();
+        wake.wake(); // counter saturates into one readable event
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 0 && e.readable));
+
+        wake.drain();
+        p.wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "drained wake must go quiet: {events:?}");
+    }
+}

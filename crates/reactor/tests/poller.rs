@@ -1,0 +1,10 @@
+//! The reactor must run on real epoll here: the degraded 1 ms tick keeps
+//! tests correct but turns every idle process into a periodic CPU burn
+//! and coarsens pacing timers, which the benches would misread as a
+//! transport regression.
+
+#[test]
+fn poller_is_active() {
+    rossf_reactor::sys::Poller::new()
+        .expect("epoll unavailable: the reactor would degrade to the 1 ms fallback tick");
+}

@@ -10,13 +10,37 @@
 use crate::error::RosError;
 use crate::fastpath::LocalAttach;
 use crate::metrics::MetricsRegistry;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use rossf_netsim::{LinkTable, MachineId};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+
+/// Lock shards for the topic and local-port tables. Registration,
+/// lookup, and unregistration during connection churn each touch one
+/// shard, so a soak with hundreds of topics joining and leaving
+/// concurrently contends on 1/16th of the registry instead of one global
+/// lock.
+const SHARDS: usize = 16;
+
+/// Shard index for a topic name.
+fn topic_shard(topic: &str) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    topic.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// Shard index for a registration id.
+fn id_shard(id: u64) -> usize {
+    id as usize % SHARDS
+}
+
+/// Callback notified of each future publisher on a watched topic.
+/// Returning `false` declares the watcher dead; the master prunes it.
+pub(crate) type WatchFn = Arc<dyn Fn(PublisherEndpoint) -> bool + Send + Sync>;
 
 /// Where a publisher for a topic accepts subscriber connections.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,15 +56,18 @@ pub struct PublisherEndpoint {
 struct TopicEntry {
     type_name: String,
     publishers: Vec<PublisherEndpoint>,
-    watchers: Vec<(u64, Sender<PublisherEndpoint>)>,
+    watchers: Vec<(u64, WatchFn)>,
 }
 
 struct MasterInner {
-    topics: Mutex<HashMap<String, TopicEntry>>,
+    /// Topic registry, hash-sharded by topic name: all state for one topic
+    /// lives in exactly one shard's map.
+    topics: [Mutex<HashMap<String, TopicEntry>>; SHARDS],
     /// Registration id → same-process attach hook for the zero-copy fast
-    /// path. `Weak` so a dropped publisher vanishes without a round-trip;
-    /// locked independently of (and never nested with) `topics`.
-    local_ports: Mutex<HashMap<u64, Weak<dyn LocalAttach>>>,
+    /// path, sharded by id. `Weak` so a dropped publisher vanishes without
+    /// a round-trip; each shard is locked independently of (and never
+    /// nested with) any `topics` shard.
+    local_ports: [Mutex<HashMap<u64, Weak<dyn LocalAttach>>>; SHARDS],
     links: LinkTable,
     services: crate::service::ServiceRegistry,
     metrics: MetricsRegistry,
@@ -65,8 +92,8 @@ impl Master {
     pub fn new() -> Self {
         Master {
             inner: Arc::new(MasterInner {
-                topics: Mutex::new(HashMap::new()),
-                local_ports: Mutex::new(HashMap::new()),
+                topics: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+                local_ports: std::array::from_fn(|_| Mutex::new(HashMap::new())),
                 links: LinkTable::new(),
                 services: crate::service::ServiceRegistry::default(),
                 metrics: MetricsRegistry::new(),
@@ -133,18 +160,19 @@ impl Master {
     ) -> Result<u64, RosError> {
         let id = self.fresh_id();
         {
-            let mut ports = self.inner.local_ports.lock();
+            let mut ports = self.inner.local_ports[id_shard(id)].lock();
             // Prune entries whose publisher core is already gone while the
-            // lock is held anyway — a publisher that died without a clean
-            // unregister (panicked teardown) must not pin map entries
-            // forever.
+            // shard lock is held anyway — a publisher that died without a
+            // clean unregister (panicked teardown) must not pin map entries
+            // forever. Per-shard: siblings in other shards are pruned when
+            // *their* shard is next touched.
             ports.retain(|_, p| p.strong_count() != 0);
             ports.insert(id, port);
         }
         match self.register_with_id(topic, type_name, addr, machine, id) {
             Ok(()) => Ok(id),
             Err(e) => {
-                self.inner.local_ports.lock().remove(&id);
+                self.inner.local_ports[id_shard(id)].lock().remove(&id);
                 Err(e)
             }
         }
@@ -158,24 +186,45 @@ impl Master {
         machine: MachineId,
         id: u64,
     ) -> Result<(), RosError> {
-        let mut topics = self.inner.topics.lock();
-        let entry = topics
-            .entry(topic.to_string())
-            .or_insert_with(|| TopicEntry {
-                type_name: type_name.to_string(),
-                publishers: Vec::new(),
-                watchers: Vec::new(),
-            });
-        if entry.type_name != type_name {
-            return Err(RosError::TypeMismatch {
-                topic: topic.to_string(),
-                registered: entry.type_name.clone(),
-                attempted: type_name.to_string(),
-            });
-        }
+        let shard = &self.inner.topics[topic_shard(topic)];
         let ep = PublisherEndpoint { addr, machine, id };
-        entry.publishers.push(ep.clone());
-        entry.watchers.retain(|(_, w)| w.send(ep.clone()).is_ok());
+        // Snapshot the watcher callbacks under the shard lock but *invoke*
+        // them outside it: a callback may call back into the master (e.g.
+        // to look up a fast-path port) or do real work, neither of which
+        // may hold up other registrations on this shard.
+        let watchers: Vec<(u64, WatchFn)> = {
+            let mut topics = shard.lock();
+            let entry = topics
+                .entry(topic.to_string())
+                .or_insert_with(|| TopicEntry {
+                    type_name: type_name.to_string(),
+                    publishers: Vec::new(),
+                    watchers: Vec::new(),
+                });
+            if entry.type_name != type_name {
+                return Err(RosError::TypeMismatch {
+                    topic: topic.to_string(),
+                    registered: entry.type_name.clone(),
+                    attempted: type_name.to_string(),
+                });
+            }
+            entry.publishers.push(ep.clone());
+            entry
+                .watchers
+                .iter()
+                .map(|(wid, w)| (*wid, Arc::clone(w)))
+                .collect()
+        };
+        let dead: Vec<u64> = watchers
+            .iter()
+            .filter(|(_, w)| !w(ep.clone()))
+            .map(|(wid, _)| *wid)
+            .collect();
+        if !dead.is_empty() {
+            if let Some(entry) = shard.lock().get_mut(topic) {
+                entry.watchers.retain(|(wid, _)| !dead.contains(wid));
+            }
+        }
         Ok(())
     }
 
@@ -184,24 +233,27 @@ impl Master {
     /// subscriber must use TCP (remote endpoint, fast path disabled, or a
     /// peer predating the capability).
     pub(crate) fn local_port(&self, id: u64) -> Option<Arc<dyn LocalAttach>> {
-        let mut ports = self.inner.local_ports.lock();
+        let mut ports = self.inner.local_ports[id_shard(id)].lock();
         // Same pruning as registration: lookups are the other hot moment
-        // this map is locked, so dead `Weak`s never outlive the next one.
+        // a shard is locked, so dead `Weak`s never outlive the shard's
+        // next touch.
         ports.retain(|_, p| p.strong_count() != 0);
         ports.get(&id).and_then(Weak::upgrade)
     }
 
     /// Remove a publisher registration (called when the publisher drops).
     pub fn unregister_publisher(&self, topic: &str, id: u64) {
-        if let Some(entry) = self.inner.topics.lock().get_mut(topic) {
+        if let Some(entry) = self.inner.topics[topic_shard(topic)].lock().get_mut(topic) {
             entry.publishers.retain(|p| p.id != id);
         }
-        self.inner.local_ports.lock().remove(&id);
+        self.inner.local_ports[id_shard(id)].lock().remove(&id);
     }
 
     /// Register interest in `topic`: returns the current publishers, a
     /// channel yielding future ones, and a watcher id for
-    /// [`Master::unregister_subscriber`].
+    /// [`Master::unregister_subscriber`]. A convenience wrapper over
+    /// [`Master::register_subscriber_watch`] for callers that want to poll
+    /// a channel; the channel's send doubles as the watcher's liveness.
     ///
     /// # Errors
     ///
@@ -212,8 +264,37 @@ impl Master {
         topic: &str,
         type_name: &str,
     ) -> Result<(Vec<PublisherEndpoint>, Receiver<PublisherEndpoint>, u64), RosError> {
+        let (tx, rx) = unbounded();
+        let (eps, id) = self.register_subscriber_watch(
+            topic,
+            type_name,
+            Arc::new(move |ep| tx.send(ep).is_ok()),
+        )?;
+        Ok((eps, rx, id))
+    }
+
+    /// Register interest in `topic`: returns the current publishers plus a
+    /// watcher id, and invokes `watch` for every publisher that registers
+    /// later. The callback runs on the registering publisher's thread,
+    /// outside any master lock — it may call back into the master, but it
+    /// must not block for long. Returning `false` unregisters the watcher.
+    ///
+    /// Snapshot and watcher installation are atomic under the topic's
+    /// shard lock, so no concurrently registering publisher is either
+    /// missed or delivered twice.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`] if the topic already carries a different
+    /// type.
+    pub(crate) fn register_subscriber_watch(
+        &self,
+        topic: &str,
+        type_name: &str,
+        watch: WatchFn,
+    ) -> Result<(Vec<PublisherEndpoint>, u64), RosError> {
         let id = self.fresh_id();
-        let mut topics = self.inner.topics.lock();
+        let mut topics = self.inner.topics[topic_shard(topic)].lock();
         let entry = topics
             .entry(topic.to_string())
             .or_insert_with(|| TopicEntry {
@@ -228,15 +309,14 @@ impl Master {
                 attempted: type_name.to_string(),
             });
         }
-        let (tx, rx) = unbounded();
-        entry.watchers.push((id, tx));
-        Ok((entry.publishers.clone(), rx, id))
+        entry.watchers.push((id, watch));
+        Ok((entry.publishers.clone(), id))
     }
 
     /// Remove a subscriber watcher (called when the subscriber drops). The
-    /// watcher's channel sender is dropped, ending its notification stream.
+    /// watcher callback is dropped, ending its notification stream.
     pub fn unregister_subscriber(&self, topic: &str, id: u64) {
-        if let Some(entry) = self.inner.topics.lock().get_mut(topic) {
+        if let Some(entry) = self.inner.topics[topic_shard(topic)].lock().get_mut(topic) {
             entry.watchers.retain(|(wid, _)| *wid != id);
         }
     }
@@ -248,8 +328,7 @@ impl Master {
     /// supervisor can stand down (a replacement arrives via the watcher
     /// channel with a fresh id).
     pub fn lookup_publisher(&self, topic: &str, id: u64) -> Option<PublisherEndpoint> {
-        self.inner
-            .topics
+        self.inner.topics[topic_shard(topic)]
             .lock()
             .get(topic)
             .and_then(|e| e.publishers.iter().find(|p| p.id == id).cloned())
@@ -257,8 +336,7 @@ impl Master {
 
     /// Message type currently registered for `topic`, if any.
     pub fn topic_type(&self, topic: &str) -> Option<String> {
-        self.inner
-            .topics
+        self.inner.topics[topic_shard(topic)]
             .lock()
             .get(topic)
             .map(|e| e.type_name.clone())
@@ -266,16 +344,21 @@ impl Master {
 
     /// Number of live publishers on `topic`.
     pub fn publisher_count(&self, topic: &str) -> usize {
-        self.inner
-            .topics
+        self.inner.topics[topic_shard(topic)]
             .lock()
             .get(topic)
             .map_or(0, |e| e.publishers.len())
     }
 
-    /// Names of all known topics, sorted.
+    /// Names of all known topics, sorted. Locks each shard in turn — the
+    /// view is per-shard consistent, not a global atomic snapshot.
     pub fn topic_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.topics.lock().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .inner
+            .topics
+            .iter()
+            .flat_map(|s| s.lock().keys().cloned().collect::<Vec<_>>())
+            .collect();
         names.sort();
         names
     }
@@ -286,17 +369,31 @@ impl Master {
         use std::fmt::Write;
         let mut out = String::from("digraph rossf {\n  rankdir=LR;\n");
         {
-            let topics = self.inner.topics.lock();
-            let mut names: Vec<_> = topics.keys().cloned().collect();
-            names.sort();
-            for name in names {
-                let entry = &topics[&name];
+            // Collect per-topic stats shard by shard, then emit sorted so
+            // the rendering is stable regardless of shard assignment.
+            let mut rows: Vec<(String, String, usize, usize)> = self
+                .inner
+                .topics
+                .iter()
+                .flat_map(|s| {
+                    s.lock()
+                        .iter()
+                        .map(|(name, e)| {
+                            (
+                                name.clone(),
+                                e.type_name.clone(),
+                                e.publishers.len(),
+                                e.watchers.len(),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            rows.sort();
+            for (name, type_name, pubs, subs) in rows {
                 let _ = writeln!(
                     out,
-                    "  \"{name}\" [shape=box, label=\"{name}\\n{}\\npubs={} subs={}\"];",
-                    entry.type_name,
-                    entry.publishers.len(),
-                    entry.watchers.len()
+                    "  \"{name}\" [shape=box, label=\"{name}\\n{type_name}\\npubs={pubs} subs={subs}\"];",
                 );
             }
         }
@@ -459,10 +556,19 @@ mod tests {
         }
     }
 
+    /// Total entries across every local-port shard.
+    fn local_port_count(m: &Master) -> usize {
+        m.inner.local_ports.iter().map(|s| s.lock().len()).sum()
+    }
+
     /// Regression: a publisher core that dies without a clean
     /// `unregister_publisher` (panicked teardown, leaked id) leaves a dead
     /// `Weak` in the local-port map; both lookup and registration prune
-    /// such entries so the map never grows without bound.
+    /// such entries so no shard's map grows without bound. Pruning is
+    /// per-shard — a dead entry vanishes the next time *its* shard is
+    /// touched, so the test drives lookups/registrations landing in the
+    /// dead entries' own shards (ids are sequential; `SHARDS` apart means
+    /// same shard).
     #[test]
     fn dead_local_port_entries_are_pruned() {
         let m = Master::new();
@@ -486,27 +592,37 @@ mod tests {
                 Arc::downgrade(&dead) as Weak<dyn LocalAttach>,
             )
             .unwrap();
-        assert_eq!(m.inner.local_ports.lock().len(), 2);
+        assert_eq!(local_port_count(&m), 2);
 
-        // Kill one core without unregistering, then look up the *other*
-        // id: the dead entry is pruned as a side effect.
+        // Kill one core without unregistering, then look it up: the dead
+        // entry is pruned from its shard as a side effect (the lookup
+        // itself misses because the `Weak` no longer upgrades).
         drop(dead);
         assert!(m.local_port(live_id).is_some());
-        assert_eq!(m.inner.local_ports.lock().len(), 1);
         assert!(m.local_port(dead_id).is_none());
+        assert_eq!(local_port_count(&m), 1);
 
-        // Registration prunes too: kill the remaining core and register a
-        // fresh one — the map holds exactly the new entry.
+        // Registration prunes its shard too: kill the remaining core and
+        // register fresh ones until one lands in the dead entry's shard —
+        // at that point the stale `Weak` is gone without any lookup.
         drop(live);
         let fresh = Arc::new(DummyPort);
-        m.register_publisher_local(
-            "t",
-            "T",
-            addr(3),
-            MachineId::A,
-            Arc::downgrade(&fresh) as Weak<dyn LocalAttach>,
-        )
-        .unwrap();
-        assert_eq!(m.inner.local_ports.lock().len(), 1);
+        let mut fresh_count = 0;
+        loop {
+            let id = m
+                .register_publisher_local(
+                    "t",
+                    "T",
+                    addr(3),
+                    MachineId::A,
+                    Arc::downgrade(&fresh) as Weak<dyn LocalAttach>,
+                )
+                .unwrap();
+            fresh_count += 1;
+            if id_shard(id) == id_shard(live_id) {
+                break;
+            }
+        }
+        assert_eq!(local_port_count(&m), fresh_count);
     }
 }

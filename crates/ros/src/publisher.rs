@@ -1,16 +1,19 @@
 //! The publisher side of a topic.
 //!
 //! `advertise` binds a TCP listener and registers it with the master. Each
-//! subscriber that connects gets its own bounded *transmission queue* and
-//! writer thread (the queue of paper Fig. 8: `publish` deposits a cheap
-//! clone of the encoded frame — for serialization-free messages, a clone of
-//! the buffer pointer — and returns; the writer threads drain to the
-//! sockets). Cross-machine connections are paced by the master's
-//! [`LinkTable`](rossf_netsim::LinkTable), and any
-//! [`FaultInjector`](rossf_netsim::FaultInjector) attached to the link is
-//! applied frame-by-frame in the writer loop: delayed frames sleep, dropped
-//! frames are skipped, and a severed link shuts the socket down and refuses
-//! new connections until healed.
+//! subscriber that connects gets its own bounded *transmission queue* (the
+//! queue of paper Fig. 8: `publish` deposits a cheap clone of the encoded
+//! frame — for serialization-free messages, a clone of the buffer pointer —
+//! and returns). TCP queues drain on the process-wide
+//! [reactor](rossf_reactor): the listener and every writer are nonblocking
+//! state machines on one shared event loop, so the thread count stays O(1)
+//! no matter how many subscribers connect. Cross-machine connections are
+//! paced by the master's [`LinkTable`](rossf_netsim::LinkTable) through
+//! reactor timers, and any [`FaultInjector`](rossf_netsim::FaultInjector)
+//! attached to the link is applied frame-by-frame in the writer state
+//! machine: delayed frames wait out a timer, dropped frames are skipped,
+//! and a severed link shuts the socket down and refuses new connections
+//! until healed.
 
 use crate::config::TransportConfig;
 use crate::error::RosError;
@@ -21,24 +24,32 @@ use crate::metrics::TransportMetrics;
 use crate::options::{PublisherOptions, PublisherStats};
 use crate::shm::{SHM_EPOCH_FIELD, SHM_FD_FIELD, SHM_FIELD, SHM_PID_FIELD, SHM_PUB_PID_FIELD};
 use crate::traits::Encode;
-use crate::wire::{write_frame_vectored, ConnectionHeader, OutFrame, ShmSlot};
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
+use crate::wire::{frame_len_prefix, grow_socket_buffers, ConnectionHeader, OutFrame, ShmSlot};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
-use rossf_netsim::{FaultAction, FaultInjector, MachineId, ShapedWriter};
+use rossf_netsim::{FaultAction, FaultInjector, MachineId, Shaper};
+use rossf_reactor::{runtime, Ctl, Event, Handler, Reactor, Token};
 use rossf_sfm::{SfmAlloc, SfmBox, SfmMessage};
-use rossf_shm::{FrameMeta, PushOutcome, SegmentPool, SharedFrame, ShmLink};
+use rossf_shm::{FrameMeta, SegmentPool, SharedFrame, ShmLink};
 use rossf_trace::{now_nanos, tracer, Stage, Tier, TopicTrace};
-use std::io::{BufReader, Read, Write};
+use std::collections::VecDeque;
+use std::io::{BufReader, IoSlice, Read, Write};
 use std::marker::PhantomData;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::Duration;
 
-/// Most frames a writer wakeup drains into one socket flush. Bounds the
+/// Most frames a writer wakeup admits into one socket flush. Bounds the
 /// latency a freshly queued frame can hide behind a long batch while still
 /// amortizing the per-wakeup syscall cost.
 const WRITE_BATCH: usize = 32;
+
+/// Admission batches one writer dispatch may process before yielding the
+/// shared loop back (leftover frames re-notify the token), so a firehose
+/// topic cannot starve other links.
+const BATCHES_PER_DISPATCH: usize = 4;
 
 struct Conn {
     queue: Sender<OutFrame>,
@@ -47,6 +58,369 @@ struct Conn {
     /// clones get the publish's [`ShmSlot`] attached so all shm links of
     /// one publish share a single pooled segment.
     is_shm: bool,
+    /// Reactor registration of the TCP writer state machine draining this
+    /// queue; `None` for shm and fast-path connections (their drains are
+    /// channel-timeout loops, not fd-driven). `fan_out` notifies the token
+    /// after depositing frames, and `Drop` notifies it after closing the
+    /// queue so the writer observes the disconnect.
+    token: Option<Token>,
+}
+
+/// Reactor handler for the publisher's listening socket: accepts ready
+/// connections and hands each handshake to the job pool (header reads and
+/// shm link creation block, so they must not run on the shared loop).
+///
+/// Holds only a `Weak` core reference — the accept path must not keep the
+/// publisher alive. When the core is gone (or shutting down) the handler
+/// closes itself, dropping the listener.
+struct Acceptor {
+    listener: TcpListener,
+    core: Weak<PubCore>,
+}
+
+impl Handler for Acceptor {
+    fn on_event(&mut self, event: Event, ctl: &mut Ctl) {
+        if matches!(event, Event::Closed) {
+            ctl.close();
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let Some(core) = self.core.upgrade() else {
+                        ctl.close();
+                        return;
+                    };
+                    // Relaxed: standalone exit flag.
+                    if core.shutdown.load(Ordering::Relaxed) {
+                        ctl.close();
+                        return;
+                    }
+                    runtime().pool.spawn(move || {
+                        let _ = core.handle_subscriber(stream);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                // Transient accept errors (ECONNABORTED and friends): the
+                // next readable event retries.
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// One frame admitted to the wire: its length prefix, payload, and the
+/// trace bookkeeping captured at admission.
+struct Pending {
+    frame: OutFrame,
+    prefix: [u8; 4],
+    /// Trace id (0 = untraced) and the wire-write span's start time.
+    trace_id: u64,
+    t_start: u64,
+    /// Position of this frame in the socket's wire order — the sidecar key
+    /// the subscriber-side reader settles against.
+    seq: u64,
+}
+
+/// Why the writer is not admitting frames right now. At most one frame is
+/// ever stalled; it rejoins the flow when the armed timer fires.
+enum Stall {
+    /// An injected [`FaultAction::Delay`]: the frame waits out the delay
+    /// *before* admission (faults precede sequencing, so a frame that is
+    /// subsequently dropped never consumes a wire seq).
+    FaultDelay(OutFrame),
+    /// Link pacing: the admitted frame waits out its modeled latency +
+    /// transmit time before joining the write queue.
+    Pacing(Pending),
+}
+
+/// Outcome of one attempt to flush the write queue to the socket.
+enum Flush {
+    /// Everything queued is on the wire.
+    Drained,
+    /// The socket would block; wait for writability.
+    Blocked,
+    /// The peer is gone (EOF on write or a hard error).
+    Dead,
+}
+
+/// Reactor handler for one TCP subscriber link — the state-machine form of
+/// the old per-connection writer thread. Frames arrive on the bounded
+/// transmission queue (`fan_out` notifies the token after depositing),
+/// pass fault injection, pick up their enqueue/wire-write trace spans and
+/// sidecar notes, and drain to the nonblocking socket in vectored batches.
+/// Link shaping becomes reactor timers instead of sleeps: each frame's
+/// modeled `latency + transmit` wait is charged before it joins the write
+/// queue, reproducing the serial per-frame pacing of the threaded writer.
+struct TcpWriter {
+    stream: TcpStream,
+    rx: Receiver<OutFrame>,
+    alive: Arc<AtomicBool>,
+    injector: Option<Arc<FaultInjector>>,
+    metrics: Arc<TransportMetrics>,
+    trace: Option<Arc<TopicTrace>>,
+    conn_key: u64,
+    /// Frames actually written on this socket, in wire order. Dropped and
+    /// severed frames never reach the stream, so they must not advance the
+    /// sequence the reader counts.
+    wire_seq: u64,
+    shaper: Shaper,
+    /// Frames admitted and (possibly partially) written; head first.
+    writeq: VecDeque<Pending>,
+    /// Bytes of the head frame (prefix + payload) already on the wire.
+    head_written: usize,
+    stall: Option<Stall>,
+    /// Current writability interest, tracked to skip no-op updates.
+    want_writable: bool,
+    /// The transmission queue's senders are gone (publisher dropped): die
+    /// once the tail drains.
+    disconnected: bool,
+}
+
+impl Handler for TcpWriter {
+    fn on_event(&mut self, event: Event, ctl: &mut Ctl) {
+        match event {
+            Event::Closed => self.die(ctl),
+            Event::Timer => {
+                match self.stall.take() {
+                    Some(Stall::FaultDelay(frame)) => self.admit(frame, ctl),
+                    Some(Stall::Pacing(pending)) => self.writeq.push_back(pending),
+                    None => {}
+                }
+                self.pump(ctl);
+            }
+            // Notify (frames deposited / queue closed), Writable (socket
+            // unblocked), or a spurious Readable: drive the machine.
+            _ => self.pump(ctl),
+        }
+    }
+}
+
+impl TcpWriter {
+    /// Admit one fault-passed frame: stamp trace spans and the sidecar
+    /// note, assign its wire sequence, then either queue it for writing or
+    /// stall it behind a pacing timer.
+    fn admit(&mut self, frame: OutFrame, ctl: &mut Ctl) {
+        let prefix = match frame_len_prefix(frame.len()) {
+            Ok(len) => len.to_le_bytes(),
+            // Unreachable in practice (`fan_out` bounds frames by
+            // `max_frame_len`); treat like the old writer's write failure.
+            Err(_) => {
+                self.metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        // `enqueue` span ends (and the sidecar note lands) *before* the
+        // frame bytes can hit the socket, so the reader can never observe
+        // the frame without its note.
+        let tag = frame.trace();
+        let (trace_id, t_start) = match (self.trace.as_deref(), tag.id) {
+            (Some(table), id) if id != 0 => {
+                let t = now_nanos();
+                tracer().span(table, Stage::Enqueue, Tier::Tcp, id, tag.enqueued_ns, t);
+                tracer()
+                    .sidecar()
+                    .insert(self.conn_key, self.wire_seq, id, t);
+                (id, t)
+            }
+            _ => (0, 0),
+        };
+        let seq = self.wire_seq;
+        self.wire_seq += 1;
+        let pending = Pending {
+            prefix,
+            trace_id,
+            t_start,
+            seq,
+            frame,
+        };
+        // Per-frame pacing parity with the threaded `ShapedWriter`: charge
+        // the link latency once per frame plus the transmit time of prefix
+        // and payload. `reserve` advances the shaper's busy horizon, so
+        // back-to-back frames serialize exactly as the old sleeps did.
+        let wait = self.shaper.profile().latency + self.shaper.reserve(4 + pending.frame.len());
+        if wait.is_zero() {
+            self.writeq.push_back(pending);
+        } else {
+            self.stall = Some(Stall::Pacing(pending));
+            ctl.arm_timer(wait);
+        }
+    }
+
+    /// Drive the machine: flush queued bytes, then admit more frames, up
+    /// to [`BATCHES_PER_DISPATCH`] rounds before yielding the shared loop.
+    fn pump(&mut self, ctl: &mut Ctl) {
+        for _ in 0..BATCHES_PER_DISPATCH {
+            match self.flush_writeq() {
+                Flush::Blocked => {
+                    self.set_writable(true, ctl);
+                    return;
+                }
+                Flush::Dead => {
+                    self.die(ctl);
+                    return;
+                }
+                Flush::Drained => self.set_writable(false, ctl),
+            }
+            if self.stall.is_some() {
+                // A timer owns the next step; nothing to do until it fires.
+                return;
+            }
+            let mut admitted = false;
+            while self.writeq.len() < WRITE_BATCH {
+                match self.rx.try_recv() {
+                    Ok(frame) => {
+                        admitted = true;
+                        match self
+                            .injector
+                            .as_ref()
+                            .map_or(FaultAction::Pass, |f| f.next_frame_action())
+                        {
+                            FaultAction::Pass => {
+                                self.admit(frame, ctl);
+                                if self.stall.is_some() {
+                                    break;
+                                }
+                            }
+                            FaultAction::Delay(d) => {
+                                self.stall = Some(Stall::FaultDelay(frame));
+                                ctl.arm_timer(d);
+                                break;
+                            }
+                            FaultAction::Drop => {
+                                self.metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            FaultAction::Sever => {
+                                // The frame is lost and the connection cut
+                                // at the transport level, exactly like a
+                                // yanked cable.
+                                self.metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                                let _ = self.stream.shutdown(Shutdown::Both);
+                                self.die(ctl);
+                                return;
+                            }
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.disconnected = true;
+                        break;
+                    }
+                }
+            }
+            if self.writeq.is_empty() {
+                if self.stall.is_some() {
+                    return;
+                }
+                if self.disconnected {
+                    self.die(ctl);
+                    return;
+                }
+                if !admitted {
+                    return; // idle: wait for the next notify
+                }
+                // Admitted but everything was fault-dropped: poll again.
+            }
+        }
+        // Batch cap hit with work remaining: hand the loop back to other
+        // links and reschedule ourselves.
+        if !self.writeq.is_empty() || !self.rx.is_empty() {
+            let token = ctl.token();
+            ctl.reactor().notify(token);
+        }
+    }
+
+    /// One vectored write over everything queued, resuming the head frame
+    /// at its partial-write offset.
+    fn flush_writeq(&mut self) -> Flush {
+        while !self.writeq.is_empty() {
+            let wrote = {
+                let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.writeq.len() * 2);
+                for (i, p) in self.writeq.iter().enumerate() {
+                    if i == 0 && self.head_written > 0 {
+                        let off = self.head_written;
+                        if off < 4 {
+                            slices.push(IoSlice::new(&p.prefix[off..]));
+                            slices.push(IoSlice::new(p.frame.as_slice()));
+                        } else {
+                            slices.push(IoSlice::new(&p.frame.as_slice()[off - 4..]));
+                        }
+                    } else {
+                        slices.push(IoSlice::new(&p.prefix));
+                        slices.push(IoSlice::new(p.frame.as_slice()));
+                    }
+                }
+                self.stream.write_vectored(&slices)
+            };
+            match wrote {
+                Ok(0) => return Flush::Dead,
+                Ok(mut n) => {
+                    while n > 0 {
+                        let head_len = match self.writeq.front() {
+                            Some(p) => 4 + p.frame.len(),
+                            None => break,
+                        };
+                        let remaining = head_len - self.head_written;
+                        if n >= remaining {
+                            n -= remaining;
+                            self.head_written = 0;
+                            let done = self.writeq.pop_front().expect("head frame exists");
+                            self.frame_done(done);
+                        } else {
+                            self.head_written += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Flush::Blocked,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Flush::Dead,
+            }
+        }
+        Flush::Drained
+    }
+
+    /// A frame's last byte hit the socket: close its wire-write span,
+    /// settle its sidecar note, and count it sent.
+    fn frame_done(&mut self, p: Pending) {
+        if let (Some(table), true) = (self.trace.as_deref(), p.trace_id != 0) {
+            let t1 = now_nanos();
+            tracer().span(
+                table,
+                Stage::WireWrite,
+                Tier::Tcp,
+                p.trace_id,
+                p.t_start,
+                t1,
+            );
+            tracer().sidecar().update_sent(self.conn_key, p.seq, t1);
+        }
+        self.metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes_sent
+            .fetch_add(p.frame.len() as u64, Ordering::Relaxed);
+    }
+
+    fn set_writable(&mut self, want: bool, ctl: &mut Ctl) {
+        if self.want_writable != want {
+            self.want_writable = want;
+            // Readability is never wanted: hangup delivery does not
+            // require it.
+            ctl.set_interest(false, want);
+        }
+    }
+
+    /// Tear the link down: mark the connection dead for the pruners, count
+    /// the disconnect once, and drop out of the loop (closing the socket).
+    fn die(&mut self, ctl: &mut Ctl) {
+        // Swap so a Closed event racing a sever counts one disconnect.
+        // Relaxed: standalone liveness flag; the pruner that reads it takes
+        // the sink lock, which orders the removal.
+        if self.alive.swap(false, Ordering::Relaxed) {
+            self.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        ctl.close();
+    }
 }
 
 struct PubCore {
@@ -82,6 +456,13 @@ struct PubCore {
     /// Whether `Publisher::loan` may hand out shared-memory-backed loans
     /// ([`PublisherOptions::shm_loans`], on by default).
     shm_loans: bool,
+    /// The process-wide event loop this publisher's listener and TCP
+    /// writers are registered on.
+    reactor: Reactor,
+    /// Reactor registration of the accept handler; set once right after
+    /// `advertise` registers it, deregistered (closing the listener) when
+    /// the core drops.
+    listener_token: OnceLock<Token>,
 }
 
 impl PubCore {
@@ -101,30 +482,6 @@ impl PubCore {
         let mut conns = self.conns.lock();
         conns.retain(|c| c.alive.load(Ordering::Acquire));
         conns.push(conn);
-    }
-
-    /// Accept loop. Holds only a `Weak` reference so that dropping the last
-    /// `Publisher` clone tears the core down (its `Drop` then wakes this
-    /// loop with a dummy connection, and the upgrade below fails).
-    fn accept_loop(core: std::sync::Weak<Self>, listener: TcpListener) {
-        loop {
-            let stream = match listener.accept() {
-                Ok((s, _)) => s,
-                Err(_) => break,
-            };
-            let Some(strong) = core.upgrade() else { break };
-            // Relaxed: `shutdown` is a standalone exit flag — no data is
-            // published through it, and a late observation only delays
-            // this accept loop's exit by one connection.
-            if strong.shutdown.load(Ordering::Relaxed) {
-                break;
-            }
-            // Handshake on its own thread so a slow subscriber cannot
-            // stall other joins.
-            std::thread::spawn(move || {
-                let _ = strong.handle_subscriber(stream);
-            });
-        }
     }
 
     fn handle_subscriber(self: Arc<Self>, mut stream: TcpStream) -> Result<(), RosError> {
@@ -203,115 +560,70 @@ impl PubCore {
 
         if let Some(link) = shm_link {
             self.metrics.shm_handshakes.fetch_add(1, Ordering::Relaxed);
-            // The grant condition above guarantees `sub_pid` is present.
-            return self.run_shm_link(stream, link, injector, sub_pid.unwrap_or_default());
+            // The ring producer blocks on the transmission queue for the
+            // life of the link — a dedicated thread, never a pool worker
+            // (this function runs on the pool, and four shm links would
+            // otherwise starve it). The grant condition above guarantees
+            // `sub_pid` is present.
+            let core = Arc::clone(&self);
+            let pid = sub_pid.unwrap_or_default();
+            let spawned = std::thread::Builder::new()
+                .name("rossf-shm-pub".to_string())
+                .spawn(move || {
+                    let _ = core.run_shm_link(stream, link, injector, pid);
+                });
+            if let Err(e) = spawned {
+                return Err(RosError::Io(e));
+            }
+            return Ok(());
         }
 
         // Link shaping: pace the data path if the subscriber lives on a
         // different simulated machine.
         let profile = self.master.links().profile(self.machine, sub_machine);
-        let mut wire = ShapedWriter::new(stream, profile);
 
         let (tx, rx) = bounded::<OutFrame>(self.queue_size.max(1));
         let alive = Arc::new(AtomicBool::new(true));
-        self.add_conn(Arc::new(Conn {
-            queue: tx,
-            alive: Arc::clone(&alive),
-            is_shm: false,
-        }));
-        let metrics = Arc::clone(&self.metrics);
         // A socket subscriber arrived: attribute publish-side spans to TCP.
         self.tier_hint.store(0, Ordering::Relaxed);
-        // Per-connection trace state, captured before the core reference is
-        // released below. The connection key mirrors the reader's
-        // `conn_key(peer, local)` — same address pair, same order.
+        // Per-connection trace state. The connection key mirrors the
+        // reader's `conn_key(peer, local)` — same address pair, same order.
         let trace = self.trace.clone();
-        let conn_key = match (wire.get_ref().local_addr(), wire.get_ref().peer_addr()) {
+        let conn_key = match (stream.local_addr(), stream.peer_addr()) {
             (Ok(local), Ok(peer)) => rossf_trace::conn_key(&local.to_string(), &peer.to_string()),
             _ => 0,
         };
-        // Frames actually written on this socket, in wire order. Dropped and
-        // severed frames never reach the stream, so they must not advance
-        // the sequence the reader counts.
-        let mut wire_seq: u64 = 0;
-        // Release our strong reference: the writer loop must not keep the
-        // core alive, or dropping the last Publisher could never clear the
-        // queues this loop waits on.
-        drop(self);
-
-        // Writer thread body (we are already on a dedicated thread).
-        // Drain-batch: block for the first frame of a wakeup, then pull
-        // whatever else is already queued and flush the socket once for the
-        // whole batch instead of once per frame.
-        let mut batch: Vec<OutFrame> = Vec::with_capacity(WRITE_BATCH);
-        'conn: while let Ok(first) = rx.recv() {
-            batch.clear();
-            batch.push(first);
-            while batch.len() < WRITE_BATCH {
-                match rx.try_recv() {
-                    Ok(frame) => batch.push(frame),
-                    Err(_) => break,
-                }
-            }
-            let mut wrote = false;
-            for frame in &batch {
-                match injector
-                    .as_ref()
-                    .map_or(FaultAction::Pass, |f| f.next_frame_action())
-                {
-                    FaultAction::Pass => {}
-                    FaultAction::Delay(d) => std::thread::sleep(d),
-                    FaultAction::Drop => {
-                        metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    FaultAction::Sever => {
-                        // The frame is lost and the connection is cut at the
-                        // transport level, exactly like a yanked cable.
-                        metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
-                        let _ = wire.get_ref().shutdown(Shutdown::Both);
-                        break 'conn;
-                    }
-                }
-                // `enqueue` span ends (and the sidecar note lands) *before*
-                // the frame bytes hit the socket, so the reader can never
-                // observe the frame without its note.
-                let tag = frame.trace();
-                let t_write_start = match (trace.as_deref(), tag.id) {
-                    (Some(table), id) if id != 0 => {
-                        let t = now_nanos();
-                        tracer().span(table, Stage::Enqueue, Tier::Tcp, id, tag.enqueued_ns, t);
-                        tracer().sidecar().insert(conn_key, wire_seq, id, t);
-                        Some(t)
-                    }
-                    _ => None,
-                };
-                wire.start_frame();
-                match write_frame_vectored(&mut wire, frame.as_slice()) {
-                    Ok(()) => {
-                        wrote = true;
-                        if let (Some(table), Some(t0)) = (trace.as_deref(), t_write_start) {
-                            let t1 = now_nanos();
-                            tracer().span(table, Stage::WireWrite, Tier::Tcp, tag.id, t0, t1);
-                            tracer().sidecar().update_sent(conn_key, wire_seq, t1);
-                        }
-                        wire_seq += 1;
-                        metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
-                        metrics
-                            .bytes_sent
-                            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-                    }
-                    Err(_) => break 'conn, // subscriber went away
-                }
-            }
-            if wrote && wire.flush().is_err() {
-                break;
-            }
-        }
-        // Relaxed: `alive` is a standalone liveness flag; the pruner that
-        // reads it takes the sink lock, which orders the removal.
-        alive.store(false, Ordering::Relaxed);
-        metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+        // Hand the socket to the shared event loop: the writer is a
+        // nonblocking state machine driven by notify/timer/writable events,
+        // not a dedicated thread. The handler owns the stream; it must not
+        // hold a strong core reference, or dropping the last Publisher
+        // could never close the queue it drains.
+        grow_socket_buffers(&stream);
+        stream.set_nonblocking(true)?;
+        let fd = stream.as_raw_fd();
+        let writer = TcpWriter {
+            stream,
+            rx,
+            alive: Arc::clone(&alive),
+            injector,
+            metrics: Arc::clone(&self.metrics),
+            trace,
+            conn_key,
+            wire_seq: 0,
+            shaper: Shaper::new(profile),
+            writeq: VecDeque::new(),
+            head_written: 0,
+            stall: None,
+            want_writable: false,
+            disconnected: false,
+        };
+        let token = self.reactor.register(fd, false, false, Box::new(writer));
+        self.add_conn(Arc::new(Conn {
+            queue: tx,
+            alive,
+            is_shm: false,
+            token: Some(token),
+        }));
         Ok(())
     }
 
@@ -339,6 +651,7 @@ impl PubCore {
             queue: tx,
             alive: Arc::clone(&alive),
             is_shm: true,
+            token: None,
         }));
         let metrics = Arc::clone(&self.metrics);
         // An shm subscriber arrived: attribute publish-side spans to it.
@@ -351,10 +664,14 @@ impl PubCore {
         drop(self);
 
         let mut probe = [0u8; 1];
+        // Descriptor publication is batched: frames that accumulated in
+        // the transmission queue ride one ring publication and one reader
+        // wake (`commit_shared_n`/`push_n`) instead of one each.
+        const SHM_BATCH: usize = 32;
         'link: loop {
             // Short timeout so subscriber departure (EOF on the liveness
             // socket) is noticed even when nothing is being published.
-            let frame = match rx.recv_timeout(Duration::from_millis(20)) {
+            let first = match rx.recv_timeout(Duration::from_millis(20)) {
                 Ok(frame) => Some(frame),
                 Err(RecvTimeoutError::Timeout) => None,
                 Err(RecvTimeoutError::Disconnected) => break 'link, // publisher dropped
@@ -366,107 +683,135 @@ impl PubCore {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
                 Err(_) => break 'link,
             }
-            let Some(frame) = frame else {
+            let Some(first) = first else {
                 // Idle tick: settle any references the reader declared
                 // abandoned (inherited but unmappable on its side) so the
                 // pool slots un-pin without waiting for teardown.
                 link.reconcile_abandoned();
                 continue;
             };
-            // Injected faults apply to the ring handoff exactly as they do
-            // to socket writes: a dropped frame never reaches the ring, a
-            // severed link cuts the socket so both sides tear down.
-            match injector
-                .as_ref()
-                .map_or(FaultAction::Pass, |f| f.next_frame_action())
-            {
-                FaultAction::Pass => {}
-                FaultAction::Delay(d) => std::thread::sleep(d),
-                FaultAction::Drop => {
-                    metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                FaultAction::Sever => {
-                    metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
-                    let _ = stream.shutdown(Shutdown::Both);
-                    break 'link;
+            let mut frames = vec![first];
+            while frames.len() < SHM_BATCH {
+                match rx.try_recv() {
+                    Ok(frame) => frames.push(frame),
+                    // Empty now; a disconnect is caught by the next recv.
+                    Err(_) => break,
                 }
             }
-            let tag = frame.trace();
-            let t_copy_start = match (trace.as_deref(), tag.id) {
-                (Some(table), id) if id != 0 => {
-                    let t = now_nanos();
-                    tracer().span(table, Stage::Enqueue, Tier::Shm, id, tag.enqueued_ns, t);
-                    Some(t)
+            // Frames admitted before a sever still get published below;
+            // the sever cuts the link after them, like a socket would.
+            let mut sever = false;
+            let mut batch: Vec<(SharedFrame, FrameMeta)> = Vec::with_capacity(frames.len());
+            for frame in &frames {
+                // Injected faults apply to the ring handoff exactly as
+                // they do to socket writes: a dropped frame never reaches
+                // the ring, a severed link cuts the socket so both sides
+                // tear down.
+                match injector
+                    .as_ref()
+                    .map_or(FaultAction::Pass, |f| f.next_frame_action())
+                {
+                    FaultAction::Pass => {}
+                    FaultAction::Delay(d) => std::thread::sleep(d),
+                    FaultAction::Drop => {
+                        metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    FaultAction::Sever => {
+                        metrics.frames_faulted.fetch_add(1, Ordering::Relaxed);
+                        sever = true;
+                        break;
+                    }
                 }
-                _ => None,
-            };
-            // Resolve the frame's shared-memory residency: the first link
-            // thread of this publish performs the *single* copy into a
-            // pooled segment; every later thread (and a loaned frame,
-            // which arrives pre-resolved because it was built in the
-            // segment) reuses that frame with a descriptor-only commit.
-            // `wire_write` spans telescope around the copy exactly as
-            // before, but only on the thread that actually copied —
-            // descriptor-only commits have no copy stage to attribute.
-            let mut copied_here = false;
-            let shared: Option<SharedFrame> = match frame.shm_slot() {
-                Some(slot) => slot
-                    .get_or_init(|| {
+                let tag = frame.trace();
+                let t_copy_start = match (trace.as_deref(), tag.id) {
+                    (Some(table), id) if id != 0 => {
+                        let t = now_nanos();
+                        tracer().span(table, Stage::Enqueue, Tier::Shm, id, tag.enqueued_ns, t);
+                        Some(t)
+                    }
+                    _ => None,
+                };
+                // Resolve the frame's shared-memory residency: the first
+                // link thread of this publish performs the *single* copy
+                // into a pooled segment; every later thread (and a loaned
+                // frame, which arrives pre-resolved because it was built
+                // in the segment) reuses that frame with a descriptor-only
+                // commit. `wire_write` spans telescope around the copy
+                // exactly as before, but only on the thread that actually
+                // copied — descriptor-only commits have no copy stage to
+                // attribute.
+                let mut copied_here = false;
+                let shared: Option<SharedFrame> = match frame.shm_slot() {
+                    Some(slot) => slot
+                        .get_or_init(|| {
+                            copied_here = true;
+                            link.pool().prepare_shared(frame.as_slice())
+                        })
+                        .clone(),
+                    // No slot attached (a frame enqueued before this link
+                    // joined the connection list mid-publish): fall back to
+                    // a private single-link copy.
+                    None => {
                         copied_here = true;
                         link.pool().prepare_shared(frame.as_slice())
-                    })
-                    .clone(),
-                // No slot attached (a frame enqueued before this link
-                // joined the connection list mid-publish): fall back to a
-                // private single-link copy.
-                None => {
-                    copied_here = true;
-                    link.pool().prepare_shared(frame.as_slice())
-                }
-            };
-            let outcome = match shared {
-                None => PushOutcome::NoSegment,
-                Some(sf) => {
-                    let t_pushed = if t_copy_start.is_some() {
-                        now_nanos()
-                    } else {
-                        0
-                    };
-                    if copied_here {
-                        if let (Some(table), Some(t0)) = (trace.as_deref(), t_copy_start) {
-                            tracer().span(table, Stage::WireWrite, Tier::Shm, tag.id, t0, t_pushed);
-                        }
                     }
-                    link.commit_shared(
-                        &sf,
-                        FrameMeta {
-                            trace_id: tag.id,
-                            born_ns: tag.born_ns,
-                            enqueued_ns: tag.enqueued_ns,
-                            pushed_ns: t_pushed,
-                        },
-                    )
+                };
+                match shared {
+                    // Pool exhausted: some slots may only look pinned
+                    // because the reader abandoned their references —
+                    // settle those before the next frame retries.
+                    None => {
+                        metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                        link.reconcile_abandoned();
+                    }
+                    Some(sf) => {
+                        let t_pushed = if t_copy_start.is_some() {
+                            now_nanos()
+                        } else {
+                            0
+                        };
+                        if copied_here {
+                            if let (Some(table), Some(t0)) = (trace.as_deref(), t_copy_start) {
+                                tracer().span(
+                                    table,
+                                    Stage::WireWrite,
+                                    Tier::Shm,
+                                    tag.id,
+                                    t0,
+                                    t_pushed,
+                                );
+                            }
+                        }
+                        batch.push((
+                            sf,
+                            FrameMeta {
+                                trace_id: tag.id,
+                                born_ns: tag.born_ns,
+                                enqueued_ns: tag.enqueued_ns,
+                                pushed_ns: t_pushed,
+                            },
+                        ));
+                    }
                 }
-            };
-            match outcome {
-                PushOutcome::Pushed => {
-                    metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
-                    metrics
-                        .bytes_sent
-                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
-                    metrics.shm_frames.fetch_add(1, Ordering::Relaxed);
-                }
-                PushOutcome::RingFull => {
-                    metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                }
-                // Pool exhausted: some slots may only look pinned because
-                // the reader abandoned their references — settle those
-                // before the next frame retries.
-                PushOutcome::NoSegment => {
-                    metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                    link.reconcile_abandoned();
-                }
+            }
+            let pushed = link.commit_shared_n(&batch);
+            for (sf, _) in &batch[..pushed] {
+                metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .bytes_sent
+                    .fetch_add(sf.len() as u64, Ordering::Relaxed);
+                metrics.shm_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            if pushed < batch.len() {
+                // Ring full mid-batch: the suffix was rolled back.
+                metrics
+                    .frames_dropped
+                    .fetch_add((batch.len() - pushed) as u64, Ordering::Relaxed);
+            }
+            if sever {
+                let _ = stream.shutdown(Shutdown::Both);
+                break 'link;
             }
         }
         link.close();
@@ -541,7 +886,14 @@ impl PubCore {
                 }
             }
             match conn.queue.try_send(per_conn) {
-                Ok(()) => metrics.observe_queue_depth(conn.queue.len() as u64),
+                Ok(()) => {
+                    metrics.observe_queue_depth(conn.queue.len() as u64);
+                    // Wake the reactor-side writer; coalesced, so a burst
+                    // of publishes costs one dispatch.
+                    if let Some(token) = conn.token {
+                        self.reactor.notify(token);
+                    }
+                }
                 Err(TrySendError::Full(_)) => {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                     metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
@@ -606,6 +958,7 @@ impl LocalAttach for PubCore {
             queue: tx,
             alive: Arc::clone(&alive),
             is_shm: false,
+            token: None,
         }));
         self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
         self.metrics
@@ -633,10 +986,19 @@ impl Drop for PubCore {
         // orders construction before Drop.
         self.master
             .unregister_publisher(&self.topic, self.registration.load(Ordering::Relaxed));
-        // Close all transmission queues so writer threads exit.
-        self.conns.lock().clear();
-        // Wake the accept loop so it observes the shutdown flag.
-        let _ = TcpStream::connect(self.addr);
+        // Close every transmission queue *before* notifying the writers:
+        // the senders must be gone first so each woken writer observes the
+        // disconnect, drains its tail, and deregisters itself.
+        let conns: Vec<Arc<Conn>> = std::mem::take(&mut *self.conns.lock());
+        let tokens: Vec<Token> = conns.iter().filter_map(|c| c.token).collect();
+        drop(conns);
+        for token in tokens {
+            self.reactor.notify(token);
+        }
+        // Deregistering drops the accept handler and with it the listener.
+        if let Some(token) = self.listener_token.get() {
+            self.reactor.deregister(*token);
+        }
     }
 }
 
@@ -668,6 +1030,7 @@ impl<M: Encode> Publisher<M> {
         default_config: TransportConfig,
     ) -> Result<Self, RosError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let config = options.transport.unwrap_or(default_config);
         let queue_size = if options.queue_size == 0 {
@@ -699,6 +1062,8 @@ impl<M: Encode> Publisher<M> {
             tier_hint: AtomicU8::new(0),
             shm_pool: Mutex::new(None),
             shm_loans: options.shm_loans,
+            reactor: runtime().reactor,
+            listener_token: OnceLock::new(),
         });
         // Fast-path-capable publishers register a local attach port so
         // same-machine subscribers in this process can skip the socket.
@@ -711,8 +1076,20 @@ impl<M: Encode> Publisher<M> {
         };
         // Relaxed: see the Drop-side load — Arc orders this store.
         core.registration.store(registration, Ordering::Relaxed);
-        let weak = Arc::downgrade(&core);
-        std::thread::spawn(move || PubCore::accept_loop(weak, listener));
+        // The listener joins the shared event loop: the handler owns the
+        // socket and only a `Weak` core reference, so an orphaned acceptor
+        // cannot keep a dropped publisher alive.
+        let fd = listener.as_raw_fd();
+        let token = core.reactor.register(
+            fd,
+            true,
+            false,
+            Box::new(Acceptor {
+                listener,
+                core: Arc::downgrade(&core),
+            }),
+        );
+        let _ = core.listener_token.set(token);
         Ok(Publisher {
             core,
             _marker: PhantomData,

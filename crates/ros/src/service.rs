@@ -8,19 +8,36 @@
 //! Protocol: one TCP connection per client, a connection-header handshake
 //! (`service=`, `req_type=`, `res_type=`), then strictly alternating
 //! length-prefixed request/response frames.
+//!
+//! The server side is event-driven like the pub/sub tiers: the listener
+//! and every client connection are nonblocking state machines on the
+//! process-wide [reactor](rossf_reactor), handshakes run as short jobs on
+//! the job pool, and each handler invocation runs as its own pool job (so
+//! a slow handler stalls one worker, never the shared event loop). The
+//! synchronous [`ServiceClient`] blocks in the *caller's* thread — it owns
+//! no thread of its own.
 
 use crate::error::RosError;
 use crate::master::Master;
 use crate::node::NodeHandle;
 use crate::traits::{Decode, Encode, RecvSlot};
-use crate::wire::{read_frame_len, write_frame, ConnectionHeader};
+use crate::wire::{
+    frame_len_prefix, grow_socket_buffers, read_frame_len, write_frame, ConnectionHeader,
+};
 use parking_lot::Mutex;
+use rossf_reactor::{runtime, Ctl, Event, Handler, Reactor};
 use std::collections::HashMap;
-use std::io::{BufReader, Read};
+use std::io::{BufReader, Read, Write};
 use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Duration;
+
+/// A client that connects but never completes the header exchange must
+/// not pin a pool worker forever.
+const SVC_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Where a service server accepts client connections.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,20 +100,24 @@ struct ServerCore {
     name: String,
     master: Master,
     registration: u64,
-    addr: SocketAddr,
     shutdown: AtomicBool,
     calls: AtomicU64,
+    /// The acceptor's reactor registration, deregistered on drop (which
+    /// drops the listener and closes it).
+    listener_token: OnceLock<rossf_reactor::Token>,
 }
 
 impl Drop for ServerCore {
     fn drop(&mut self) {
-        // Relaxed: standalone exit flag for the accept/serve loops.
+        // Relaxed: standalone exit flag for the acceptor and serve
+        // handlers, re-checked by each before acting.
         self.shutdown.store(true, Ordering::Relaxed);
         self.master
             .services()
             .unregister(&self.name, self.registration);
-        // Wake the accept loop.
-        let _ = TcpStream::connect(self.addr);
+        if let Some(token) = self.listener_token.get() {
+            runtime().reactor.deregister(*token);
+        }
     }
 }
 
@@ -142,26 +163,22 @@ impl ServiceServer {
             name: name.to_string(),
             master: nh.master().clone(),
             registration,
-            addr,
             shutdown: AtomicBool::new(false),
             calls: AtomicU64::new(0),
+            listener_token: OnceLock::new(),
         });
-        let weak = Arc::downgrade(&core);
-        let handler = Arc::new(handler);
-        std::thread::spawn(move || loop {
-            let Ok((stream, _)) = listener.accept() else {
-                break;
-            };
-            let Some(core) = weak.upgrade() else { break };
-            // Relaxed: standalone exit flag (see ServerCore::drop).
-            if core.shutdown.load(Ordering::Relaxed) {
-                break;
-            }
-            let handler = Arc::clone(&handler);
-            std::thread::spawn(move || {
-                let _ = serve_connection::<Req, Res, F>(core, handler, stream);
-            });
-        });
+        listener.set_nonblocking(true)?;
+        let fd = listener.as_raw_fd();
+        let acceptor: SvcAcceptor<Req, Res, F> = SvcAcceptor {
+            listener,
+            core: Arc::downgrade(&core),
+            handler: Arc::new(handler),
+            _marker: PhantomData,
+        };
+        let token = runtime()
+            .reactor
+            .register(fd, true, false, Box::new(acceptor));
+        let _ = core.listener_token.set(token);
         Ok(ServiceServer { core })
     }
 
@@ -178,21 +195,73 @@ impl ServiceServer {
     }
 }
 
-fn serve_connection<Req, Res, F>(
+/// Accepts service clients off the shared event loop and hands each to a
+/// short handshake job on the pool — the reactor analogue of the old
+/// accept thread.
+struct SvcAcceptor<Req, Res, F> {
+    listener: TcpListener,
+    core: Weak<ServerCore>,
+    handler: Arc<F>,
+    _marker: PhantomData<fn(Req) -> Res>,
+}
+
+impl<Req, Res, F> Handler for SvcAcceptor<Req, Res, F>
+where
+    Req: Decode,
+    Res: Encode + 'static,
+    F: Fn(Req) -> Res + Send + Sync + 'static,
+{
+    fn on_event(&mut self, event: Event, ctl: &mut Ctl) {
+        if matches!(event, Event::Closed) {
+            ctl.close();
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let Some(core) = self.core.upgrade() else {
+                        ctl.close();
+                        return;
+                    };
+                    // Relaxed: standalone exit flag (see ServerCore::drop).
+                    if core.shutdown.load(Ordering::Relaxed) {
+                        ctl.close();
+                        return;
+                    }
+                    let handler = Arc::clone(&self.handler);
+                    let reactor = ctl.reactor().clone();
+                    runtime().pool.spawn(move || {
+                        let _ = handshake_service::<Req, Res, F>(core, handler, stream, &reactor);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                // Transient accept failure (e.g. the peer already reset):
+                // keep listening.
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Blocking connection-header exchange — short, bounded by
+/// [`SVC_HANDSHAKE_TIMEOUT`], run on the job pool — then the socket joins
+/// the reactor as a [`SvcConn`]. The reply is read/written unbuffered so
+/// no request bytes are swallowed before the nonblocking serve begins.
+fn handshake_service<Req, Res, F>(
     core: Arc<ServerCore>,
     handler: Arc<F>,
-    mut stream: TcpStream,
+    stream: TcpStream,
+    reactor: &Reactor,
 ) -> Result<(), RosError>
 where
     Req: Decode,
-    Res: Encode,
-    F: Fn(Req) -> Res + Send + Sync,
+    Res: Encode + 'static,
+    F: Fn(Req) -> Res + Send + Sync + 'static,
 {
     stream.set_nodelay(true)?;
-    let header = {
-        let mut r = BufReader::new(stream.try_clone()?);
-        ConnectionHeader::read_from(&mut r)?
-    };
+    stream.set_read_timeout(Some(SVC_HANDSHAKE_TIMEOUT))?;
+    let mut io = &stream;
+    let header = ConnectionHeader::read_from(&mut io)?;
     let want_req = header.get("req_type").unwrap_or_default();
     let want_res = header.get("res_type").unwrap_or_default();
     if want_req != Req::topic_type() || want_res != Res::topic_type() {
@@ -205,7 +274,7 @@ where
                     Res::topic_type()
                 ),
             )
-            .write_to(&mut stream)?;
+            .write_to(&mut io)?;
         return Err(RosError::TypeMismatch {
             topic: core.name.clone(),
             registered: format!("{}/{}", Req::topic_type(), Res::topic_type()),
@@ -215,39 +284,258 @@ where
     ConnectionHeader::new()
         .with("service", &core.name)
         .with("endian", ConnectionHeader::native_endian())
-        .write_to(&mut stream)?;
+        .write_to(&mut io)?;
+    stream.set_read_timeout(None)?;
+    grow_socket_buffers(&stream);
+    stream.set_nonblocking(true)?;
+    let fd = stream.as_raw_fd();
+    // Only a weak core reference rides along, so idle clients never block
+    // server drop.
+    let conn: SvcConn<Req, Res, F> = SvcConn {
+        stream,
+        core: Arc::downgrade(&core),
+        handler,
+        state: SvcRead::Prefix {
+            prefix: [0; 4],
+            filled: 0,
+        },
+        pending: None,
+        out: None,
+        want_writable: false,
+        _marker: PhantomData,
+    };
+    reactor.register(fd, true, false, Box::new(conn));
+    Ok(())
+}
 
-    // Release the strong core reference before the serve loop so server
-    // drop is never blocked by idle clients; keep a weak one for stats.
-    let weak = Arc::downgrade(&core);
-    drop(core);
+/// Which part of the current request the next bytes belong to.
+enum SvcRead<Req: Decode> {
+    Prefix {
+        prefix: [u8; 4],
+        filled: usize,
+    },
+    Body {
+        slot: Req::Slot,
+        len: usize,
+        filled: usize,
+    },
+}
 
-    let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
-    loop {
-        let Some(len) = read_frame_len(&mut reader)? else {
-            return Ok(()); // client hung up
-        };
-        let mut slot = Req::new_slot(len)?;
-        reader.read_exact(slot.as_mut_slice())?;
-        let request = Req::finish_slot(slot)?;
-        let response = handler(request);
-        let frame = response.encode();
-        // Count before replying so `calls()` is accurate the moment the
-        // client observes the response.
-        match weak.upgrade() {
-            Some(core) => {
-                // ORDER: the count must be globally visible before the
-                // reply bytes hit the wire so `calls()` read after a
-                // response is never behind it.
-                core.calls.fetch_add(1, Ordering::SeqCst);
-                // Relaxed: standalone exit flag (see ServerCore::drop).
-                if core.shutdown.load(Ordering::Relaxed) {
-                    return Ok(());
+/// What a finished handler job posted back for the connection to act on.
+enum JobOutcome {
+    /// The encoded response (length prefix included), ready to write.
+    Reply(Vec<u8>),
+    /// The server shut down (or the response was unencodable): hang up.
+    Close,
+}
+
+/// One client connection as a reactor state machine. The protocol is
+/// strictly alternating, so the machine is too: read one request, run the
+/// handler as a pool job (reads pause), write the response, repeat.
+struct SvcConn<Req: Decode, Res, F> {
+    stream: TcpStream,
+    core: Weak<ServerCore>,
+    handler: Arc<F>,
+    state: SvcRead<Req>,
+    /// In-flight handler job's result slot; `Some` while a request is
+    /// being served. The job notifies this connection's token when it
+    /// posts the outcome.
+    pending: Option<Arc<Mutex<Option<JobOutcome>>>>,
+    /// The response being written, and how much of it already was.
+    out: Option<(Vec<u8>, usize)>,
+    want_writable: bool,
+    _marker: PhantomData<fn() -> Res>,
+}
+
+impl<Req, Res, F> Handler for SvcConn<Req, Res, F>
+where
+    Req: Decode,
+    Res: Encode + 'static,
+    F: Fn(Req) -> Res + Send + Sync + 'static,
+{
+    fn on_event(&mut self, _event: Event, ctl: &mut Ctl) {
+        // Even `Closed` pumps: a response in flight still gets its write
+        // attempted (the failure, if any, arrives as a write error), and
+        // reads drain to a definite EOF.
+        if let Some(cell) = &self.pending {
+            let outcome = cell.lock().take();
+            match outcome {
+                Some(JobOutcome::Reply(buf)) => {
+                    self.pending = None;
+                    self.out = Some((buf, 0));
+                }
+                Some(JobOutcome::Close) => {
+                    ctl.close();
+                    return;
+                }
+                None => {} // handler still running; reads stay paused
+            }
+        }
+        if let Some((buf, written)) = &mut self.out {
+            loop {
+                match self.stream.write(&buf[*written..]) {
+                    Ok(0) => {
+                        ctl.close();
+                        return;
+                    }
+                    Ok(n) => {
+                        *written += n;
+                        if *written == buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        self.set_writable(true, ctl);
+                        return;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        ctl.close();
+                        return;
+                    }
                 }
             }
-            None => return Ok(()),
+            self.out = None;
+            self.set_writable(false, ctl);
         }
-        write_frame(&mut stream, frame.as_slice())?;
+        if self.pending.is_some() {
+            return;
+        }
+        self.advance(ctl);
+    }
+}
+
+impl<Req, Res, F> SvcConn<Req, Res, F>
+where
+    Req: Decode,
+    Res: Encode + 'static,
+    F: Fn(Req) -> Res + Send + Sync + 'static,
+{
+    fn set_writable(&mut self, want: bool, ctl: &mut Ctl) {
+        if self.want_writable != want {
+            self.want_writable = want;
+            ctl.set_interest(true, want);
+        }
+    }
+
+    /// Read toward the next complete request; dispatch its handler job
+    /// when it lands.
+    fn advance(&mut self, ctl: &mut Ctl) {
+        loop {
+            match &mut self.state {
+                SvcRead::Prefix { prefix, filled } => {
+                    if *filled == 4 {
+                        let len = u32::from_le_bytes(*prefix) as usize;
+                        match Req::new_slot(len) {
+                            Ok(slot) => {
+                                self.state = SvcRead::Body {
+                                    slot,
+                                    len,
+                                    filled: 0,
+                                };
+                                continue;
+                            }
+                            // A request the type cannot hold: the stream
+                            // cannot be resynced reliably, hang up (the old
+                            // thread did the same by erroring out).
+                            Err(_) => {
+                                ctl.close();
+                                return;
+                            }
+                        }
+                    }
+                    match self.stream.read(&mut prefix[*filled..4]) {
+                        // EOF between requests: client hung up cleanly.
+                        // Mid-prefix it is equally final for this protocol.
+                        Ok(0) => {
+                            ctl.close();
+                            return;
+                        }
+                        Ok(n) => *filled += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            ctl.close();
+                            return;
+                        }
+                    }
+                }
+                SvcRead::Body { slot, len, filled } => {
+                    if *filled == *len {
+                        let state = std::mem::replace(
+                            &mut self.state,
+                            SvcRead::Prefix {
+                                prefix: [0; 4],
+                                filled: 0,
+                            },
+                        );
+                        let SvcRead::Body { slot, .. } = state else {
+                            unreachable!("checked Body above");
+                        };
+                        match Req::finish_slot(slot) {
+                            Ok(request) => self.dispatch(request, ctl),
+                            Err(_) => ctl.close(),
+                        }
+                        return;
+                    }
+                    match self.stream.read(&mut slot.as_mut_slice()[*filled..*len]) {
+                        Ok(0) => {
+                            ctl.close();
+                            return;
+                        }
+                        Ok(n) => *filled += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            ctl.close();
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run the handler on the job pool; the connection pauses until the
+    /// job posts its outcome and notifies this token. A slow handler
+    /// occupies one pool worker, never the event loop.
+    fn dispatch(&mut self, request: Req, ctl: &mut Ctl) {
+        let cell = Arc::new(Mutex::new(None));
+        self.pending = Some(Arc::clone(&cell));
+        let handler = Arc::clone(&self.handler);
+        let weak = self.core.clone();
+        let reactor = ctl.reactor().clone();
+        let token = ctl.token();
+        runtime().pool.spawn(move || {
+            let response = handler(request);
+            let outcome = match weak.upgrade() {
+                Some(core) => {
+                    // ORDER: the count must be globally visible before the
+                    // reply bytes hit the wire so `calls()` read after a
+                    // response is never behind it.
+                    core.calls.fetch_add(1, Ordering::SeqCst);
+                    // Relaxed: standalone exit flag (see ServerCore::drop).
+                    if core.shutdown.load(Ordering::Relaxed) {
+                        JobOutcome::Close
+                    } else {
+                        let frame = response.encode();
+                        let payload = frame.as_slice();
+                        match frame_len_prefix(payload.len()) {
+                            Ok(prefix) => {
+                                let mut buf = Vec::with_capacity(4 + payload.len());
+                                buf.extend_from_slice(&prefix.to_le_bytes());
+                                buf.extend_from_slice(payload);
+                                JobOutcome::Reply(buf)
+                            }
+                            Err(_) => JobOutcome::Close,
+                        }
+                    }
+                }
+                None => JobOutcome::Close,
+            };
+            *cell.lock() = Some(outcome);
+            reactor.notify(token);
+        });
     }
 }
 
@@ -281,6 +569,7 @@ impl<Req: Encode, Res: Decode> ServiceClient<Req, Res> {
         }
         let mut stream = TcpStream::connect(ep.addr)?;
         stream.set_nodelay(true)?;
+        grow_socket_buffers(&stream);
         ConnectionHeader::new()
             .with("service", name)
             .with("req_type", Req::topic_type())

@@ -2,36 +2,43 @@
 //!
 //! `subscribe` registers a callback with the master and connects to every
 //! current and future publisher of the topic. Each publisher endpoint is
-//! owned by a *supervisor* thread: it runs one connection at a time (the
-//! reader loop of the paper's Fig. 9 — read the frame length, obtain a
-//! receive slot from the [`Decode`] impl, read the payload into it, finish,
-//! invoke the callback) and, when the connection dies while the publisher
-//! is still registered, re-resolves the endpoint via the master and
-//! reconnects under the node's
-//! [`BackoffPolicy`](crate::config::BackoffPolicy). A publisher that
-//! unregisters ends its supervisor; a replacement publisher arrives through
-//! the master's watcher channel with a fresh registration and gets a fresh
-//! supervisor.
+//! owned by a [`Supervision`] state machine: connect attempts and
+//! handshakes run as short jobs on the process-wide job pool, the
+//! steady-state TCP reader runs as a nonblocking state machine on the
+//! shared [reactor](rossf_reactor) (the reader loop of the paper's Fig. 9
+//! — read the frame length, obtain a receive slot from the [`Decode`]
+//! impl, read the payload into it, finish, invoke the callback), and
+//! reconnect backoff is a reactor timer instead of a sleeping thread. When
+//! a connection dies while the publisher is still registered, the
+//! supervision re-resolves the endpoint via the master and reconnects
+//! under the node's [`BackoffPolicy`](crate::config::BackoffPolicy). A
+//! publisher that unregisters ends its supervision; a replacement
+//! publisher arrives through the master's watcher callback with a fresh
+//! registration and gets a fresh supervision. Only the shared-memory and
+//! fast-path tiers keep dedicated threads — their drains block on rings
+//! and channels, not fds.
 
 use crate::config::TransportConfig;
 use crate::error::RosError;
-use crate::fastpath::{LocalAttach, FASTPATH_FIELD};
+use crate::fastpath::{LocalAttach, LocalSinkHandle, FASTPATH_FIELD};
 use crate::master::{Master, PublisherEndpoint};
 use crate::metrics::TransportMetrics;
 use crate::options::{SubscriberOptions, SubscriberStats};
 use crate::shm::{SHM_EPOCH_FIELD, SHM_FD_FIELD, SHM_FIELD, SHM_PID_FIELD, SHM_PUB_PID_FIELD};
 use crate::traits::{Decode, RecvSlot};
-use crate::wire::{read_frame_len, ConnectionHeader};
+use crate::wire::{grow_socket_buffers, ConnectionHeader};
 use crossbeam::channel::RecvTimeoutError;
 use rossf_netsim::{FaultAction, MachineId};
+use rossf_reactor::{runtime, Ctl, Event, Handler};
 use rossf_shm::{ShmReader, TakeError};
 use rossf_trace::{now_nanos, tracer, Stage, Tier, TopicTrace};
-use std::collections::HashMap;
-use std::io::{BufReader, Read};
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
 use std::net::{Shutdown, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -40,6 +47,79 @@ use parking_lot::Mutex;
 /// The writer settles the note within microseconds of the last frame byte;
 /// this bound only matters when the writer thread is preempted in between.
 const SIDECAR_SETTLE_WAIT: Duration = Duration::from_millis(2);
+
+/// Per-link read buffer. Small reads coalesce through it (one syscall
+/// drains many small frames); payload remainders at least this large are
+/// read straight into the receive slot, so big frames never pay a copy
+/// through the buffer.
+const READ_BUF: usize = 64 * 1024;
+
+/// Frames one reader dispatch may deliver before yielding the shared loop
+/// (re-notifying itself for the rest), so one firehose connection cannot
+/// starve the other links.
+const FRAMES_PER_DISPATCH: usize = 64;
+
+/// At most this many blocking connect+handshake attempts may occupy job
+/// pool workers at once. The publisher's accept-side handshakes run on
+/// the same pool: capping the subscriber side below the pool size
+/// guarantees a worker is always free to answer, so a fan-in of
+/// thousands of simultaneous subscribes cannot deadlock the pool against
+/// itself.
+const MAX_INFLIGHT_CONNECTS: usize = 2;
+
+/// Connect-slot gate: held permits plus the attempts parked waiting for
+/// one. A release hands its permit straight to the next parked attempt,
+/// so waiters resume in FIFO order with no polling.
+struct ConnectGate {
+    inflight: usize,
+    parked: VecDeque<Box<dyn FnOnce() + Send>>,
+}
+
+fn connect_gate() -> &'static Mutex<ConnectGate> {
+    static GATE: OnceLock<Mutex<ConnectGate>> = OnceLock::new();
+    GATE.get_or_init(|| {
+        Mutex::new(ConnectGate {
+            inflight: 0,
+            parked: VecDeque::new(),
+        })
+    })
+}
+
+/// Run `attempt` now if a connect slot is free, otherwise park it until
+/// one frees up. Callers run on a pool worker; parked attempts are
+/// respawned onto the pool by the releasing slot holder.
+fn with_connect_slot(attempt: Box<dyn FnOnce() + Send>) {
+    let attempt = {
+        let mut gate = connect_gate().lock();
+        if gate.inflight < MAX_INFLIGHT_CONNECTS {
+            gate.inflight += 1;
+            attempt
+        } else {
+            gate.parked.push_back(attempt);
+            return;
+        }
+    };
+    attempt();
+}
+
+/// Release a connect slot, transferring it to the next parked attempt
+/// when one is waiting.
+fn release_connect_slot() {
+    let next = {
+        let mut gate = connect_gate().lock();
+        match gate.parked.pop_front() {
+            // The permit moves to the parked attempt unreleased.
+            Some(job) => Some(job),
+            None => {
+                gate.inflight -= 1;
+                None
+            }
+        }
+    };
+    if let Some(job) = next {
+        runtime().pool.spawn(job);
+    }
+}
 
 struct SubCore<D: Decode> {
     topic: String,
@@ -67,135 +147,247 @@ struct SubCore<D: Decode> {
     trace: Option<Arc<TopicTrace>>,
 }
 
-impl<D: Decode> SubCore<D> {
-    /// Own one publisher endpoint for the life of its registration:
-    /// connect, run the reader loop, and on abnormal death reconnect with
-    /// capped exponential backoff as long as the master still lists the
-    /// registration.
-    fn supervise(self: Arc<Self>, ep: PublisherEndpoint) {
-        // Failed attempts since the last healthy connection.
-        let mut attempt: u32 = 0;
-        // Whether any connection to this endpoint ever completed a
-        // handshake (a later success is then a *re*connect).
-        let mut was_connected = false;
-        // Once a granted shm link fails to attach (e.g. the `/proc` fd
-        // hand-off is denied by a ptrace-scope policy), stop offering the
-        // capability to this endpoint: the next handshake omits the offer
-        // and the publisher serves plain TCP instead.
-        let mut shm_blocked = false;
-        loop {
-            // Relaxed: standalone exit flag, polled — a stale read
-            // only costs one extra loop iteration.
-            if self.shutdown.load(Ordering::Relaxed) {
-                return;
-            }
-            let mut handshaken = false;
-            let mut shm_attach_failed = false;
-            let offer_shm = !shm_blocked;
-            let result = match self.local_port(&ep) {
-                Some(port) => {
-                    let r = self.run_local_connection(port, was_connected, &mut handshaken);
-                    match r {
-                        // The publisher refused the *capability*, not the
-                        // subscription (peer predates the fast path): fall
-                        // back to plain TCP in this same iteration.
-                        Err(RosError::Rejected(ref msg))
-                            if !handshaken && msg.contains(FASTPATH_FIELD) =>
-                        {
-                            self.run_connection(
-                                &ep,
-                                was_connected,
-                                &mut handshaken,
-                                offer_shm,
-                                &mut shm_attach_failed,
-                            )
-                        }
-                        other => other,
+/// Where a freshly handshaken TCP connection goes next: the reactor (plain
+/// frames), a dedicated shm consumer thread (grant received), or nowhere
+/// (shutdown raced the connect).
+enum TcpEstablished {
+    Reader {
+        stream: TcpStream,
+        key: u64,
+        conn_key: u64,
+    },
+    Shm {
+        stream: TcpStream,
+        key: u64,
+        reply: ConnectionHeader,
+    },
+    ShutdownRace,
+}
+
+/// Owns one publisher endpoint for the life of its registration — the
+/// state-machine form of the old per-endpoint supervisor thread. The
+/// retry state travels through the connection it establishes (the reactor
+/// handler or consumer thread holds the box) and comes back via
+/// [`Supervision::resume`] when the connection ends; backoff waits are
+/// reactor timers, so an endpoint between attempts costs no thread.
+struct Supervision<D: Decode> {
+    core: Arc<SubCore<D>>,
+    ep: PublisherEndpoint,
+    /// Failed attempts since the last healthy connection.
+    attempt: u32,
+    /// Whether any connection to this endpoint ever completed a handshake
+    /// (a later success is then a *re*connect).
+    was_connected: bool,
+    /// Once a granted shm link fails to attach (e.g. the `/proc` fd
+    /// hand-off is denied by a ptrace-scope policy), stop offering the
+    /// capability to this endpoint: the next handshake omits the offer and
+    /// the publisher serves plain TCP instead.
+    shm_blocked: bool,
+}
+
+impl<D: Decode> Supervision<D> {
+    /// Start supervising `ep`: the first connection attempt goes straight
+    /// to the pool, no initial backoff.
+    fn launch(core: Arc<SubCore<D>>, ep: PublisherEndpoint) {
+        let sup = Box::new(Supervision {
+            core,
+            ep,
+            attempt: 0,
+            was_connected: false,
+            shm_blocked: false,
+        });
+        runtime().pool.spawn(move || sup.step());
+    }
+
+    /// One connection attempt. Runs on the job pool — bounded by the
+    /// connect and handshake timeouts, never connection-lifetime. Exactly
+    /// one continuation follows: `resume` directly on failure, or through
+    /// whatever long-lived consumer the attempt handed the box to.
+    fn step(self: Box<Self>) {
+        let core = Arc::clone(&self.core);
+        // Relaxed: standalone exit flag, polled — a stale read only costs
+        // one extra attempt.
+        if core.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(port) = core.local_port(&self.ep) {
+            match core.attach_local_sink(port, self.was_connected) {
+                Ok(sink) => {
+                    // The sink drain blocks on a channel for the life of
+                    // the attachment: dedicated thread, not the pool.
+                    let spawned = std::thread::Builder::new()
+                        .name("rossf-fast-sub".to_string())
+                        .spawn(move || {
+                            let result = self.core.run_local_sink(sink);
+                            self.resume(result, true, false);
+                        });
+                    if let Err(e) = spawned {
+                        // Could not spawn: surface as a retryable failure.
+                        // (`self` moved into the failed closure and is
+                        // gone; the endpoint is re-supervised only if a
+                        // fresh registration arrives.)
+                        let _ = e;
                     }
+                    return;
                 }
-                None => self.run_connection(
-                    &ep,
-                    was_connected,
-                    &mut handshaken,
-                    offer_shm,
-                    &mut shm_attach_failed,
-                ),
-            };
-            if shm_attach_failed {
-                shm_blocked = true;
-                self.metrics
-                    .shm_attach_failures
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            if handshaken {
-                was_connected = true;
-                // A handshake whose shm grant could not be attached never
-                // delivered a frame: keep escalating backoff instead of
-                // restarting the schedule on every futile grant.
-                if !shm_attach_failed {
-                    attempt = 0; // healthy link existed; restart the schedule
+                // The publisher refused the *capability*, not the
+                // subscription (peer predates the fast path): fall back to
+                // plain TCP in this same attempt.
+                Err(RosError::Rejected(ref msg)) if msg.contains(FASTPATH_FIELD) => {}
+                Err(e) => {
+                    self.resume(Err(e), false, false);
+                    return;
                 }
-                self.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
             }
-            // Relaxed: standalone exit flag, polled — a stale read
-            // only costs one extra loop iteration.
-            if self.shutdown.load(Ordering::Relaxed) {
-                return;
+        }
+        // The blocking connect+handshake goes through the connect gate;
+        // everything after the handshake is nonblocking.
+        with_connect_slot(Box::new(move || self.connect_step()));
+    }
+
+    /// The gated blocking span of an attempt — TCP connect plus handshake
+    /// — then the hand-off of the established connection to its consumer.
+    /// Holds a connect slot for exactly the blocking part.
+    fn connect_step(self: Box<Self>) {
+        let core = Arc::clone(&self.core);
+        let offer_shm = !self.shm_blocked;
+        let established = core.connect_tcp(&self.ep, self.was_connected, offer_shm);
+        release_connect_slot();
+        match established {
+            Ok(TcpEstablished::Reader {
+                stream,
+                key,
+                conn_key,
+            }) => {
+                // Steady state joins the shared event loop; the box rides
+                // inside the handler until the connection concludes.
+                let fd = stream.as_raw_fd();
+                let reader: TcpReader<D> = TcpReader {
+                    stream,
+                    sup: Some(self),
+                    stream_key: key,
+                    conn_key,
+                    wire_seq: 0,
+                    state: ReadState::Prefix {
+                        prefix: [0; 4],
+                        filled: 0,
+                    },
+                    rbuf: vec![0u8; READ_BUF].into_boxed_slice(),
+                    rpos: 0,
+                    rlen: 0,
+                };
+                core.reactor_handle()
+                    .register(fd, true, false, Box::new(reader));
             }
-            match result {
-                // The peer refused this subscription outright (type or
-                // endianness mismatch): retrying cannot change the answer.
-                // An unattachable (or malformed) shm grant is exempt: the
-                // retry renegotiates without the offer, which *can* change
-                // the answer.
-                Err(RosError::Rejected(_)) | Err(RosError::TypeMismatch { .. })
-                    if !shm_attach_failed =>
-                {
-                    return
+            Ok(TcpEstablished::Shm { stream, key, reply }) => {
+                // Ring consumption blocks on descriptor waits for the life
+                // of the link: dedicated thread, not the pool.
+                let spawned = std::thread::Builder::new()
+                    .name("rossf-shm-sub".to_string())
+                    .spawn(move || {
+                        let mut shm_attach_failed = false;
+                        let result =
+                            self.core
+                                .run_shm_connection(stream, &reply, &mut shm_attach_failed);
+                        self.core.streams.lock().remove(&key);
+                        self.resume(result, true, shm_attach_failed);
+                    });
+                if let Err(e) = spawned {
+                    let _ = e;
                 }
-                // Clean EOF or a transport-level failure: retryable.
-                _ => {}
             }
-            // Reconnect only while this exact registration is still
-            // current; a replacement publisher has a fresh id and arrives
-            // via the watcher channel.
-            if self.master.lookup_publisher(&self.topic, ep.id).is_none() {
-                return;
-            }
-            if self.config.backoff.exhausted(attempt) {
-                return;
-            }
-            let delay = self
-                .config
-                .backoff
-                .delay(attempt, ep.id ^ self.registration);
-            attempt = attempt.saturating_add(1);
-            self.reconnect_attempts.fetch_add(1, Ordering::Relaxed);
-            self.metrics
-                .reconnect_attempts
-                .fetch_add(1, Ordering::Relaxed);
-            if !self.sleep_unless_shutdown(delay) {
-                return;
-            }
+            Ok(TcpEstablished::ShutdownRace) => {}
+            // `connect_tcp` can only fail before the handshake completes.
+            Err(e) => self.resume(Err(e), false, false),
         }
     }
 
-    /// Sleep `total`, polling the shutdown flag so teardown is never
-    /// delayed by a pending backoff. Returns `false` if shut down.
-    fn sleep_unless_shutdown(&self, total: Duration) -> bool {
-        let deadline = Instant::now() + total;
-        loop {
-            // Relaxed: standalone exit flag, polled — a stale read
-            // only costs one extra loop iteration.
-            if self.shutdown.load(Ordering::Relaxed) {
-                return false;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return true;
-            }
-            std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+    /// A connection (or attempt) ended: decide between standing down and
+    /// scheduling the next attempt — the tail of the old supervisor loop.
+    /// Runs wherever the connection concluded (reactor thread, consumer
+    /// thread, pool); everything here is brief and nonblocking, and the
+    /// backoff wait is a reactor timer.
+    fn resume(
+        mut self: Box<Self>,
+        result: Result<(), RosError>,
+        handshaken: bool,
+        shm_attach_failed: bool,
+    ) {
+        let core = Arc::clone(&self.core);
+        if shm_attach_failed {
+            self.shm_blocked = true;
+            core.metrics
+                .shm_attach_failures
+                .fetch_add(1, Ordering::Relaxed);
         }
+        if handshaken {
+            self.was_connected = true;
+            // A handshake whose shm grant could not be attached never
+            // delivered a frame: keep escalating backoff instead of
+            // restarting the schedule on every futile grant.
+            if !shm_attach_failed {
+                self.attempt = 0; // healthy link existed; restart the schedule
+            }
+            core.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        // Relaxed: standalone exit flag.
+        if core.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match result {
+            // The peer refused this subscription outright (type or
+            // endianness mismatch): retrying cannot change the answer. An
+            // unattachable (or malformed) shm grant is exempt: the retry
+            // renegotiates without the offer, which *can* change the
+            // answer.
+            Err(RosError::Rejected(_)) | Err(RosError::TypeMismatch { .. })
+                if !shm_attach_failed =>
+            {
+                return
+            }
+            // Clean EOF or a transport-level failure: retryable.
+            _ => {}
+        }
+        // Reconnect only while this exact registration is still current; a
+        // replacement publisher has a fresh id and arrives via the
+        // master's watcher callback.
+        if core
+            .master
+            .lookup_publisher(&core.topic, self.ep.id)
+            .is_none()
+        {
+            return;
+        }
+        if core.config.backoff.exhausted(self.attempt) {
+            return;
+        }
+        let delay = core
+            .config
+            .backoff
+            .delay(self.attempt, self.ep.id ^ core.registration);
+        self.attempt = self.attempt.saturating_add(1);
+        core.reconnect_attempts.fetch_add(1, Ordering::Relaxed);
+        core.metrics
+            .reconnect_attempts
+            .fetch_add(1, Ordering::Relaxed);
+        // The wait costs no thread; the timer re-enters `step` on the
+        // pool. Teardown during the wait is caught by step's shutdown
+        // check (the timer itself holds no core reference that matters).
+        runtime().reactor.timer(delay, move |_| {
+            runtime().pool.spawn(move || sup_step(self));
+        });
+    }
+}
+
+/// Free-fn trampoline so the timer closure stays object-safe and simple.
+fn sup_step<D: Decode>(sup: Box<Supervision<D>>) {
+    sup.step();
+}
+
+impl<D: Decode> SubCore<D> {
+    /// The process-wide reactor TCP readers register on.
+    fn reactor_handle(&self) -> rossf_reactor::Reactor {
+        runtime().reactor
     }
 
     /// The publisher's local attach port, if the zero-copy fast path
@@ -210,19 +402,15 @@ impl<D: Decode> SubCore<D> {
         }
     }
 
-    /// One fast-path attachment lifetime: the pointer-handoff analogue of
-    /// [`SubCore::reader_loop`]. Frames arrive as already-encoded
-    /// [`OutFrame`](crate::OutFrame)s straight from the publisher's
-    /// transmission queue and are adopted via [`Decode::from_local_frame`]
-    /// — for serialization-free messages, the subscriber object points at
-    /// the publisher's allocation. Fault injection, `validate_on_receive`,
-    /// and all metrics accounting mirror the socket path.
-    fn run_local_connection(
+    /// Fast-path handshake: attach to a same-process publisher's local
+    /// port and validate the reply. An `Ok` here means the handshake
+    /// completed (connection/handshake counters are updated); the caller
+    /// owns running [`SubCore::run_local_sink`] on the returned sink.
+    fn attach_local_sink(
         &self,
         port: Arc<dyn LocalAttach>,
         is_reconnect: bool,
-        handshaken: &mut bool,
-    ) -> Result<(), RosError> {
+    ) -> Result<LocalSinkHandle, RosError> {
         let request = ConnectionHeader::new()
             .with("topic", &self.topic)
             .with("type", D::topic_type())
@@ -247,12 +435,22 @@ impl<D: Decode> SubCore<D> {
         }
         self.connected.fetch_add(1, Ordering::Relaxed);
         self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
-        *handshaken = true;
         if is_reconnect {
             self.reconnects.fetch_add(1, Ordering::Relaxed);
             self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
         }
+        Ok(sink)
+    }
 
+    /// One fast-path attachment lifetime: the pointer-handoff analogue of
+    /// the TCP reader. Frames arrive as already-encoded
+    /// [`OutFrame`](crate::OutFrame)s straight from the publisher's
+    /// transmission queue and are adopted via [`Decode::from_local_frame`]
+    /// — for serialization-free messages, the subscriber object points at
+    /// the publisher's allocation. Fault injection, `validate_on_receive`,
+    /// and all metrics accounting mirror the socket path. Blocks for the
+    /// attachment's lifetime — runs on its own thread.
+    fn run_local_sink(&self, sink: LocalSinkHandle) -> Result<(), RosError> {
         let trace = self.trace.as_deref();
         loop {
             // Relaxed: standalone exit flag, polled — a stale read
@@ -350,17 +548,17 @@ impl<D: Decode> SubCore<D> {
         Ok(())
     }
 
-    /// One connection lifetime: connect, handshake, read frames until the
-    /// stream ends. The stream is registered in `streams` for the duration
-    /// so `Drop` can unblock it, and always removed on the way out.
-    fn run_connection(
+    /// Connect and handshake with one TCP publisher endpoint — the short,
+    /// blocking prefix of a connection's life (runs on the job pool). On
+    /// success the socket is registered in `streams` (so `Drop` can
+    /// unblock it) under the returned key; the long-lived consumer the
+    /// caller starts owns removing that entry.
+    fn connect_tcp(
         &self,
         ep: &PublisherEndpoint,
         is_reconnect: bool,
-        handshaken: &mut bool,
         offer_shm: bool,
-        shm_attach_failed: &mut bool,
-    ) -> Result<(), RosError> {
+    ) -> Result<TcpEstablished, RosError> {
         let stream = TcpStream::connect(ep.addr)?;
         stream.set_nodelay(true)?;
         let key = self.next_stream_key.fetch_add(1, Ordering::Relaxed);
@@ -369,33 +567,62 @@ impl<D: Decode> SubCore<D> {
             // Relaxed: re-checked under the streams lock, which orders
             // this insert against Drop's drain of the map.
             if self.shutdown.load(Ordering::Relaxed) {
-                return Ok(());
+                return Ok(TcpEstablished::ShutdownRace);
             }
             streams.insert(key, stream.try_clone()?);
         }
-        let result = self.reader_loop(
-            stream,
-            is_reconnect,
-            handshaken,
-            offer_shm,
-            shm_attach_failed,
-        );
-        self.streams.lock().remove(&key);
-        result
+        // Grown before the handshake so the very first data frame already
+        // sees full-size kernel buffers (also covers the shm control
+        // stream, where it is merely harmless).
+        grow_socket_buffers(&stream);
+        match self.handshake_tcp(&stream, is_reconnect, offer_shm) {
+            Ok(Some(reply)) => Ok(TcpEstablished::Shm { stream, key, reply }),
+            Ok(None) => match stream.set_nonblocking(true) {
+                Ok(()) => {
+                    // The connection key mirrors the writer's
+                    // `conn_key(local, peer)`: our peer is its local
+                    // address, so the pair (and hence the key) agrees. A
+                    // reconnect gets a fresh ephemeral port and therefore
+                    // a fresh key — sequence numbers restart cleanly.
+                    let conn_key = match (stream.peer_addr(), stream.local_addr()) {
+                        (Ok(peer), Ok(local)) => {
+                            rossf_trace::conn_key(&peer.to_string(), &local.to_string())
+                        }
+                        _ => 0,
+                    };
+                    Ok(TcpEstablished::Reader {
+                        stream,
+                        key,
+                        conn_key,
+                    })
+                }
+                Err(e) => {
+                    self.streams.lock().remove(&key);
+                    Err(RosError::Io(e))
+                }
+            },
+            Err(e) => {
+                self.streams.lock().remove(&key);
+                Err(e)
+            }
+        }
     }
 
-    fn reader_loop(
+    /// TCPROS-style connection handshake on a blocking socket. Returns the
+    /// reply header when the publisher granted the shared-memory tier
+    /// (`None` for plain TCP). The reply is read *unbuffered* — header
+    /// parsing does exact reads only — so no frame bytes are swallowed
+    /// into a buffer before the socket is handed to the nonblocking
+    /// reader.
+    fn handshake_tcp(
         &self,
-        stream: TcpStream,
+        stream: &TcpStream,
         is_reconnect: bool,
-        handshaken: &mut bool,
         offer_shm: bool,
-        shm_attach_failed: &mut bool,
-    ) -> Result<(), RosError> {
+    ) -> Result<Option<ConnectionHeader>, RosError> {
         // A peer that accepts the connection but never answers the
-        // handshake must not pin this thread forever.
+        // handshake must not pin a pool worker forever.
         stream.set_read_timeout(Some(self.config.handshake_timeout))?;
-        let mut write_half = stream.try_clone()?;
         let mut request = ConnectionHeader::new()
             .with("topic", &self.topic)
             .with("type", D::topic_type())
@@ -411,10 +638,9 @@ impl<D: Decode> SubCore<D> {
                 .with(SHM_FIELD, "1")
                 .with(SHM_PID_FIELD, std::process::id().to_string());
         }
-        request.write_to(&mut write_half)?;
-
-        let mut reader = BufReader::with_capacity(256 * 1024, stream);
-        let reply = ConnectionHeader::read_from(&mut reader)?;
+        let mut io = stream;
+        request.write_to(&mut io)?;
+        let reply = ConnectionHeader::read_from(&mut io)?;
         if let Some(err) = reply.get("error") {
             return Err(RosError::Rejected(err.to_string()));
         }
@@ -428,154 +654,19 @@ impl<D: Decode> SubCore<D> {
                 )));
             }
         }
-        // Steady-state reads block indefinitely; teardown happens via
-        // socket shutdown, not timeouts.
-        reader.get_ref().set_read_timeout(None)?;
+        // Steady state is nonblocking (reactor) or probe-driven (shm);
+        // either way the handshake timeout must not linger.
+        stream.set_read_timeout(None)?;
         self.connected.fetch_add(1, Ordering::Relaxed);
         self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
-        *handshaken = true;
         if is_reconnect {
             self.reconnects.fetch_add(1, Ordering::Relaxed);
             self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
         }
-
-        if reply.get(SHM_FIELD) == Some("1") {
-            // The publisher granted the shared-memory tier and is now in
-            // its ring-producer loop: frames arrive as descriptors, not
-            // socket bytes. The socket stays open as the liveness channel.
-            return self.run_shm_connection(reader.get_ref(), &reply, shm_attach_failed);
-        }
-
-        // The connection key mirrors the writer's `conn_key(local, peer)`:
-        // our peer is its local address, so the pair (and hence the key)
-        // agrees. A reconnect gets a fresh ephemeral port and therefore a
-        // fresh key — sequence numbers restart cleanly.
-        let trace = self.trace.as_deref();
-        let conn_key = match (reader.get_ref().peer_addr(), reader.get_ref().local_addr()) {
-            (Ok(peer), Ok(local)) => rossf_trace::conn_key(&peer.to_string(), &local.to_string()),
-            _ => 0,
-        };
-        // Frames consumed off the stream, in wire order; counted
-        // unconditionally so it stays in lockstep with the writer's count
-        // of frames actually written.
-        let mut wire_seq: u64 = 0;
-
-        loop {
-            // Relaxed: standalone exit flag, polled — a stale read
-            // only costs one extra loop iteration.
-            if self.shutdown.load(Ordering::Relaxed) {
-                break;
-            }
-            let Some(len) = read_frame_len(&mut reader)? else {
-                break; // publisher closed
-            };
-            if len > self.config.max_frame_len {
-                // Protocol violation (a corrupt or hostile prefix can claim
-                // up to 4 GiB): reject before allocating anything and tear
-                // the connection down — the stream cannot be trusted to be
-                // in sync anymore.
-                self.metrics
-                    .frame_len_rejects
-                    .fetch_add(1, Ordering::Relaxed);
-                return Err(RosError::FrameTooLarge {
-                    len,
-                    max: self.config.max_frame_len,
-                });
-            }
-            match D::new_slot(len) {
-                Ok(mut slot) => {
-                    reader.read_exact(slot.as_mut_slice())?;
-                    let seq = wire_seq;
-                    wire_seq += 1;
-                    // Recover the frame's trace id from the writer's
-                    // sidecar note; the `wire_read` span starts at the
-                    // writer's send timestamp. The last frame byte wakes
-                    // this thread at the same moment the writer moves to
-                    // stamp its completion time, so wait a bounded moment
-                    // for the note to settle; if it still hasn't (writer
-                    // preempted), only the id is recovered — measuring from
-                    // the provisional write-start stamp would double-count
-                    // `wire_write`.
-                    let (id, mut t_prev) = match trace {
-                        Some(table) => match tracer().sidecar().take_settled(
-                            conn_key,
-                            seq,
-                            SIDECAR_SETTLE_WAIT,
-                        ) {
-                            Some(note) if note.trace_id != 0 => {
-                                let t = now_nanos();
-                                if note.settled {
-                                    tracer().span(
-                                        table,
-                                        Stage::WireRead,
-                                        Tier::Tcp,
-                                        note.trace_id,
-                                        note.sent_ns,
-                                        t,
-                                    );
-                                }
-                                (note.trace_id, t)
-                            }
-                            _ => (0, 0),
-                        },
-                        None => (0, 0),
-                    };
-                    if self.config.validate_on_receive {
-                        if D::verify_frame(slot.as_mut_slice()).is_err() {
-                            // Structurally corrupt: drop the frame without
-                            // adopting it. Framing is length-prefixed, so the
-                            // stream stays in sync and the connection lives on.
-                            self.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
-                            continue;
-                        }
-                        if let (Some(table), true) = (trace, id != 0) {
-                            let t = now_nanos();
-                            tracer().span(table, Stage::Verify, Tier::Tcp, id, t_prev, t);
-                            t_prev = t;
-                        }
-                    }
-                    match D::finish_slot(slot) {
-                        Ok(msg) => {
-                            if let (Some(table), true) = (trace, id != 0) {
-                                let t = now_nanos();
-                                tracer().span(table, Stage::Adopt, Tier::Tcp, id, t_prev, t);
-                                t_prev = t;
-                            }
-                            self.received.fetch_add(1, Ordering::Relaxed);
-                            self.received_bytes.fetch_add(len as u64, Ordering::Relaxed);
-                            self.metrics.frames_received.fetch_add(1, Ordering::Relaxed);
-                            self.metrics
-                                .bytes_received
-                                .fetch_add(len as u64, Ordering::Relaxed);
-                            (self.callback)(msg);
-                            if let (Some(table), true) = (trace, id != 0) {
-                                let t = now_nanos();
-                                tracer().span(table, Stage::Callback, Tier::Tcp, id, t_prev, t);
-                            }
-                        }
-                        Err(_) => {
-                            self.decode_errors.fetch_add(1, Ordering::Relaxed);
-                            self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-                Err(_) => {
-                    // Oversized for this message type (but within the
-                    // transport cap): skip the frame's bytes to stay in
-                    // sync.
-                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
-                    std::io::copy(&mut (&mut reader).take(len as u64), &mut std::io::sink())?;
-                    // The skipped frame still occupied a wire slot; consume
-                    // its note so the sidecar does not accumulate.
-                    if trace.is_some() {
-                        let _ = tracer().sidecar().take(conn_key, wire_seq);
-                    }
-                    wire_seq += 1;
-                }
-            }
-        }
-        Ok(())
+        // An shm grant means the publisher is now in its ring-producer
+        // loop: frames arrive as descriptors, not socket bytes, and the
+        // socket stays open purely as the liveness channel.
+        Ok((reply.get(SHM_FIELD) == Some("1")).then_some(reply))
     }
 
     /// Attach a granted shm link, honouring the injected attach fault
@@ -601,7 +692,7 @@ impl<D: Decode> SubCore<D> {
     /// to mark the ring closed (crash recovery).
     fn run_shm_connection(
         &self,
-        stream: &TcpStream,
+        stream: TcpStream,
         reply: &ConnectionHeader,
         shm_attach_failed: &mut bool,
     ) -> Result<(), RosError> {
@@ -645,7 +736,7 @@ impl<D: Decode> SubCore<D> {
 
         let trace = self.trace.as_deref();
         let own_pid = std::process::id();
-        let mut probe_stream = stream;
+        let mut probe_stream = &stream;
         let mut probe = [0u8; 1];
         loop {
             // Relaxed: standalone exit flag, polled — a stale read
@@ -746,8 +837,347 @@ impl<D: Decode> SubCore<D> {
     }
 }
 
+/// What one [`TcpReader::advance`] call produced.
+enum Progress {
+    /// A complete frame was delivered (or deliberately discarded).
+    Frame,
+    /// The socket has no more bytes right now; wait for the next event.
+    NeedSocket,
+    /// Clean end-of-stream on a frame boundary.
+    Eof,
+}
+
+/// Frame-reassembly state for one nonblocking TCP link — which part of the
+/// `len ∥ payload` wire unit the next byte belongs to.
+enum ReadState<D: Decode> {
+    /// Accumulating the 4-byte little-endian length prefix.
+    Prefix { prefix: [u8; 4], filled: usize },
+    /// Accumulating a frame body straight into its receive slot.
+    Body {
+        slot: D::Slot,
+        len: usize,
+        filled: usize,
+    },
+    /// Discarding the body of a frame whose slot could not be allocated
+    /// (oversized for the message type), to stay in sync with the stream.
+    Skip { remaining: usize },
+}
+
+/// The steady-state half of a TCP subscription: a reactor handler that
+/// reassembles length-prefixed frames from a nonblocking socket and runs
+/// the delivery tail (verify, finish, callback) inline — the reader loop of
+/// the paper's Fig. 9, minus the thread it used to occupy.
+struct TcpReader<D: Decode> {
+    stream: TcpStream,
+    /// The endpoint's supervision, handed back when the connection
+    /// concludes. `None` only transiently during conclusion.
+    sup: Option<Box<Supervision<D>>>,
+    /// This connection's entry in `SubCore::streams`.
+    stream_key: u64,
+    /// Sidecar rendezvous key shared with the writer (peer, local).
+    conn_key: u64,
+    /// Frames consumed off the stream, in wire order; counted
+    /// unconditionally so it stays in lockstep with the writer's count of
+    /// frames actually written.
+    wire_seq: u64,
+    state: ReadState<D>,
+    /// Read coalescing buffer: one syscall drains many small frames.
+    /// Payload remainders of at least the buffer's size bypass it and read
+    /// directly into the slot.
+    rbuf: Box<[u8]>,
+    rpos: usize,
+    rlen: usize,
+}
+
+impl<D: Decode> Handler for TcpReader<D> {
+    fn on_event(&mut self, _event: Event, ctl: &mut Ctl) {
+        // Every wake — readable, a self-yield notify, even `Closed` — is a
+        // pump. After a hangup the kernel still holds the already-received
+        // tail; level-triggered reads can no longer block, so pumping
+        // drains it to a definite EOF or error and no delivered frame is
+        // lost to teardown ordering.
+        let Some(core) = self.sup.as_ref().map(|s| Arc::clone(&s.core)) else {
+            ctl.close();
+            return;
+        };
+        let mut delivered = 0usize;
+        loop {
+            // Relaxed: standalone exit flag, polled — a stale read only
+            // costs one extra frame.
+            if core.shutdown.load(Ordering::Relaxed) {
+                self.conclude(Ok(()), ctl);
+                return;
+            }
+            match self.advance(&core) {
+                Ok(Progress::Frame) => {
+                    delivered += 1;
+                    if delivered >= FRAMES_PER_DISPATCH {
+                        // Yield the shared loop so one firehose link cannot
+                        // starve the rest; the notify re-runs this handler
+                        // after the other ready links get their turn.
+                        let token = ctl.token();
+                        ctl.reactor().notify(token);
+                        return;
+                    }
+                }
+                Ok(Progress::NeedSocket) => return,
+                Ok(Progress::Eof) => {
+                    self.conclude(Ok(()), ctl);
+                    return;
+                }
+                Err(e) => {
+                    self.conclude(Err(e), ctl);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl<D: Decode> TcpReader<D> {
+    /// Make progress until a frame completes or the socket runs dry.
+    fn advance(&mut self, core: &Arc<SubCore<D>>) -> Result<Progress, RosError> {
+        loop {
+            // Resolve completed states before demanding bytes, so
+            // zero-length bodies and finished skips never stall waiting
+            // for input that is not owed.
+            match &mut self.state {
+                ReadState::Body { len, filled, .. } if *filled == *len => {
+                    return self.deliver(core);
+                }
+                ReadState::Skip { remaining } if *remaining == 0 => {
+                    self.state = ReadState::Prefix {
+                        prefix: [0; 4],
+                        filled: 0,
+                    };
+                    continue;
+                }
+                _ => {}
+            }
+            if self.rpos == self.rlen {
+                // Large body remainders bypass the coalescing buffer: read
+                // straight into the slot, no intermediate copy.
+                if let ReadState::Body { slot, len, filled } = &mut self.state {
+                    if *len - *filled >= self.rbuf.len() {
+                        match self.stream.read(&mut slot.as_mut_slice()[*filled..*len]) {
+                            Ok(0) => {
+                                // EOF inside a frame: truncation.
+                                return Err(RosError::Io(std::io::Error::from(
+                                    std::io::ErrorKind::UnexpectedEof,
+                                )));
+                            }
+                            Ok(n) => {
+                                *filled += n;
+                                continue;
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                return Ok(Progress::NeedSocket)
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(RosError::Io(e)),
+                        }
+                    }
+                }
+                match self.stream.read(&mut self.rbuf) {
+                    Ok(0) => {
+                        // Clean EOF only lands between frames; mid-frame it
+                        // is a truncation.
+                        return match &self.state {
+                            ReadState::Prefix { filled: 0, .. } => Ok(Progress::Eof),
+                            _ => Err(RosError::Io(std::io::Error::from(
+                                std::io::ErrorKind::UnexpectedEof,
+                            ))),
+                        };
+                    }
+                    Ok(n) => {
+                        self.rpos = 0;
+                        self.rlen = n;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        return Ok(Progress::NeedSocket)
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(RosError::Io(e)),
+                }
+            }
+            let avail = &self.rbuf[self.rpos..self.rlen];
+            match &mut self.state {
+                ReadState::Prefix { prefix, filled } => {
+                    let take = avail.len().min(4 - *filled);
+                    prefix[*filled..*filled + take].copy_from_slice(&avail[..take]);
+                    *filled += take;
+                    self.rpos += take;
+                    if *filled < 4 {
+                        continue;
+                    }
+                    let len = u32::from_le_bytes(*prefix) as usize;
+                    if len > core.config.max_frame_len {
+                        // Protocol violation (a corrupt or hostile prefix
+                        // can claim up to 4 GiB): reject before allocating
+                        // anything and tear the connection down — the
+                        // stream cannot be trusted to be in sync anymore.
+                        core.metrics
+                            .frame_len_rejects
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(RosError::FrameTooLarge {
+                            len,
+                            max: core.config.max_frame_len,
+                        });
+                    }
+                    match D::new_slot(len) {
+                        Ok(slot) => {
+                            self.state = ReadState::Body {
+                                slot,
+                                len,
+                                filled: 0,
+                            };
+                        }
+                        Err(_) => {
+                            // Oversized for this message type (but within
+                            // the transport cap): skip the body to stay in
+                            // sync. The frame still occupied a wire slot;
+                            // consume its sidecar note so it does not
+                            // accumulate.
+                            core.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            core.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            if core.trace.is_some() {
+                                let _ = tracer().sidecar().take(self.conn_key, self.wire_seq);
+                            }
+                            self.wire_seq += 1;
+                            self.state = ReadState::Skip { remaining: len };
+                        }
+                    }
+                }
+                ReadState::Body { slot, len, filled } => {
+                    let take = avail.len().min(*len - *filled);
+                    slot.as_mut_slice()[*filled..*filled + take].copy_from_slice(&avail[..take]);
+                    *filled += take;
+                    self.rpos += take;
+                }
+                ReadState::Skip { remaining } => {
+                    let take = avail.len().min(*remaining);
+                    *remaining -= take;
+                    self.rpos += take;
+                }
+            }
+        }
+    }
+
+    /// A complete body sits in its slot: run the delivery tail of the
+    /// paper's Fig. 9 — recover the trace id, verify (optional), finish,
+    /// invoke the callback — and reset for the next prefix.
+    fn deliver(&mut self, core: &Arc<SubCore<D>>) -> Result<Progress, RosError> {
+        let state = std::mem::replace(
+            &mut self.state,
+            ReadState::Prefix {
+                prefix: [0; 4],
+                filled: 0,
+            },
+        );
+        let ReadState::Body { mut slot, len, .. } = state else {
+            unreachable!("deliver outside Body");
+        };
+        let seq = self.wire_seq;
+        self.wire_seq += 1;
+        let trace = core.trace.as_deref();
+        // Recover the frame's trace id from the writer's sidecar note; the
+        // `wire_read` span starts at the writer's send timestamp. The last
+        // frame byte wakes this loop at the same moment the writer moves
+        // to stamp its completion time, so wait a bounded moment for the
+        // note to settle; if it still hasn't (writer preempted), only the
+        // id is recovered — measuring from the provisional write-start
+        // stamp would double-count `wire_write`. (A same-process writer
+        // shares this reactor thread, so its note is always settled by the
+        // time this dispatch runs — the wait only triggers cross-process.)
+        let (id, mut t_prev) = match trace {
+            Some(table) => {
+                match tracer()
+                    .sidecar()
+                    .take_settled(self.conn_key, seq, SIDECAR_SETTLE_WAIT)
+                {
+                    Some(note) if note.trace_id != 0 => {
+                        let t = now_nanos();
+                        if note.settled {
+                            tracer().span(
+                                table,
+                                Stage::WireRead,
+                                Tier::Tcp,
+                                note.trace_id,
+                                note.sent_ns,
+                                t,
+                            );
+                        }
+                        (note.trace_id, t)
+                    }
+                    _ => (0, 0),
+                }
+            }
+            None => (0, 0),
+        };
+        if core.config.validate_on_receive {
+            if D::verify_frame(slot.as_mut_slice()).is_err() {
+                // Structurally corrupt: drop the frame without adopting
+                // it. Framing is length-prefixed, so the stream stays in
+                // sync and the connection lives on.
+                core.metrics.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                return Ok(Progress::Frame);
+            }
+            if let (Some(table), true) = (trace, id != 0) {
+                let t = now_nanos();
+                tracer().span(table, Stage::Verify, Tier::Tcp, id, t_prev, t);
+                t_prev = t;
+            }
+        }
+        match D::finish_slot(slot) {
+            Ok(msg) => {
+                if let (Some(table), true) = (trace, id != 0) {
+                    let t = now_nanos();
+                    tracer().span(table, Stage::Adopt, Tier::Tcp, id, t_prev, t);
+                    t_prev = t;
+                }
+                core.received.fetch_add(1, Ordering::Relaxed);
+                core.received_bytes.fetch_add(len as u64, Ordering::Relaxed);
+                core.metrics.frames_received.fetch_add(1, Ordering::Relaxed);
+                core.metrics
+                    .bytes_received
+                    .fetch_add(len as u64, Ordering::Relaxed);
+                (core.callback)(msg);
+                if let (Some(table), true) = (trace, id != 0) {
+                    let t = now_nanos();
+                    tracer().span(table, Stage::Callback, Tier::Tcp, id, t_prev, t);
+                }
+            }
+            Err(_) => {
+                core.decode_errors.fetch_add(1, Ordering::Relaxed);
+                core.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(Progress::Frame)
+    }
+
+    /// The connection is over (EOF, error, or shutdown): hand the box back
+    /// to its supervision — which decides on a reconnect, briefly and
+    /// nonblockingly, right here on the reactor thread — and close. The
+    /// close drops this handler and with it the socket.
+    fn conclude(&mut self, result: Result<(), RosError>, ctl: &mut Ctl) {
+        if let Some(sup) = self.sup.take() {
+            sup.core.streams.lock().remove(&self.stream_key);
+            sup.resume(result, true, false);
+        }
+        ctl.close();
+    }
+}
+
+/// Master-watcher state: endpoints that arrive before the core is built
+/// are buffered; afterwards they launch supervisions directly. The weak
+/// reference keeps the watcher from pinning a dropped subscription alive.
+enum WatchState<D: Decode> {
+    Pending(Vec<PublisherEndpoint>),
+    Live(Weak<SubCore<D>>),
+}
+
 /// A live subscription: holds the callback and the per-publisher
-/// supervisor threads.
+/// supervisions.
 ///
 /// Messages stop being delivered when the `Subscriber` is dropped (the
 /// paper's `ros::Subscriber` semantics).
@@ -774,8 +1204,37 @@ impl<D: Decode> Subscriber<D> {
         } else {
             None
         };
-        let (endpoints, watcher, registration) =
-            master.register_subscriber(topic, D::topic_type())?;
+        // The watcher callback fires under no lock of ours, possibly
+        // before the core exists (a publisher registering concurrently
+        // with us): buffer endpoints until the core is live, then launch
+        // supervisions directly. Returning `false` after shutdown lets the
+        // master prune the watcher entry.
+        let cell: Arc<Mutex<WatchState<D>>> = Arc::new(Mutex::new(WatchState::Pending(Vec::new())));
+        let watch_cell = Arc::clone(&cell);
+        let (endpoints, registration) = master.register_subscriber_watch(
+            topic,
+            D::topic_type(),
+            Arc::new(move |ep| {
+                let mut state = watch_cell.lock();
+                match &mut *state {
+                    WatchState::Pending(buf) => {
+                        buf.push(ep);
+                        true
+                    }
+                    WatchState::Live(weak) => match weak.upgrade() {
+                        // Relaxed: standalone exit flag; a stale read only
+                        // costs one futile supervision launch, which
+                        // re-checks it.
+                        Some(core) if !core.shutdown.load(Ordering::Relaxed) => {
+                            drop(state);
+                            Supervision::launch(core, ep);
+                            true
+                        }
+                        _ => false,
+                    },
+                }
+            }),
+        )?;
         let core = Arc::new(SubCore {
             topic: topic.to_string(),
             machine,
@@ -795,23 +1254,20 @@ impl<D: Decode> Subscriber<D> {
             reconnects: AtomicU64::new(0),
             trace,
         });
-        for ep in endpoints {
-            let c = Arc::clone(&core);
-            std::thread::spawn(move || c.supervise(ep));
-        }
-        // Watcher: supervise publishers that appear later.
-        let c = Arc::clone(&core);
-        std::thread::spawn(move || {
-            for ep in watcher.iter() {
-                // Relaxed: standalone exit flag, polled — a stale read
-                // only costs one extra loop iteration.
-                if c.shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-                let cc = Arc::clone(&c);
-                std::thread::spawn(move || cc.supervise(ep));
+        // Go live: endpoints buffered by the watcher while the core was
+        // being built are launched alongside the registration snapshot.
+        // (The snapshot and the watcher installation were atomic under the
+        // master's shard lock, so the two sets are disjoint and complete.)
+        let buffered = {
+            let mut state = cell.lock();
+            match std::mem::replace(&mut *state, WatchState::Live(Arc::downgrade(&core))) {
+                WatchState::Pending(buf) => buf,
+                WatchState::Live(_) => Vec::new(),
             }
-        });
+        };
+        for ep in endpoints.into_iter().chain(buffered) {
+            Supervision::launch(Arc::clone(&core), ep);
+        }
         Ok(Subscriber { core })
     }
 

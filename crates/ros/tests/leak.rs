@@ -1,0 +1,192 @@
+//! Fd/thread-leak regression: TCP links live on the shared reactor, so
+//! churning connections — subscription create/drop cycles and
+//! sever/heal cycles through the netsim fault injector — must return the
+//! process to its baseline `/proc/self/fd` and thread counts. A drift
+//! here means a handler wasn't deregistered, a supervision chain kept a
+//! socket alive, or a connection-scoped thread outlived its link.
+
+use rossf_ros::{BackoffPolicy, MachineId, Master, NodeHandle, Publisher, TransportConfig};
+use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[repr(C)]
+#[derive(Debug)]
+struct Payload {
+    seq: u32,
+    _pad: u32,
+    data: SfmVec<u8>,
+}
+unsafe impl SfmPod for Payload {}
+impl SfmValidate for Payload {
+    fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+        self.data.validate_in(base, len)
+    }
+}
+unsafe impl SfmMessage for Payload {
+    fn type_name() -> &'static str {
+        "test/LeakPayload"
+    }
+    fn max_size() -> usize {
+        4096
+    }
+}
+
+fn msg(seq: u32) -> SfmBox<Payload> {
+    let mut m = SfmBox::<Payload>::new();
+    m.seq = seq;
+    m.data.resize(32);
+    m
+}
+
+fn fast_reconnect() -> TransportConfig {
+    TransportConfig {
+        handshake_timeout: Duration::from_secs(2),
+        backoff: BackoffPolicy {
+            initial: Duration::from_millis(2),
+            max: Duration::from_millis(40),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 0,
+        },
+        ..TransportConfig::default()
+    }
+}
+
+/// Open descriptors of this process. `read_dir` briefly opens one fd of
+/// its own; that bias is identical on every call, so comparisons hold.
+fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd").unwrap().count()
+}
+
+/// Live threads of this process, from `/proc/self/status`.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timeout waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn publish_until(
+    publisher: &Publisher<SfmBox<Payload>>,
+    seq: &mut u32,
+    what: &str,
+    cond: impl Fn() -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timeout publishing until {what}");
+        publisher.publish(&msg(*seq));
+        *seq += 1;
+        std::thread::sleep(Duration::from_millis(3));
+    }
+}
+
+/// N connect/sever/reconnect cycles plus subscription churn, then the
+/// process must be back at its post-warmup fd and thread baseline.
+#[test]
+fn churn_cycles_return_to_fd_and_thread_baseline() {
+    const CYCLES: usize = 10;
+
+    let master = Master::new();
+    let fault = master.links().inject(MachineId::A, MachineId::B);
+    let nh_pub = NodeHandle::new(&master, "pub");
+    let nh_sub = NodeHandle::with_config(&master, "sub", MachineId::B, fast_reconnect());
+
+    let publisher: Publisher<SfmBox<Payload>> = nh_pub.advertise("leak/churn", 64);
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh_sub.subscribe("leak/churn", 64, move |m: SfmShared<Payload>| {
+        assert_eq!(m.data.len(), 32);
+        seen_cb.fetch_add(1, Ordering::SeqCst);
+    });
+    nh_pub.wait_for_subscribers(&publisher, 1);
+
+    let mut seq = 0u32;
+    publish_until(&publisher, &mut seq, "warmup frames", || {
+        seen.load(Ordering::SeqCst) >= 3
+    });
+
+    // One full warm-up cycle before taking the baseline, so lazy one-time
+    // state (reactor thread, pool workers, tracer, sidecar) is counted in.
+    {
+        let extra_seen = Arc::new(AtomicU64::new(0));
+        let extra_cb = Arc::clone(&extra_seen);
+        let _extra = nh_sub.subscribe("leak/churn", 64, move |_m: SfmShared<Payload>| {
+            extra_cb.fetch_add(1, Ordering::SeqCst);
+        });
+        nh_pub.wait_for_subscribers(&publisher, 2);
+        publish_until(&publisher, &mut seq, "warmup extra delivery", || {
+            extra_seen.load(Ordering::SeqCst) >= 1
+        });
+    }
+    wait_until("warmup sub teardown", || publisher.subscriber_count() == 1);
+    // Let the publisher notice the dropped link and close its side.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let fd_base = fd_count();
+    let thread_base = thread_count();
+
+    let reconnects_before = sub.reconnects();
+    for _cycle in 0..CYCLES {
+        // Subscription churn: connect a fresh TCP link, see traffic on
+        // it, drop it.
+        let extra_seen = Arc::new(AtomicU64::new(0));
+        let extra_cb = Arc::clone(&extra_seen);
+        let extra = nh_sub.subscribe("leak/churn", 64, move |_m: SfmShared<Payload>| {
+            extra_cb.fetch_add(1, Ordering::SeqCst);
+        });
+        publish_until(&publisher, &mut seq, "churned sub delivery", || {
+            extra_seen.load(Ordering::SeqCst) >= 1
+        });
+        drop(extra);
+
+        // Link churn: sever the steady link mid-stream, heal, and wait
+        // for the supervisor to bring it back.
+        let reconnects = sub.reconnects();
+        let attempts = sub.reconnect_attempts();
+        fault.sever_now();
+        publish_until(&publisher, &mut seq, "sever to land", || {
+            sub.reconnect_attempts() > attempts
+        });
+        fault.heal();
+        publish_until(&publisher, &mut seq, "reconnect after heal", || {
+            sub.reconnects() > reconnects
+        });
+        let resumed_from = seen.load(Ordering::SeqCst);
+        publish_until(&publisher, &mut seq, "delivery after reconnect", || {
+            seen.load(Ordering::SeqCst) > resumed_from
+        });
+        wait_until("churned link teardown", || {
+            publisher.subscriber_count() == 1
+        });
+    }
+    assert!(sub.reconnects() >= reconnects_before + CYCLES as u64);
+    assert_eq!(sub.decode_errors(), 0);
+
+    // Teardown of the last cycle is asynchronous (the publisher's writer
+    // notices the dead peer on its next flush); poll back to baseline.
+    wait_until("fd count back to baseline", || fd_count() <= fd_base);
+    wait_until("thread count back to baseline", || {
+        thread_count() <= thread_base
+    });
+
+    // And the steady link must still be alive after all that churn.
+    let resumed_from = seen.load(Ordering::SeqCst);
+    publish_until(&publisher, &mut seq, "steady link still live", || {
+        seen.load(Ordering::SeqCst) > resumed_from
+    });
+}

@@ -41,7 +41,13 @@ cargo run -q --release -p rossf-bench --bin sfm_trace -- --overhead-gate
 echo "==> loaned-publication gate (shm+loan one-way p50 <= 1.2x fastpath, all paper sizes)"
 cargo run -q --release -p rossf-bench --bin loan_gate -- --iters 60
 
-echo "==> bench summary + trajectory regression gate (p50/p99 <= +10% vs previous)"
+echo "==> fd/thread-leak suite (connect/sever/reconnect churn returns to baseline)"
+cargo test -q -p rossf-ros --test leak
+
+echo "==> churn soak smoke (reactor thread count independent of link count)"
+cargo run -q --release -p rossf-bench --bin soak -- --smoke
+
+echo "==> bench summary + trajectory regression gate (p50/p99 <= +10% vs previous; soak threads/fds flat)"
 cargo run -q --release -p rossf-bench --bin bench_summary -- --gate
 
 echo "==> rossf-lint (unsafe/SeqCst annotations, syscall confinement, Drop hygiene)"
