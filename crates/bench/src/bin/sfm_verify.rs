@@ -190,6 +190,18 @@ fn main() {
             };
             dump_struct(&schema.root, 0);
             println!("max frame: {} bytes", schema.max_size);
+            // Every path a projection subscription may select
+            // (`SubscriberOptions::project`), with its projectability.
+            println!("projection paths:");
+            for path in schema.resolvable_paths() {
+                let path = path.to_string();
+                let verdict = match rossf_sfm::Projection::resolve(schema, &[&path]) {
+                    Ok(_) => "ok",
+                    Err(rossf_sfm::PathError::Unprojectable { .. }) => "unprojectable",
+                    Err(_) => "unresolvable",
+                };
+                println!("  {path:<24} {verdict}");
+            }
         }
         Some("--type") => {
             let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());

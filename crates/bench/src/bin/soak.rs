@@ -28,7 +28,10 @@
 //! `results/BENCH_soak_smoke.json`) — the `scripts/check.sh` gate.
 
 use rossf_bench::report::{write_report, ScenarioReport};
-use rossf_ros::{BackoffPolicy, MachineId, Master, NodeHandle, Publisher, TransportConfig};
+use rossf_ros::{
+    BackoffPolicy, MachineId, Master, NodeHandle, Publisher, PublisherOptions, SubscriberOptions,
+    TransportConfig,
+};
 use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -140,10 +143,14 @@ fn run_scale(scale: &Scale) -> Outcome {
     let delivered = Arc::new(AtomicU64::new(0));
     let subscribe = |topic: &str| {
         let delivered = Arc::clone(&delivered);
-        nh_sub.subscribe(topic, 64, move |m: SfmShared<SoakMsg>| {
-            debug_assert_eq!(m.data.len(), PAYLOAD);
-            delivered.fetch_add(1, Ordering::Relaxed);
-        })
+        nh_sub.subscribe_with(
+            topic,
+            SubscriberOptions::new(),
+            move |m: SfmShared<SoakMsg>| {
+                debug_assert_eq!(m.data.len(), PAYLOAD);
+                delivered.fetch_add(1, Ordering::Relaxed);
+            },
+        )
     };
 
     let mut publishers: Vec<Publisher<SfmBox<SoakMsg>>> = Vec::with_capacity(scale.topics);
@@ -151,7 +158,7 @@ fn run_scale(scale: &Scale) -> Outcome {
     let topic_name = |t: usize| format!("soak/t{t}");
     for t in 0..scale.topics {
         let topic = topic_name(t);
-        publishers.push(nh_pub.advertise(&topic, 64));
+        publishers.push(nh_pub.advertise_with(&topic, PublisherOptions::new().queue_size(64)));
         for _ in 0..scale.subs_per_topic {
             steady.push(subscribe(&topic));
         }
@@ -209,6 +216,8 @@ fn run_scale(scale: &Scale) -> Outcome {
     let fds = fd_count();
     let rss_kb = proc_status_field("VmRSS:");
     let reconnects = steady.iter().map(|s| s.reconnects()).sum::<u64>();
+    let bytes_sent = publishers.iter().map(|p| p.stats().bytes_sent).sum::<u64>();
+    let bytes_received = steady.iter().map(|s| s.stats().bytes_received).sum::<u64>();
 
     let msgs_per_s = got as f64 / elapsed.as_secs_f64();
     let report = ScenarioReport {
@@ -221,8 +230,11 @@ fn run_scale(scale: &Scale) -> Outcome {
         threads: None,
         fds: None,
         rss_kb: None,
+        bytes_sent: None,
+        bytes_received: None,
     }
-    .with_process_counts(threads, fds, rss_kb);
+    .with_process_counts(threads, fds, rss_kb)
+    .with_wire_bytes(bytes_sent, bytes_received);
     Outcome {
         report,
         threads,

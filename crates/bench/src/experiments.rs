@@ -55,6 +55,18 @@ fn dump_transport_metrics(label: &str, master: &Master) {
     }
 }
 
+/// Total wire bytes `(sent, received)` across every topic of `master`,
+/// attached to a run's [`Stats`] so report rows carry the byte columns.
+fn wire_bytes(master: &Master) -> (u64, u64) {
+    master
+        .metrics()
+        .snapshot()
+        .iter()
+        .fold((0, 0), |(sent, received), (_, m)| {
+            (sent + m.bytes_sent, received + m.bytes_received)
+        })
+}
+
 fn drain_one(rx: &mpsc::Receiver<u64>, what: &str) -> u64 {
     rx.recv_timeout(RECV_TIMEOUT)
         .unwrap_or_else(|e| panic!("{what}: message lost: {e}"))
@@ -67,9 +79,10 @@ pub fn intra_plain(args: RunArgs, width: u32, height: u32) -> Stats {
     let master = Master::new();
     let nh = NodeHandle::new(&master, "pub");
     let topic = unique_topic("fig13_plain");
-    let publisher: Publisher<Image> = nh.advertise(&topic, 8);
+    let publisher: Publisher<Image> =
+        nh.advertise_with(&topic, PublisherOptions::new().queue_size(8));
     let (tx, rx) = mpsc::channel();
-    let _sub = nh.subscribe(&topic, 8, move |m: Arc<Image>| {
+    let _sub = nh.subscribe_with(&topic, SubscriberOptions::new(), move |m: Arc<Image>| {
         let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
     });
     nh.wait_for_subscribers(&publisher, 1);
@@ -97,7 +110,8 @@ pub fn intra_plain(args: RunArgs, width: u32, height: u32) -> Stats {
         std::thread::sleep(args.gap());
     }
     dump_transport_metrics("fig13 plain", &master);
-    Stats::from_nanos(lat)
+    let (sent, received) = wire_bytes(&master);
+    Stats::from_nanos(lat).with_wire_bytes(sent, received)
 }
 
 /// Fig. 13, "ROS-SF" series: the same code shape over serialization-free
@@ -107,11 +121,16 @@ pub fn intra_sfm(args: RunArgs, width: u32, height: u32) -> Stats {
     let master = Master::new();
     let nh = NodeHandle::new(&master, "pub");
     let topic = unique_topic("fig13_sfm");
-    let publisher: Publisher<SfmBox<SfmImage>> = nh.advertise(&topic, 8);
+    let publisher: Publisher<SfmBox<SfmImage>> =
+        nh.advertise_with(&topic, PublisherOptions::new().queue_size(8));
     let (tx, rx) = mpsc::channel();
-    let _sub = nh.subscribe(&topic, 8, move |m: SfmShared<SfmImage>| {
-        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
-    });
+    let _sub = nh.subscribe_with(
+        &topic,
+        SubscriberOptions::new(),
+        move |m: SfmShared<SfmImage>| {
+            let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+        },
+    );
     nh.wait_for_subscribers(&publisher, 1);
 
     let pixels = WorkImage::synthetic(width, height).data;
@@ -134,7 +153,8 @@ pub fn intra_sfm(args: RunArgs, width: u32, height: u32) -> Stats {
         std::thread::sleep(args.gap());
     }
     dump_transport_metrics("fig13 sfm", &master);
-    Stats::from_nanos(lat)
+    let (sent, received) = wire_bytes(&master);
+    Stats::from_nanos(lat).with_wire_bytes(sent, received)
 }
 
 /// Fig. 14: one codec over a bare TCP loopback pipe (identical transport
@@ -192,10 +212,10 @@ pub fn pingpong_plain(args: RunArgs, width: u32, height: u32, link: LinkProfile)
     let t1 = unique_topic("fig16_plain_t1");
     let t2 = unique_topic("fig16_plain_t2");
 
-    let pub1: Publisher<Image> = nh_a.advertise(&t1, 8);
-    let pub2: Publisher<Image> = nh_b.advertise(&t2, 8);
+    let pub1: Publisher<Image> = nh_a.advertise_with(&t1, PublisherOptions::new().queue_size(8));
+    let pub2: Publisher<Image> = nh_b.advertise_with(&t2, PublisherOptions::new().queue_size(8));
     let pub2_cb = pub2.clone();
-    let _trans = nh_b.subscribe(&t1, 8, move |m: Arc<Image>| {
+    let _trans = nh_b.subscribe_with(&t1, SubscriberOptions::new(), move |m: Arc<Image>| {
         // "it creates another Image message, whose timestamp is set to be
         // the same as the received message" — full reconstruction.
         let reply = Image {
@@ -214,7 +234,7 @@ pub fn pingpong_plain(args: RunArgs, width: u32, height: u32, link: LinkProfile)
         pub2_cb.publish(&reply);
     });
     let (tx, rx) = mpsc::channel();
-    let _sub = nh_a.subscribe(&t2, 8, move |m: Arc<Image>| {
+    let _sub = nh_a.subscribe_with(&t2, SubscriberOptions::new(), move |m: Arc<Image>| {
         let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
     });
     nh_a.wait_for_subscribers(&pub1, 1);
@@ -242,7 +262,8 @@ pub fn pingpong_plain(args: RunArgs, width: u32, height: u32, link: LinkProfile)
         std::thread::sleep(args.gap());
     }
     dump_transport_metrics("fig16 plain", &master);
-    Stats::from_nanos(lat)
+    let (sent, received) = wire_bytes(&master);
+    Stats::from_nanos(lat).with_wire_bytes(sent, received)
 }
 
 /// Fig. 16, "ROS-SF" series.
@@ -273,25 +294,35 @@ pub fn pingpong_sfm_with(
     let t1 = unique_topic("fig16_sfm_t1");
     let t2 = unique_topic("fig16_sfm_t2");
 
-    let pub1: Publisher<SfmBox<SfmImage>> = nh_a.advertise(&t1, 8);
-    let pub2: Publisher<SfmBox<SfmImage>> = nh_b.advertise(&t2, 8);
+    let pub1: Publisher<SfmBox<SfmImage>> =
+        nh_a.advertise_with(&t1, PublisherOptions::new().queue_size(8));
+    let pub2: Publisher<SfmBox<SfmImage>> =
+        nh_b.advertise_with(&t2, PublisherOptions::new().queue_size(8));
     let pub2_cb = pub2.clone();
-    let _trans = nh_b.subscribe(&t1, 8, move |m: SfmShared<SfmImage>| {
-        let mut reply = SfmBox::<SfmImage>::new();
-        reply.header.seq = m.header.seq;
-        reply.header.stamp = m.header.stamp;
-        reply.header.frame_id.assign("pong");
-        reply.height = m.height;
-        reply.width = m.width;
-        reply.encoding.assign(m.encoding.as_str());
-        reply.step = m.step;
-        reply.data.assign(m.data.as_slice());
-        pub2_cb.publish(&reply);
-    });
+    let _trans = nh_b.subscribe_with(
+        &t1,
+        SubscriberOptions::new(),
+        move |m: SfmShared<SfmImage>| {
+            let mut reply = SfmBox::<SfmImage>::new();
+            reply.header.seq = m.header.seq;
+            reply.header.stamp = m.header.stamp;
+            reply.header.frame_id.assign("pong");
+            reply.height = m.height;
+            reply.width = m.width;
+            reply.encoding.assign(m.encoding.as_str());
+            reply.step = m.step;
+            reply.data.assign(m.data.as_slice());
+            pub2_cb.publish(&reply);
+        },
+    );
     let (tx, rx) = mpsc::channel();
-    let _sub = nh_a.subscribe(&t2, 8, move |m: SfmShared<SfmImage>| {
-        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
-    });
+    let _sub = nh_a.subscribe_with(
+        &t2,
+        SubscriberOptions::new(),
+        move |m: SfmShared<SfmImage>| {
+            let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+        },
+    );
     nh_a.wait_for_subscribers(&pub1, 1);
     nh_b.wait_for_subscribers(&pub2, 1);
 
@@ -313,7 +344,8 @@ pub fn pingpong_sfm_with(
         std::thread::sleep(args.gap());
     }
     dump_transport_metrics("fig16 sfm", &master);
-    Stats::from_nanos(lat)
+    let (sent, received) = wire_bytes(&master);
+    Stats::from_nanos(lat).with_wire_bytes(sent, received)
 }
 
 /// Same-machine ping-pong isolating the transport tier: the Fig. 15
@@ -365,16 +397,26 @@ fn pingpong_same_machine_with(
     let t1 = unique_topic("fig16_local_t1");
     let t2 = unique_topic("fig16_local_t2");
 
-    let pub1: Publisher<SfmBox<SfmImage>> = nh.advertise(&t1, 8);
-    let pub2: Publisher<SfmShared<SfmImage>> = nh.advertise(&t2, 8);
+    let pub1: Publisher<SfmBox<SfmImage>> =
+        nh.advertise_with(&t1, PublisherOptions::new().queue_size(8));
+    let pub2: Publisher<SfmShared<SfmImage>> =
+        nh.advertise_with(&t2, PublisherOptions::new().queue_size(8));
     let pub2_cb = pub2.clone();
-    let _trans = nh.subscribe(&t1, 8, move |m: SfmShared<SfmImage>| {
-        pub2_cb.publish(&m); // relay the received object verbatim
-    });
+    let _trans = nh.subscribe_with(
+        &t1,
+        SubscriberOptions::new(),
+        move |m: SfmShared<SfmImage>| {
+            pub2_cb.publish(&m); // relay the received object verbatim
+        },
+    );
     let (tx, rx) = mpsc::channel();
-    let _sub = nh.subscribe(&t2, 8, move |m: SfmShared<SfmImage>| {
-        let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
-    });
+    let _sub = nh.subscribe_with(
+        &t2,
+        SubscriberOptions::new(),
+        move |m: SfmShared<SfmImage>| {
+            let _ = tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+        },
+    );
     nh.wait_for_subscribers(&pub1, 1);
     nh.wait_for_subscribers(&pub2, 1);
 
@@ -396,7 +438,8 @@ fn pingpong_same_machine_with(
         std::thread::sleep(args.gap());
     }
     dump_transport_metrics(label, &master);
-    Stats::from_nanos(lat)
+    let (sent, received) = wire_bytes(&master);
+    Stats::from_nanos(lat).with_wire_bytes(sent, received)
 }
 
 /// Fill an `SfmImage` in place with the creation time inside — shared by
@@ -661,12 +704,13 @@ fn oneway_run(
                 })
             };
             dump_transport_metrics("oneway traced", &master);
+            let (sent, received) = wire_bytes(&master);
             let snapshot = traced.then(|| {
                 rossf_trace::tracer()
                     .topic_snapshot(&topic)
                     .expect("trace table for topic")
             });
-            (stats, snapshot)
+            (stats.with_wire_bytes(sent, received), snapshot)
         }
     }
 }
@@ -745,27 +789,33 @@ pub fn slam_case_study(
 
     let running = match family {
         Family::Plain => {
-            let publisher: Publisher<Image> = nh.advertise(&topics.image, 8);
+            let publisher: Publisher<Image> =
+                nh.advertise_with(&topics.image, PublisherOptions::new().queue_size(8));
             let node = spawn_plain(&nh, &topics, width, height, config);
             let subs = (
-                nh.subscribe(
+                nh.subscribe_with(
                     &topics.pose,
-                    8,
+                    SubscriberOptions::new(),
                     move |m: Arc<rossf_msg::geometry_msgs::PoseStamped>| {
                         let _ = pose_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
                     },
                 ),
-                nh.subscribe(
+                nh.subscribe_with(
                     &topics.cloud,
-                    8,
+                    SubscriberOptions::new(),
                     move |m: Arc<rossf_msg::sensor_msgs::PointCloud2>| {
                         let _ =
                             cloud_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
                     },
                 ),
-                nh.subscribe(&topics.debug, 8, move |m: Arc<Image>| {
-                    let _ = debug_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
-                }),
+                nh.subscribe_with(
+                    &topics.debug,
+                    SubscriberOptions::new(),
+                    move |m: Arc<Image>| {
+                        let _ =
+                            debug_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                    },
+                ),
             );
             nh.wait_for_subscribers(&publisher, 1);
             Running::Plain {
@@ -775,27 +825,33 @@ pub fn slam_case_study(
             }
         }
         Family::Sfm => {
-            let publisher: Publisher<SfmBox<SfmImage>> = nh.advertise(&topics.image, 8);
+            let publisher: Publisher<SfmBox<SfmImage>> =
+                nh.advertise_with(&topics.image, PublisherOptions::new().queue_size(8));
             let node = spawn_sfm(&nh, &topics, width, height, config);
             let subs = (
-                nh.subscribe(
+                nh.subscribe_with(
                     &topics.pose,
-                    8,
+                    SubscriberOptions::new(),
                     move |m: SfmShared<rossf_msg::geometry_msgs::SfmPoseStamped>| {
                         let _ = pose_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
                     },
                 ),
-                nh.subscribe(
+                nh.subscribe_with(
                     &topics.cloud,
-                    8,
+                    SubscriberOptions::new(),
                     move |m: SfmShared<rossf_msg::sensor_msgs::SfmPointCloud2>| {
                         let _ =
                             cloud_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
                     },
                 ),
-                nh.subscribe(&topics.debug, 8, move |m: SfmShared<SfmImage>| {
-                    let _ = debug_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
-                }),
+                nh.subscribe_with(
+                    &topics.debug,
+                    SubscriberOptions::new(),
+                    move |m: SfmShared<SfmImage>| {
+                        let _ =
+                            debug_tx.send(now_nanos().saturating_sub(m.header.stamp.as_nanos()));
+                    },
+                ),
             );
             nh.wait_for_subscribers(&publisher, 1);
             Running::Sfm {

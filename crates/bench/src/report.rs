@@ -101,6 +101,12 @@ pub struct ScenarioReport {
     /// Resident set size (`VmRSS`) in kB at steady state, when measured.
     /// Recorded for trend-watching, not gated (allocator noise).
     pub rss_kb: Option<u64>,
+    /// Wire bytes the publisher pushed over the scenario, when the harness
+    /// samples transport counters. Projected subscriptions make this
+    /// diverge from `payload_bytes × messages`; recorded, not gated.
+    pub bytes_sent: Option<u64>,
+    /// Wire bytes the subscriber accepted over the scenario, when measured.
+    pub bytes_received: Option<u64>,
 }
 
 impl ScenarioReport {
@@ -121,6 +127,8 @@ impl ScenarioReport {
             threads: None,
             fds: None,
             rss_kb: None,
+            bytes_sent: stats.wire_bytes.map(|(sent, _)| sent),
+            bytes_received: stats.wire_bytes.map(|(_, received)| received),
         }
     }
 
@@ -129,6 +137,13 @@ impl ScenarioReport {
         self.threads = Some(threads);
         self.fds = Some(fds);
         self.rss_kb = Some(rss_kb);
+        self
+    }
+
+    /// Attach measured wire-byte totals (rows sampling transport counters).
+    pub fn with_wire_bytes(mut self, sent: u64, received: u64) -> ScenarioReport {
+        self.bytes_sent = Some(sent);
+        self.bytes_received = Some(received);
         self
     }
 }
@@ -176,7 +191,13 @@ pub fn render_json(fig: &str, meta: &RunMeta, rows: &[ScenarioReport]) -> String
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let mut counts = String::new();
-        for (key, v) in [("threads", r.threads), ("fds", r.fds), ("rss_kb", r.rss_kb)] {
+        for (key, v) in [
+            ("threads", r.threads),
+            ("fds", r.fds),
+            ("rss_kb", r.rss_kb),
+            ("bytes_sent", r.bytes_sent),
+            ("bytes_received", r.bytes_received),
+        ] {
             if let Some(v) = v {
                 counts.push_str(&format!(", \"{key}\": {v}"));
             }
@@ -826,6 +847,24 @@ mod tests {
         ))
         .unwrap()];
         assert!(gate_regressions(&prev, &plain, 0.10, 0.05, 1.0).is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_render_and_survive_row_parsing() {
+        let r = ScenarioReport::from_stats("projected header.stamp 1MB", 1_000_000, &stats())
+            .with_wire_bytes(5_000, 5_000);
+        let doc = render_json("projection", &meta(), &[r]);
+        assert!(doc.contains("\"bytes_sent\": 5000, \"bytes_received\": 5000"));
+        // Byte totals are recorded, not gated: the latency gate still
+        // parses rows that carry them.
+        let run = parse_report_doc(&doc).unwrap();
+        let rows = parse_scenario_rows(&run.scenario_rows);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].p50_ms, 2.0);
+        let baseline = [run.clone()];
+        assert!(
+            gate_regressions(std::slice::from_ref(&run), &baseline, 0.10, 0.05, 1.0).is_empty()
+        );
     }
 
     #[test]

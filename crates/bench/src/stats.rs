@@ -22,6 +22,11 @@ pub struct Stats {
     pub p99_ms: f64,
     /// Maximum, milliseconds.
     pub max_ms: f64,
+    /// Wire bytes `(sent, received)` the transport counted over the
+    /// sample run, when the experiment attaches them
+    /// ([`Stats::with_wire_bytes`]). Report rows lift these into their
+    /// byte columns.
+    pub wire_bytes: Option<(u64, u64)>,
 }
 
 impl Stats {
@@ -58,7 +63,14 @@ impl Stats {
             p95_ms: pct(0.95),
             p99_ms: pct(0.99),
             max_ms: to_ms(nanos[n - 1]),
+            wire_bytes: None,
         }
+    }
+
+    /// Attach the wire-byte totals the transport counted during the run.
+    pub fn with_wire_bytes(mut self, sent: u64, received: u64) -> Stats {
+        self.wire_bytes = Some((sent, received));
+        self
     }
 
     /// The paper's headline metric: percentage latency reduction of

@@ -275,6 +275,10 @@ pub enum VerifyErrorKind {
         /// Frame length.
         frame_len: usize,
     },
+    /// A field excluded by a negotiated [`Projection`](crate::Projection)
+    /// carries a nonzero `{len, offset}` pair — the frame did not come
+    /// from a conforming projecting publisher.
+    UnprojectedNonZero,
 }
 
 /// A structural verification failure, naming the failing field path.
@@ -330,6 +334,10 @@ impl fmt::Display for VerifyError {
             VerifyErrorKind::SizeMismatch { used, frame_len } => write!(
                 f,
                 "regions reconstruct a whole message of {used} bytes but the frame is {frame_len}"
+            ),
+            VerifyErrorKind::UnprojectedNonZero => write!(
+                f,
+                "field is excluded by the negotiated projection but its pair is nonzero"
             ),
         }
     }
@@ -472,7 +480,7 @@ impl<'f> Walker<'f> {
                 // indirection; a byte/float payload is a leaf.
                 if elem.has_indirection() {
                     for i in 0..len as usize {
-                        let elem_path = format!("{path}[{i}]");
+                        let elem_path = crate::path::index_path(path, i);
                         self.walk_field(&elem_path, start + i * elem_size, elem)?;
                     }
                 }
@@ -484,11 +492,9 @@ impl<'f> Walker<'f> {
                         self.fields_walked += 1;
                         continue;
                     }
-                    let field_path = if path.is_empty() {
-                        field.name.clone()
-                    } else {
-                        format!("{path}.{}", field.name)
-                    };
+                    // Built through the shared path helpers so a printed
+                    // diagnostic always parses back as a `FieldPath`.
+                    let field_path = crate::path::child_path(path, &field.name);
                     self.walk_field(&field_path, at + field.offset, &field.ty)?;
                 }
                 Ok(())
@@ -496,7 +502,7 @@ impl<'f> Walker<'f> {
             TypeDesc::Array { elem, len } => {
                 if elem.has_indirection() {
                     for i in 0..*len {
-                        let elem_path = format!("{path}[{i}]");
+                        let elem_path = crate::path::index_path(path, i);
                         self.walk_field(&elem_path, at + i * elem.size(), elem)?;
                     }
                 }

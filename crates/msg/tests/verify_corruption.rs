@@ -11,11 +11,13 @@
 //! All randomness is a seeded xorshift64* generator (the same scheme the
 //! SLAM dataset synthesizer uses), so failures reproduce exactly.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf_msg::sensor_msgs::{SfmImage, SfmPointCloud2, SfmPointField};
 use rossf_msg::std_msgs::SfmHeader;
-use rossf_ros::wire::{write_frame, ConnectionHeader};
-use rossf_ros::{MachineId, Master, NodeHandle, TransportConfig};
-use rossf_sfm::{verify_frame_for, SfmBox, SfmShared};
+use rossf_ros::wire::{write_frame, ConnectionHeader, PROJECT_FIELD};
+use rossf_ros::{MachineId, Master, NodeHandle, SubscriberOptions, TransportConfig};
+use rossf_sfm::{verify_frame_for, Projection, SfmBox, SfmShared};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -397,6 +399,153 @@ impl RawPublisher {
             .unwrap();
         stream
     }
+
+    /// Like [`RawPublisher::accept`], but echoes the subscriber's projection
+    /// request verbatim — the test then controls the sub-frame bytes.
+    fn accept_project(&self, type_name: &str) -> std::net::TcpStream {
+        let (mut stream, _) = self.listener.accept().unwrap();
+        let request = {
+            let mut r = std::io::BufReader::new(stream.try_clone().unwrap());
+            ConnectionHeader::read_from(&mut r).unwrap()
+        };
+        let spec = request
+            .get(PROJECT_FIELD)
+            .expect("sub requested projection");
+        ConnectionHeader::new()
+            .with("type", type_name)
+            .with("endian", ConnectionHeader::native_endian())
+            .with(PROJECT_FIELD, spec)
+            .write_to(&mut stream)
+            .unwrap();
+        stream
+    }
+}
+
+/// Assemble the wire bytes of a projected sub-frame the way the
+/// publisher's vectored writer does: patched skeleton, then each selected
+/// content region behind its alignment pad.
+fn projected_wire_bytes(projection: &Projection, frame: &[u8]) -> Vec<u8> {
+    let plan = projection.slice(frame).expect("valid frame slices");
+    let mut out = plan.skeleton.clone();
+    for seg in &plan.segments {
+        out.extend(std::iter::repeat_n(0u8, seg.pad));
+        out.extend_from_slice(&frame[seg.src.clone()]);
+    }
+    assert_eq!(out.len(), plan.wire_len);
+    out
+}
+
+/// The projected verifier holds the line the full-frame verifier holds:
+/// structural corruptions of selected pairs are rejected, and so is any
+/// nonzero residue in an *unprojected* pair (which the full verifier would
+/// happily accept as a live field).
+#[test]
+fn projected_frame_corruptions_all_rejected() {
+    let mut rng = Rng::new(0xF1E1D);
+    let schema = <SfmImage as rossf_sfm::SfmMessage>::schema().expect("generated schema");
+    let projection =
+        Projection::resolve(schema, &["header.frame_id", "height", "encoding"]).unwrap();
+
+    // The projected pairs, at their (unchanged) skeleton positions.
+    let selected = [image_pairs()[0].pos, image_pairs()[1].pos];
+    let unprojected_data = core::mem::offset_of!(SfmImage, data);
+
+    for round in 0..200 {
+        let full = image_frame(&mut rng);
+        let good = projected_wire_bytes(&projection, &full);
+        projection
+            .verify_projected(&good)
+            .expect("publisher-sliced sub-frame must verify");
+
+        let mut bad = good.clone();
+        let what = match rng.below(3) {
+            0 => {
+                // Structural corruption of a selected pair.
+                let pair = Pair {
+                    path: "selected",
+                    pos: selected[rng.below(selected.len())],
+                };
+                corrupt_pair(&mut bad, &pair, rng.below(6), &mut rng)
+            }
+            1 => {
+                // Unprojected pair with residue: a full frame leaked onto a
+                // projected link, or a forged field smuggled past the slice.
+                let pos = unprojected_data + 4 * rng.below(2);
+                write_u32(&mut bad, pos, 1 + rng.below(100) as u32);
+                "unprojected pair nonzero"
+            }
+            _ => {
+                bad.truncate(rng.below(bad.len()));
+                "truncated sub-frame"
+            }
+        };
+        assert!(
+            projection.verify_projected(&bad).is_err(),
+            "round {round}: {what} accepted"
+        );
+    }
+}
+
+/// Corrupt projected sub-frames on a real socket: the subscriber's
+/// projected verifier counts and skips them without killing the link,
+/// exactly like the full-frame harness above.
+#[test]
+fn corrupt_projected_frames_are_counted_and_skipped() {
+    use rossf_sfm::SfmMessage;
+    let mut rng = Rng::new(0xD1CE);
+    let master = Master::new();
+    let nh = validating_node(&master, "proj_victim");
+    let topic = "verify/projected_reject";
+    let raw = RawPublisher::register(&master, topic, SfmImage::type_name());
+
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen_cb = Arc::clone(&seen);
+    let sub = nh.subscribe_with(
+        topic,
+        SubscriberOptions::new().project(&["header.frame_id", "height", "encoding"]),
+        move |m: SfmShared<SfmImage>| {
+            seen_cb.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(m.header.frame_id.as_str(), "cam0");
+            assert_eq!(m.data.len(), 0, "unprojected field stays empty");
+        },
+    );
+    let projection = sub.projection().expect("resolved").clone();
+    let mut stream = raw.accept_project(SfmImage::type_name());
+
+    // good, corrupt (residue in the unprojected data pair — a full-frame
+    // leak), corrupt (selected pair offset escapes), good.
+    write_frame(
+        &mut stream,
+        &projected_wire_bytes(&projection, &image_frame(&mut rng)),
+    )
+    .unwrap();
+    let mut bad1 = projected_wire_bytes(&projection, &image_frame(&mut rng));
+    write_u32(&mut bad1, core::mem::offset_of!(SfmImage, data), 48);
+    write_u32(&mut bad1, core::mem::offset_of!(SfmImage, data) + 4, 64);
+    write_frame(&mut stream, &bad1).unwrap();
+    let mut bad2 = projected_wire_bytes(&projection, &image_frame(&mut rng));
+    write_u32(
+        &mut bad2,
+        core::mem::offset_of!(SfmImage, encoding) + 4,
+        u32::MAX,
+    );
+    write_frame(&mut stream, &bad2).unwrap();
+    write_frame(
+        &mut stream,
+        &projected_wire_bytes(&projection, &image_frame(&mut rng)),
+    )
+    .unwrap();
+
+    wait_until("2 good projected frames", || {
+        seen.load(Ordering::SeqCst) == 2
+    });
+    wait_until("2 projected verify rejects", || sub.verify_rejects() == 2);
+    assert_eq!(sub.received(), 2);
+    assert_eq!(
+        sub.decode_errors(),
+        0,
+        "rejects must be attributed to the projected verifier, not adoption"
+    );
 }
 
 #[test]

@@ -216,15 +216,16 @@ impl<D: Decode + Encode + 'static> BagRecorder<D> {
         let bag = Arc::new(Mutex::new(Bag::new()));
         let bag_cb = Arc::clone(&bag);
         let topic_cb = topic.to_string();
-        let sub = nh.try_subscribe(topic, move |msg: D| {
-            let frame = msg.encode();
-            bag_cb.lock().push(BagRecord {
-                stamp_nanos: now_nanos(),
-                topic: topic_cb.clone(),
-                type_name: D::topic_type().to_string(),
-                payload: frame.as_slice().to_vec(),
-            });
-        })?;
+        let sub =
+            nh.try_subscribe_with(topic, crate::SubscriberOptions::new(), move |msg: D| {
+                let frame = msg.encode();
+                bag_cb.lock().push(BagRecord {
+                    stamp_nanos: now_nanos(),
+                    topic: topic_cb.clone(),
+                    type_name: D::topic_type().to_string(),
+                    payload: frame.as_slice().to_vec(),
+                });
+            })?;
         Ok(BagRecorder {
             _sub: sub,
             bag,

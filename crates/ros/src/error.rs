@@ -34,6 +34,9 @@ pub enum RosError {
         /// The bound that was exceeded.
         max: usize,
     },
+    /// A requested field projection (`SubscriberOptions::project`) could
+    /// not be resolved against the message type's layout schema.
+    Projection(rossf_sfm::PathError),
     /// Malformed connection header during the TCPROS-style handshake.
     BadHeader(String),
     /// The peer rejected the connection during handshake.
@@ -58,6 +61,7 @@ impl fmt::Display for RosError {
             RosError::FrameTooLarge { len, max } => {
                 write!(f, "frame of {len} bytes exceeds limit of {max}")
             }
+            RosError::Projection(e) => write!(f, "field projection rejected: {e}"),
             RosError::BadHeader(s) => write!(f, "malformed connection header: {s}"),
             RosError::Rejected(s) => write!(f, "connection rejected by peer: {s}"),
         }
@@ -71,6 +75,7 @@ impl std::error::Error for RosError {
             RosError::Decode(e) => Some(e),
             RosError::Sfm(e) => Some(e),
             RosError::Verify(e) => Some(e),
+            RosError::Projection(e) => Some(e),
             _ => None,
         }
     }
@@ -97,6 +102,12 @@ impl From<rossf_sfm::SfmError> for RosError {
 impl From<rossf_sfm::VerifyError> for RosError {
     fn from(e: rossf_sfm::VerifyError) -> Self {
         RosError::Verify(e)
+    }
+}
+
+impl From<rossf_sfm::PathError> for RosError {
+    fn from(e: rossf_sfm::PathError) -> Self {
+        RosError::Projection(e)
     }
 }
 

@@ -58,12 +58,15 @@ impl LocalBus {
         }
     }
 
-    /// Register `callback` for messages on `topic`. Returns a guard;
-    /// dropping it unsubscribes.
+    /// Positional shorthand for [`LocalBus::subscribe_with`].
     ///
     /// # Errors
     ///
     /// [`RosError::TypeMismatch`] when the topic carries another type.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `subscribe_with(topic, SubscriberOptions::new(), callback)`"
+    )]
     pub fn subscribe<D, F>(&self, topic: &str, callback: F) -> Result<LocalSubscription, RosError>
     where
         D: Decode,
@@ -72,10 +75,13 @@ impl LocalBus {
         self.subscribe_with(topic, SubscriberOptions::new(), callback)
     }
 
-    /// [`LocalBus::subscribe`] with the full option set: the same
+    /// Register `callback` for messages on `topic` — the primary local
+    /// subscribe entry point since 0.6.0, taking the same
     /// [`SubscriberOptions`] the socket transport takes (only the tracing
     /// switch is meaningful here — there is no queue or transport config on
-    /// the synchronous bus).
+    /// the synchronous bus, and projection never applies in-process: the
+    /// delivery is already zero-copy). Returns a guard; dropping it
+    /// unsubscribes.
     ///
     /// # Errors
     ///
@@ -237,6 +243,7 @@ impl std::fmt::Debug for LocalSubscription {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // positional `subscribe` stays covered until removal
 mod tests {
     use super::*;
     use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};

@@ -92,6 +92,11 @@ transport_counters! {
     /// Granted shm links the subscriber could not attach (it then redoes
     /// the handshake with the offer withheld and falls back to plain TCP).
     shm_attach_failures,
+    /// TCP handshakes that negotiated a field projection (counted once per
+    /// link, publisher side). Frames on such links are sliced sub-frames.
+    projection_handshakes,
+    /// Frames transmitted as projected sub-frames (subset of `frames_sent`).
+    projection_frames,
 }
 
 impl TransportMetrics {

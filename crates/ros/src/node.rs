@@ -79,19 +79,22 @@ impl NodeHandle {
         &self.config
     }
 
-    /// Declare a topic and obtain a publisher for it (Fig. 3,
-    /// `nh.advertise(...)`). `queue_size` bounds each subscriber
-    /// connection's transmission queue; `0` means "use the node's
-    /// [`TransportConfig::queue_size`]".
+    /// Positional shorthand for [`NodeHandle::advertise_with`], kept for
+    /// source compatibility with the paper's Fig. 3 program pattern.
+    /// `queue_size` bounds each subscriber connection's transmission queue;
+    /// `0` means "use the node's [`TransportConfig::queue_size`]".
     ///
     /// # Panics
     ///
     /// Panics if the topic already carries a different message type or the
     /// listener socket cannot be created; use [`NodeHandle::try_advertise`]
     /// to handle those cases.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `advertise_with(topic, PublisherOptions::new().queue_size(n))`"
+    )]
     pub fn advertise<M: Encode>(&self, topic: &str, queue_size: usize) -> Publisher<M> {
-        self.try_advertise(topic, queue_size)
-            .unwrap_or_else(|e| panic!("advertise({topic}) failed: {e}"))
+        self.advertise_with(topic, PublisherOptions::new().queue_size(queue_size))
     }
 
     /// Fallible variant of [`NodeHandle::advertise`].
@@ -99,6 +102,10 @@ impl NodeHandle {
     /// # Errors
     ///
     /// [`RosError::TypeMismatch`] or [`RosError::Io`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `try_advertise_with(topic, PublisherOptions::new().queue_size(n))`"
+    )]
     pub fn try_advertise<M: Encode>(
         &self,
         topic: &str,
@@ -107,14 +114,16 @@ impl NodeHandle {
         self.try_advertise_with(topic, PublisherOptions::new().queue_size(queue_size))
     }
 
-    /// [`NodeHandle::advertise`] with the full option set
-    /// ([`PublisherOptions`]): per-publisher transport override and the
-    /// tracing switch, in addition to the queue size.
+    /// Declare a topic and obtain a publisher for it — the primary
+    /// advertise entry point since 0.6.0. [`PublisherOptions`] carries the
+    /// queue size plus the per-publisher transport override, the tracing
+    /// switch and the loan policy.
     ///
     /// # Panics
     ///
-    /// As [`NodeHandle::advertise`]; use
-    /// [`NodeHandle::try_advertise_with`] to handle failures.
+    /// Panics if the topic already carries a different message type or the
+    /// listener socket cannot be created; use
+    /// [`NodeHandle::try_advertise_with`] to handle those cases.
     pub fn advertise_with<M: Encode>(
         &self,
         topic: &str,
@@ -143,11 +152,8 @@ impl NodeHandle {
         )
     }
 
-    /// Register `callback` for messages on `topic` (Fig. 3,
-    /// `nh.subscribe(..., callback)`). The callback runs on the connection
-    /// reader thread, receiving the decoded message — an `Arc<M>` for plain
-    /// messages or an [`SfmShared`](rossf_sfm::SfmShared) for
-    /// serialization-free ones.
+    /// Positional shorthand for [`NodeHandle::subscribe_with`], kept for
+    /// source compatibility with the paper's Fig. 3 program pattern.
     ///
     /// `_queue_size` is accepted for API fidelity with ROS; backpressure is
     /// provided by the TCP socket itself in this implementation.
@@ -156,6 +162,10 @@ impl NodeHandle {
     ///
     /// Panics on type mismatch; use [`NodeHandle::try_subscribe`] to handle
     /// it.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `subscribe_with(topic, SubscriberOptions::new(), callback)`"
+    )]
     pub fn subscribe<D: Decode, F>(
         &self,
         topic: &str,
@@ -165,8 +175,7 @@ impl NodeHandle {
     where
         F: Fn(D) + Send + Sync + 'static,
     {
-        self.try_subscribe(topic, callback)
-            .unwrap_or_else(|e| panic!("subscribe({topic}) failed: {e}"))
+        self.subscribe_with(topic, SubscriberOptions::new(), callback)
     }
 
     /// Fallible variant of [`NodeHandle::subscribe`].
@@ -174,6 +183,10 @@ impl NodeHandle {
     /// # Errors
     ///
     /// [`RosError::TypeMismatch`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `try_subscribe_with(topic, SubscriberOptions::new(), callback)`"
+    )]
     pub fn try_subscribe<D: Decode, F>(
         &self,
         topic: &str,
@@ -185,14 +198,18 @@ impl NodeHandle {
         self.try_subscribe_with(topic, SubscriberOptions::new(), callback)
     }
 
-    /// [`NodeHandle::subscribe`] with the full option set
-    /// ([`SubscriberOptions`]): per-subscription transport override and the
-    /// tracing switch.
+    /// Register `callback` for messages on `topic` — the primary subscribe
+    /// entry point since 0.6.0. The callback runs on the connection reader
+    /// thread, receiving the decoded message — an `Arc<M>` for plain
+    /// messages or an [`SfmShared`](rossf_sfm::SfmShared) for
+    /// serialization-free ones. [`SubscriberOptions`] carries the
+    /// per-subscription transport override, the tracing switch and the
+    /// field projection ([`SubscriberOptions::project`]).
     ///
     /// # Panics
     ///
-    /// Panics on type mismatch; use [`NodeHandle::try_subscribe_with`] to
-    /// handle it.
+    /// Panics on type mismatch or an unresolvable projection; use
+    /// [`NodeHandle::try_subscribe_with`] to handle it.
     pub fn subscribe_with<D: Decode, F>(
         &self,
         topic: &str,
@@ -210,7 +227,9 @@ impl NodeHandle {
     ///
     /// # Errors
     ///
-    /// [`RosError::TypeMismatch`].
+    /// [`RosError::TypeMismatch`]; [`RosError::Projection`] when a
+    /// requested field projection does not resolve against the message
+    /// type's schema.
     pub fn try_subscribe_with<D: Decode, F>(
         &self,
         topic: &str,

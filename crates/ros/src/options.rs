@@ -6,8 +6,9 @@
 //! [`NodeHandle::advertise_with`](crate::NodeHandle::advertise_with) and
 //! [`NodeHandle::subscribe_with`](crate::NodeHandle::subscribe_with) (and by
 //! [`LocalBus::subscribe_with`](crate::LocalBus::subscribe_with) for the
-//! in-process bus). The positional `advertise`/`subscribe` signatures remain
-//! as thin wrappers.
+//! in-process bus). Since 0.6.0 the `_with` forms are the primary API; the
+//! positional `advertise`/`subscribe` signatures remain as thin deprecated
+//! wrappers.
 //!
 //! [`PublisherStats`] / [`SubscriberStats`] are the matching read side: one
 //! coherent snapshot of an endpoint's counters plus its per-topic transport
@@ -117,6 +118,7 @@ pub struct SubscriberOptions {
     pub(crate) queue_size: usize,
     pub(crate) transport: Option<TransportConfig>,
     pub(crate) trace: bool,
+    pub(crate) project: Option<Vec<String>>,
 }
 
 impl SubscriberOptions {
@@ -145,6 +147,21 @@ impl SubscriberOptions {
         self
     }
 
+    /// Subscribe to a *projection* of the message: only the named fields
+    /// (dotted paths, e.g. `"header.stamp"` or `"pose"`) are transmitted
+    /// over TCP links whose publisher supports projection; everything else
+    /// arrives zeroed/unassigned. Paths are resolved against the message
+    /// type's layout schema at `subscribe_with` time — unknown fields fail
+    /// the subscription with [`RosError::Projection`](crate::RosError).
+    ///
+    /// Zero-copy tiers (same-process fast path, shared memory) always
+    /// deliver the full message — a projection there would *add* a copy;
+    /// publishers that predate projection simply send full frames.
+    pub fn project(mut self, paths: &[&str]) -> Self {
+        self.project = Some(paths.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
     /// The configured queue size (0 = config default).
     pub fn queue_size_hint(&self) -> usize {
         self.queue_size
@@ -159,6 +176,11 @@ impl SubscriberOptions {
     pub fn trace_enabled(&self) -> bool {
         self.trace
     }
+
+    /// The requested projection paths, if any.
+    pub fn projection_paths(&self) -> Option<&[String]> {
+        self.project.as_deref()
+    }
 }
 
 /// One coherent snapshot of a publisher's counters
@@ -171,6 +193,11 @@ pub struct PublisherStats {
     pub dropped: u64,
     /// Currently connected subscribers.
     pub subscribers: usize,
+    /// Payload bytes written to the wire on this topic (projected frames
+    /// count their sliced length, not the full message).
+    pub bytes_sent: u64,
+    /// Payload bytes read from the wire on this topic.
+    pub bytes_received: u64,
     /// The shared per-topic transport counters.
     pub transport: MetricsSnapshot,
 }
@@ -193,6 +220,11 @@ pub struct SubscriberStats {
     pub reconnect_attempts: u64,
     /// Reconnections that completed a handshake.
     pub reconnects: u64,
+    /// Payload bytes written to the wire on this topic.
+    pub bytes_sent: u64,
+    /// Payload bytes read from the wire on this topic (projected frames
+    /// count their sliced length, not the full message).
+    pub bytes_received: u64,
     /// The shared per-topic transport counters.
     pub transport: MetricsSnapshot,
 }
@@ -222,5 +254,12 @@ mod tests {
         assert_eq!(s.queue_size_hint(), 4);
         assert!(s.trace_enabled());
         assert!(s.transport_override().is_none());
+        assert!(s.projection_paths().is_none());
+
+        let s = SubscriberOptions::new().project(&["header.stamp", "pose"]);
+        assert_eq!(
+            s.projection_paths().unwrap(),
+            &["header.stamp".to_string(), "pose".to_string()]
+        );
     }
 }

@@ -24,7 +24,9 @@ use crate::metrics::TransportMetrics;
 use crate::options::{PublisherOptions, PublisherStats};
 use crate::shm::{SHM_EPOCH_FIELD, SHM_FD_FIELD, SHM_FIELD, SHM_PID_FIELD, SHM_PUB_PID_FIELD};
 use crate::traits::Encode;
-use crate::wire::{frame_len_prefix, grow_socket_buffers, ConnectionHeader, OutFrame, ShmSlot};
+use crate::wire::{
+    frame_len_prefix, grow_socket_buffers, ConnectionHeader, OutFrame, ShmSlot, PROJECT_FIELD,
+};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use rossf_netsim::{FaultAction, FaultInjector, MachineId, Shaper};
@@ -114,12 +116,51 @@ impl Handler for Acceptor {
 struct Pending {
     frame: OutFrame,
     prefix: [u8; 4],
+    /// The projected slice plan when this link negotiated a projection:
+    /// the wire unit is then the plan's patched skeleton plus the selected
+    /// content segments of `frame`, not the whole frame. `None` = full
+    /// frame.
+    plan: Option<rossf_sfm::SlicedFrame>,
+    /// Payload bytes this frame occupies on the wire (the plan's sub-frame
+    /// length, or the full frame length).
+    wire_len: usize,
     /// Trace id (0 = untraced) and the wire-write span's start time.
     trace_id: u64,
     t_start: u64,
     /// Position of this frame in the socket's wire order — the sidecar key
     /// the subscriber-side reader settles against.
     seq: u64,
+}
+
+/// Zero source for projected sub-frame alignment pads (at most 7 bytes
+/// each, so one small constant serves every segment).
+static PAD_ZEROS: [u8; 8] = [0; 8];
+
+/// Append `p`'s wire slices — length prefix, then payload: the whole frame,
+/// or for a projected link the patched skeleton followed by each selected
+/// content segment behind its alignment pad — skipping the first `skip`
+/// bytes (already on the wire from a previous partial write).
+fn push_wire_slices<'a>(slices: &mut Vec<IoSlice<'a>>, p: &'a Pending, mut skip: usize) {
+    let mut emit = |bytes: &'a [u8]| {
+        if skip >= bytes.len() {
+            skip -= bytes.len();
+        } else {
+            slices.push(IoSlice::new(&bytes[skip..]));
+            skip = 0;
+        }
+    };
+    emit(&p.prefix);
+    match &p.plan {
+        Some(plan) => {
+            emit(&plan.skeleton);
+            let frame = p.frame.as_slice();
+            for seg in &plan.segments {
+                emit(&PAD_ZEROS[..seg.pad]);
+                emit(&frame[seg.src.clone()]);
+            }
+        }
+        None => emit(p.frame.as_slice()),
+    }
 }
 
 /// Why the writer is not admitting frames right now. At most one frame is
@@ -160,6 +201,10 @@ struct TcpWriter {
     metrics: Arc<TransportMetrics>,
     trace: Option<Arc<TopicTrace>>,
     conn_key: u64,
+    /// The field projection negotiated at handshake time: every frame on
+    /// this link is sliced to the selected ranges before it hits the wire.
+    /// `None` = full frames.
+    projection: Option<Arc<rossf_sfm::Projection>>,
     /// Frames actually written on this socket, in wire order. Dropped and
     /// severed frames never reach the stream, so they must not advance the
     /// sequence the reader counts.
@@ -201,7 +246,22 @@ impl TcpWriter {
     /// note, assign its wire sequence, then either queue it for writing or
     /// stall it behind a pacing timer.
     fn admit(&mut self, frame: OutFrame, ctl: &mut Ctl) {
-        let prefix = match frame_len_prefix(frame.len()) {
+        // Slice the frame down to the negotiated projection. Slicing fails
+        // only when the frame violates its own schema (unreachable for
+        // locally built messages): drop it rather than leak a full frame
+        // onto a link whose reader verifies against the projected schema.
+        let plan = match self.projection.as_deref() {
+            Some(projection) => match projection.slice(frame.as_slice()) {
+                Ok(plan) => Some(plan),
+                Err(_) => {
+                    self.metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            },
+            None => None,
+        };
+        let wire_len = plan.as_ref().map_or(frame.len(), |p| p.wire_len);
+        let prefix = match frame_len_prefix(wire_len) {
             Ok(len) => len.to_le_bytes(),
             // Unreachable in practice (`fan_out` bounds frames by
             // `max_frame_len`); treat like the old writer's write failure.
@@ -229,6 +289,8 @@ impl TcpWriter {
         self.wire_seq += 1;
         let pending = Pending {
             prefix,
+            plan,
+            wire_len,
             trace_id,
             t_start,
             seq,
@@ -236,9 +298,9 @@ impl TcpWriter {
         };
         // Per-frame pacing parity with the threaded `ShapedWriter`: charge
         // the link latency once per frame plus the transmit time of prefix
-        // and payload. `reserve` advances the shaper's busy horizon, so
-        // back-to-back frames serialize exactly as the old sleeps did.
-        let wait = self.shaper.profile().latency + self.shaper.reserve(4 + pending.frame.len());
+        // and payload — the *wire* payload, so a projected link is paced by
+        // what it actually transmits.
+        let wait = self.shaper.profile().latency + self.shaper.reserve(4 + pending.wire_len);
         if wait.is_zero() {
             self.writeq.push_back(pending);
         } else {
@@ -337,18 +399,8 @@ impl TcpWriter {
             let wrote = {
                 let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.writeq.len() * 2);
                 for (i, p) in self.writeq.iter().enumerate() {
-                    if i == 0 && self.head_written > 0 {
-                        let off = self.head_written;
-                        if off < 4 {
-                            slices.push(IoSlice::new(&p.prefix[off..]));
-                            slices.push(IoSlice::new(p.frame.as_slice()));
-                        } else {
-                            slices.push(IoSlice::new(&p.frame.as_slice()[off - 4..]));
-                        }
-                    } else {
-                        slices.push(IoSlice::new(&p.prefix));
-                        slices.push(IoSlice::new(p.frame.as_slice()));
-                    }
+                    let skip = if i == 0 { self.head_written } else { 0 };
+                    push_wire_slices(&mut slices, p, skip);
                 }
                 self.stream.write_vectored(&slices)
             };
@@ -357,7 +409,7 @@ impl TcpWriter {
                 Ok(mut n) => {
                     while n > 0 {
                         let head_len = match self.writeq.front() {
-                            Some(p) => 4 + p.frame.len(),
+                            Some(p) => 4 + p.wire_len,
                             None => break,
                         };
                         let remaining = head_len - self.head_written;
@@ -398,7 +450,12 @@ impl TcpWriter {
         self.metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .bytes_sent
-            .fetch_add(p.frame.len() as u64, Ordering::Relaxed);
+            .fetch_add(p.wire_len as u64, Ordering::Relaxed);
+        if p.plan.is_some() {
+            self.metrics
+                .projection_frames
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn set_writable(&mut self, want: bool, ctl: &mut Ctl) {
@@ -456,6 +513,11 @@ struct PubCore {
     /// Whether `Publisher::loan` may hand out shared-memory-backed loans
     /// ([`PublisherOptions::shm_loans`], on by default).
     shm_loans: bool,
+    /// The message type's layout schema, resolved from `M::schema()` at
+    /// advertise time; used to answer subscriber projection requests.
+    /// `None` means projection requests are silently declined (the link
+    /// carries full frames).
+    schema: Option<&'static rossf_sfm::MessageSchema>,
     /// The process-wide event loop this publisher's listener and TCP
     /// writers are registered on.
     reactor: Reactor,
@@ -544,6 +606,20 @@ impl PubCore {
             None
         };
 
+        // Field-projection negotiation (TCP only — the zero-copy tiers
+        // always carry the full frame). The grant is echoed back only when
+        // the spec resolves against this publisher's schema *and* is already
+        // canonical, so both sides agree byte-for-byte on what was granted;
+        // anything else falls back to full frames, which old subscribers
+        // (that never sent the field) handle unchanged.
+        let projection = match (&shm_link, header.get(PROJECT_FIELD), self.schema) {
+            (None, Some(spec), Some(schema)) => rossf_sfm::Projection::from_spec(schema, spec)
+                .ok()
+                .filter(|p| p.spec() == spec)
+                .map(Arc::new),
+            _ => None,
+        };
+
         let mut reply = ConnectionHeader::new()
             .with("type", self.type_name)
             .with("topic", &self.topic)
@@ -554,6 +630,9 @@ impl PubCore {
                 .with(SHM_PUB_PID_FIELD, std::process::id().to_string())
                 .with(SHM_FD_FIELD, link.ctrl_fd().to_string())
                 .with(SHM_EPOCH_FIELD, link.epoch().to_string());
+        }
+        if let Some(p) = &projection {
+            reply = reply.with(PROJECT_FIELD, p.spec());
         }
         reply.write_to(&mut stream)?;
         self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
@@ -601,6 +680,11 @@ impl PubCore {
         grow_socket_buffers(&stream);
         stream.set_nonblocking(true)?;
         let fd = stream.as_raw_fd();
+        if projection.is_some() {
+            self.metrics
+                .projection_handshakes
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let writer = TcpWriter {
             stream,
             rx,
@@ -609,6 +693,7 @@ impl PubCore {
             metrics: Arc::clone(&self.metrics),
             trace,
             conn_key,
+            projection,
             wire_seq: 0,
             shaper: Shaper::new(profile),
             writeq: VecDeque::new(),
@@ -1062,6 +1147,7 @@ impl<M: Encode> Publisher<M> {
             tier_hint: AtomicU8::new(0),
             shm_pool: Mutex::new(None),
             shm_loans: options.shm_loans,
+            schema: M::schema(),
             reactor: runtime().reactor,
             listener_token: OnceLock::new(),
         });
@@ -1165,11 +1251,14 @@ impl<M: Encode> Publisher<M> {
 
     /// One coherent snapshot of this publisher's counters.
     pub fn stats(&self) -> PublisherStats {
+        let transport = self.core.metrics.snapshot();
         PublisherStats {
             published: self.published(),
             dropped: self.dropped(),
             subscribers: self.subscriber_count(),
-            transport: self.core.metrics.snapshot(),
+            bytes_sent: transport.bytes_sent,
+            bytes_received: transport.bytes_received,
+            transport,
         }
     }
 }

@@ -26,7 +26,7 @@ use crate::metrics::TransportMetrics;
 use crate::options::{SubscriberOptions, SubscriberStats};
 use crate::shm::{SHM_EPOCH_FIELD, SHM_FD_FIELD, SHM_FIELD, SHM_PID_FIELD, SHM_PUB_PID_FIELD};
 use crate::traits::{Decode, RecvSlot};
-use crate::wire::{grow_socket_buffers, ConnectionHeader};
+use crate::wire::{grow_socket_buffers, ConnectionHeader, PROJECT_FIELD};
 use crossbeam::channel::RecvTimeoutError;
 use rossf_netsim::{FaultAction, MachineId};
 use rossf_reactor::{runtime, Ctl, Event, Handler};
@@ -145,6 +145,12 @@ struct SubCore<D: Decode> {
     /// `SubscriberOptions::trace(true)`; `None` keeps the receive path free
     /// of clock reads and histogram writes.
     trace: Option<Arc<TopicTrace>>,
+    /// The resolved field projection when this subscription was created
+    /// with `SubscriberOptions::project(..)`. Offered to every TCP
+    /// publisher at handshake time; links whose publisher echoed the spec
+    /// carry sliced sub-frames verified against the projected schema.
+    /// Zero-copy tiers (fast path, shm) ignore it and deliver full frames.
+    projection: Option<Arc<rossf_sfm::Projection>>,
 }
 
 /// Where a freshly handshaken TCP connection goes next: the reactor (plain
@@ -155,6 +161,9 @@ enum TcpEstablished {
         stream: TcpStream,
         key: u64,
         conn_key: u64,
+        /// The publisher granted our projection: frames on this link are
+        /// sliced sub-frames, verified against the projected schema.
+        projected: bool,
     },
     Shm {
         stream: TcpStream,
@@ -258,6 +267,7 @@ impl<D: Decode> Supervision<D> {
                 stream,
                 key,
                 conn_key,
+                projected,
             }) => {
                 // Steady state joins the shared event loop; the box rides
                 // inside the handler until the connection concludes.
@@ -267,6 +277,7 @@ impl<D: Decode> Supervision<D> {
                     sup: Some(self),
                     stream_key: key,
                     conn_key,
+                    projected,
                     wire_seq: 0,
                     state: ReadState::Prefix {
                         prefix: [0; 4],
@@ -576,8 +587,8 @@ impl<D: Decode> SubCore<D> {
         // stream, where it is merely harmless).
         grow_socket_buffers(&stream);
         match self.handshake_tcp(&stream, is_reconnect, offer_shm) {
-            Ok(Some(reply)) => Ok(TcpEstablished::Shm { stream, key, reply }),
-            Ok(None) => match stream.set_nonblocking(true) {
+            Ok((Some(reply), _)) => Ok(TcpEstablished::Shm { stream, key, reply }),
+            Ok((None, projected)) => match stream.set_nonblocking(true) {
                 Ok(()) => {
                     // The connection key mirrors the writer's
                     // `conn_key(local, peer)`: our peer is its local
@@ -594,6 +605,7 @@ impl<D: Decode> SubCore<D> {
                         stream,
                         key,
                         conn_key,
+                        projected,
                     })
                 }
                 Err(e) => {
@@ -610,7 +622,9 @@ impl<D: Decode> SubCore<D> {
 
     /// TCPROS-style connection handshake on a blocking socket. Returns the
     /// reply header when the publisher granted the shared-memory tier
-    /// (`None` for plain TCP). The reply is read *unbuffered* — header
+    /// (`None` for plain TCP) plus whether the publisher granted our field
+    /// projection (meaningful only on the plain-TCP outcome; shm links
+    /// always carry full frames). The reply is read *unbuffered* — header
     /// parsing does exact reads only — so no frame bytes are swallowed
     /// into a buffer before the socket is handed to the nonblocking
     /// reader.
@@ -619,7 +633,7 @@ impl<D: Decode> SubCore<D> {
         stream: &TcpStream,
         is_reconnect: bool,
         offer_shm: bool,
-    ) -> Result<Option<ConnectionHeader>, RosError> {
+    ) -> Result<(Option<ConnectionHeader>, bool), RosError> {
         // A peer that accepts the connection but never answers the
         // handshake must not pin a pool worker forever.
         stream.set_read_timeout(Some(self.config.handshake_timeout))?;
@@ -637,6 +651,12 @@ impl<D: Decode> SubCore<D> {
             request = request
                 .with(SHM_FIELD, "1")
                 .with(SHM_PID_FIELD, std::process::id().to_string());
+        }
+        // Request the field projection by its canonical spec. The grant is
+        // an exact echo; a publisher that predates projection (or cannot
+        // resolve the spec) simply omits the field and serves full frames.
+        if let Some(projection) = &self.projection {
+            request = request.with(PROJECT_FIELD, projection.spec());
         }
         let mut io = stream;
         request.write_to(&mut io)?;
@@ -663,10 +683,19 @@ impl<D: Decode> SubCore<D> {
             self.reconnects.fetch_add(1, Ordering::Relaxed);
             self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
         }
+        // Projection is granted only by an exact spec echo — anything else
+        // (no echo, a different spec) means full frames on this link.
+        let projected = self
+            .projection
+            .as_ref()
+            .is_some_and(|p| reply.get(PROJECT_FIELD) == Some(p.spec()));
         // An shm grant means the publisher is now in its ring-producer
         // loop: frames arrive as descriptors, not socket bytes, and the
         // socket stays open purely as the liveness channel.
-        Ok((reply.get(SHM_FIELD) == Some("1")).then_some(reply))
+        Ok((
+            (reply.get(SHM_FIELD) == Some("1")).then_some(reply),
+            projected,
+        ))
     }
 
     /// Attach a granted shm link, honouring the injected attach fault
@@ -876,6 +905,9 @@ struct TcpReader<D: Decode> {
     stream_key: u64,
     /// Sidecar rendezvous key shared with the writer (peer, local).
     conn_key: u64,
+    /// The publisher granted `SubCore::projection` for this link: frames
+    /// are sliced sub-frames, verified with the projected verifier.
+    projected: bool,
     /// Frames consumed off the stream, in wire order; counted
     /// unconditionally so it stays in lockstep with the writer's count of
     /// frames actually written.
@@ -1115,7 +1147,17 @@ impl<D: Decode> TcpReader<D> {
             None => (0, 0),
         };
         if core.config.validate_on_receive {
-            if D::verify_frame(slot.as_mut_slice()).is_err() {
+            // A projected link carries sub-frames: unselected fields are
+            // deliberately zeroed, which the full verifier would accept but
+            // the projected verifier additionally *requires* — so corrupt
+            // leftovers in unselected pairs are caught, not adopted.
+            let frame_ok = match (self.projected, core.projection.as_deref()) {
+                (true, Some(projection)) => {
+                    projection.verify_projected(slot.as_mut_slice()).is_ok()
+                }
+                _ => D::verify_frame(slot.as_mut_slice()).is_ok(),
+            };
+            if !frame_ok {
                 // Structurally corrupt: drop the frame without adopting
                 // it. Framing is length-prefixed, so the stream stays in
                 // sync and the connection lives on.
@@ -1204,6 +1246,23 @@ impl<D: Decode> Subscriber<D> {
         } else {
             None
         };
+        // Resolve the requested projection against the message type's
+        // schema up front: an unknown or unprojectable path fails the
+        // subscription here, loudly, instead of silently degrading every
+        // link to full frames.
+        let projection = match &options.project {
+            Some(paths) => {
+                let Some(schema) = D::schema() else {
+                    return Err(RosError::Rejected(format!(
+                        "projection requires a layout schema, but `{}` exports none",
+                        D::topic_type()
+                    )));
+                };
+                let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+                Some(Arc::new(rossf_sfm::Projection::resolve(schema, &refs)?))
+            }
+            None => None,
+        };
         // The watcher callback fires under no lock of ours, possibly
         // before the core exists (a publisher registering concurrently
         // with us): buffer endpoints until the core is live, then launch
@@ -1253,6 +1312,7 @@ impl<D: Decode> Subscriber<D> {
             reconnect_attempts: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             trace,
+            projection,
         });
         // Go live: endpoints buffered by the watcher while the core was
         // being built are launched alongside the registration snapshot.
@@ -1324,8 +1384,17 @@ impl<D: Decode> Subscriber<D> {
         Arc::clone(&self.core.metrics)
     }
 
+    /// The resolved field projection this subscription negotiates with
+    /// publishers, when created with `SubscriberOptions::project(..)`.
+    /// Useful as a receive-side *view* on the zero-copy tiers, which
+    /// always deliver the full frame.
+    pub fn projection(&self) -> Option<&rossf_sfm::Projection> {
+        self.core.projection.as_deref()
+    }
+
     /// One coherent snapshot of this subscription's counters.
     pub fn stats(&self) -> SubscriberStats {
+        let transport = self.core.metrics.snapshot();
         SubscriberStats {
             received: self.received(),
             received_bytes: self.received_bytes(),
@@ -1334,7 +1403,9 @@ impl<D: Decode> Subscriber<D> {
             connections: self.connection_count(),
             reconnect_attempts: self.reconnect_attempts(),
             reconnects: self.reconnects(),
-            transport: self.core.metrics.snapshot(),
+            bytes_sent: transport.bytes_sent,
+            bytes_received: transport.bytes_received,
+            transport,
         }
     }
 }

@@ -263,6 +263,14 @@ pub fn read_frame_len<R: Read>(r: &mut R) -> Result<Option<usize>, RosError> {
     Ok(Some(u32::from_le_bytes(len_buf) as usize))
 }
 
+/// Connection-header field carrying a subscriber's requested field
+/// projection (the canonical comma-joined path spec). A publisher that can
+/// honor it echoes the *exact* spec back in its reply; any other reply —
+/// no echo, an error, a different spec — means the link carries full
+/// frames. Old peers ignore the field entirely, so projection degrades to
+/// full-frame delivery across version skew.
+pub const PROJECT_FIELD: &str = "project";
+
 /// The key/value connection header exchanged at connect time, mirroring
 /// TCPROS (`topic=`, `type=`, plus this reproduction's `machine=` used for
 /// link shaping and `endian=` per the paper's §4.4.1 discussion).

@@ -1,6 +1,8 @@
 //! Record a live topic into a bag, then replay it onto a fresh topic —
 //! for both message families.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf_ros::ser::{ByteReader, DecodeError, RosField, RosMessage};
 use rossf_ros::{BagRecorder, Encode, Master, NodeHandle, OutFrame, TopicType};
 use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};

@@ -2,6 +2,8 @@
 //! middleware — corrupt frames are counted and skipped, malformed
 //! handshakes are rejected, and healthy traffic continues.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf_ros::wire::{write_frame, ConnectionHeader};
 use rossf_ros::{BackoffPolicy, Master, NodeHandle, Publisher, TransportConfig};
 use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};

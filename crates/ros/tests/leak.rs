@@ -5,6 +5,8 @@
 //! here means a handler wasn't deregistered, a supervision chain kept a
 //! socket alive, or a connection-scoped thread outlived its link.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf_ros::{BackoffPolicy, MachineId, Master, NodeHandle, Publisher, TransportConfig};
 use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -4,6 +4,8 @@
 //! decisions, and `stats()` snapshots agree with the individual accessors
 //! on every transport tier.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf_ros::{
     LocalBus, MachineId, Master, NodeHandle, Publisher, PublisherOptions, SubscriberOptions,
     TransportConfig,

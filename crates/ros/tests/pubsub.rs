@@ -2,6 +2,8 @@
 //! families (plain/serialized and SFM/serialization-free), including
 //! cross-machine link shaping.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf_ros::ser::{ByteReader, DecodeError, RosField, RosMessage};
 use rossf_ros::{
     Encode, LinkProfile, MachineId, Master, NodeHandle, OutFrame, RosError, TopicType,

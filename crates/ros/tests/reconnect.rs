@@ -2,6 +2,8 @@
 //! publisher restarts, driven by the deterministic fault injector in
 //! `rossf-netsim`.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf_ros::{BackoffPolicy, MachineId, Master, NodeHandle, Publisher, TransportConfig};
 use rossf_sfm::{SfmBox, SfmError, SfmMessage, SfmPod, SfmShared, SfmValidate, SfmVec};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -7,6 +7,8 @@
 //! [`TRACER_LOCK`] and resets the collector before driving traffic; event
 //! assertions filter by topic to stay insensitive to leftover endpoints.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf_ros::{
     LocalBus, MachineId, Master, NodeHandle, Publisher, PublisherOptions, SubscriberOptions,
     TransportConfig,

@@ -19,7 +19,7 @@ use rossf_msg::geometry_msgs::{PoseStamped, SfmPoseStamped};
 use rossf_msg::sensor_msgs::{Image, SfmImage, SfmPointCloud2};
 use rossf_msg::std_msgs::Header;
 use rossf_ros::time::RosTime;
-use rossf_ros::{NodeHandle, Publisher, Subscriber};
+use rossf_ros::{NodeHandle, Publisher, PublisherOptions, Subscriber, SubscriberOptions};
 use rossf_sfm::{SfmBox, SfmShared};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -165,42 +165,51 @@ pub fn spawn_plain(
     height: u32,
     config: SlamConfig,
 ) -> OrbSlamNode<Arc<Image>> {
-    let pose_pub: Publisher<PoseStamped> = nh.advertise(&topics.pose, 16);
-    let cloud_pub = nh.advertise::<rossf_msg::sensor_msgs::PointCloud2>(&topics.cloud, 16);
-    let debug_pub: Publisher<Image> = nh.advertise(&topics.debug, 16);
+    let pose_pub: Publisher<PoseStamped> =
+        nh.advertise_with(&topics.pose, PublisherOptions::new().queue_size(16));
+    let cloud_pub = nh.advertise_with::<rossf_msg::sensor_msgs::PointCloud2>(
+        &topics.cloud,
+        PublisherOptions::new().queue_size(16),
+    );
+    let debug_pub: Publisher<Image> =
+        nh.advertise_with(&topics.debug, PublisherOptions::new().queue_size(16));
     let engine = Mutex::new(SlamEngine::new(width, height, config));
     let frames = Arc::new(AtomicU64::new(0));
     let frames_cb = Arc::clone(&frames);
 
-    let sub = nh.subscribe(&topics.image, 16, move |msg: Arc<Image>| {
-        let gray: Vec<u8> = msg
-            .data
-            .chunks_exact(3)
-            .map(|p| ((p[0] as u16 + p[1] as u16 + p[2] as u16) / 3) as u8)
-            .collect();
-        let analysis = engine.lock().expect("engine lock").analyze(&gray);
-        // Relaxed: atomicity alone gives unique, dense sequence numbers;
-        // the engine lock above already serializes the callback bodies.
-        let seq = frames_cb.fetch_add(1, Ordering::Relaxed) as u32;
-        let stamp = msg.header.stamp;
+    let sub = nh.subscribe_with(
+        &topics.image,
+        SubscriberOptions::new(),
+        move |msg: Arc<Image>| {
+            let gray: Vec<u8> = msg
+                .data
+                .chunks_exact(3)
+                .map(|p| ((p[0] as u16 + p[1] as u16 + p[2] as u16) / 3) as u8)
+                .collect();
+            let analysis = engine.lock().expect("engine lock").analyze(&gray);
+            // Relaxed: atomicity alone gives unique, dense sequence numbers;
+            // the engine lock above already serializes the callback bodies.
+            let seq = frames_cb.fetch_add(1, Ordering::Relaxed) as u32;
+            let stamp = msg.header.stamp;
 
-        pose_pub.publish(&pose_msg(seq, stamp, analysis.pose));
-        cloud_pub.publish(&to_point_cloud2(&analysis.points, stamp, seq));
-        let annotated = annotate(&msg.data, msg.width, msg.height, &analysis.corners, 2);
-        debug_pub.publish(&Image {
-            header: Header {
-                seq,
-                stamp,
-                frame_id: "camera".to_string(),
-            },
-            height: msg.height,
-            width: msg.width,
-            encoding: "rgb8".to_string(),
-            is_bigendian: 0,
-            step: msg.width * 3,
-            data: annotated,
-        });
-    });
+            pose_pub.publish(&pose_msg(seq, stamp, analysis.pose));
+            cloud_pub.publish(&to_point_cloud2(&analysis.points, stamp, seq));
+            let annotated = annotate(&msg.data, msg.width, msg.height, &analysis.corners, 2);
+            debug_pub.publish(&Image {
+                header: Header {
+                    seq,
+                    stamp,
+                    frame_id: "camera".to_string(),
+                },
+                height: msg.height,
+                width: msg.width,
+                encoding: "rgb8".to_string(),
+                is_bigendian: 0,
+                step: msg.width * 3,
+                data: annotated,
+            });
+        },
+    );
     OrbSlamNode { _sub: sub, frames }
 }
 
@@ -215,86 +224,93 @@ pub fn spawn_sfm(
     height: u32,
     config: SlamConfig,
 ) -> OrbSlamNode<SfmShared<SfmImage>> {
-    let pose_pub: Publisher<SfmBox<SfmPoseStamped>> = nh.advertise(&topics.pose, 16);
-    let cloud_pub: Publisher<SfmBox<SfmPointCloud2>> = nh.advertise(&topics.cloud, 16);
-    let debug_pub: Publisher<SfmBox<SfmImage>> = nh.advertise(&topics.debug, 16);
+    let pose_pub: Publisher<SfmBox<SfmPoseStamped>> =
+        nh.advertise_with(&topics.pose, PublisherOptions::new().queue_size(16));
+    let cloud_pub: Publisher<SfmBox<SfmPointCloud2>> =
+        nh.advertise_with(&topics.cloud, PublisherOptions::new().queue_size(16));
+    let debug_pub: Publisher<SfmBox<SfmImage>> =
+        nh.advertise_with(&topics.debug, PublisherOptions::new().queue_size(16));
     let engine = Mutex::new(SlamEngine::new(width, height, config));
     let frames = Arc::new(AtomicU64::new(0));
     let frames_cb = Arc::clone(&frames);
 
-    let sub = nh.subscribe(&topics.image, 16, move |msg: SfmShared<SfmImage>| {
-        let gray: Vec<u8> = msg
-            .data
-            .as_slice()
-            .chunks_exact(3)
-            .map(|p| ((p[0] as u16 + p[1] as u16 + p[2] as u16) / 3) as u8)
-            .collect();
-        let analysis = engine.lock().expect("engine lock").analyze(&gray);
-        // Relaxed: same reasoning as the ordinary-message node above.
-        let seq = frames_cb.fetch_add(1, Ordering::Relaxed) as u32;
-        let stamp = msg.header.stamp;
+    let sub = nh.subscribe_with(
+        &topics.image,
+        SubscriberOptions::new(),
+        move |msg: SfmShared<SfmImage>| {
+            let gray: Vec<u8> = msg
+                .data
+                .as_slice()
+                .chunks_exact(3)
+                .map(|p| ((p[0] as u16 + p[1] as u16 + p[2] as u16) / 3) as u8)
+                .collect();
+            let analysis = engine.lock().expect("engine lock").analyze(&gray);
+            // Relaxed: same reasoning as the ordinary-message node above.
+            let seq = frames_cb.fetch_add(1, Ordering::Relaxed) as u32;
+            let stamp = msg.header.stamp;
 
-        // Pose (fixed-size: identical code either way).
-        let mut pose = SfmBox::<SfmPoseStamped>::new();
-        pose.header.seq = seq;
-        pose.header.stamp = stamp;
-        pose.header.frame_id.assign("map");
-        fill_pose(&mut pose, analysis.pose);
-        pose_pub.publish(&pose);
+            // Pose (fixed-size: identical code either way).
+            let mut pose = SfmBox::<SfmPoseStamped>::new();
+            pose.header.seq = seq;
+            pose.header.stamp = stamp;
+            pose.header.frame_id.assign("map");
+            fill_pose(&mut pose, analysis.pose);
+            pose_pub.publish(&pose);
 
-        // Point cloud, packed straight into the outgoing message.
-        let mut cloud = SfmBox::<SfmPointCloud2>::new();
-        cloud.header.seq = seq;
-        cloud.header.stamp = stamp;
-        cloud.header.frame_id.assign("map");
-        cloud.height = 1;
-        cloud.width = analysis.points.len() as u32;
-        cloud.fields.resize(4);
-        for (i, name) in ["x", "y", "z", "intensity"].iter().enumerate() {
-            cloud.fields[i].name.assign(name);
-            cloud.fields[i].offset = (i * 4) as u32;
-            cloud.fields[i].datatype = 7;
-            cloud.fields[i].count = 1;
-        }
-        cloud.is_bigendian = 0;
-        cloud.point_step = 16;
-        cloud.row_step = 16 * analysis.points.len() as u32;
-        cloud.data.resize(16 * analysis.points.len());
-        {
-            let bytes = cloud.data.as_mut_slice();
-            for (i, p) in analysis.points.iter().enumerate() {
-                for (j, v) in [p.xyz[0], p.xyz[1], p.xyz[2], p.intensity]
-                    .iter()
-                    .enumerate()
-                {
-                    bytes[i * 16 + j * 4..i * 16 + j * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            // Point cloud, packed straight into the outgoing message.
+            let mut cloud = SfmBox::<SfmPointCloud2>::new();
+            cloud.header.seq = seq;
+            cloud.header.stamp = stamp;
+            cloud.header.frame_id.assign("map");
+            cloud.height = 1;
+            cloud.width = analysis.points.len() as u32;
+            cloud.fields.resize(4);
+            for (i, name) in ["x", "y", "z", "intensity"].iter().enumerate() {
+                cloud.fields[i].name.assign(name);
+                cloud.fields[i].offset = (i * 4) as u32;
+                cloud.fields[i].datatype = 7;
+                cloud.fields[i].count = 1;
+            }
+            cloud.is_bigendian = 0;
+            cloud.point_step = 16;
+            cloud.row_step = 16 * analysis.points.len() as u32;
+            cloud.data.resize(16 * analysis.points.len());
+            {
+                let bytes = cloud.data.as_mut_slice();
+                for (i, p) in analysis.points.iter().enumerate() {
+                    for (j, v) in [p.xyz[0], p.xyz[1], p.xyz[2], p.intensity]
+                        .iter()
+                        .enumerate()
+                    {
+                        bytes[i * 16 + j * 4..i * 16 + j * 4 + 4].copy_from_slice(&v.to_le_bytes());
+                    }
                 }
             }
-        }
-        cloud.is_dense = 1;
-        cloud_pub.publish(&cloud);
+            cloud.is_dense = 1;
+            cloud_pub.publish(&cloud);
 
-        // Debug image: copy pixels into the outgoing message once, then
-        // annotate in place — no intermediate buffer.
-        let mut debug = SfmBox::<SfmImage>::new();
-        debug.header.seq = seq;
-        debug.header.stamp = stamp;
-        debug.header.frame_id.assign("camera");
-        debug.height = msg.height;
-        debug.width = msg.width;
-        debug.encoding.assign("rgb8");
-        debug.is_bigendian = 0;
-        debug.step = msg.width * 3;
-        debug.data.assign(msg.data.as_slice());
-        annotate_in_place(
-            debug.data.as_mut_slice(),
-            msg.width,
-            msg.height,
-            &analysis.corners,
-            2,
-        );
-        debug_pub.publish(&debug);
-    });
+            // Debug image: copy pixels into the outgoing message once, then
+            // annotate in place — no intermediate buffer.
+            let mut debug = SfmBox::<SfmImage>::new();
+            debug.header.seq = seq;
+            debug.header.stamp = stamp;
+            debug.header.frame_id.assign("camera");
+            debug.height = msg.height;
+            debug.width = msg.width;
+            debug.encoding.assign("rgb8");
+            debug.is_bigendian = 0;
+            debug.step = msg.width * 3;
+            debug.data.assign(msg.data.as_slice());
+            annotate_in_place(
+                debug.data.as_mut_slice(),
+                msg.width,
+                msg.height,
+                &analysis.corners,
+                2,
+            );
+            debug_pub.publish(&debug);
+        },
+    );
     OrbSlamNode { _sub: sub, frames }
 }
 
@@ -400,21 +416,34 @@ mod tests {
         let topics = SlamTopics::with_prefix("plain_e2e");
         let seq = Sequence::with_resolution(35, 128, 96, 2.0);
 
-        let image_pub: Publisher<Image> = nh.advertise(&topics.image, 8);
+        let image_pub: Publisher<Image> =
+            nh.advertise_with(&topics.image, PublisherOptions::new().queue_size(8));
         let node = spawn_plain(&nh, &topics, 128, 96, fast_config());
 
         let (pose_tx, pose_rx) = mpsc::channel();
-        let _pose_sub = nh.subscribe(&topics.pose, 8, move |m: Arc<PoseStamped>| {
-            pose_tx.send(m).unwrap();
-        });
+        let _pose_sub = nh.subscribe_with(
+            &topics.pose,
+            SubscriberOptions::new(),
+            move |m: Arc<PoseStamped>| {
+                pose_tx.send(m).unwrap();
+            },
+        );
         let (cloud_tx, cloud_rx) = mpsc::channel();
-        let _cloud_sub = nh.subscribe(&topics.cloud, 8, move |m: Arc<PointCloud2>| {
-            cloud_tx.send(m.width).unwrap();
-        });
+        let _cloud_sub = nh.subscribe_with(
+            &topics.cloud,
+            SubscriberOptions::new(),
+            move |m: Arc<PointCloud2>| {
+                cloud_tx.send(m.width).unwrap();
+            },
+        );
         let (dbg_tx, dbg_rx) = mpsc::channel();
-        let _dbg_sub = nh.subscribe(&topics.debug, 8, move |m: Arc<Image>| {
-            dbg_tx.send(m.data.len()).unwrap();
-        });
+        let _dbg_sub = nh.subscribe_with(
+            &topics.debug,
+            SubscriberOptions::new(),
+            move |m: Arc<Image>| {
+                dbg_tx.send(m.data.len()).unwrap();
+            },
+        );
         nh.wait_for_subscribers(&image_pub, 1);
         std::thread::sleep(Duration::from_millis(50)); // output subs join
 
@@ -441,25 +470,38 @@ mod tests {
         let topics = SlamTopics::with_prefix("sfm_e2e");
         let seq = Sequence::with_resolution(37, 128, 96, 2.0);
 
-        let image_pub: Publisher<SfmBox<SfmImage>> = nh.advertise(&topics.image, 8);
+        let image_pub: Publisher<SfmBox<SfmImage>> =
+            nh.advertise_with(&topics.image, PublisherOptions::new().queue_size(8));
         let node = spawn_sfm(&nh, &topics, 128, 96, fast_config());
 
         let (pose_tx, pose_rx) = mpsc::channel();
-        let _pose_sub = nh.subscribe(&topics.pose, 8, move |m: SfmShared<SfmPoseStamped>| {
-            pose_tx
-                .send((m.pose.position.x, m.pose.orientation.w))
-                .unwrap();
-        });
+        let _pose_sub = nh.subscribe_with(
+            &topics.pose,
+            SubscriberOptions::new(),
+            move |m: SfmShared<SfmPoseStamped>| {
+                pose_tx
+                    .send((m.pose.position.x, m.pose.orientation.w))
+                    .unwrap();
+            },
+        );
         let (cloud_tx, cloud_rx) = mpsc::channel();
-        let _cloud_sub = nh.subscribe(&topics.cloud, 8, move |m: SfmShared<SfmPointCloud2>| {
-            cloud_tx
-                .send((m.width, m.fields.len(), m.data.len()))
-                .unwrap();
-        });
+        let _cloud_sub = nh.subscribe_with(
+            &topics.cloud,
+            SubscriberOptions::new(),
+            move |m: SfmShared<SfmPointCloud2>| {
+                cloud_tx
+                    .send((m.width, m.fields.len(), m.data.len()))
+                    .unwrap();
+            },
+        );
         let (dbg_tx, dbg_rx) = mpsc::channel();
-        let _dbg_sub = nh.subscribe(&topics.debug, 8, move |m: SfmShared<SfmImage>| {
-            dbg_tx.send(m.data.len()).unwrap();
-        });
+        let _dbg_sub = nh.subscribe_with(
+            &topics.debug,
+            SubscriberOptions::new(),
+            move |m: SfmShared<SfmImage>| {
+                dbg_tx.send(m.data.len()).unwrap();
+            },
+        );
         nh.wait_for_subscribers(&image_pub, 1);
         std::thread::sleep(Duration::from_millis(50));
 

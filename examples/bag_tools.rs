@@ -21,7 +21,8 @@ fn main() {
     let nh = NodeHandle::new(&master, "bag_demo");
 
     // === record ==========================================================
-    let publisher = nh.advertise::<SfmBox<SfmImage>>("camera/live", 8);
+    let publisher =
+        nh.advertise_with::<SfmBox<SfmImage>>("camera/live", PublisherOptions::new().queue_size(8));
     let recorder =
         BagRecorder::<SfmShared<SfmImage>>::start(&nh, "camera/live").expect("start recorder");
     nh.wait_for_subscribers(&publisher, 1);
@@ -60,11 +61,18 @@ fn main() {
     println!("bag file round-tripped: {} records", loaded.len());
 
     // === replay ==========================================================
-    let replay_pub = nh.advertise::<SfmShared<SfmImage>>("camera/replayed", 8);
+    let replay_pub = nh.advertise_with::<SfmShared<SfmImage>>(
+        "camera/replayed",
+        PublisherOptions::new().queue_size(8),
+    );
     let (tx, rx) = mpsc::channel();
-    let _sub = nh.subscribe("camera/replayed", 8, move |m: SfmShared<SfmImage>| {
-        tx.send((m.header.seq, m.data[0])).unwrap();
-    });
+    let _sub = nh.subscribe_with(
+        "camera/replayed",
+        SubscriberOptions::new(),
+        move |m: SfmShared<SfmImage>| {
+            tx.send((m.header.seq, m.data[0])).unwrap();
+        },
+    );
     nh.wait_for_subscribers(&replay_pub, 1);
     let n = loaded
         .replay("camera/live", &replay_pub)

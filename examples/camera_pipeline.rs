@@ -43,47 +43,58 @@ fn main() {
     // --- consumer node: measures end-to-end latency -------------------
     let nh_consumer = NodeHandle::new(&master, "consumer");
     let (done_tx, done_rx) = mpsc::channel();
-    let _consumer = nh_consumer.subscribe("camera/rect", 8, move |img: SfmShared<SfmImage>| {
-        let latency_us = (now_nanos().saturating_sub(img.header.stamp.as_nanos())) as f64 / 1000.0;
-        println!(
-            "consumer: frame {:>2} ({}, frame_id `{}`) end-to-end {:.0} µs",
-            img.header.seq,
-            img.encoding.as_str(),
-            img.header.frame_id.as_str(),
-            latency_us
-        );
-        done_tx.send(img.header.seq).unwrap();
-    });
+    let _consumer = nh_consumer.subscribe_with(
+        "camera/rect",
+        SubscriberOptions::new(),
+        move |img: SfmShared<SfmImage>| {
+            let latency_us =
+                (now_nanos().saturating_sub(img.header.stamp.as_nanos())) as f64 / 1000.0;
+            println!(
+                "consumer: frame {:>2} ({}, frame_id `{}`) end-to-end {:.0} µs",
+                img.header.seq,
+                img.encoding.as_str(),
+                img.header.frame_id.as_str(),
+                latency_us
+            );
+            done_tx.send(img.header.seq).unwrap();
+        },
+    );
 
     // --- rectifier node: subscribe raw, publish rectified -------------
     let nh_rect = NodeHandle::new(&master, "rectify");
-    let rect_pub = nh_rect.advertise::<SfmBox<SfmImage>>("camera/rect", 8);
+    let rect_pub = nh_rect
+        .advertise_with::<SfmBox<SfmImage>>("camera/rect", PublisherOptions::new().queue_size(8));
     let rect_pub_cb = rect_pub.clone();
-    let _rectifier = nh_rect.subscribe("camera/raw", 8, move |raw: SfmShared<SfmImage>| {
-        let mut out = SfmBox::<SfmImage>::new();
-        // One-shot assignment of every field, Fig. 19-style: the frame id
-        // is decided *before* construction finishes, never patched after.
-        out.header.seq = raw.header.seq;
-        out.header.stamp = raw.header.stamp; // preserve creation time
-        out.header.frame_id.assign("camera_rect");
-        out.height = raw.height;
-        out.width = raw.width;
-        out.encoding.assign(raw.encoding.as_str());
-        out.is_bigendian = raw.is_bigendian;
-        out.step = raw.step;
-        out.data.resize(raw.data.len());
-        rectify_into(
-            raw.data.as_slice(),
-            out.data.as_mut_slice(),
-            raw.width as usize,
-            raw.height as usize,
-        );
-        rect_pub_cb.publish(&out);
-    });
+    let _rectifier = nh_rect.subscribe_with(
+        "camera/raw",
+        SubscriberOptions::new(),
+        move |raw: SfmShared<SfmImage>| {
+            let mut out = SfmBox::<SfmImage>::new();
+            // One-shot assignment of every field, Fig. 19-style: the frame id
+            // is decided *before* construction finishes, never patched after.
+            out.header.seq = raw.header.seq;
+            out.header.stamp = raw.header.stamp; // preserve creation time
+            out.header.frame_id.assign("camera_rect");
+            out.height = raw.height;
+            out.width = raw.width;
+            out.encoding.assign(raw.encoding.as_str());
+            out.is_bigendian = raw.is_bigendian;
+            out.step = raw.step;
+            out.data.resize(raw.data.len());
+            rectify_into(
+                raw.data.as_slice(),
+                out.data.as_mut_slice(),
+                raw.width as usize,
+                raw.height as usize,
+            );
+            rect_pub_cb.publish(&out);
+        },
+    );
 
     // --- driver node ---------------------------------------------------
     let nh_driver = NodeHandle::new(&master, "camera_driver");
-    let raw_pub = nh_driver.advertise::<SfmBox<SfmImage>>("camera/raw", 8);
+    let raw_pub = nh_driver
+        .advertise_with::<SfmBox<SfmImage>>("camera/raw", PublisherOptions::new().queue_size(8));
     nh_driver.wait_for_subscribers(&raw_pub, 1);
     nh_rect.wait_for_subscribers(&rect_pub, 1);
 

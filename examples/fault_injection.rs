@@ -32,13 +32,18 @@ fn main() {
     let nh_pub = NodeHandle::new(&master, "camera");
     let nh_sub = NodeHandle::with_config(&master, "viewer", MachineId::B, config);
 
-    let publisher = nh_pub.advertise::<SfmBox<SfmImage>>("camera/image", 16);
+    let publisher = nh_pub
+        .advertise_with::<SfmBox<SfmImage>>("camera/image", PublisherOptions::new().queue_size(16));
     let seen = Arc::new(AtomicU64::new(0));
     let seen_cb = Arc::clone(&seen);
-    let sub = nh_sub.subscribe("camera/image", 16, move |img: SfmShared<SfmImage>| {
-        assert_eq!(img.encoding.as_str(), "rgb8");
-        seen_cb.fetch_add(1, Ordering::SeqCst);
-    });
+    let sub = nh_sub.subscribe_with(
+        "camera/image",
+        SubscriberOptions::new(),
+        move |img: SfmShared<SfmImage>| {
+            assert_eq!(img.encoding.as_str(), "rgb8");
+            seen_cb.fetch_add(1, Ordering::SeqCst);
+        },
+    );
     nh_pub.wait_for_subscribers(&publisher, 1);
 
     let publish_one = |seq: u32| {

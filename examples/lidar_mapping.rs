@@ -25,63 +25,73 @@ fn main() {
     // --- map node: consumes clouds ------------------------------------
     let nh_map = NodeHandle::new(&master, "mapper");
     let (tx, rx) = mpsc::channel();
-    let _map = nh_map.subscribe("cloud", 8, move |cloud: SfmShared<SfmPointCloud>| {
-        let n = cloud.points.len();
-        // Plain indexed reads, like a C++ range-for over msg.points.
-        let mean_range: f32 = cloud
-            .points
-            .iter()
-            .map(|p| (p.x * p.x + p.y * p.y).sqrt())
-            .sum::<f32>()
-            / n.max(1) as f32;
-        println!(
-            "mapper: cloud seq {:>2}: {} valid points, mean range {:.2} m, {} channels",
-            cloud.header.seq,
-            n,
-            mean_range,
-            cloud.channels.len()
-        );
-        tx.send(n).unwrap();
-    });
+    let _map = nh_map.subscribe_with(
+        "cloud",
+        SubscriberOptions::new(),
+        move |cloud: SfmShared<SfmPointCloud>| {
+            let n = cloud.points.len();
+            // Plain indexed reads, like a C++ range-for over msg.points.
+            let mean_range: f32 = cloud
+                .points
+                .iter()
+                .map(|p| (p.x * p.x + p.y * p.y).sqrt())
+                .sum::<f32>()
+                / n.max(1) as f32;
+            println!(
+                "mapper: cloud seq {:>2}: {} valid points, mean range {:.2} m, {} channels",
+                cloud.header.seq,
+                n,
+                mean_range,
+                cloud.channels.len()
+            );
+            tx.send(n).unwrap();
+        },
+    );
 
     // --- assembler node: LaserScan → PointCloud ------------------------
     let nh_asm = NodeHandle::new(&master, "assembler");
-    let cloud_pub = nh_asm.advertise::<SfmBox<SfmPointCloud>>("cloud", 8);
+    let cloud_pub = nh_asm
+        .advertise_with::<SfmBox<SfmPointCloud>>("cloud", PublisherOptions::new().queue_size(8));
     let cloud_pub_cb = cloud_pub.clone();
-    let _assembler = nh_asm.subscribe("scan", 8, move |scan: SfmShared<SfmLaserScan>| {
-        // Fig. 21 rewrite pattern: first count the valid returns...
-        let valid = |r: &&f32| **r >= scan.range_min && **r <= scan.range_max;
-        let total_valid = scan.ranges.iter().filter(valid).count();
+    let _assembler = nh_asm.subscribe_with(
+        "scan",
+        SubscriberOptions::new(),
+        move |scan: SfmShared<SfmLaserScan>| {
+            // Fig. 21 rewrite pattern: first count the valid returns...
+            let valid = |r: &&f32| **r >= scan.range_min && **r <= scan.range_max;
+            let total_valid = scan.ranges.iter().filter(valid).count();
 
-        let mut cloud = SfmBox::<SfmPointCloud>::new();
-        cloud.header.seq = scan.header.seq;
-        cloud.header.stamp = scan.header.stamp;
-        cloud.header.frame_id.assign("map");
-        // ...then resize exactly once...
-        cloud.points.resize(total_valid);
-        cloud.channels.resize(1);
-        cloud.channels[0].name.assign("intensity");
-        cloud.channels[0].values.resize(total_valid);
-        // ...and fill by index (`points.points[cnt++] = pt`).
-        let mut cnt = 0;
-        for (i, r) in scan.ranges.iter().enumerate() {
-            if *r >= scan.range_min && *r <= scan.range_max {
-                let angle = scan.angle_min + scan.angle_increment * i as f32;
-                cloud.points[cnt] = SfmPoint32 {
-                    x: r * angle.cos(),
-                    y: r * angle.sin(),
-                    z: 0.0,
-                };
-                cloud.channels[0].values[cnt] = scan.intensities[i];
-                cnt += 1;
+            let mut cloud = SfmBox::<SfmPointCloud>::new();
+            cloud.header.seq = scan.header.seq;
+            cloud.header.stamp = scan.header.stamp;
+            cloud.header.frame_id.assign("map");
+            // ...then resize exactly once...
+            cloud.points.resize(total_valid);
+            cloud.channels.resize(1);
+            cloud.channels[0].name.assign("intensity");
+            cloud.channels[0].values.resize(total_valid);
+            // ...and fill by index (`points.points[cnt++] = pt`).
+            let mut cnt = 0;
+            for (i, r) in scan.ranges.iter().enumerate() {
+                if *r >= scan.range_min && *r <= scan.range_max {
+                    let angle = scan.angle_min + scan.angle_increment * i as f32;
+                    cloud.points[cnt] = SfmPoint32 {
+                        x: r * angle.cos(),
+                        y: r * angle.sin(),
+                        z: 0.0,
+                    };
+                    cloud.channels[0].values[cnt] = scan.intensities[i];
+                    cnt += 1;
+                }
             }
-        }
-        cloud_pub_cb.publish(&cloud);
-    });
+            cloud_pub_cb.publish(&cloud);
+        },
+    );
 
     // --- driver node ----------------------------------------------------
     let nh_drv = NodeHandle::new(&master, "scan_driver");
-    let scan_pub = nh_drv.advertise::<SfmBox<SfmLaserScan>>("scan", 8);
+    let scan_pub = nh_drv
+        .advertise_with::<SfmBox<SfmLaserScan>>("scan", PublisherOptions::new().queue_size(8));
     nh_drv.wait_for_subscribers(&scan_pub, 1);
     nh_asm.wait_for_subscribers(&cloud_pub, 1);
 

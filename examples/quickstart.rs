@@ -22,19 +22,24 @@ fn main() {
 
     // ======================= ordinary ROS =======================
     let nh = NodeHandle::new(&master, "talker");
-    let publisher = nh.advertise::<Image>("camera/image", 8);
+    let publisher =
+        nh.advertise_with::<Image>("camera/image", PublisherOptions::new().queue_size(8));
     let (tx, rx) = mpsc::channel();
-    let _sub = nh.subscribe("camera/image", 8, move |img: Arc<Image>| {
-        // The callback receives Image::ConstPtr (Fig. 3).
-        println!(
-            "[plain ] received {}x{} `{}` image, {} bytes",
-            img.height,
-            img.width,
-            img.encoding,
-            img.data.len()
-        );
-        tx.send(()).unwrap();
-    });
+    let _sub = nh.subscribe_with(
+        "camera/image",
+        SubscriberOptions::new(),
+        move |img: Arc<Image>| {
+            // The callback receives Image::ConstPtr (Fig. 3).
+            println!(
+                "[plain ] received {}x{} `{}` image, {} bytes",
+                img.height,
+                img.width,
+                img.encoding,
+                img.data.len()
+            );
+            tx.send(()).unwrap();
+        },
+    );
     nh.wait_for_subscribers(&publisher, 1);
 
     let mut img = Image {
@@ -53,19 +58,26 @@ fn main() {
     rx.recv().expect("plain image delivered");
 
     // ========================= ROS-SF ============================
-    let publisher = nh.advertise::<SfmBox<SfmImage>>("camera/image_sf", 8);
+    let publisher = nh.advertise_with::<SfmBox<SfmImage>>(
+        "camera/image_sf",
+        PublisherOptions::new().queue_size(8),
+    );
     let (tx, rx) = mpsc::channel();
-    let _sub = nh.subscribe("camera/image_sf", 8, move |img: SfmShared<SfmImage>| {
-        // Fields read exactly like plain struct fields — no accessors.
-        println!(
-            "[rossf ] received {}x{} `{}` image, {} bytes (zero (de)serialization)",
-            img.height,
-            img.width,
-            img.encoding.as_str(),
-            img.data.len()
-        );
-        tx.send(()).unwrap();
-    });
+    let _sub = nh.subscribe_with(
+        "camera/image_sf",
+        SubscriberOptions::new(),
+        move |img: SfmShared<SfmImage>| {
+            // Fields read exactly like plain struct fields — no accessors.
+            println!(
+                "[rossf ] received {}x{} `{}` image, {} bytes (zero (de)serialization)",
+                img.height,
+                img.width,
+                img.encoding.as_str(),
+                img.data.len()
+            );
+            tx.send(()).unwrap();
+        },
+    );
     nh.wait_for_subscribers(&publisher, 1);
 
     let mut img = SfmBox::<SfmImage>::new(); // Allocated state

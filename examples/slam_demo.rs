@@ -40,33 +40,46 @@ fn main() {
 
     // The three measuring subscribers of Fig. 17.
     let (pose_tx, pose_rx) = mpsc::channel();
-    let _sub_pose = nh.subscribe(&topics.pose, 8, move |p: SfmShared<SfmPoseStamped>| {
-        pose_tx
-            .send((
-                p.pose.position.x,
-                p.pose.position.y,
-                now_nanos().saturating_sub(p.header.stamp.as_nanos()),
-            ))
-            .unwrap();
-    });
+    let _sub_pose = nh.subscribe_with(
+        &topics.pose,
+        SubscriberOptions::new(),
+        move |p: SfmShared<SfmPoseStamped>| {
+            pose_tx
+                .send((
+                    p.pose.position.x,
+                    p.pose.position.y,
+                    now_nanos().saturating_sub(p.header.stamp.as_nanos()),
+                ))
+                .unwrap();
+        },
+    );
     let (cloud_tx, cloud_rx) = mpsc::channel();
-    let _sub_cloud = nh.subscribe(&topics.cloud, 8, move |c: SfmShared<SfmPointCloud2>| {
-        cloud_tx.send(c.width).unwrap();
-    });
+    let _sub_cloud = nh.subscribe_with(
+        &topics.cloud,
+        SubscriberOptions::new(),
+        move |c: SfmShared<SfmPointCloud2>| {
+            cloud_tx.send(c.width).unwrap();
+        },
+    );
     let (dbg_tx, dbg_rx) = mpsc::channel();
-    let _sub_debug = nh.subscribe(&topics.debug, 8, move |d: SfmShared<SfmImage>| {
-        // Count annotated (marker-green) pixels in the debug image.
-        let marker = d
-            .data
-            .as_slice()
-            .chunks_exact(3)
-            .filter(|p| p == &[40, 255, 40])
-            .count();
-        dbg_tx.send(marker).unwrap();
-    });
+    let _sub_debug = nh.subscribe_with(
+        &topics.debug,
+        SubscriberOptions::new(),
+        move |d: SfmShared<SfmImage>| {
+            // Count annotated (marker-green) pixels in the debug image.
+            let marker = d
+                .data
+                .as_slice()
+                .chunks_exact(3)
+                .filter(|p| p == &[40, 255, 40])
+                .count();
+            dbg_tx.send(marker).unwrap();
+        },
+    );
 
     // pub_tum.
-    let image_pub: Publisher<SfmBox<SfmImage>> = nh.advertise(&topics.image, 8);
+    let image_pub: Publisher<SfmBox<SfmImage>> =
+        nh.advertise_with(&topics.image, PublisherOptions::new().queue_size(8));
     nh.wait_for_subscribers(&image_pub, 1);
     std::thread::sleep(Duration::from_millis(100)); // output handshakes
 

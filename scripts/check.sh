@@ -41,6 +41,12 @@ cargo run -q --release -p rossf-bench --bin sfm_trace -- --overhead-gate
 echo "==> loaned-publication gate (shm+loan one-way p50 <= 1.2x fastpath, all paper sizes)"
 cargo run -q --release -p rossf-bench --bin loan_gate -- --iters 60
 
+echo "==> projection gate (>=5x fewer wire bytes for a small-subset subscription, p50 no worse)"
+cargo run -q --release -p rossf-bench --bin projection_gate -- --iters 60
+
+echo "==> projection correctness suite (negotiation, mixed fan-out, FieldAbsent, corruption)"
+cargo test -q -p rossf-msg --test projection
+
 echo "==> fd/thread-leak suite (connect/sever/reconnect churn returns to baseline)"
 cargo test -q -p rossf-ros --test leak
 

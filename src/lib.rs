@@ -27,11 +27,16 @@
 //!
 //! let master = Master::new();
 //! let nh = NodeHandle::new(&master, "demo");
-//! let publisher = nh.advertise::<SfmBox<SfmImage>>("camera/image", 8);
+//! let publisher =
+//!     nh.advertise_with::<SfmBox<SfmImage>>("camera/image", PublisherOptions::new().queue_size(8));
 //! let (tx, rx) = std::sync::mpsc::channel();
-//! let _sub = nh.subscribe("camera/image", 8, move |img: SfmShared<SfmImage>| {
-//!     tx.send(img.height).unwrap();
-//! });
+//! let _sub = nh.subscribe_with(
+//!     "camera/image",
+//!     SubscriberOptions::new(),
+//!     move |img: SfmShared<SfmImage>| {
+//!         tx.send(img.height).unwrap();
+//!     },
+//! );
 //! nh.wait_for_subscribers(&publisher, 1);
 //!
 //! let mut img = SfmBox::<SfmImage>::new();
@@ -59,7 +64,8 @@ pub mod prelude {
     pub use rossf_msg::sensor_msgs::{Image, SfmImage};
     pub use rossf_msg::std_msgs::{Header, SfmHeader};
     pub use rossf_ros::{
-        BackoffPolicy, Master, NodeHandle, Publisher, Subscriber, TransportConfig,
+        BackoffPolicy, Master, NodeHandle, Publisher, PublisherOptions, Subscriber,
+        SubscriberOptions, TransportConfig,
     };
     pub use rossf_sfm::{SfmBox, SfmShared, SfmString, SfmVec};
 }

@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the whole system assembled the way a
 //! downstream robotics project would use it.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf::prelude::*;
 use rossf::sfm::{mm, MessageState};
 use rossf_msg::geometry_msgs::{PoseStamped, SfmPoseStamped};

@@ -2,6 +2,8 @@
 //! multi-threaded churn. Lives in its own test binary so the live-record
 //! accounting isn't disturbed by unrelated tests.
 
+#![allow(deprecated)] // positional advertise/subscribe stay covered until removal
+
 use rossf::netsim::MachineId;
 use rossf::prelude::*;
 use rossf::ros::wire::{write_frame, ConnectionHeader};
