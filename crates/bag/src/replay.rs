@@ -1,0 +1,77 @@
+//! Replay scheduling: merge selected connections into one stamp-ordered
+//! stream and turn recorded stamps into inter-frame delays.
+//!
+//! The schedule is pure data — the ROS-layer replayer owns clocks, sleeping
+//! and publishing; this module owns the deterministic part so it can be
+//! tested without time.
+
+use std::time::Duration;
+
+use crate::format::IndexEntry;
+use crate::reader::BagReader;
+
+/// One step of a replay schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleItem {
+    /// Connection the frame belongs to.
+    pub conn_id: u32,
+    /// The frame to publish.
+    pub entry: IndexEntry,
+    /// Delay to wait *after the previous item* before publishing this one
+    /// (already divided by the rate multiplier; zero for the first item).
+    pub delay: Duration,
+}
+
+/// A complete replay schedule over a set of connections.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    /// Items in publish order.
+    pub items: Vec<ScheduleItem>,
+    /// Suggested delay between loop iterations: the mean inter-frame gap
+    /// (rate-adjusted), so looped replay keeps a plausible cadence across
+    /// the wrap.
+    pub loop_gap: Duration,
+}
+
+/// Build the replay schedule for `conn_ids` at a given `rate` multiplier
+/// (`2.0` = twice as fast). Frames merge by capture stamp; ties break by
+/// file order, which preserves the recorder's observed ordering.
+///
+/// # Panics
+/// Panics if `rate` is not finite and positive.
+pub fn build_schedule(reader: &BagReader, conn_ids: &[u32], rate: f64) -> Schedule {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "replay rate must be positive"
+    );
+    let mut merged: Vec<(u32, IndexEntry)> = conn_ids
+        .iter()
+        .flat_map(|&id| reader.entries(id).iter().map(move |e| (id, *e)))
+        .collect();
+    merged.sort_by_key(|(_, e)| (e.stamp_nanos, e.offset));
+
+    let mut items = Vec::with_capacity(merged.len());
+    let mut prev_stamp: Option<u64> = None;
+    let mut total_gap_nanos: u128 = 0;
+    for (conn_id, entry) in merged {
+        let gap = prev_stamp.map_or(0, |p| entry.stamp_nanos.saturating_sub(p));
+        total_gap_nanos += gap as u128;
+        prev_stamp = Some(entry.stamp_nanos);
+        items.push(ScheduleItem {
+            conn_id,
+            entry,
+            delay: scale_gap(gap, rate),
+        });
+    }
+    let loop_gap = if items.len() > 1 {
+        let mean = (total_gap_nanos / (items.len() as u128 - 1)) as u64;
+        scale_gap(mean, rate)
+    } else {
+        Duration::ZERO
+    };
+    Schedule { items, loop_gap }
+}
+
+fn scale_gap(gap_nanos: u64, rate: f64) -> Duration {
+    Duration::from_nanos((gap_nanos as f64 / rate) as u64)
+}

@@ -1,0 +1,411 @@
+//! Bag writing: the synchronous [`BagWriter`] record appender and the
+//! [`StreamRecorder`] engine that drains captured frames through a dedicated
+//! writer thread with a bounded queue.
+//!
+//! The writer is append-only and never seeks: the index is accumulated in
+//! memory and emitted as the footer at [`BagWriter::finish`]. A writer that
+//! dies before `finish` leaves a footer-less file — exactly the crash state
+//! the reader's recovery scan is built for.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::format::{
+    encode_connection, encode_footer, encode_frame_header, encode_frame_trailer, encode_header,
+    BagError, Connection, IndexEntry, MAX_NAME_LEN, MAX_PAYLOAD_LEN,
+};
+
+/// Synchronous bag writer over any [`Write`] sink.
+///
+/// Tracks its own byte position, so the sink needs no `Seek`; the footer is
+/// a pure append. Per-connection stamps are clamped to be non-decreasing
+/// (a regression is recorded at the previous stamp), which keeps the replay
+/// schedule well-formed even if capture stamps jitter backwards.
+pub struct BagWriter<W: Write> {
+    sink: W,
+    pos: u64,
+    connections: Vec<Connection>,
+    index: Vec<Vec<IndexEntry>>,
+    last_stamp: Vec<u64>,
+    scratch: Vec<u8>,
+    frames: u64,
+}
+
+/// Totals reported when a bag is closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BagSummary {
+    /// Frames written across all connections.
+    pub frames: u64,
+    /// Total file size in bytes, footer included.
+    pub bytes: u64,
+    /// Number of connections declared.
+    pub connections: usize,
+}
+
+impl BagWriter<BufWriter<File>> {
+    /// Create a bag file at `path` (truncating any existing file).
+    pub fn create_path(path: &Path) -> Result<Self, BagError> {
+        let file = File::create(path)?;
+        BagWriter::new(BufWriter::new(file))
+    }
+}
+
+impl<W: Write> BagWriter<W> {
+    /// Start a bag on `sink`, writing the file header immediately.
+    pub fn new(mut sink: W) -> Result<Self, BagError> {
+        let header = encode_header();
+        sink.write_all(&header)?;
+        Ok(BagWriter {
+            sink,
+            pos: header.len() as u64,
+            connections: Vec::new(),
+            index: Vec::new(),
+            last_stamp: Vec::new(),
+            scratch: Vec::new(),
+            frames: 0,
+        })
+    }
+
+    /// Declare a topic; returns the connection id for [`BagWriter::append`].
+    /// Connections may be declared at any point in the stream.
+    pub fn add_connection(
+        &mut self,
+        topic: &str,
+        type_name: &str,
+        schema_hash: u64,
+    ) -> Result<u32, BagError> {
+        if topic.len() > MAX_NAME_LEN || type_name.len() > MAX_NAME_LEN {
+            return Err(BagError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "topic or type name too long",
+            )));
+        }
+        let id = self.connections.len() as u32;
+        let conn = Connection {
+            id,
+            topic: topic.to_string(),
+            type_name: type_name.to_string(),
+            schema_hash,
+        };
+        self.scratch.clear();
+        encode_connection(&conn, &mut self.scratch);
+        self.sink.write_all(&self.scratch)?;
+        self.pos += self.scratch.len() as u64;
+        self.connections.push(conn);
+        self.index.push(Vec::new());
+        self.last_stamp.push(0);
+        Ok(id)
+    }
+
+    /// Append one frame; returns the record's file offset.
+    pub fn append(&mut self, conn: u32, stamp_nanos: u64, payload: &[u8]) -> Result<u64, BagError> {
+        let idx = conn as usize;
+        if idx >= self.connections.len() {
+            return Err(BagError::UnknownConnection(conn));
+        }
+        if payload.is_empty() || payload.len() > MAX_PAYLOAD_LEN {
+            return Err(BagError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("frame payload length {} out of range", payload.len()),
+            )));
+        }
+        let stamp = stamp_nanos.max(self.last_stamp[idx]);
+        self.last_stamp[idx] = stamp;
+        let at = self.pos;
+        self.scratch.clear();
+        encode_frame_header(at, conn, stamp, payload.len() as u32, &mut self.scratch);
+        self.sink.write_all(&self.scratch)?;
+        self.sink.write_all(payload)?;
+        let header_len = self.scratch.len();
+        self.scratch.clear();
+        encode_frame_trailer(payload.len() as u32, &mut self.scratch);
+        self.sink.write_all(&self.scratch)?;
+        self.pos += (header_len + payload.len() + self.scratch.len()) as u64;
+        self.index[idx].push(IndexEntry {
+            stamp_nanos: stamp,
+            offset: at,
+            len: payload.len() as u32,
+        });
+        self.frames += 1;
+        Ok(at)
+    }
+
+    /// Bytes written so far (body only; the footer is added by `finish`).
+    pub fn bytes_written(&self) -> u64 {
+        self.pos
+    }
+
+    /// Frames appended so far.
+    pub fn frame_count(&self) -> u64 {
+        self.frames
+    }
+
+    /// Write the footer, flush, and return the summary plus the sink.
+    pub fn finish(mut self) -> Result<(BagSummary, W), BagError> {
+        let footer = encode_footer(&self.connections, &self.index);
+        self.sink.write_all(&footer)?;
+        self.sink.flush()?;
+        Ok((
+            BagSummary {
+                frames: self.frames,
+                bytes: self.pos + footer.len() as u64,
+                connections: self.connections.len(),
+            },
+            self.sink,
+        ))
+    }
+}
+
+/// A captured frame handed to the recorder: anything that can expose its
+/// bytes. The ROS layer wraps its `OutFrame` in this so capture stays
+/// pointer-identical — the frame's `Arc`'d payload crosses the queue, and
+/// the only copy is the file write itself.
+pub trait FrameBytes: Send {
+    /// The frame's encoded bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+impl FrameBytes for Vec<u8> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+impl FrameBytes for Arc<Vec<u8>> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+/// A topic to be recorded by a [`StreamRecorder`].
+#[derive(Clone, Debug)]
+pub struct TopicSpec {
+    /// Topic name.
+    pub topic: String,
+    /// Message type name.
+    pub type_name: String,
+    /// Schema fingerprint ([`crate::format::schema_hash`]; 0 = none).
+    pub schema_hash: u64,
+}
+
+/// Live counters of a running [`StreamRecorder`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Frames accepted onto the writer queue.
+    pub frames_recorded: u64,
+    /// Frames rejected because the bounded queue was full.
+    pub frames_dropped: u64,
+    /// Payload bytes accepted for writing.
+    pub bytes_written: u64,
+}
+
+struct RecorderShared {
+    frames_recorded: AtomicU64,
+    frames_dropped: AtomicU64,
+    bytes_written: AtomicU64,
+    failed: AtomicBool,
+    closing: AtomicBool,
+    error: Mutex<Option<String>>,
+}
+
+/// Sentinel connection id marking the close-of-stream message. Real ids are
+/// dense indices into the topic list, so this value is unreachable.
+const CLOSE_SENTINEL: u32 = u32::MAX;
+
+struct QueuedFrame {
+    conn: u32,
+    stamp_nanos: u64,
+    frame: Box<dyn FrameBytes>,
+}
+
+/// Per-connection handle for feeding frames to the writer thread.
+/// Cheap to clone; safe to call from capture callbacks.
+pub struct RecorderChannel {
+    conn: u32,
+    tx: SyncSender<QueuedFrame>,
+    shared: Arc<RecorderShared>,
+}
+
+impl Clone for RecorderChannel {
+    fn clone(&self) -> Self {
+        RecorderChannel {
+            conn: self.conn,
+            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl RecorderChannel {
+    /// Enqueue a captured frame without blocking. Returns `false` (and
+    /// bumps `frames_dropped`) when the bounded queue is full or the writer
+    /// is gone — capture paths must never stall the publisher.
+    pub fn record(&self, stamp_nanos: u64, frame: Box<dyn FrameBytes>) -> bool {
+        if self.shared.closing.load(Ordering::Acquire) {
+            self.shared.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let len = frame.bytes().len() as u64;
+        match self.tx.try_send(QueuedFrame {
+            conn: self.conn,
+            stamp_nanos,
+            frame,
+        }) {
+            Ok(()) => {
+                self.shared.frames_recorded.fetch_add(1, Ordering::Relaxed);
+                self.shared.bytes_written.fetch_add(len, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.shared.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+/// Multi-topic streaming recorder: declared connections, a bounded frame
+/// queue, and a dedicated writer thread appending to the bag file.
+pub struct StreamRecorder {
+    tx: Option<SyncSender<QueuedFrame>>,
+    channels: Vec<RecorderChannel>,
+    shared: Arc<RecorderShared>,
+    join: Option<JoinHandle<Result<BagSummary, BagError>>>,
+}
+
+impl StreamRecorder {
+    /// Create the bag at `path`, declare `topics`, and start the writer
+    /// thread. `queue_capacity` bounds the in-flight frame queue (frames
+    /// beyond it are dropped and counted, never blocked on).
+    pub fn create(
+        path: &Path,
+        topics: &[TopicSpec],
+        queue_capacity: usize,
+    ) -> Result<StreamRecorder, BagError> {
+        let mut writer = BagWriter::create_path(path)?;
+        for t in topics {
+            writer.add_connection(&t.topic, &t.type_name, t.schema_hash)?;
+        }
+        let (tx, rx) = sync_channel::<QueuedFrame>(queue_capacity.max(1));
+        let shared = Arc::new(RecorderShared {
+            frames_recorded: AtomicU64::new(0),
+            frames_dropped: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+            error: Mutex::new(None),
+        });
+        let channels = (0..topics.len() as u32)
+            .map(|conn| RecorderChannel {
+                conn,
+                tx: tx.clone(),
+                shared: Arc::clone(&shared),
+            })
+            .collect();
+        let thread_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("rossf-bag-writer".into())
+            .spawn(move || drain(writer, rx, thread_shared))
+            .map_err(BagError::Io)?;
+        Ok(StreamRecorder {
+            tx: Some(tx),
+            channels,
+            shared,
+            join: Some(join),
+        })
+    }
+
+    /// The feed channel for connection `conn` (ids are assigned in the
+    /// order topics were passed to [`StreamRecorder::create`]).
+    pub fn channel(&self, conn: u32) -> Option<RecorderChannel> {
+        self.channels.get(conn as usize).cloned()
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> RecorderStats {
+        RecorderStats {
+            frames_recorded: self.shared.frames_recorded.load(Ordering::Relaxed),
+            frames_dropped: self.shared.frames_dropped.load(Ordering::Relaxed),
+            bytes_written: self.shared.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the writer thread has died on an I/O error.
+    pub fn failed(&self) -> bool {
+        self.shared.failed.load(Ordering::Relaxed)
+    }
+
+    /// Close the queue, drain remaining frames, write the footer, and
+    /// return the bag summary.
+    ///
+    /// Close is sentinel-based rather than drop-based: capture callbacks
+    /// may still hold [`RecorderChannel`] clones (and their senders), so
+    /// the writer thread stops at an explicit close message instead of
+    /// waiting for every sender to disappear. Frames enqueued before the
+    /// sentinel are written; anything after is shed and counted.
+    pub fn finish(mut self) -> Result<BagSummary, BagError> {
+        self.close();
+        let join = self.join.take().expect("finish called once");
+        match join.join() {
+            Ok(result) => result,
+            Err(_) => Err(BagError::WriterFailed("writer thread panicked".into())),
+        }
+    }
+
+    fn close(&mut self) {
+        self.shared.closing.store(true, Ordering::Release);
+        if let Some(tx) = self.tx.take() {
+            // Blocking send is fine here: the writer is draining the queue,
+            // so capacity frees up; record() never blocks, only this close.
+            let _ = tx.send(QueuedFrame {
+                conn: CLOSE_SENTINEL,
+                stamp_nanos: 0,
+                frame: Box::new(Vec::new()),
+            });
+        }
+        self.channels.clear();
+    }
+}
+
+impl Drop for StreamRecorder {
+    fn drop(&mut self) {
+        // Best-effort close: stop the thread so the footer gets written,
+        // then reap it.
+        self.close();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn drain(
+    mut writer: BagWriter<BufWriter<File>>,
+    rx: Receiver<QueuedFrame>,
+    shared: Arc<RecorderShared>,
+) -> Result<BagSummary, BagError> {
+    let fail = |shared: &RecorderShared, e: &BagError| {
+        shared.failed.store(true, Ordering::Relaxed);
+        *shared.error.lock().unwrap() = Some(e.to_string());
+    };
+    for item in rx {
+        if item.conn == CLOSE_SENTINEL {
+            break;
+        }
+        if let Err(e) = writer.append(item.conn, item.stamp_nanos, item.frame.bytes()) {
+            fail(&shared, &e);
+            return Err(e);
+        }
+    }
+    match writer.finish() {
+        Ok((summary, _)) => Ok(summary),
+        Err(e) => {
+            fail(&shared, &e);
+            Err(e)
+        }
+    }
+}

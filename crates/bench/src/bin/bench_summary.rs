@@ -12,7 +12,10 @@
 //! for p50, 2 ms for the noisier p99) fails the gate, and the trajectory file is
 //! left untouched so the baseline survives for the rerun. Scenarios
 //! without a baseline — new benches, renamed series, a missing previous
-//! trajectory — are skipped, not failed. Running without `--gate` always
+//! trajectory — are skipped, not failed, as are figures whose harnesses
+//! gate themselves in-run ([`rossf_bench::report::SELF_GATED_FIGS`]: the
+//! bag fidelity gate measures overhead against a baseline captured in the
+//! same process). Running without `--gate` always
 //! rewrites the trajectory, which is also how an accepted slowdown becomes
 //! the new baseline.
 //!

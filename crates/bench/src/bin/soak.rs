@@ -232,6 +232,10 @@ fn run_scale(scale: &Scale) -> Outcome {
         rss_kb: None,
         bytes_sent: None,
         bytes_received: None,
+        bag_frames_recorded: None,
+        bag_frames_dropped: None,
+        bag_bytes_written: None,
+        bag_frames_replayed: None,
     }
     .with_process_counts(threads, fds, rss_kb)
     .with_wire_bytes(bytes_sent, bytes_received);

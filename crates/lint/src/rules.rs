@@ -23,7 +23,11 @@ pub enum Rule {
     SeqCstNeedsOrder,
     /// A raw syscall surface (`asm!`, `std::arch::asm`) — or an
     /// epoll/eventfd identifier — outside the audited syscall modules
-    /// (`crates/shm/src/sys.rs`, `crates/reactor/src/sys.rs`).
+    /// (`crates/shm/src/sys.rs`, `crates/reactor/src/sys.rs`,
+    /// `crates/bag/src/sys.rs`). Inside `crates/bag/` the rule also
+    /// confines the file-mapping surface (`mmap`/`munmap`/`memfd`) to
+    /// the bag's own `sys.rs` — the rest of the crate sees only
+    /// `BagMap`.
     SyscallOutsideSys,
     /// `.unwrap()` / `.expect(` inside an `impl Drop` — a panic in drop
     /// during unwinding aborts the whole process.
@@ -67,7 +71,11 @@ impl fmt::Display for Finding {
 
 /// The modules allowed to touch raw syscalls directly. Everything else
 /// goes through their safe wrappers.
-const SYS_MODULES: [&str; 2] = ["crates/shm/src/sys.rs", "crates/reactor/src/sys.rs"];
+const SYS_MODULES: [&str; 3] = [
+    "crates/shm/src/sys.rs",
+    "crates/reactor/src/sys.rs",
+    "crates/bag/src/sys.rs",
+];
 
 /// Whether `path` labels one of the audited sys modules.
 fn is_sys_module(path: &str) -> bool {
@@ -83,6 +91,16 @@ fn is_sys_module(path: &str) -> bool {
 fn mentions_event_poll_surface(code: &str) -> bool {
     let lower = code.to_ascii_lowercase();
     lower.contains("epoll") || lower.contains("eventfd")
+}
+
+/// Whether a code line names the file-mapping surface (`mmap`, `munmap`,
+/// `memfd`, or a `libc` shim) that `rossf-bag` must route through its
+/// `sys.rs`. Other crates call their own audited `sys::` wrappers for
+/// these (`rossf_shm::sys::mmap_shared` from `seg.rs` is fine), so this
+/// check applies only under `crates/bag/`.
+fn mentions_mapping_surface(code: &str) -> bool {
+    let lower = code.to_ascii_lowercase();
+    lower.contains("mmap") || lower.contains("munmap") || lower.contains("memfd")
 }
 
 /// Whether `code` contains `word` delimited by non-identifier characters.
@@ -252,6 +270,15 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                     line: lineno,
                     message: "epoll/eventfd syscalls are confined to crates/reactor/src/sys.rs \
                               (and crates/shm/src/sys.rs); use the reactor's Poller/WakeFd"
+                        .to_string(),
+                });
+            } else if path.contains("crates/bag/") && mentions_mapping_surface(code) {
+                findings.push(Finding {
+                    rule: Rule::SyscallOutsideSys,
+                    path: path.to_string(),
+                    line: lineno,
+                    message: "file mapping (mmap/munmap/memfd) in rossf-bag is confined to \
+                              crates/bag/src/sys.rs; use BagMap"
                         .to_string(),
                 });
             }

@@ -192,6 +192,38 @@ fn roll_my_own() -> i32 {
 }
 
 #[test]
+fn bag_mapping_surface_confined_to_bag_sys_rs() {
+    let src = r#"
+fn roll_my_own_map(file: &std::fs::File, len: usize) -> *mut u8 {
+    let p = rossf_shm::sys::mmap_shared(file, len, false).unwrap();
+    let fd = rossf_shm::sys::memfd_create("sneaky").unwrap();
+    let _ = fd;
+    p
+}
+"#;
+    // Anywhere in crates/bag/ outside its sys.rs, mmap/memfd lines are
+    // flagged — even when routed through another crate's audited wrapper.
+    let findings = lint_source("crates/bag/src/reader.rs", src);
+    assert_eq!(
+        lines_of(&findings, Rule::SyscallOutsideSys),
+        vec![3, 4],
+        "both mapping-surface lines: {findings:?}"
+    );
+    // The bag's own sys module is exempt.
+    let findings = lint_source("crates/bag/src/sys.rs", src);
+    assert!(
+        lines_of(&findings, Rule::SyscallOutsideSys).is_empty(),
+        "crates/bag/src/sys.rs must be exempt: {findings:?}"
+    );
+    // Other crates calling their own audited wrappers are not in scope.
+    let findings = lint_source("crates/shm/src/seg.rs", src);
+    assert!(
+        lines_of(&findings, Rule::SyscallOutsideSys).is_empty(),
+        "mapping confinement is bag-scoped: {findings:?}"
+    );
+}
+
+#[test]
 fn epoll_in_comments_and_strings_is_ignored() {
     let src = r#"
 // The reactor multiplexes via epoll; wakeups ride an eventfd.

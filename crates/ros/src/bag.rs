@@ -1,35 +1,507 @@
-//! Bag recording and playback — the `rosbag` facility of the ROS
-//! ecosystem, reproduced over this middleware.
+//! Bag record/replay — the `rosbag` facility of the ROS ecosystem, built
+//! on the [`rossf_bag`] subsystem.
 //!
-//! A bag stores timestamped wire frames, so recording costs the same as
-//! one extra subscriber (for serialization-free messages: zero
-//! serialization — the whole message is appended verbatim), and playback
-//! re-publishes the original bytes. Workloads captured from one run can
-//! drive the benchmarks of another.
+//! Two generations of API live here:
 //!
-//! Format (all integers little-endian):
+//! * **Streaming (current).** [`Recorder`] taps every same-machine
+//!   publisher of the selected topics through [`RawFrameTap`] and streams
+//!   the publisher's own `Arc`'d frames to a [`rossf_bag::StreamRecorder`]
+//!   writer thread — zero encode and zero payload copy on the capture
+//!   path. [`Replayer`] maps a finished bag and re-publishes its frames on
+//!   the recorded cadence; for SFM messages the frames are *adopted in
+//!   place* out of the mapping ([`Replayer::route_adopted`]), so playback
+//!   is also copy-free.
+//! * **In-memory (deprecated).** [`Bag`]/[`BagRecorder`] keep the 0.6-era
+//!   copy-everything API for callers that want a `Vec` of records; since
+//!   0.7.0 they store the indexed v2 on-disk format (see
+//!   [`rossf_bag::format`]) instead of the old `ROSSFBAG1` stream. Old
+//!   files no longer load; empty payloads and per-topic non-monotonic
+//!   stamps are no longer representable.
 //!
-//! ```text
-//! magic  "ROSSFBAG1"
-//! record := u64 stamp_nanos
-//!           u32 topic_len,  topic bytes (UTF-8)
-//!           u32 type_len,   type bytes (UTF-8)
-//!           u32 payload_len, payload bytes
-//! ```
+//! Both layers account their traffic against the per-topic
+//! [`TransportMetrics`](crate::metrics::TransportMetrics) counters
+//! (`bag_frames_recorded`, `bag_frames_dropped`, `bag_bytes_written`,
+//! `bag_frames_replayed`).
 
 use crate::error::RosError;
 use crate::node::NodeHandle;
+use crate::publisher::Publisher;
 use crate::subscriber::Subscriber;
+use crate::tap::RawFrameTap;
 use crate::time::now_nanos;
 use crate::traits::{Decode, Encode, RecvSlot};
+use crate::wire::OutFrame;
 use parking_lot::Mutex;
-use std::io::{BufReader, BufWriter, Read, Write};
+use rossf_bag::{
+    build_schedule, schema_hash, BagError, BagReader, BagSummary, FrameBytes, IndexEntry,
+    RecorderStats, StreamRecorder, TopicSpec,
+};
+use rossf_sfm::{SfmMessage, SfmShared};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-const MAGIC: &[u8; 9] = b"ROSSFBAG1";
+/// Bridge a bag-subsystem error into the middleware's error type.
+fn bag_err(e: BagError) -> RosError {
+    match e {
+        BagError::Io(e) => RosError::Io(e),
+        BagError::TypeMismatch {
+            topic,
+            recorded,
+            attempted,
+        } => RosError::TypeMismatch {
+            topic,
+            registered: recorded,
+            attempted,
+        },
+        other => RosError::BadHeader(format!("bag: {other}")),
+    }
+}
+
+/// Adapter letting a captured [`OutFrame`] ride the recorder queue without
+/// copying: the queue holds the publisher's `Arc`'d buffer until the writer
+/// thread appends it.
+struct FrameView(OutFrame);
+
+impl FrameBytes for FrameView {
+    fn bytes(&self) -> &[u8] {
+        self.0.as_slice()
+    }
+}
+
+/// Configures a streaming [`Recorder`]; see [`Recorder::builder`].
+#[derive(Debug, Default)]
+pub struct RecorderBuilder {
+    topics: Vec<TopicSpec>,
+    queue_capacity: usize,
+}
+
+impl RecorderBuilder {
+    /// Record `topic`, carrying messages of type `M`. The bag stores `M`'s
+    /// type name and schema fingerprint (0 when `M` exports no schema), so
+    /// replay can refuse mismatched routes.
+    #[must_use]
+    pub fn topic<M: Encode>(mut self, topic: &str) -> Self {
+        self.topics.push(TopicSpec {
+            topic: topic.to_string(),
+            type_name: M::topic_type().to_string(),
+            schema_hash: M::schema().map(schema_hash).unwrap_or(0),
+        });
+        self
+    }
+
+    /// Capacity of the bounded writer queue (frames). When the disk cannot
+    /// keep up the queue fills and further captures are *shed*, never
+    /// blocking a publisher; sheds show up in `frames_dropped`.
+    #[must_use]
+    pub fn queue_capacity(mut self, frames: usize) -> Self {
+        self.queue_capacity = frames.max(1);
+        self
+    }
+
+    /// Create the bag file at `path` and attach a capture tap to every
+    /// configured topic.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the file; [`RosError::TypeMismatch`] if a topic
+    /// already carries a different type.
+    pub fn start(self, nh: &NodeHandle, path: impl AsRef<Path>) -> Result<Recorder, RosError> {
+        let capacity = if self.queue_capacity == 0 {
+            256
+        } else {
+            self.queue_capacity
+        };
+        let stream =
+            StreamRecorder::create(path.as_ref(), &self.topics, capacity).map_err(bag_err)?;
+        let mut taps = Vec::with_capacity(self.topics.len());
+        for (i, spec) in self.topics.iter().enumerate() {
+            let channel = stream
+                .channel(i as u32)
+                .expect("connection ids are dense topic indices");
+            let metrics = nh.master().metrics().topic(&spec.topic);
+            let tap = RawFrameTap::attach(nh, &spec.topic, &spec.type_name, move |frame| {
+                let len = frame.as_slice().len() as u64;
+                if channel.record(now_nanos(), Box::new(FrameView(frame.clone()))) {
+                    metrics.bag_frames_recorded.fetch_add(1, Ordering::Relaxed);
+                    metrics.bag_bytes_written.fetch_add(len, Ordering::Relaxed);
+                } else {
+                    metrics.bag_frames_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            })?;
+            taps.push(tap);
+        }
+        Ok(Recorder {
+            stream: Some(stream),
+            taps,
+            topics: self.topics,
+        })
+    }
+}
+
+/// A live streaming bag recorder (see the module docs).
+///
+/// Dropping without [`Recorder::finish`] still closes the bag cleanly (the
+/// writer thread appends the footer), but discards the summary.
+pub struct Recorder {
+    stream: Option<StreamRecorder>,
+    taps: Vec<RawFrameTap>,
+    topics: Vec<TopicSpec>,
+}
+
+impl Recorder {
+    /// Start configuring a recorder.
+    pub fn builder() -> RecorderBuilder {
+        RecorderBuilder {
+            topics: Vec::new(),
+            queue_capacity: 256,
+        }
+    }
+
+    /// The topics being recorded, in connection-id order.
+    pub fn topics(&self) -> &[TopicSpec] {
+        &self.topics
+    }
+
+    /// Live counters: frames accepted, frames shed, payload bytes queued.
+    pub fn stats(&self) -> RecorderStats {
+        self.stream
+            .as_ref()
+            .expect("stream lives until finish()")
+            .stats()
+    }
+
+    /// `true` if the writer thread died (disk full, I/O error); captures
+    /// after that are dropped.
+    pub fn failed(&self) -> bool {
+        self.stream
+            .as_ref()
+            .expect("stream lives until finish()")
+            .failed()
+    }
+
+    /// Total frames the capture taps have observed (accepted + shed).
+    pub fn frames_seen(&self) -> u64 {
+        self.taps.iter().map(|t| t.frames_seen()).sum()
+    }
+
+    /// Publishers that could not be tapped (remote machine or fast path
+    /// unavailable); their frames are not captured.
+    pub fn skipped_publishers(&self) -> u64 {
+        self.taps.iter().map(|t| t.skipped()).sum()
+    }
+
+    /// Wait until every topic has at least `publishers_per_topic` live
+    /// capture attachments, so no frame published after this returns is
+    /// missed. Returns `false` on timeout.
+    pub fn wait_attached(&self, publishers_per_topic: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        self.taps.iter().all(|tap| {
+            let left = deadline.saturating_duration_since(Instant::now());
+            tap.wait_attached(publishers_per_topic, left)
+        })
+    }
+
+    /// Detach every tap, drain the queue, write the footer index and close
+    /// the file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the writer thread (the bag may be incomplete).
+    pub fn finish(mut self) -> Result<BagSummary, RosError> {
+        // Taps first: joining their drain threads guarantees no capture
+        // races the queue drain below.
+        self.taps.clear();
+        let stream = self.stream.take().expect("finish consumes the recorder");
+        stream.finish().map_err(bag_err)
+    }
+}
+
+/// Playback pacing and verification options for [`Replayer::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOptions {
+    /// Rate multiplier: `2.0` replays twice as fast as recorded. Must be
+    /// positive.
+    pub rate: f64,
+    /// Number of passes over the bag (minimum 1 even if 0 is given).
+    pub loops: u32,
+    /// Structurally verify each frame (`Decode::verify_frame`) before
+    /// publishing it.
+    pub verify: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            rate: 1.0,
+            loops: 1,
+            verify: false,
+        }
+    }
+}
+
+impl ReplayOptions {
+    /// Set the rate multiplier.
+    #[must_use]
+    pub fn rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Set the number of passes.
+    #[must_use]
+    pub fn loops(mut self, loops: u32) -> Self {
+        self.loops = loops;
+        self
+    }
+
+    /// Enable per-frame structural verification.
+    #[must_use]
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+}
+
+/// What a [`Replayer::run`] pass actually did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayStats {
+    /// Frames published (across all loops).
+    pub frames_replayed: u64,
+    /// Wall-clock duration of the whole run.
+    pub duration: Duration,
+    /// Mean absolute deviation of each frame's publish instant from its
+    /// scheduled instant.
+    pub pacing_mean_abs_error: Duration,
+    /// Worst single-frame deviation.
+    pub pacing_max_abs_error: Duration,
+}
+
+/// Publishes one routed connection's frame; `bool` is the verify flag.
+type RouteFn = Box<dyn Fn(&IndexEntry, bool) -> Result<(), RosError> + Send>;
+
+/// Replays a recorded bag through live publishers (see the module docs).
+///
+/// Route each recorded topic to a publisher with
+/// [`route_adopted`](Replayer::route_adopted) (zero-copy, SFM types) or
+/// [`route_decoded`](Replayer::route_decoded) (any `Decode + Encode`
+/// type), then [`run`](Replayer::run). Unrouted topics are skipped.
+pub struct Replayer {
+    reader: Arc<BagReader>,
+    routes: HashMap<u32, RouteFn>,
+}
+
+impl Replayer {
+    /// Open the bag at `path` (tolerant mode: a torn tail from a crashed
+    /// recorder is recovered, check [`BagReader::recovered`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O and format errors from [`BagReader::open`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, RosError> {
+        BagReader::open(path.as_ref())
+            .map(Self::new)
+            .map_err(bag_err)
+    }
+
+    /// Wrap an already-opened reader.
+    pub fn new(reader: BagReader) -> Self {
+        Replayer {
+            reader: Arc::new(reader),
+            routes: HashMap::new(),
+        }
+    }
+
+    /// The underlying reader (topics, index, mapping address range).
+    pub fn reader(&self) -> &BagReader {
+        &self.reader
+    }
+
+    /// Validate a route against the recorded connection: topic known and
+    /// not yet routed, type name equal, schema fingerprints equal when both
+    /// sides have one.
+    fn check_route<D: Decode>(&self, recorded_topic: &str) -> Result<u32, RosError> {
+        let conn = self
+            .reader
+            .connection(recorded_topic)
+            .ok_or_else(|| bag_err(BagError::UnknownTopic(recorded_topic.to_string())))?;
+        if self.routes.contains_key(&conn.id) {
+            return Err(RosError::BadHeader(format!(
+                "bag topic `{recorded_topic}` already routed"
+            )));
+        }
+        if conn.type_name != D::topic_type() {
+            return Err(RosError::TypeMismatch {
+                topic: recorded_topic.to_string(),
+                registered: conn.type_name.clone(),
+                attempted: D::topic_type().to_string(),
+            });
+        }
+        let attempted = D::schema().map(schema_hash).unwrap_or(0);
+        if conn.schema_hash != 0 && attempted != 0 && conn.schema_hash != attempted {
+            return Err(bag_err(BagError::SchemaMismatch {
+                topic: recorded_topic.to_string(),
+                recorded: conn.schema_hash,
+                attempted,
+            }));
+        }
+        Ok(conn.id)
+    }
+
+    /// Route `recorded_topic` to `publisher`, adopting each frame *in
+    /// place* out of the bag mapping — no decode, no payload copy; the
+    /// published message points straight at the mapped file.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::TypeMismatch`]/[`RosError::BadHeader`] when the route
+    /// does not match the recorded connection (unknown topic, duplicate
+    /// route, wrong type, schema-fingerprint mismatch).
+    pub fn route_adopted<T: SfmMessage>(
+        &mut self,
+        recorded_topic: &str,
+        nh: &NodeHandle,
+        publisher: Publisher<SfmShared<T>>,
+    ) -> Result<(), RosError> {
+        let conn_id = self.check_route::<SfmShared<T>>(recorded_topic)?;
+        let reader = Arc::clone(&self.reader);
+        let metrics = nh.master().metrics().topic(publisher.topic());
+        self.routes.insert(
+            conn_id,
+            Box::new(move |entry, verify| {
+                if verify {
+                    let bytes = reader.frame_bytes(entry).map_err(bag_err)?;
+                    <SfmShared<T> as Decode>::verify_frame(bytes)?;
+                }
+                let (alloc, len) = reader.adopt_frame(entry).map_err(bag_err)?;
+                let msg = SfmShared::<T>::adopt_extern(alloc, len)?;
+                publisher.publish(&msg);
+                metrics.bag_frames_replayed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }),
+        );
+        Ok(())
+    }
+
+    /// Route `recorded_topic` to `publisher` through the generic decode
+    /// path (one copy per frame): works for any message family, including
+    /// plain serialized types.
+    ///
+    /// # Errors
+    ///
+    /// As [`Replayer::route_adopted`].
+    pub fn route_decoded<D: Decode + Encode>(
+        &mut self,
+        recorded_topic: &str,
+        nh: &NodeHandle,
+        publisher: Publisher<D>,
+    ) -> Result<(), RosError> {
+        let conn_id = self.check_route::<D>(recorded_topic)?;
+        let reader = Arc::clone(&self.reader);
+        let metrics = nh.master().metrics().topic(publisher.topic());
+        self.routes.insert(
+            conn_id,
+            Box::new(move |entry, verify| {
+                let bytes = reader.frame_bytes(entry).map_err(bag_err)?;
+                if verify {
+                    D::verify_frame(bytes)?;
+                }
+                let mut slot = D::new_slot(bytes.len())?;
+                slot.as_mut_slice().copy_from_slice(bytes);
+                let msg = D::finish_slot(slot)?;
+                publisher.publish(&msg);
+                metrics.bag_frames_replayed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }),
+        );
+        Ok(())
+    }
+
+    /// Replay every routed topic on the recorded cadence.
+    ///
+    /// Frames from all routed connections merge into one stamp-ordered
+    /// stream; each frame's publish instant is the *cumulative* recorded
+    /// gap from the start (rate-adjusted), so pacing error does not
+    /// accumulate across frames.
+    ///
+    /// # Errors
+    ///
+    /// [`RosError::BadHeader`] on a non-positive rate; route errors
+    /// (adoption, verification) abort the run.
+    pub fn run(&self, opts: ReplayOptions) -> Result<ReplayStats, RosError> {
+        if opts.rate.is_nan() || opts.rate <= 0.0 {
+            return Err(RosError::BadHeader(format!(
+                "replay rate must be positive, got {}",
+                opts.rate
+            )));
+        }
+        let mut conns: Vec<u32> = self.routes.keys().copied().collect();
+        conns.sort_unstable();
+        let schedule = build_schedule(&self.reader, &conns, opts.rate);
+        let started = Instant::now();
+        let mut frames = 0u64;
+        let mut err_sum = Duration::ZERO;
+        let mut err_max = Duration::ZERO;
+        for pass in 0..opts.loops.max(1) {
+            if pass > 0 {
+                sleep_until(Instant::now() + schedule.loop_gap);
+            }
+            let mut target = Instant::now();
+            for item in &schedule.items {
+                target += item.delay;
+                sleep_until(target);
+                let lag = Instant::now().saturating_duration_since(target);
+                let route = self
+                    .routes
+                    .get(&item.conn_id)
+                    .expect("schedule only covers routed connections");
+                route(&item.entry, opts.verify)?;
+                frames += 1;
+                err_sum += lag;
+                err_max = err_max.max(lag);
+            }
+        }
+        Ok(ReplayStats {
+            frames_replayed: frames,
+            duration: started.elapsed(),
+            pacing_mean_abs_error: if frames > 0 {
+                err_sum / frames as u32
+            } else {
+                Duration::ZERO
+            },
+            pacing_max_abs_error: err_max,
+        })
+    }
+}
+
+/// Sleep to `target` with sub-millisecond accuracy: coarse `thread::sleep`
+/// for the bulk, then a short spin for the tail (OS sleep granularity is
+/// too coarse for inter-frame gaps of a fast sensor).
+fn sleep_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        let left = target - now;
+        if left > Duration::from_micros(500) {
+            std::thread::sleep(left - Duration::from_micros(400));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+// === Deprecated in-memory API (0.6-era), now stored as v2 format ===
 
 /// One recorded message.
+#[deprecated(
+    since = "0.7.0",
+    note = "use the streaming `Recorder`/`Replayer` or `rossf_bag` directly"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BagRecord {
     /// Capture time (monotonic experiment clock).
@@ -42,12 +514,18 @@ pub struct BagRecord {
     pub payload: Vec<u8>,
 }
 
-/// An in-memory bag; serializable to/from the on-disk format.
+/// An in-memory bag; serializable to/from the indexed v2 on-disk format.
+#[deprecated(
+    since = "0.7.0",
+    note = "use the streaming `Recorder`/`Replayer` or `rossf_bag` directly"
+)]
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[allow(deprecated)]
 pub struct Bag {
     records: Vec<BagRecord>,
 }
 
+#[allow(deprecated)]
 impl Bag {
     /// Empty bag.
     pub fn new() -> Self {
@@ -74,74 +552,70 @@ impl Bag {
         self.records.push(record);
     }
 
-    /// Serialize to any writer.
+    /// Serialize to any writer in the v2 format.
+    ///
+    /// The v2 format carries one message type per topic and no empty
+    /// payloads; records violating either are rejected. Per-topic stamps
+    /// are stored non-decreasing (out-of-order stamps are clamped).
     ///
     /// # Errors
     ///
-    /// I/O errors from the writer.
+    /// I/O errors from the writer; [`RosError::BadHeader`] for records the
+    /// format cannot represent.
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), RosError> {
-        w.write_all(MAGIC)?;
+        let mut writer = rossf_bag::BagWriter::new(&mut *w).map_err(bag_err)?;
+        let mut conns: Vec<(String, String, u32)> = Vec::new();
         for r in &self.records {
-            w.write_all(&r.stamp_nanos.to_le_bytes())?;
-            w.write_all(&(r.topic.len() as u32).to_le_bytes())?;
-            w.write_all(r.topic.as_bytes())?;
-            w.write_all(&(r.type_name.len() as u32).to_le_bytes())?;
-            w.write_all(r.type_name.as_bytes())?;
-            w.write_all(&(r.payload.len() as u32).to_le_bytes())?;
-            w.write_all(&r.payload)?;
+            let id = match conns.iter().find(|(t, _, _)| t == &r.topic) {
+                Some((_, ty, id)) => {
+                    if *ty != r.type_name {
+                        return Err(RosError::BadHeader(format!(
+                            "bag topic `{}` recorded with two types (`{ty}`, `{}`)",
+                            r.topic, r.type_name
+                        )));
+                    }
+                    *id
+                }
+                None => {
+                    let id = writer
+                        .add_connection(&r.topic, &r.type_name, 0)
+                        .map_err(bag_err)?;
+                    conns.push((r.topic.clone(), r.type_name.clone(), id));
+                    id
+                }
+            };
+            writer
+                .append(id, r.stamp_nanos, &r.payload)
+                .map_err(bag_err)?;
         }
+        writer.finish().map_err(bag_err)?;
         w.flush()?;
         Ok(())
     }
 
-    /// Deserialize from any reader.
+    /// Deserialize from any reader (strict mode: the footer index must be
+    /// present and consistent).
     ///
     /// # Errors
     ///
-    /// [`RosError::BadHeader`] on a bad magic or truncated record; I/O
-    /// errors from the reader.
+    /// [`RosError::BadHeader`] on format violations; I/O errors from the
+    /// reader.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Self, RosError> {
-        let mut magic = [0u8; 9];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(RosError::BadHeader("not a ROSSFBAG1 file".to_string()));
-        }
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let reader = BagReader::from_bytes_strict(&bytes).map_err(bag_err)?;
         let mut records = Vec::new();
-        loop {
-            let mut stamp = [0u8; 8];
-            match r.read(&mut stamp)? {
-                0 => break, // clean EOF between records
-                8 => {}
-                n => {
-                    r.read_exact(&mut stamp[n..])?;
-                }
-            }
-            let read_u32 = |r: &mut R| -> Result<u32, RosError> {
-                let mut b = [0u8; 4];
-                r.read_exact(&mut b)?;
-                Ok(u32::from_le_bytes(b))
-            };
-            let read_blob = |r: &mut R, len: usize| -> Result<Vec<u8>, RosError> {
-                if len > 256 << 20 {
-                    return Err(RosError::BadHeader(format!("absurd record length {len}")));
-                }
-                let mut v = vec![0u8; len];
-                r.read_exact(&mut v)?;
-                Ok(v)
-            };
-            let topic_len = read_u32(r)? as usize;
-            let topic = String::from_utf8(read_blob(r, topic_len)?)
-                .map_err(|_| RosError::BadHeader("non-utf8 topic".to_string()))?;
-            let type_len = read_u32(r)? as usize;
-            let type_name = String::from_utf8(read_blob(r, type_len)?)
-                .map_err(|_| RosError::BadHeader("non-utf8 type".to_string()))?;
-            let payload_len = read_u32(r)? as usize;
-            let payload = read_blob(r, payload_len)?;
+        for (conn_id, entry) in reader.frames_in_order() {
+            let conn = reader
+                .connections()
+                .iter()
+                .find(|c| c.id == conn_id)
+                .expect("index references declared connections");
             records.push(BagRecord {
-                stamp_nanos: u64::from_le_bytes(stamp),
-                topic,
-                type_name,
-                payload,
+                stamp_nanos: entry.stamp_nanos,
+                topic: conn.topic.clone(),
+                type_name: conn.type_name.clone(),
+                payload: reader.frame_bytes(&entry).map_err(bag_err)?.to_vec(),
             });
         }
         Ok(Bag { records })
@@ -153,7 +627,7 @@ impl Bag {
     ///
     /// I/O errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), RosError> {
-        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
         self.write_to(&mut w)
     }
 
@@ -163,7 +637,7 @@ impl Bag {
     ///
     /// I/O errors and format errors as [`Bag::read_from`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, RosError> {
-        let mut r = BufReader::new(std::fs::File::open(path)?);
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
         Self::read_from(&mut r)
     }
 
@@ -200,12 +674,18 @@ impl Bag {
 
 /// A live recorder: subscribes to a topic and appends every message to a
 /// shared [`Bag`]. Dropping it stops recording.
+#[deprecated(
+    since = "0.7.0",
+    note = "use the streaming `Recorder` (taps frames with zero copy instead of subscribing)"
+)]
+#[allow(deprecated)]
 pub struct BagRecorder<D: Decode> {
     _sub: Subscriber<D>,
     bag: Arc<Mutex<Bag>>,
     topic: String,
 }
 
+#[allow(deprecated)]
 impl<D: Decode + Encode + 'static> BagRecorder<D> {
     /// Start recording `topic` through `nh`.
     ///
@@ -254,8 +734,12 @@ impl<D: Decode + Encode + 'static> BagRecorder<D> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::master::Master;
+    use crate::options::PublisherOptions;
+    use rossf_sfm::{SfmBox, SfmError, SfmPod, SfmValidate, SfmVec};
 
     fn record(i: u64) -> BagRecord {
         BagRecord {
@@ -285,13 +769,13 @@ mod tests {
         let bag = Bag::new();
         let mut bytes = Vec::new();
         bag.write_to(&mut bytes).unwrap();
-        assert_eq!(bytes, MAGIC);
+        assert!(bytes.starts_with(rossf_bag::format::MAGIC));
         assert!(Bag::read_from(&mut &bytes[..]).unwrap().is_empty());
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let bytes = b"NOTABAG!!".to_vec();
+        let bytes = b"NOTABAG!! and assorted trailing junk".to_vec();
         assert!(matches!(
             Bag::read_from(&mut &bytes[..]),
             Err(RosError::BadHeader(_))
@@ -299,7 +783,7 @@ mod tests {
     }
 
     #[test]
-    fn truncated_record_is_io_error() {
+    fn truncated_bag_rejected_by_strict_load() {
         let mut bag = Bag::new();
         bag.push(record(1));
         let mut bytes = Vec::new();
@@ -320,10 +804,199 @@ mod tests {
     }
 
     #[test]
-    fn absurd_length_rejected() {
-        let mut bytes = MAGIC.to_vec();
-        bytes.extend_from_slice(&1u64.to_le_bytes());
-        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // topic_len
-        assert!(Bag::read_from(&mut &bytes[..]).is_err());
+    fn conflicting_types_on_one_topic_rejected() {
+        let mut bag = Bag::new();
+        let mut a = record(0);
+        a.topic = "t".into();
+        let mut b = record(1);
+        b.topic = "t".into();
+        b.type_name = "other/T".into();
+        bag.push(a);
+        bag.push(b);
+        let mut bytes = Vec::new();
+        assert!(matches!(
+            bag.write_to(&mut bytes),
+            Err(RosError::BadHeader(_))
+        ));
+    }
+
+    // === streaming Recorder / Replayer ===
+
+    #[repr(C)]
+    struct BagMsg {
+        data: SfmVec<u8>,
+    }
+    unsafe impl SfmPod for BagMsg {}
+    impl SfmValidate for BagMsg {
+        fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+            self.data.validate_in(base, len)
+        }
+    }
+    unsafe impl SfmMessage for BagMsg {
+        fn type_name() -> &'static str {
+            "test/BagMsg"
+        }
+        fn max_size() -> usize {
+            512
+        }
+    }
+
+    fn fnv(bytes: &[u8]) -> u64 {
+        rossf_bag::fnv1a64(bytes)
+    }
+
+    #[test]
+    fn recorder_and_adopted_replay_end_to_end() {
+        let master = Master::new();
+        let nh = NodeHandle::new(&master, "bag_e2e");
+        let publisher =
+            nh.advertise_with::<SfmBox<BagMsg>>("bag/cam", PublisherOptions::new().queue_size(16));
+
+        let path = std::env::temp_dir().join(format!("rossf_bag_e2e_{}.bag", std::process::id()));
+        let recorder = Recorder::builder()
+            .topic::<SfmBox<BagMsg>>("bag/cam")
+            .queue_capacity(64)
+            .start(&nh, &path)
+            .unwrap();
+        assert!(recorder.wait_attached(1, Duration::from_secs(5)));
+
+        let mut published = Vec::new();
+        for i in 0..8u8 {
+            let mut msg = SfmBox::<BagMsg>::new();
+            msg.data.resize((i as usize % 5) + 3);
+            for (j, b) in msg.data.as_mut_slice().iter_mut().enumerate() {
+                *b = i.wrapping_mul(31).wrapping_add(j as u8);
+            }
+            published.push(fnv(msg.encode().as_slice()));
+            publisher.publish(&msg);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while recorder.stats().frames_recorded < 8 {
+            assert!(Instant::now() < deadline, "recorder never saw all frames");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = recorder.stats();
+        assert_eq!(stats.frames_dropped, 0);
+        let summary = recorder.finish().unwrap();
+        assert_eq!(summary.frames, 8);
+        // The bag counters ride the topic's TransportMetrics, so they are
+        // visible through the publisher's own stats() snapshot.
+        let pub_stats = publisher.stats();
+        assert_eq!(pub_stats.transport.bag_frames_recorded, 8);
+        assert_eq!(pub_stats.transport.bag_frames_dropped, 0);
+        assert!(pub_stats.transport.bag_bytes_written > 0);
+
+        // Replay into a fresh topic; the subscriber proves zero-copy by
+        // checking the delivered message aliases the bag mapping.
+        let mut replayer = Replayer::open(&path).unwrap();
+        assert!(!replayer.reader().recovered());
+        let range = replayer.reader().addr_range();
+        let replay_pub = nh.advertise_with::<SfmShared<BagMsg>>(
+            "bag/cam_rp",
+            PublisherOptions::new().queue_size(16),
+        );
+        let seen = Arc::new(Mutex::new(Vec::<(u64, bool)>::new()));
+        let seen_cb = Arc::clone(&seen);
+        let _sub = nh.subscribe("bag/cam_rp", 16, move |msg: SfmShared<BagMsg>| {
+            let base = msg.base();
+            let in_map = base >= range.0 && base < range.1;
+            let frame = msg.encode();
+            seen_cb.lock().push((fnv(frame.as_slice()), in_map));
+        });
+        std::thread::sleep(Duration::from_millis(50)); // let the sub attach
+        replayer
+            .route_adopted::<BagMsg>("bag/cam", &nh, replay_pub)
+            .unwrap();
+        let stats = replayer
+            .run(ReplayOptions::default().rate(1000.0).verify(true))
+            .unwrap();
+        assert_eq!(stats.frames_replayed, 8);
+        assert_eq!(
+            master
+                .metrics()
+                .topic("bag/cam_rp")
+                .snapshot()
+                .bag_frames_replayed,
+            8
+        );
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while seen.lock().len() < 8 {
+            assert!(Instant::now() < deadline, "replayed frames never delivered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let seen = seen.lock();
+        assert_eq!(
+            seen.iter().map(|(h, _)| *h).collect::<Vec<_>>(),
+            published,
+            "replayed bytes must equal recorded bytes, in order"
+        );
+        assert!(
+            seen.iter().all(|(_, in_map)| *in_map),
+            "every replayed message must alias the bag mapping (zero copy)"
+        );
+        drop(seen);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_route_type_mismatch_refused() {
+        let master = Master::new();
+        let nh = NodeHandle::new(&master, "bag_mismatch");
+        let publisher =
+            nh.advertise_with::<SfmBox<BagMsg>>("bag/typed", PublisherOptions::new().queue_size(4));
+        let path = std::env::temp_dir().join(format!("rossf_bag_mm_{}.bag", std::process::id()));
+        let recorder = Recorder::builder()
+            .topic::<SfmBox<BagMsg>>("bag/typed")
+            .start(&nh, &path)
+            .unwrap();
+        assert!(recorder.wait_attached(1, Duration::from_secs(5)));
+        let mut msg = SfmBox::<BagMsg>::new();
+        msg.data.resize(4);
+        publisher.publish(&msg);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while recorder.stats().frames_recorded < 1 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        recorder.finish().unwrap();
+
+        #[repr(C)]
+        struct OtherMsg {
+            data: SfmVec<u8>,
+        }
+        unsafe impl SfmPod for OtherMsg {}
+        impl SfmValidate for OtherMsg {
+            fn validate_in(&self, base: usize, len: usize) -> Result<(), SfmError> {
+                self.data.validate_in(base, len)
+            }
+        }
+        unsafe impl SfmMessage for OtherMsg {
+            fn type_name() -> &'static str {
+                "test/OtherMsg"
+            }
+            fn max_size() -> usize {
+                512
+            }
+        }
+
+        let mut replayer = Replayer::open(&path).unwrap();
+        let wrong = nh.advertise_with::<SfmShared<OtherMsg>>(
+            "bag/typed_rp",
+            PublisherOptions::new().queue_size(4),
+        );
+        let err = replayer
+            .route_adopted::<OtherMsg>("bag/typed", &nh, wrong)
+            .unwrap_err();
+        assert!(matches!(err, RosError::TypeMismatch { .. }));
+        let missing = nh.advertise_with::<SfmShared<OtherMsg>>(
+            "bag/typed_rp2",
+            PublisherOptions::new().queue_size(4),
+        );
+        let err = replayer
+            .route_adopted::<OtherMsg>("no/such_topic", &nh, missing)
+            .unwrap_err();
+        assert!(matches!(err, RosError::BadHeader(_)));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -97,6 +97,15 @@ transport_counters! {
     projection_handshakes,
     /// Frames transmitted as projected sub-frames (subset of `frames_sent`).
     projection_frames,
+    /// Frames accepted by a bag recorder's capture tap on this topic.
+    bag_frames_recorded,
+    /// Captured frames shed because the recorder's bounded writer queue
+    /// was full (recording never backpressures the publisher).
+    bag_frames_dropped,
+    /// Payload bytes accepted for bag writing on this topic.
+    bag_bytes_written,
+    /// Frames re-published onto this topic by a bag replayer.
+    bag_frames_replayed,
 }
 
 impl TransportMetrics {

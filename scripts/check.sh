@@ -53,6 +53,15 @@ cargo test -q -p rossf-ros --test leak
 echo "==> churn soak smoke (reactor thread count independent of link count)"
 cargo run -q --release -p rossf-bench --bin soak -- --smoke
 
+echo "==> bag format/recorder/replayer suite (rossf-bag)"
+cargo test -q -p rossf-bag
+
+echo "==> sfm_bag --self-test (record, verify, zero-copy replay, corruption rejection)"
+cargo run -q --release -p rossf --bin sfm_bag -- --self-test
+
+echo "==> bag gate smoke (record fig18 pipeline, byte-identical zero-copy replay, pacing)"
+cargo run -q --release -p rossf-bench --bin bag_gate -- --smoke
+
 echo "==> bench summary + trajectory regression gate (p50/p99 <= +10% vs previous; soak threads/fds flat)"
 cargo run -q --release -p rossf-bench --bin bench_summary -- --gate
 

@@ -18,6 +18,9 @@
 //! * [`checker`] — the ROS-SF Converter-style applicability checker
 //!   (Table 1).
 //! * [`slam`] — the ORB-SLAM-like case-study pipeline (Figs. 17–18).
+//! * [`bag`] — zero-copy indexed record/replay of SFM frames (the
+//!   `sfm_bag` CLI drives it; `rossf_ros::Recorder`/`Replayer` wire it
+//!   into live topics).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -50,6 +53,7 @@
 
 #![deny(missing_docs)]
 
+pub use rossf_bag as bag;
 pub use rossf_baselines as baselines;
 pub use rossf_checker as checker;
 pub use rossf_idl as idl;
